@@ -1,0 +1,284 @@
+(* The ldv command-line tool.
+
+   Mirrors the paper's user surface: `ldv audit` monitors an execution of
+   the TPC-H evaluation application and writes a self-contained package
+   file; `ldv exec` re-executes a package; `ldv inspect` shows a package's
+   manifest, execution trace, and provenance exports; `ldv demo` runs the
+   whole loop in one command. Because applications in this simulation are
+   OCaml programs rather than native binaries, audit/exec operate on the
+   built-in TPC-H workload parameterized through package metadata. *)
+
+open Cmdliner
+open Ldv_core
+
+(* ------------------------------------------------------------------ *)
+(* Workload construction shared by audit and exec.                     *)
+
+let cfg_of_metadata (meta : (string * string) list) : Tpch.Workload.config =
+  let get key =
+    match List.assoc_opt key meta with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "package metadata misses %S" key)
+  in
+  { Tpch.Workload.query_sql = get "w_query";
+    n_insert = int_of_string (get "w_insert");
+    n_select = int_of_string (get "w_select");
+    n_update = int_of_string (get "w_update");
+    base_orderkey = int_of_string (get "w_basekey");
+    n_customer = int_of_string (get "w_customer");
+    out_path = get "w_out";
+    config_path = get "w_conf";
+    insert_seed = int_of_string (get "w_seed") }
+
+let metadata_of_cfg (cfg : Tpch.Workload.config) =
+  [ ("w_query", cfg.Tpch.Workload.query_sql);
+    ("w_insert", string_of_int cfg.Tpch.Workload.n_insert);
+    ("w_select", string_of_int cfg.Tpch.Workload.n_select);
+    ("w_update", string_of_int cfg.Tpch.Workload.n_update);
+    ("w_basekey", string_of_int cfg.Tpch.Workload.base_orderkey);
+    ("w_customer", string_of_int cfg.Tpch.Workload.n_customer);
+    ("w_out", cfg.Tpch.Workload.out_path);
+    ("w_conf", cfg.Tpch.Workload.config_path);
+    ("w_seed", string_of_int cfg.Tpch.Workload.insert_seed) ]
+
+let run_audit ~sf ~vid ~mode ~n_insert ~n_select ~n_update =
+  let db, stats = Tpch.Dbgen.setup ~sf ~seed:42 () in
+  let kernel = Minios.Kernel.create () in
+  let server = Dbclient.Server.install kernel db in
+  Tpch.Workload.install_runtime kernel;
+  let q = Tpch.Queries.find stats vid in
+  let cfg =
+    { (Tpch.Workload.default_config ~query_sql:q.Tpch.Queries.sql ~stats) with
+      Tpch.Workload.n_insert;
+      n_select;
+      n_update }
+  in
+  let binary = Tpch.Workload.install_app_files kernel cfg in
+  let program = Tpch.Workload.app cfg in
+  Minios.Program.register ~name:Tpch.Workload.registry_name program;
+  let audit =
+    Audit.run ~packaging:mode kernel server
+      ~app_name:Tpch.Workload.registry_name ~app_binary:binary
+      ~app_libs:Tpch.Workload.app_libs program
+  in
+  (audit, cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Arguments.                                                          *)
+
+let sf_arg =
+  let doc = "TPC-H scale factor relative to the paper's SF=1 instance." in
+  Arg.(value & opt float 0.002 & info [ "sf" ] ~docv:"SF" ~doc)
+
+let query_arg =
+  let doc = "Workload query variant from Table II (Q1-1 .. Q4-5)." in
+  Arg.(value & opt string "Q1-1" & info [ "query"; "q" ] ~docv:"QID" ~doc)
+
+let mode_arg =
+  let doc =
+    "Packaging mode: $(b,included) (DB server + relevant tuples), \
+     $(b,excluded) (recorded responses only), or $(b,ptu) (the \
+     application-virtualization baseline)."
+  in
+  let modes =
+    [ ("included", Audit.Included); ("excluded", Audit.Excluded);
+      ("ptu", Audit.Ptu_baseline) ]
+  in
+  Arg.(value & opt (enum modes) Audit.Included & info [ "mode"; "m" ] ~doc)
+
+let counts_args =
+  let mk name default doc =
+    Arg.(value & opt int default & info [ name ] ~doc)
+  in
+  Term.(
+    const (fun a b c -> (a, b, c))
+    $ mk "inserts" 100 "Orders inserted in the Insert step."
+    $ mk "selects" 10 "Repetitions of the query in the Select step."
+    $ mk "updates" 20 "Orders updated in the Update step.")
+
+let package_arg =
+  let doc = "Package file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PACKAGE" ~doc)
+
+let out_arg =
+  let doc = "Output package file." in
+  Arg.(value & opt string "app.ldv" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* audit                                                               *)
+
+let audit_cmd =
+  let run sf vid mode (n_insert, n_select, n_update) out =
+    let audit, cfg = run_audit ~sf ~vid ~mode ~n_insert ~n_select ~n_update in
+    let pkg =
+      match mode with
+      | Audit.Ptu_baseline -> Ptu.build audit
+      | _ -> Package.build audit
+    in
+    let pkg =
+      { pkg with Package.metadata = pkg.Package.metadata @ metadata_of_cfg cfg }
+    in
+    let oc = open_out_bin out in
+    output_string oc (Package.to_bytes pkg);
+    close_out oc;
+    Printf.printf "audited %s under %s monitoring\n" vid
+      (Package.kind_name pkg.Package.kind);
+    Printf.printf "wrote %s (%s, %d files, %d tables, %d recorded statements)\n"
+      out
+      (Report.human_bytes (Package.total_bytes pkg))
+      (List.length pkg.Package.entries)
+      (List.length pkg.Package.db_subset)
+      (List.length pkg.Package.recording);
+    let stats = Prov.Query.stats audit.Audit.trace in
+    Format.printf "execution trace: %a@." Prov.Query.pp_stats stats
+  in
+  let term =
+    Term.(const run $ sf_arg $ query_arg $ mode_arg $ counts_args $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Monitor an execution and create a repeatability package")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* exec                                                                *)
+
+let read_package path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  Package.of_bytes data
+
+let exec_cmd =
+  let run path =
+    let pkg = read_package path in
+    let cfg = cfg_of_metadata pkg.Package.metadata in
+    Minios.Program.register ~name:pkg.Package.app_name (Tpch.Workload.app cfg);
+    let result = Replay.execute pkg in
+    Printf.printf "re-executed %s (%s package)\n" pkg.Package.app_name
+      (Package.kind_name pkg.Package.kind);
+    Printf.printf "%d statements replayed, %d output files produced\n"
+      (List.length (Dbclient.Interceptor.log result.Replay.session))
+      (List.length result.Replay.out_files);
+    List.iter
+      (fun (p, content) ->
+        Printf.printf "  %s (%d bytes)\n" p (String.length content))
+      result.Replay.out_files
+  in
+  let term = Term.(const run $ package_arg) in
+  Cmd.v (Cmd.info "exec" ~doc:"Re-execute a repeatability package") term
+
+(* ------------------------------------------------------------------ *)
+(* inspect                                                             *)
+
+let inspect_cmd =
+  let dot_arg =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write the execution trace as graphviz.")
+  in
+  let prov_arg =
+    Arg.(value & opt (some string) None & info [ "prov-json" ] ~docv:"FILE"
+           ~doc:"Write the execution trace as PROV-JSON.")
+  in
+  let provn_arg =
+    Arg.(value & opt (some string) None & info [ "prov-n" ] ~docv:"FILE"
+           ~doc:"Write the execution trace as PROV-N.")
+  in
+  let run path dot prov_json prov_n =
+    let pkg = read_package path in
+    Printf.printf "kind: %s\napp: %s (binary %s)\n"
+      (Package.kind_name pkg.Package.kind)
+      pkg.Package.app_name pkg.Package.app_binary;
+    Printf.printf "total size: %s\n" (Report.human_bytes (Package.total_bytes pkg));
+    print_endline "manifest:";
+    List.iter
+      (fun (p, size) -> Printf.printf "  %-45s %s\n" p (Report.human_bytes size))
+      (Package.manifest pkg);
+    let trace = Package.trace pkg in
+    Format.printf "trace: %a@." Prov.Query.pp_stats (Prov.Query.stats trace);
+    let write_file path content =
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    Option.iter (fun p -> write_file p (Prov.Dot.to_dot trace)) dot;
+    Option.iter (fun p -> write_file p (Prov.Prov_export.to_prov_json trace)) prov_json;
+    Option.iter (fun p -> write_file p (Prov.Prov_export.to_prov_n trace)) prov_n
+  in
+  let term = Term.(const run $ package_arg $ dot_arg $ prov_arg $ provn_arg) in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show a package's manifest and execution trace")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* trace: provenance queries over a package's execution trace          *)
+
+let trace_cmd =
+  let target_arg =
+    Arg.(value & opt (some string) None & info [ "deps-of" ] ~docv:"NODE"
+           ~doc:"Print everything the given entity (e.g. \
+                 $(i,file:/app/out/results.csv)) was derived from.")
+  in
+  let outputs_arg =
+    Arg.(value & flag & info [ "outputs" ]
+           ~doc:"List the workflow's final output files.")
+  in
+  let run path target outputs =
+    let pkg = read_package path in
+    let trace = Package.trace pkg in
+    Format.printf "trace: %a@." Prov.Query.pp_stats (Prov.Query.stats trace);
+    if outputs then begin
+      print_endline "final outputs:";
+      List.iter (Printf.printf "  %s\n") (Prov.Query.final_outputs trace)
+    end;
+    match target with
+    | None -> ()
+    | Some node ->
+      Printf.printf "%s was derived from:\n" node;
+      List.iter (Printf.printf "  %s\n") (Prov.Query.inputs_of trace node)
+  in
+  let term = Term.(const run $ package_arg $ target_arg $ outputs_arg) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run provenance queries over a package's execution trace")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+
+let demo_cmd =
+  let run sf =
+    print_endline "LDV demo: audit -> package -> replay -> verify";
+    List.iter
+      (fun mode ->
+        let audit, _cfg =
+          run_audit ~sf ~vid:"Q1-1" ~mode ~n_insert:50 ~n_select:3 ~n_update:10
+        in
+        let pkg =
+          match mode with
+          | Audit.Ptu_baseline -> Ptu.build audit
+          | _ -> Package.build audit
+        in
+        let result = Replay.execute pkg in
+        let problems = Replay.verify ~audit result in
+        Printf.printf "%-16s %-9s %s\n"
+          (Package.kind_name pkg.Package.kind)
+          (Report.human_bytes (Package.total_bytes pkg))
+          (if problems = [] then "replay verified"
+           else "DIVERGED: " ^ String.concat "; " problems))
+      [ Audit.Ptu_baseline; Audit.Included; Audit.Excluded ]
+  in
+  let term = Term.(const run $ sf_arg) in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Audit, package, replay and verify all three package kinds")
+    term
+
+let () =
+  let info =
+    Cmd.info "ldv" ~version:"1.0.0"
+      ~doc:"Light-weight database virtualization (ICDE 2015), in OCaml"
+  in
+  exit (Cmd.eval (Cmd.group info [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/halo_finder.ml: Array Audit Dbclient Ldv_core List Minidb Minios Package Printf Prov Replay Report Slice String

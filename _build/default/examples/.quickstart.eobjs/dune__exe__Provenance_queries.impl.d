@@ -1,0 +1,1 @@
+examples/provenance_queries.ml: Bb_model Combined Dependency Dot Format Interval Lineage_model List Minidb Printf Prov Prov_export Query String Trace

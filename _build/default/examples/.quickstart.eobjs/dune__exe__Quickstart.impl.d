@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dbclient Ldv_core List Minidb Minios Printf String

@@ -1,0 +1,1 @@
+examples/shared_database.ml: Array Audit Dbclient Ldv_core List Minidb Minios Package Printf Replay Slice String

@@ -1,0 +1,1 @@
+examples/sharing_with_bob.ml: Array Audit Dbclient Ldv_core List Minidb Minios Package Printf Replay Report String Tpch

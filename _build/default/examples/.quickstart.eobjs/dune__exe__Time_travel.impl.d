@@ -1,0 +1,1 @@
+examples/time_travel.ml: Array Database Executor Format Gprom List Minidb Printf Value

@@ -1,0 +1,99 @@
+(* Provenance queries over combined execution traces.
+
+   Rebuilds the paper's Figure 2 trace by hand, then demonstrates what the
+   linked OS+DB provenance model of §IV-VI can answer:
+   - reachability ("does C depend on A?") with temporal pruning,
+   - the Figure 6 examples where interval annotations rule dependencies
+     in or out,
+   - exports to PROV-N / PROV-JSON / graphviz.
+
+   Run with:  dune exec examples/provenance_queries.exe *)
+
+open Prov
+
+let tup i = Minidb.Tid.make ~table:"db" ~rid:i ~version:i
+let tup_id i = Lineage_model.tuple_id (tup i)
+
+(* Figure 2: P1 reads files A and B and runs two inserts; P2 queries and
+   writes file C. *)
+let figure2 () =
+  let t = Combined.create () in
+  ignore (Bb_model.add_process t ~pid:1 ~name:"P1");
+  ignore (Bb_model.add_process t ~pid:2 ~name:"P2");
+  List.iter (fun p -> ignore (Bb_model.add_file t ~path:p)) [ "A"; "B"; "C" ];
+  List.iter (fun i -> ignore (Lineage_model.add_tuple t (tup i))) [ 1; 2; 3; 4; 5 ];
+  ignore (Lineage_model.add_statement t ~qid:1 ~kind:Lineage_model.Insert ~sql:"INSERT .. t1,t2");
+  ignore (Lineage_model.add_statement t ~qid:2 ~kind:Lineage_model.Insert ~sql:"INSERT .. t3");
+  ignore (Lineage_model.add_statement t ~qid:3 ~kind:Lineage_model.Query ~sql:"SELECT ..");
+  ignore (Bb_model.read_from t ~pid:1 ~path:"A" ~time:(Interval.make 1 6));
+  ignore (Bb_model.read_from t ~pid:1 ~path:"B" ~time:(Interval.make 7 8));
+  ignore (Combined.run t ~pid:1 ~qid:1 ~time:(Interval.point 5));
+  ignore (Lineage_model.has_returned t ~qid:1 ~tid:(tup 1) ~time:(Interval.point 5));
+  ignore (Lineage_model.has_returned t ~qid:1 ~tid:(tup 2) ~time:(Interval.point 5));
+  ignore (Combined.run t ~pid:1 ~qid:2 ~time:(Interval.point 8));
+  ignore (Lineage_model.has_returned t ~qid:2 ~tid:(tup 3) ~time:(Interval.point 8));
+  ignore (Combined.run t ~pid:2 ~qid:3 ~time:(Interval.point 9));
+  ignore (Lineage_model.has_read t ~qid:3 ~tid:(tup 1) ~time:(Interval.point 9));
+  ignore (Lineage_model.has_read t ~qid:3 ~tid:(tup 3) ~time:(Interval.point 9));
+  ignore (Lineage_model.has_returned t ~qid:3 ~tid:(tup 4) ~time:(Interval.point 9));
+  ignore (Lineage_model.has_returned t ~qid:3 ~tid:(tup 5) ~time:(Interval.point 9));
+  ignore (Combined.read_from_db t ~pid:2 ~tid:(tup 4) ~time:(Interval.point 9));
+  ignore (Combined.read_from_db t ~pid:2 ~tid:(tup 5) ~time:(Interval.point 9));
+  ignore (Bb_model.has_written t ~pid:2 ~path:"C" ~time:(Interval.make 7 12));
+  List.iter
+    (fun (r, s) -> Lineage_model.depends_on t ~result:(tup r) ~source:(tup s))
+    [ (4, 1); (4, 3); (5, 1); (5, 3) ];
+  t
+
+let yn b = if b then "yes" else "no"
+
+let () =
+  let t = figure2 () in
+  Format.printf "Figure 2 trace: %a@.@." Query.pp_stats (Query.stats t);
+
+  print_endline "Reachability queries (Definition 11 inference):";
+  List.iter
+    (fun (q, target, source) ->
+      Printf.printf "  %-46s %s\n" q
+        (yn (Dependency.depends_on t ~target ~source)))
+    [ ("does file C depend on file A?", "file:C", "file:A");
+      ("does file C depend on tuple t1?", "file:C", tup_id 1);
+      ("does file C depend on tuple t2 (never read)?", "file:C", tup_id 2);
+      ("does tuple t1 depend on file B (read later)?", tup_id 1, "file:B");
+      ("does tuple t3 depend on file B?", tup_id 3, "file:B") ];
+
+  print_endline "\nEverything the output C was derived from:";
+  List.iter (Printf.printf "  %s\n") (Dependency.dependencies_of t "file:C");
+
+  (* Figure 6: the same chain under three temporal annotations *)
+  let chain ~read_a ~write_b ~read_b ~write_c =
+    let t = Trace.create Bb_model.model in
+    ignore (Bb_model.add_process t ~pid:1 ~name:"P1");
+    ignore (Bb_model.add_process t ~pid:2 ~name:"P2");
+    List.iter (fun p -> ignore (Bb_model.add_file t ~path:p)) [ "A"; "B"; "C" ];
+    ignore (Bb_model.read_from t ~pid:1 ~path:"A" ~time:read_a);
+    ignore (Bb_model.has_written t ~pid:1 ~path:"B" ~time:write_b);
+    ignore (Bb_model.read_from t ~pid:2 ~path:"B" ~time:read_b);
+    ignore (Bb_model.has_written t ~pid:2 ~path:"C" ~time:write_c);
+    Dependency.depends_on t ~target:"file:C" ~source:"file:A"
+  in
+  print_endline "\nFigure 6: temporal annotations decide dependencies:";
+  Printf.printf "  6a (P2 stopped reading B before P1 wrote it):  C dep A? %s\n"
+    (yn
+       (chain ~read_a:(Interval.make 2 3) ~write_b:(Interval.make 6 7)
+          ~read_b:(Interval.make 1 5) ~write_c:(Interval.make 6 6)));
+  Printf.printf "  6b (overlapping write/read):                   C dep A? %s\n"
+    (yn
+       (chain ~read_a:(Interval.make 1 1) ~write_b:(Interval.make 4 7)
+          ~read_b:(Interval.make 2 5) ~write_c:(Interval.make 1 6)));
+
+  (* exports *)
+  print_endline "\nPROV-N rendering (excerpt):";
+  let provn = Prov_export.to_prov_n t in
+  String.split_on_char '\n' provn
+  |> List.filteri (fun i _ -> i < 8)
+  |> List.iter (Printf.printf "  %s\n");
+  Printf.printf "  ... (%d lines; PROV-JSON: %d bytes; dot: %d bytes)\n"
+    (List.length (String.split_on_char '\n' provn))
+    (String.length (Prov_export.to_prov_json t))
+    (String.length (Dot.to_dot t))

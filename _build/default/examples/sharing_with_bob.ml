@@ -1,0 +1,108 @@
+(* Bob's three ways to use Alice's package (§II):
+
+     (i)  re-execute the application in its entirety
+          -> server-included package, full replay;
+     (ii) re-execute without reading data from the original DB
+          -> server-excluded package: recorded responses stand in for the
+             DB, so Bob needs neither the server binaries nor the data;
+     (iii) provide his own inputs to the application
+          -> server-included package re-run with a modified program over
+             the packaged DB subset.
+
+   Run with:  dune exec examples/sharing_with_bob.exe *)
+
+open Ldv_core
+
+(* Alice's app: average quantity per supplier region, written to a file.
+   The threshold comes from a config file — the input Bob will change. *)
+let make_app ~config_path ~out_path =
+  fun env ->
+  let threshold = String.trim (Minios.Program.read_file env config_path) in
+  let conn = Dbclient.Client.connect env ~db:"tpch" in
+  let rows =
+    Dbclient.Client.query conn
+      (Printf.sprintf
+         "SELECT l_suppkey, avg(l_quantity) AS avgq FROM lineitem WHERE \
+          l_suppkey <= %s GROUP BY l_suppkey"
+         threshold)
+  in
+  let out =
+    String.concat "\n"
+      (List.map
+         (fun row ->
+           Printf.sprintf "supplier %s: avg quantity %s"
+             (Minidb.Value.to_raw_string row.(0))
+             (Minidb.Value.to_raw_string row.(1)))
+         rows)
+  in
+  Minios.Program.write_file env out_path out;
+  Dbclient.Client.close conn
+
+let config_path = "/home/alice/threshold.conf"
+let out_path = "/home/alice/avg_quantities.txt"
+let app = make_app ~config_path ~out_path
+
+let alice_environment () =
+  let db, _stats = Tpch.Dbgen.setup ~sf:0.0005 ~seed:7 () in
+  let kernel = Minios.Kernel.create () in
+  let server = Dbclient.Server.install kernel db in
+  let vfs = Minios.Kernel.vfs kernel in
+  Minios.Vfs.write_string vfs ~path:config_path "3\n";
+  Minios.Vfs.write_opaque vfs ~path:"/home/alice/bin/avgq" 64_000;
+  (kernel, server)
+
+let audit_with packaging =
+  let kernel, server = alice_environment () in
+  Audit.run ~packaging kernel server ~app_name:"avgq"
+    ~app_binary:"/home/alice/bin/avgq" app
+
+let () =
+  Minios.Program.register ~name:"avgq" app;
+
+  (* --- (i) full re-execution ------------------------------------- *)
+  let audit_inc = audit_with Audit.Included in
+  let pkg_inc = Package.build audit_inc in
+  let replay = Replay.execute pkg_inc in
+  assert (Replay.verify ~audit:audit_inc replay = []);
+  Printf.printf "(i)   full re-execution: verified (%s package)\n"
+    (Report.human_bytes (Package.total_bytes pkg_inc));
+
+  (* --- (ii) re-execution without the DB --------------------------- *)
+  let audit_exc = audit_with Audit.Excluded in
+  let pkg_exc = Package.build audit_exc in
+  (* Bob's machine: no DB server at all. The package carries none. *)
+  assert (pkg_exc.Package.db_subset = []);
+  assert (pkg_exc.Package.recording <> []);
+  let replay = Replay.execute pkg_exc in
+  assert (Replay.verify ~audit:audit_exc replay = []);
+  Printf.printf "(ii)  DB-free re-execution: verified (%s package)\n"
+    (Report.human_bytes (Package.total_bytes pkg_exc));
+
+  (* --- (iii) Bob's own inputs ------------------------------------- *)
+  (* Bob lowers the threshold: a *different* execution over the packaged
+     subset. This works on the server-included package because it contains
+     a functioning DB; it would (correctly) raise Replay_divergence on the
+     server-excluded one. *)
+  let bobs_program env =
+    Minios.Program.write_file env config_path "2\n";
+    app env
+  in
+  let prepared = Replay.prepare pkg_inc in
+  let bob = Replay.run ~program:bobs_program prepared in
+  let bobs_output = List.assoc out_path bob.Replay.out_files in
+  let alices_output = List.assoc out_path audit_inc.Audit.out_files in
+  assert (not (String.equal bobs_output alices_output));
+  Printf.printf "(iii) modified input: %d suppliers reported (Alice had %d)\n"
+    (List.length (String.split_on_char '\n' bobs_output))
+    (List.length (String.split_on_char '\n' alices_output));
+
+  (* and the same modification against the server-excluded package is
+     refused, as §VII-D prescribes *)
+  (try
+     ignore (Replay.execute ~program:bobs_program pkg_exc);
+     print_endline "BUG: server-excluded replay accepted a modified query";
+     exit 1
+   with Dbclient.Interceptor.Replay_divergence _ ->
+     print_endline
+       "      (server-excluded package correctly refuses the modified run)");
+  print_endline "sharing_with_bob done."

@@ -1,0 +1,87 @@
+(* Time travel and transaction reenactment.
+
+   The paper's challenge 3 (§I): "To successfully repeat an execution, the
+   DB has to be restored to the state valid at the start of the
+   application." MiniDB's native tuple versioning gives two tools beyond
+   LDV's packaged-subset restore:
+
+   - AS OF queries read any past snapshot directly (the temporal-DB
+     alternative the related work discusses);
+   - GProM-style transaction reenactment relates a transaction's effects
+     to the pre-transaction state, composing away its internal
+     intermediate versions.
+
+   Run with:  dune exec examples/time_travel.exe *)
+
+open Minidb
+module B = Gprom.Backend.Minidb_backend
+
+let () =
+  let db = Database.create ~name:"bank" () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE accounts (id INT, owner TEXT, balance INT);\n\
+        INSERT INTO accounts VALUES (1, 'alice', 100), (2, 'bob', 50), (3, \
+        'carol', 75)");
+  let before_business = Database.clock db in
+
+  (* --- a transfer, as a reenacted transaction -------------------- *)
+  let tx =
+    Gprom.Tx_reenact.run (module B) db
+      [ "UPDATE accounts SET balance = balance - 30 WHERE owner = 'alice'";
+        "UPDATE accounts SET balance = balance + 30 WHERE owner = 'bob'";
+        (* a correction within the same transaction: alice sends 10 more *)
+        "UPDATE accounts SET balance = balance - 10 WHERE owner = 'alice'";
+        "UPDATE accounts SET balance = balance + 10 WHERE owner = 'bob'" ]
+  in
+  Format.printf "%a@." Gprom.Tx_reenact.pp tx;
+  (* four updates produced four versions for alice/bob, but only the final
+     two survive; each traces to its pre-transaction original *)
+  assert (List.length tx.Gprom.Tx_reenact.tx_written = 2);
+  assert (List.length tx.Gprom.Tx_reenact.tx_intermediate = 2);
+  assert (Minidb.Tid.Set.cardinal tx.Gprom.Tx_reenact.tx_pre_state = 2);
+
+  (* --- an aborted transaction leaves no trace --------------------- *)
+  ignore (Database.exec db "BEGIN");
+  ignore (Database.exec db "UPDATE accounts SET balance = 0");
+  ignore (Database.exec db "ROLLBACK");
+
+  (* --- AS OF: read the pre-transfer snapshot ---------------------- *)
+  let show title r =
+    Format.printf "%s:@." title;
+    List.iter
+      (fun (row : Executor.arow) ->
+        Format.printf "  %-6s %s@."
+          (Value.to_raw_string row.Executor.values.(0))
+          (Value.to_raw_string row.Executor.values.(1)))
+      r.Executor.rows
+  in
+  show "current balances"
+    (Database.query db "SELECT owner, balance FROM accounts");
+  show "balances before the transfer"
+    (Database.query db
+       (Printf.sprintf
+          "SELECT owner, balance FROM accounts AS OF %d" before_business));
+
+  (* snapshots join with the present: who gained money since? *)
+  let gained =
+    Database.query db
+      (Printf.sprintf
+         "SELECT now.owner FROM accounts now JOIN accounts AS OF %d old ON \
+          now.id = old.id WHERE now.balance > old.balance"
+         before_business)
+  in
+  (match Executor.result_values gained with
+  | [ [| Value.Str "bob" |] ] -> print_endline "only bob gained money (correct)"
+  | _ -> failwith "unexpected gainers");
+
+  (* and the snapshot itself is stable under further change *)
+  ignore (Database.exec db "DELETE FROM accounts WHERE owner = 'carol'");
+  let old_count =
+    Database.query db
+      (Printf.sprintf "SELECT count(*) FROM accounts AS OF %d" before_business)
+  in
+  (match Executor.result_values old_count with
+  | [ [| Value.Int 3 |] ] -> print_endline "snapshot unaffected by later delete"
+  | _ -> failwith "snapshot drifted");
+  print_endline "time_travel done."

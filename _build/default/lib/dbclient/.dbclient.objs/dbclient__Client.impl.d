@@ -1,0 +1,1 @@
+lib/dbclient/client.ml: Errors Interceptor Minidb Minios Protocol Schema Value

@@ -1,0 +1,1 @@
+lib/dbclient/client.mli: Minidb Minios Protocol Schema Value

@@ -1,0 +1,1 @@
+lib/dbclient/interceptor.ml: Array Buffer Csv Database Hashtbl List Minidb Minios Option Perm Pretty Printf Protocol Recorder Schema Server Sql_ast Sql_parser String Tid Value

@@ -1,0 +1,1 @@
+lib/dbclient/interceptor.mli: Minidb Minios Perm Protocol Recorder Schema Server Sql_ast Tid Value

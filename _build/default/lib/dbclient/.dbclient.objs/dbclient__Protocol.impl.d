@@ -1,0 +1,1 @@
+lib/dbclient/protocol.ml: Array Format List Minidb Schema String Value

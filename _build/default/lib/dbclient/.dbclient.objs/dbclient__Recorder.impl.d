@@ -1,0 +1,1 @@
+lib/dbclient/recorder.ml: Array Buffer Csv List Minidb Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/dbclient/recorder.mli: Minidb Schema Value

@@ -1,0 +1,1 @@
+lib/dbclient/server.ml: Array Catalog Database Errors Executor List Marshal Minidb Minios Printf Protocol Schema Table Tid Value

@@ -1,0 +1,1 @@
+lib/dbclient/server.mli: Database Minidb Minios Protocol Table

@@ -1,0 +1,63 @@
+(** The application-facing DB client API (the libpq surface).
+
+    Programs call [connect]/[query]/[exec]/[close]; the session bound to
+    the kernel they run on decides whether statements are executed,
+    audited, or replayed. Application code is therefore identical across
+    the original run, the audited run, and every replay mode — the
+    property LDV's interposition design depends on. *)
+
+open Minidb
+
+type conn = {
+  session : Interceptor.t;
+  pid : int;
+  db_name : string;
+  mutable open_ : bool;
+}
+
+(** Connect to the database server from the current process. *)
+let connect (env : Minios.Program.env) ~db:db_name : conn =
+  let kernel = Minios.Program.kernel env in
+  let session = Interceptor.find kernel in
+  (* connection handshake costs a round trip but is not audited (§VIII:
+     connection handling calls are ignored) *)
+  ignore (Minios.Kernel.tick kernel);
+  { session; pid = Minios.Program.pid env; db_name; open_ = true }
+
+let check conn =
+  if not conn.open_ then invalid_arg "Client: connection is closed"
+
+(** Run a statement, returning the raw protocol response. *)
+let send (conn : conn) (sql : string) : Protocol.response =
+  check conn;
+  Interceptor.execute conn.session ~pid:conn.pid sql
+
+(** Run a SELECT and return its schema and rows.
+
+    Raises [Db_error] on SQL errors. *)
+let query_result (conn : conn) (sql : string) : Schema.t * Value.t array list =
+  match send conn sql with
+  | Protocol.Result_set { schema; rows } -> (schema, rows)
+  | Protocol.Error_response msg ->
+    Errors.unsupported "server error: %s" msg
+  | Protocol.Command_ok _ | Protocol.Ddl_ok | Protocol.Connected _ ->
+    Errors.unsupported "expected a result set from %s" sql
+
+(** Run a SELECT and return just the rows. *)
+let query (conn : conn) (sql : string) : Value.t array list =
+  snd (query_result conn sql)
+
+(** Run a DML statement and return the affected-row count. *)
+let exec (conn : conn) (sql : string) : int =
+  match send conn sql with
+  | Protocol.Command_ok { affected } -> affected
+  | Protocol.Ddl_ok -> 0
+  | Protocol.Error_response msg -> Errors.unsupported "server error: %s" msg
+  | Protocol.Result_set _ | Protocol.Connected _ ->
+    Errors.unsupported "expected a command acknowledgement from %s" sql
+
+let close (conn : conn) =
+  if conn.open_ then begin
+    ignore (Minios.Kernel.tick (Interceptor.kernel_of conn.session));
+    conn.open_ <- false
+  end

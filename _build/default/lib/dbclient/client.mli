@@ -1,0 +1,28 @@
+(** The application-facing DB client API (the libpq surface).
+
+    The session bound to the kernel a program runs on decides whether its
+    statements are executed, audited, or replayed — application code is
+    identical across the original run, the audited run, and every replay
+    mode. *)
+
+open Minidb
+
+type conn
+
+(** Connect from the current process.
+    @raise Invalid_argument when no session is bound to the kernel. *)
+val connect : Minios.Program.env -> db:string -> conn
+
+(** Run a statement, returning the raw protocol response. *)
+val send : conn -> string -> Protocol.response
+
+(** Run a SELECT; @raise Errors.Db_error on SQL errors. *)
+val query_result : conn -> string -> Schema.t * Value.t array list
+
+(** Run a SELECT and return just the rows. *)
+val query : conn -> string -> Value.t array list
+
+(** Run a DML/DDL statement, returning the affected-row count. *)
+val exec : conn -> string -> int
+
+val close : conn -> unit

@@ -1,0 +1,331 @@
+(** The instrumented client library (the paper's modified libpq, §VII-C).
+
+    Every statement a monitored process sends to the DB flows through a
+    session in one of four modes:
+
+    - [Passthrough] — plain execution (the baseline, and server-included
+      replay once the package DB has been restored);
+    - [Audit_included] — execute *with provenance*: queries run through the
+      Perm-style lineage executor, modifications are reenacted first; the
+      relevant tuple versions are deduplicated into the slice table that
+      ends up in the package (Table I's DB column);
+    - [Audit_excluded] — execute normally but record every response for
+      later replay;
+    - [Replay_excluded] — do not touch any DB: answer each request from the
+      recorded log, in order, raising [Replay_divergence] if the incoming
+      statement does not match the recording (§VIII). *)
+
+open Minidb
+
+exception Replay_divergence of string
+
+type mode =
+  | Passthrough
+  | Audit_included
+  | Audit_excluded
+  | Replay_excluded
+
+type stmt_kind = Squery | Sinsert | Supdate | Sdelete | Sddl
+
+let stmt_kind_of_ast = function
+  | Sql_ast.Select _ | Sql_ast.Provenance _ | Sql_ast.Explain _ -> Squery
+  | Sql_ast.Insert _ -> Sinsert
+  | Sql_ast.Update _ -> Supdate
+  | Sql_ast.Delete _ -> Sdelete
+  | Sql_ast.Create_table _ | Sql_ast.Drop_table _ | Sql_ast.Create_index _
+  | Sql_ast.Drop_index _ | Sql_ast.Begin_tx | Sql_ast.Commit_tx
+  | Sql_ast.Rollback_tx ->
+    Sddl
+
+(** One audited statement: everything the trace builder needs to create the
+    P_Lin activity node, its edges, and the cross-model edges. *)
+type stmt_event = {
+  qid : int;
+  pid : int;  (** issuing OS process *)
+  sql : string;
+  sql_norm : string;
+  kind : stmt_kind;
+  t_start : int;  (** request sent *)
+  t_end : int;  (** response received *)
+  results : (Tid.t * Tid.t list) list;
+      (** produced tuple version -> versions in its lineage *)
+  reads : Tid.t list;  (** tuple versions the statement read *)
+  schema : Schema.t option;
+  rows : Value.t array list;
+  affected : int;
+  response_bytes : int;
+}
+
+type t = {
+  mode : mode;
+  server : Server.t;
+  kernel : Minios.Kernel.t;
+  versioning : Perm.Versioning.t;
+  mutable next_qid : int;
+  mutable log : stmt_event list;  (** newest first *)
+  mutable recorded : Recorder.recorded list;  (** audit-excluded, newest first *)
+  mutable replay_queue : Recorder.recorded list;  (** replay-excluded, in order *)
+  slice : (Tid.t, unit) Hashtbl.t;
+      (** deduplicated tuple versions relevant to the run (the paper's
+          in-memory hash table, §VII-D) *)
+  (* §VII-D: the prototype "immediately computes the provenance for every
+     operation ... and writes these tuples to files on disk". The eager
+     buffers model that write path: server-included audits append each
+     newly-sliced tuple's CSV line on first sight (cold first query, warm
+     repeats), server-excluded audits append each response as recorded.
+     Packaging rebuilds the final artifacts from the dedup table — the
+     buffers carry the I/O cost and serve as a cross-check. *)
+  eager_csv : Buffer.t;
+  eager_recording : Buffer.t;
+}
+
+let create ?(mode = Passthrough) ~kernel (server : Server.t) : t =
+  { mode;
+    server;
+    kernel;
+    versioning = Perm.Versioning.create (Server.db server);
+    next_qid = 0;
+    log = [];
+    recorded = [];
+    replay_queue = [];
+    slice = Hashtbl.create 1024;
+    eager_csv = Buffer.create 4096;
+    eager_recording = Buffer.create 4096 }
+
+let create_replay ~kernel (server : Server.t)
+    (recording : Recorder.recorded list) : t =
+  let t = create ~mode:Replay_excluded ~kernel server in
+  { t with replay_queue = recording }
+
+let log t = List.rev t.log
+let kernel_of t = t.kernel
+let recorded t = List.rev t.recorded
+let mode t = t.mode
+let versioning t = t.versioning
+
+(** Tuple versions accumulated for packaging (before removing
+    application-created versions). *)
+let slice_tids t =
+  Hashtbl.fold (fun tid () acc -> tid :: acc) t.slice []
+  |> List.sort Tid.compare
+
+let eager_csv_bytes t = Buffer.length t.eager_csv
+let eager_recording_bytes t = Buffer.length t.eager_recording
+
+let add_to_slice t tid =
+  if not (Hashtbl.mem t.slice tid) then begin
+    Hashtbl.replace t.slice tid ();
+    (* write the newly relevant tuple out immediately (§VII-D) *)
+    match Perm.Versioning.lookup_version t.versioning tid with
+    | Some values ->
+      Buffer.add_string t.eager_csv (string_of_int tid.Tid.rid);
+      Buffer.add_char t.eager_csv ',';
+      Buffer.add_string t.eager_csv (string_of_int tid.Tid.version);
+      Array.iter
+        (fun v ->
+          Buffer.add_char t.eager_csv ',';
+          Buffer.add_string t.eager_csv
+            (Csv.quote_field (Csv.encode_value v)))
+        values;
+      Buffer.add_char t.eager_csv '\n'
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution per mode.                                       *)
+
+let synthetic_result_tid ~qid ~row ~at =
+  Tid.make ~table:(Printf.sprintf "#q%d" qid) ~rid:row ~version:at
+
+(** Whether a tid denotes a transient query-result tuple rather than a
+    stored tuple version. *)
+let is_result_tid (tid : Tid.t) =
+  String.length tid.Tid.table > 0 && tid.Tid.table.[0] = '#'
+
+let exec_audit_included t ~qid ~pid (ast : Sql_ast.statement) (sql : string) :
+    Protocol.response * (Tid.t * Tid.t list) list * Tid.t list * Schema.t option
+    * Value.t array list * int =
+  let db = Server.db t.server in
+  match ast with
+  | Sql_ast.Explain _ ->
+    (* plan description only; nothing to audit *)
+    let resp = Server.handle t.server (Protocol.Statement { sql }) in
+    (resp, [], [], None, Protocol.response_rows resp, 0)
+  | Sql_ast.Select _ | Sql_ast.Provenance _ ->
+    let prov = Perm.Provenance_sql.query_lineage db sql in
+    List.iter
+      (fun table -> ignore (Perm.Versioning.enable_table t.versioning table))
+      prov.Perm.Provenance_sql.read_tables;
+    let at = Database.clock db in
+    let results =
+      List.mapi
+        (fun i (row : Perm.Provenance_sql.provenance_row) ->
+          let rtid = synthetic_result_tid ~qid ~row:i ~at in
+          let lineage = Tid.Set.elements row.Perm.Provenance_sql.lineage in
+          List.iter
+            (fun tid ->
+              add_to_slice t tid;
+              Perm.Versioning.record_usage t.versioning tid ~qid ~pid ~at)
+            lineage;
+          (rtid, lineage))
+        prov.Perm.Provenance_sql.rows
+    in
+    let reads =
+      Tid.Set.elements (Perm.Provenance_sql.total_lineage prov)
+    in
+    let rows =
+      List.map
+        (fun (r : Perm.Provenance_sql.provenance_row) ->
+          r.Perm.Provenance_sql.values)
+        prov.Perm.Provenance_sql.rows
+    in
+    ( Protocol.Result_set { schema = prov.Perm.Provenance_sql.schema; rows },
+      results,
+      reads,
+      Some prov.Perm.Provenance_sql.schema,
+      rows,
+      List.length rows )
+  | Sql_ast.Insert _ | Sql_ast.Update _ | Sql_ast.Delete _ ->
+    (match ast with
+    | Sql_ast.Insert { table; _ }
+    | Sql_ast.Update { table; _ }
+    | Sql_ast.Delete { table; _ } ->
+      ignore (Perm.Versioning.enable_table t.versioning table)
+    | _ -> ());
+    (* reenact first (provenance of the pre-state), then execute *)
+    let _reenactment, info = Perm.Reenact.execute db ast in
+    let at = Database.clock db in
+    List.iter
+      (fun tid ->
+        add_to_slice t tid;
+        Perm.Versioning.record_usage t.versioning tid ~qid ~pid ~at)
+      info.Database.read;
+    ( Protocol.Command_ok { affected = info.Database.count },
+      info.Database.deps,
+      info.Database.read,
+      None,
+      [],
+      info.Database.count )
+  | Sql_ast.Create_table _ | Sql_ast.Drop_table _ | Sql_ast.Create_index _
+  | Sql_ast.Drop_index _ | Sql_ast.Begin_tx | Sql_ast.Commit_tx
+  | Sql_ast.Rollback_tx ->
+    let resp = Server.handle t.server (Protocol.Statement { sql }) in
+    (resp, [], [], None, [], 0)
+
+let exec_passthrough t (sql : string) = Server.handle t.server (Protocol.Statement { sql })
+
+let exec_replay_excluded t ~(kind : stmt_kind) (sql_norm : string) :
+    Protocol.response =
+  match t.replay_queue with
+  | [] ->
+    raise
+      (Replay_divergence
+         (Printf.sprintf "no recorded response left for %s" sql_norm))
+  | r :: rest ->
+    if not (String.equal r.Recorder.rec_sql_norm sql_norm) then
+      raise
+        (Replay_divergence
+           (Printf.sprintf "expected %s, got %s" r.Recorder.rec_sql_norm
+              sql_norm));
+    t.replay_queue <- rest;
+    (match (kind, r.Recorder.rec_kind) with
+    | Squery, Recorder.Rquery ->
+      Protocol.Result_set
+        { schema = Option.value r.Recorder.rec_schema ~default:[||];
+          rows = r.Recorder.rec_rows }
+    | (Sinsert | Supdate | Sdelete), Recorder.Rdml ->
+      (* writes are acknowledged from the recording and discarded *)
+      Protocol.Command_ok { affected = r.Recorder.rec_affected }
+    | Sddl, Recorder.Rddl -> Protocol.Ddl_ok
+    | _, Recorder.Rerror ->
+      (* the original statement failed: reproduce the failure *)
+      Protocol.Error_response
+        (match r.Recorder.rec_rows with
+        | [ [| Value.Str msg |] ] -> msg
+        | _ -> "server error")
+    | _ ->
+      raise
+        (Replay_divergence
+           (Printf.sprintf "statement kind mismatch for %s" sql_norm)))
+
+(** Execute one statement on behalf of process [pid]. *)
+let execute (t : t) ~pid (sql : string) : Protocol.response =
+  let db = Server.db t.server in
+  let ast = Sql_parser.parse sql in
+  let sql_norm = Pretty.statement_to_string ast in
+  let kind = stmt_kind_of_ast ast in
+  let qid = t.next_qid in
+  t.next_qid <- qid + 1;
+  (* request leaves the client *)
+  let t_start = Minios.Kernel.tick t.kernel in
+  Database.sync_clock db ~at:(Minios.Kernel.now t.kernel);
+  let response, results, reads, schema, rows, affected =
+    match t.mode with
+    | Passthrough ->
+      let resp = exec_passthrough t sql in
+      (resp, [], [], None, Protocol.response_rows resp, 0)
+    | Audit_included -> exec_audit_included t ~qid ~pid ast sql
+    | Audit_excluded ->
+      let resp = exec_passthrough t sql in
+      let rec_kind, rec_schema, rec_rows, rec_affected =
+        match resp with
+        | Protocol.Result_set { schema; rows } ->
+          (Recorder.Rquery, Some schema, rows, List.length rows)
+        | Protocol.Command_ok { affected } ->
+          (Recorder.Rdml, None, [], affected)
+        | Protocol.Error_response msg ->
+          (* the original run failed here; replay must fail identically *)
+          (Recorder.Rerror, None, [ [| Value.Str msg |] ], 0)
+        | Protocol.Ddl_ok | Protocol.Connected _ -> (Recorder.Rddl, None, [], 0)
+      in
+      let record =
+        { Recorder.rec_index = qid;
+          rec_sql_norm = sql_norm;
+          rec_kind;
+          rec_schema;
+          rec_rows;
+          rec_affected }
+      in
+      t.recorded <- record :: t.recorded;
+      (* write the response to the package file as it happens *)
+      Buffer.add_string t.eager_recording (Recorder.encode [ record ]);
+      (resp, [], [], rec_schema, rec_rows, rec_affected)
+    | Replay_excluded ->
+      let resp = exec_replay_excluded t ~kind sql_norm in
+      (resp, [], [], None, Protocol.response_rows resp, 0)
+  in
+  (* response returns to the client *)
+  Minios.Kernel.advance_to t.kernel ~at:(Database.clock db);
+  let t_end = Minios.Kernel.tick t.kernel in
+  t.log <-
+    { qid;
+      pid;
+      sql;
+      sql_norm;
+      kind;
+      t_start;
+      t_end;
+      results;
+      reads;
+      schema;
+      rows;
+      affected;
+      response_bytes = Protocol.response_bytes response }
+    :: t.log;
+  response
+
+(* ------------------------------------------------------------------ *)
+(* Session registry: programs discover their session through the kernel
+   they run on, so application code is mode-agnostic.                  *)
+
+let sessions : (Minios.Kernel.t * t) list ref = ref []
+
+let bind kernel session =
+  sessions := (kernel, session) :: List.filter (fun (k, _) -> k != kernel) !sessions
+
+let unbind kernel = sessions := List.filter (fun (k, _) -> k != kernel) !sessions
+
+let find kernel =
+  match List.find_opt (fun (k, _) -> k == kernel) !sessions with
+  | Some (_, s) -> s
+  | None -> invalid_arg "Interceptor.find: no DB session bound to this kernel"

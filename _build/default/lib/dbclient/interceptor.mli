@@ -1,0 +1,86 @@
+(** The instrumented client library (the paper's modified libpq, §VII-C).
+
+    Every statement a monitored process sends to the DB flows through a
+    session in one of four modes: plain passthrough, audit with DB
+    provenance (server-included), audit with response recording
+    (server-excluded), or replay from a recording. *)
+
+open Minidb
+
+exception Replay_divergence of string
+
+type mode =
+  | Passthrough
+  | Audit_included
+  | Audit_excluded
+  | Replay_excluded
+
+type stmt_kind = Squery | Sinsert | Supdate | Sdelete | Sddl
+
+val stmt_kind_of_ast : Sql_ast.statement -> stmt_kind
+
+(** One audited statement: everything the trace builder needs. *)
+type stmt_event = {
+  qid : int;
+  pid : int;  (** issuing OS process *)
+  sql : string;
+  sql_norm : string;
+  kind : stmt_kind;
+  t_start : int;  (** request sent *)
+  t_end : int;  (** response received *)
+  results : (Tid.t * Tid.t list) list;
+      (** produced tuple version -> versions in its lineage *)
+  reads : Tid.t list;  (** tuple versions the statement read *)
+  schema : Schema.t option;
+  rows : Value.t array list;
+  affected : int;
+  response_bytes : int;
+}
+
+type t
+
+val create : ?mode:mode -> kernel:Minios.Kernel.t -> Server.t -> t
+
+(** A session answering from a recording (server-excluded replay). *)
+val create_replay :
+  kernel:Minios.Kernel.t -> Server.t -> Recorder.recorded list -> t
+
+val log : t -> stmt_event list
+val kernel_of : t -> Minios.Kernel.t
+val recorded : t -> Recorder.recorded list
+val mode : t -> mode
+val versioning : t -> Perm.Versioning.t
+
+(** Tuple versions accumulated for packaging (before removing
+    application-created versions), deduplicated. *)
+val slice_tids : t -> Tid.t list
+
+(** Bytes written so far to the eager package files (§VII-D's immediate
+    persistence): the tuple CSV buffer and the response recording. *)
+val eager_csv_bytes : t -> int
+
+val eager_recording_bytes : t -> int
+
+(** Whether a tid denotes a transient query-result tuple rather than a
+    stored tuple version. *)
+val is_result_tid : Tid.t -> bool
+
+val synthetic_result_tid : qid:int -> row:int -> at:int -> Tid.t
+
+(** Execute one statement on behalf of process [pid].
+    @raise Replay_divergence in replay mode when the statement stream
+    deviates from the recording.
+    @raise Errors.Db_error on parse errors (and, in provenance-auditing
+    mode, on engine errors). *)
+val execute : t -> pid:int -> string -> Protocol.response
+
+(** {2 Session registry}
+
+    Programs discover their session through the kernel they run on, so
+    application code is mode-agnostic. *)
+
+val bind : Minios.Kernel.t -> t -> unit
+val unbind : Minios.Kernel.t -> unit
+
+(** @raise Invalid_argument when no session is bound. *)
+val find : Minios.Kernel.t -> t

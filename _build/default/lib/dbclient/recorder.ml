@@ -1,0 +1,171 @@
+(** Recording and replaying DB responses for server-excluded packages.
+
+    During a server-excluded audit every statement's response is recorded;
+    during replay the recorded responses are substituted for real execution
+    (§VII-D / §VIII). The serialized form lives inside the package, so its
+    byte size is exactly what Figure 9 charges the server-excluded
+    option. *)
+
+open Minidb
+
+type kind = Rquery | Rdml | Rddl | Rerror
+(** [Rerror] records a server error response: the original run failed on
+    this statement, so a faithful replay must fail identically. The error
+    message is stored as the record's single row. *)
+
+type recorded = {
+  rec_index : int;  (** position in the original statement order *)
+  rec_sql_norm : string;  (** normalized statement text, the match key *)
+  rec_kind : kind;
+  rec_schema : Schema.t option;
+  rec_rows : Value.t array list;
+  rec_affected : int;
+}
+
+let kind_tag = function
+  | Rquery -> "Q"
+  | Rdml -> "M"
+  | Rddl -> "D"
+  | Rerror -> "E"
+
+let kind_of_tag = function
+  | "Q" -> Rquery
+  | "M" -> Rdml
+  | "D" -> Rddl
+  | "E" -> Rerror
+  | s -> invalid_arg (Printf.sprintf "Recorder: bad kind tag %S" s)
+
+let ty_tag = function
+  | Value.Tint -> "i"
+  | Value.Tfloat -> "f"
+  | Value.Tstr -> "s"
+  | Value.Tbool -> "b"
+
+let ty_of_tag = function
+  | "i" -> Value.Tint
+  | "f" -> Value.Tfloat
+  | "s" -> Value.Tstr
+  | "b" -> Value.Tbool
+  | s -> invalid_arg (Printf.sprintf "Recorder: bad type tag %S" s)
+
+let encode_schema (s : Schema.t) =
+  Array.to_list s
+  |> List.map (fun (c : Schema.column) ->
+         Printf.sprintf "%s:%s" c.Schema.name (ty_tag c.Schema.ty))
+  |> String.concat ","
+
+let decode_schema (s : string) : Schema.t =
+  if s = "" then [||]
+  else
+    String.split_on_char ',' s
+    |> List.map (fun field ->
+           match String.rindex_opt field ':' with
+           | None -> invalid_arg "Recorder: malformed schema field"
+           | Some i ->
+             Schema.column (String.sub field 0 i)
+               (ty_of_tag
+                  (String.sub field (i + 1) (String.length field - i - 1))))
+    |> Schema.of_list
+
+(* Statements and rows are stored one per line with tab-separated fields;
+   embedded newlines, tabs and backslashes are escaped. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if s.[!i] = '\\' && !i + 1 < n then begin
+      (match s.[!i + 1] with
+      | 'n' -> Buffer.add_char buf '\n'
+      | 't' -> Buffer.add_char buf '\t'
+      | '\\' -> Buffer.add_char buf '\\'
+      | c ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let encode (records : recorded list) : string =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "S\t%d\t%s\t%d\t%s\t%s\n" r.rec_index
+           (kind_tag r.rec_kind) r.rec_affected
+           (match r.rec_schema with
+           | None -> "-"
+           | Some s -> escape (encode_schema s))
+           (escape r.rec_sql_norm));
+      List.iter
+        (fun row ->
+          Buffer.add_string buf "R";
+          Array.iter
+            (fun v ->
+              Buffer.add_char buf '\t';
+              Buffer.add_string buf (escape (Csv.encode_value v)))
+            row;
+          Buffer.add_char buf '\n')
+        r.rec_rows)
+    records;
+  Buffer.contents buf
+
+let decode (data : string) : recorded list =
+  let records = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some r -> records := { r with rec_rows = List.rev r.rec_rows } :: !records
+    | None -> ()
+  in
+  String.split_on_char '\n' data
+  |> List.iter (fun line ->
+         if String.length line = 0 then ()
+         else
+           match String.split_on_char '\t' line with
+           | "S" :: index :: kind :: affected :: schema :: sql ->
+             flush ();
+             current :=
+               Some
+                 { rec_index = int_of_string index;
+                   rec_kind = kind_of_tag kind;
+                   rec_affected = int_of_string affected;
+                   rec_schema =
+                     (if schema = "-" then None
+                      else Some (decode_schema (unescape schema)));
+                   (* the sql field may itself contain tabs *)
+                   rec_sql_norm = unescape (String.concat "\t" sql);
+                   rec_rows = [] }
+           | "R" :: fields ->
+             (match !current with
+             | None -> invalid_arg "Recorder.decode: row before statement"
+             | Some r ->
+               let row =
+                 Array.of_list
+                   (List.map (fun f -> Csv.decode_value (unescape f)) fields)
+               in
+               current := Some { r with rec_rows = row :: r.rec_rows })
+           | _ ->
+             invalid_arg (Printf.sprintf "Recorder.decode: bad line %S" line));
+  flush ();
+  List.rev !records
+
+let byte_size (records : recorded list) : int =
+  String.length (encode records)

@@ -1,0 +1,34 @@
+(** Recording and replaying DB responses for server-excluded packages
+    (§VII-D / §VIII). The serialized form lives inside the package; its
+    byte size is what Figure 9 charges the server-excluded option. *)
+
+open Minidb
+
+type kind =
+  | Rquery
+  | Rdml
+  | Rddl
+  | Rerror
+      (** the original statement failed; replay must fail identically
+          (the message is stored as the record's single row) *)
+
+type recorded = {
+  rec_index : int;  (** position in the original statement order *)
+  rec_sql_norm : string;  (** normalized statement text, the match key *)
+  rec_kind : kind;
+  rec_schema : Schema.t option;
+  rec_rows : Value.t array list;
+  rec_affected : int;
+}
+
+val encode_schema : Schema.t -> string
+
+(** @raise Invalid_argument on malformed input. *)
+val decode_schema : string -> Schema.t
+
+val encode : recorded list -> string
+
+(** @raise Invalid_argument on malformed input. *)
+val decode : string -> recorded list
+
+val byte_size : recorded list -> int

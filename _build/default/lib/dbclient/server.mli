@@ -1,0 +1,65 @@
+(** The DB server as a deployable artifact in the simulated OS: a
+    {!Minidb.Database.t} plus a binary installed in the VFS and a data
+    directory of native table files. Starting the server under tracing
+    makes its binary and data files part of the OS trace — how PTU-style
+    packaging comes to include the full DB (§IX-A). *)
+
+open Minidb
+
+type t
+
+val db : t -> Database.t
+val binary_path : t -> string
+val lib_paths : t -> string list
+val data_dir : t -> string
+val data_file : t -> string -> string
+
+(** {2 Native data-file format}
+
+    A binary image of a table's schema, live versions, and index
+    definitions: loads without per-tuple parsing (like PostgreSQL heap
+    files), which is why PTU replay initialization is cheap while LDV's
+    CSV-subset restore pays per tuple (Figure 7b). *)
+
+type table_image
+
+val table_image : Table.t -> table_image
+val encode_table_image : table_image -> string
+val decode_table_image : string -> table_image
+
+(** Load an image, creating the table and its indexes if needed. *)
+val restore_table_image : Database.t -> table_image -> unit
+
+(** {2 Lifecycle} *)
+
+(** Create a server around a database, installing its binary artifacts
+    into the kernel's VFS. *)
+val install :
+  Minios.Kernel.t ->
+  ?root:string ->
+  ?data_dir:string ->
+  ?binary_size:int ->
+  Database.t ->
+  t
+
+(** Wrap an existing database without touching the VFS (replay side). *)
+val attach : ?root:string -> ?data_dir:string -> Database.t -> t
+
+(** Serialize every table into the data directory (the state valid at the
+    start of the application). *)
+val sync_data_dir : Minios.Kernel.t -> t -> unit
+
+(** Start as a traced OS process that reads its binary, libraries, and
+    data files; returns the server pid. *)
+val start_traced : Minios.Kernel.t -> t -> int
+
+(** Checkpoint tables back to the data directory (observed as writes) and
+    exit the server process. *)
+val stop_traced : Minios.Kernel.t -> t -> unit
+
+(** Execute one protocol request against the backend; engine errors become
+    [Error_response]s. *)
+val handle : t -> Protocol.request -> Protocol.response
+
+(** Restore a table from a native data file (PTU replay). *)
+val load_data_file : t -> string -> unit

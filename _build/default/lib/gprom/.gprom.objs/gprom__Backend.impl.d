@@ -1,0 +1,1 @@
+lib/gprom/backend.ml: Database Errors List Minidb Perm Schema Tid Value

@@ -1,0 +1,1 @@
+lib/gprom/tx_reenact.ml: Backend Format Hashtbl List Minidb Pretty String Tid

@@ -1,0 +1,1 @@
+lib/gprom/tx_reenact.mli: Backend Format Minidb Tid

@@ -1,0 +1,131 @@
+(** Transaction reenactment: GProM's signature capability.
+
+    A transaction is a sequence of DML statements. Its provenance relates
+    every tuple version the transaction produced to the versions that
+    existed *before the transaction started* — intermediate versions
+    created and superseded within the transaction are composed away.
+
+    [run] executes the statements one by one through a backend, collecting
+    per-statement dependency facts, and composes them: if statement 3
+    derives v3 from v2, and statement 1 derived v2 from v1 (v1 pre-dating
+    the transaction), the transaction's provenance maps v3 to {v1}.
+
+    This is exactly the information LDV needs when an audited application
+    uses transactions: the relevant pre-transaction versions go into the
+    package; everything the transaction itself created is regenerated on
+    replay. *)
+
+open Minidb
+
+type t = {
+  tx_written : Tid.t list;  (** final versions surviving the transaction *)
+  tx_intermediate : Tid.t list;  (** versions superseded within the tx *)
+  tx_pre_state : Tid.Set.t;  (** pre-transaction versions read *)
+  tx_deps : (Tid.t * Tid.Set.t) list;
+      (** surviving version -> pre-transaction versions it derives from *)
+  tx_statements : string list;  (** normalized statements, reenactment order *)
+}
+
+(** Compose per-statement dependency and read facts into transaction-level
+    provenance. [start_clock] separates pre-transaction versions (version
+    <= start) from versions the transaction created. *)
+let compose ~start_clock
+    (per_stmt : ((Tid.t * Tid.t list) list * Tid.t list) list) : t =
+  let is_pre (tid : Tid.t) = tid.Tid.version <= start_clock in
+  (* map from every tx-created version to its pre-tx roots *)
+  let roots : (Tid.t, Tid.Set.t) Hashtbl.t = Hashtbl.create 64 in
+  let resolve tid =
+    if is_pre tid then Tid.Set.singleton tid
+    else
+      match Hashtbl.find_opt roots tid with
+      | Some s -> s
+      | None -> Tid.Set.empty (* created from nothing inside the tx *)
+  in
+  List.iter
+    (fun (deps, _) ->
+      List.iter
+        (fun (written, srcs) ->
+          let s =
+            List.fold_left
+              (fun acc d -> Tid.Set.union acc (resolve d))
+              Tid.Set.empty srcs
+          in
+          Hashtbl.replace roots written s)
+        deps)
+    per_stmt;
+  let all_written =
+    List.concat_map (fun (deps, _) -> List.map fst deps) per_stmt
+    |> List.sort_uniq Tid.compare
+  in
+  (* a version is intermediate if a later statement derived another
+     version from it (or deleted it) within the transaction *)
+  let superseded : (Tid.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (deps, reads) ->
+      List.iter
+        (fun (_, srcs) ->
+          List.iter
+            (fun d -> if not (is_pre d) then Hashtbl.replace superseded d ())
+            srcs)
+        deps;
+      (* a delete reads its victims without writing anything *)
+      if deps = [] then
+        List.iter
+          (fun r -> if not (is_pre r) then Hashtbl.replace superseded r ())
+          reads)
+    per_stmt;
+  let surviving, intermediate =
+    List.partition (fun tid -> not (Hashtbl.mem superseded tid)) all_written
+  in
+  (* pre-transaction versions touched: through dependency roots and
+     through plain reads (delete victims in particular) *)
+  let pre_state =
+    List.fold_left
+      (fun acc (deps, reads) ->
+        let acc =
+          List.fold_left
+            (fun acc (_, srcs) ->
+              List.fold_left
+                (fun acc d -> Tid.Set.union acc (resolve d))
+                acc srcs)
+            acc deps
+        in
+        List.fold_left
+          (fun acc r -> Tid.Set.union acc (resolve r))
+          acc reads)
+      Tid.Set.empty per_stmt
+  in
+  { tx_written = surviving;
+    tx_intermediate = intermediate;
+    tx_pre_state = pre_state;
+    tx_deps = List.map (fun tid -> (tid, resolve tid)) surviving;
+    tx_statements = [] }
+
+(** Execute [statements] as one transaction through the backend, returning
+    its composed provenance. On failure the transaction is rolled back and
+    the exception re-raised. *)
+let run (type conn) (module B : Backend.S with type conn = conn) (conn : conn)
+    (statements : string list) : t =
+  let start_clock = B.clock conn in
+  B.command conn "BEGIN";
+  let per_stmt =
+    try List.map (fun sql -> B.dml conn sql) statements
+    with e ->
+      B.command conn "ROLLBACK";
+      raise e
+  in
+  B.command conn "COMMIT";
+  let result = compose ~start_clock per_stmt in
+  { result with tx_statements = List.map Pretty.normalize statements }
+
+(** Render a reenactment report: one line per surviving version with its
+    pre-transaction roots. *)
+let pp ppf (t : t) =
+  Format.fprintf ppf "transaction of %d statements@."
+    (List.length t.tx_statements);
+  List.iter
+    (fun (tid, roots) ->
+      Format.fprintf ppf "  %a <- {%s}@." Tid.pp tid
+        (String.concat ", "
+           (List.map Tid.to_string (Tid.Set.elements roots))))
+    t.tx_deps

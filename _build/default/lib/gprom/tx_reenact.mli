@@ -1,0 +1,29 @@
+(** Transaction reenactment: GProM's signature capability.
+
+    Executes a sequence of DML statements as one transaction and composes
+    their per-statement provenance, relating every surviving tuple version
+    to the versions that existed before the transaction started. *)
+
+open Minidb
+
+type t = {
+  tx_written : Tid.t list;  (** final versions surviving the transaction *)
+  tx_intermediate : Tid.t list;  (** versions superseded within the tx *)
+  tx_pre_state : Tid.Set.t;  (** pre-transaction versions read *)
+  tx_deps : (Tid.t * Tid.Set.t) list;
+      (** surviving version -> pre-transaction versions it derives from *)
+  tx_statements : string list;  (** normalized statements, in order *)
+}
+
+(** Compose per-statement (dependencies, reads) facts into
+    transaction-level provenance. [start_clock] separates pre-transaction
+    versions (version <= start) from versions the transaction created. *)
+val compose :
+  start_clock:int -> ((Tid.t * Tid.t list) list * Tid.t list) list -> t
+
+(** Execute [statements] as one transaction through the backend. On
+    failure the transaction is rolled back and the exception re-raised. *)
+val run :
+  (module Backend.S with type conn = 'conn) -> 'conn -> string list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ldv_core/audit.ml: Array Buffer Dbclient Digest Fun List Minidb Minios Option Prov Value

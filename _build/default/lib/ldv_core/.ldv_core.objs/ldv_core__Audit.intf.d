@@ -1,0 +1,1 @@
+lib/ldv_core/audit.mli: Dbclient Minidb Minios Prov

@@ -1,0 +1,1 @@
+lib/ldv_core/package.ml: Audit Buffer Dbclient Fun List Minios Printf Prov Slice String

@@ -1,0 +1,1 @@
+lib/ldv_core/package.mli: Audit Dbclient Minios Prov

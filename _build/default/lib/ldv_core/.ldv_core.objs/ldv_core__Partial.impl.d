@@ -1,0 +1,1 @@
+lib/ldv_core/partial.ml: Array Csv Dbclient Format Hashtbl List Minidb Package Prov String Tid

@@ -1,0 +1,1 @@
+lib/ldv_core/partial.mli: Format Minidb Package Prov Tid

@@ -1,0 +1,1 @@
+lib/ldv_core/ptu.ml: Audit Dbclient Minios Package Prov

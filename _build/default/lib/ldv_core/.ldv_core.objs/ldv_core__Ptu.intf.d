@@ -1,0 +1,1 @@
+lib/ldv_core/ptu.mli: Audit Dbclient Minios Package

@@ -1,0 +1,1 @@
+lib/ldv_core/replay.ml: Audit Catalog Csv Database Dbclient Format Fun List Minidb Minios Package String Table

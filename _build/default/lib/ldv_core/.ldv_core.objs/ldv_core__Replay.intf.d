@@ -1,0 +1,1 @@
+lib/ldv_core/replay.mli: Audit Dbclient Minios Package

@@ -1,0 +1,1 @@
+lib/ldv_core/report.ml: Array List Printf String

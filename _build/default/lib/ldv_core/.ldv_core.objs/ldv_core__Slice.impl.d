@@ -1,0 +1,1 @@
+lib/ldv_core/slice.ml: Array Audit Catalog Csv Database Dbclient Hashtbl List Minidb Perm Printf Prov Schema String Table Tid Value

@@ -1,0 +1,1 @@
+lib/ldv_core/slice.mli: Audit Database Dbclient Minidb Prov Tid

@@ -1,0 +1,1 @@
+lib/ldv_core/vmi.mli: Dbclient Minios

@@ -1,0 +1,245 @@
+(** ldv-audit: run an application under combined OS+DB monitoring
+    (§VII).
+
+    The auditor wires together the ptrace-style tracer (OS side), the
+    instrumented DB client session (DB side), and — for the server-included
+    option — a traced DB server process. After the run it assembles the
+    combined execution trace of Definition 6: the P_BB portion from the
+    syscall stream, the P_Lin portion plus [run]/[readFromDb] cross edges
+    from the statement log, and tuple-level direct dependencies from the
+    recorded lineage. *)
+
+open Minidb
+module I = Dbclient.Interceptor
+
+type packaging =
+  | Included  (** LDV server-included: traced server + DB provenance *)
+  | Excluded  (** LDV server-excluded: external server, recorded responses *)
+  | Ptu_baseline
+      (** the paper's PostgreSQL+PTU baseline: traced server, plain libpq —
+          OS provenance only, full DB lands in the package *)
+
+type t = {
+  packaging : packaging;
+  kernel : Minios.Kernel.t;
+  server : Dbclient.Server.t;
+  tracer : Minios.Tracer.t;
+  session : I.t;
+  trace : Prov.Trace.t;
+  app_name : string;  (** program-registry name *)
+  app_binary : string;
+  root_pid : int;
+  server_pid : int option;
+  out_files : (string * string) list;
+      (** files the app wrote, with final contents (ground truth for
+          replay verification) *)
+  query_fingerprints : (int * string) list;
+      (** qid -> digest of result rows, ground truth for verification *)
+}
+
+let kind_of_stmt = function
+  | I.Squery -> Some Prov.Lineage_model.Query
+  | I.Sinsert -> Some Prov.Lineage_model.Insert
+  | I.Supdate -> Some Prov.Lineage_model.Update
+  | I.Sdelete -> Some Prov.Lineage_model.Delete
+  | I.Sddl -> None
+
+let rows_fingerprint (rows : Value.t array list) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun row ->
+      Array.iter
+        (fun v ->
+          Buffer.add_string buf (Value.to_raw_string v);
+          Buffer.add_char buf '\x1f')
+        row;
+      Buffer.add_char buf '\n')
+    rows;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(** Build the combined execution trace from the tracer's syscall stream and
+    the interceptor's statement log. *)
+let build_trace (tracer : Minios.Tracer.t) (stmts : I.stmt_event list) :
+    Prov.Trace.t =
+  let trace = Prov.Combined.create () in
+  Minios.Tracer.build_bb_into tracer trace;
+  List.iter
+    (fun (s : I.stmt_event) ->
+      match kind_of_stmt s.I.kind with
+      | None -> ()
+      | Some kind ->
+        let time = Prov.Interval.make s.I.t_start s.I.t_end in
+        ignore
+          (Prov.Lineage_model.add_statement trace ~qid:s.I.qid ~kind
+             ~sql:s.I.sql_norm);
+        (* the issuing process may be unknown to the tracer if tracing
+           started late; create it defensively *)
+        if not (Prov.Trace.mem_node trace (Prov.Bb_model.process_id s.I.pid))
+        then ignore (Prov.Bb_model.add_process trace ~pid:s.I.pid ~name:"proc");
+        ignore (Prov.Combined.run trace ~pid:s.I.pid ~qid:s.I.qid ~time);
+        (* input tuple versions *)
+        List.iter
+          (fun tid ->
+            ignore (Prov.Lineage_model.add_tuple trace tid);
+            ignore (Prov.Lineage_model.has_read trace ~qid:s.I.qid ~tid ~time))
+          s.I.reads;
+        (* produced tuple versions and their registered dependencies *)
+        List.iter
+          (fun (rtid, lineage) ->
+            ignore (Prov.Lineage_model.add_tuple trace rtid);
+            ignore
+              (Prov.Lineage_model.has_returned trace ~qid:s.I.qid ~tid:rtid
+                 ~time);
+            (match s.I.kind with
+            | I.Squery ->
+              (* the client consumed the result rows *)
+              ignore
+                (Prov.Combined.read_from_db trace ~pid:s.I.pid ~tid:rtid ~time)
+            | _ -> ());
+            List.iter
+              (fun src ->
+                Prov.Lineage_model.depends_on trace ~result:rtid ~source:src)
+              lineage)
+          s.I.results)
+    stmts;
+  trace
+
+(** Files written by the traced application (excluding the DB server's own
+    checkpoint writes). *)
+let written_files (tracer : Minios.Tracer.t) ~(exclude_pids : int list)
+    (vfs : Minios.Vfs.t) : (string * string) list =
+  Minios.Tracer.file_accesses tracer
+  |> List.filter_map (fun (fa : Minios.Tracer.file_access) ->
+         if
+           fa.Minios.Tracer.fa_mode = Minios.Syscall.Write
+           && not (List.mem fa.Minios.Tracer.fa_pid exclude_pids)
+         then
+           match Minios.Vfs.content vfs fa.Minios.Tracer.fa_path with
+           | Minios.Vfs.Data s -> Some (fa.Minios.Tracer.fa_path, s)
+           | Minios.Vfs.Opaque _ -> None
+           | exception Not_found -> None
+         else None)
+  |> List.sort_uniq compare
+
+(** Run [program] under full LDV monitoring.
+
+    The kernel must already contain the application's files; the server
+    must be installed around the database the app will use. For
+    [Included] packaging the server is started and stopped as a traced
+    process (its binary and data files become part of the OS trace); for
+    [Excluded] the server is treated as external and only the client-side
+    interposition records its responses. *)
+let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
+    (server : Dbclient.Server.t) ~app_name ~app_binary ?(app_libs = [])
+    (program : Minios.Program.program) : t =
+  let tracer = Minios.Tracer.create () in
+  Minios.Tracer.attach tracer kernel;
+  let server_pid =
+    match packaging with
+    | Included | Ptu_baseline ->
+      Some (Dbclient.Server.start_traced kernel server)
+    | Excluded -> None
+  in
+  let mode =
+    match packaging with
+    | Included -> I.Audit_included
+    | Excluded -> I.Audit_excluded
+    | Ptu_baseline -> I.Passthrough
+  in
+  let session = I.create ~mode ~kernel server in
+  I.bind kernel session;
+  let root_pid =
+    Fun.protect
+      ~finally:(fun () -> I.unbind kernel)
+      (fun () ->
+        Minios.Program.run kernel ~binary:app_binary ~libs:app_libs
+          ~name:app_name program)
+  in
+  (match packaging with
+  | Included | Ptu_baseline -> Dbclient.Server.stop_traced kernel server
+  | Excluded -> ());
+  Minios.Tracer.detach kernel;
+  let stmts = I.log session in
+  let trace =
+    match packaging with
+    | Ptu_baseline ->
+      (* plain libpq: PTU sees only the OS side *)
+      build_trace tracer []
+    | Included | Excluded -> build_trace tracer stmts
+  in
+  let exclude_pids = Option.to_list server_pid in
+  let out_files =
+    written_files tracer ~exclude_pids (Minios.Kernel.vfs kernel)
+  in
+  let query_fingerprints =
+    List.filter_map
+      (fun (s : I.stmt_event) ->
+        if s.I.kind = I.Squery then Some (s.I.qid, rows_fingerprint s.I.rows)
+        else None)
+      stmts
+  in
+  { packaging;
+    kernel;
+    server;
+    tracer;
+    session;
+    trace;
+    app_name;
+    app_binary;
+    root_pid;
+    server_pid;
+    out_files;
+    query_fingerprints }
+
+(** The compact trace embedded in packages. The in-memory trace carries
+    per-result-row lineage (needed for provenance queries); persisting that
+    for every query repetition would dwarf the tuple subset itself. As in
+    the paper, the packaged provenance materializes query lineage as the
+    relevant-tuple CSVs, so the packaged trace keeps only the OS portion,
+    the statement log with [run] edges, and DML provenance (written
+    versions and the pre-versions they derive from). *)
+let compact_trace (t : t) : Prov.Trace.t =
+  let trace = Prov.Combined.create () in
+  Minios.Tracer.build_bb_into t.tracer trace;
+  List.iter
+    (fun (s : I.stmt_event) ->
+      match kind_of_stmt s.I.kind with
+      | None -> ()
+      | Some kind ->
+        let time = Prov.Interval.make s.I.t_start s.I.t_end in
+        ignore
+          (Prov.Lineage_model.add_statement trace ~qid:s.I.qid ~kind
+             ~sql:s.I.sql_norm);
+        if not (Prov.Trace.mem_node trace (Prov.Bb_model.process_id s.I.pid))
+        then ignore (Prov.Bb_model.add_process trace ~pid:s.I.pid ~name:"proc");
+        ignore (Prov.Combined.run trace ~pid:s.I.pid ~qid:s.I.qid ~time);
+        match s.I.kind with
+        | I.Squery | I.Sddl -> ()
+        | I.Sinsert | I.Supdate | I.Sdelete ->
+          List.iter
+            (fun tid ->
+              ignore (Prov.Lineage_model.add_tuple trace tid);
+              ignore
+                (Prov.Lineage_model.has_read trace ~qid:s.I.qid ~tid ~time))
+            s.I.reads;
+          List.iter
+            (fun (rtid, lineage) ->
+              ignore (Prov.Lineage_model.add_tuple trace rtid);
+              ignore
+                (Prov.Lineage_model.has_returned trace ~qid:s.I.qid ~tid:rtid
+                   ~time);
+              List.iter
+                (fun src ->
+                  Prov.Lineage_model.depends_on trace ~result:rtid ~source:src)
+                lineage)
+            s.I.results)
+    (I.log t.session);
+  trace
+
+(** Convenience: pids belonging to the application (everything traced minus
+    the server process). *)
+let app_pids (t : t) : int list =
+  Minios.Tracer.spawns t.tracer
+  |> List.filter_map (fun (sp : Minios.Tracer.spawn_info) ->
+         if Some sp.Minios.Tracer.sp_pid = t.server_pid then None
+         else Some sp.Minios.Tracer.sp_pid)

@@ -1,0 +1,65 @@
+(** ldv-audit: run an application under combined OS+DB monitoring (§VII)
+    and assemble the combined execution trace of Definition 6. *)
+
+module I := Dbclient.Interceptor
+
+type packaging =
+  | Included  (** LDV server-included: traced server + DB provenance *)
+  | Excluded  (** LDV server-excluded: external server, recorded responses *)
+  | Ptu_baseline
+      (** the paper's PostgreSQL+PTU baseline: traced server, plain libpq —
+          OS provenance only *)
+
+type t = {
+  packaging : packaging;
+  kernel : Minios.Kernel.t;
+  server : Dbclient.Server.t;
+  tracer : Minios.Tracer.t;
+  session : I.t;
+  trace : Prov.Trace.t;  (** full combined trace, with per-row lineage *)
+  app_name : string;
+  app_binary : string;
+  root_pid : int;
+  server_pid : int option;
+  out_files : (string * string) list;
+      (** files the app wrote, with final contents (replay ground truth) *)
+  query_fingerprints : (int * string) list;
+      (** qid -> digest of result rows (replay ground truth) *)
+}
+
+val rows_fingerprint : Minidb.Value.t array list -> string
+
+(** Assemble a combined trace from a syscall stream and a statement log
+    (used by {!run} and by replay-validation tooling). *)
+val build_trace : Minios.Tracer.t -> I.stmt_event list -> Prov.Trace.t
+
+(** Files written by traced processes outside [exclude_pids], with final
+    contents. *)
+val written_files :
+  Minios.Tracer.t ->
+  exclude_pids:int list ->
+  Minios.Vfs.t ->
+  (string * string) list
+
+(** Run [program] under full LDV monitoring. The kernel must already hold
+    the application's files; the server must be installed around the
+    database the app uses. [Included]/[Ptu_baseline] start and stop the
+    server as a traced process. *)
+val run :
+  packaging:packaging ->
+  Minios.Kernel.t ->
+  Dbclient.Server.t ->
+  app_name:string ->
+  app_binary:string ->
+  ?app_libs:string list ->
+  Minios.Program.program ->
+  t
+
+(** The compact trace embedded in packages: OS portion + statement log +
+    DML provenance. Query lineage is materialized as the packaged tuple
+    subset instead (see DESIGN.md). *)
+val compact_trace : t -> Prov.Trace.t
+
+(** Pids belonging to the application (everything traced minus the server
+    process). *)
+val app_pids : t -> int list

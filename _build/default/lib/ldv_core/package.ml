@@ -1,0 +1,287 @@
+(** LDV repeatability packages (§VII-D) and the PTU baseline package.
+
+    A package holds: the files the traced execution touched (copied
+    CDE-style into a chroot-like root), the serialized execution trace,
+    and the DB content appropriate to its kind —
+
+    - [Server_included]: server binaries, table DDL, and the relevant
+      tuple subset as CSVs (an otherwise *empty* data directory);
+    - [Server_excluded]: no server artifacts at all, plus the recorded
+      query responses for replay;
+    - [Ptu_full]: the application-virtualization baseline — everything the
+      traced processes touched, including the DB server and its complete
+      data files, with OS provenance but no DB provenance. *)
+
+
+type kind = Server_included | Server_excluded | Ptu_full
+
+let kind_name = function
+  | Server_included -> "server-included"
+  | Server_excluded -> "server-excluded"
+  | Ptu_full -> "ptu"
+
+type entry = {
+  e_path : string;
+  e_size : int;
+  e_content : Minios.Vfs.content option;
+      (** [None] for files recorded as written outputs: the path is
+          recreated but no contents are shipped *)
+}
+
+type t = {
+  kind : kind;
+  app_name : string;
+  app_binary : string;
+  entries : entry list;
+  db_subset : (string * string) list;  (** table -> CSV (server-included) *)
+  db_schemas : (string * string) list;  (** table -> DDL (server-included) *)
+  recording : Dbclient.Recorder.recorded list;  (** server-excluded *)
+  trace_data : string;  (** serialized combined execution trace *)
+  metadata : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Size accounting.                                                    *)
+
+let entries_bytes (t : t) =
+  List.fold_left (fun acc e -> acc + e.e_size) 0 t.entries
+
+let db_subset_bytes (t : t) =
+  List.fold_left (fun acc (_, csv) -> acc + String.length csv) 0 t.db_subset
+
+let recording_bytes (t : t) = Dbclient.Recorder.byte_size t.recording
+
+let trace_bytes (t : t) = String.length t.trace_data
+
+let total_bytes (t : t) =
+  entries_bytes t + db_subset_bytes t + recording_bytes t + trace_bytes t
+  + List.fold_left
+      (fun acc (_, ddl) -> acc + String.length ddl)
+      0 t.db_schemas
+
+(** Path -> size manifest, for inspection. *)
+let manifest (t : t) : (string * int) list =
+  List.map (fun e -> (e.e_path, e.e_size)) t.entries
+  @ List.map
+      (fun (table, csv) -> ("db/" ^ table ^ ".csv", String.length csv))
+      t.db_subset
+  @ (if t.recording = [] then []
+     else [ ("db/recording.log", recording_bytes t) ])
+  @ [ ("trace.ldv", trace_bytes t) ]
+
+(** Table III's content matrix for this package. *)
+type contents_summary = {
+  has_software_binaries : bool;
+  has_db_server : bool;
+  data_files : [ `Full | `Empty | `None ];
+  has_db_provenance : bool;
+}
+
+let summarize (t : t) : contents_summary =
+  match t.kind with
+  | Ptu_full ->
+    { has_software_binaries = true;
+      has_db_server = true;
+      data_files = `Full;
+      has_db_provenance = false }
+  | Server_included ->
+    { has_software_binaries = true;
+      has_db_server = true;
+      data_files = `Empty;
+      has_db_provenance = true }
+  | Server_excluded ->
+    { has_software_binaries = true;
+      has_db_server = false;
+      data_files = `None;
+      has_db_provenance = true }
+
+(* ------------------------------------------------------------------ *)
+(* Package construction.                                               *)
+
+let under prefix path =
+  let n = String.length prefix in
+  String.length path > n
+  && String.sub path 0 n = prefix
+  && (n = 0 || path.[n] = '/')
+
+(* Collect file entries from the trace: every path opened for reading gets
+   its first-read snapshot copied in; write-only paths are recreated
+   empty. *)
+let collect_entries (audit : Audit.t) ~(exclude : string -> bool) :
+    entry list =
+  let vfs = Minios.Kernel.vfs audit.Audit.kernel in
+  Minios.Tracer.touched_paths audit.Audit.tracer
+  |> List.filter_map (fun (path, modes) ->
+         if exclude path then None
+         else if List.mem Minios.Syscall.Read modes then
+           match
+             Minios.Tracer.snapshot_content audit.Audit.tracer vfs path
+           with
+           | Some content ->
+             Some
+               { e_path = path;
+                 e_size = Minios.Vfs.content_size content;
+                 e_content = Some content }
+           | None -> None
+         else Some { e_path = path; e_size = 0; e_content = None })
+
+let base_metadata (audit : Audit.t) =
+  [ ("app", audit.Audit.app_name);
+    ("binary", audit.Audit.app_binary);
+    ("root_pid", string_of_int audit.Audit.root_pid) ]
+
+(** Build a server-included package: server binaries and libraries come
+    along (they were read by the traced server process), raw DB data files
+    are dropped in favour of the relevant tuple subset. *)
+let build_included (audit : Audit.t) : t =
+  let data_dir = Dbclient.Server.data_dir audit.Audit.server in
+  let entries = collect_entries audit ~exclude:(under data_dir) in
+  let db = Dbclient.Server.db audit.Audit.server in
+  let tids = Slice.relevant audit in
+  { kind = Server_included;
+    app_name = audit.Audit.app_name;
+    app_binary = audit.Audit.app_binary;
+    entries;
+    db_subset = Slice.to_csvs db tids;
+    db_schemas = Slice.schema_ddl_for db (Slice.accessed_tables audit tids);
+    recording = [];
+    trace_data = Prov.Trace.serialize (Audit.compact_trace audit);
+    metadata = base_metadata audit @ [ ("packaging", "included") ] }
+
+(** Build a server-excluded package: no server artifacts, recorded
+    responses instead. *)
+let build_excluded (audit : Audit.t) : t =
+  let server = audit.Audit.server in
+  let data_dir = Dbclient.Server.data_dir server in
+  let server_files =
+    Dbclient.Server.binary_path server :: Dbclient.Server.lib_paths server
+  in
+  let exclude path = under data_dir path || List.mem path server_files in
+  let entries = collect_entries audit ~exclude in
+  { kind = Server_excluded;
+    app_name = audit.Audit.app_name;
+    app_binary = audit.Audit.app_binary;
+    entries;
+    db_subset = [];
+    db_schemas = [];
+    recording = Dbclient.Interceptor.recorded audit.Audit.session;
+    trace_data = Prov.Trace.serialize (Audit.compact_trace audit);
+    metadata = base_metadata audit @ [ ("packaging", "excluded") ] }
+
+(** Build the package appropriate for how the audit was run. PTU baselines
+    are packaged by {!Ptu.build}. *)
+let build (audit : Audit.t) : t =
+  match audit.Audit.packaging with
+  | Audit.Included -> build_included audit
+  | Audit.Excluded -> build_excluded audit
+  | Audit.Ptu_baseline ->
+    invalid_arg "Package.build: use Ptu.build for PTU baseline audits"
+
+(* ------------------------------------------------------------------ *)
+(* Whole-package serialization (for writing packages to a real file and
+   round-tripping them through the CLI).                                *)
+
+let b64 = Fun.id (* entries may contain arbitrary bytes; keep raw with length prefixes *)
+
+let to_bytes (t : t) : string =
+  let buf = Buffer.create 65536 in
+  let section name payload =
+    Buffer.add_string buf
+      (Printf.sprintf "@%s %d\n" name (String.length payload));
+    Buffer.add_string buf payload;
+    Buffer.add_char buf '\n'
+  in
+  section "kind" (kind_name t.kind);
+  section "app" t.app_name;
+  section "binary" t.app_binary;
+  List.iter (fun (k, v) -> section ("meta:" ^ k) v) t.metadata;
+  List.iter
+    (fun e ->
+      match e.e_content with
+      | Some (Minios.Vfs.Data s) -> section ("file:" ^ e.e_path) (b64 s)
+      | Some (Minios.Vfs.Opaque n) ->
+        section ("opaque:" ^ e.e_path) (string_of_int n)
+      | None -> section ("output:" ^ e.e_path) "")
+    t.entries;
+  List.iter (fun (tbl, ddl) -> section ("schema:" ^ tbl) ddl) t.db_schemas;
+  List.iter (fun (tbl, csv) -> section ("csv:" ^ tbl) csv) t.db_subset;
+  if t.recording <> [] then
+    section "recording" (Dbclient.Recorder.encode t.recording);
+  section "trace" t.trace_data;
+  Buffer.contents buf
+
+let of_bytes (data : string) : t =
+  let pos = ref 0 in
+  let n = String.length data in
+  let sections = ref [] in
+  while !pos < n do
+    if data.[!pos] <> '@' then
+      invalid_arg "Package.of_bytes: expected section header";
+    let nl = String.index_from data !pos '\n' in
+    let header = String.sub data (!pos + 1) (nl - !pos - 1) in
+    let name, len =
+      match String.rindex_opt header ' ' with
+      | None -> invalid_arg "Package.of_bytes: malformed header"
+      | Some i ->
+        ( String.sub header 0 i,
+          int_of_string (String.sub header (i + 1) (String.length header - i - 1))
+        )
+    in
+    let payload = String.sub data (nl + 1) len in
+    sections := (name, payload) :: !sections;
+    pos := nl + 1 + len + 1
+  done;
+  let sections = List.rev !sections in
+  let get name =
+    match List.assoc_opt name sections with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Package.of_bytes: missing %s" name)
+  in
+  let with_prefix prefix =
+    List.filter_map
+      (fun (name, payload) ->
+        let pl = String.length prefix in
+        if String.length name > pl && String.sub name 0 pl = prefix then
+          Some (String.sub name pl (String.length name - pl), payload)
+        else None)
+      sections
+  in
+  let kind =
+    match get "kind" with
+    | "server-included" -> Server_included
+    | "server-excluded" -> Server_excluded
+    | "ptu" -> Ptu_full
+    | k -> invalid_arg (Printf.sprintf "Package.of_bytes: bad kind %S" k)
+  in
+  let entries =
+    List.map
+      (fun (path, payload) ->
+        { e_path = path;
+          e_size = String.length payload;
+          e_content = Some (Minios.Vfs.Data payload) })
+      (with_prefix "file:")
+    @ List.map
+        (fun (path, payload) ->
+          let size = int_of_string payload in
+          { e_path = path; e_size = size; e_content = Some (Minios.Vfs.Opaque size) })
+        (with_prefix "opaque:")
+    @ List.map
+        (fun (path, _) -> { e_path = path; e_size = 0; e_content = None })
+        (with_prefix "output:")
+  in
+  { kind;
+    app_name = get "app";
+    app_binary = get "binary";
+    entries;
+    db_subset = with_prefix "csv:";
+    db_schemas = with_prefix "schema:";
+    recording =
+      (match List.assoc_opt "recording" sections with
+      | Some r -> Dbclient.Recorder.decode r
+      | None -> []);
+    trace_data = get "trace";
+    metadata = with_prefix "meta:" }
+
+(** The execution trace embedded in the package. *)
+let trace (t : t) : Prov.Trace.t =
+  Prov.Trace.deserialize Prov.Combined.model t.trace_data

@@ -1,0 +1,78 @@
+(** LDV repeatability packages (§VII-D) and the PTU baseline package. *)
+
+type kind =
+  | Server_included
+      (** server binaries + table DDL + the relevant tuple subset as CSVs *)
+  | Server_excluded  (** no server artifacts; recorded responses instead *)
+  | Ptu_full
+      (** application-virtualization baseline: everything the traced
+          processes touched, full DB data files included *)
+
+val kind_name : kind -> string
+
+type entry = {
+  e_path : string;
+  e_size : int;
+  e_content : Minios.Vfs.content option;
+      (** [None] for write-only outputs: the path is recreated but no
+          contents are shipped *)
+}
+
+type t = {
+  kind : kind;
+  app_name : string;  (** program-registry name used at replay *)
+  app_binary : string;
+  entries : entry list;
+  db_subset : (string * string) list;  (** table -> CSV *)
+  db_schemas : (string * string) list;  (** table -> DDL *)
+  recording : Dbclient.Recorder.recorded list;
+  trace_data : string;  (** serialized compact execution trace *)
+  metadata : (string * string) list;
+}
+
+(** {2 Size accounting} *)
+
+val entries_bytes : t -> int
+val db_subset_bytes : t -> int
+val recording_bytes : t -> int
+val trace_bytes : t -> int
+val total_bytes : t -> int
+
+(** Path -> size manifest, for inspection. *)
+val manifest : t -> (string * int) list
+
+(** {2 Table III's contents matrix} *)
+
+type contents_summary = {
+  has_software_binaries : bool;
+  has_db_server : bool;
+  data_files : [ `Full | `Empty | `None ];
+  has_db_provenance : bool;
+}
+
+val summarize : t -> contents_summary
+
+(** {2 Construction} *)
+
+(** CDE-style file collection from an audit: every path read gets its
+    first-access snapshot; write-only paths are recreated empty. *)
+val collect_entries : Audit.t -> exclude:(string -> bool) -> entry list
+
+val base_metadata : Audit.t -> (string * string) list
+
+val build_included : Audit.t -> t
+val build_excluded : Audit.t -> t
+
+(** Dispatch on the audit's packaging mode.
+    @raise Invalid_argument on PTU audits (use {!Ptu.build}). *)
+val build : Audit.t -> t
+
+(** {2 Whole-package serialization} *)
+
+val to_bytes : t -> string
+
+(** @raise Invalid_argument on malformed input. *)
+val of_bytes : string -> t
+
+(** The execution trace embedded in the package. *)
+val trace : t -> Prov.Trace.t

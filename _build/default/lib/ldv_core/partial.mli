@@ -1,0 +1,33 @@
+(** Partial re-execution support (§II items (ii)/(iii), §VIII):
+    temporally-pruned backward slicing from a chosen output, and package
+    slimming down to the slice. *)
+
+open Minidb
+
+type requirement = {
+  req_files : string list;  (** file paths in the backward slice *)
+  req_tuples : Tid.Set.t;  (** stored tuple versions in the slice *)
+  req_statements : int list;  (** qids of contributing statements *)
+  req_processes : int list;  (** pids of contributing processes *)
+}
+
+(** Backward slice from [target] (a trace node id, e.g.
+    ["file:/app/out/results.csv"]), using the temporally-restricted
+    inference of Definition 11: an input read after the target was
+    produced is excluded even when the same process read it. Compute this
+    against the full audit trace ([Audit.t.trace]); the compact packaged
+    trace does not carry query lineage. *)
+val requirements : Prov.Trace.t -> target:string -> requirement
+
+(** Requirements against the package's own embedded (compact) trace —
+    OS-level slicing only. *)
+val requirements_of_package : Package.t -> target:string -> requirement
+
+(** Strip a server-included package to the union of the given slices:
+    file entries and tuple versions outside every slice are dropped.
+    Replaying a slimmed package requires a program performing only the
+    sliced part of the work.
+    @raise Invalid_argument on non-server-included packages. *)
+val slim : Package.t -> requirement list -> Package.t
+
+val pp_requirement : Format.formatter -> requirement -> unit

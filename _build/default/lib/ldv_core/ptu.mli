@@ -1,0 +1,18 @@
+(** The PTU baseline (§IX-A, Table III): application virtualization with
+    OS-level provenance — the whole experiment, DB server included, runs
+    under tracing and every touched file lands in the package. *)
+
+(** Audit the PTU way: traced server, plain (uninstrumented) client
+    library. *)
+val run :
+  Minios.Kernel.t ->
+  Dbclient.Server.t ->
+  app_name:string ->
+  app_binary:string ->
+  ?app_libs:string list ->
+  Minios.Program.program ->
+  Audit.t
+
+(** All touched files, full DB data files included, OS provenance graph
+    attached. *)
+val build : Audit.t -> Package.t

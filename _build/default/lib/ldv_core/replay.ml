@@ -1,0 +1,149 @@
+(** ldv-exec: re-executing packages (§VIII).
+
+    [prepare] rebuilds the chroot-like environment from the package and
+    initializes the DB side (this is Figure 7b's "Initialization" bar):
+
+    - server-included: create the accessed tables and restore the relevant
+      tuple subset from the packaged CSVs, tuple by tuple;
+    - PTU: load the server's native data files (cheap bulk load);
+    - server-excluded: nothing to restore — queue the recorded responses.
+
+    [run] then re-executes the application with file syscalls resolving
+    inside the package environment and DB calls redirected to the packaged
+    server or to the recorded-response replayer. [verify] checks
+    repeatability against the original audit: byte-identical output files
+    and per-query result fingerprints. *)
+
+open Minidb
+module I = Dbclient.Interceptor
+
+type prepared = {
+  pkg : Package.t;
+  kernel : Minios.Kernel.t;
+  server : Dbclient.Server.t;
+  session : I.t;
+}
+
+(** Rebuild the package environment and initialize its DB state. *)
+let prepare (pkg : Package.t) : prepared =
+  let kernel = Minios.Kernel.create () in
+  let vfs = Minios.Kernel.vfs kernel in
+  List.iter
+    (fun (e : Package.entry) ->
+      match e.Package.e_content with
+      | Some content -> Minios.Vfs.write vfs ~path:e.Package.e_path content
+      | None -> ())
+    pkg.Package.entries;
+  let db = Database.create ~name:"package" () in
+  let server = Dbclient.Server.attach db in
+  (match pkg.Package.kind with
+  | Package.Server_included ->
+    (* create accessed tables, then restore the relevant subset from CSV,
+       tuple by tuple (the expensive initialization of Fig. 7b) *)
+    List.iter
+      (fun (_, ddl) -> ignore (Database.exec db ddl))
+      pkg.Package.db_schemas;
+    List.iter
+      (fun (table, csv) ->
+        let tbl = Catalog.find (Database.catalog db) table in
+        List.iter
+          (fun (rid, version, values) ->
+            ignore (Table.restore_version tbl ~rid ~version values);
+            Database.sync_clock db ~at:version)
+          (Csv.decode_versions csv))
+      pkg.Package.db_subset
+  | Package.Ptu_full ->
+    (* bulk-load the server's own data files from the package *)
+    List.iter
+      (fun path ->
+        match Minios.Vfs.content vfs path with
+        | Minios.Vfs.Data image -> Dbclient.Server.load_data_file server image
+        | Minios.Vfs.Opaque _ -> ())
+      (Minios.Vfs.paths_under vfs (Dbclient.Server.data_dir server))
+  | Package.Server_excluded -> ());
+  let session =
+    match pkg.Package.kind with
+    | Package.Server_excluded ->
+      I.create_replay ~kernel server pkg.Package.recording
+    | Package.Server_included | Package.Ptu_full ->
+      I.create ~mode:I.Passthrough ~kernel server
+  in
+  { pkg; kernel; server; session }
+
+type run_result = {
+  root_pid : int;
+  session : I.t;
+  kernel : Minios.Kernel.t;
+  out_files : (string * string) list;
+  query_fingerprints : (int * string) list;
+}
+
+(** Re-execute the packaged application. The program is looked up in the
+    registry under the package's app name unless overridden (partial
+    re-execution / modified inputs use the override). *)
+let run ?(program : Minios.Program.program option) (p : prepared) : run_result =
+  let program =
+    match program with
+    | Some prog -> prog
+    | None -> Minios.Program.lookup p.pkg.Package.app_name
+  in
+  let tracer = Minios.Tracer.create () in
+  Minios.Tracer.attach tracer p.kernel;
+  I.bind p.kernel p.session;
+  let root_pid =
+    Fun.protect
+      ~finally:(fun () ->
+        I.unbind p.kernel;
+        Minios.Tracer.detach p.kernel)
+      (fun () ->
+        Minios.Program.run p.kernel ~binary:p.pkg.Package.app_binary
+          ~name:p.pkg.Package.app_name program)
+  in
+  let out_files =
+    Audit.written_files tracer ~exclude_pids:[] (Minios.Kernel.vfs p.kernel)
+  in
+  let query_fingerprints =
+    List.filter_map
+      (fun (s : I.stmt_event) ->
+        if s.I.kind = I.Squery then
+          Some (s.I.qid, Audit.rows_fingerprint s.I.rows)
+        else None)
+      (I.log p.session)
+  in
+  { root_pid;
+    session = p.session;
+    kernel = p.kernel;
+    out_files;
+    query_fingerprints }
+
+(** Prepare and run in one call. *)
+let execute ?program (pkg : Package.t) : run_result =
+  run ?program (prepare pkg)
+
+(** Verify repeatability of a replay against the original audited run:
+    every output file byte-identical, every query's result fingerprint
+    equal. Returns the list of divergences (empty = repeatable). *)
+let verify ~(audit : Audit.t) (r : run_result) : string list =
+  let problems = ref [] in
+  let push fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+  List.iter
+    (fun (path, original) ->
+      match List.assoc_opt path r.out_files with
+      | None -> push "output file %s was not produced by the replay" path
+      | Some replayed ->
+        if not (String.equal original replayed) then
+          push "output file %s differs (%d vs %d bytes)" path
+            (String.length original) (String.length replayed))
+    audit.Audit.out_files;
+  let original_fps = audit.Audit.query_fingerprints in
+  if List.length original_fps <> List.length r.query_fingerprints then
+    push "query count differs: %d audited vs %d replayed"
+      (List.length original_fps)
+      (List.length r.query_fingerprints)
+  else
+    List.iter2
+      (fun (qid_a, fp_a) (qid_r, fp_r) ->
+        if not (String.equal fp_a fp_r) then
+          push "query %d/%d returned different results" qid_a qid_r)
+      original_fps r.query_fingerprints;
+  List.rev !problems

@@ -1,0 +1,48 @@
+(** Formatting helpers shared by the benchmark harness and the CLI. *)
+
+(** Render a byte count the way the paper's figures do (MB axis). *)
+let human_bytes n =
+  let f = float_of_int n in
+  if f >= 1e9 then Printf.sprintf "%.2f GB" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f MB" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1f KB" (f /. 1e3)
+  else Printf.sprintf "%d B" n
+
+let seconds s =
+  if s >= 1.0 then Printf.sprintf "%.3f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.3f ms" (s *. 1e3)
+  else Printf.sprintf "%.1f us" (s *. 1e6)
+
+(** Fixed-width table printing. *)
+let print_table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if i < cols then widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let print_row cells =
+    print_string "| ";
+    List.iteri
+      (fun i cell ->
+        Printf.printf "%-*s" widths.(i) cell;
+        print_string " | ")
+      cells;
+    print_newline ()
+  in
+  let rule () =
+    print_string "+";
+    Array.iter (fun w -> print_string (String.make (w + 3) '-'); print_string "+" |> ignore) widths;
+    print_newline ()
+  in
+  rule ();
+  print_row header;
+  rule ();
+  List.iter print_row rows;
+  rule ()
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let note fmt = Printf.printf fmt

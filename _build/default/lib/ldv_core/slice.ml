@@ -1,0 +1,135 @@
+(** Computing the relevant DB subset (§VII-D).
+
+    A tuple version is relevant to the application iff (a) it was *not*
+    created by the application itself (re-execution will recreate those —
+    including them would duplicate rows and break key constraints / bag
+    semantics), and (b) the state of some activity in the execution trace
+    depends on it, which for the compact traces we build is equivalent to
+    the version appearing in the lineage of some executed statement.
+
+    Two implementations are provided: the production one over the
+    interceptor's dedup table (what the paper's prototype does with its
+    in-memory hash table), and a trace-walking one used to cross-check the
+    first in tests. *)
+
+open Minidb
+module I = Dbclient.Interceptor
+
+(** Tuple versions created by the audited application: everything a DML
+    statement in the log wrote. *)
+let created_by_app (stmts : I.stmt_event list) : Tid.Set.t =
+  List.fold_left
+    (fun acc (s : I.stmt_event) ->
+      List.fold_left
+        (fun acc (tid, _) ->
+          if I.is_result_tid tid then acc else Tid.Set.add tid acc)
+        acc s.I.results)
+    Tid.Set.empty stmts
+
+(** The relevant tuple versions of an audited run: the interceptor's
+    deduplicated lineage table minus application-created versions and
+    transient query-result tuples. *)
+let relevant (audit : Audit.t) : Tid.Set.t =
+  let created = created_by_app (I.log audit.Audit.session) in
+  List.fold_left
+    (fun acc tid ->
+      if I.is_result_tid tid || Tid.Set.mem tid created then acc
+      else Tid.Set.add tid acc)
+    Tid.Set.empty
+    (I.slice_tids audit.Audit.session)
+
+(** Trace-based computation of the same set: stored tuple entities that
+    some statement read ([hasRead] out-edge) but that no statement in the
+    trace produced ([hasReturned] in-edge). *)
+let relevant_via_trace (trace : Prov.Trace.t) : Tid.Set.t =
+  List.fold_left
+    (fun acc (n : Prov.Trace.node) ->
+      match Prov.Lineage_model.tid_of_node_id n.Prov.Trace.id with
+      | None -> acc
+      | Some tid ->
+        if I.is_result_tid tid then acc
+        else
+          let produced =
+            List.exists
+              (fun (e : Prov.Trace.edge) ->
+                String.equal e.Prov.Trace.elabel "hasReturned")
+              (Prov.Trace.in_edges trace n.Prov.Trace.id)
+          in
+          let read =
+            List.exists
+              (fun (e : Prov.Trace.edge) ->
+                String.equal e.Prov.Trace.elabel "hasRead")
+              (Prov.Trace.out_edges trace n.Prov.Trace.id)
+          in
+          if read && not produced then Tid.Set.add tid acc else acc)
+    Tid.Set.empty (Prov.Trace.entities trace)
+
+(** Materialize a tuple-version set as per-table CSV blobs, looking the
+    values up in the database's version history. *)
+let to_csvs (db : Database.t) (tids : Tid.Set.t) : (string * string) list =
+  let by_table : (string, (int * int * Value.t array) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Tid.Set.iter
+    (fun (tid : Tid.t) ->
+      match Catalog.find_opt (Database.catalog db) tid.Tid.table with
+      | None -> ()
+      | Some table -> (
+        match Table.find_version table tid with
+        | None -> ()
+        | Some tv ->
+          let entry = (tid.Tid.rid, tid.Tid.version, tv.Table.values) in
+          (match Hashtbl.find_opt by_table tid.Tid.table with
+          | Some r -> r := entry :: !r
+          | None -> Hashtbl.replace by_table tid.Tid.table (ref [ entry ]))))
+    tids;
+  Hashtbl.fold
+    (fun table entries acc ->
+      let schema = Table.schema (Catalog.find (Database.catalog db) table) in
+      let sorted =
+        List.sort (fun (r1, v1, _) (r2, v2, _) -> compare (r1, v1) (r2, v2)) !entries
+      in
+      (table, Csv.encode_versions schema sorted) :: acc)
+    by_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Every table the audited application touched: the query-read and
+    DML-target tables of the interceptor's versioning registry plus any
+    table contributing tuples to [tids]. All of them need DDL in the
+    package even when none of their tuples survives slicing (a table the
+    app populates itself must still exist on replay). *)
+let accessed_tables (audit : Audit.t) (tids : Tid.Set.t) : string list =
+  Perm.Versioning.enabled_tables (I.versioning audit.Audit.session)
+  @ Tid.Set.fold (fun tid acc -> tid.Tid.table :: acc) tids []
+  |> List.sort_uniq String.compare
+
+(** DDL for recreating the given tables at replay time. *)
+let schema_ddl_for (db : Database.t) (tables : string list) :
+    (string * string) list =
+  List.filter_map
+    (fun table ->
+      match Catalog.find_opt (Database.catalog db) table with
+      | None -> None
+      | Some tbl ->
+        let cols =
+          Array.to_list (Table.schema tbl)
+          |> List.map (fun (c : Schema.column) ->
+                 Printf.sprintf "%s %s" c.Schema.name
+                   (Value.type_name c.Schema.ty))
+          |> String.concat ", "
+        in
+        Some (table, Printf.sprintf "CREATE TABLE %s (%s)" table cols))
+    tables
+
+(** DDL for the tables contributing tuples to [tids]. *)
+let schema_ddl (db : Database.t) (tids : Tid.Set.t) : (string * string) list =
+  schema_ddl_for db
+    (Tid.Set.fold (fun tid acc -> tid.Tid.table :: acc) tids []
+    |> List.sort_uniq String.compare)
+
+(** Total bytes of the relevant subset — the provenance size axis of the
+    paper's trade-off discussion. *)
+let subset_bytes (db : Database.t) (tids : Tid.Set.t) : int =
+  List.fold_left
+    (fun acc (_, csv) -> acc + String.length csv)
+    0 (to_csvs db tids)

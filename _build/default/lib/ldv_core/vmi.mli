@@ -1,0 +1,20 @@
+(** The virtual-machine-image baseline (§IX-F), as a cost model: size is
+    base image + everything the experiment needs; replay cost is native
+    time inflated by a virtualization factor plus a boot charge. *)
+
+val base_image_bytes : int
+val boot_seconds : float
+val query_overhead_factor : float
+
+type t = {
+  image_bytes : int;
+  components : (string * int) list;  (** labelled size breakdown *)
+}
+
+(** Size the VMI that would ship a given experiment: base OS + everything
+    in the kernel's file system. Syncs the server's data directory
+    first so DB bytes are current. *)
+val of_kernel : Minios.Kernel.t -> server:Dbclient.Server.t -> t
+
+val replay_seconds : native_seconds:float -> float
+val init_seconds : float

@@ -1,0 +1,1 @@
+lib/minidb/annotation.ml: Bool Format Int List Option String Tid

@@ -1,0 +1,1 @@
+lib/minidb/annotation.mli: Format Tid

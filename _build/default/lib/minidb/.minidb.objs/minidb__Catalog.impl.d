@@ -1,0 +1,1 @@
+lib/minidb/catalog.ml: Errors Hashtbl List Printf String Table

@@ -1,0 +1,1 @@
+lib/minidb/csv.ml: Array Buffer Errors List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/minidb/database.ml: Annotation Array Catalog Errors Eval_expr Executor List Option Planner Printf Schema Sql_ast Sql_parser Table Tid Value

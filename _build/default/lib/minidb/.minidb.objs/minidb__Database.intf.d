@@ -1,0 +1,1 @@
+lib/minidb/database.mli: Catalog Executor Planner Sql_ast Tid Value

@@ -1,0 +1,1 @@
+lib/minidb/eval_expr.ml: Array Buffer Errors Float List Option Schema Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/minidb/executor.ml: Annotation Array Buffer Digest Eval_expr Hashtbl List Planner Schema Sql_ast Table Tid Value

@@ -1,0 +1,1 @@
+lib/minidb/planner.ml: Annotation Array Catalog Errors Eval_expr List Option Pretty Printf Schema Sql_ast Table Value

@@ -1,0 +1,1 @@
+lib/minidb/pretty.ml: Format List Sql_ast Sql_parser String Value

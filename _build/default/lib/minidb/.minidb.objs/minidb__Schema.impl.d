@@ -1,0 +1,1 @@
+lib/minidb/schema.ml: Array Errors Format Hashtbl List Option Printf String Value

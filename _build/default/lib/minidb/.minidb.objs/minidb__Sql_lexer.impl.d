@@ -1,0 +1,1 @@
+lib/minidb/sql_lexer.ml: Array Buffer Errors Hashtbl List Printf String

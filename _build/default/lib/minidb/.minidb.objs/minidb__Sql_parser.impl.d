@@ -1,0 +1,1 @@
+lib/minidb/sql_parser.ml: Errors List Option Printf Sql_ast Sql_lexer Value

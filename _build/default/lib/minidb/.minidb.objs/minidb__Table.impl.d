@@ -1,0 +1,1 @@
+lib/minidb/table.ml: Array Errors Hashtbl List Printf Schema String Tid Value

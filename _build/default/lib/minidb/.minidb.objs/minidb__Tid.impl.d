@@ -1,0 +1,1 @@
+lib/minidb/tid.ml: Format Hashtbl Int Map Set String

@@ -1,0 +1,1 @@
+lib/minidb/tid.mli: Format Map Set

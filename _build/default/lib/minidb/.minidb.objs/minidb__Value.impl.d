@@ -1,0 +1,1 @@
+lib/minidb/value.ml: Errors Float Format Hashtbl Printf String

@@ -1,0 +1,420 @@
+(** Top-level database engine API.
+
+    A [Database.t] is a catalog plus a logical clock; [exec] parses and
+    executes one SQL statement, advancing the clock. DML results expose the
+    tuple versions written and the versions they were derived from — the
+    provenance hooks the Perm layer and the LDV auditor build on.
+
+    Transactions: [BEGIN] opens an undo scope; [ROLLBACK] erases every
+    version the transaction wrote (as if it never happened) and resurrects
+    every version it retired; [COMMIT] discards the undo log. DDL is not
+    transactional and is rejected inside a transaction. *)
+
+type undo =
+  | U_insert of Table.t * Table.tuple_version
+  | U_update of Table.t * Table.tuple_version * Table.tuple_version
+      (** old (retired) version, new version *)
+  | U_delete of Table.t * Table.tuple_version
+
+type t = {
+  catalog : Catalog.t;
+  mutable clock : int;
+  name : string;
+  mutable tx : undo list option;  (** [Some log] while a transaction is open *)
+}
+
+(** Provenance facts of a DML statement: for every tuple version written,
+    the pre-existing versions it was derived from (empty for plain
+    inserts; the source rows' lineage for INSERT .. SELECT). *)
+type dml_info = {
+  count : int;  (** rows affected *)
+  written : Tid.t list;  (** tuple versions created *)
+  read : Tid.t list;  (** pre-state versions read (update/delete/select src) *)
+  deps : (Tid.t * Tid.t list) list;  (** written tid -> versions it derives from *)
+}
+
+type exec_result =
+  | Rows of Executor.result
+  | Affected of dml_info
+  | Ddl_done
+
+let create ?(name = "main") () =
+  { catalog = Catalog.create (); clock = 0; name; tx = None }
+
+let clock t = t.clock
+let catalog t = t.catalog
+let name t = t.name
+let in_transaction t = t.tx <> None
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(** Advance the clock to at least [at]; used to keep the DB clock aligned
+    with the simulated OS clock so that combined traces share one
+    timeline. *)
+let sync_clock t ~at = if at > t.clock then t.clock <- at
+
+let log_undo t entry =
+  match t.tx with Some log -> t.tx <- Some (entry :: log) | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Subquery evaluation: close the planner/executor loop.               *)
+
+let subquery_eval : Planner.subquery_eval =
+ fun node ->
+  let result = Executor.run node in
+  let ann =
+    Annotation.sum
+      (List.map (fun (r : Executor.arow) -> r.Executor.ann) result.Executor.rows)
+  in
+  (* an empty subquery result still carries no lineage; use [one] so the
+     multiplication is neutral *)
+  let ann = if Annotation.is_zero ann then Annotation.one else ann in
+  (Executor.result_values result, ann)
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution.                                                *)
+
+let plan t (s : Sql_ast.select) : Planner.node =
+  Planner.plan_select t.catalog ~eval_subquery:subquery_eval s
+
+let run_select t (s : Sql_ast.select) : Executor.result =
+  Executor.run (plan t s)
+
+(* Expand a provenance query Perm-style: each result row is repeated once
+   per lineage tuple, extended with the provenance columns identifying that
+   tuple version. *)
+let run_provenance t (s : Sql_ast.select) : Executor.result =
+  let base = run_select t s in
+  let prov_schema =
+    Schema.append base.Executor.schema
+      (Schema.of_list
+         [ Schema.column "prov_table" Value.Tstr;
+           Schema.column "prov_rowid" Value.Tint;
+           Schema.column "prov_v" Value.Tint ])
+  in
+  let rows =
+    List.concat_map
+      (fun (row : Executor.arow) ->
+        let lin = Annotation.lineage row.Executor.ann in
+        if Tid.Set.is_empty lin then
+          [ { Executor.values =
+                Array.append row.Executor.values
+                  [| Value.Null; Value.Null; Value.Null |];
+              ann = row.Executor.ann } ]
+        else
+          Tid.Set.elements lin
+          |> List.map (fun (tid : Tid.t) ->
+                 { Executor.values =
+                     Array.append row.Executor.values
+                       [| Value.Str tid.Tid.table;
+                          Value.Int tid.Tid.rid;
+                          Value.Int tid.Tid.version |];
+                   ann = row.Executor.ann }))
+      base.Executor.rows
+  in
+  { Executor.schema = prov_schema; rows }
+
+let full_row_for_insert (schema : Schema.t) columns (values : Value.t list) =
+  match columns with
+  | None ->
+    if List.length values <> Array.length schema then
+      Errors.fail
+        (Errors.Arity_error
+           (Printf.sprintf "INSERT expects %d values, got %d"
+              (Array.length schema) (List.length values)));
+    Array.of_list values
+  | Some cols ->
+    if List.length cols <> List.length values then
+      Errors.fail
+        (Errors.Arity_error "INSERT column list and VALUES arity differ");
+    let row = Array.make (Array.length schema) Value.Null in
+    List.iter2
+      (fun col v -> row.(Schema.resolve schema col) <- v)
+      cols values;
+    row
+
+let run_insert t ~table ~columns ~(source : Sql_ast.insert_source) : dml_info =
+  let tbl = Catalog.find t.catalog table in
+  let schema = Table.schema tbl in
+  (* materialize the rows (and their lineage, for INSERT .. SELECT) before
+     writing anything, so a self-referencing insert sees a consistent
+     snapshot *)
+  let rows_with_lineage =
+    match source with
+    | Sql_ast.Values rows ->
+      List.map
+        (fun exprs -> (List.map Eval_expr.eval_const exprs, []))
+        rows
+    | Sql_ast.Query q ->
+      let result = run_select t q in
+      List.map
+        (fun (r : Executor.arow) ->
+          ( Array.to_list r.Executor.values,
+            Tid.Set.elements (Annotation.lineage r.Executor.ann) ))
+        result.Executor.rows
+  in
+  let clock = tick t in
+  let deps =
+    List.map
+      (fun (values, lineage) ->
+        let row = full_row_for_insert schema columns values in
+        let tv = Table.insert tbl ~clock row in
+        log_undo t (U_insert (tbl, tv));
+        (tv.Table.tid, lineage))
+      rows_with_lineage
+  in
+  { count = List.length deps;
+    written = List.map fst deps;
+    read = List.concat_map snd deps |> List.sort_uniq Tid.compare;
+    deps }
+
+let resolve_where t where =
+  match where with
+  | None -> (None, Annotation.one)
+  | Some w ->
+    let w, ann = Planner.resolve_expr t.catalog ~eval_subquery:subquery_eval w in
+    (Some w, ann)
+
+(* Candidate rows for an UPDATE/DELETE: use an index when the predicate
+   pins an indexed column to a constant; otherwise scan. The full
+   predicate is still applied by the caller, so this is only a pruning
+   step. *)
+let candidate_rows (tbl : Table.t) (where : Sql_ast.expr option) :
+    Table.tuple_version list =
+  let schema = Table.schema tbl in
+  let indexed_lookup () =
+    match where with
+    | None -> None
+    | Some w ->
+      List.find_map
+        (fun conj ->
+          let try_sides col_expr const_expr =
+            match col_expr with
+            | Sql_ast.Col (q, n)
+              when not (Sql_ast.fold_cols (fun _ _ _ -> true) false const_expr)
+              -> (
+              match Schema.find_opt schema ?qualifier:q n with
+              | Some position -> (
+                match Table.index_on tbl ~column:position with
+                | Some idx ->
+                  let v = Eval_expr.eval_const const_expr in
+                  Some (Table.index_lookup tbl idx v)
+                | None -> None)
+              | None -> None)
+            | _ -> None
+          in
+          match conj with
+          | Sql_ast.Cmp (Sql_ast.Eq, a, b) -> (
+            match try_sides a b with Some r -> Some r | None -> try_sides b a)
+          | _ -> None)
+        (Sql_ast.conjuncts w)
+  in
+  match indexed_lookup () with
+  | Some rows -> rows
+  | None -> Table.scan tbl
+
+let run_update t ~table ~sets ~where : dml_info =
+  let tbl = Catalog.find t.catalog table in
+  let schema = Table.schema tbl in
+  let where, where_ann = resolve_where t where in
+  let bound_where = Option.map (Eval_expr.bind schema) where in
+  let bound_sets =
+    List.map
+      (fun (col, e) ->
+        let e, _ = Planner.resolve_expr t.catalog ~eval_subquery:subquery_eval e in
+        (Schema.resolve schema col, Eval_expr.bind schema e))
+      sets
+  in
+  (* The paper computes the provenance of an update *before* executing it
+     (reenactment): collect the affected pre-state first. *)
+  let affected =
+    List.filter
+      (fun (tv : Table.tuple_version) ->
+        match bound_where with
+        | None -> true
+        | Some p -> Eval_expr.eval_pred tv.Table.values p)
+      (candidate_rows tbl where)
+  in
+  let clock = tick t in
+  let extra = Tid.Set.elements (Annotation.lineage where_ann) in
+  let deps =
+    List.map
+      (fun (tv : Table.tuple_version) ->
+        let new_values = Array.copy tv.Table.values in
+        List.iter
+          (fun (idx, e) ->
+            (* SET expressions see the pre-state of the row *)
+            new_values.(idx) <- Eval_expr.eval tv.Table.values e)
+          bound_sets;
+        let old_tv, new_tv =
+          Table.update tbl ~clock ~rid:tv.Table.tid.Tid.rid new_values
+        in
+        log_undo t (U_update (tbl, old_tv, new_tv));
+        (new_tv.Table.tid, old_tv.Table.tid :: extra))
+      affected
+  in
+  { count = List.length deps;
+    written = List.map fst deps;
+    read = List.concat_map snd deps |> List.sort_uniq Tid.compare;
+    deps }
+
+let run_delete t ~table ~where : dml_info =
+  let tbl = Catalog.find t.catalog table in
+  let schema = Table.schema tbl in
+  let where, where_ann = resolve_where t where in
+  let bound_where = Option.map (Eval_expr.bind schema) where in
+  let affected =
+    List.filter
+      (fun (tv : Table.tuple_version) ->
+        match bound_where with
+        | None -> true
+        | Some p -> Eval_expr.eval_pred tv.Table.values p)
+      (candidate_rows tbl where)
+  in
+  let clock = tick t in
+  let read =
+    List.map
+      (fun (tv : Table.tuple_version) ->
+        let victim = Table.delete tbl ~clock ~rid:tv.Table.tid.Tid.rid in
+        log_undo t (U_delete (tbl, victim));
+        victim.Table.tid)
+      affected
+  in
+  { count = List.length read;
+    written = [];
+    read = read @ Tid.Set.elements (Annotation.lineage where_ann);
+    deps = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Transactions.                                                       *)
+
+let begin_tx t =
+  if t.tx <> None then
+    Errors.fail (Errors.Constraint_violation "transaction already open");
+  t.tx <- Some []
+
+let commit_tx t =
+  match t.tx with
+  | None -> Errors.fail (Errors.Constraint_violation "no open transaction")
+  | Some _ -> t.tx <- None
+
+let rollback_tx t =
+  match t.tx with
+  | None -> Errors.fail (Errors.Constraint_violation "no open transaction")
+  | Some log ->
+    t.tx <- None;
+    (* the log is newest-first: undo in that order so that an update's new
+       version is unlinked before its old version is relinked *)
+    List.iter
+      (function
+        | U_insert (tbl, tv) -> Table.unlink_version tbl tv
+        | U_update (tbl, old_tv, new_tv) ->
+          Table.unlink_version tbl new_tv;
+          Table.relink_version tbl old_tv
+        | U_delete (tbl, tv) -> Table.relink_version tbl tv)
+      log
+
+let guard_ddl t what =
+  if t.tx <> None then
+    Errors.unsupported "%s is not allowed inside a transaction" what
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                           *)
+
+let rec exec_ast t (stmt : Sql_ast.statement) : exec_result =
+  match stmt with
+  | Sql_ast.Select s ->
+    ignore (tick t);
+    Rows (run_select t s)
+  | Sql_ast.Provenance s ->
+    ignore (tick t);
+    Rows (run_provenance t s)
+  | Sql_ast.Insert { table; columns; source } ->
+    Affected (run_insert t ~table ~columns ~source)
+  | Sql_ast.Update { table; sets; where } ->
+    Affected (run_update t ~table ~sets ~where)
+  | Sql_ast.Delete { table; where } -> Affected (run_delete t ~table ~where)
+  | Sql_ast.Create_table { table; columns } ->
+    guard_ddl t "CREATE TABLE";
+    ignore (tick t);
+    let schema =
+      Schema.of_list (List.map (fun (n, ty) -> Schema.column n ty) columns)
+    in
+    ignore (Catalog.create_table t.catalog ~name:table ~schema);
+    Ddl_done
+  | Sql_ast.Drop_table table ->
+    guard_ddl t "DROP TABLE";
+    ignore (tick t);
+    Catalog.drop_table t.catalog table;
+    Ddl_done
+  | Sql_ast.Create_index { index; table; column } ->
+    guard_ddl t "CREATE INDEX";
+    ignore (tick t);
+    ignore (Catalog.create_index t.catalog ~index ~table ~column);
+    Ddl_done
+  | Sql_ast.Drop_index index ->
+    guard_ddl t "DROP INDEX";
+    ignore (tick t);
+    Catalog.drop_index t.catalog index;
+    Ddl_done
+  | Sql_ast.Explain inner -> Rows (explain t inner)
+  | Sql_ast.Begin_tx ->
+    ignore (tick t);
+    begin_tx t;
+    Ddl_done
+  | Sql_ast.Commit_tx ->
+    ignore (tick t);
+    commit_tx t;
+    Ddl_done
+  | Sql_ast.Rollback_tx ->
+    ignore (tick t);
+    rollback_tx t;
+    Ddl_done
+
+(** EXPLAIN: a one-row result describing the physical plan. *)
+and explain t (stmt : Sql_ast.statement) : Executor.result =
+  let describe_select s = Planner.describe (plan t s) in
+  let text =
+    match stmt with
+    | Sql_ast.Select s | Sql_ast.Provenance s -> describe_select s
+    | Sql_ast.Insert { table; source = Sql_ast.Query q; _ } ->
+      Printf.sprintf "insert(%s, %s)" table (describe_select q)
+    | Sql_ast.Insert { table; _ } -> Printf.sprintf "insert(%s)" table
+    | Sql_ast.Update { table; _ } -> Printf.sprintf "update(scan(%s))" table
+    | Sql_ast.Delete { table; _ } -> Printf.sprintf "delete(scan(%s))" table
+    | _ -> "ddl"
+  in
+  { Executor.schema = Schema.of_list [ Schema.column "plan" Value.Tstr ];
+    rows =
+      [ { Executor.values = [| Value.Str text |]; ann = Annotation.one } ] }
+
+let exec t (sql : string) : exec_result = exec_ast t (Sql_parser.parse sql)
+
+(** Run a script of semicolon-separated statements, returning the last
+    result. *)
+let exec_script t (sql : string) : exec_result =
+  match Sql_parser.parse_script sql with
+  | [] -> Ddl_done
+  | stmts -> List.fold_left (fun _ stmt -> exec_ast t stmt) Ddl_done stmts
+
+(** Convenience: run a query and require rows back. *)
+let query t (sql : string) : Executor.result =
+  match exec t sql with
+  | Rows r -> r
+  | Affected _ | Ddl_done ->
+    Errors.unsupported "query expected a SELECT statement"
+
+(** Convenience: run a DML statement and require an affected-count back. *)
+let dml t (sql : string) : dml_info =
+  match exec t sql with
+  | Affected info -> info
+  | Rows _ | Ddl_done -> Errors.unsupported "dml expected a DML statement"
+
+(** Bulk-load rows directly into a table (bypassing the parser), as TPC-H
+    dbgen does. Advances the clock once for the whole batch. *)
+let bulk_insert t ~table (rows : Value.t array list) : Tid.t list =
+  let tbl = Catalog.find t.catalog table in
+  let clock = tick t in
+  List.map (fun row -> (Table.insert tbl ~clock row).Table.tid) rows

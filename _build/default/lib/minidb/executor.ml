@@ -1,0 +1,288 @@
+(** Plan evaluation with provenance-annotation propagation.
+
+    Every row flowing through the executor carries a provenance polynomial
+    (see {!Annotation}): base tuples start as variables, joins multiply,
+    aggregation groups and duplicate elimination add. The Lineage of a
+    result row — the tuple versions the paper's slicing needs — is the
+    variable set of its annotation. *)
+
+type arow = { values : Value.t array; ann : Annotation.t }
+
+type result = { schema : Schema.t; rows : arow list }
+
+(* Hashtable keyed by a list of values, used by hash join, group-by and
+   distinct. *)
+module Row_key = struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+  let hash k = List.fold_left Value.hash_fold 17 k
+end
+
+module Row_tbl = Hashtbl.Make (Row_key)
+
+let eval_keys row keys = List.map (Eval_expr.eval row) keys
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate computation.                                              *)
+
+type agg_state = {
+  mutable count : int;  (** non-null inputs seen *)
+  mutable count_all : int;  (** all rows seen, for COUNT star *)
+  mutable sum_int : int;
+  mutable sum_float : float;
+  mutable saw_float : bool;
+  mutable min_v : Value.t;
+  mutable max_v : Value.t;
+}
+
+let agg_init () =
+  { count = 0;
+    count_all = 0;
+    sum_int = 0;
+    sum_float = 0.0;
+    saw_float = false;
+    min_v = Value.Null;
+    max_v = Value.Null }
+
+let agg_feed st (v : Value.t) =
+  st.count_all <- st.count_all + 1;
+  match v with
+  | Value.Null -> ()
+  | v ->
+    st.count <- st.count + 1;
+    (match v with
+    | Value.Int i ->
+      st.sum_int <- st.sum_int + i;
+      st.sum_float <- st.sum_float +. float_of_int i
+    | Value.Float f ->
+      st.saw_float <- true;
+      st.sum_float <- st.sum_float +. f
+    | _ -> ());
+    (match Value.compare_total v st.min_v with
+    | _ when Value.is_null st.min_v -> st.min_v <- v
+    | c when c < 0 -> st.min_v <- v
+    | _ -> ());
+    (match Value.compare_total v st.max_v with
+    | _ when Value.is_null st.max_v -> st.max_v <- v
+    | c when c > 0 -> st.max_v <- v
+    | _ -> ())
+
+let agg_finish (fn : Sql_ast.agg_fn) st : Value.t =
+  match fn with
+  | Sql_ast.Count_star -> Value.Int st.count_all
+  | Sql_ast.Count -> Value.Int st.count
+  | Sql_ast.Sum ->
+    if st.count = 0 then Value.Null
+    else if st.saw_float then Value.Float st.sum_float
+    else Value.Int st.sum_int
+  | Sql_ast.Avg ->
+    if st.count = 0 then Value.Null
+    else Value.Float (st.sum_float /. float_of_int st.count)
+  | Sql_ast.Min -> st.min_v
+  | Sql_ast.Max -> st.max_v
+
+(* ------------------------------------------------------------------ *)
+(* Plan evaluation.                                                    *)
+
+let rec run_node (n : Planner.node) : arow list =
+  match n.op with
+  | Planner.Scan { table; as_of; _ } ->
+    let versions =
+      match as_of with
+      | None -> Table.scan table
+      | Some at -> Table.scan_as_of table ~at
+    in
+    List.map
+      (fun (tv : Table.tuple_version) ->
+        { values = tv.Table.values; ann = Annotation.var tv.Table.tid })
+      versions
+  | Planner.Index_scan { table; index; key; _ } ->
+    let value = Eval_expr.eval [||] key in
+    if Value.is_null value then []
+    else
+      List.map
+        (fun (tv : Table.tuple_version) ->
+          { values = tv.Table.values; ann = Annotation.var tv.Table.tid })
+        (Table.index_lookup table index value)
+  | Planner.Filter (pred, input) ->
+    List.filter (fun r -> Eval_expr.eval_pred r.values pred) (run_node input)
+  | Planner.Project (items, input) ->
+    List.map
+      (fun r ->
+        { values =
+            Array.of_list
+              (List.map (fun (e, _) -> Eval_expr.eval r.values e) items);
+          ann = r.ann })
+      (run_node input)
+  | Planner.Hash_join { left; right; left_keys; right_keys; outer } ->
+    let rrows = run_node right in
+    let right_width = Schema.arity right.Planner.schema in
+    let index = Row_tbl.create (List.length rrows + 1) in
+    List.iter
+      (fun r ->
+        let key = eval_keys r.values right_keys in
+        (* SQL equality: NULL join keys never match *)
+        if not (List.exists Value.is_null key) then
+          Row_tbl.add index key r)
+      rrows;
+    let null_pad = Array.make right_width Value.Null in
+    List.concat_map
+      (fun l ->
+        let key = eval_keys l.values left_keys in
+        let matches =
+          if List.exists Value.is_null key then []
+          else Row_tbl.find_all index key
+        in
+        match matches with
+        | [] when outer ->
+          [ { values = Array.append l.values null_pad; ann = l.ann } ]
+        | matches ->
+          List.rev_map
+            (fun r ->
+              { values = Array.append l.values r.values;
+                ann = Annotation.mul l.ann r.ann })
+            matches)
+      (run_node left)
+  | Planner.Nested_loop { left; right; pred; outer } ->
+    let rrows = run_node right in
+    let right_width = Schema.arity right.Planner.schema in
+    let null_pad = Array.make right_width Value.Null in
+    List.concat_map
+      (fun l ->
+        let matches =
+          List.filter_map
+            (fun r ->
+              let values = Array.append l.values r.values in
+              let keep =
+                match pred with
+                | None -> true
+                | Some p -> Eval_expr.eval_pred values p
+              in
+              if keep then Some { values; ann = Annotation.mul l.ann r.ann }
+              else None)
+            rrows
+        in
+        match matches with
+        | [] when outer ->
+          [ { values = Array.append l.values null_pad; ann = l.ann } ]
+        | matches -> matches)
+      (run_node left)
+  | Planner.Union (a, b) -> run_node a @ run_node b
+  | Planner.Annotate (extra, input) ->
+    List.map
+      (fun r -> { r with ann = Annotation.mul extra r.ann })
+      (run_node input)
+  | Planner.Aggregate { input; group; aggs } ->
+    let rows = run_node input in
+    let groups = Row_tbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let key = List.map (fun (g, _) -> Eval_expr.eval r.values g) group in
+        let states, ann_ref =
+          match Row_tbl.find_opt groups key with
+          | Some entry -> entry
+          | None ->
+            let entry = (List.map (fun _ -> agg_init ()) aggs, ref []) in
+            Row_tbl.replace groups key entry;
+            order := key :: !order;
+            entry
+        in
+        ann_ref := r.ann :: !ann_ref;
+        List.iter2
+          (fun st (fn, arg) ->
+            match (fn, arg) with
+            | Sql_ast.Count_star, _ -> agg_feed st (Value.Bool true)
+            | _, Some e -> agg_feed st (Eval_expr.eval r.values e)
+            | _, None -> agg_feed st (Value.Bool true))
+          states aggs)
+      rows;
+    let finish key =
+      let states, ann_ref = Row_tbl.find groups key in
+      { values =
+          Array.of_list (key @ List.map2 (fun st (fn, _) -> agg_finish fn st) states aggs);
+        ann = Annotation.sum !ann_ref }
+    in
+    if Row_tbl.length groups = 0 && group = [] then
+      (* aggregate over an empty input with no GROUP BY: one row *)
+      [ { values =
+            Array.of_list
+              (List.map (fun (fn, _) -> agg_finish fn (agg_init ())) aggs);
+          ann = Annotation.one } ]
+    else List.rev_map finish !order
+  | Planner.Sort (keys, input) ->
+    let rows = run_node input in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | (k, dir) :: rest -> (
+          let va = Eval_expr.eval a.values k and vb = Eval_expr.eval b.values k in
+          match Value.compare_total va vb with
+          | 0 -> go rest
+          | c -> ( match dir with Sql_ast.Asc -> c | Sql_ast.Desc -> -c))
+      in
+      go keys
+    in
+    List.stable_sort cmp rows
+  | Planner.Limit (l, input) ->
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: xs -> x :: take (n - 1) xs
+    in
+    take l (run_node input)
+  | Planner.Distinct input ->
+    let rows = run_node input in
+    let seen = Row_tbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let key = Array.to_list r.values in
+        match Row_tbl.find_opt seen key with
+        | Some ann_ref -> ann_ref := r.ann :: !ann_ref
+        | None ->
+          let ann_ref = ref [ r.ann ] in
+          Row_tbl.replace seen key ann_ref;
+          order := (key, ann_ref) :: !order)
+      rows;
+    List.rev_map
+      (fun (key, ann_ref) ->
+        { values = Array.of_list key; ann = Annotation.sum !ann_ref })
+      !order
+
+let run (n : Planner.node) : result = { schema = n.schema; rows = run_node n }
+
+(** Union of the lineage of every result row: exactly the tuple versions the
+    query read that mattered. *)
+let result_lineage (r : result) : Tid.Set.t =
+  List.fold_left
+    (fun acc row -> Tid.Set.union acc (Annotation.lineage row.ann))
+    Tid.Set.empty r.rows
+
+(** Plain values of the result, dropping annotations. *)
+let result_values (r : result) : Value.t array list =
+  List.map (fun row -> row.values) r.rows
+
+(** Byte footprint of a result's values, for recorded-result size
+    accounting. *)
+let result_bytes (r : result) : int =
+  List.fold_left
+    (fun acc row ->
+      acc + Array.fold_left (fun a v -> a + Value.byte_size v) 2 row.values)
+    0 r.rows
+
+(** A stable fingerprint of the result values (order-sensitive), used to
+    verify repeatability of replays. *)
+let result_fingerprint (r : result) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun row ->
+      Array.iter
+        (fun v ->
+          Buffer.add_string buf (Value.to_raw_string v);
+          Buffer.add_char buf '\x1f')
+        row.values;
+      Buffer.add_char buf '\n')
+    r.rows;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

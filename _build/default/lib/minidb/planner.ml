@@ -1,0 +1,625 @@
+(** Translation of SELECT ASTs into physical plans.
+
+    The planner is deliberately simple but covers what a realistic workload
+    needs:
+    - comma joins and explicit [JOIN .. ON] become hash joins when
+      column-equality conjuncts are available (left-outer joins pad
+      unmatched rows with NULLs);
+    - equality predicates against indexed columns become index scans;
+    - [AS OF] table references scan the version history snapshot;
+    - aggregates in the projection/HAVING are collected into slots and the
+      surrounding expressions rewritten to reference them;
+    - UNION [ALL] concatenates compatible bodies;
+    - uncorrelated subqueries (EXISTS / IN / scalar) are evaluated once at
+      plan time through a caller-supplied evaluator and replaced by
+      constants; their provenance joins every result row's annotation
+      (a conservative over-approximation, which is what packaging needs). *)
+
+open Sql_ast
+
+type node = { schema : Schema.t; op : op }
+
+and op =
+  | Scan of { table : Table.t; binding : string; as_of : int option }
+  | Index_scan of {
+      table : Table.t;
+      binding : string;
+      index : Table.index;
+      key : Eval_expr.bound;  (** constant expression, bound to [||] *)
+    }
+  | Filter of Eval_expr.bound * node
+  | Project of (Eval_expr.bound * Schema.column) list * node
+  | Hash_join of {
+      left : node;
+      right : node;
+      left_keys : Eval_expr.bound list;
+      right_keys : Eval_expr.bound list;
+      outer : bool;  (** left outer: pad unmatched left rows *)
+    }
+  | Nested_loop of {
+      left : node;
+      right : node;
+      pred : Eval_expr.bound option;
+      outer : bool;
+    }
+  | Aggregate of {
+      input : node;
+      group : (Eval_expr.bound * Schema.column) list;
+      aggs : (agg_fn * Eval_expr.bound option) list;
+    }
+  | Sort of (Eval_expr.bound * order_dir) list * node
+  | Limit of int * node
+  | Distinct of node
+  | Union of node * node  (** bag union; wrap in Distinct for UNION *)
+  | Annotate of Annotation.t * node
+      (** multiply every row's annotation (subquery provenance) *)
+
+(** Evaluator for uncorrelated subqueries: run a plan, return its rows and
+    the sum of their annotations. Supplied by {!Database} to avoid a
+    dependency cycle with {!Executor}. *)
+type subquery_eval = node -> Value.t array list * Annotation.t
+
+(* ------------------------------------------------------------------ *)
+(* Type inference for output schemas.                                  *)
+
+let rec infer_type (schema : Schema.t) (e : expr) : Value.ty =
+  match e with
+  | Const v -> Option.value (Value.type_of v) ~default:Value.Tstr
+  | Col (q, n) -> schema.(Schema.resolve schema ?qualifier:q n).Schema.ty
+  | Cmp _ | And _ | Or _ | Not _ | Is_null _ | Is_not_null _ | Between _
+  | Like _ | Not_like _ | In_list _ | In_select _ | Exists _ ->
+    Value.Tbool
+  | Arith (Div, _, _) -> Value.Tfloat
+  | Arith (_, a, b) -> (
+    match (infer_type schema a, infer_type schema b) with
+    | Value.Tint, Value.Tint -> Value.Tint
+    | _ -> Value.Tfloat)
+  | Neg a -> infer_type schema a
+  | Concat _ -> Value.Tstr
+  | Agg (Count_star, _) | Agg (Count, _) -> Value.Tint
+  | Agg (Avg, _) -> Value.Tfloat
+  | Agg ((Sum | Min | Max), Some a) -> infer_type schema a
+  | Agg ((Sum | Min | Max), None) ->
+    Errors.unsupported "aggregate other than COUNT requires an argument"
+  | Case ((_, v) :: _, _) -> infer_type schema v
+  | Case ([], _) -> Value.Tstr
+  | Func (name, args) -> (
+    match name with
+    | "lower" | "upper" | "substr" | "substring" | "trim" | "replace" ->
+      Value.Tstr
+    | "length" -> Value.Tint
+    | "abs" | "round" | "coalesce" -> (
+      match args with
+      | a :: _ -> infer_type schema a
+      | [] -> Value.Tstr)
+    | _ -> Value.Tstr)
+  | Scalar_subquery _ -> Value.Tstr (* replaced by a constant before use *)
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct classification.                                            *)
+
+let resolvable (schema : Schema.t) (e : expr) =
+  match
+    Sql_ast.fold_cols
+      (fun () q n -> ignore (Schema.resolve schema ?qualifier:q n))
+      () e
+  with
+  | () -> true
+  | exception Errors.Db_error (Errors.Unknown_column _) -> false
+
+let has_cols (e : expr) = Sql_ast.fold_cols (fun _ _ _ -> true) false e
+
+(* An equi-join conjunct usable between [left] and [right]: col = col with
+   one side in each schema. Returns (left_col_expr, right_col_expr). *)
+let equi_join_key (left : Schema.t) (right : Schema.t) = function
+  | Cmp (Eq, (Col _ as a), (Col _ as b)) ->
+    if resolvable left a && resolvable right b then Some (a, b)
+    else if resolvable left b && resolvable right a then Some (b, a)
+    else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate slot collection and rewriting.                            *)
+
+let slot_name i = Printf.sprintf "__agg%d" i
+
+(* Replace every aggregate call in [e] with a reference to a slot column,
+   extending [slots] as needed (shared slots for syntactically equal
+   calls). *)
+let rec rewrite_aggs slots (e : expr) : expr =
+  match e with
+  | Agg (fn, arg) ->
+    let key = (fn, Option.map Pretty.expr_to_string arg) in
+    let idx =
+      match List.find_index (fun (k, _) -> k = key) !slots with
+      | Some i -> i
+      | None ->
+        slots := !slots @ [ (key, (fn, arg)) ];
+        List.length !slots - 1
+    in
+    Col (None, slot_name idx)
+  | Const _ | Col _ | Exists _ | Scalar_subquery _ -> e
+  | Cmp (op, a, b) -> Cmp (op, rewrite_aggs slots a, rewrite_aggs slots b)
+  | And (a, b) -> And (rewrite_aggs slots a, rewrite_aggs slots b)
+  | Or (a, b) -> Or (rewrite_aggs slots a, rewrite_aggs slots b)
+  | Not a -> Not (rewrite_aggs slots a)
+  | Is_null a -> Is_null (rewrite_aggs slots a)
+  | Is_not_null a -> Is_not_null (rewrite_aggs slots a)
+  | Between (a, b, c) ->
+    Between (rewrite_aggs slots a, rewrite_aggs slots b, rewrite_aggs slots c)
+  | Like (a, p) -> Like (rewrite_aggs slots a, p)
+  | Not_like (a, p) -> Not_like (rewrite_aggs slots a, p)
+  | In_list (a, es) ->
+    In_list (rewrite_aggs slots a, List.map (rewrite_aggs slots) es)
+  | In_select (a, sub) -> In_select (rewrite_aggs slots a, sub)
+  | Arith (op, a, b) -> Arith (op, rewrite_aggs slots a, rewrite_aggs slots b)
+  | Neg a -> Neg (rewrite_aggs slots a)
+  | Concat (a, b) -> Concat (rewrite_aggs slots a, rewrite_aggs slots b)
+  | Case (branches, default) ->
+    Case
+      ( List.map
+          (fun (c, v) -> (rewrite_aggs slots c, rewrite_aggs slots v))
+          branches,
+        Option.map (rewrite_aggs slots) default )
+  | Func (name, args) -> Func (name, List.map (rewrite_aggs slots) args)
+
+(* ------------------------------------------------------------------ *)
+(* Planning context.                                                   *)
+
+type ctx = {
+  catalog : Catalog.t;
+  eval_subquery : subquery_eval option;
+  (* annotations contributed by subqueries evaluated while planning the
+     current body; multiplied into the body's output rows *)
+  mutable extra_ann : Annotation.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Subquery resolution: replace uncorrelated subqueries by constants,
+   accumulating their provenance into the context.                     *)
+
+let rec resolve_subqueries (ctx : ctx) (e : expr) : expr =
+  let go = resolve_subqueries ctx in
+  match e with
+  | Const _ | Col _ -> e
+  | Cmp (op, a, b) -> Cmp (op, go a, go b)
+  | And (a, b) -> And (go a, go b)
+  | Or (a, b) -> Or (go a, go b)
+  | Not a -> Not (go a)
+  | Is_null a -> Is_null (go a)
+  | Is_not_null a -> Is_not_null (go a)
+  | Between (a, b, c) -> Between (go a, go b, go c)
+  | Like (a, p) -> Like (go a, p)
+  | Not_like (a, p) -> Not_like (go a, p)
+  | In_list (a, es) -> In_list (go a, List.map go es)
+  | Arith (op, a, b) -> Arith (op, go a, go b)
+  | Neg a -> Neg (go a)
+  | Concat (a, b) -> Concat (go a, go b)
+  | Agg (fn, arg) -> Agg (fn, Option.map go arg)
+  | Case (branches, default) ->
+    Case (List.map (fun (c, v) -> (go c, go v)) branches, Option.map go default)
+  | Func (name, args) -> Func (name, List.map go args)
+  | Exists sub ->
+    let rows, ann = run_subquery ctx sub in
+    ctx.extra_ann <- Annotation.mul ctx.extra_ann ann;
+    Const (Value.Bool (rows <> []))
+  | In_select (a, sub) ->
+    let rows, ann = run_subquery ctx sub in
+    ctx.extra_ann <- Annotation.mul ctx.extra_ann ann;
+    let consts =
+      List.map
+        (fun (row : Value.t array) ->
+          if Array.length row <> 1 then
+            Errors.unsupported "IN subquery must return a single column"
+          else Const row.(0))
+        rows
+    in
+    if consts = [] then
+      (* IN over the empty set is FALSE even for a NULL lhs *)
+      Const (Value.Bool false)
+    else In_list (go a, consts)
+  | Scalar_subquery sub -> (
+    let rows, ann = run_subquery ctx sub in
+    ctx.extra_ann <- Annotation.mul ctx.extra_ann ann;
+    match rows with
+    | [] -> Const Value.Null
+    | [ row ] when Array.length row = 1 -> Const row.(0)
+    | [ _ ] -> Errors.unsupported "scalar subquery must return a single column"
+    | _ -> Errors.unsupported "scalar subquery returned more than one row")
+
+and run_subquery ctx (sub : select) : Value.t array list * Annotation.t =
+  match ctx.eval_subquery with
+  | None -> Errors.unsupported "subqueries require an executor"
+  | Some eval ->
+    let node = plan_select_ctx ctx sub in
+    eval node
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause and join-tree construction.                             *)
+
+and scan_node (ctx : ctx) ~table ~alias ~as_of : node =
+  let tbl = Catalog.find ctx.catalog table in
+  let binding = Option.value alias ~default:table in
+  let schema = Schema.with_qualifier binding (Table.schema tbl) in
+  { schema; op = Scan { table = tbl; binding; as_of } }
+
+(* Try to convert [Filter (conjs, Scan)] into an index scan: find an
+   equality conjunct between an indexed column of this scan and a
+   constant expression. Returns the scan node and the conjuncts not
+   absorbed by the index. *)
+and apply_index (ctx : ctx) (scan : node) (conjs : expr list) :
+    node * expr list =
+  ignore ctx;
+  match scan.op with
+  | Scan { table; binding; as_of = None } ->
+    let try_conjunct c =
+      let candidate col_expr const_expr =
+        match col_expr with
+        | Col (q, n) when (not (has_cols const_expr)) -> (
+          match Schema.find_opt scan.schema ?qualifier:q n with
+          | Some position -> (
+            match Table.index_on table ~column:position with
+            | Some index ->
+              Some
+                { schema = scan.schema;
+                  op =
+                    Index_scan
+                      { table;
+                        binding;
+                        index;
+                        key = Eval_expr.bind [||] const_expr } }
+            | None -> None)
+          | None -> None)
+        | _ -> None
+      in
+      match c with
+      | Cmp (Eq, a, b) -> (
+        match candidate a b with Some n -> Some n | None -> candidate b a)
+      | _ -> None
+    in
+    let rec pick seen = function
+      | [] -> (scan, List.rev seen)
+      | c :: rest -> (
+        match try_conjunct c with
+        | Some node -> (node, List.rev_append seen rest)
+        | None -> pick (c :: seen) rest)
+    in
+    pick [] conjs
+  | _ -> (scan, conjs)
+
+(* Apply all conjuncts resolvable in [node]'s schema as a filter; returns
+   the filtered node and the still-unresolvable conjuncts. *)
+and apply_resolvable_filters (ctx : ctx) node pending =
+  let usable, rest = List.partition (resolvable node.schema) pending in
+  let node, usable = apply_index ctx node usable in
+  match Sql_ast.conjoin usable with
+  | None -> (node, rest)
+  | Some pred ->
+    let bound = Eval_expr.bind node.schema pred in
+    ({ schema = node.schema; op = Filter (bound, node) }, rest)
+
+(* Join [acc] with [next] on the given conjuncts; equi conjuncts become
+   hash-join keys, the rest a residual filter (inner) or a nested-loop
+   predicate (outer). *)
+and join_nodes (_ctx : ctx) ~outer acc next conjs : node * expr list =
+  let keys, rest =
+    List.partition_map
+      (fun c ->
+        match equi_join_key acc.schema next.schema c with
+        | Some (l, r) -> Left (l, r)
+        | None -> Right c)
+      conjs
+  in
+  let schema = Schema.append acc.schema next.schema in
+  if keys = [] then
+    if outer then
+      let pred =
+        Option.map (Eval_expr.bind schema) (Sql_ast.conjoin rest)
+      in
+      ({ schema; op = Nested_loop { left = acc; right = next; pred; outer } }, [])
+    else
+      ({ schema; op = Nested_loop { left = acc; right = next; pred = None; outer } },
+       rest)
+  else begin
+    let left_keys = List.map (fun (l, _) -> Eval_expr.bind acc.schema l) keys in
+    let right_keys =
+      List.map (fun (_, r) -> Eval_expr.bind next.schema r) keys
+    in
+    let joined =
+      { schema;
+        op = Hash_join { left = acc; right = next; left_keys; right_keys; outer } }
+    in
+    if outer && rest <> [] then
+      (* a residual ON condition cannot be applied after padding; fall
+         back to a nested loop with the full predicate *)
+      let pred = Eval_expr.bind schema (Option.get (Sql_ast.conjoin (keys_to_exprs keys @ rest))) in
+      ({ schema; op = Nested_loop { left = acc; right = next; pred = Some pred; outer } },
+       [])
+    else (joined, rest)
+  end
+
+and keys_to_exprs keys = List.map (fun (l, r) -> Cmp (Eq, l, r)) keys
+
+(* Plan a FROM item, pulling usable conjuncts from [pending]. *)
+and plan_from_item (ctx : ctx) (item : from_item) (pending : expr list) :
+    node * expr list =
+  match item with
+  | From_table { table; alias; as_of } ->
+    apply_resolvable_filters ctx (scan_node ctx ~table ~alias ~as_of) pending
+  | From_join { left; right; kind; on } -> (
+    let on_conjs = List.map (resolve_subqueries ctx) (Sql_ast.conjuncts on) in
+    match kind with
+    | Inner ->
+      let lnode, pending = plan_from_item ctx left pending in
+      let rnode, pending = plan_from_item ctx right pending in
+      let joined, rest =
+        join_nodes ctx ~outer:false lnode rnode (on_conjs @ pending)
+      in
+      apply_resolvable_filters ctx joined rest
+    | Left_outer ->
+      (* WHERE conjuncts may be pushed to the left (preserved) side but
+         never into the right side of an outer join *)
+      let lnode, pending = plan_from_item ctx left pending in
+      let rnode, _ = plan_from_item ctx right [] in
+      let joined, rest = join_nodes ctx ~outer:true lnode rnode on_conjs in
+      (match rest with
+      | [] -> ()
+      | _ -> Errors.unsupported "unresolvable ON condition in outer join");
+      (joined, pending))
+
+(* ------------------------------------------------------------------ *)
+(* SELECT body planning (everything but ORDER BY / LIMIT / set ops).   *)
+
+and default_item_name i (e : expr) =
+  match e with
+  | Col (_, n) -> n
+  | Agg (fn, _) -> agg_name fn
+  | Func (name, _) -> name
+  | _ -> Printf.sprintf "column%d" (i + 1)
+
+(* The planned body: pre-projection pipeline plus the projection spec, so
+   the caller can choose where to put a Sort. *)
+and plan_body (ctx : ctx) (s : select) :
+    node * (Eval_expr.bound * Schema.column) list * Schema.t * bool =
+  if s.from = [] then Errors.unsupported "SELECT without FROM is not supported";
+  let where =
+    Option.map
+      (fun w -> List.map (resolve_subqueries ctx) (Sql_ast.conjuncts w))
+      s.where
+  in
+  let conjs = Option.value where ~default:[] in
+  let first, rest_items =
+    match s.from with x :: xs -> (x, xs) | [] -> assert false
+  in
+  let node, conjs = plan_from_item ctx first conjs in
+  let node, conjs =
+    List.fold_left
+      (fun (acc, pending) item ->
+        let next, pending = plan_from_item ctx item pending in
+        let joined, pending = join_nodes ctx ~outer:false acc next pending in
+        apply_resolvable_filters ctx joined pending)
+      (node, conjs) rest_items
+  in
+  (* conjuncts held back while planning (e.g. WHERE predicates over the
+     padded side of an outer join) apply above the finished join tree *)
+  let node, conjs = apply_resolvable_filters ctx node conjs in
+  (match conjs with
+  | [] -> ()
+  | c :: _ ->
+    (* force a resolution error naming the offending column *)
+    ignore (Eval_expr.bind node.schema c));
+  (* aggregation *)
+  let items =
+    List.concat_map
+      (function
+        | Star ->
+          Array.to_list node.schema
+          |> List.map (fun (c : Schema.column) ->
+                 Item (Col (c.qualifier, c.name), None))
+        | Item (e, a) -> [ Item (resolve_subqueries ctx e, a) ])
+      s.items
+  in
+  let having = Option.map (resolve_subqueries ctx) s.having in
+  let needs_agg =
+    s.group_by <> []
+    || List.exists (function Item (e, _) -> contains_agg e | Star -> false) items
+    || Option.fold ~none:false ~some:contains_agg having
+  in
+  let node, items, having =
+    if not needs_agg then (node, items, having)
+    else begin
+      let slots = ref [] in
+      let items' =
+        List.map
+          (function
+            | Star -> assert false
+            | Item (e, a) -> Item (rewrite_aggs slots e, a))
+          items
+      in
+      let having' = Option.map (rewrite_aggs slots) having in
+      let group =
+        List.map
+          (fun (q, n) ->
+            let idx = Schema.resolve node.schema ?qualifier:q n in
+            (Eval_expr.Bcol idx, node.schema.(idx)))
+          s.group_by
+      in
+      let aggs =
+        List.map
+          (fun (_, (fn, arg)) ->
+            (fn, Option.map (Eval_expr.bind node.schema) arg))
+          !slots
+      in
+      let agg_schema =
+        Array.of_list
+          (List.map snd group
+          @ List.mapi
+              (fun i (_, (fn, arg)) ->
+                Schema.column (slot_name i)
+                  (infer_type node.schema (Agg (fn, arg))))
+              !slots)
+      in
+      ( { schema = agg_schema; op = Aggregate { input = node; group; aggs } },
+        items',
+        having' )
+    end
+  in
+  let node =
+    match having with
+    | None -> node
+    | Some h ->
+      { schema = node.schema; op = Filter (Eval_expr.bind node.schema h, node) }
+  in
+  let proj_items =
+    List.mapi
+      (fun i item ->
+        match item with
+        | Star -> assert false
+        | Item (e, alias) ->
+          let name =
+            match alias with Some a -> a | None -> default_item_name i e
+          in
+          let col = Schema.column name (infer_type node.schema e) in
+          (Eval_expr.bind node.schema e, col))
+      items
+  in
+  let proj_schema = Array.of_list (List.map snd proj_items) in
+  (node, proj_items, proj_schema, s.distinct)
+
+(* Assemble a body into a finished pipeline, optionally preparing for a
+   sort below the projection when ORDER BY references dropped columns. *)
+and assemble (ctx : ctx) (s : select)
+    ((pre, proj_items, proj_schema, distinct) :
+      node * (Eval_expr.bound * Schema.column) list * Schema.t * bool)
+    ~with_order : node =
+  let order_by =
+    if with_order then
+      List.map (fun (e, d) -> (resolve_subqueries ctx e, d)) s.order_by
+    else []
+  in
+  let order_above =
+    order_by <> [] && List.for_all (fun (e, _) -> resolvable proj_schema e) order_by
+  in
+  let sort_keys schema =
+    List.map (fun (e, dir) -> (Eval_expr.bind schema e, dir)) order_by
+  in
+  let base =
+    if order_by = [] || order_above then pre
+    else { schema = pre.schema; op = Sort (sort_keys pre.schema, pre) }
+  in
+  let node = { schema = proj_schema; op = Project (proj_items, base) } in
+  let node = if distinct then { schema = node.schema; op = Distinct node } else node in
+  let node =
+    if order_above then
+      { schema = node.schema; op = Sort (sort_keys node.schema, node) }
+    else node
+  in
+  match if with_order then s.limit else None with
+  | None -> node
+  | Some l -> { schema = node.schema; op = Limit (l, node) }
+
+and plan_select_ctx (ctx : ctx) (s : select) : node =
+  (* each body gets its own annotation scope *)
+  let saved = ctx.extra_ann in
+  ctx.extra_ann <- Annotation.one;
+  let wrap node =
+    let node =
+      if Annotation.equal ctx.extra_ann Annotation.one then node
+      else { schema = node.schema; op = Annotate (ctx.extra_ann, node) }
+    in
+    ctx.extra_ann <- saved;
+    node
+  in
+  match s.set_ops with
+  | [] -> wrap (assemble ctx s (plan_body ctx s) ~with_order:true)
+  | ops ->
+    let first = assemble ctx s (plan_body ctx s) ~with_order:false in
+    let combined =
+      List.fold_left
+        (fun acc (op, rhs) ->
+          let rhs_node = assemble ctx rhs (plan_body ctx rhs) ~with_order:false in
+          if Schema.arity rhs_node.schema <> Schema.arity acc.schema then
+            Errors.unsupported "UNION branches must have the same arity";
+          let u = { schema = acc.schema; op = Union (acc, rhs_node) } in
+          match op with
+          | Union_all -> u
+          | Union_distinct -> { schema = u.schema; op = Distinct u })
+        first ops
+    in
+    (* ORDER BY / LIMIT apply to the whole chain, over the output schema *)
+    let node =
+      if s.order_by = [] then combined
+      else
+        let keys =
+          List.map
+            (fun (e, d) ->
+              (Eval_expr.bind combined.schema (resolve_subqueries ctx e), d))
+            s.order_by
+        in
+        { schema = combined.schema; op = Sort (keys, combined) }
+    in
+    wrap
+      (match s.limit with
+      | None -> node
+      | Some l -> { schema = node.schema; op = Limit (l, node) })
+
+(** Plan a SELECT. [eval_subquery] is required when the statement contains
+    subqueries. *)
+let plan_select (catalog : Catalog.t) ?eval_subquery (s : select) : node =
+  plan_select_ctx { catalog; eval_subquery; extra_ann = Annotation.one } s
+
+(** Resolve the uncorrelated subqueries of a standalone expression (an
+    UPDATE/DELETE WHERE clause); returns the rewritten expression and the
+    provenance annotation the subqueries contributed. *)
+let resolve_expr (catalog : Catalog.t) ?eval_subquery (e : expr) :
+    expr * Annotation.t =
+  let ctx = { catalog; eval_subquery; extra_ann = Annotation.one } in
+  let e = resolve_subqueries ctx e in
+  (e, ctx.extra_ann)
+
+(** Names of the base tables a plan reads, in scan order. *)
+let rec base_tables (n : node) : string list =
+  match n.op with
+  | Scan { table; _ } | Index_scan { table; _ } -> [ Table.name table ]
+  | Filter (_, x)
+  | Project (_, x)
+  | Sort (_, x)
+  | Limit (_, x)
+  | Distinct x
+  | Annotate (_, x) ->
+    base_tables x
+  | Hash_join { left; right; _ } | Nested_loop { left; right; _ } | Union (left, right) ->
+    base_tables left @ base_tables right
+  | Aggregate { input; _ } -> base_tables input
+
+(** A one-line textual rendering of the plan shape, for EXPLAIN, tests and
+    debugging. *)
+let rec describe (n : node) : string =
+  match n.op with
+  | Scan { table; binding; as_of } ->
+    let name = Table.name table in
+    let base =
+      if name = binding then Printf.sprintf "scan(%s" name
+      else Printf.sprintf "scan(%s as %s" name binding
+    in
+    (match as_of with
+    | Some t -> base ^ Printf.sprintf " asof %d)" t
+    | None -> base ^ ")")
+  | Index_scan { table; index; _ } ->
+    Printf.sprintf "indexscan(%s.%s)" (Table.name table) index.Table.idx_name
+  | Filter (_, x) -> Printf.sprintf "filter(%s)" (describe x)
+  | Project (_, x) -> Printf.sprintf "project(%s)" (describe x)
+  | Hash_join { left; right; outer; _ } ->
+    Printf.sprintf "%s(%s, %s)"
+      (if outer then "hashouterjoin" else "hashjoin")
+      (describe left) (describe right)
+  | Nested_loop { left; right; outer; _ } ->
+    Printf.sprintf "%s(%s, %s)"
+      (if outer then "nestedouterloop" else "nestedloop")
+      (describe left) (describe right)
+  | Aggregate { input; _ } -> Printf.sprintf "aggregate(%s)" (describe input)
+  | Sort (_, x) -> Printf.sprintf "sort(%s)" (describe x)
+  | Limit (l, x) -> Printf.sprintf "limit(%d, %s)" l (describe x)
+  | Distinct x -> Printf.sprintf "distinct(%s)" (describe x)
+  | Union (a, b) -> Printf.sprintf "union(%s, %s)" (describe a) (describe b)
+  | Annotate (_, x) -> Printf.sprintf "annotate(%s)" (describe x)

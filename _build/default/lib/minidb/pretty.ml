@@ -1,0 +1,175 @@
+(** Pretty-printer from [Sql_ast] back to SQL text.
+
+    Used for statement normalization (the server-excluded replay matcher
+    compares normalized statements) and tested by a parse/print round-trip
+    property. Output always parenthesizes enough to re-parse to the same
+    tree. *)
+
+open Sql_ast
+
+let escape_string s = String.concat "''" (String.split_on_char '\'' s)
+
+let pp_comma pp ppf xs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp ppf xs
+
+let rec pp_expr ppf = function
+  | Const v -> Value.pp ppf v
+  | Col (None, n) -> Format.pp_print_string ppf n
+  | Col (Some q, n) -> Format.fprintf ppf "%s.%s" q n
+  | Cmp (op, a, b) ->
+    Format.fprintf ppf "%a %s %a" pp_operand a (cmp_name op) pp_operand b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_expr a pp_expr b
+  | Not e -> Format.fprintf ppf "(NOT %a)" pp_expr e
+  | Is_null e -> Format.fprintf ppf "%a IS NULL" pp_operand e
+  | Is_not_null e -> Format.fprintf ppf "%a IS NOT NULL" pp_operand e
+  | Between (e, lo, hi) ->
+    Format.fprintf ppf "%a BETWEEN %a AND %a" pp_operand e pp_operand lo
+      pp_operand hi
+  | Like (e, pat) ->
+    Format.fprintf ppf "%a LIKE '%s'" pp_operand e (escape_string pat)
+  | Not_like (e, pat) ->
+    Format.fprintf ppf "%a NOT LIKE '%s'" pp_operand e (escape_string pat)
+  | In_list (e, es) ->
+    Format.fprintf ppf "%a IN (%a)" pp_operand e (pp_comma pp_expr) es
+  | In_select (e, sub) ->
+    Format.fprintf ppf "%a IN (%a)" pp_operand e pp_select sub
+  | Arith (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (arith_name op) pp_expr b
+  | Neg e -> Format.fprintf ppf "(-%a)" pp_operand e
+  | Concat (a, b) -> Format.fprintf ppf "(%a || %a)" pp_expr a pp_expr b
+  | Agg (Count_star, _) -> Format.pp_print_string ppf "count(*)"
+  | Agg (fn, Some e) -> Format.fprintf ppf "%s(%a)" (agg_name fn) pp_expr e
+  | Agg (fn, None) -> Format.fprintf ppf "%s(*)" (agg_name fn)
+  | Case (branches, default) ->
+    Format.fprintf ppf "CASE";
+    List.iter
+      (fun (c, v) ->
+        Format.fprintf ppf " WHEN %a THEN %a" pp_expr c pp_expr v)
+      branches;
+    (match default with
+    | Some d -> Format.fprintf ppf " ELSE %a" pp_expr d
+    | None -> ());
+    Format.fprintf ppf " END"
+  | Func (name, args) ->
+    Format.fprintf ppf "%s(%a)" name (pp_comma pp_expr) args
+  | Exists sub -> Format.fprintf ppf "EXISTS (%a)" pp_select sub
+  | Scalar_subquery sub -> Format.fprintf ppf "(%a)" pp_select sub
+
+(* Operands of comparisons are wrapped when they are themselves complex so
+   that the round-trip re-parses identically. *)
+and pp_operand ppf e =
+  match e with
+  | Const _ | Col _ | Agg _ | Arith _ | Neg _ | Concat _ | Func _ | Case _
+  | Scalar_subquery _ ->
+    pp_expr ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp_expr e
+
+and pp_select_item ppf = function
+  | Star -> Format.pp_print_string ppf "*"
+  | Item (e, None) -> pp_expr ppf e
+  | Item (e, Some a) -> Format.fprintf ppf "%a AS %s" pp_expr e a
+
+and pp_from_item ppf = function
+  | From_table { table; alias; as_of } ->
+    Format.pp_print_string ppf table;
+    (match as_of with
+    | Some n -> Format.fprintf ppf " AS OF %d" n
+    | None -> ());
+    (match alias with
+    | Some a -> Format.fprintf ppf " %s" a
+    | None -> ())
+  | From_join { left; right; kind; on } ->
+    let kw = match kind with Inner -> "JOIN" | Left_outer -> "LEFT JOIN" in
+    Format.fprintf ppf "%a %s %a ON %a" pp_from_item left kw pp_join_operand
+      right pp_expr on
+
+(* the right side of a JOIN must be a primary ref; parenthesize joins *)
+and pp_join_operand ppf = function
+  | From_table _ as f -> pp_from_item ppf f
+  | From_join _ as f -> Format.fprintf ppf "(%a)" pp_from_item f
+
+and pp_select ppf (s : select) =
+  Format.fprintf ppf "SELECT ";
+  if s.distinct then Format.fprintf ppf "DISTINCT ";
+  pp_comma pp_select_item ppf s.items;
+  if s.from <> [] then
+    Format.fprintf ppf " FROM %a" (pp_comma pp_from_item) s.from;
+  (match s.where with
+  | Some w -> Format.fprintf ppf " WHERE %a" pp_expr w
+  | None -> ());
+  if s.group_by <> [] then
+    Format.fprintf ppf " GROUP BY %a"
+      (pp_comma (fun ppf (q, n) ->
+           match q with
+           | Some q -> Format.fprintf ppf "%s.%s" q n
+           | None -> Format.pp_print_string ppf n))
+      s.group_by;
+  (match s.having with
+  | Some h -> Format.fprintf ppf " HAVING %a" pp_expr h
+  | None -> ());
+  List.iter
+    (fun (op, rhs) ->
+      let kw = match op with Union_all -> "UNION ALL" | Union_distinct -> "UNION" in
+      Format.fprintf ppf " %s %a" kw pp_select rhs)
+    s.set_ops;
+  if s.order_by <> [] then
+    Format.fprintf ppf " ORDER BY %a"
+      (pp_comma (fun ppf (e, dir) ->
+           Format.fprintf ppf "%a%s" pp_expr e
+             (match dir with Asc -> "" | Desc -> " DESC")))
+      s.order_by;
+  match s.limit with
+  | Some l -> Format.fprintf ppf " LIMIT %d" l
+  | None -> ()
+
+let rec pp_statement ppf = function
+  | Select s -> pp_select ppf s
+  | Provenance s -> Format.fprintf ppf "PROVENANCE %a" pp_select s
+  | Insert { table; columns; source } ->
+    Format.fprintf ppf "INSERT INTO %s" table;
+    (match columns with
+    | Some cols ->
+      Format.fprintf ppf " (%a)" (pp_comma Format.pp_print_string) cols
+    | None -> ());
+    (match source with
+    | Values rows ->
+      Format.fprintf ppf " VALUES %a"
+        (pp_comma (fun ppf row ->
+             Format.fprintf ppf "(%a)" (pp_comma pp_expr) row))
+        rows
+    | Query q -> Format.fprintf ppf " %a" pp_select q)
+  | Update { table; sets; where } ->
+    Format.fprintf ppf "UPDATE %s SET %a" table
+      (pp_comma (fun ppf (c, e) -> Format.fprintf ppf "%s = %a" c pp_expr e))
+      sets;
+    (match where with
+    | Some w -> Format.fprintf ppf " WHERE %a" pp_expr w
+    | None -> ())
+  | Delete { table; where } ->
+    Format.fprintf ppf "DELETE FROM %s" table;
+    (match where with
+    | Some w -> Format.fprintf ppf " WHERE %a" pp_expr w
+    | None -> ())
+  | Create_table { table; columns } ->
+    Format.fprintf ppf "CREATE TABLE %s (%a)" table
+      (pp_comma (fun ppf (c, ty) ->
+           Format.fprintf ppf "%s %s" c (Value.type_name ty)))
+      columns
+  | Drop_table t -> Format.fprintf ppf "DROP TABLE %s" t
+  | Create_index { index; table; column } ->
+    Format.fprintf ppf "CREATE INDEX %s ON %s (%s)" index table column
+  | Drop_index i -> Format.fprintf ppf "DROP INDEX %s" i
+  | Explain stmt -> Format.fprintf ppf "EXPLAIN %a" pp_statement stmt
+  | Begin_tx -> Format.pp_print_string ppf "BEGIN"
+  | Commit_tx -> Format.pp_print_string ppf "COMMIT"
+  | Rollback_tx -> Format.pp_print_string ppf "ROLLBACK"
+
+let statement_to_string stmt = Format.asprintf "%a" pp_statement stmt
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+(** Canonical form of a statement: parse-independent text used as a replay
+    matching key. *)
+let normalize sql = statement_to_string (Sql_parser.parse sql)

@@ -1,0 +1,188 @@
+(** Abstract syntax for the SQL dialect MiniDB speaks.
+
+    The dialect covers the paper's workload (Table II plus the
+    Insert/Update steps of §IX-A) and a realistic superset: SELECT with
+    comma joins and explicit [JOIN .. ON] / [LEFT JOIN], WHERE with
+    three-valued logic, BETWEEN/LIKE/IN, uncorrelated subqueries (IN,
+    EXISTS, scalar), aggregation with GROUP BY and HAVING, ORDER BY /
+    LIMIT / DISTINCT, UNION [ALL], CASE expressions and scalar functions;
+    INSERT .. VALUES / INSERT .. SELECT, UPDATE, DELETE; CREATE/DROP
+    TABLE, CREATE/DROP INDEX; EXPLAIN; BEGIN/COMMIT/ROLLBACK; time-travel
+    scans ([FROM t AS OF n]) over the native version history; and Perm's
+    [PROVENANCE] keyword prefix. *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type arith = Add | Sub | Mul | Div
+
+type agg_fn = Count_star | Count | Sum | Avg | Min | Max
+
+type join_kind = Inner | Left_outer
+
+type set_op = Union_all | Union_distinct
+
+type expr =
+  | Const of Value.t
+  | Col of string option * string  (** optional qualifier, column name *)
+  | Cmp of cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of expr
+  | Is_not_null of expr
+  | Between of expr * expr * expr  (** e BETWEEN lo AND hi *)
+  | Like of expr * string
+  | Not_like of expr * string
+  | In_list of expr * expr list
+  | Arith of arith * expr * expr
+  | Neg of expr
+  | Concat of expr * expr
+  | Agg of agg_fn * expr option  (** aggregate call; [None] only for COUNT star *)
+  | Case of (expr * expr) list * expr option
+      (** CASE WHEN c THEN v ... [ELSE d] END *)
+  | Func of string * expr list  (** scalar function call, lowercase name *)
+  | Exists of select  (** EXISTS (SELECT ...), uncorrelated *)
+  | In_select of expr * select  (** e IN (SELECT ...), uncorrelated *)
+  | Scalar_subquery of select  (** (SELECT ...) producing one value *)
+
+and select_item =
+  | Star
+  | Item of expr * string option  (** expression with optional AS alias *)
+
+and from_item =
+  | From_table of {
+      table : string;
+      alias : string option;
+      as_of : int option;  (** time-travel: the snapshot clock to scan *)
+    }
+  | From_join of {
+      left : from_item;
+      right : from_item;
+      kind : join_kind;
+      on : expr;
+    }
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  from : from_item list;  (** comma-separated; empty only inside EXISTS *)
+  where : expr option;
+  group_by : (string option * string) list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  set_ops : (set_op * select) list;  (** UNION [ALL] chain, left-assoc *)
+}
+
+and order_dir = Asc | Desc
+
+type insert_source =
+  | Values of expr list list
+  | Query of select  (** INSERT INTO t SELECT ... *)
+
+type statement =
+  | Select of select
+  | Provenance of select  (** Perm's [PROVENANCE SELECT ...] *)
+  | Insert of {
+      table : string;
+      columns : string list option;
+      source : insert_source;
+    }
+  | Update of {
+      table : string;
+      sets : (string * expr) list;
+      where : expr option;
+    }
+  | Delete of { table : string; where : expr option }
+  | Create_table of { table : string; columns : (string * Value.ty) list }
+  | Drop_table of string
+  | Create_index of { index : string; table : string; column : string }
+  | Drop_index of string
+  | Explain of statement
+  | Begin_tx
+  | Commit_tx
+  | Rollback_tx
+
+let agg_name = function
+  | Count_star | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let arith_name = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+(** [contains_agg e] holds when [e] mentions an aggregate function outside
+    any nested subquery; such expressions force an aggregation plan node. *)
+let rec contains_agg = function
+  | Const _ | Col _ -> false
+  | Cmp (_, a, b) | Arith (_, a, b) | Concat (a, b) | And (a, b) | Or (a, b) ->
+    contains_agg a || contains_agg b
+  | Not e | Is_null e | Is_not_null e | Neg e -> contains_agg e
+  | Between (a, b, c) -> contains_agg a || contains_agg b || contains_agg c
+  | Like (e, _) | Not_like (e, _) -> contains_agg e
+  | In_list (e, es) -> contains_agg e || List.exists contains_agg es
+  | Agg _ -> true
+  | Case (branches, default) ->
+    List.exists (fun (c, v) -> contains_agg c || contains_agg v) branches
+    || Option.fold ~none:false ~some:contains_agg default
+  | Func (_, args) -> List.exists contains_agg args
+  | Exists _ | Scalar_subquery _ -> false
+  | In_select (e, _) -> contains_agg e
+
+(** Fold over all column references in an expression (not descending into
+    subqueries, whose columns resolve in their own scope). *)
+let rec fold_cols f acc = function
+  | Const _ -> acc
+  | Col (q, n) -> f acc q n
+  | Cmp (_, a, b) | Arith (_, a, b) | Concat (a, b) | And (a, b) | Or (a, b) ->
+    fold_cols f (fold_cols f acc a) b
+  | Not e | Is_null e | Is_not_null e | Neg e -> fold_cols f acc e
+  | Between (a, b, c) -> fold_cols f (fold_cols f (fold_cols f acc a) b) c
+  | Like (e, _) | Not_like (e, _) -> fold_cols f acc e
+  | In_list (e, es) -> List.fold_left (fold_cols f) (fold_cols f acc e) es
+  | Agg (_, Some e) -> fold_cols f acc e
+  | Agg (_, None) -> acc
+  | Case (branches, default) ->
+    let acc =
+      List.fold_left
+        (fun acc (c, v) -> fold_cols f (fold_cols f acc c) v)
+        acc branches
+    in
+    Option.fold ~none:acc ~some:(fold_cols f acc) default
+  | Func (_, args) -> List.fold_left (fold_cols f) acc args
+  | Exists _ | Scalar_subquery _ -> acc
+  | In_select (e, _) -> fold_cols f acc e
+
+(** Split a conjunction into its conjuncts (used by the planner to separate
+    join predicates from residual filters). *)
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> None
+  | e :: es -> Some (List.fold_left (fun acc x -> And (acc, x)) e es)
+
+(** Convenience constructor for a plain table reference. *)
+let from_table ?alias ?as_of table = From_table { table; alias; as_of }
+
+(** A bare single-table SELECT * skeleton, used by reenactment. *)
+let simple_select ?where ~from items =
+  { distinct = false;
+    items;
+    from;
+    where;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+    set_ops = [] }

@@ -1,0 +1,274 @@
+(** Versioned tuple storage.
+
+    Every write produces a new tuple *version* identified by a [Tid.t]. The
+    table keeps both the live snapshot (what queries see) and the full
+    version history (what update/delete reenactment and package slicing
+    need). This replaces the paper's schema-extension trick
+    ([prov_rowid]/[prov_v] columns added to user tables): versioning is
+    native to the storage layer. *)
+
+type tuple_version = {
+  tid : Tid.t;
+  values : Value.t array;
+  (* Closed half of the version's validity interval: the clock at which this
+     version was superseded or deleted, if any. *)
+  mutable retired_at : int option;
+}
+
+(** A secondary hash index over one column of the live snapshot. *)
+type index = {
+  idx_name : string;
+  idx_column : int;  (** position in the schema *)
+  idx_entries : (Value.t, int list ref) Hashtbl.t;  (** value -> rids *)
+}
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  live : (int, tuple_version) Hashtbl.t;  (** rid -> current version *)
+  mutable history : tuple_version list;  (** all versions, newest first *)
+  by_version : (int * int, tuple_version) Hashtbl.t;
+      (** (rid, version) -> the version, for O(1) provenance lookups *)
+  mutable next_rid : int;
+  mutable live_order : int list;  (** rids in insertion order, newest first *)
+  mutable indexes : index list;
+}
+
+let create ~name ~schema =
+  { name = String.lowercase_ascii name;
+    schema;
+    live = Hashtbl.create 64;
+    history = [];
+    by_version = Hashtbl.create 64;
+    next_rid = 1;
+    live_order = [];
+    indexes = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Index maintenance.                                                  *)
+
+let index_add idx value rid =
+  if not (Value.is_null value) then
+    match Hashtbl.find_opt idx.idx_entries value with
+    | Some r -> r := rid :: !r
+    | None -> Hashtbl.replace idx.idx_entries value (ref [ rid ])
+
+let index_remove idx value rid =
+  if not (Value.is_null value) then
+    match Hashtbl.find_opt idx.idx_entries value with
+    | Some r -> r := List.filter (fun x -> x <> rid) !r
+    | None -> ()
+
+let indexes_add t (tv : tuple_version) =
+  List.iter
+    (fun idx -> index_add idx tv.values.(idx.idx_column) tv.tid.Tid.rid)
+    t.indexes
+
+let indexes_remove t (tv : tuple_version) =
+  List.iter
+    (fun idx -> index_remove idx tv.values.(idx.idx_column) tv.tid.Tid.rid)
+    t.indexes
+
+(* live_order is kept in descending-rid order (newest insert first), so
+   restores and rollbacks can put a rid back at its canonical position. *)
+let insert_sorted rid order =
+  let rec go = function
+    | x :: rest when x > rid -> x :: go rest
+    | l -> rid :: l
+  in
+  go order
+
+let name t = t.name
+let schema t = t.schema
+let row_count t = Hashtbl.length t.live
+let version_count t = List.length t.history
+
+(** Insert a row; returns the new tuple version. [clock] is the logical
+    timestamp recorded as the version. *)
+let insert t ~clock (row : Value.t array) =
+  let values = Schema.coerce_row t.schema row in
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  let tv =
+    { tid = Tid.make ~table:t.name ~rid ~version:clock;
+      values;
+      retired_at = None }
+  in
+  Hashtbl.replace t.live rid tv;
+  t.history <- tv :: t.history;
+  Hashtbl.replace t.by_version (rid, clock) tv;
+  t.live_order <- rid :: t.live_order;
+  indexes_add t tv;
+  tv
+
+(** Update the live version of [rid] to new values; returns
+    [(old_version, new_version)]. *)
+let update t ~clock ~rid (row : Value.t array) =
+  match Hashtbl.find_opt t.live rid with
+  | None ->
+    Errors.fail
+      (Errors.Constraint_violation
+         (Printf.sprintf "update of dead rid %d in table %s" rid t.name))
+  | Some old_tv ->
+    let values = Schema.coerce_row t.schema row in
+    let tv =
+      { tid = Tid.make ~table:t.name ~rid ~version:clock;
+        values;
+        retired_at = None }
+    in
+    old_tv.retired_at <- Some clock;
+    Hashtbl.replace t.live rid tv;
+    t.history <- tv :: t.history;
+    Hashtbl.replace t.by_version (rid, clock) tv;
+    indexes_remove t old_tv;
+    indexes_add t tv;
+    (old_tv, tv)
+
+(** Delete the live version of [rid]; returns the retired version. *)
+let delete t ~clock ~rid =
+  match Hashtbl.find_opt t.live rid with
+  | None ->
+    Errors.fail
+      (Errors.Constraint_violation
+         (Printf.sprintf "delete of dead rid %d in table %s" rid t.name))
+  | Some tv ->
+    tv.retired_at <- Some clock;
+    Hashtbl.remove t.live rid;
+    t.live_order <- List.filter (fun r -> r <> rid) t.live_order;
+    indexes_remove t tv;
+    tv
+
+(** Live tuple versions in insertion order (oldest first). *)
+let scan t : tuple_version list =
+  List.rev_map (fun rid -> Hashtbl.find t.live rid) t.live_order
+
+let find_live t ~rid = Hashtbl.find_opt t.live rid
+
+(** Look up any historical version by tid (O(1)). *)
+let find_version t (tid : Tid.t) =
+  if not (String.equal tid.Tid.table t.name) then None
+  else Hashtbl.find_opt t.by_version (tid.Tid.rid, tid.Tid.version)
+
+(** All versions ever written, oldest first. *)
+let all_versions t = List.rev t.history
+
+(** Approximate on-disk footprint of the live data in bytes; drives the
+    size of simulated DB data files. *)
+let data_bytes t =
+  Hashtbl.fold
+    (fun _ tv acc ->
+      acc + Array.fold_left (fun a v -> a + Value.byte_size v) 8 tv.values)
+    t.live 0
+
+(** Restore a tuple version verbatim (used when loading a package's CSV
+    subset: rids and versions must survive the round-trip so that replayed
+    traces align). *)
+let restore_version t ~rid ~version (row : Value.t array) =
+  let values = Schema.coerce_row t.schema row in
+  let tv =
+    { tid = Tid.make ~table:t.name ~rid ~version; values; retired_at = None }
+  in
+  (match Hashtbl.find_opt t.live rid with
+  | Some old when old.tid.Tid.version >= version ->
+    Errors.fail
+      (Errors.Constraint_violation
+         (Printf.sprintf "restore of stale version %d for rid %d" version rid))
+  | Some old ->
+    old.retired_at <- Some version;
+    indexes_remove t old;
+    Hashtbl.replace t.live rid tv;
+    indexes_add t tv
+  | None ->
+    Hashtbl.replace t.live rid tv;
+    t.live_order <- insert_sorted rid t.live_order;
+    indexes_add t tv);
+  if rid >= t.next_rid then t.next_rid <- rid + 1;
+  t.history <- tv :: t.history;
+  Hashtbl.replace t.by_version (rid, version) tv;
+  tv
+
+(* ------------------------------------------------------------------ *)
+(* Secondary indexes.                                                  *)
+
+(** Create a hash index over [column]; backfills from the live snapshot. *)
+let create_index t ~index_name ~column =
+  let column = String.lowercase_ascii column in
+  if List.exists (fun i -> String.equal i.idx_name index_name) t.indexes then
+    Errors.fail
+      (Errors.Constraint_violation
+         (Printf.sprintf "index %S already exists" index_name));
+  let position = Schema.resolve t.schema column in
+  let idx =
+    { idx_name = index_name;
+      idx_column = position;
+      idx_entries = Hashtbl.create 256 }
+  in
+  Hashtbl.iter (fun rid tv -> index_add idx tv.values.(position) rid) t.live;
+  t.indexes <- idx :: t.indexes;
+  idx
+
+let drop_index t ~index_name =
+  if not (List.exists (fun i -> String.equal i.idx_name index_name) t.indexes)
+  then Errors.fail (Errors.Unknown_table ("index " ^ index_name));
+  t.indexes <-
+    List.filter (fun i -> not (String.equal i.idx_name index_name)) t.indexes
+
+(** An index over column position [column], if one exists. *)
+let index_on t ~column =
+  List.find_opt (fun i -> i.idx_column = column) t.indexes
+
+let index_names t = List.map (fun i -> i.idx_name) t.indexes
+
+(** Live tuple versions whose indexed column equals [value], in rid order
+    (deterministic regardless of maintenance history). *)
+let index_lookup t (idx : index) (value : Value.t) : tuple_version list =
+  match Hashtbl.find_opt idx.idx_entries value with
+  | None -> []
+  | Some rids ->
+    List.sort_uniq compare !rids
+    |> List.filter_map (fun rid -> Hashtbl.find_opt t.live rid)
+
+(* ------------------------------------------------------------------ *)
+(* Time travel.                                                        *)
+
+(** The live snapshot as of logical time [at]: for each row, the version
+    written no later than [at] and not yet retired at [at]. *)
+let scan_as_of t ~at : tuple_version list =
+  List.filter
+    (fun tv ->
+      tv.tid.Tid.version <= at
+      && match tv.retired_at with None -> true | Some r -> r > at)
+    (List.rev t.history)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction rollback support.                                       *)
+
+(** Erase a version created inside an aborted transaction: it disappears
+    from the live snapshot, the history, and the indexes — as if it never
+    happened. *)
+let unlink_version t (tv : tuple_version) =
+  (match Hashtbl.find_opt t.live tv.tid.Tid.rid with
+  | Some live_tv when live_tv == tv ->
+    Hashtbl.remove t.live tv.tid.Tid.rid;
+    t.live_order <- List.filter (fun r -> r <> tv.tid.Tid.rid) t.live_order;
+    indexes_remove t tv
+  | _ -> ());
+  t.history <- List.filter (fun x -> not (x == tv)) t.history;
+  Hashtbl.remove t.by_version (tv.tid.Tid.rid, tv.tid.Tid.version)
+
+(** Resurrect a version retired inside an aborted transaction. *)
+let relink_version t (tv : tuple_version) =
+  tv.retired_at <- None;
+  (match Hashtbl.find_opt t.live tv.tid.Tid.rid with
+  | Some current when not (current == tv) ->
+    (* the slot is occupied by an aborted newer version: caller must have
+       unlinked it first *)
+    Errors.fail
+      (Errors.Constraint_violation
+         (Printf.sprintf "relink of rid %d would clobber a live version"
+            tv.tid.Tid.rid))
+  | Some _ -> ()
+  | None ->
+    Hashtbl.replace t.live tv.tid.Tid.rid tv;
+    t.live_order <- insert_sorted tv.tid.Tid.rid t.live_order;
+    indexes_add t tv)

@@ -1,0 +1,1 @@
+lib/minios/kernel.ml: Hashtbl List Option Printf Syscall Vfs

@@ -1,0 +1,1 @@
+lib/minios/program.ml: Fun Hashtbl Kernel Printf Syscall Vfs

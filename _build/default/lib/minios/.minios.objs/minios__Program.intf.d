@@ -1,0 +1,1 @@
+lib/minios/program.mli: Kernel

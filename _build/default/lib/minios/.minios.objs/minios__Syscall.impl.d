@@ -1,0 +1,1 @@
+lib/minios/syscall.ml: Format Option

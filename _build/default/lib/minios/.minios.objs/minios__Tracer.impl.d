@@ -1,0 +1,1 @@
+lib/minios/tracer.ml: Hashtbl Kernel List Option Prov String Syscall Vfs

@@ -1,0 +1,1 @@
+lib/minios/tracer.mli: Kernel Prov Syscall Vfs

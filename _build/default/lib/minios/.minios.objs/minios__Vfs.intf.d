@@ -1,0 +1,1 @@
+lib/minios/vfs.mli:

@@ -1,0 +1,162 @@
+(** The simulated kernel: process management, file syscalls, a logical
+    clock, and an optional tracer hook.
+
+    Execution is sequential and deterministic: [spawn] runs the child
+    program to completion before returning (fork-and-wait semantics), and
+    every syscall advances the logical clock by one tick. When a tracer
+    hook is installed it observes the full syscall stream — the moral
+    equivalent of running the application under [ptrace]. *)
+
+type fd = int
+
+type open_file = { path : string; mode : Syscall.file_mode; opened_at : int }
+
+type process = {
+  pid : int;
+  pname : string;
+  parent : int option;
+  binary : string option;
+  mutable fds : (fd * open_file) list;
+  mutable next_fd : fd;
+  mutable alive : bool;
+}
+
+type t = {
+  vfs : Vfs.t;
+  mutable clock : int;
+  mutable next_pid : int;
+  processes : (int, process) Hashtbl.t;
+  mutable trace_hook : (Syscall.event -> unit) option;
+  mutable audit_hooks : (string * (unit -> unit)) list;
+}
+
+let create ?(vfs = Vfs.create ()) () =
+  { vfs;
+    clock = 0;
+    next_pid = 1;
+    processes = Hashtbl.create 16;
+    trace_hook = None;
+    audit_hooks = [] }
+
+let vfs t = t.vfs
+let now t = t.clock
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(** Advance the clock to at least [at]; used to merge external logical
+    timelines (the DB's statement clock) into the OS timeline. *)
+let advance_to t ~at = if at > t.clock then t.clock <- at
+
+let set_tracer t hook = t.trace_hook <- hook
+
+let emit t event =
+  match t.trace_hook with None -> () | Some hook -> hook event
+
+let find_process t pid =
+  match Hashtbl.find_opt t.processes pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Kernel: unknown pid %d" pid)
+
+(* Loading a binary and its shared libraries shows up to ptrace as the
+   process reading those files; CDE-style packaging depends on seeing these
+   reads. *)
+let record_image_reads t pid paths =
+  List.iter
+    (fun path ->
+      if Vfs.exists t.vfs path then begin
+        let opened_at = tick t in
+        emit t (Syscall.Opened { pid; path; mode = Syscall.Read; time = opened_at });
+        let time = tick t in
+        emit t (Syscall.Closed { pid; path; mode = Syscall.Read; opened_at; time })
+      end)
+    paths
+
+let start_process t ?parent ?binary ?(libs = []) ~name () =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let p =
+    { pid; pname = name; parent; binary; fds = []; next_fd = 3; alive = true }
+  in
+  Hashtbl.replace t.processes pid p;
+  let time = tick t in
+  emit t (Syscall.Spawned { parent; pid; name; binary; time });
+  record_image_reads t pid (Option.to_list binary @ libs);
+  p
+
+let exit_process t pid =
+  let p = find_process t pid in
+  if p.alive then begin
+    (* close leaked fds before exiting, as the OS would *)
+    List.iter
+      (fun (_, of_) ->
+        let time = tick t in
+        emit t
+          (Syscall.Closed
+             { pid;
+               path = of_.path;
+               mode = of_.mode;
+               opened_at = of_.opened_at;
+               time }))
+      p.fds;
+    p.fds <- [];
+    p.alive <- false;
+    let time = tick t in
+    emit t (Syscall.Exited { pid; time })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* File syscalls.                                                      *)
+
+let open_file t ~pid ~path ~mode : fd =
+  let p = find_process t pid in
+  if not p.alive then invalid_arg "Kernel.open_file: dead process";
+  (match mode with
+  | Syscall.Read ->
+    if not (Vfs.exists t.vfs path) then
+      invalid_arg (Printf.sprintf "Kernel.open_file: no such file %s" path)
+  | Syscall.Write ->
+    (* open for write truncates/creates *)
+    Vfs.write_string t.vfs ~path ~mtime:t.clock "");
+  let opened_at = tick t in
+  emit t (Syscall.Opened { pid; path; mode; time = opened_at });
+  let fd = p.next_fd in
+  p.next_fd <- fd + 1;
+  p.fds <- (fd, { path; mode; opened_at }) :: p.fds;
+  fd
+
+let fd_entry p fd =
+  match List.assoc_opt fd p.fds with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Kernel: bad fd %d" fd)
+
+let read_fd t ~pid ~fd : string =
+  let p = find_process t pid in
+  let e = fd_entry p fd in
+  if e.mode <> Syscall.Read then invalid_arg "Kernel.read_fd: fd open for write";
+  ignore (tick t);
+  Vfs.read t.vfs e.path
+
+let write_fd t ~pid ~fd (data : string) =
+  let p = find_process t pid in
+  let e = fd_entry p fd in
+  if e.mode <> Syscall.Write then invalid_arg "Kernel.write_fd: fd open for read";
+  let time = tick t in
+  Vfs.append t.vfs ~path:e.path ~mtime:time data
+
+let close_fd t ~pid ~fd =
+  let p = find_process t pid in
+  let e = fd_entry p fd in
+  p.fds <- List.remove_assoc fd p.fds;
+  let time = tick t in
+  emit t
+    (Syscall.Closed
+       { pid; path = e.path; mode = e.mode; opened_at = e.opened_at; time })
+
+(* ------------------------------------------------------------------ *)
+(* Audit hooks: named callbacks other layers (the DB client interceptor)
+   register so the auditor can flush per-run state. *)
+
+let register_audit_hook t ~name f = t.audit_hooks <- (name, f) :: t.audit_hooks
+let run_audit_hooks t = List.iter (fun (_, f) -> f ()) t.audit_hooks

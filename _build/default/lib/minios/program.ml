@@ -1,0 +1,80 @@
+(** The DSL applications are written in.
+
+    A program is an OCaml function over an environment that exposes the
+    kernel's syscalls for one process. [spawn] starts a child process that
+    runs to completion (fork-and-wait). Because real binaries cannot be
+    shipped inside OCaml packages, programs are registered by name in
+    {!registry}; the simulated "binary" file at [binary] is what packaging
+    copies, and the registry name is what replay uses to find the code
+    again — the simulation counterpart of re-executing a packaged
+    executable. *)
+
+type env = { kernel : Kernel.t; pid : int }
+
+type program = env -> unit
+
+let kernel env = env.kernel
+let pid env = env.pid
+let now env = Kernel.now env.kernel
+
+(* ------------------------------------------------------------------ *)
+(* Syscall wrappers.                                                   *)
+
+let open_in_file env path : Kernel.fd =
+  Kernel.open_file env.kernel ~pid:env.pid ~path ~mode:Syscall.Read
+
+let open_out_file env path : Kernel.fd =
+  Kernel.open_file env.kernel ~pid:env.pid ~path ~mode:Syscall.Write
+
+let read_fd env fd = Kernel.read_fd env.kernel ~pid:env.pid ~fd
+let write_fd env fd data = Kernel.write_fd env.kernel ~pid:env.pid ~fd data
+let close_fd env fd = Kernel.close_fd env.kernel ~pid:env.pid ~fd
+
+(** Read a whole file through open/read/close syscalls. *)
+let read_file env path =
+  let fd = open_in_file env path in
+  let data = read_fd env fd in
+  close_fd env fd;
+  data
+
+(** Write a whole file through open/write/close syscalls. *)
+let write_file env path data =
+  let fd = open_out_file env path in
+  write_fd env fd data;
+  close_fd env fd
+
+let file_exists env path = Vfs.exists (Kernel.vfs env.kernel) path
+
+(** Run a child process to completion; returns its pid. *)
+let spawn env ?binary ?libs ~name (body : program) : int =
+  let child =
+    Kernel.start_process env.kernel ~parent:env.pid ?binary ?libs ~name ()
+  in
+  let child_env = { kernel = env.kernel; pid = child.Kernel.pid } in
+  Fun.protect
+    ~finally:(fun () -> Kernel.exit_process env.kernel child.Kernel.pid)
+    (fun () -> body child_env);
+  child.Kernel.pid
+
+(** Run a top-level program as a fresh root process. *)
+let run kernel ?binary ?libs ~name (body : program) : int =
+  let p = Kernel.start_process kernel ?binary ?libs ~name () in
+  let env = { kernel; pid = p.Kernel.pid } in
+  Fun.protect
+    ~finally:(fun () -> Kernel.exit_process kernel p.Kernel.pid)
+    (fun () -> body env);
+  p.Kernel.pid
+
+(* ------------------------------------------------------------------ *)
+(* The program registry: name -> code, the replay-time stand-in for
+   loading a binary from the package.                                  *)
+
+let registry : (string, program) Hashtbl.t = Hashtbl.create 16
+
+let register ~name (p : program) = Hashtbl.replace registry name p
+
+let lookup name =
+  match Hashtbl.find_opt registry name with
+  | Some p -> p
+  | None ->
+    invalid_arg (Printf.sprintf "Program.lookup: %S is not registered" name)

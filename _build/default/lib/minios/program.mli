@@ -1,0 +1,52 @@
+(** The DSL applications are written in.
+
+    A program is an OCaml function over an environment exposing the
+    kernel's syscalls for one process. [spawn] starts a child that runs to
+    completion (fork-and-wait semantics). Programs are registered by name
+    in the replay registry; the simulated binary file is what packaging
+    copies, the registry name is how replay finds the code again. *)
+
+type env
+
+type program = env -> unit
+
+val kernel : env -> Kernel.t
+val pid : env -> int
+val now : env -> int
+
+(** {2 Syscall wrappers} *)
+
+val open_in_file : env -> string -> Kernel.fd
+val open_out_file : env -> string -> Kernel.fd
+val read_fd : env -> Kernel.fd -> string
+val write_fd : env -> Kernel.fd -> string -> unit
+val close_fd : env -> Kernel.fd -> unit
+
+(** Whole-file read through open/read/close syscalls. *)
+val read_file : env -> string -> string
+
+(** Whole-file write through open/write/close syscalls. *)
+val write_file : env -> string -> string -> unit
+
+val file_exists : env -> string -> bool
+
+(** Run a child process to completion; returns its pid. The binary and
+    libraries (if present in the VFS) are recorded as loader reads. *)
+val spawn :
+  env -> ?binary:string -> ?libs:string list -> name:string -> program -> int
+
+(** Run a top-level program as a fresh root process; returns its pid. *)
+val run :
+  Kernel.t ->
+  ?binary:string ->
+  ?libs:string list ->
+  name:string ->
+  program ->
+  int
+
+(** {2 The replay registry} *)
+
+val register : name:string -> program -> unit
+
+(** @raise Invalid_argument on unregistered names. *)
+val lookup : string -> program

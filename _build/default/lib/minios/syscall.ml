@@ -1,0 +1,48 @@
+(** Syscall events as observed by the ptrace-style tracer.
+
+    The real LDV intercepts fork/execve/open/close through ptrace; our
+    simulated kernel emits the corresponding event stream with logical
+    timestamps. This stream is everything the PTU-style trace builder and
+    the packaging logic consume. *)
+
+type file_mode = Read | Write
+
+let mode_name = function Read -> "read" | Write -> "write"
+
+type event =
+  | Spawned of {
+      parent : int option;  (** [None] for the root process *)
+      pid : int;
+      name : string;
+      binary : string option;  (** path of the executed binary, if any *)
+      time : int;
+    }
+  | Exited of { pid : int; time : int }
+  | Opened of { pid : int; path : string; mode : file_mode; time : int }
+  | Closed of {
+      pid : int;
+      path : string;
+      mode : file_mode;
+      opened_at : int;
+      time : int;
+    }
+
+let time_of = function
+  | Spawned { time; _ }
+  | Exited { time; _ }
+  | Opened { time; _ }
+  | Closed { time; _ } ->
+    time
+
+let pp ppf = function
+  | Spawned { parent; pid; name; binary; time } ->
+    Format.fprintf ppf "[%d] spawn pid=%d name=%s parent=%s binary=%s" time pid
+      name
+      (match parent with None -> "-" | Some p -> string_of_int p)
+      (Option.value binary ~default:"-")
+  | Exited { pid; time } -> Format.fprintf ppf "[%d] exit pid=%d" time pid
+  | Opened { pid; path; mode; time } ->
+    Format.fprintf ppf "[%d] open pid=%d %s %s" time pid (mode_name mode) path
+  | Closed { pid; path; mode; opened_at; time } ->
+    Format.fprintf ppf "[%d] close pid=%d %s %s (opened at %d)" time pid
+      (mode_name mode) path opened_at

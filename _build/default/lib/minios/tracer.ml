@@ -1,0 +1,158 @@
+(** The ptrace-style tracer: records the syscall stream and turns it into
+    the OS (P_BB) portion of an execution trace.
+
+    Following §VII-A, process-process edges carry a point interval (the
+    fork time) and process-file edges carry the interval from the first
+    open to the last close of the file by that process, per access mode. *)
+
+type t = {
+  mutable events : Syscall.event list;  (** newest first *)
+  mutable n_events : int;
+  (* CDE-style copy-on-first-access: the content of each file at the time
+     it was first opened for reading, which is what packaging must ship
+     even if the file is later overwritten. *)
+  snapshots : (string, Vfs.content) Hashtbl.t;
+  mutable snapshot_vfs : Vfs.t option;
+}
+
+let create () =
+  { events = []; n_events = 0; snapshots = Hashtbl.create 64; snapshot_vfs = None }
+
+let record t event =
+  t.events <- event :: t.events;
+  t.n_events <- t.n_events + 1;
+  match (event, t.snapshot_vfs) with
+  | Syscall.Opened { path; mode = Syscall.Read; _ }, Some vfs ->
+    if not (Hashtbl.mem t.snapshots path) then (
+      match Vfs.content vfs path with
+      | content -> Hashtbl.replace t.snapshots path content
+      | exception Not_found -> ())
+  | _ -> ()
+
+(** Install this tracer on a kernel; subsequent syscalls are recorded and
+    first-read file contents snapshotted. *)
+let attach t kernel =
+  t.snapshot_vfs <- Some (Kernel.vfs kernel);
+  Kernel.set_tracer kernel (Some (record t))
+
+(** Content of [path] as of its first traced read, falling back to [vfs]'s
+    current content. *)
+let snapshot_content t (vfs : Vfs.t) path : Vfs.content option =
+  match Hashtbl.find_opt t.snapshots path with
+  | Some c -> Some c
+  | None -> Vfs.find_opt vfs path |> Option.map (fun f -> f.Vfs.content)
+
+let detach kernel = Kernel.set_tracer kernel None
+
+let events t = List.rev t.events
+let event_count t = t.n_events
+
+(* ------------------------------------------------------------------ *)
+(* Derived facts.                                                      *)
+
+type file_access = {
+  fa_pid : int;
+  fa_path : string;
+  fa_mode : Syscall.file_mode;
+  fa_interval : Prov.Interval.t;  (** first open .. last close *)
+}
+
+(** Per-(pid, path, mode) access intervals. Opens that were never closed
+    extend to the open time itself. *)
+let file_accesses t : file_access list =
+  let acc : (int * string * Syscall.file_mode, int * int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Syscall.Opened { pid; path; mode; time } ->
+        let key = (pid, path, mode) in
+        (match Hashtbl.find_opt acc key with
+        | None -> Hashtbl.replace acc key (time, time)
+        | Some (b, e) -> Hashtbl.replace acc key (min b time, max e time))
+      | Syscall.Closed { pid; path; mode; time; _ } ->
+        let key = (pid, path, mode) in
+        (match Hashtbl.find_opt acc key with
+        | None -> Hashtbl.replace acc key (time, time)
+        | Some (b, e) -> Hashtbl.replace acc key (min b time, max e time))
+      | Syscall.Spawned _ | Syscall.Exited _ -> ())
+    (events t);
+  Hashtbl.fold
+    (fun (fa_pid, fa_path, fa_mode) (b, e) l ->
+      { fa_pid; fa_path; fa_mode; fa_interval = Prov.Interval.make b e } :: l)
+    acc []
+  |> List.sort (fun a b ->
+         match compare a.fa_pid b.fa_pid with
+         | 0 -> String.compare a.fa_path b.fa_path
+         | c -> c)
+
+(** All distinct paths the traced execution touched, with the modes used —
+    what CDE/PTU copies into a package. *)
+let touched_paths t : (string * Syscall.file_mode list) list =
+  let tbl : (string, Syscall.file_mode list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun fa ->
+      match Hashtbl.find_opt tbl fa.fa_path with
+      | Some r -> if not (List.mem fa.fa_mode !r) then r := fa.fa_mode :: !r
+      | None -> Hashtbl.replace tbl fa.fa_path (ref [ fa.fa_mode ]))
+    (file_accesses t);
+  Hashtbl.fold (fun p r l -> (p, List.sort compare !r) :: l) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type spawn_info = {
+  sp_pid : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_binary : string option;
+  sp_time : int;
+}
+
+let spawns t : spawn_info list =
+  List.filter_map
+    (function
+      | Syscall.Spawned { parent; pid; name; binary; time } ->
+        Some
+          { sp_pid = pid;
+            sp_parent = parent;
+            sp_name = name;
+            sp_binary = binary;
+            sp_time = time }
+      | _ -> None)
+    (events t)
+
+(* ------------------------------------------------------------------ *)
+(* P_BB trace construction (§VII-A).                                   *)
+
+(** Populate [trace] (whose model must include P_BB's types) with the OS
+    provenance of the recorded execution. *)
+let build_bb_into t (trace : Prov.Trace.t) =
+  List.iter
+    (fun sp ->
+      ignore (Prov.Bb_model.add_process trace ~pid:sp.sp_pid ~name:sp.sp_name);
+      match sp.sp_parent with
+      | Some parent ->
+        ignore
+          (Prov.Bb_model.executed trace ~parent ~child:sp.sp_pid
+             ~time:(Prov.Interval.point sp.sp_time))
+      | None -> ())
+    (spawns t);
+  List.iter
+    (fun fa ->
+      ignore (Prov.Bb_model.add_file trace ~path:fa.fa_path);
+      match fa.fa_mode with
+      | Syscall.Read ->
+        ignore
+          (Prov.Bb_model.read_from trace ~pid:fa.fa_pid ~path:fa.fa_path
+             ~time:fa.fa_interval)
+      | Syscall.Write ->
+        ignore
+          (Prov.Bb_model.has_written trace ~pid:fa.fa_pid ~path:fa.fa_path
+             ~time:fa.fa_interval))
+    (file_accesses t)
+
+(** Build a standalone P_BB-only trace. *)
+let build_bb_trace t : Prov.Trace.t =
+  let trace = Prov.Trace.create Prov.Bb_model.model in
+  build_bb_into t trace;
+  trace

@@ -1,0 +1,55 @@
+(** The ptrace-style tracer: records the syscall stream and turns it into
+    the OS (P_BB) portion of an execution trace.
+
+    Process-process edges carry the fork point; process-file edges carry
+    the interval from first open to last close per access mode (§VII-A).
+    File contents are snapshotted at first read (CDE copy-on-access), so
+    packaging ships what the execution saw even if the file was later
+    overwritten. *)
+
+type t
+
+val create : unit -> t
+
+(** Install on a kernel; subsequent syscalls are recorded and first-read
+    contents snapshotted. *)
+val attach : t -> Kernel.t -> unit
+
+val detach : Kernel.t -> unit
+
+val events : t -> Syscall.event list
+val event_count : t -> int
+
+(** Content of [path] as of its first traced read, falling back to the
+    VFS's current content. *)
+val snapshot_content : t -> Vfs.t -> string -> Vfs.content option
+
+type file_access = {
+  fa_pid : int;
+  fa_path : string;
+  fa_mode : Syscall.file_mode;
+  fa_interval : Prov.Interval.t;  (** first open .. last close *)
+}
+
+(** Per-(pid, path, mode) merged access intervals. *)
+val file_accesses : t -> file_access list
+
+(** Distinct paths touched, with the modes used — what CDE/PTU copies. *)
+val touched_paths : t -> (string * Syscall.file_mode list) list
+
+type spawn_info = {
+  sp_pid : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_binary : string option;
+  sp_time : int;
+}
+
+val spawns : t -> spawn_info list
+
+(** Populate a trace (whose model must include P_BB's types) with the OS
+    provenance of the recorded execution. *)
+val build_bb_into : t -> Prov.Trace.t -> unit
+
+(** Build a standalone P_BB-only trace. *)
+val build_bb_trace : t -> Prov.Trace.t

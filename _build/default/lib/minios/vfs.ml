@@ -1,0 +1,101 @@
+(** An in-memory virtual file system.
+
+    Paths are absolute, [/]-separated strings; directories are implicit.
+    File contents are either real bytes ([Data]) or size-only placeholders
+    ([Opaque]) used to model large binary artifacts — DBMS server binaries,
+    shared libraries, VM base images — whose bytes never matter but whose
+    sizes drive the package-size experiments (Figure 9, §IX-F). *)
+
+type content = Data of string | Opaque of int
+
+type file = { mutable content : content; mutable mtime : int }
+
+type t = { files : (string, file) Hashtbl.t }
+
+let create () = { files = Hashtbl.create 64 }
+
+let normalize path =
+  if String.length path = 0 || path.[0] <> '/' then
+    invalid_arg (Printf.sprintf "Vfs: path %S must be absolute" path);
+  (* collapse duplicate slashes, drop trailing slash *)
+  let parts = String.split_on_char '/' path |> List.filter (fun s -> s <> "") in
+  "/" ^ String.concat "/" parts
+
+let exists t path = Hashtbl.mem t.files (normalize path)
+
+let find_opt t path = Hashtbl.find_opt t.files (normalize path)
+
+let write t ~path ?(mtime = 0) content =
+  let path = normalize path in
+  match Hashtbl.find_opt t.files path with
+  | Some f ->
+    f.content <- content;
+    f.mtime <- mtime
+  | None -> Hashtbl.replace t.files path { content; mtime }
+
+let write_string t ~path ?mtime s = write t ~path ?mtime (Data s)
+let write_opaque t ~path ?mtime size = write t ~path ?mtime (Opaque size)
+
+let append t ~path ?(mtime = 0) s =
+  let path = normalize path in
+  match Hashtbl.find_opt t.files path with
+  | Some ({ content = Data old; _ } as f) ->
+    f.content <- Data (old ^ s);
+    f.mtime <- mtime
+  | Some { content = Opaque _; _ } ->
+    invalid_arg (Printf.sprintf "Vfs.append: %s is opaque" path)
+  | None -> Hashtbl.replace t.files path { content = Data s; mtime }
+
+let read t path =
+  let path = normalize path in
+  match Hashtbl.find_opt t.files path with
+  | Some { content = Data s; _ } -> s
+  | Some { content = Opaque _; _ } ->
+    invalid_arg (Printf.sprintf "Vfs.read: %s is opaque" path)
+  | None -> raise Not_found
+
+let content t path =
+  match find_opt t path with
+  | Some f -> f.content
+  | None -> raise Not_found
+
+let size t path =
+  match find_opt t path with
+  | Some { content = Data s; _ } -> String.length s
+  | Some { content = Opaque n; _ } -> n
+  | None -> raise Not_found
+
+let content_size = function Data s -> String.length s | Opaque n -> n
+
+let remove t path = Hashtbl.remove t.files (normalize path)
+
+(** All paths, sorted. *)
+let paths t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.files [] |> List.sort String.compare
+
+(** Paths under a directory prefix (e.g. "/var/minidb"). *)
+let paths_under t prefix =
+  let prefix = normalize prefix in
+  let pl = String.length prefix in
+  List.filter
+    (fun p ->
+      String.length p > pl
+      && String.sub p 0 pl = prefix
+      && (prefix = "/" || p.[pl] = '/'))
+    (paths t)
+
+let remove_under t prefix =
+  List.iter (remove t) (paths_under t prefix)
+
+let total_bytes t =
+  Hashtbl.fold (fun _ f acc -> acc + content_size f.content) t.files 0
+
+(** Copy a single file between file systems (packaging primitive). *)
+let copy_file ~src ~dst path =
+  match find_opt src path with
+  | Some f -> write dst ~path ~mtime:f.mtime f.content
+  | None -> raise Not_found
+
+(** Copy an entire subtree. *)
+let copy_tree ~src ~dst prefix =
+  List.iter (copy_file ~src ~dst) (paths_under src prefix)

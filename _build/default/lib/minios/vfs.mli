@@ -1,0 +1,56 @@
+(** An in-memory virtual file system.
+
+    Paths are absolute, [/]-separated strings; directories are implicit.
+    File contents are either real bytes ([Data]) or size-only placeholders
+    ([Opaque]) modeling large binary artifacts whose bytes never matter
+    but whose sizes drive the package-size experiments. *)
+
+type content = Data of string | Opaque of int
+
+type file = { mutable content : content; mutable mtime : int }
+
+type t
+
+val create : unit -> t
+
+(** Collapses duplicate slashes and trailing slashes.
+    @raise Invalid_argument on relative paths. *)
+val normalize : string -> string
+
+val exists : t -> string -> bool
+val find_opt : t -> string -> file option
+
+val write : t -> path:string -> ?mtime:int -> content -> unit
+val write_string : t -> path:string -> ?mtime:int -> string -> unit
+val write_opaque : t -> path:string -> ?mtime:int -> int -> unit
+
+(** Appends to a [Data] file, creating it if missing.
+    @raise Invalid_argument on opaque files. *)
+val append : t -> path:string -> ?mtime:int -> string -> unit
+
+(** @raise Not_found on missing files.
+    @raise Invalid_argument on opaque files. *)
+val read : t -> string -> string
+
+(** @raise Not_found on missing files. *)
+val content : t -> string -> content
+
+(** @raise Not_found on missing files. *)
+val size : t -> string -> int
+
+val content_size : content -> int
+val remove : t -> string -> unit
+
+(** All paths, sorted. *)
+val paths : t -> string list
+
+(** Paths strictly under a directory prefix. *)
+val paths_under : t -> string -> string list
+
+val remove_under : t -> string -> unit
+val total_bytes : t -> int
+
+(** @raise Not_found when [path] is missing in [src]. *)
+val copy_file : src:t -> dst:t -> string -> unit
+
+val copy_tree : src:t -> dst:t -> string -> unit

@@ -1,0 +1,1 @@
+lib/perm/provenance_sql.ml: Annotation Array Catalog Database Errors Executor Lazy List Minidb Planner Schema Sql_ast Sql_parser Table Tid Value

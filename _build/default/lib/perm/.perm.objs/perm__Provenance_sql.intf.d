@@ -1,0 +1,1 @@
+lib/perm/provenance_sql.mli: Database Lazy Minidb Schema Tid Value

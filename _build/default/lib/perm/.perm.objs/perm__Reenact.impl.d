@@ -1,0 +1,1 @@
+lib/perm/reenact.ml: Database Errors Minidb Pretty Provenance_sql Sql_ast

@@ -1,0 +1,1 @@
+lib/perm/reenact.mli: Database Minidb Provenance_sql Sql_ast

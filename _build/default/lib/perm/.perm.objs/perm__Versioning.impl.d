@@ -1,0 +1,1 @@
+lib/perm/versioning.ml: Catalog Database Hashtbl List Minidb Option String Table Tid Value

@@ -1,0 +1,1 @@
+lib/perm/versioning.mli: Database Minidb Tid Value

@@ -1,0 +1,1 @@
+lib/prov/bb_model.ml: Model Printf Trace

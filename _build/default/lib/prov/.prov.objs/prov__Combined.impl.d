@@ -1,0 +1,1 @@
+lib/prov/combined.ml: Bb_model Lineage_model List Model String Trace

@@ -1,0 +1,1 @@
+lib/prov/dependency.ml: Bb_model Hashtbl Interval Lineage_model List Model Option String Trace

@@ -1,0 +1,1 @@
+lib/prov/dependency.mli: Trace

@@ -1,0 +1,1 @@
+lib/prov/diff.ml: Format Hashtbl List Option Printf String Trace

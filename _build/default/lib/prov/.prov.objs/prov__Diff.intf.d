@@ -1,0 +1,1 @@
+lib/prov/diff.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/prov/dot.ml: Buffer Dependency Interval List Model Printf String Trace

@@ -1,0 +1,1 @@
+lib/prov/interval.ml: Format Int

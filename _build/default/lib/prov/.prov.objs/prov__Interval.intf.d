@@ -1,0 +1,1 @@
+lib/prov/interval.mli: Format

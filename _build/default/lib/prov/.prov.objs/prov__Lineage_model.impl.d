@@ -1,0 +1,1 @@
+lib/prov/lineage_model.ml: List Minidb Model Printf String Trace

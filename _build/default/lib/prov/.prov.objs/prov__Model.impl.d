@@ -1,0 +1,1 @@
+lib/prov/model.ml: Fun List Printf String

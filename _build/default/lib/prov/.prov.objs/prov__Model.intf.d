@@ -1,0 +1,1 @@
+lib/prov/model.mli:

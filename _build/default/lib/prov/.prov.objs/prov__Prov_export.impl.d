@@ -1,0 +1,1 @@
+lib/prov/prov_export.ml: Buffer Char Dependency Interval List Model Printf String Trace

@@ -1,0 +1,1 @@
+lib/prov/query.ml: Bb_model Dependency Format Interval Lineage_model List String Trace

@@ -1,0 +1,1 @@
+lib/prov/query.mli: Format Interval Trace

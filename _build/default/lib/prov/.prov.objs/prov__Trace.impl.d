@@ -1,0 +1,1 @@
+lib/prov/trace.ml: Buffer Hashtbl Interval List Model Printf String

@@ -1,0 +1,1 @@
+lib/prov/trace.mli: Interval Model

@@ -1,0 +1,46 @@
+(** The blackbox process OS provenance model P_BB (Definition 3).
+
+    Activities are processes; entities are files. Edge types:
+    [readFrom : file -> process], [hasWritten : process -> file],
+    [executed : process -> process] (parent to child, following information
+    flow). *)
+
+let process_type = "process"
+let file_type = "file"
+
+let model : Model.t =
+  Model.make ~name:"bb"
+    ~activities:[ process_type ]
+    ~entities:[ file_type ]
+    ~edge_types:
+      [ Model.edge_type "readFrom" ~src:file_type ~dst:process_type;
+        Model.edge_type "hasWritten" ~src:process_type ~dst:file_type;
+        Model.edge_type "executed" ~src:process_type ~dst:process_type ]
+
+(* Node id conventions keep OS and DB namespaces disjoint in combined
+   traces. *)
+let process_id pid = Printf.sprintf "proc:%d" pid
+let file_id path = Printf.sprintf "file:%s" path
+
+let add_process trace ~pid ~name =
+  Trace.add_node trace ~id:(process_id pid) ~node_type:process_type
+    ~label:(Printf.sprintf "%s[%d]" name pid)
+    ~attrs:[ ("pid", string_of_int pid); ("name", name) ]
+    ()
+
+let add_file trace ~path =
+  Trace.add_node trace ~id:(file_id path) ~node_type:file_type ~label:path
+    ~attrs:[ ("path", path) ]
+    ()
+
+let read_from trace ~pid ~path ~time =
+  Trace.add_edge trace ~label:"readFrom" ~src:(file_id path)
+    ~dst:(process_id pid) ~time
+
+let has_written trace ~pid ~path ~time =
+  Trace.add_edge trace ~label:"hasWritten" ~src:(process_id pid)
+    ~dst:(file_id path) ~time
+
+let executed trace ~parent ~child ~time =
+  Trace.add_edge trace ~label:"executed" ~src:(process_id parent)
+    ~dst:(process_id child) ~time

@@ -1,0 +1,38 @@
+(** The combined OS+DB provenance model (Definitions 5 and 6).
+
+    Extends the union of P_BB and P_Lin with the cross-model edge types:
+    [run : process -> statement] (a process executes a SQL statement) and
+    [readFromDb : tuple -> process] (a process consumes a result tuple). *)
+
+let model : Model.t =
+  let os = Bb_model.model and db = Lineage_model.model in
+  { Model.name = "bb+lineage";
+    activities = os.Model.activities @ db.Model.activities;
+    entities = os.Model.entities @ db.Model.entities;
+    edge_types =
+      os.Model.edge_types @ db.Model.edge_types
+      @ List.concat_map
+          (fun stmt ->
+            [ Model.edge_type "run" ~src:Bb_model.process_type ~dst:stmt ])
+          db.Model.activities
+      @ [ Model.edge_type "readFromDb" ~src:Lineage_model.tuple_type
+            ~dst:Bb_model.process_type ] }
+
+let create () = Trace.create model
+
+let run trace ~pid ~qid ~time =
+  Trace.add_edge trace ~label:"run" ~src:(Bb_model.process_id pid)
+    ~dst:(Lineage_model.stmt_id qid) ~time
+
+let read_from_db trace ~pid ~tid ~time =
+  Trace.add_edge trace ~label:"readFromDb" ~src:(Lineage_model.tuple_id tid)
+    ~dst:(Bb_model.process_id pid) ~time
+
+(** Which sub-model an entity node belongs to (used by the dependency
+    inference to decide when a same-model direct-dependency check is
+    required). *)
+let entity_model (n : Trace.node) : string =
+  if String.equal n.Trace.node_type Bb_model.file_type then "bb"
+  else if String.equal n.Trace.node_type Lineage_model.tuple_type then
+    "lineage"
+  else invalid_arg "Combined.entity_model: not an entity node"

@@ -1,0 +1,181 @@
+(** Data dependencies and temporally-restricted dependency inference
+    (paper §VI, Definitions 7–11).
+
+    [bb_dependencies] and the registered lineage dependencies give the
+    per-model direct dependencies D(G). [dependencies_of] implements the
+    cross-model inference of Definition 11: entity [e] depends on entity
+    [e'] at time [T] iff there is a trace path from [e'] to [e] such that
+
+    1. adjacent entities from the same model on the path are directly
+       dependent,
+    2. a non-decreasing sequence of times T_1 <= ... <= T_n exists with
+       T_i <= end(edge_i), and
+    3. each step respects node state: begin(edge_{i-1}) <= T_i (and
+       T_n <= T).
+
+    The search runs backward from [e], carrying the latest feasible time
+    [tau]: crossing edge (u -> v) backward is feasible iff
+    begin(edge) <= tau, and tightens tau to min(tau, end(edge)). The
+    correctness of this greedy bound follows from choosing each T_i as
+    large as the constraints allow. Memoization keeps, per (node,
+    last-entity) state, the largest tau already explored. *)
+
+(* ------------------------------------------------------------------ *)
+(* Per-model direct dependencies.                                      *)
+
+(** Definition 8: file [f] depends on [f'] when some process chain
+    (connected by [executed] edges) reads [f'] at its head and writes [f]
+    at its tail. Returns (dependent, source) pairs. Time is ignored here;
+    temporal pruning happens in the inference. *)
+let bb_dependencies (trace : Trace.t) : (string * string) list =
+  let results = Hashtbl.create 64 in
+  let files =
+    List.filter
+      (fun (n : Trace.node) -> String.equal n.Trace.node_type Bb_model.file_type)
+      (Trace.nodes trace)
+  in
+  List.iter
+    (fun (f' : Trace.node) ->
+      (* forward from f' through readFrom then executed* then hasWritten *)
+      let visited = Hashtbl.create 16 in
+      let rec walk_process pid_node =
+        if not (Hashtbl.mem visited pid_node) then begin
+          Hashtbl.replace visited pid_node ();
+          List.iter
+            (fun (e : Trace.edge) ->
+              match e.Trace.elabel with
+              | "hasWritten" ->
+                Hashtbl.replace results (e.Trace.dst, f'.Trace.id) ()
+              | "executed" -> walk_process e.Trace.dst
+              | _ -> ())
+            (Trace.out_edges trace pid_node)
+        end
+      in
+      List.iter
+        (fun (e : Trace.edge) ->
+          if String.equal e.Trace.elabel "readFrom" then
+            walk_process e.Trace.dst)
+        (Trace.out_edges trace f'.Trace.id))
+    files;
+  Hashtbl.fold (fun k () acc -> k :: acc) results []
+
+(** Definition 7's dependencies as registered on the trace (result tuple ->
+    lineage members), as (dependent, source) pairs. *)
+let lineage_dependencies (trace : Trace.t) : (string * string) list =
+  List.concat_map
+    (fun (n : Trace.node) ->
+      List.map (fun src -> (n.Trace.id, src)) (Trace.direct_deps_of trace n.Trace.id))
+    (Trace.entities trace)
+
+(* ------------------------------------------------------------------ *)
+(* Same-model adjacency check used during inference.                   *)
+
+(* Whether an entity of this model carries explicit direct-dependency
+   information. Blackbox files do not: every output conservatively depends
+   on every input reachable through a process chain, and a trace path
+   between two files passes only through processes connected by [executed]
+   edges, which is exactly Definition 8's witness. Lineage tuples do: the
+   dependency must have been registered. *)
+let default_same_model_dep (trace : Trace.t) (later : Trace.node)
+    (earlier : Trace.node) : bool =
+  if String.equal later.Trace.node_type Bb_model.file_type then true
+  else Trace.has_direct_dep trace ~later:later.Trace.id ~earlier:earlier.Trace.id
+
+let entity_model_of (n : Trace.node) : string =
+  if String.equal n.Trace.node_type Bb_model.file_type then "bb"
+  else if String.equal n.Trace.node_type Lineage_model.tuple_type then "lineage"
+  else n.Trace.node_type
+
+(* ------------------------------------------------------------------ *)
+(* Temporal inference (Definition 11).                                 *)
+
+type search_config = {
+  at : int;  (** the query time T *)
+  same_model_dep : Trace.node -> Trace.node -> bool;
+      (** D(G) membership check for adjacent same-model entities *)
+}
+
+(** All entities that entity [target] depends on at time [at]
+    (default: end of trace). *)
+let dependencies_of ?(at = max_int) ?same_model_dep (trace : Trace.t)
+    (target : string) : string list =
+  let cfg =
+    { at;
+      same_model_dep =
+        Option.value same_model_dep ~default:(default_same_model_dep trace) }
+  in
+  let target_node = Trace.node_exn trace target in
+  if target_node.Trace.kind <> Model.Entity then
+    invalid_arg "Dependency.dependencies_of: target must be an entity";
+  let found = Hashtbl.create 32 in
+  (* (node id, last entity id) -> largest tau explored *)
+  let best : (string * string, int) Hashtbl.t = Hashtbl.create 128 in
+  let rec visit (v : string) ~(last_entity : Trace.node) ~(tau : int) =
+    let key = (v, last_entity.Trace.id) in
+    let seen = Hashtbl.find_opt best key in
+    match seen with
+    | Some t when t >= tau -> ()
+    | _ ->
+      Hashtbl.replace best key tau;
+      List.iter
+        (fun (e : Trace.edge) ->
+          let b = Interval.b e.Trace.time and en = Interval.e e.Trace.time in
+          if b <= tau then begin
+            let tau' = min tau en in
+            let u = Trace.node_exn trace e.Trace.src in
+            match u.Trace.kind with
+            | Model.Activity -> visit u.Trace.id ~last_entity ~tau:tau'
+            | Model.Entity ->
+              let same_model =
+                String.equal (entity_model_of u) (entity_model_of last_entity)
+              in
+              let admissible =
+                (not same_model) || cfg.same_model_dep last_entity u
+              in
+              if admissible then begin
+                if not (String.equal u.Trace.id target) then
+                  Hashtbl.replace found u.Trace.id ();
+                visit u.Trace.id ~last_entity:u ~tau:tau'
+              end
+          end)
+        (Trace.in_edges trace v)
+  in
+  visit target ~last_entity:target_node ~tau:cfg.at;
+  Hashtbl.fold (fun id () acc -> id :: acc) found []
+  |> List.sort String.compare
+
+(** Does entity [target] depend on entity [source] at time [at]? *)
+let depends_on ?at ?same_model_dep (trace : Trace.t) ~target ~source : bool =
+  List.mem source (dependencies_of ?at ?same_model_dep trace target)
+
+(** All inferred dependency pairs (dependent, source) over the whole trace;
+    quadratic, intended for tests and small traces. *)
+let all_dependencies ?at ?same_model_dep (trace : Trace.t) :
+    (string * string) list =
+  List.concat_map
+    (fun (n : Trace.node) ->
+      List.map
+        (fun src -> (n.Trace.id, src))
+        (dependencies_of ?at ?same_model_dep trace n.Trace.id))
+    (Trace.entities trace)
+
+(** Entities reachable backward from [target] ignoring time and dependency
+    restrictions — the upper bound the inference must stay below (axiom 2 of
+    Definition 9). *)
+let connected_sources (trace : Trace.t) (target : string) : string list =
+  let visited = Hashtbl.create 64 in
+  let found = Hashtbl.create 32 in
+  let rec go v =
+    if not (Hashtbl.mem visited v) then begin
+      Hashtbl.replace visited v ();
+      List.iter
+        (fun (e : Trace.edge) ->
+          let u = Trace.node_exn trace e.Trace.src in
+          if u.Trace.kind = Model.Entity && not (String.equal u.Trace.id target)
+          then Hashtbl.replace found u.Trace.id ();
+          go e.Trace.src)
+        (Trace.in_edges trace v)
+    end
+  in
+  go target;
+  Hashtbl.fold (fun id () acc -> id :: acc) found [] |> List.sort String.compare

@@ -1,0 +1,57 @@
+(** Data dependencies and temporally-restricted dependency inference
+    (paper §VI, Definitions 7–11).
+
+    Per-model direct dependencies D(G) come from [bb_dependencies]
+    (Definition 8) and from the lineage facts registered on the trace
+    (Definition 7). [dependencies_of] implements the cross-model inference
+    of Definition 11: entity [e] depends on entity [e'] at time [T] iff a
+    trace path from [e'] to [e] exists on which (1) adjacent same-model
+    entities are directly dependent, and (2–3) a non-decreasing sequence of
+    interaction times exists that respects every edge's interval — so an
+    input read *after* an output was produced can never be inferred as one
+    of its sources. The search is sound and complete for the axioms of
+    Definition 9 (Theorem 1). *)
+
+(** Definition 8: [(f, f')] pairs where file [f] depends on file [f']
+    through a chain of processes connected by [executed] edges. Time is
+    ignored here; temporal pruning happens in the inference. *)
+val bb_dependencies : Trace.t -> (string * string) list
+
+(** Definition 7's registered dependencies as [(dependent, source)]
+    pairs. *)
+val lineage_dependencies : Trace.t -> (string * string) list
+
+(** All entities that entity [target] depends on at time [at] (default:
+    end of trace). [same_model_dep] overrides the D(G) membership check
+    for adjacent same-model entities (defaults: blackbox files are
+    conservatively dependent, lineage tuples require a registered
+    dependency).
+    @raise Invalid_argument if [target] is not an entity node. *)
+val dependencies_of :
+  ?at:int ->
+  ?same_model_dep:(Trace.node -> Trace.node -> bool) ->
+  Trace.t ->
+  string ->
+  string list
+
+(** Does entity [target] depend on entity [source]? *)
+val depends_on :
+  ?at:int ->
+  ?same_model_dep:(Trace.node -> Trace.node -> bool) ->
+  Trace.t ->
+  target:string ->
+  source:string ->
+  bool
+
+(** All inferred dependency pairs [(dependent, source)] over the whole
+    trace; quadratic, intended for tests and small traces. *)
+val all_dependencies :
+  ?at:int ->
+  ?same_model_dep:(Trace.node -> Trace.node -> bool) ->
+  Trace.t ->
+  (string * string) list
+
+(** Entities reachable backward from [target] ignoring time and dependency
+    restrictions — the upper bound the inference must stay below (axiom 2
+    of Definition 9). *)
+val connected_sources : Trace.t -> string -> string list

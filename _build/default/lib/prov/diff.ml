@@ -1,0 +1,100 @@
+(** Structural comparison of execution traces.
+
+    PTU-style validation asks: did the re-execution *do the same thing* as
+    the original run? Tuple-version identifiers and timestamps legitimately
+    differ between runs, so the comparison is on behaviourally meaningful
+    multisets: the statements executed (kind + normalized SQL, in order),
+    the files read and written per mode, the number of processes, and the
+    per-label edge counts. An empty difference list means the two traces
+    are behaviourally equivalent at this granularity. *)
+
+type difference = {
+  what : string;  (** which aspect differs *)
+  left : string;
+  right : string;
+}
+
+let pp_difference ppf d =
+  Format.fprintf ppf "%s: %s vs %s" d.what d.left d.right
+
+let statements (t : Trace.t) : string list =
+  Trace.nodes t
+  |> List.filter_map (fun (n : Trace.node) ->
+         if
+           List.mem n.Trace.node_type [ "query"; "insert"; "update"; "delete" ]
+         then
+           let qid =
+             match List.assoc_opt "qid" n.Trace.attrs with
+             | Some q -> int_of_string q
+             | None -> 0
+           in
+           Some
+             ( qid,
+               n.Trace.node_type ^ ":"
+               ^ Option.value (List.assoc_opt "sql" n.Trace.attrs) ~default:""
+             )
+         else None)
+  |> List.sort compare |> List.map snd
+
+let files_by_mode (t : Trace.t) ~label : string list =
+  Trace.edges t
+  |> List.filter_map (fun (e : Trace.edge) ->
+         if String.equal e.Trace.elabel label then
+           Some (if label = "hasWritten" then e.Trace.dst else e.Trace.src)
+         else None)
+  |> List.filter (fun id -> String.length id > 5 && String.sub id 0 5 = "file:")
+  |> List.sort_uniq String.compare
+
+let edge_label_counts (t : Trace.t) : (string * int) list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.edge) ->
+      Hashtbl.replace tbl e.Trace.elabel
+        (1 + Option.value (Hashtbl.find_opt tbl e.Trace.elabel) ~default:0))
+    (Trace.edges t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+
+(** Behavioural differences between two traces; empty = equivalent. *)
+let compare_traces (a : Trace.t) (b : Trace.t) : difference list =
+  let diffs = ref [] in
+  let push what left right = diffs := { what; left; right } :: !diffs in
+  let check_list what la lb render =
+    if la <> lb then push what (render la) (render lb)
+  in
+  let render_n l = string_of_int (List.length l) in
+  let sa = statements a and sb = statements b in
+  if List.length sa <> List.length sb then
+    push "statement count" (render_n sa) (render_n sb)
+  else
+    List.iteri
+      (fun i (x, y) ->
+        if not (String.equal x y) then
+          push (Printf.sprintf "statement %d" i) x y)
+      (List.combine sa sb);
+  check_list "files read"
+    (files_by_mode a ~label:"readFrom")
+    (files_by_mode b ~label:"readFrom")
+    (String.concat ",");
+  check_list "files written"
+    (files_by_mode a ~label:"hasWritten")
+    (files_by_mode b ~label:"hasWritten")
+    (String.concat ",");
+  let procs t = List.length (List.filter (fun (n : Trace.node) -> n.Trace.node_type = "process") (Trace.nodes t)) in
+  if procs a <> procs b then
+    push "process count" (string_of_int (procs a)) (string_of_int (procs b));
+  List.iter
+    (fun label ->
+      let count t =
+        Option.value (List.assoc_opt label (edge_label_counts t)) ~default:0
+      in
+      if count a <> count b then
+        push ("edge count " ^ label)
+          (string_of_int (count a))
+          (string_of_int (count b)))
+    [ "run"; "hasRead"; "hasReturned"; "executed" ];
+  List.rev !diffs
+
+(** Validate a replay against the original audit by comparing their
+    traces. *)
+let equivalent a b = compare_traces a b = []

@@ -1,0 +1,22 @@
+(** Structural comparison of execution traces, for PTU-style validation of
+    replays: tuple ids and timestamps legitimately differ between runs, so
+    traces are compared on behaviourally meaningful multisets — statements
+    executed, files touched per mode, process counts, edge counts. *)
+
+type difference = { what : string; left : string; right : string }
+
+val pp_difference : Format.formatter -> difference -> unit
+
+(** The trace's statement stream, ordered by qid, as ["kind:sql"]. *)
+val statements : Trace.t -> string list
+
+(** Distinct file node ids on edges with the given label ([readFrom] or
+    [hasWritten]). *)
+val files_by_mode : Trace.t -> label:string -> string list
+
+val edge_label_counts : Trace.t -> (string * int) list
+
+(** Behavioural differences between two traces; empty = equivalent. *)
+val compare_traces : Trace.t -> Trace.t -> difference list
+
+val equivalent : Trace.t -> Trace.t -> bool

@@ -1,0 +1,50 @@
+(** Graphviz rendering of execution traces: activities as rectangles,
+    entities as ellipses (PROV style), edge labels carrying the time
+    interval, dashed edges for registered direct dependencies. *)
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let node_color (n : Trace.node) =
+  match n.Trace.node_type with
+  | "process" -> "lightblue"
+  | "file" -> "khaki"
+  | "tuple" -> "palegreen"
+  | _ -> "lightsalmon"
+
+let to_dot (trace : Trace.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph trace {\n  rankdir=LR;\n";
+  let sorted_nodes =
+    List.sort
+      (fun (a : Trace.node) b -> String.compare a.Trace.id b.Trace.id)
+      (Trace.nodes trace)
+  in
+  List.iter
+    (fun (n : Trace.node) ->
+      let shape =
+        match n.Trace.kind with
+        | Model.Activity -> "box"
+        | Model.Entity -> "ellipse"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"%s\" [shape=%s, style=filled, fillcolor=%s, label=\"%s\"];\n"
+           (dot_escape n.Trace.id) shape (node_color n)
+           (dot_escape n.Trace.label)))
+    sorted_nodes;
+  List.iter
+    (fun (e : Trace.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s %s\"];\n"
+           (dot_escape e.Trace.src) (dot_escape e.Trace.dst) e.Trace.elabel
+           (Interval.to_string e.Trace.time)))
+    (Trace.edges trace);
+  List.iter
+    (fun (later, earlier) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [style=dashed, color=gray];\n"
+           (dot_escape earlier) (dot_escape later)))
+    (Dependency.lineage_dependencies trace);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

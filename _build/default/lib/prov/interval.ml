@@ -1,0 +1,34 @@
+(** Closed time intervals over the discrete logical time domain.
+
+    Every edge of an execution trace is annotated with the interval during
+    which the two connected nodes interacted (Definition 2). [b] and [e] are
+    the lower and upper bounds; a point interaction has [b = e]. *)
+
+type t = { b : int; e : int }
+
+let make b e =
+  if b > e then invalid_arg "Interval.make: lower bound above upper bound";
+  { b; e }
+
+let point t = { b = t; e = t }
+
+let b i = i.b
+let e i = i.e
+
+let equal a b = a.b = b.b && a.e = b.e
+let compare a b =
+  match Int.compare a.b b.b with 0 -> Int.compare a.e b.e | c -> c
+
+let contains i t = i.b <= t && t <= i.e
+let overlaps a b = a.b <= b.e && b.b <= a.e
+
+(** Smallest interval covering both. *)
+let hull a b = { b = min a.b b.b; e = max a.e b.e }
+
+(** [before a b]: interaction [a] completed no later than [b] began. *)
+let before a b = a.e <= b.b
+
+let duration i = i.e - i.b
+
+let pp ppf i = Format.fprintf ppf "[%d, %d]" i.b i.e
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,36 @@
+(** Closed time intervals over the discrete logical time domain.
+
+    Every edge of an execution trace is annotated with the interval during
+    which the two connected nodes interacted (Definition 2). *)
+
+type t
+
+(** [make b e] is the interval [\[b, e\]].
+    @raise Invalid_argument if [b > e]. *)
+val make : int -> int -> t
+
+(** A point interaction [\[t, t\]]. *)
+val point : int -> t
+
+val b : t -> int
+(** Lower bound. *)
+
+val e : t -> int
+(** Upper bound. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val contains : t -> int -> bool
+val overlaps : t -> t -> bool
+
+(** Smallest interval covering both arguments. *)
+val hull : t -> t -> t
+
+(** [before a b]: interaction [a] completed no later than [b] began. *)
+val before : t -> t -> bool
+
+val duration : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

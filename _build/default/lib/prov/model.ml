@@ -1,0 +1,105 @@
+(** Provenance models (Definition 1).
+
+    A provenance model declares the admissible activity types, entity types
+    and edge types of a domain. Edge types constrain which node types an
+    edge of a given label may connect; execution traces are validated
+    against their model. *)
+
+type node_kind = Activity | Entity
+
+type edge_type = {
+  label : string;
+  src_type : string;  (** an activity or entity type of this model *)
+  dst_type : string;
+}
+
+type t = {
+  name : string;  (** model name, e.g. "bb" or "lineage" *)
+  activities : string list;
+  entities : string list;
+  edge_types : edge_type list;
+}
+
+let edge_type label ~src ~dst = { label; src_type = src; dst_type = dst }
+
+(** Check Definition 1's well-formedness: activity, entity and edge labels
+    pairwise distinct (an edge label may be declared for several endpoint
+    pairs — e.g. [hasRead] exists for every statement type — but each
+    (label, src, dst) triple at most once), and edge endpoints must refer
+    to declared types. *)
+let well_formed (m : t) : (unit, string) result =
+  let dup cmp to_name l =
+    let sorted = List.sort cmp l in
+    let rec go = function
+      | a :: (b :: _ as rest) -> if cmp a b = 0 then Some (to_name a) else go rest
+      | _ -> None
+    in
+    go sorted
+  in
+  let node_types = m.activities @ m.entities in
+  match dup String.compare Fun.id node_types with
+  | Some l -> Error (Printf.sprintf "duplicate node type %S in model %s" l m.name)
+  | None ->
+    if List.exists (fun e -> List.mem e.label node_types) m.edge_types then
+      Error (Printf.sprintf "edge label clashes with a node type in model %s" m.name)
+    else (
+      match
+        dup
+          (fun a b -> compare (a.label, a.src_type, a.dst_type) (b.label, b.src_type, b.dst_type))
+          (fun e -> e.label)
+          m.edge_types
+      with
+      | Some l ->
+        Error (Printf.sprintf "duplicate edge type %S in model %s" l m.name)
+      | None ->
+        let bad =
+          List.find_opt
+            (fun e ->
+              (not (List.mem e.src_type node_types))
+              || not (List.mem e.dst_type node_types))
+            m.edge_types
+        in
+        (match bad with
+        | Some e ->
+          Error
+            (Printf.sprintf "edge type %S refers to undeclared node types"
+               e.label)
+        | None -> Ok ()))
+
+let make ~name ~activities ~entities ~edge_types =
+  let m = { name; activities; entities; edge_types } in
+  match well_formed m with
+  | Ok () -> m
+  | Error msg -> invalid_arg ("Model.make: " ^ msg)
+
+let is_activity m ty = List.mem ty m.activities
+let is_entity m ty = List.mem ty m.entities
+let kind_of m ty =
+  if is_activity m ty then Some Activity
+  else if is_entity m ty then Some Entity
+  else None
+
+let find_edge_type m label = List.find_opt (fun e -> String.equal e.label label) m.edge_types
+
+(** Edge-type admissibility: does the model allow an edge labeled [label]
+    from a node of type [src] to a node of type [dst]? *)
+let edge_allowed m ~label ~src ~dst =
+  List.exists
+    (fun e ->
+      String.equal e.label label
+      && String.equal e.src_type src
+      && String.equal e.dst_type dst)
+    m.edge_types
+
+(** Combine an OS and a DB model (Definition 5), adding the cross-model
+    edge types [run] (process starts a DB operation) and [readFrom]
+    (a process reads a DB entity). [os_activity]/[db_activity]/[db_entity]
+    name the types the cross edges connect. *)
+let combine ~(os : t) ~(db : t) ~os_activity ~db_activity ~db_entity : t =
+  { name = os.name ^ "+" ^ db.name;
+    activities = os.activities @ db.activities;
+    entities = os.entities @ db.entities;
+    edge_types =
+      os.edge_types @ db.edge_types
+      @ [ edge_type "run" ~src:os_activity ~dst:db_activity;
+          edge_type "readFromDb" ~src:db_entity ~dst:os_activity ] }

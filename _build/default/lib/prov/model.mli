@@ -1,0 +1,47 @@
+(** Provenance models (Definition 1): the admissible activity types,
+    entity types, and edge types of a domain. Execution traces are
+    validated against their model. *)
+
+type node_kind = Activity | Entity
+
+type edge_type = {
+  label : string;
+  src_type : string;  (** an activity or entity type of this model *)
+  dst_type : string;
+}
+
+type t = {
+  name : string;
+  activities : string list;
+  entities : string list;
+  edge_types : edge_type list;
+}
+
+val edge_type : string -> src:string -> dst:string -> edge_type
+
+(** Definition 1's well-formedness: node types pairwise distinct, edge
+    labels disjoint from node types, no duplicate (label, src, dst)
+    triple, endpoints declared. *)
+val well_formed : t -> (unit, string) result
+
+(** @raise Invalid_argument when not well-formed. *)
+val make :
+  name:string ->
+  activities:string list ->
+  entities:string list ->
+  edge_types:edge_type list ->
+  t
+
+val is_activity : t -> string -> bool
+val is_entity : t -> string -> bool
+val kind_of : t -> string -> node_kind option
+val find_edge_type : t -> string -> edge_type option
+
+(** Does the model allow an edge labeled [label] from a node of type [src]
+    to a node of type [dst]? *)
+val edge_allowed : t -> label:string -> src:string -> dst:string -> bool
+
+(** Combine an OS and a DB model (Definition 5), adding the cross-model
+    edge types [run] and [readFromDb]. *)
+val combine :
+  os:t -> db:t -> os_activity:string -> db_activity:string -> db_entity:string -> t

@@ -1,0 +1,182 @@
+(** Export of execution traces to W3C PROV representations.
+
+    The paper requires only that the provenance produced by both models be
+    representable in PROV (§IV-A). The mapping:
+
+    - activities (processes, SQL statements) -> prov:Activity
+    - entities (files, tuple versions)       -> prov:Entity
+    - readFrom / hasRead / readFromDb        -> prov:used(activity, entity)
+    - hasWritten / hasReturned               -> prov:wasGeneratedBy(entity, activity)
+    - executed / run                          -> prov:wasStartedBy(child, parent)
+    - registered direct dependencies          -> prov:wasDerivedFrom(later, earlier)
+
+    Interval annotations become prov:startTime / prov:endTime attributes on
+    the relation records. Two serializations are provided: PROV-JSON and
+    PROV-N. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* PROV identifiers: replace characters outside [A-Za-z0-9_.:-] to keep
+   qualified names well-formed under the ldv: prefix (the embedded colon
+   of our node-id scheme is kept for readability). *)
+let prov_id s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' | ':' -> c
+      | _ -> '_')
+    s
+
+type relation = Used | Was_generated_by | Was_started_by
+
+let classify_edge (e : Trace.edge) : relation * string * string =
+  (* returns (relation, activity-or-subject, entity-or-object) following
+     each PROV relation's argument order *)
+  match e.Trace.elabel with
+  | "readFrom" | "hasRead" | "readFromDb" -> (Used, e.Trace.dst, e.Trace.src)
+  | "hasWritten" | "hasReturned" -> (Was_generated_by, e.Trace.dst, e.Trace.src)
+  | "executed" | "run" -> (Was_started_by, e.Trace.dst, e.Trace.src)
+  | other ->
+    invalid_arg (Printf.sprintf "Prov_export: unknown edge label %S" other)
+
+(** PROV-JSON document for a trace. *)
+let to_prov_json (trace : Trace.t) : string =
+  let buf = Buffer.create 4096 in
+  let nodes = Trace.nodes trace in
+  let entities, activities =
+    List.partition (fun (n : Trace.node) -> n.Trace.kind = Model.Entity) nodes
+  in
+  let pp_node_map name list =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": {\n" name);
+    List.iteri
+      (fun i (n : Trace.node) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    \"ldv:%s\": {\"ldv:type\": \"%s\", \"ldv:label\": \"%s\"}%s\n"
+             (prov_id n.Trace.id) (json_escape n.Trace.node_type)
+             (json_escape n.Trace.label)
+             (if i = List.length list - 1 then "" else ","))
+        )
+      list;
+    Buffer.add_string buf "  }"
+  in
+  let sorted l =
+    List.sort
+      (fun (a : Trace.node) b -> String.compare a.Trace.id b.Trace.id)
+      l
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"prefix\": {\"ldv\": \"https://ldv.example.org/ns#\"},\n";
+  pp_node_map "entity" (sorted entities);
+  Buffer.add_string buf ",\n";
+  pp_node_map "activity" (sorted activities);
+  Buffer.add_string buf ",\n";
+  let used = Buffer.create 512 in
+  let gen = Buffer.create 512 in
+  let started = Buffer.create 512 in
+  List.iteri
+    (fun i (e : Trace.edge) ->
+      let rel, subj, obj = classify_edge e in
+      let line target keys =
+        Buffer.add_string target
+          (Printf.sprintf
+             "    \"_r%d\": {\"prov:%s\": \"ldv:%s\", \"prov:%s\": \
+              \"ldv:%s\", \"ldv:start\": %d, \"ldv:end\": %d},\n"
+             i (fst keys) (prov_id subj) (snd keys) (prov_id obj)
+             (Interval.b e.Trace.time) (Interval.e e.Trace.time))
+      in
+      match rel with
+      | Used -> line used ("activity", "entity")
+      | Was_generated_by -> line gen ("entity", "activity")
+      | Was_started_by -> line started ("activity", "starter"))
+    (Trace.edges trace);
+  let emit_map name b =
+    let s = Buffer.contents b in
+    let s =
+      (* drop trailing ",\n" *)
+      if String.length s >= 2 then String.sub s 0 (String.length s - 2) else s
+    in
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": {\n%s\n  }" name s)
+  in
+  emit_map "used" used;
+  Buffer.add_string buf ",\n";
+  emit_map "wasGeneratedBy" gen;
+  Buffer.add_string buf ",\n";
+  emit_map "wasStartedBy" started;
+  (* derivations from registered direct dependencies *)
+  let deps = Dependency.lineage_dependencies trace in
+  if deps <> [] then begin
+    Buffer.add_string buf ",\n  \"wasDerivedFrom\": {\n";
+    List.iteri
+      (fun i (later, earlier) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    \"_d%d\": {\"prov:generatedEntity\": \"ldv:%s\", \
+              \"prov:usedEntity\": \"ldv:%s\"}%s\n"
+             i (prov_id later) (prov_id earlier)
+             (if i = List.length deps - 1 then "" else ",")))
+      deps;
+    Buffer.add_string buf "  }"
+  end;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+(** PROV-N rendering of a trace. *)
+let to_prov_n (trace : Trace.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "document\n";
+  Buffer.add_string buf "  prefix ldv <https://ldv.example.org/ns#>\n";
+  let sorted_nodes =
+    List.sort
+      (fun (a : Trace.node) b -> String.compare a.Trace.id b.Trace.id)
+      (Trace.nodes trace)
+  in
+  List.iter
+    (fun (n : Trace.node) ->
+      let ctor =
+        match n.Trace.kind with
+        | Model.Entity -> "entity"
+        | Model.Activity -> "activity"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s(ldv:%s, [ldv:type=\"%s\", ldv:label=\"%s\"])\n"
+           ctor (prov_id n.Trace.id) n.Trace.node_type
+           (json_escape n.Trace.label)))
+    sorted_nodes;
+  List.iter
+    (fun (e : Trace.edge) ->
+      let rel, subj, obj = classify_edge e in
+      let name =
+        match rel with
+        | Used -> "used"
+        | Was_generated_by -> "wasGeneratedBy"
+        | Was_started_by -> "wasStartedBy"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s(ldv:%s, ldv:%s, [ldv:start=%d, ldv:end=%d])\n"
+           name (prov_id subj) (prov_id obj) (Interval.b e.Trace.time)
+           (Interval.e e.Trace.time)))
+    (Trace.edges trace);
+  List.iter
+    (fun (later, earlier) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  wasDerivedFrom(ldv:%s, ldv:%s)\n" (prov_id later)
+           (prov_id earlier)))
+    (Dependency.lineage_dependencies trace);
+  Buffer.add_string buf "endDocument\n";
+  Buffer.contents buf

@@ -1,0 +1,94 @@
+(** Provenance queries over execution traces: the reachability and
+    dependency questions §II promises ("does data item d depend on data
+    item d'"), plus summary statistics used by the CLI's inspect command. *)
+
+type stats = {
+  processes : int;
+  files : int;
+  statements : int;
+  tuples : int;
+  edges : int;
+  direct_dependencies : int;
+  time_span : Interval.t option;
+}
+
+let stats (trace : Trace.t) : stats =
+  let count ty =
+    List.length
+      (List.filter
+         (fun (n : Trace.node) -> String.equal n.Trace.node_type ty)
+         (Trace.nodes trace))
+  in
+  let stmt_count =
+    List.length
+      (List.filter
+         (fun (n : Trace.node) ->
+           List.mem n.Trace.node_type [ "query"; "insert"; "update"; "delete" ])
+         (Trace.nodes trace))
+  in
+  let time_span =
+    match Trace.edges trace with
+    | [] -> None
+    | e :: rest ->
+      Some
+        (List.fold_left
+           (fun acc (x : Trace.edge) -> Interval.hull acc x.Trace.time)
+           e.Trace.time rest)
+  in
+  { processes = count Bb_model.process_type;
+    files = count Bb_model.file_type;
+    statements = stmt_count;
+    tuples = count Lineage_model.tuple_type;
+    edges = Trace.edge_count trace;
+    direct_dependencies =
+      List.length (Dependency.lineage_dependencies trace);
+    time_span }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "processes=%d files=%d statements=%d tuples=%d edges=%d deps=%d span=%s"
+    s.processes s.files s.statements s.tuples s.edges s.direct_dependencies
+    (match s.time_span with
+    | None -> "-"
+    | Some i -> Interval.to_string i)
+
+(** Does [target] (entity id) depend on [source] (entity id)?
+    Uses the temporally-restricted inference of Definition 11. *)
+let depends_on trace ~target ~source =
+  Dependency.depends_on trace ~target ~source
+
+(** The transitive input closure of an entity: everything it was inferred
+    to depend on. *)
+let inputs_of trace id = Dependency.dependencies_of trace id
+
+(** Entities that depend on [id]: the forward slice. Quadratic; fine for
+    inspection purposes. *)
+let outputs_of trace id =
+  List.filter_map
+    (fun (n : Trace.node) ->
+      if String.equal n.Trace.id id then None
+      else if Dependency.depends_on trace ~target:n.Trace.id ~source:id then
+        Some n.Trace.id
+      else None)
+    (Trace.entities trace)
+
+(** Files written by the trace but never read by any process in it: the
+    workflow's final outputs. *)
+let final_outputs (trace : Trace.t) : string list =
+  List.filter_map
+    (fun (n : Trace.node) ->
+      if not (String.equal n.Trace.node_type Bb_model.file_type) then None
+      else
+        let written =
+          List.exists
+            (fun (e : Trace.edge) -> String.equal e.Trace.elabel "hasWritten")
+            (Trace.in_edges trace n.Trace.id)
+        in
+        let read =
+          List.exists
+            (fun (e : Trace.edge) -> String.equal e.Trace.elabel "readFrom")
+            (Trace.out_edges trace n.Trace.id)
+        in
+        if written && not read then Some n.Trace.id else None)
+    (Trace.nodes trace)
+  |> List.sort String.compare

@@ -1,0 +1,29 @@
+(** Provenance queries over execution traces: the reachability and
+    dependency questions §II promises, plus summary statistics. *)
+
+type stats = {
+  processes : int;
+  files : int;
+  statements : int;
+  tuples : int;
+  edges : int;
+  direct_dependencies : int;
+  time_span : Interval.t option;
+}
+
+val stats : Trace.t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Does [target] depend on [source]? Temporally-restricted inference
+    (Definition 11). *)
+val depends_on : Trace.t -> target:string -> source:string -> bool
+
+(** The transitive input closure of an entity. *)
+val inputs_of : Trace.t -> string -> string list
+
+(** Entities depending on [id]: the forward slice (quadratic). *)
+val outputs_of : Trace.t -> string -> string list
+
+(** Files written by the trace but never read within it: the workflow's
+    final outputs. *)
+val final_outputs : Trace.t -> string list

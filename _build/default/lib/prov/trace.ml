@@ -1,0 +1,235 @@
+(** Execution traces (Definition 2).
+
+    A trace is a directed graph whose nodes are instances of the model's
+    activity/entity types and whose edges carry time-interval annotations.
+    Edge direction follows information flow: [file -> process] for reads,
+    [process -> file] for writes, [tuple -> statement] for statement inputs,
+    [statement -> tuple] for results.
+
+    Traces also store *direct data dependencies* between entities of the
+    same model (Definitions 7 and 8 are instances): for the Lineage model
+    these are registered explicitly from the DB's lineage facts; for the
+    blackbox model they are implied by process paths and need not be
+    stored. *)
+
+type node = {
+  id : string;
+  node_type : string;  (** one of the model's activity/entity types *)
+  kind : Model.node_kind;
+  label : string;  (** human-readable display label *)
+  attrs : (string * string) list;
+}
+
+type edge = { elabel : string; src : string; dst : string; time : Interval.t }
+
+type t = {
+  model : Model.t;
+  nodes : (string, node) Hashtbl.t;
+  mutable edges : edge list;  (** newest first *)
+  out_adj : (string, edge list ref) Hashtbl.t;
+  in_adj : (string, edge list ref) Hashtbl.t;
+  (* (later entity id, earlier entity id) direct dependencies, keyed by the
+     later entity, with a pair-level seen-set for O(1) dedup *)
+  direct_deps : (string, string list ref) Hashtbl.t;
+  dep_seen : (string * string, unit) Hashtbl.t;
+  mutable n_edges : int;
+}
+
+let create model =
+  { model;
+    nodes = Hashtbl.create 256;
+    edges = [];
+    out_adj = Hashtbl.create 256;
+    in_adj = Hashtbl.create 256;
+    direct_deps = Hashtbl.create 64;
+    dep_seen = Hashtbl.create 64;
+    n_edges = 0 }
+
+let model t = t.model
+
+let find_node t id = Hashtbl.find_opt t.nodes id
+
+let node_exn t id =
+  match find_node t id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Trace: unknown node %S" id)
+
+let mem_node t id = Hashtbl.mem t.nodes id
+
+let add_node t ?(label = "") ?(attrs = []) ~id ~node_type () =
+  match Model.kind_of t.model node_type with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Trace.add_node: type %S not in model %s" node_type
+         t.model.Model.name)
+  | Some kind ->
+    (match Hashtbl.find_opt t.nodes id with
+    | Some existing ->
+      if not (String.equal existing.node_type node_type) then
+        invalid_arg
+          (Printf.sprintf "Trace.add_node: node %S re-added with type %S" id
+             node_type);
+      existing
+    | None ->
+      let label = if label = "" then id else label in
+      let n = { id; node_type; kind; label; attrs } in
+      Hashtbl.replace t.nodes id n;
+      n)
+
+let add_edge t ~label ~src ~dst ~time =
+  let s = node_exn t src and d = node_exn t dst in
+  if not (Model.edge_allowed t.model ~label ~src:s.node_type ~dst:d.node_type)
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Trace.add_edge: edge %S from type %S to type %S not allowed" label
+         s.node_type d.node_type);
+  let e = { elabel = label; src; dst; time } in
+  t.edges <- e :: t.edges;
+  t.n_edges <- t.n_edges + 1;
+  let push tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := e :: !r
+    | None -> Hashtbl.replace tbl key (ref [ e ])
+  in
+  push t.out_adj src;
+  push t.in_adj dst;
+  e
+
+(** Register a direct data dependency: entity [later] depends on entity
+    [earlier] (both must be entities of the same sub-model). *)
+let add_dependency t ~later ~earlier =
+  (match (find_node t later, find_node t earlier) with
+  | Some a, Some b ->
+    if a.kind <> Model.Entity || b.kind <> Model.Entity then
+      invalid_arg "Trace.add_dependency: both nodes must be entities"
+  | _ -> invalid_arg "Trace.add_dependency: unknown node");
+  if not (Hashtbl.mem t.dep_seen (later, earlier)) then begin
+    Hashtbl.replace t.dep_seen (later, earlier) ();
+    match Hashtbl.find_opt t.direct_deps later with
+    | Some r -> r := earlier :: !r
+    | None -> Hashtbl.replace t.direct_deps later (ref [ earlier ])
+  end
+
+let direct_deps_of t id =
+  match Hashtbl.find_opt t.direct_deps id with Some r -> !r | None -> []
+
+let has_direct_dep t ~later ~earlier = Hashtbl.mem t.dep_seen (later, earlier)
+
+let in_edges t id =
+  match Hashtbl.find_opt t.in_adj id with Some r -> !r | None -> []
+
+let out_edges t id =
+  match Hashtbl.find_opt t.out_adj id with Some r -> !r | None -> []
+
+let nodes t = Hashtbl.fold (fun _ n acc -> n :: acc) t.nodes []
+let edges t = List.rev t.edges
+let node_count t = Hashtbl.length t.nodes
+let edge_count t = t.n_edges
+
+let entities t = List.filter (fun n -> n.kind = Model.Entity) (nodes t)
+let activities t = List.filter (fun n -> n.kind = Model.Activity) (nodes t)
+
+(** State of a node at time [at] (Definition 10): sources of all incoming
+    interactions that began no later than [at]. *)
+let state t id ~at =
+  List.filter_map
+    (fun e -> if Interval.b e.time <= at then Some e.src else None)
+    (in_edges t id)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: a line-oriented format with one node/edge/dep per
+   line. Sufficient for embedding traces in packages.                  *)
+
+let escape s =
+  String.concat "\\t" (String.split_on_char '\t' s)
+  |> String.split_on_char '\n'
+  |> String.concat "\\n"
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if s.[!i] = '\\' && !i + 1 < n then begin
+      (match s.[!i + 1] with
+      | 't' -> Buffer.add_char buf '\t'
+      | 'n' -> Buffer.add_char buf '\n'
+      | c ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let serialize t : string =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "N\t%s\t%s\t%s" (escape n.id) (escape n.node_type)
+           (escape n.label));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf "\t%s=%s" (escape k) (escape v)))
+        n.attrs;
+      Buffer.add_char buf '\n')
+    (nodes t |> List.sort (fun a b -> String.compare a.id b.id));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "E\t%s\t%s\t%s\t%d\t%d\n" (escape e.elabel)
+           (escape e.src) (escape e.dst) (Interval.b e.time)
+           (Interval.e e.time)))
+    (edges t);
+  Hashtbl.iter
+    (fun later r ->
+      List.iter
+        (fun earlier ->
+          Buffer.add_string buf
+            (Printf.sprintf "D\t%s\t%s\n" (escape later) (escape earlier)))
+        !r)
+    t.direct_deps;
+  Buffer.contents buf
+
+let deserialize (model : Model.t) (data : string) : t =
+  let t = create model in
+  String.split_on_char '\n' data
+  |> List.iter (fun line ->
+         if String.length line = 0 then ()
+         else
+           match String.split_on_char '\t' line with
+           | "N" :: id :: node_type :: label :: attrs ->
+             let attrs =
+               List.filter_map
+                 (fun kv ->
+                   match String.index_opt kv '=' with
+                   | None -> None
+                   | Some i ->
+                     Some
+                       ( unescape (String.sub kv 0 i),
+                         unescape
+                           (String.sub kv (i + 1) (String.length kv - i - 1))
+                       ))
+                 attrs
+             in
+             ignore
+               (add_node t ~label:(unescape label) ~attrs ~id:(unescape id)
+                  ~node_type:(unescape node_type) ())
+           | [ "E"; label; src; dst; b; e ] ->
+             ignore
+               (add_edge t ~label:(unescape label) ~src:(unescape src)
+                  ~dst:(unescape dst)
+                  ~time:(Interval.make (int_of_string b) (int_of_string e)))
+           | [ "D"; later; earlier ] ->
+             add_dependency t ~later:(unescape later)
+               ~earlier:(unescape earlier)
+           | _ ->
+             invalid_arg
+               (Printf.sprintf "Trace.deserialize: malformed line %S" line));
+  t

@@ -1,0 +1,1 @@
+lib/tpch/dbgen.ml: Array Database Float Format List Minidb Printf Prng Tpch_schema Value

@@ -1,0 +1,1 @@
+lib/tpch/dbgen.mli: Database Format Minidb Prng Value

@@ -1,0 +1,1 @@
+lib/tpch/prng.ml: Array Buffer Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/tpch/queries.ml: Dbgen Float List Minidb Printf String

@@ -1,0 +1,1 @@
+lib/tpch/queries_full.ml: List Minidb Printf String

@@ -1,0 +1,1 @@
+lib/tpch/workload.ml: Array Buffer Dbclient Dbgen List Minidb Minios Printf Prng String Value

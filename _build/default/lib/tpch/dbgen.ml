@@ -1,0 +1,180 @@
+(** Deterministic TPC-H data generation (the dbgen substitute).
+
+    Row counts scale linearly with the scale factor [sf] relative to the
+    TPC-H SF=1 sizes the paper used (supplier 10k, customer 150k, orders
+    1.5M, lineitem ~6M). Experiments run at micro scale factors; the
+    selectivity-driven shape of the paper's results is preserved because
+    query parameters are derived from these counts (see {!Queries}). *)
+
+open Minidb
+
+type stats = {
+  sf : float;
+  n_region : int;
+  n_nation : int;
+  n_supplier : int;
+  n_part : int;
+  n_partsupp : int;
+  n_customer : int;
+  n_orders : int;
+  n_lineitem : int;
+}
+
+let scaled sf base = max 1 (int_of_float (Float.round (float_of_int base *. sf)))
+
+let plan_counts ~sf =
+  let n_part = scaled sf 200_000 in
+  { sf;
+    n_region = 5;
+    n_nation = 25;
+    n_supplier = scaled sf 10_000;
+    n_part;
+    n_partsupp = n_part * 4;
+    n_customer = scaled sf 150_000;
+    n_orders = scaled sf 1_500_000;
+    n_lineitem = 0 (* filled in after generation; ~4x orders *) }
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes = [| "AIR"; "FOB"; "MAIL"; "RAIL"; "SHIP"; "TRUCK" |]
+
+(* TPC-H part types: syllable1 x syllable2 x syllable3; PROMO parts drive
+   query Q14's promo-revenue ratio *)
+let part_types =
+  [| "PROMO BRUSHED TIN"; "PROMO POLISHED COPPER"; "PROMO ANODIZED STEEL";
+     "STANDARD BRUSHED NICKEL"; "STANDARD PLATED BRASS";
+     "MEDIUM POLISHED TIN"; "MEDIUM ANODIZED COPPER";
+     "ECONOMY BURNISHED STEEL"; "ECONOMY PLATED NICKEL";
+     "LARGE BRUSHED BRASS"; "SMALL POLISHED STEEL"; "SMALL PLATED COPPER" |]
+let ship_instr = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "HOUSEHOLD"; "MACHINERY" |]
+
+let i v = Value.Int v
+let f v = Value.Float v
+let s v = Value.Str v
+
+(** Generate one fresh order row (also used by the workload's Insert
+    step). *)
+let order_row rng ~orderkey ~n_customer : Value.t array =
+  [| i orderkey;
+     i (Prng.in_range rng ~lo:1 ~hi:n_customer);
+     s (Prng.choose rng [| "O"; "F"; "P" |]);
+     f (Float.round (Prng.float rng *. 400_000.0) /. 100.0 *. 100.0);
+     s (Prng.date rng);
+     s (Prng.choose rng priorities);
+     s (Tpch_schema.clerk_name (Prng.in_range rng ~lo:1 ~hi:1000));
+     i 0;
+     s (Prng.phrase rng ~target:30) |]
+
+let lineitem_row rng ~orderkey ~linenumber ~(c : stats) : Value.t array =
+  [| i orderkey;
+     i (Prng.in_range rng ~lo:1 ~hi:c.n_part);
+     i (Prng.in_range rng ~lo:1 ~hi:c.n_supplier);
+     i linenumber;
+     f (float_of_int (Prng.in_range rng ~lo:1 ~hi:50));
+     f (Float.round (Prng.float rng *. 95_000.0 +. 900.0));
+     f (float_of_int (Prng.in_range rng ~lo:0 ~hi:10) /. 100.0);
+     f (float_of_int (Prng.in_range rng ~lo:0 ~hi:8) /. 100.0);
+     s (Prng.choose rng [| "A"; "N"; "R" |]);
+     s (Prng.choose rng [| "O"; "F" |]);
+     s (Prng.date rng);
+     s (Prng.date rng);
+     s (Prng.date rng);
+     s (Prng.choose rng ship_instr);
+     s (Prng.choose rng ship_modes);
+     s (Prng.phrase rng ~target:25) |]
+
+(** Populate a database (whose TPC-H tables must already exist) with
+    deterministic data at scale factor [sf]; returns the realized row
+    counts. *)
+let populate ?(seed = 42) (db : Database.t) ~sf : stats =
+  let c = plan_counts ~sf in
+  let rng = Prng.create ~seed in
+  let bulk table rows = ignore (Database.bulk_insert db ~table rows) in
+  bulk "region"
+    (List.init c.n_region (fun k ->
+         [| i k; s region_names.(k); s (Prng.phrase rng ~target:30) |]));
+  bulk "nation"
+    (List.init c.n_nation (fun k ->
+         [| i k;
+            s (Printf.sprintf "NATION%02d" k);
+            i (k mod c.n_region);
+            s (Prng.phrase rng ~target:30) |]));
+  bulk "supplier"
+    (List.init c.n_supplier (fun k ->
+         let key = k + 1 in
+         [| i key;
+            s (Tpch_schema.supplier_name key);
+            s (Prng.phrase rng ~target:20);
+            i (Prng.int rng c.n_nation);
+            s (Printf.sprintf "%02d-%03d-%03d-%04d" (Prng.int rng 35 + 10)
+                 (Prng.int rng 1000) (Prng.int rng 1000) (Prng.int rng 10000));
+            f (Float.round (Prng.float rng *. 11_000.0 -. 1_000.0));
+            s (Prng.phrase rng ~target:40) |]));
+  bulk "part"
+    (List.init c.n_part (fun k ->
+         let key = k + 1 in
+         [| i key;
+            s (Tpch_schema.part_name key);
+            s (Printf.sprintf "Manufacturer#%d" (Prng.in_range rng ~lo:1 ~hi:5));
+            s (Printf.sprintf "Brand#%d%d" (Prng.in_range rng ~lo:1 ~hi:5)
+                 (Prng.in_range rng ~lo:1 ~hi:5));
+            s (Prng.choose rng part_types);
+            i (Prng.in_range rng ~lo:1 ~hi:50);
+            f (900.0 +. float_of_int key /. 10.0);
+            s (Prng.phrase rng ~target:15) |]));
+  bulk "partsupp"
+    (List.concat
+       (List.init c.n_part (fun k ->
+            let partkey = k + 1 in
+            List.init 4 (fun j ->
+                [| i partkey;
+                   i (((partkey + (j * (c.n_supplier / 4 + 1))) mod c.n_supplier) + 1);
+                   i (Prng.in_range rng ~lo:1 ~hi:9999);
+                   f (Float.round (Prng.float rng *. 1000.0));
+                   s (Prng.phrase rng ~target:40) |]))));
+  bulk "customer"
+    (List.init c.n_customer (fun k ->
+         let key = k + 1 in
+         [| i key;
+            s (Tpch_schema.customer_name key);
+            s (Prng.phrase rng ~target:20);
+            i (Prng.int rng c.n_nation);
+            s (Printf.sprintf "%02d-%03d-%03d-%04d" (Prng.int rng 35 + 10)
+                 (Prng.int rng 1000) (Prng.int rng 1000) (Prng.int rng 10000));
+            f (Float.round (Prng.float rng *. 11_000.0 -. 1_000.0));
+            s (Prng.choose rng segments);
+            s (Prng.phrase rng ~target:50) |]));
+  bulk "orders"
+    (List.init c.n_orders (fun k ->
+         order_row rng ~orderkey:(k + 1) ~n_customer:c.n_customer));
+  (* lineitems: 1-7 per order, ~4x orders in expectation *)
+  let n_lineitem = ref 0 in
+  let lineitems =
+    List.concat
+      (List.init c.n_orders (fun k ->
+           let orderkey = k + 1 in
+           let lines = Prng.in_range rng ~lo:1 ~hi:7 in
+           n_lineitem := !n_lineitem + lines;
+           List.init lines (fun ln ->
+               lineitem_row rng ~orderkey ~linenumber:(ln + 1) ~c)))
+  in
+  bulk "lineitem" lineitems;
+  { c with n_lineitem = !n_lineitem }
+
+(** Create tables and populate in one call on a fresh database. *)
+let setup ?seed ~sf () : Database.t * stats =
+  let db = Database.create ~name:"tpch" () in
+  Tpch_schema.create_tables db;
+  let stats = populate ?seed db ~sf in
+  (db, stats)
+
+let pp_stats ppf (c : stats) =
+  Format.fprintf ppf
+    "sf=%g region=%d nation=%d supplier=%d part=%d partsupp=%d customer=%d \
+     orders=%d lineitem=%d"
+    c.sf c.n_region c.n_nation c.n_supplier c.n_part c.n_partsupp c.n_customer
+    c.n_orders c.n_lineitem

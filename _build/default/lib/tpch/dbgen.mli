@@ -1,0 +1,29 @@
+(** Deterministic TPC-H data generation (the dbgen substitute). Row counts
+    scale linearly with [sf] relative to the TPC-H SF=1 sizes the paper
+    used. *)
+
+open Minidb
+
+type stats = {
+  sf : float;
+  n_region : int;
+  n_nation : int;
+  n_supplier : int;
+  n_part : int;
+  n_partsupp : int;
+  n_customer : int;
+  n_orders : int;
+  n_lineitem : int;
+}
+
+(** One fresh order row (also used by the workload's Insert step). *)
+val order_row : Prng.t -> orderkey:int -> n_customer:int -> Value.t array
+
+(** Populate a database whose TPC-H tables already exist; returns the
+    realized row counts. *)
+val populate : ?seed:int -> Database.t -> sf:float -> stats
+
+(** Create tables (with PK indexes) and populate a fresh database. *)
+val setup : ?seed:int -> sf:float -> unit -> Database.t * stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,57 @@
+(** SplitMix64: the deterministic PRNG behind data generation.
+
+    All randomness in the repository flows through explicitly-seeded
+    instances of this generator, which keeps every experiment (and every
+    replayed execution) bit-for-bit reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(** Uniform integer in [lo, hi] inclusive. *)
+let in_range t ~lo ~hi = lo + int t (hi - lo + 1)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = int t 2 = 0
+
+let choose t arr = arr.(int t (Array.length arr))
+
+(** A random lowercase word of length in [lo, hi]. *)
+let word t ~lo ~hi =
+  let len = in_range t ~lo ~hi in
+  String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+(** A comment-like phrase of roughly [target] characters. *)
+let phrase t ~target =
+  let buf = Buffer.create target in
+  while Buffer.length buf < target do
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (word t ~lo:3 ~hi:9)
+  done;
+  Buffer.contents buf
+
+(** A date string between 1992-01-01 and 1998-12-31 (uniform per field,
+    which is all the workload needs). *)
+let date t =
+  Printf.sprintf "%04d-%02d-%02d" (in_range t ~lo:1992 ~hi:1998)
+    (in_range t ~lo:1 ~hi:12) (in_range t ~lo:1 ~hi:28)

@@ -1,0 +1,31 @@
+(** SplitMix64: the deterministic PRNG behind all data generation. Every
+    experiment and replayed execution is bit-for-bit reproducible because
+    all randomness flows through explicitly seeded instances. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound). @raise Invalid_argument on bound <= 0. *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val in_range : t -> lo:int -> hi:int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+val choose : t -> 'a array -> 'a
+
+(** A random lowercase word of length in [lo, hi]. *)
+val word : t -> lo:int -> hi:int -> string
+
+(** A comment-like phrase of roughly [target] characters. *)
+val phrase : t -> target:int -> string
+
+(** A date string between 1992-01-01 and 1998-12-31. *)
+val date : t -> string

@@ -1,0 +1,163 @@
+(** The 18 workload queries of Table II.
+
+    Four query families spanning a wide range of output-size to
+    provenance-size ratios:
+
+    - Q1: simple selection on lineitem, selectivities 1%-25%;
+    - Q2: 3-way join returning comments, selectivities 66%-0.06%;
+    - Q3: the same join under a count aggregate — one result row, large
+      lineage;
+    - Q4: join + aggregation (AVG per order), selectivities 1%-25%.
+
+    The paper fixes PARAM values for a SF=1 instance; we derive the
+    parameter from the *target selectivity* and the generated instance's
+    actual row counts, so the selectivity shape survives micro scaling. *)
+
+type variant = {
+  vid : string;  (** e.g. "Q1-3" *)
+  family : int;  (** 1..4 *)
+  nominal_param : string;  (** the paper's PARAM column *)
+  target_selectivity : float;
+  param : string;  (** realized parameter for the generated instance *)
+  sql : string;
+}
+
+(* Q1/Q4 parameter: the BETWEEN upper bound on l_suppkey hitting the target
+   fraction of uniformly distributed supplier keys. *)
+let suppkey_param (c : Dbgen.stats) sel =
+  max 1 (int_of_float (Float.round (sel *. float_of_int c.Dbgen.n_supplier)))
+
+(* Q2/Q3 parameter: a LIKE pattern of leading zeros matching roughly
+   [sel * n_customer] of the 9-digit zero-padded customer names. A pattern
+   of z zeros matches ids below 10^(9-z); for single-customer targets the
+   pattern "000000001" pins exactly customer 1. *)
+let like_param (c : Dbgen.stats) sel =
+  let m =
+    max 1
+      (int_of_float
+         (Float.round (sel *. float_of_int c.Dbgen.n_customer)))
+  in
+  if m < 5 then String.make 8 '0' ^ "1"
+  else
+    let z = 9 - int_of_float (Float.round (Float.log10 (float_of_int m))) in
+    String.make (max 1 (min 8 z)) '0'
+
+let q1_sql param =
+  Printf.sprintf
+    "SELECT l_quantity, l_partkey, l_extendedprice, l_shipdate, \
+     l_receiptdate FROM lineitem WHERE l_suppkey BETWEEN 1 AND %d"
+    param
+
+let q2_sql param =
+  Printf.sprintf
+    "SELECT o_comment, l_comment FROM lineitem l, orders o, customer c WHERE \
+     l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey AND c.c_name \
+     LIKE '%%%s%%'"
+    param
+
+let q3_sql param =
+  Printf.sprintf
+    "SELECT count(*) FROM lineitem l, orders o, customer c WHERE \
+     l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey AND c.c_name \
+     LIKE '%%%s%%'"
+    param
+
+let q4_sql param =
+  Printf.sprintf
+    "SELECT o_orderkey, AVG(l_quantity) AS avgq FROM lineitem l, orders o \
+     WHERE l.l_orderkey = o.o_orderkey AND l_suppkey BETWEEN 1 AND %d GROUP \
+     BY o_orderkey"
+    param
+
+(* Table II rows: (family, variant index, nominal PARAM, selectivity). *)
+let q14_selectivities = [ (1, "10", 0.01); (2, "20", 0.02); (3, "50", 0.05);
+                          (4, "100", 0.10); (5, "250", 0.25) ]
+
+let q23_selectivities = [ (1, "0000", 0.66); (2, "00000", 0.066);
+                          (3, "000000", 0.0066); (4, "0000000", 0.00066) ]
+
+(** All 18 variants of Table II for a generated instance. *)
+let variants (c : Dbgen.stats) : variant list =
+  let q1 =
+    List.map
+      (fun (j, nominal, sel) ->
+        let p = suppkey_param c sel in
+        { vid = Printf.sprintf "Q1-%d" j;
+          family = 1;
+          nominal_param = nominal;
+          target_selectivity = sel;
+          param = string_of_int p;
+          sql = q1_sql p })
+      q14_selectivities
+  in
+  let q2 =
+    List.map
+      (fun (j, nominal, sel) ->
+        let p = like_param c sel in
+        { vid = Printf.sprintf "Q2-%d" j;
+          family = 2;
+          nominal_param = nominal;
+          target_selectivity = sel;
+          param = p;
+          sql = q2_sql p })
+      q23_selectivities
+  in
+  let q3 =
+    List.map
+      (fun (j, nominal, sel) ->
+        let p = like_param c sel in
+        { vid = Printf.sprintf "Q3-%d" j;
+          family = 3;
+          nominal_param = nominal;
+          target_selectivity = sel;
+          param = p;
+          sql = q3_sql p })
+      q23_selectivities
+  in
+  let q4 =
+    List.map
+      (fun (j, nominal, sel) ->
+        let p = suppkey_param c sel in
+        { vid = Printf.sprintf "Q4-%d" j;
+          family = 4;
+          nominal_param = nominal;
+          target_selectivity = sel;
+          param = string_of_int p;
+          sql = q4_sql p })
+      q14_selectivities
+  in
+  q1 @ q2 @ q3 @ q4
+
+let find (c : Dbgen.stats) vid : variant =
+  match List.find_opt (fun v -> String.equal v.vid vid) (variants c) with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Queries.find: unknown variant %s" vid)
+
+(** Measure the realized selectivity of a variant on an instance: the
+    fraction of the dominant input table (lineitem for Q1/Q4, the join's
+    lineitem side for Q2/Q3) that the predicate retains. *)
+let measured_selectivity (db : Minidb.Database.t) (c : Dbgen.stats)
+    (v : variant) : float =
+  let count sql =
+    match Minidb.Database.query db sql with
+    | { Minidb.Executor.rows = [ { Minidb.Executor.values = [| Minidb.Value.Int n |]; _ } ]; _ } ->
+      n
+    | _ -> 0
+  in
+  match v.family with
+  | 1 | 4 ->
+    let n =
+      count
+        (Printf.sprintf
+           "SELECT count(*) FROM lineitem WHERE l_suppkey BETWEEN 1 AND %s"
+           v.param)
+    in
+    float_of_int n /. float_of_int (max 1 c.Dbgen.n_lineitem)
+  | 2 | 3 ->
+    let n =
+      count
+        (Printf.sprintf
+           "SELECT count(*) FROM customer WHERE c_name LIKE '%%%s%%'" v.param)
+    in
+    float_of_int n /. float_of_int (max 1 c.Dbgen.n_customer)
+  | _ -> 0.0

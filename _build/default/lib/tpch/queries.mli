@@ -1,0 +1,25 @@
+(** The 18 workload queries of Table II: four families (selection, join,
+    join+count, join+aggregation) across a wide range of output-size to
+    provenance-size ratios. Parameters are derived from the *target
+    selectivity* and the generated instance's row counts, so the
+    selectivity shape survives micro scaling. *)
+
+type variant = {
+  vid : string;  (** e.g. "Q1-3" *)
+  family : int;  (** 1..4 *)
+  nominal_param : string;  (** the paper's PARAM column *)
+  target_selectivity : float;
+  param : string;  (** realized parameter for the generated instance *)
+  sql : string;
+}
+
+(** All 18 variants for a generated instance. *)
+val variants : Dbgen.stats -> variant list
+
+(** @raise Invalid_argument on unknown ids. *)
+val find : Dbgen.stats -> string -> variant
+
+(** Realized selectivity of a variant's parameter on the instance: the
+    retained fraction of lineitem (Q1/Q4) or customer (Q2/Q3). *)
+val measured_selectivity :
+  Minidb.Database.t -> Dbgen.stats -> variant -> float

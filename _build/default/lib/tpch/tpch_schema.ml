@@ -1,0 +1,52 @@
+(** The TPC-H schema (all eight tables) as MiniDB DDL. *)
+
+open Minidb
+
+let ddl =
+  [ "CREATE TABLE region (r_regionkey INT, r_name TEXT, r_comment TEXT)";
+    "CREATE TABLE nation (n_nationkey INT, n_name TEXT, n_regionkey INT, \
+     n_comment TEXT)";
+    "CREATE TABLE supplier (s_suppkey INT, s_name TEXT, s_address TEXT, \
+     s_nationkey INT, s_phone TEXT, s_acctbal FLOAT, s_comment TEXT)";
+    "CREATE TABLE part (p_partkey INT, p_name TEXT, p_mfgr TEXT, p_brand \
+     TEXT, p_type TEXT, p_size INT, p_retailprice FLOAT, p_comment TEXT)";
+    "CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, ps_availqty INT, \
+     ps_supplycost FLOAT, ps_comment TEXT)";
+    "CREATE TABLE customer (c_custkey INT, c_name TEXT, c_address TEXT, \
+     c_nationkey INT, c_phone TEXT, c_acctbal FLOAT, c_mktsegment TEXT, \
+     c_comment TEXT)";
+    "CREATE TABLE orders (o_orderkey INT, o_custkey INT, o_orderstatus TEXT, \
+     o_totalprice FLOAT, o_orderdate TEXT, o_orderpriority TEXT, o_clerk \
+     TEXT, o_shippriority INT, o_comment TEXT)";
+    "CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_suppkey INT, \
+     l_linenumber INT, l_quantity FLOAT, l_extendedprice FLOAT, l_discount \
+     FLOAT, l_tax FLOAT, l_returnflag TEXT, l_linestatus TEXT, l_shipdate \
+     TEXT, l_commitdate TEXT, l_receiptdate TEXT, l_shipinstruct TEXT, \
+     l_shipmode TEXT, l_comment TEXT)" ]
+
+let table_names =
+  [ "region"; "nation"; "supplier"; "part"; "partsupp"; "customer"; "orders";
+    "lineitem" ]
+
+(** Primary-key-style indexes, as any real TPC-H deployment would have.
+    The o_orderkey index in particular makes the workload's point updates
+    realistic. *)
+let index_ddl =
+  [ "CREATE INDEX orders_pk ON orders (o_orderkey)";
+    "CREATE INDEX customer_pk ON customer (c_custkey)";
+    "CREATE INDEX supplier_pk ON supplier (s_suppkey)";
+    "CREATE INDEX part_pk ON part (p_partkey)";
+    "CREATE INDEX lineitem_okey ON lineitem (l_orderkey)" ]
+
+(** Create all TPC-H tables and their indexes in [db]. *)
+let create_tables (db : Database.t) =
+  List.iter (fun sql -> ignore (Database.exec db sql)) ddl;
+  List.iter (fun sql -> ignore (Database.exec db sql)) index_ddl
+
+(** TPC-H formats entity names with 9-digit zero padding; the LIKE-based
+    selectivity of queries Q2/Q3 relies on this. *)
+let customer_name i = Printf.sprintf "Customer#%09d" i
+
+let supplier_name i = Printf.sprintf "Supplier#%09d" i
+let part_name i = Printf.sprintf "Part#%09d" i
+let clerk_name i = Printf.sprintf "Clerk#%09d" i

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Array Catalog Database Executor List Minidb String Table Tid Value

@@ -1,0 +1,1 @@
+test/ldv_fixtures.ml: Dbclient Ldv_core Minios Printf Tpch

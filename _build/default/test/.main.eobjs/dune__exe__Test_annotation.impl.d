@@ -1,0 +1,1 @@
+test/test_annotation.ml: Alcotest Annotation Bool_semiring Fmt Lineage_semiring List Minidb Nat_semiring QCheck QCheck_alcotest String Tid Tropical_semiring

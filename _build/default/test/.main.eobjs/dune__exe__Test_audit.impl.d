@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Audit Dbclient Fixtures Lazy Ldv_core Ldv_fixtures List Prov String

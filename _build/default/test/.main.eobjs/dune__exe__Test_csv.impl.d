@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Csv List Minidb QCheck QCheck_alcotest Schema String Value

@@ -1,0 +1,1 @@
+test/test_database.ml: Alcotest Array Catalog Database Errors Executor Fixtures List Minidb Schema Tid Value

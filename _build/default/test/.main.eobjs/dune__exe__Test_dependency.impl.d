@@ -1,0 +1,1 @@
+test/test_dependency.ml: Alcotest Array Bb_model Combined Dependency Interval Lineage_model List Minidb Printf Prov QCheck QCheck_alcotest String Tpch Trace

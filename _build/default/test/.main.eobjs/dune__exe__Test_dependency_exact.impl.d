@@ -1,0 +1,1 @@
+test/test_dependency_exact.ml: Alcotest Array Bb_model Dependency Interval List Model Printf Prov QCheck QCheck_alcotest String Tpch Trace

@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Catalog Database Eval_expr Executor List Minidb Option Printf QCheck QCheck_alcotest Schema Sql_ast Sql_parser String Table Tpch Value

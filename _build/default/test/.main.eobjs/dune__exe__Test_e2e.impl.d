@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Audit Ldv_core Ldv_fixtures List Package Ptu QCheck QCheck_alcotest Replay String Tpch

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Annotation Array Database Dbclient Errors Executor Fixtures Ldv_core List Minidb Minios Printf Prov QCheck QCheck_alcotest Sql_ast Sql_parser Tid Value

@@ -1,0 +1,1 @@
+test/test_eval_expr.ml: Alcotest Errors Eval_expr Fmt Minidb Printf QCheck QCheck_alcotest Schema Sql_ast Sql_parser String Value

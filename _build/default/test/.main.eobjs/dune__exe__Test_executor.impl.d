@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Annotation Array Database Errors Executor Fixtures List Minidb Planner Printf QCheck QCheck_alcotest Schema Sql_ast Sql_parser String Tid Tpch Value

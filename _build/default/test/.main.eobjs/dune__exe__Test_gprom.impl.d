@@ -1,0 +1,1 @@
+test/test_gprom.ml: Alcotest Database Errors Executor Fixtures Gprom List Minidb Schema Tid

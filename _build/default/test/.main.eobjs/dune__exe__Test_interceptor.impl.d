@@ -1,0 +1,1 @@
+test/test_interceptor.ml: Alcotest Database Dbclient Fixtures Interceptor List Minidb Minios Protocol Recorder Server

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Fmt Interval Prov QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Kernel List Minios Program Syscall Vfs

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Bb_model Combined Lineage_model List Model Prov

@@ -1,0 +1,1 @@
+test/test_package.ml: Alcotest Audit Dbclient Fixtures Lazy Ldv_core Ldv_fixtures List Package Printf Prov Ptu

@@ -1,0 +1,1 @@
+test/test_partial_diff.ml: Alcotest Array Audit Dbclient Fixtures Format Lazy Ldv_core Ldv_fixtures List Minidb Minios Package Partial Printf Prov Replay String

@@ -1,0 +1,1 @@
+test/test_perm.ml: Alcotest Array Database Executor Fixtures Lazy List Minidb Perm Sql_parser Tid Value

@@ -1,0 +1,1 @@
+test/test_prov_export.ml: Alcotest Bb_model Combined Dot Fixtures Interval Lineage_model List Minidb Prov Prov_export Trace

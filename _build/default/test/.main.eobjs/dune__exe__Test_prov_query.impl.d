@@ -1,0 +1,1 @@
+test/test_prov_query.ml: Alcotest Bb_model Combined Interval List Prov Query

@@ -1,0 +1,1 @@
+test/test_recorder.ml: Alcotest Array Dbclient List Minidb Protocol QCheck QCheck_alcotest Recorder Schema Value

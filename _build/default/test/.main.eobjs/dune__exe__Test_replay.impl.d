@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Dbclient Lazy Ldv_core Ldv_fixtures List Minidb Package Ptu Replay Slice

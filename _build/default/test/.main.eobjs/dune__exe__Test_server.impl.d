@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Catalog Database Dbclient Fixtures List Minidb Minios Protocol Server Table Tid Value

@@ -1,0 +1,1 @@
+test/test_slice.ml: Alcotest Audit Catalog Csv Database Dbclient Executor Fixtures Lazy Ldv_core Ldv_fixtures List Minidb Printf Slice Sql_ast Sql_parser Table Tid

@@ -1,0 +1,1 @@
+test/test_sql_features.ml: Alcotest Annotation Array Catalog Database Errors Executor Fixtures List Minidb Planner Printf QCheck QCheck_alcotest Sql_ast Sql_parser String Table Tid Tpch Value

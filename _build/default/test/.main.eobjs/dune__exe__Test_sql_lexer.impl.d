@@ -1,0 +1,1 @@
+test/test_sql_lexer.ml: Alcotest Errors Fmt List Minidb Sql_lexer

@@ -1,0 +1,1 @@
+test/test_sql_parser.ml: Alcotest Errors List Minidb Pretty Sql_ast Sql_parser Value

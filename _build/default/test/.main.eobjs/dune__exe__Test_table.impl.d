@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Array Errors List Minidb Schema Table Tid Value

@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Database Dbclient Executor Float List Minidb Minios Printf Tpch Value

@@ -1,0 +1,1 @@
+test/test_tpch_full.ml: Alcotest Annotation Array Database Dbclient Executor Fixtures Lazy Ldv_core List Minidb Minios Printf Schema Tid Tpch Value

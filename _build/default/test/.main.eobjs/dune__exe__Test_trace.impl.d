@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Combined Interval List Prov Trace

@@ -1,0 +1,1 @@
+test/test_tracer.ml: Alcotest Kernel List Minios Program Prov Syscall Tracer Vfs

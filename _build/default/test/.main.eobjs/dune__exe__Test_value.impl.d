@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Errors Fmt Minidb QCheck QCheck_alcotest Value

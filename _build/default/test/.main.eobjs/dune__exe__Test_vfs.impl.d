@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Minios Vfs

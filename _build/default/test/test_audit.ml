@@ -1,0 +1,116 @@
+open Ldv_core
+module I = Dbclient.Interceptor
+
+let test_included_trace_structure () =
+  let audit = Lazy.force Ldv_fixtures.included in
+  let stats = Prov.Query.stats audit.Audit.trace in
+  (* 10 inserts + 3 selects + 4 updates *)
+  Alcotest.(check int) "statement nodes" 17 stats.Prov.Query.statements;
+  Alcotest.(check bool) "app and server processes" true
+    (stats.Prov.Query.processes >= 2);
+  Alcotest.(check bool) "tuples present" true (stats.Prov.Query.tuples > 0);
+  Alcotest.(check bool) "lineage dependencies registered" true
+    (stats.Prov.Query.direct_dependencies > 0)
+
+let test_included_cross_model_edges () =
+  let audit = Lazy.force Ldv_fixtures.included in
+  let trace = audit.Audit.trace in
+  let edges = Prov.Trace.edges trace in
+  let count label =
+    List.length
+      (List.filter (fun (e : Prov.Trace.edge) -> e.Prov.Trace.elabel = label) edges)
+  in
+  Alcotest.(check int) "one run edge per statement" 17 (count "run");
+  Alcotest.(check bool) "query results read by the process" true
+    (count "readFromDb" > 0);
+  Alcotest.(check bool) "hasRead edges present" true (count "hasRead" > 0);
+  Alcotest.(check bool) "hasReturned edges present" true (count "hasReturned" > 0)
+
+let test_statement_nodes_carry_sql () =
+  let audit = Lazy.force Ldv_fixtures.included in
+  let stmts = I.log audit.Audit.session in
+  List.iter
+    (fun (s : I.stmt_event) ->
+      let node =
+        Prov.Trace.node_exn audit.Audit.trace (Prov.Lineage_model.stmt_id s.I.qid)
+      in
+      Alcotest.(check (option string)) "sql attribute"
+        (Some s.I.sql_norm)
+        (List.assoc_opt "sql" node.Prov.Trace.attrs))
+    stmts
+
+let test_output_files_captured () =
+  let audit = Lazy.force Ldv_fixtures.included in
+  Alcotest.(check bool) "results.csv captured as output" true
+    (List.mem_assoc "/app/out/results.csv" audit.Audit.out_files);
+  (* the server's checkpoint writes are not app outputs *)
+  Alcotest.(check bool) "no server data files among outputs" true
+    (List.for_all
+       (fun (p, _) -> not (Fixtures.contains_substring ~needle:"/var/minidb" p))
+       audit.Audit.out_files)
+
+let test_query_fingerprints_cover_selects () =
+  let audit = Lazy.force Ldv_fixtures.included in
+  Alcotest.(check int) "three select fingerprints" 3
+    (List.length audit.Audit.query_fingerprints);
+  (* same query, same data: all three fingerprints identical *)
+  match audit.Audit.query_fingerprints with
+  | (_, f1) :: rest ->
+    List.iter (fun (_, f) -> Alcotest.(check string) "stable" f1 f) rest
+  | [] -> Alcotest.fail "no fingerprints"
+
+let test_ptu_has_no_db_provenance () =
+  let audit = Lazy.force Ldv_fixtures.ptu in
+  let stats = Prov.Query.stats audit.Audit.trace in
+  Alcotest.(check int) "no statements in PTU trace" 0 stats.Prov.Query.statements;
+  Alcotest.(check int) "no tuples in PTU trace" 0 stats.Prov.Query.tuples;
+  Alcotest.(check bool) "files traced" true (stats.Prov.Query.files > 0)
+
+let test_excluded_has_statements_but_no_tuples () =
+  let audit = Lazy.force Ldv_fixtures.excluded in
+  let stats = Prov.Query.stats audit.Audit.trace in
+  Alcotest.(check int) "statements present" 17 stats.Prov.Query.statements;
+  Alcotest.(check int) "no tuple-level provenance" 0 stats.Prov.Query.tuples;
+  (* but responses were recorded *)
+  Alcotest.(check int) "all statements recorded" 17
+    (List.length (I.recorded audit.Audit.session))
+
+let test_app_pids_exclude_server () =
+  let audit = Lazy.force Ldv_fixtures.included in
+  let pids = Audit.app_pids audit in
+  (match audit.Audit.server_pid with
+  | Some sp ->
+    Alcotest.(check bool) "server pid filtered" false (List.mem sp pids)
+  | None -> Alcotest.fail "included audit must have a server pid");
+  Alcotest.(check bool) "root pid present" true
+    (List.mem audit.Audit.root_pid pids)
+
+let test_output_depends_on_db_tuples () =
+  (* the heart of the combined model: the app's output file depends on DB
+     tuple versions through query results *)
+  let audit = Lazy.force Ldv_fixtures.included in
+  let deps =
+    Prov.Dependency.dependencies_of audit.Audit.trace "file:/app/out/results.csv"
+  in
+  let tuple_deps =
+    List.filter
+      (fun d -> String.length d > 6 && String.sub d 0 6 = "tuple:")
+      deps
+  in
+  Alcotest.(check bool) "output depends on stored tuples" true
+    (List.length tuple_deps > 0);
+  (* and on the app's config file *)
+  Alcotest.(check bool) "output depends on the config input" true
+    (List.mem "file:/app/etc/app.conf" deps)
+
+let suite =
+  [ Alcotest.test_case "included trace structure" `Quick test_included_trace_structure;
+    Alcotest.test_case "cross-model edges" `Quick test_included_cross_model_edges;
+    Alcotest.test_case "statement sql attributes" `Quick test_statement_nodes_carry_sql;
+    Alcotest.test_case "output files" `Quick test_output_files_captured;
+    Alcotest.test_case "query fingerprints" `Quick test_query_fingerprints_cover_selects;
+    Alcotest.test_case "ptu: no DB provenance" `Quick test_ptu_has_no_db_provenance;
+    Alcotest.test_case "excluded: statements only" `Quick
+      test_excluded_has_statements_but_no_tuples;
+    Alcotest.test_case "app pids" `Quick test_app_pids_exclude_server;
+    Alcotest.test_case "output depends on tuples" `Quick test_output_depends_on_db_tuples ]

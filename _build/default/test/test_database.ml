@@ -1,0 +1,124 @@
+open Minidb
+
+let test_insert_info () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (x INT)");
+  let info = Database.dml db "INSERT INTO t VALUES (1), (2)" in
+  Alcotest.(check int) "two rows" 2 info.Database.count;
+  Alcotest.(check int) "two written tids" 2 (List.length info.Database.written);
+  Alcotest.(check int) "inserts read nothing" 0 (List.length info.Database.read);
+  List.iter
+    (fun (_, deps) -> Alcotest.(check int) "no deps" 0 (List.length deps))
+    info.Database.deps
+
+let test_insert_with_columns () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a INT, b TEXT, c INT)");
+  ignore (Database.exec db "INSERT INTO t (c, a) VALUES (3, 1)");
+  Fixtures.check_rows "missing columns null" [ "1||3" ]
+    (Database.query db "SELECT a, b, c FROM t")
+
+let test_update_provenance () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (x INT, y INT)");
+  ignore (Database.exec db "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  let info = Database.dml db "UPDATE t SET y = y + 1 WHERE x >= 2" in
+  Alcotest.(check int) "two affected" 2 info.Database.count;
+  Alcotest.(check int) "two new versions" 2 (List.length info.Database.written);
+  (* each new version depends on exactly its pre-version, same rid *)
+  List.iter
+    (fun ((w : Tid.t), deps) ->
+      match deps with
+      | [ (old : Tid.t) ] ->
+        Alcotest.(check int) "rid stable across update" w.Tid.rid old.Tid.rid;
+        Alcotest.(check bool) "version advanced" true
+          (w.Tid.version > old.Tid.version)
+      | _ -> Alcotest.fail "expected exactly one dependency")
+    info.Database.deps;
+  Fixtures.check_rows "values updated" [ "1|10"; "2|21"; "3|31" ]
+    (Database.query db "SELECT x, y FROM t")
+
+let test_update_sees_pre_state () =
+  (* SET expressions evaluate against the pre-state of the row *)
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (x INT, y INT)");
+  ignore (Database.exec db "INSERT INTO t VALUES (1, 100)");
+  ignore (Database.exec db "UPDATE t SET x = y, y = x");
+  Fixtures.check_rows "swap via pre-state" [ "100|1" ]
+    (Database.query db "SELECT x, y FROM t")
+
+let test_delete_provenance () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (x INT)");
+  ignore (Database.exec db "INSERT INTO t VALUES (1), (2), (3)");
+  let info = Database.dml db "DELETE FROM t WHERE x > 1" in
+  Alcotest.(check int) "two deleted" 2 info.Database.count;
+  Alcotest.(check int) "victims recorded as reads" 2 (List.length info.Database.read);
+  Fixtures.check_rows "one row left" [ "1" ] (Database.query db "SELECT x FROM t")
+
+let test_clock_advances () =
+  let db = Database.create () in
+  let c0 = Database.clock db in
+  ignore (Database.exec db "CREATE TABLE t (x INT)");
+  ignore (Database.exec db "INSERT INTO t VALUES (1)");
+  Alcotest.(check bool) "clock advanced" true (Database.clock db > c0);
+  Database.sync_clock db ~at:1000;
+  Alcotest.(check int) "sync forward" 1000 (Database.clock db);
+  Database.sync_clock db ~at:5;
+  Alcotest.(check int) "sync never rewinds" 1000 (Database.clock db)
+
+let test_provenance_select () =
+  let db = Fixtures.sales_db () in
+  let r = Database.query db "PROVENANCE SELECT sum(price) AS ttl FROM sales WHERE price > 10" in
+  (* one result row expanded to one output row per lineage tuple *)
+  Alcotest.(check int) "expanded rows" 2 (List.length r.Executor.rows);
+  Alcotest.(check int) "provenance columns appended" 4
+    (Schema.arity r.Executor.schema);
+  Alcotest.(check string) "prov_rowid column present" "prov_rowid"
+    r.Executor.schema.(2).Schema.name
+
+let test_exec_script () =
+  let db = Database.create () in
+  (match
+     Database.exec_script db
+       "CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT x FROM t"
+   with
+  | Database.Rows r -> Alcotest.(check int) "last result" 1 (List.length r.Executor.rows)
+  | _ -> Alcotest.fail "expected rows");
+  Alcotest.(check bool) "table exists" true (Catalog.mem (Database.catalog db) "t")
+
+let test_bulk_insert () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (x INT)");
+  let tids = Database.bulk_insert db ~table:"t" [ [| Value.Int 1 |]; [| Value.Int 2 |] ] in
+  Alcotest.(check int) "two tids" 2 (List.length tids);
+  (* one clock tick for the whole batch *)
+  let versions = List.map (fun (t : Tid.t) -> t.Tid.version) tids in
+  Alcotest.(check bool) "same version" true
+    (List.for_all (fun v -> v = List.hd versions) versions)
+
+let test_unknown_table () =
+  let db = Database.create () in
+  Alcotest.check_raises "unknown table"
+    (Errors.Db_error (Errors.Unknown_table "nope")) (fun () ->
+      ignore (Database.exec db "SELECT x FROM nope"))
+
+let test_duplicate_table () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (x INT)");
+  Alcotest.check_raises "duplicate table"
+    (Errors.Db_error (Errors.Duplicate_table "t")) (fun () ->
+      ignore (Database.exec db "CREATE TABLE t (y INT)"))
+
+let suite =
+  [ Alcotest.test_case "insert info" `Quick test_insert_info;
+    Alcotest.test_case "insert with column list" `Quick test_insert_with_columns;
+    Alcotest.test_case "update provenance" `Quick test_update_provenance;
+    Alcotest.test_case "update sees pre-state" `Quick test_update_sees_pre_state;
+    Alcotest.test_case "delete provenance" `Quick test_delete_provenance;
+    Alcotest.test_case "clock" `Quick test_clock_advances;
+    Alcotest.test_case "PROVENANCE SELECT" `Quick test_provenance_select;
+    Alcotest.test_case "script" `Quick test_exec_script;
+    Alcotest.test_case "bulk insert" `Quick test_bulk_insert;
+    Alcotest.test_case "unknown table" `Quick test_unknown_table;
+    Alcotest.test_case "duplicate table" `Quick test_duplicate_table ]

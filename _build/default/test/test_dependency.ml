@@ -1,0 +1,305 @@
+open Prov
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: blackbox dependencies ignore time.                        *)
+
+let figure4_trace () =
+  let t = Trace.create Bb_model.model in
+  ignore (Bb_model.add_process t ~pid:1 ~name:"P1");
+  List.iter (fun p -> ignore (Bb_model.add_file t ~path:p)) [ "A"; "B"; "C"; "D" ];
+  ignore (Bb_model.read_from t ~pid:1 ~path:"A" ~time:(Interval.make 2 3));
+  ignore (Bb_model.read_from t ~pid:1 ~path:"B" ~time:(Interval.make 1 5));
+  ignore (Bb_model.has_written t ~pid:1 ~path:"C" ~time:(Interval.make 2 3));
+  ignore (Bb_model.has_written t ~pid:1 ~path:"D" ~time:(Interval.make 8 8));
+  t
+
+let test_bb_dependencies_figure4 () =
+  let t = figure4_trace () in
+  let deps = List.sort compare (Dependency.bb_dependencies t) in
+  Alcotest.(check (list (pair string string)))
+    "C and D depend on A and B (Def. 8, time-free)"
+    [ ("file:C", "file:A"); ("file:C", "file:B");
+      ("file:D", "file:A"); ("file:D", "file:B") ]
+    deps
+
+let test_bb_dependencies_through_exec_chain () =
+  let t = Trace.create Bb_model.model in
+  ignore (Bb_model.add_process t ~pid:1 ~name:"P1");
+  ignore (Bb_model.add_process t ~pid:2 ~name:"P2");
+  ignore (Bb_model.add_file t ~path:"in");
+  ignore (Bb_model.add_file t ~path:"out");
+  ignore (Bb_model.read_from t ~pid:1 ~path:"in" ~time:(Interval.point 1));
+  ignore (Bb_model.executed t ~parent:1 ~child:2 ~time:(Interval.point 2));
+  ignore (Bb_model.has_written t ~pid:2 ~path:"out" ~time:(Interval.point 3));
+  Alcotest.(check (list (pair string string)))
+    "dependency crosses executed chain"
+    [ ("file:out", "file:in") ]
+    (Dependency.bb_dependencies t);
+  (* but not against the chain direction: a file read by the child does
+     not flow to a file written by the parent in Def. 8 *)
+  let t2 = Trace.create Bb_model.model in
+  ignore (Bb_model.add_process t2 ~pid:1 ~name:"P1");
+  ignore (Bb_model.add_process t2 ~pid:2 ~name:"P2");
+  ignore (Bb_model.add_file t2 ~path:"in");
+  ignore (Bb_model.add_file t2 ~path:"out");
+  ignore (Bb_model.executed t2 ~parent:1 ~child:2 ~time:(Interval.point 1));
+  ignore (Bb_model.read_from t2 ~pid:2 ~path:"in" ~time:(Interval.point 2));
+  ignore (Bb_model.has_written t2 ~pid:1 ~path:"out" ~time:(Interval.point 3));
+  Alcotest.(check (list (pair string string))) "no reverse-chain dependency" []
+    (Dependency.bb_dependencies t2)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: temporal restriction of inference (Example 8).            *)
+
+(* A -> P1 -> B -> P2 -> C with the given interval annotations. *)
+let chain_trace ~read_a ~write_b ~read_b ~write_c =
+  let t = Trace.create Bb_model.model in
+  ignore (Bb_model.add_process t ~pid:1 ~name:"P1");
+  ignore (Bb_model.add_process t ~pid:2 ~name:"P2");
+  List.iter (fun p -> ignore (Bb_model.add_file t ~path:p)) [ "A"; "B"; "C" ];
+  ignore (Bb_model.read_from t ~pid:1 ~path:"A" ~time:read_a);
+  ignore (Bb_model.has_written t ~pid:1 ~path:"B" ~time:write_b);
+  ignore (Bb_model.read_from t ~pid:2 ~path:"B" ~time:read_b);
+  ignore (Bb_model.has_written t ~pid:2 ~path:"C" ~time:write_c);
+  t
+
+let test_figure6a_no_dependency () =
+  (* P2 stopped reading B before P1 wrote it *)
+  let t =
+    chain_trace ~read_a:(Interval.make 2 3) ~write_b:(Interval.make 6 7)
+      ~read_b:(Interval.make 1 5) ~write_c:(Interval.make 6 6)
+  in
+  Alcotest.(check bool) "C does not depend on A" false
+    (Dependency.depends_on t ~target:"file:C" ~source:"file:A");
+  (* B still depends on A *)
+  Alcotest.(check bool) "B depends on A" true
+    (Dependency.depends_on t ~target:"file:B" ~source:"file:A")
+
+let test_figure6b_dependency_at_4 () =
+  let t =
+    chain_trace ~read_a:(Interval.make 1 1) ~write_b:(Interval.make 4 7)
+      ~read_b:(Interval.make 2 5) ~write_c:(Interval.make 1 6)
+  in
+  Alcotest.(check bool) "C depends on A at time 4" true
+    (Dependency.depends_on t ~at:4 ~target:"file:C" ~source:"file:A");
+  Alcotest.(check bool) "C depends on A at end of trace" true
+    (Dependency.depends_on t ~target:"file:C" ~source:"file:A");
+  (* before anything could have flowed, no dependency *)
+  Alcotest.(check bool) "no dependency at time 0" false
+    (Dependency.depends_on t ~at:0 ~target:"file:C" ~source:"file:A")
+
+let test_figure6c_no_direct_dep () =
+  (* same temporal annotations as 6b, but the model knows B does not
+     depend on A — so nothing can be inferred for C on A *)
+  let t =
+    chain_trace ~read_a:(Interval.make 1 1) ~write_b:(Interval.make 4 7)
+      ~read_b:(Interval.make 2 5) ~write_c:(Interval.make 1 6)
+  in
+  let same_model_dep (later : Trace.node) (earlier : Trace.node) =
+    not
+      (String.equal later.Trace.id "file:B"
+      && String.equal earlier.Trace.id "file:A")
+  in
+  Alcotest.(check bool) "C does not depend on A" false
+    (Dependency.depends_on t ~same_model_dep ~target:"file:C" ~source:"file:A");
+  Alcotest.(check bool) "C still depends on B" true
+    (Dependency.depends_on t ~same_model_dep ~target:"file:C" ~source:"file:B")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the paper's running combined trace.                       *)
+
+let figure2_trace () =
+  let t = Combined.create () in
+  ignore (Bb_model.add_process t ~pid:1 ~name:"P1");
+  ignore (Bb_model.add_process t ~pid:2 ~name:"P2");
+  List.iter (fun p -> ignore (Bb_model.add_file t ~path:p)) [ "A"; "B"; "C" ];
+  let tup i = Minidb.Tid.make ~table:"db" ~rid:i ~version:i in
+  List.iter (fun i -> ignore (Lineage_model.add_tuple t (tup i))) [ 1; 2; 3; 4; 5 ];
+  ignore (Lineage_model.add_statement t ~qid:1 ~kind:Lineage_model.Insert ~sql:"insert1");
+  ignore (Lineage_model.add_statement t ~qid:2 ~kind:Lineage_model.Insert ~sql:"insert2");
+  ignore (Lineage_model.add_statement t ~qid:3 ~kind:Lineage_model.Query ~sql:"query");
+  ignore (Bb_model.read_from t ~pid:1 ~path:"A" ~time:(Interval.make 1 6));
+  ignore (Bb_model.read_from t ~pid:1 ~path:"B" ~time:(Interval.make 7 8));
+  ignore (Combined.run t ~pid:1 ~qid:1 ~time:(Interval.point 5));
+  ignore (Lineage_model.has_returned t ~qid:1 ~tid:(tup 1) ~time:(Interval.point 5));
+  ignore (Lineage_model.has_returned t ~qid:1 ~tid:(tup 2) ~time:(Interval.point 5));
+  ignore (Combined.run t ~pid:1 ~qid:2 ~time:(Interval.point 8));
+  ignore (Lineage_model.has_returned t ~qid:2 ~tid:(tup 3) ~time:(Interval.point 8));
+  ignore (Combined.run t ~pid:2 ~qid:3 ~time:(Interval.point 9));
+  ignore (Lineage_model.has_read t ~qid:3 ~tid:(tup 1) ~time:(Interval.point 9));
+  ignore (Lineage_model.has_read t ~qid:3 ~tid:(tup 3) ~time:(Interval.point 9));
+  ignore (Lineage_model.has_returned t ~qid:3 ~tid:(tup 4) ~time:(Interval.point 9));
+  ignore (Lineage_model.has_returned t ~qid:3 ~tid:(tup 5) ~time:(Interval.point 9));
+  ignore (Combined.read_from_db t ~pid:2 ~tid:(tup 4) ~time:(Interval.point 9));
+  ignore (Combined.read_from_db t ~pid:2 ~tid:(tup 5) ~time:(Interval.point 9));
+  ignore (Bb_model.has_written t ~pid:2 ~path:"C" ~time:(Interval.make 7 12));
+  Lineage_model.depends_on t ~result:(tup 4) ~source:(tup 1);
+  Lineage_model.depends_on t ~result:(tup 4) ~source:(tup 3);
+  Lineage_model.depends_on t ~result:(tup 5) ~source:(tup 1);
+  Lineage_model.depends_on t ~result:(tup 5) ~source:(tup 3);
+  t
+
+let tup_id i = "tuple:db:" ^ string_of_int i ^ "@" ^ string_of_int i
+
+let test_figure2_inference () =
+  let t = figure2_trace () in
+  let deps_of x = Dependency.dependencies_of t x in
+  (* output file C depends on everything that flowed into it *)
+  let c_deps = deps_of "file:C" in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) ("C depends on " ^ d) true (List.mem d c_deps))
+    [ "file:A"; "file:B"; tup_id 1; tup_id 3; tup_id 4; tup_id 5 ];
+  (* t2 was never read by any statement: nothing depends on it *)
+  Alcotest.(check bool) "C does not depend on t2" false
+    (List.mem (tup_id 2) c_deps);
+  (* t4 depends on its lineage and, transitively, on file A... *)
+  let t4_deps = deps_of (tup_id 4) in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) ("t4 depends on " ^ d) true (List.mem d t4_deps))
+    [ tup_id 1; tup_id 3; "file:A"; "file:B" ];
+  (* ...but t1 (inserted at 5) cannot depend on file B (read at [7,8]) *)
+  Alcotest.(check bool) "t1 does not depend on B (temporal causality)" false
+    (Dependency.depends_on t ~target:(tup_id 1) ~source:"file:B");
+  Alcotest.(check bool) "t1 depends on A" true
+    (Dependency.depends_on t ~target:(tup_id 1) ~source:"file:A");
+  (* t3, inserted at 8, may depend on B *)
+  Alcotest.(check bool) "t3 depends on B" true
+    (Dependency.depends_on t ~target:(tup_id 3) ~source:"file:B")
+
+let test_figure2_lineage_dep_required () =
+  let t = figure2_trace () in
+  (* kill the registered (t4, t3) dependency: then C's dependency on t3
+     must survive only through t5 *)
+  let same_model_dep (later : Trace.node) (earlier : Trace.node) =
+    if String.equal later.Trace.node_type "tuple" then
+      not
+        (String.equal later.Trace.id (tup_id 4)
+        && String.equal earlier.Trace.id (tup_id 3))
+      && Trace.has_direct_dep t ~later:later.Trace.id ~earlier:earlier.Trace.id
+    else true
+  in
+  Alcotest.(check bool) "t4 no longer depends on t3" false
+    (Dependency.depends_on t ~same_model_dep ~target:(tup_id 4) ~source:(tup_id 3));
+  Alcotest.(check bool) "C still depends on t3 via t5" true
+    (Dependency.depends_on t ~same_model_dep ~target:"file:C" ~source:(tup_id 3))
+
+let test_connected_sources_upper_bound () =
+  let t = figure2_trace () in
+  List.iter
+    (fun (n : Trace.node) ->
+      let inferred = Dependency.dependencies_of t n.Trace.id in
+      let connected = Dependency.connected_sources t n.Trace.id in
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s dep %s is connected" n.Trace.id d)
+            true (List.mem d connected))
+        inferred)
+    (Trace.entities t)
+
+let test_all_dependencies_consistent () =
+  let t = figure2_trace () in
+  let all = Dependency.all_dependencies t in
+  List.iter
+    (fun (target, source) ->
+      Alcotest.(check bool) "pairwise check agrees" true
+        (Dependency.depends_on t ~target ~source))
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Properties on random chain traces.                                  *)
+
+(* Random linear OS pipelines file0 -> P1 -> file1 -> P2 -> ... with
+   random interval annotations. *)
+let random_pipeline seed =
+  let rng = Tpch.Prng.create ~seed in
+  let n = 2 + Tpch.Prng.int rng 4 in
+  let t = Trace.create Bb_model.model in
+  for i = 0 to n do
+    ignore (Bb_model.add_file t ~path:(Printf.sprintf "f%d" i))
+  done;
+  for p = 1 to n do
+    ignore (Bb_model.add_process t ~pid:p ~name:(Printf.sprintf "P%d" p));
+    let iv () =
+      let a = Tpch.Prng.int rng 10 in
+      Interval.make a (a + Tpch.Prng.int rng 5)
+    in
+    ignore (Bb_model.read_from t ~pid:p ~path:(Printf.sprintf "f%d" (p - 1)) ~time:(iv ()));
+    ignore (Bb_model.has_written t ~pid:p ~path:(Printf.sprintf "f%d" p) ~time:(iv ()))
+  done;
+  (t, n)
+
+let prop_inferred_subset_of_connected =
+  QCheck.Test.make ~count:200 ~name:"inferred deps subset of trace reachability"
+    (QCheck.make ~print:string_of_int QCheck.Gen.nat) (fun seed ->
+      let t, n = random_pipeline seed in
+      let target = Printf.sprintf "file:f%d" n in
+      let inferred = Dependency.dependencies_of t target in
+      let connected = Dependency.connected_sources t target in
+      List.for_all (fun d -> List.mem d connected) inferred)
+
+let prop_monotone_in_time =
+  QCheck.Test.make ~count:200 ~name:"dependencies monotone in query time"
+    (QCheck.make ~print:string_of_int QCheck.Gen.nat) (fun seed ->
+      let t, n = random_pipeline seed in
+      let target = Printf.sprintf "file:f%d" n in
+      let d1 = Dependency.dependencies_of ~at:7 t target in
+      let d2 = Dependency.dependencies_of ~at:14 t target in
+      List.for_all (fun d -> List.mem d d2) d1)
+
+let prop_point_time_chain_exact =
+  (* when every interaction is a point event, inference equals "times
+     along the chain are non-decreasing" *)
+  QCheck.Test.make ~count:200 ~name:"point-event chains: inference = sortedness"
+    (QCheck.make
+       ~print:(fun l -> String.concat "," (List.map string_of_int l))
+       QCheck.Gen.(list_size (int_range 2 6) (int_bound 8)))
+    (fun times ->
+      let t = Trace.create Bb_model.model in
+      let n = List.length times / 2 in
+      if n < 1 then QCheck.assume_fail ()
+      else begin
+        for i = 0 to n do
+          ignore (Bb_model.add_file t ~path:(Printf.sprintf "f%d" i))
+        done;
+        let arr = Array.of_list times in
+        for p = 1 to n do
+          ignore (Bb_model.add_process t ~pid:p ~name:(Printf.sprintf "P%d" p));
+          ignore
+            (Bb_model.read_from t ~pid:p
+               ~path:(Printf.sprintf "f%d" (p - 1))
+               ~time:(Interval.point arr.((2 * (p - 1)))));
+          ignore
+            (Bb_model.has_written t ~pid:p
+               ~path:(Printf.sprintf "f%d" p)
+               ~time:(Interval.point arr.((2 * (p - 1)) + 1)))
+        done;
+        let sorted = ref true in
+        for i = 0 to (2 * n) - 2 do
+          if arr.(i) > arr.(i + 1) then sorted := false
+        done;
+        Dependency.depends_on t
+          ~target:(Printf.sprintf "file:f%d" n)
+          ~source:"file:f0"
+        = !sorted
+      end)
+
+let suite =
+  [ Alcotest.test_case "Figure 4: BB deps" `Quick test_bb_dependencies_figure4;
+    Alcotest.test_case "BB deps via executed chain" `Quick
+      test_bb_dependencies_through_exec_chain;
+    Alcotest.test_case "Figure 6a: temporal pruning" `Quick test_figure6a_no_dependency;
+    Alcotest.test_case "Figure 6b: dependency at time 4" `Quick test_figure6b_dependency_at_4;
+    Alcotest.test_case "Figure 6c: missing direct dep" `Quick test_figure6c_no_direct_dep;
+    Alcotest.test_case "Figure 2: combined inference" `Quick test_figure2_inference;
+    Alcotest.test_case "Figure 2: lineage deps gate paths" `Quick
+      test_figure2_lineage_dep_required;
+    Alcotest.test_case "inferred within reachability" `Quick
+      test_connected_sources_upper_bound;
+    Alcotest.test_case "all_dependencies consistent" `Quick
+      test_all_dependencies_consistent;
+    QCheck_alcotest.to_alcotest prop_inferred_subset_of_connected;
+    QCheck_alcotest.to_alcotest prop_monotone_in_time;
+    QCheck_alcotest.to_alcotest prop_point_time_chain_exact ]

@@ -1,0 +1,102 @@
+open Minidb
+
+let schema =
+  Schema.of_list
+    [ Schema.column "a" Value.Tint;
+      Schema.column "b" Value.Tstr;
+      Schema.column "c" Value.Tfloat ]
+
+let row = [| Value.Int 5; Value.Str "hello"; Value.Null |]
+
+let eval_str expr_sql =
+  (* parse the expression by wrapping it in a SELECT *)
+  match Sql_parser.parse (Printf.sprintf "SELECT %s FROM t" expr_sql) with
+  | Sql_ast.Select { items = [ Sql_ast.Item (e, _) ]; _ } ->
+    Eval_expr.eval row (Eval_expr.bind schema e)
+  | _ -> Alcotest.fail "bad expression"
+
+let v = Alcotest.testable (Fmt.of_to_string Value.to_string) Value.equal
+
+let test_three_valued_logic () =
+  (* NULL AND FALSE = FALSE (not NULL) *)
+  Alcotest.check v "null and false" (Value.Bool false) (eval_str "c > 1.0 AND a < 0");
+  Alcotest.check v "null and true" Value.Null (eval_str "c > 1.0 AND a > 0");
+  Alcotest.check v "null or true" (Value.Bool true) (eval_str "c > 1.0 OR a > 0");
+  Alcotest.check v "null or false" Value.Null (eval_str "c > 1.0 OR a < 0");
+  Alcotest.check v "not null" Value.Null (eval_str "NOT c > 1.0")
+
+let test_is_null () =
+  Alcotest.check v "is null on null" (Value.Bool true) (eval_str "c IS NULL");
+  Alcotest.check v "is not null on value" (Value.Bool true) (eval_str "a IS NOT NULL")
+
+let test_between () =
+  Alcotest.check v "in range" (Value.Bool true) (eval_str "a BETWEEN 1 AND 10");
+  Alcotest.check v "below range" (Value.Bool false) (eval_str "a BETWEEN 6 AND 10");
+  Alcotest.check v "null bound" Value.Null (eval_str "a BETWEEN 1 AND c")
+
+let test_in_list () =
+  Alcotest.check v "member" (Value.Bool true) (eval_str "a IN (1, 5, 9)");
+  Alcotest.check v "not member" (Value.Bool false) (eval_str "a IN (1, 2)");
+  Alcotest.check v "null in list is unknown" Value.Null (eval_str "c IN (1.0)");
+  Alcotest.check v "miss with null member is unknown" Value.Null
+    (eval_str "a IN (1, c)")
+
+let test_like () =
+  Alcotest.check v "suffix wildcard" (Value.Bool true) (eval_str "b LIKE 'hel%'");
+  Alcotest.check v "infix" (Value.Bool true) (eval_str "b LIKE '%ell%'");
+  Alcotest.check v "underscore" (Value.Bool true) (eval_str "b LIKE 'h_llo'");
+  Alcotest.check v "no match" (Value.Bool false) (eval_str "b LIKE 'x%'");
+  Alcotest.check v "not like" (Value.Bool true) (eval_str "b NOT LIKE 'x%'");
+  Alcotest.check v "exact" (Value.Bool true) (eval_str "b LIKE 'hello'");
+  Alcotest.check v "empty pattern vs nonempty" (Value.Bool false)
+    (eval_str "b LIKE ''")
+
+let test_eval_pred () =
+  let bind e = Eval_expr.bind schema e in
+  let p = bind (Sql_ast.Is_null (Sql_ast.Col (None, "c"))) in
+  Alcotest.(check bool) "true pred" true (Eval_expr.eval_pred row p);
+  let unknown = bind (Sql_ast.Cmp (Sql_ast.Gt, Sql_ast.Col (None, "c"), Sql_ast.Const (Value.Int 0))) in
+  Alcotest.(check bool) "unknown filtered out" false (Eval_expr.eval_pred row unknown)
+
+let test_agg_outside_context_fails () =
+  Alcotest.(check bool) "aggregate rejected by binder" true
+    (try
+       ignore (Eval_expr.bind schema (Sql_ast.Agg (Sql_ast.Count_star, None)));
+       false
+     with Errors.Db_error (Errors.Unsupported _) -> true)
+
+(* LIKE matcher against a naive reference implementation. *)
+let naive_like ~pattern s =
+  let rec go pi si =
+    if pi = String.length pattern then si = String.length s
+    else
+      match pattern.[pi] with
+      | '%' ->
+        let rec try_from k = k <= String.length s && (go (pi + 1) k || try_from (k + 1)) in
+        try_from si
+      | '_' -> si < String.length s && go (pi + 1) (si + 1)
+      | c -> si < String.length s && s.[si] = c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+let prop_like_matches_naive =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b'; '%'; '_' ]) (int_bound 8))
+        (string_size ~gen:(oneofl [ 'a'; 'b' ]) (int_bound 10)))
+  in
+  QCheck.Test.make ~count:500 ~name:"LIKE agrees with naive matcher"
+    (QCheck.make ~print:(fun (p, s) -> Printf.sprintf "%S %S" p s) gen)
+    (fun (pattern, s) ->
+      Eval_expr.like_match ~pattern s = naive_like ~pattern s)
+
+let suite =
+  [ Alcotest.test_case "three-valued logic" `Quick test_three_valued_logic;
+    Alcotest.test_case "is null" `Quick test_is_null;
+    Alcotest.test_case "between" `Quick test_between;
+    Alcotest.test_case "in list" `Quick test_in_list;
+    Alcotest.test_case "like" `Quick test_like;
+    Alcotest.test_case "predicate evaluation" `Quick test_eval_pred;
+    Alcotest.test_case "aggregate outside context" `Quick test_agg_outside_context_fails;
+    QCheck_alcotest.to_alcotest prop_like_matches_naive ]

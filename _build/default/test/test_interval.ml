@@ -1,0 +1,48 @@
+open Prov
+
+let iv = Alcotest.testable (Fmt.of_to_string Interval.to_string) Interval.equal
+
+let test_make () =
+  Alcotest.check iv "point" (Interval.make 3 3) (Interval.point 3);
+  Alcotest.(check int) "bounds" 1 (Interval.b (Interval.make 1 5));
+  Alcotest.(check int) "upper" 5 (Interval.e (Interval.make 1 5));
+  Alcotest.(check bool) "inverted rejected" true
+    (try
+       ignore (Interval.make 5 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_contains_overlaps () =
+  let i = Interval.make 2 6 in
+  Alcotest.(check bool) "contains inner" true (Interval.contains i 4);
+  Alcotest.(check bool) "contains bounds" true
+    (Interval.contains i 2 && Interval.contains i 6);
+  Alcotest.(check bool) "outside" false (Interval.contains i 7);
+  Alcotest.(check bool) "overlap" true (Interval.overlaps i (Interval.make 6 9));
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps i (Interval.make 7 9))
+
+let test_hull_before () =
+  Alcotest.check iv "hull" (Interval.make 1 9)
+    (Interval.hull (Interval.make 1 3) (Interval.make 7 9));
+  Alcotest.(check bool) "before" true
+    (Interval.before (Interval.make 1 3) (Interval.make 3 5));
+  Alcotest.(check bool) "not before" false
+    (Interval.before (Interval.make 1 4) (Interval.make 3 5))
+
+let prop_hull_contains_both =
+  QCheck.Test.make ~count:200 ~name:"hull contains both intervals"
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (a, b, c, d) ->
+      let i1 = Interval.make (min a b) (max a b) in
+      let i2 = Interval.make (min c d) (max c d) in
+      let h = Interval.hull i1 i2 in
+      Interval.b h <= Interval.b i1
+      && Interval.b h <= Interval.b i2
+      && Interval.e h >= Interval.e i1
+      && Interval.e h >= Interval.e i2)
+
+let suite =
+  [ Alcotest.test_case "make/point" `Quick test_make;
+    Alcotest.test_case "contains/overlaps" `Quick test_contains_overlaps;
+    Alcotest.test_case "hull/before" `Quick test_hull_before;
+    QCheck_alcotest.to_alcotest prop_hull_contains_both ]

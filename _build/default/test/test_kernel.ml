@@ -1,0 +1,126 @@
+open Minios
+
+let test_clock_ticks_on_syscalls () =
+  let k = Kernel.create () in
+  let c0 = Kernel.now k in
+  Vfs.write_string (Kernel.vfs k) ~path:"/f" "data";
+  ignore
+    (Program.run k ~name:"reader" (fun env ->
+         ignore (Program.read_file env "/f")));
+  Alcotest.(check bool) "clock advanced" true (Kernel.now k > c0);
+  Kernel.advance_to k ~at:10_000;
+  Alcotest.(check int) "advance_to" 10_000 (Kernel.now k);
+  Kernel.advance_to k ~at:1;
+  Alcotest.(check int) "never rewinds" 10_000 (Kernel.now k)
+
+let test_spawn_tree () =
+  let k = Kernel.create () in
+  let seen = ref [] in
+  Kernel.set_tracer k (Some (fun e -> seen := e :: !seen));
+  ignore
+    (Program.run k ~name:"parent" (fun env ->
+         ignore
+           (Program.spawn env ~name:"child" (fun env' ->
+                ignore
+                  (Program.spawn env' ~name:"grandchild" (fun _ -> ()))))));
+  let spawns =
+    List.filter_map
+      (function
+        | Syscall.Spawned { pid; parent; name; _ } -> Some (pid, parent, name)
+        | _ -> None)
+      (List.rev !seen)
+  in
+  Alcotest.(check (list (triple int (option int) string)))
+    "three processes with correct parents"
+    [ (1, None, "parent"); (2, Some 1, "child"); (3, Some 2, "grandchild") ]
+    spawns
+
+let test_file_io_via_syscalls () =
+  let k = Kernel.create () in
+  ignore
+    (Program.run k ~name:"writer" (fun env ->
+         Program.write_file env "/out/x.txt" "payload"));
+  Alcotest.(check string) "file written through syscalls" "payload"
+    (Vfs.read (Kernel.vfs k) "/out/x.txt")
+
+let test_open_missing_file_fails () =
+  let k = Kernel.create () in
+  Alcotest.(check bool) "missing file open fails" true
+    (try
+       ignore
+         (Program.run k ~name:"r" (fun env ->
+              ignore (Program.open_in_file env "/nope")));
+       false
+     with Invalid_argument _ -> true)
+
+let test_write_mode_read_fails () =
+  let k = Kernel.create () in
+  Alcotest.(check bool) "reading a write fd fails" true
+    (try
+       ignore
+         (Program.run k ~name:"w" (fun env ->
+              let fd = Program.open_out_file env "/f" in
+              ignore (Program.read_fd env fd)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_leaked_fds_closed_on_exit () =
+  let k = Kernel.create () in
+  let events = ref [] in
+  Kernel.set_tracer k (Some (fun e -> events := e :: !events));
+  Vfs.write_string (Kernel.vfs k) ~path:"/f" "x";
+  ignore
+    (Program.run k ~name:"leaky" (fun env ->
+         (* open without closing *)
+         ignore (Program.open_in_file env "/f")));
+  let closes =
+    List.filter (function Syscall.Closed _ -> true | _ -> false) !events
+  in
+  Alcotest.(check int) "close emitted at exit" 1 (List.length closes)
+
+let test_binary_and_libs_recorded_as_reads () =
+  let k = Kernel.create () in
+  Vfs.write_opaque (Kernel.vfs k) ~path:"/bin/app" 100;
+  Vfs.write_opaque (Kernel.vfs k) ~path:"/lib/libc.so" 200;
+  let events = ref [] in
+  Kernel.set_tracer k (Some (fun e -> events := e :: !events));
+  ignore
+    (Program.run k ~name:"app" ~binary:"/bin/app" ~libs:[ "/lib/libc.so" ]
+       (fun _ -> ()));
+  let opened =
+    List.filter_map
+      (function Syscall.Opened { path; _ } -> Some path | _ -> None)
+      (List.rev !events)
+  in
+  Alcotest.(check (list string)) "loader reads observed"
+    [ "/bin/app"; "/lib/libc.so" ] opened
+
+let test_program_registry () =
+  Program.register ~name:"test-registered" (fun _ -> ());
+  let (_ : Program.program) = Program.lookup "test-registered" in
+  Alcotest.(check bool) "unknown program fails" true
+    (try
+       let (_ : Program.program) = Program.lookup "no-such-program" in
+       false
+     with Invalid_argument _ -> true)
+
+let test_exit_is_recorded_even_on_exception () =
+  let k = Kernel.create () in
+  let events = ref [] in
+  Kernel.set_tracer k (Some (fun e -> events := e :: !events));
+  (try
+     ignore (Program.run k ~name:"crasher" (fun _ -> failwith "boom"))
+   with Failure _ -> ());
+  let exits = List.filter (function Syscall.Exited _ -> true | _ -> false) !events in
+  Alcotest.(check int) "exit recorded" 1 (List.length exits)
+
+let suite =
+  [ Alcotest.test_case "clock" `Quick test_clock_ticks_on_syscalls;
+    Alcotest.test_case "spawn tree" `Quick test_spawn_tree;
+    Alcotest.test_case "file io" `Quick test_file_io_via_syscalls;
+    Alcotest.test_case "open missing file" `Quick test_open_missing_file_fails;
+    Alcotest.test_case "mode enforcement" `Quick test_write_mode_read_fails;
+    Alcotest.test_case "leaked fds" `Quick test_leaked_fds_closed_on_exit;
+    Alcotest.test_case "loader reads" `Quick test_binary_and_libs_recorded_as_reads;
+    Alcotest.test_case "program registry" `Quick test_program_registry;
+    Alcotest.test_case "exit on exception" `Quick test_exit_is_recorded_even_on_exception ]

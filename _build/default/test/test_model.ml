@@ -1,0 +1,83 @@
+open Prov
+
+let test_bb_model_shape () =
+  (* Definition 3 *)
+  Alcotest.(check (list string)) "one activity type" [ "process" ]
+    Bb_model.model.Model.activities;
+  Alcotest.(check (list string)) "one entity type" [ "file" ]
+    Bb_model.model.Model.entities;
+  Alcotest.(check int) "three edge types" 3
+    (List.length Bb_model.model.Model.edge_types)
+
+let test_lineage_model_shape () =
+  (* Definition 4 *)
+  Alcotest.(check (list string)) "four statement kinds"
+    [ "query"; "insert"; "update"; "delete" ]
+    Lineage_model.model.Model.activities;
+  Alcotest.(check bool) "hasRead allowed into query" true
+    (Model.edge_allowed Lineage_model.model ~label:"hasRead" ~src:"tuple"
+       ~dst:"query");
+  Alcotest.(check bool) "hasRead not allowed out of query" false
+    (Model.edge_allowed Lineage_model.model ~label:"hasRead" ~src:"query"
+       ~dst:"tuple")
+
+let test_combined_model () =
+  (* Definition 5: union plus cross edges *)
+  let m = Combined.model in
+  Alcotest.(check int) "five activities" 5 (List.length m.Model.activities);
+  Alcotest.(check int) "two entities" 2 (List.length m.Model.entities);
+  Alcotest.(check bool) "run edge present" true
+    (Model.edge_allowed m ~label:"run" ~src:"process" ~dst:"query");
+  Alcotest.(check bool) "readFromDb edge present" true
+    (Model.edge_allowed m ~label:"readFromDb" ~src:"tuple" ~dst:"process");
+  match Model.well_formed m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_well_formed_rejects () =
+  Alcotest.(check bool) "duplicate node type rejected" true
+    (match
+       Model.well_formed
+         { Model.name = "bad"; activities = [ "x" ]; entities = [ "x" ];
+           edge_types = [] }
+     with
+    | Error _ -> true
+    | Ok () -> false);
+  Alcotest.(check bool) "undeclared endpoint rejected" true
+    (match
+       Model.well_formed
+         { Model.name = "bad2"; activities = [ "a" ]; entities = [ "e" ];
+           edge_types = [ Model.edge_type "r" ~src:"a" ~dst:"ghost" ] }
+     with
+    | Error _ -> true
+    | Ok () -> false);
+  Alcotest.(check bool) "edge label clashing with node type rejected" true
+    (match
+       Model.well_formed
+         { Model.name = "bad3"; activities = [ "a" ]; entities = [ "e" ];
+           edge_types = [ Model.edge_type "a" ~src:"a" ~dst:"e" ] }
+     with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_kind_of () =
+  Alcotest.(check bool) "process is activity" true
+    (Model.kind_of Bb_model.model "process" = Some Model.Activity);
+  Alcotest.(check bool) "file is entity" true
+    (Model.kind_of Bb_model.model "file" = Some Model.Entity);
+  Alcotest.(check bool) "unknown is none" true
+    (Model.kind_of Bb_model.model "tuple" = None)
+
+let test_generic_combine () =
+  let os = Bb_model.model and db = Lineage_model.model in
+  let m = Model.combine ~os ~db ~os_activity:"process" ~db_activity:"query" ~db_entity:"tuple" in
+  Alcotest.(check bool) "combine yields well-formed model" true
+    (Model.well_formed m = Ok ())
+
+let suite =
+  [ Alcotest.test_case "P_BB shape (Def. 3)" `Quick test_bb_model_shape;
+    Alcotest.test_case "P_Lin shape (Def. 4)" `Quick test_lineage_model_shape;
+    Alcotest.test_case "combined model (Def. 5)" `Quick test_combined_model;
+    Alcotest.test_case "well-formedness violations" `Quick test_well_formed_rejects;
+    Alcotest.test_case "kind_of" `Quick test_kind_of;
+    Alcotest.test_case "generic combine" `Quick test_generic_combine ]

@@ -1,0 +1,170 @@
+(* Tests for partial re-execution (backward slicing + package slimming)
+   and trace diffing. *)
+
+open Ldv_core
+module I = Dbclient.Interceptor
+
+(* An app with two independent strands:
+   - strand A: read /in/a, query table ta, write /out/a
+   - strand B: read /in/b, query table tb, write /out/b
+   Slicing to /out/a must drop everything strand-B. *)
+let two_strand_audit () =
+  let db = Minidb.Database.create () in
+  ignore
+    (Minidb.Database.exec_script db
+       "CREATE TABLE ta (x INT);\nCREATE TABLE tb (y INT);\n\
+        INSERT INTO ta VALUES (1), (2);\nINSERT INTO tb VALUES (10), (20)");
+  let kernel = Minios.Kernel.create () in
+  let server = Dbclient.Server.install kernel db in
+  let vfs = Minios.Kernel.vfs kernel in
+  Minios.Vfs.write_string vfs ~path:"/in/a" "2";
+  Minios.Vfs.write_string vfs ~path:"/in/b" "20";
+  Minios.Vfs.write_opaque vfs ~path:"/bin/two-strand" 1000;
+  let program env =
+    let conn = Dbclient.Client.connect env ~db:"main" in
+    let ta = Minios.Program.read_file env "/in/a" in
+    let rows_a =
+      Dbclient.Client.query conn
+        (Printf.sprintf "SELECT x FROM ta WHERE x >= %s" ta)
+    in
+    Minios.Program.write_file env "/out/a"
+      (String.concat ","
+         (List.map (fun r -> Minidb.Value.to_raw_string r.(0)) rows_a));
+    let tb = Minios.Program.read_file env "/in/b" in
+    let rows_b =
+      Dbclient.Client.query conn
+        (Printf.sprintf "SELECT y FROM tb WHERE y >= %s" tb)
+    in
+    Minios.Program.write_file env "/out/b"
+      (String.concat ","
+         (List.map (fun r -> Minidb.Value.to_raw_string r.(0)) rows_b));
+    Dbclient.Client.close conn
+  in
+  Minios.Program.register ~name:"two-strand" program;
+  Audit.run ~packaging:Audit.Included kernel server ~app_name:"two-strand"
+    ~app_binary:"/bin/two-strand" program
+
+let audit = lazy (two_strand_audit ())
+
+let test_requirements_slice () =
+  let audit = Lazy.force audit in
+  let r = Partial.requirements audit.Audit.trace ~target:"file:/out/a" in
+  Alcotest.(check bool) "strand A input required" true
+    (List.mem "/in/a" r.Partial.req_files);
+  Alcotest.(check bool) "strand B input not required" false
+    (List.mem "/in/b" r.Partial.req_files);
+  Alcotest.(check bool) "app binary required (loader read)" true
+    (List.mem "/bin/two-strand" r.Partial.req_files);
+  let tables =
+    Minidb.Tid.Set.elements r.Partial.req_tuples
+    |> List.map (fun (t : Minidb.Tid.t) -> t.Minidb.Tid.table)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "only ta tuples required" [ "ta" ] tables;
+  Alcotest.(check int) "one statement required" 1
+    (List.length r.Partial.req_statements)
+
+let test_slim_package () =
+  let audit = Lazy.force audit in
+  let pkg = Package.build audit in
+  let r = Partial.requirements audit.Audit.trace ~target:"file:/out/a" in
+  let slim = Partial.slim pkg [ r ] in
+  let paths =
+    List.map (fun (e : Package.entry) -> e.Package.e_path) slim.Package.entries
+  in
+  Alcotest.(check bool) "slim keeps /in/a" true (List.mem "/in/a" paths);
+  Alcotest.(check bool) "slim drops /in/b" false (List.mem "/in/b" paths);
+  Alcotest.(check (list string)) "slim keeps only ta csv" [ "ta" ]
+    (List.map fst slim.Package.db_subset);
+  Alcotest.(check bool) "slim is smaller" true
+    (Package.total_bytes slim < Package.total_bytes pkg);
+  (* a partial program covering only strand A replays against the slim
+     package and reproduces the original output *)
+  let partial_program env =
+    let conn = Dbclient.Client.connect env ~db:"main" in
+    let ta = Minios.Program.read_file env "/in/a" in
+    let rows_a =
+      Dbclient.Client.query conn
+        (Printf.sprintf "SELECT x FROM ta WHERE x >= %s" ta)
+    in
+    Minios.Program.write_file env "/out/a"
+      (String.concat ","
+         (List.map (fun r -> Minidb.Value.to_raw_string r.(0)) rows_a));
+    Dbclient.Client.close conn
+  in
+  let result = Replay.execute ~program:partial_program slim in
+  Alcotest.(check (option string)) "partial replay reproduces /out/a"
+    (List.assoc_opt "/out/a" audit.Audit.out_files)
+    (List.assoc_opt "/out/a" result.Replay.out_files)
+
+let test_slim_rejects_other_kinds () =
+  let exc = Ldv_fixtures.audit Audit.Excluded in
+  let pkg = Package.build exc in
+  Alcotest.(check bool) "server-excluded cannot be slimmed" true
+    (try
+       ignore (Partial.slim pkg []);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- trace diff ---------------- *)
+
+let test_diff_identical () =
+  let audit = Lazy.force audit in
+  Alcotest.(check (list string)) "trace equals itself" []
+    (List.map
+       (fun d -> Format.asprintf "%a" Prov.Diff.pp_difference d)
+       (Prov.Diff.compare_traces audit.Audit.trace audit.Audit.trace))
+
+let test_diff_detects_changes () =
+  let t1 = Prov.Combined.create () in
+  ignore (Prov.Bb_model.add_process t1 ~pid:1 ~name:"p");
+  ignore (Prov.Bb_model.add_file t1 ~path:"/x");
+  ignore
+    (Prov.Bb_model.read_from t1 ~pid:1 ~path:"/x" ~time:(Prov.Interval.point 1));
+  ignore
+    (Prov.Lineage_model.add_statement t1 ~qid:0 ~kind:Prov.Lineage_model.Query
+       ~sql:"SELECT 1");
+  let t2 = Prov.Combined.create () in
+  ignore (Prov.Bb_model.add_process t2 ~pid:1 ~name:"p");
+  ignore (Prov.Bb_model.add_file t2 ~path:"/y");
+  ignore
+    (Prov.Bb_model.read_from t2 ~pid:1 ~path:"/y" ~time:(Prov.Interval.point 1));
+  ignore
+    (Prov.Lineage_model.add_statement t2 ~qid:0 ~kind:Prov.Lineage_model.Query
+       ~sql:"SELECT 2");
+  let diffs = Prov.Diff.compare_traces t1 t2 in
+  Alcotest.(check bool) "statement difference found" true
+    (List.exists (fun d -> Fixtures.contains_substring ~needle:"statement" d.Prov.Diff.what) diffs);
+  Alcotest.(check bool) "file difference found" true
+    (List.exists (fun d -> d.Prov.Diff.what = "files read") diffs)
+
+let test_diff_validates_replay () =
+  (* replaying a package and re-auditing the replay produces an equivalent
+     trace: the PTU-style validation loop *)
+  let audit1 = Lazy.force audit in
+  let pkg = Package.build audit1 in
+  let prepared = Replay.prepare pkg in
+  (* re-audit the replayed execution by tracing it again *)
+  let tracer = Minios.Tracer.create () in
+  Minios.Tracer.attach tracer prepared.Replay.kernel;
+  I.bind prepared.Replay.kernel prepared.Replay.session;
+  ignore
+    (Minios.Program.run prepared.Replay.kernel ~binary:"/bin/two-strand"
+       ~name:"two-strand"
+       (Minios.Program.lookup "two-strand"));
+  I.unbind prepared.Replay.kernel;
+  Minios.Tracer.detach prepared.Replay.kernel;
+  let replay_trace = Audit.build_trace tracer (I.log prepared.Replay.session) in
+  (* compare only the statement stream: the replay kernel lacks the
+     server-side OS activity of the original *)
+  Alcotest.(check (list string)) "same statement stream"
+    (Prov.Diff.statements audit1.Audit.trace)
+    (Prov.Diff.statements replay_trace)
+
+let suite =
+  [ Alcotest.test_case "requirements slice" `Quick test_requirements_slice;
+    Alcotest.test_case "slim package" `Quick test_slim_package;
+    Alcotest.test_case "slim rejects other kinds" `Quick test_slim_rejects_other_kinds;
+    Alcotest.test_case "diff: identical" `Quick test_diff_identical;
+    Alcotest.test_case "diff: detects changes" `Quick test_diff_detects_changes;
+    Alcotest.test_case "diff validates replay" `Quick test_diff_validates_replay ]

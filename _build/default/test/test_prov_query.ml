@@ -1,0 +1,54 @@
+open Prov
+
+let trace_with_pipeline () =
+  let t = Combined.create () in
+  ignore (Bb_model.add_process t ~pid:1 ~name:"extract");
+  ignore (Bb_model.add_process t ~pid:2 ~name:"load");
+  ignore (Bb_model.add_file t ~path:"/raw");
+  ignore (Bb_model.add_file t ~path:"/clean");
+  ignore (Bb_model.add_file t ~path:"/report");
+  ignore (Bb_model.read_from t ~pid:1 ~path:"/raw" ~time:(Interval.make 1 2));
+  ignore (Bb_model.has_written t ~pid:1 ~path:"/clean" ~time:(Interval.make 3 4));
+  ignore (Bb_model.read_from t ~pid:2 ~path:"/clean" ~time:(Interval.make 5 6));
+  ignore (Bb_model.has_written t ~pid:2 ~path:"/report" ~time:(Interval.make 7 8));
+  t
+
+let test_stats () =
+  let s = Query.stats (trace_with_pipeline ()) in
+  Alcotest.(check int) "processes" 2 s.Query.processes;
+  Alcotest.(check int) "files" 3 s.Query.files;
+  Alcotest.(check int) "statements" 0 s.Query.statements;
+  Alcotest.(check int) "edges" 4 s.Query.edges;
+  match s.Query.time_span with
+  | Some iv ->
+    Alcotest.(check int) "span start" 1 (Interval.b iv);
+    Alcotest.(check int) "span end" 8 (Interval.e iv)
+  | None -> Alcotest.fail "expected a span"
+
+let test_depends_on () =
+  let t = trace_with_pipeline () in
+  Alcotest.(check bool) "report depends on raw" true
+    (Query.depends_on t ~target:"file:/report" ~source:"file:/raw");
+  Alcotest.(check bool) "raw does not depend on report" false
+    (Query.depends_on t ~target:"file:/raw" ~source:"file:/report")
+
+let test_inputs_outputs () =
+  let t = trace_with_pipeline () in
+  Alcotest.(check (list string)) "inputs of report"
+    [ "file:/clean"; "file:/raw" ]
+    (Query.inputs_of t "file:/report");
+  Alcotest.(check (list string)) "outputs of raw"
+    [ "file:/clean"; "file:/report" ]
+    (List.sort compare (Query.outputs_of t "file:/raw"))
+
+let test_final_outputs () =
+  let t = trace_with_pipeline () in
+  Alcotest.(check (list string)) "only the report is final"
+    [ "file:/report" ]
+    (Query.final_outputs t)
+
+let suite =
+  [ Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "depends_on" `Quick test_depends_on;
+    Alcotest.test_case "inputs/outputs" `Quick test_inputs_outputs;
+    Alcotest.test_case "final outputs" `Quick test_final_outputs ]

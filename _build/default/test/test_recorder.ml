@@ -1,0 +1,107 @@
+open Minidb
+open Dbclient
+
+let sample_records () =
+  [ { Recorder.rec_index = 0;
+      rec_sql_norm = "SELECT a FROM t WHERE b = 'x\ny'";
+      rec_kind = Recorder.Rquery;
+      rec_schema = Some (Schema.of_list [ Schema.column "a" Value.Tint ]);
+      rec_rows = [ [| Value.Int 1 |]; [| Value.Null |] ];
+      rec_affected = 2 };
+    { Recorder.rec_index = 1;
+      rec_sql_norm = "UPDATE t SET a = 1";
+      rec_kind = Recorder.Rdml;
+      rec_schema = None;
+      rec_rows = [];
+      rec_affected = 7 };
+    { Recorder.rec_index = 2;
+      rec_sql_norm = "CREATE TABLE x (y INT)";
+      rec_kind = Recorder.Rddl;
+      rec_schema = None;
+      rec_rows = [];
+      rec_affected = 0 } ]
+
+let test_roundtrip () =
+  let records = sample_records () in
+  let decoded = Recorder.decode (Recorder.encode records) in
+  Alcotest.(check int) "count" 3 (List.length decoded);
+  List.iter2
+    (fun (a : Recorder.recorded) (b : Recorder.recorded) ->
+      Alcotest.(check int) "index" a.Recorder.rec_index b.Recorder.rec_index;
+      Alcotest.(check string) "sql" a.Recorder.rec_sql_norm b.Recorder.rec_sql_norm;
+      Alcotest.(check bool) "kind" true (a.Recorder.rec_kind = b.Recorder.rec_kind);
+      Alcotest.(check int) "affected" a.Recorder.rec_affected b.Recorder.rec_affected;
+      Alcotest.(check int) "rows" (List.length a.Recorder.rec_rows)
+        (List.length b.Recorder.rec_rows);
+      List.iter2
+        (fun r1 r2 ->
+          Alcotest.(check bool) "row values" true (Array.for_all2 Value.equal r1 r2))
+        a.Recorder.rec_rows b.Recorder.rec_rows)
+    records decoded
+
+let test_schema_roundtrip () =
+  let s =
+    Schema.of_list
+      [ Schema.column "a" Value.Tint; Schema.column "b" Value.Tstr;
+        Schema.column "c" Value.Tfloat; Schema.column "d" Value.Tbool ]
+  in
+  let s' = Recorder.decode_schema (Recorder.encode_schema s) in
+  Alcotest.(check int) "arity" (Schema.arity s) (Schema.arity s');
+  Array.iter2
+    (fun (a : Schema.column) (b : Schema.column) ->
+      Alcotest.(check string) "name" a.Schema.name b.Schema.name;
+      Alcotest.(check bool) "type" true (a.Schema.ty = b.Schema.ty))
+    s s'
+
+let test_byte_size_positive () =
+  Alcotest.(check bool) "encoding has size" true
+    (Recorder.byte_size (sample_records ()) > 0);
+  Alcotest.(check int) "empty recording empty" 0 (Recorder.byte_size [])
+
+let prop_roundtrip_random_rows =
+  let value_gen =
+    QCheck.Gen.(
+      oneof
+        [ return Value.Null;
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun s -> Value.Str s)
+            (string_size ~gen:(oneofl [ 'a'; '\t'; '\n'; '\\'; ',' ]) (int_bound 6)) ])
+  in
+  let record_gen =
+    QCheck.Gen.(
+      map
+        (fun rows ->
+          { Recorder.rec_index = 0;
+            rec_sql_norm = "SELECT x FROM t";
+            rec_kind = Recorder.Rquery;
+            rec_schema = None;
+            rec_rows = List.map (fun l -> Array.of_list l) rows;
+            rec_affected = List.length rows })
+        (list_size (int_bound 5) (list_size (int_range 1 4) value_gen)))
+  in
+  QCheck.Test.make ~count:200 ~name:"recorder roundtrip (hostile characters)"
+    (QCheck.make record_gen) (fun r ->
+      match Recorder.decode (Recorder.encode [ r ]) with
+      | [ r' ] ->
+        List.length r.Recorder.rec_rows = List.length r'.Recorder.rec_rows
+        && List.for_all2
+             (fun a b -> Array.for_all2 Value.equal a b)
+             r.Recorder.rec_rows r'.Recorder.rec_rows
+      | _ -> false)
+
+let test_protocol_response_bytes () =
+  let resp =
+    Protocol.Result_set
+      { schema = Schema.of_list [ Schema.column "a" Value.Tint ];
+        rows = [ [| Value.Int 1 |]; [| Value.Int 2 |] ] }
+  in
+  Alcotest.(check bool) "result set bigger than ack" true
+    (Protocol.response_bytes resp
+    > Protocol.response_bytes (Protocol.Command_ok { affected = 5 }))
+
+let suite =
+  [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "schema roundtrip" `Quick test_schema_roundtrip;
+    Alcotest.test_case "byte size" `Quick test_byte_size_positive;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random_rows;
+    Alcotest.test_case "protocol response bytes" `Quick test_protocol_response_bytes ]

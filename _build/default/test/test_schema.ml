@@ -1,0 +1,76 @@
+open Minidb
+
+let mk () =
+  Schema.of_list
+    [ Schema.column ~qualifier:"o" "o_orderkey" Value.Tint;
+      Schema.column ~qualifier:"o" "o_comment" Value.Tstr;
+      Schema.column ~qualifier:"l" "l_orderkey" Value.Tint;
+      Schema.column ~qualifier:"l" "comment" Value.Tstr ]
+
+let test_resolve_unqualified () =
+  let s = mk () in
+  Alcotest.(check int) "unique name resolves" 0 (Schema.resolve s "o_orderkey");
+  Alcotest.(check int) "case-insensitive" 1 (Schema.resolve s "O_COMMENT")
+
+let test_resolve_qualified () =
+  let s = mk () in
+  Alcotest.(check int) "qualified" 2 (Schema.resolve s ~qualifier:"l" "l_orderkey");
+  Alcotest.(check int) "qualifier case-insensitive" 3
+    (Schema.resolve s ~qualifier:"L" "Comment")
+
+let test_unknown_column () =
+  let s = mk () in
+  Alcotest.check_raises "unknown" (Errors.Db_error (Errors.Unknown_column "nope"))
+    (fun () -> ignore (Schema.resolve s "nope"));
+  Alcotest.check_raises "wrong qualifier"
+    (Errors.Db_error (Errors.Unknown_column "o.comment")) (fun () ->
+      ignore (Schema.resolve s ~qualifier:"o" "comment"))
+
+let test_ambiguity () =
+  let s =
+    Schema.of_list
+      [ Schema.column ~qualifier:"a" "x" Value.Tint;
+        Schema.column ~qualifier:"b" "x" Value.Tint ]
+  in
+  Alcotest.check_raises "ambiguous unqualified"
+    (Errors.Db_error (Errors.Ambiguous_column "x")) (fun () ->
+      ignore (Schema.resolve s "x"));
+  Alcotest.(check int) "qualified disambiguates" 1
+    (Schema.resolve s ~qualifier:"b" "x")
+
+let test_duplicate_column () =
+  Alcotest.check_raises "duplicate rejected"
+    (Errors.Db_error (Errors.Duplicate_column "x")) (fun () ->
+      ignore
+        (Schema.of_list
+           [ Schema.column "x" Value.Tint; Schema.column "x" Value.Tstr ]))
+
+let test_with_qualifier_append () =
+  let base =
+    Schema.of_list [ Schema.column "a" Value.Tint; Schema.column "b" Value.Tstr ]
+  in
+  let q = Schema.with_qualifier "T" base in
+  Alcotest.(check int) "requalified resolves" 0 (Schema.resolve q ~qualifier:"t" "a");
+  let joined = Schema.append q (Schema.with_qualifier "u" base) in
+  Alcotest.(check int) "append widens" 4 (Schema.arity joined);
+  Alcotest.(check int) "right side found" 3 (Schema.resolve joined ~qualifier:"u" "b")
+
+let test_coerce_row () =
+  let s =
+    Schema.of_list [ Schema.column "a" Value.Tint; Schema.column "b" Value.Tfloat ]
+  in
+  let row = Schema.coerce_row s [| Value.Int 1; Value.Int 2 |] in
+  Alcotest.(check bool) "int widened in float column" true
+    (Value.equal row.(1) (Value.Float 2.0));
+  Alcotest.check_raises "arity mismatch"
+    (Errors.Db_error (Errors.Arity_error "expected 2 values, got 1")) (fun () ->
+      ignore (Schema.coerce_row s [| Value.Int 1 |]))
+
+let suite =
+  [ Alcotest.test_case "resolve unqualified" `Quick test_resolve_unqualified;
+    Alcotest.test_case "resolve qualified" `Quick test_resolve_qualified;
+    Alcotest.test_case "unknown column" `Quick test_unknown_column;
+    Alcotest.test_case "ambiguity" `Quick test_ambiguity;
+    Alcotest.test_case "duplicate column" `Quick test_duplicate_column;
+    Alcotest.test_case "requalify and append" `Quick test_with_qualifier_append;
+    Alcotest.test_case "coerce row" `Quick test_coerce_row ]

@@ -1,0 +1,69 @@
+open Minidb
+module L = Sql_lexer
+
+let toks input =
+  let lx = L.tokenize input in
+  let rec go acc =
+    match L.next lx with L.Eof -> List.rev acc | t -> go (t :: acc)
+  in
+  go []
+
+let tok = Alcotest.testable (Fmt.of_to_string L.token_to_string) ( = )
+
+let test_keywords_and_idents () =
+  Alcotest.(check (list tok)) "keywords uppercase, idents lowercase"
+    [ L.Kw "SELECT"; L.Ident "foo"; L.Kw "FROM"; L.Ident "bar" ]
+    (toks "sElEcT Foo FROM BAR")
+
+let test_numbers () =
+  Alcotest.(check (list tok)) "ints and floats"
+    [ L.Int_lit 42; L.Float_lit 3.5; L.Int_lit 0 ]
+    (toks "42 3.5 0");
+  (* 1.x without digits after the dot is int-dot, not a float *)
+  Alcotest.(check (list tok)) "dot not absorbed without digit"
+    [ L.Int_lit 1; L.Sym "."; L.Ident "x" ]
+    (toks "1.x")
+
+let test_strings () =
+  Alcotest.(check (list tok)) "simple string" [ L.Str_lit "abc" ] (toks "'abc'");
+  Alcotest.(check (list tok)) "escaped quote" [ L.Str_lit "it's" ] (toks "'it''s'");
+  Alcotest.(check (list tok)) "empty string" [ L.Str_lit "" ] (toks "''")
+
+let test_unterminated_string () =
+  Alcotest.(check bool) "raises parse error" true
+    (try
+       ignore (toks "'oops");
+       false
+     with Errors.Db_error (Errors.Parse_error _) -> true)
+
+let test_operators () =
+  Alcotest.(check (list tok)) "multi-char ops"
+    [ L.Sym "<="; L.Sym ">="; L.Sym "<>"; L.Sym "<>"; L.Sym "||"; L.Sym "=" ]
+    (toks "<= >= <> != || =")
+
+let test_comments () =
+  Alcotest.(check (list tok)) "line comment skipped"
+    [ L.Kw "SELECT"; L.Int_lit 1 ]
+    (toks "SELECT -- all the things\n1")
+
+let test_punctuation () =
+  Alcotest.(check (list tok)) "parens commas"
+    [ L.Sym "("; L.Int_lit 1; L.Sym ","; L.Int_lit 2; L.Sym ")"; L.Sym ";" ]
+    (toks "(1, 2);")
+
+let test_bad_char () =
+  Alcotest.(check bool) "unknown char raises" true
+    (try
+       ignore (toks "select #");
+       false
+     with Errors.Db_error (Errors.Parse_error _) -> true)
+
+let suite =
+  [ Alcotest.test_case "keywords and identifiers" `Quick test_keywords_and_idents;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "unterminated string" `Quick test_unterminated_string;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "punctuation" `Quick test_punctuation;
+    Alcotest.test_case "bad character" `Quick test_bad_char ]

@@ -1,0 +1,157 @@
+open Minidb
+open Sql_ast
+
+let parse = Sql_parser.parse
+
+let flat_from =
+  List.map (function
+    | From_table { table; alias; _ } -> (table, alias)
+    | From_join _ -> ("<join>", None))
+
+let test_simple_select () =
+  match parse "SELECT a, b FROM t WHERE a > 1" with
+  | Select { items; from; where = Some (Cmp (Gt, Col (None, "a"), Const (Value.Int 1))); _ } ->
+    Alcotest.(check int) "two items" 2 (List.length items);
+    Alcotest.(check (list (pair string (option string)))) "from" [ ("t", None) ]
+      (flat_from from)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_aliases () =
+  match parse "SELECT o.x AS y FROM orders o, lineitem AS l" with
+  | Select { items = [ Item (Col (Some "o", "x"), Some "y") ]; from; _ } ->
+    Alcotest.(check (list (pair string (option string))))
+      "aliases" [ ("orders", Some "o"); ("lineitem", Some "l") ]
+      (flat_from from)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_precedence () =
+  (* AND binds tighter than OR; comparison tighter than AND *)
+  match parse "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3" with
+  | Select { where = Some (Or (Cmp (Eq, _, _), And (Cmp _, Cmp _))); _ } -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_arith_precedence () =
+  match parse "SELECT a + b * c FROM t" with
+  | Select { items = [ Item (Arith (Add, Col _, Arith (Mul, _, _)), None) ]; _ } -> ()
+  | _ -> Alcotest.fail "arith precedence wrong"
+
+let test_between_like_in () =
+  match parse "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b LIKE '%x%' AND c IN (1, 2)" with
+  | Select { where = Some w; _ } -> (
+    match Sql_ast.conjuncts w with
+    | [ Between _; Like (_, "%x%"); In_list (_, [ _; _ ]) ] -> ()
+    | _ -> Alcotest.fail "conjunct shapes wrong")
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_is_null_not () =
+  match parse "SELECT * FROM t WHERE a IS NULL AND NOT b IS NOT NULL" with
+  | Select { where = Some (And (Is_null _, Not (Is_not_null _))); _ } -> ()
+  | _ -> Alcotest.fail "IS NULL parse wrong"
+
+let test_aggregates_group_having () =
+  match
+    parse
+      "SELECT o_orderkey, AVG(l_quantity) AS avgq FROM lineitem l, orders o \
+       WHERE l.l_orderkey = o.o_orderkey GROUP BY o_orderkey HAVING count(*) \
+       > 2 ORDER BY avgq DESC LIMIT 5"
+  with
+  | Select s ->
+    Alcotest.(check int) "group by one col" 1 (List.length s.group_by);
+    (match s.having with
+    | Some (Cmp (Gt, Agg (Count_star, None), Const (Value.Int 2))) -> ()
+    | _ -> Alcotest.fail "having wrong");
+    (match s.order_by with
+    | [ (Col (None, "avgq"), Desc) ] -> ()
+    | _ -> Alcotest.fail "order by wrong");
+    Alcotest.(check (option int)) "limit" (Some 5) s.limit
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_distinct () =
+  match parse "SELECT DISTINCT a FROM t" with
+  | Select { distinct = true; _ } -> ()
+  | _ -> Alcotest.fail "distinct lost"
+
+let test_insert () =
+  match parse "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')" with
+  | Insert { table = "t"; columns = Some [ "a"; "b" ]; source = Values rows } ->
+    Alcotest.(check int) "two rows" 2 (List.length rows)
+  | _ -> Alcotest.fail "insert parse wrong"
+
+let test_insert_select () =
+  match parse "INSERT INTO t SELECT a, b FROM u WHERE a > 1" with
+  | Insert { table = "t"; columns = None; source = Query { from = [ _ ]; _ } } -> ()
+  | _ -> Alcotest.fail "insert-select parse wrong"
+
+let test_update_delete () =
+  (match parse "UPDATE t SET a = a + 1, b = 'z' WHERE a < 10" with
+  | Update { table = "t"; sets = [ ("a", Arith (Add, _, _)); ("b", Const _) ]; where = Some _ } -> ()
+  | _ -> Alcotest.fail "update parse wrong");
+  match parse "DELETE FROM t" with
+  | Delete { table = "t"; where = None } -> ()
+  | _ -> Alcotest.fail "delete parse wrong"
+
+let test_create_drop () =
+  (match parse "CREATE TABLE t (a INT, b VARCHAR(10), c DOUBLE PRECISION, d BOOLEAN)" with
+  | Create_table { table = "t"; columns } ->
+    Alcotest.(check (list (pair string string))) "column types"
+      [ ("a", "INT"); ("b", "TEXT"); ("c", "FLOAT"); ("d", "BOOL") ]
+      (List.map (fun (n, ty) -> (n, Value.type_name ty)) columns)
+  | _ -> Alcotest.fail "create parse wrong");
+  match parse "DROP TABLE t" with
+  | Drop_table "t" -> ()
+  | _ -> Alcotest.fail "drop parse wrong"
+
+let test_provenance_keyword () =
+  match parse "PROVENANCE SELECT a FROM t" with
+  | Provenance _ -> ()
+  | _ -> Alcotest.fail "PROVENANCE prefix lost"
+
+let test_trailing_garbage () =
+  Alcotest.(check bool) "trailing tokens rejected" true
+    (try
+       ignore (parse "SELECT a FROM t garbage garbage");
+       false
+     with Errors.Db_error (Errors.Parse_error _) -> true)
+
+let test_script () =
+  let stmts = Sql_parser.parse_script "SELECT a FROM t; DELETE FROM t; " in
+  Alcotest.(check int) "two statements" 2 (List.length stmts)
+
+(* Round-trip: pretty-printing a parsed statement re-parses to the same
+   normalized text. *)
+let roundtrip_cases =
+  [ "SELECT a, b FROM t WHERE a > 1";
+    "SELECT DISTINCT o.x AS y, 3.5 FROM orders o WHERE x LIKE '%a_b%' ORDER \
+     BY y DESC LIMIT 3";
+    "SELECT count(*), sum(a), avg(b) FROM t GROUP BY c HAVING count(*) > 1";
+    "INSERT INTO t VALUES (1, NULL, 'it''s', TRUE)";
+    "UPDATE t SET a = -(a) WHERE b BETWEEN 1 AND 2 OR c IS NULL";
+    "DELETE FROM t WHERE NOT a IN (1, 2, 3)";
+    "SELECT a || 'x' FROM t WHERE a <> 'y'";
+    "PROVENANCE SELECT a FROM t WHERE b = 1" ]
+
+let test_roundtrip () =
+  List.iter
+    (fun sql ->
+      let n1 = Pretty.normalize sql in
+      let n2 = Pretty.normalize n1 in
+      Alcotest.(check string) ("fixpoint: " ^ sql) n1 n2)
+    roundtrip_cases
+
+let suite =
+  [ Alcotest.test_case "simple select" `Quick test_simple_select;
+    Alcotest.test_case "aliases" `Quick test_aliases;
+    Alcotest.test_case "boolean precedence" `Quick test_precedence;
+    Alcotest.test_case "arith precedence" `Quick test_arith_precedence;
+    Alcotest.test_case "between/like/in" `Quick test_between_like_in;
+    Alcotest.test_case "is null" `Quick test_is_null_not;
+    Alcotest.test_case "aggregates" `Quick test_aggregates_group_having;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "insert" `Quick test_insert;
+    Alcotest.test_case "insert-select" `Quick test_insert_select;
+    Alcotest.test_case "update/delete" `Quick test_update_delete;
+    Alcotest.test_case "create/drop" `Quick test_create_drop;
+    Alcotest.test_case "provenance keyword" `Quick test_provenance_keyword;
+    Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
+    Alcotest.test_case "script" `Quick test_script;
+    Alcotest.test_case "pretty-print round trip" `Quick test_roundtrip ]

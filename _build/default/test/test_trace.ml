@@ -1,0 +1,121 @@
+open Prov
+
+let mk () = Trace.create Combined.model
+
+let test_add_node_validation () =
+  let t = mk () in
+  ignore (Trace.add_node t ~id:"p1" ~node_type:"process" ());
+  Alcotest.(check bool) "unknown type rejected" true
+    (try
+       ignore (Trace.add_node t ~id:"x" ~node_type:"martian" ());
+       false
+     with Invalid_argument _ -> true);
+  (* idempotent re-add with same type is fine *)
+  ignore (Trace.add_node t ~id:"p1" ~node_type:"process" ());
+  Alcotest.(check int) "one node" 1 (Trace.node_count t);
+  Alcotest.(check bool) "re-add with different type rejected" true
+    (try
+       ignore (Trace.add_node t ~id:"p1" ~node_type:"file" ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_add_edge_validation () =
+  let t = mk () in
+  ignore (Trace.add_node t ~id:"p1" ~node_type:"process" ());
+  ignore (Trace.add_node t ~id:"f1" ~node_type:"file" ());
+  ignore
+    (Trace.add_edge t ~label:"readFrom" ~src:"f1" ~dst:"p1"
+       ~time:(Interval.make 1 3));
+  Alcotest.(check bool) "wrong direction rejected" true
+    (try
+       ignore
+         (Trace.add_edge t ~label:"readFrom" ~src:"p1" ~dst:"f1"
+            ~time:(Interval.point 1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown node rejected" true
+    (try
+       ignore
+         (Trace.add_edge t ~label:"readFrom" ~src:"ghost" ~dst:"p1"
+            ~time:(Interval.point 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_adjacency () =
+  let t = mk () in
+  ignore (Trace.add_node t ~id:"p1" ~node_type:"process" ());
+  ignore (Trace.add_node t ~id:"f1" ~node_type:"file" ());
+  ignore (Trace.add_node t ~id:"f2" ~node_type:"file" ());
+  ignore (Trace.add_edge t ~label:"readFrom" ~src:"f1" ~dst:"p1" ~time:(Interval.make 1 2));
+  ignore (Trace.add_edge t ~label:"hasWritten" ~src:"p1" ~dst:"f2" ~time:(Interval.make 3 4));
+  Alcotest.(check int) "in edges of p1" 1 (List.length (Trace.in_edges t "p1"));
+  Alcotest.(check int) "out edges of p1" 1 (List.length (Trace.out_edges t "p1"));
+  Alcotest.(check int) "entities" 2 (List.length (Trace.entities t));
+  Alcotest.(check int) "activities" 1 (List.length (Trace.activities t))
+
+let test_state () =
+  (* Definition 10: incoming interactions that began no later than T *)
+  let t = mk () in
+  ignore (Trace.add_node t ~id:"p1" ~node_type:"process" ());
+  ignore (Trace.add_node t ~id:"f1" ~node_type:"file" ());
+  ignore (Trace.add_node t ~id:"f2" ~node_type:"file" ());
+  ignore (Trace.add_edge t ~label:"readFrom" ~src:"f1" ~dst:"p1" ~time:(Interval.make 2 4));
+  ignore (Trace.add_edge t ~label:"readFrom" ~src:"f2" ~dst:"p1" ~time:(Interval.make 6 8));
+  Alcotest.(check (list string)) "state at 1 empty" [] (Trace.state t "p1" ~at:1);
+  Alcotest.(check (list string)) "state at 4" [ "f1" ] (Trace.state t "p1" ~at:4);
+  Alcotest.(check (list string)) "state at 7 has both" [ "f1"; "f2" ]
+    (List.sort compare (Trace.state t "p1" ~at:7))
+
+let test_dependency_registry () =
+  let t = mk () in
+  ignore (Trace.add_node t ~id:"t1" ~node_type:"tuple" ());
+  ignore (Trace.add_node t ~id:"t2" ~node_type:"tuple" ());
+  ignore (Trace.add_node t ~id:"p" ~node_type:"process" ());
+  Trace.add_dependency t ~later:"t2" ~earlier:"t1";
+  Trace.add_dependency t ~later:"t2" ~earlier:"t1" (* dedup *);
+  Alcotest.(check (list string)) "deps recorded" [ "t1" ] (Trace.direct_deps_of t "t2");
+  Alcotest.(check bool) "has_direct_dep" true
+    (Trace.has_direct_dep t ~later:"t2" ~earlier:"t1");
+  Alcotest.(check bool) "activity endpoint rejected" true
+    (try
+       Trace.add_dependency t ~later:"t2" ~earlier:"p";
+       false
+     with Invalid_argument _ -> true)
+
+let build_rich_trace () =
+  let t = mk () in
+  ignore (Trace.add_node t ~id:"p1" ~node_type:"process" ~label:"app[1]"
+            ~attrs:[ ("pid", "1"); ("weird", "a\tb\nc") ] ());
+  ignore (Trace.add_node t ~id:"f1" ~node_type:"file" ());
+  ignore (Trace.add_node t ~id:"q1" ~node_type:"query" ());
+  ignore (Trace.add_node t ~id:"t1" ~node_type:"tuple" ());
+  ignore (Trace.add_edge t ~label:"readFrom" ~src:"f1" ~dst:"p1" ~time:(Interval.make 1 6));
+  ignore (Trace.add_edge t ~label:"run" ~src:"p1" ~dst:"q1" ~time:(Interval.point 7));
+  ignore (Trace.add_edge t ~label:"hasRead" ~src:"t1" ~dst:"q1" ~time:(Interval.point 7));
+  Trace.add_dependency t ~later:"t1" ~earlier:"t1" |> ignore;
+  t
+
+let test_serialize_roundtrip () =
+  let t = build_rich_trace () in
+  let data = Trace.serialize t in
+  let t' = Trace.deserialize Combined.model data in
+  Alcotest.(check int) "nodes survive" (Trace.node_count t) (Trace.node_count t');
+  Alcotest.(check int) "edges survive" (Trace.edge_count t) (Trace.edge_count t');
+  let n = Trace.node_exn t' "p1" in
+  Alcotest.(check string) "label survives" "app[1]" n.Trace.label;
+  Alcotest.(check (option string)) "attr with tab/newline survives"
+    (Some "a\tb\nc")
+    (List.assoc_opt "weird" n.Trace.attrs);
+  Alcotest.(check (list string)) "deps survive" [ "t1" ]
+    (Trace.direct_deps_of t' "t1");
+  (* double roundtrip is stable *)
+  Alcotest.(check string) "serialize fixpoint" (Trace.serialize t')
+    (Trace.serialize (Trace.deserialize Combined.model (Trace.serialize t')))
+
+let suite =
+  [ Alcotest.test_case "node validation" `Quick test_add_node_validation;
+    Alcotest.test_case "edge validation" `Quick test_add_edge_validation;
+    Alcotest.test_case "adjacency" `Quick test_adjacency;
+    Alcotest.test_case "state (Def. 10)" `Quick test_state;
+    Alcotest.test_case "dependency registry" `Quick test_dependency_registry;
+    Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip ]

@@ -1,0 +1,85 @@
+open Minios
+
+let run_traced f =
+  let k = Kernel.create () in
+  let t = Tracer.create () in
+  Vfs.write_string (Kernel.vfs k) ~path:"/in" "original";
+  Tracer.attach t k;
+  ignore (Program.run k ~name:"app" f);
+  Tracer.detach k;
+  (k, t)
+
+let test_file_access_intervals () =
+  let _, t =
+    run_traced (fun env ->
+        ignore (Program.read_file env "/in");
+        ignore (Program.read_file env "/in");
+        Program.write_file env "/out" "x")
+  in
+  let accesses = Tracer.file_accesses t in
+  (* one merged access per (pid, path, mode) *)
+  Alcotest.(check int) "two access records" 2 (List.length accesses);
+  let read =
+    List.find (fun a -> a.Tracer.fa_path = "/in") accesses
+  in
+  (* the two reads are merged into one interval spanning both *)
+  Alcotest.(check bool) "interval spans both opens" true
+    (Prov.Interval.duration read.Tracer.fa_interval > 1)
+
+let test_touched_paths () =
+  let _, t =
+    run_traced (fun env ->
+        ignore (Program.read_file env "/in");
+        Program.write_file env "/out" "x")
+  in
+  Alcotest.(check (list (pair string (list string)))) "paths and modes"
+    [ ("/in", [ "read" ]); ("/out", [ "write" ]) ]
+    (List.map
+       (fun (p, modes) -> (p, List.map Syscall.mode_name modes))
+       (Tracer.touched_paths t))
+
+let test_snapshot_first_read_content () =
+  (* CDE semantics: the package must contain the content at first access,
+     even if the file is later overwritten *)
+  let k, t =
+    run_traced (fun env ->
+        ignore (Program.read_file env "/in");
+        Program.write_file env "/in" "clobbered")
+  in
+  (match Tracer.snapshot_content t (Kernel.vfs k) "/in" with
+  | Some (Vfs.Data s) -> Alcotest.(check string) "snapshot is original" "original" s
+  | _ -> Alcotest.fail "expected a snapshot");
+  Alcotest.(check string) "vfs has the new content" "clobbered"
+    (Vfs.read (Kernel.vfs k) "/in")
+
+let test_bb_trace_construction () =
+  let _, t =
+    run_traced (fun env ->
+        ignore (Program.read_file env "/in");
+        ignore
+          (Program.spawn env ~name:"child" (fun env' ->
+               Program.write_file env' "/out" "x")))
+  in
+  let trace = Tracer.build_bb_trace t in
+  Alcotest.(check bool) "process nodes exist" true
+    (Prov.Trace.mem_node trace "proc:1" && Prov.Trace.mem_node trace "proc:2");
+  Alcotest.(check bool) "file nodes exist" true
+    (Prov.Trace.mem_node trace "file:/in" && Prov.Trace.mem_node trace "file:/out");
+  (* the output depends on the input through the executed chain *)
+  Alcotest.(check bool) "out depends on in" true
+    (Prov.Dependency.depends_on trace ~target:"file:/out" ~source:"file:/in")
+
+let test_event_count_and_order () =
+  let _, t = run_traced (fun env -> ignore (Program.read_file env "/in")) in
+  let events = Tracer.events t in
+  Alcotest.(check int) "event count" (Tracer.event_count t) (List.length events);
+  (* events are time-ordered *)
+  let times = List.map Syscall.time_of events in
+  Alcotest.(check (list int)) "chronological" (List.sort compare times) times
+
+let suite =
+  [ Alcotest.test_case "file access intervals" `Quick test_file_access_intervals;
+    Alcotest.test_case "touched paths" `Quick test_touched_paths;
+    Alcotest.test_case "first-read snapshot" `Quick test_snapshot_first_read_content;
+    Alcotest.test_case "BB trace construction" `Quick test_bb_trace_construction;
+    Alcotest.test_case "event ordering" `Quick test_event_count_and_order ]

@@ -1,0 +1,101 @@
+open Minidb
+
+let v = Alcotest.testable (Fmt.of_to_string Value.to_string) Value.equal
+
+let test_compare_sql () =
+  Alcotest.(check (option int)) "int lt" (Some (-1))
+    (Value.compare_sql (Value.Int 1) (Value.Int 2));
+  Alcotest.(check (option int)) "mixed int/float" (Some 0)
+    (Value.compare_sql (Value.Int 2) (Value.Float 2.0));
+  Alcotest.(check (option int)) "null is incomparable" None
+    (Value.compare_sql Value.Null (Value.Int 1));
+  Alcotest.(check (option int)) "string order" (Some 1)
+    (Value.compare_sql (Value.Str "b") (Value.Str "a"))
+
+let test_compare_incompatible () =
+  Alcotest.check_raises "int vs string"
+    (Errors.Db_error (Errors.Type_error "cannot compare values of different types"))
+    (fun () -> ignore (Value.compare_sql (Value.Int 1) (Value.Str "x")))
+
+let test_arithmetic () =
+  Alcotest.check v "int add" (Value.Int 5) (Value.add (Value.Int 2) (Value.Int 3));
+  Alcotest.check v "mixed mul" (Value.Float 6.0)
+    (Value.mul (Value.Int 2) (Value.Float 3.0));
+  Alcotest.check v "null propagates" Value.Null (Value.add Value.Null (Value.Int 1));
+  Alcotest.check v "int division truncates" (Value.Int 2)
+    (Value.div (Value.Int 5) (Value.Int 2));
+  Alcotest.check v "float division" (Value.Float 2.5)
+    (Value.div (Value.Float 5.0) (Value.Int 2));
+  Alcotest.check v "negation" (Value.Int (-3)) (Value.neg (Value.Int 3));
+  Alcotest.check v "concat" (Value.Str "ab")
+    (Value.concat (Value.Str "a") (Value.Str "b"))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div by zero"
+    (Errors.Db_error (Errors.Type_error "division by zero"))
+    (fun () -> ignore (Value.div (Value.Int 1) (Value.Int 0)))
+
+let test_coerce () =
+  Alcotest.check v "int widens to float" (Value.Float 3.0)
+    (Value.coerce (Value.Int 3) Value.Tfloat);
+  Alcotest.check v "null conforms to everything" Value.Null
+    (Value.coerce Value.Null Value.Tint);
+  Alcotest.(check bool) "string does not conform to int" false
+    (Value.conforms (Value.Str "x") Value.Tint)
+
+let test_total_order () =
+  Alcotest.(check int) "null sorts first" (-1)
+    (Value.compare_total Value.Null (Value.Int 0));
+  Alcotest.(check int) "null equals null" 0
+    (Value.compare_total Value.Null Value.Null)
+
+let test_rendering () =
+  Alcotest.(check string) "string quoting doubles quotes" "'it''s'"
+    (Value.to_string (Value.Str "it's"));
+  Alcotest.(check string) "null renders as NULL" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "raw string is unquoted" "it's"
+    (Value.to_raw_string (Value.Str "it's"))
+
+let test_byte_size () =
+  Alcotest.(check int) "int is 8 bytes" 8 (Value.byte_size (Value.Int 7));
+  Alcotest.(check int) "string is len+1" 4 (Value.byte_size (Value.Str "abc"))
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [ return Value.Null;
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1000.0);
+        map (fun s -> Value.Str s) small_string;
+        map (fun b -> Value.Bool b) bool ])
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare_sql antisymmetric" ~count:300
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      match (Value.type_of a, Value.type_of b) with
+      | Some ta, Some tb
+        when ta = tb
+             || (ta = Value.Tint && tb = Value.Tfloat)
+             || (ta = Value.Tfloat && tb = Value.Tint) -> (
+        match (Value.compare_sql a b, Value.compare_sql b a) with
+        | Some x, Some y -> compare x 0 = compare 0 y
+        | _ -> false)
+      | _ -> QCheck.assume_fail ())
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~name:"structural equal reflexive" ~count:300 arb_value
+    (fun a -> Value.equal a a)
+
+let suite =
+  [ Alcotest.test_case "compare_sql" `Quick test_compare_sql;
+    Alcotest.test_case "compare incompatible raises" `Quick test_compare_incompatible;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "coercion" `Quick test_coerce;
+    Alcotest.test_case "total order" `Quick test_total_order;
+    Alcotest.test_case "rendering" `Quick test_rendering;
+    Alcotest.test_case "byte size" `Quick test_byte_size;
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    QCheck_alcotest.to_alcotest prop_equal_reflexive ]
