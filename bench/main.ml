@@ -18,10 +18,17 @@ let paper_counts = ref false
 
 let now () = Unix.gettimeofday ()
 
-let time f =
-  let t0 = now () in
-  let r = f () in
-  (r, now () -. t0)
+(* Wall-clock a thunk; with [?span] the measurement is also recorded as an
+   [Ldv_obs] span, so the harness's own timing shows up in BENCH_obs.json. *)
+let time ?span f =
+  let measure () =
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+  in
+  match span with
+  | None -> measure ()
+  | Some name -> Ldv_obs.with_span name measure
 
 let s = Report.seconds
 let mb bytes = Printf.sprintf "%.2f" (float_of_int bytes /. 1e6)
@@ -112,8 +119,14 @@ let reset st =
   st.t_rest <- 0.;
   st.t_update <- 0.
 
+let step_name = function
+  | Tpch.Workload.Insert_step -> "insert"
+  | Tpch.Workload.First_select -> "first_select"
+  | Tpch.Workload.Other_selects -> "other_selects"
+  | Tpch.Workload.Update_step -> "update"
+
 let step_hook st step body =
-  let _, dt = time body in
+  let _, dt = time ~span:("bench.step." ^ step_name step) body in
   match step with
   | Tpch.Workload.Insert_step -> st.t_insert <- st.t_insert +. dt
   | Tpch.Workload.First_select -> st.t_first <- st.t_first +. dt
@@ -165,7 +178,7 @@ let run_audit ?counts ~vid system : experiment =
   let app_name = Printf.sprintf "bench-app-%d" !name_counter in
   Minios.Program.register ~name:app_name program;
   let audit, total =
-    time (fun () ->
+    time ~span:"bench.audit" (fun () ->
         Audit.run ~packaging:(packaging_of system) kernel server ~app_name
           ~app_binary:binary ~app_libs:Tpch.Workload.app_libs program)
   in
@@ -182,7 +195,7 @@ type replay_times = { init_s : float; rsteps : steps; verified : bool }
 let run_replay (e : experiment) (pkg : Package.t) : replay_times =
   Gc.compact ();
   reset e.steps;
-  let prepared, init_s = time (fun () -> Replay.prepare pkg) in
+  let prepared, init_s = time ~span:"bench.replay_init" (fun () -> Replay.prepare pkg) in
   let result = Replay.run prepared in
   let verified = Replay.verify ~audit:e.audit result = [] in
   ({ init_s; rsteps = e.steps; verified } : replay_times)
@@ -357,7 +370,7 @@ let baseline_query_s vid =
     (* warm once, then measure three runs *)
     ignore (Minidb.Database.query db q.Tpch.Queries.sql);
     let _, dt =
-      time (fun () ->
+      time ~span:"bench.baseline_query" (fun () ->
           for _ = 1 to 3 do
             ignore (Minidb.Database.query db q.Tpch.Queries.sql)
           done)
@@ -860,6 +873,18 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   Printf.printf "LDV benchmark harness (sf=%g, %s counts)\n%!" !sf
     (if !paper_counts then "paper" else "reduced");
+  (* Collect harness + pipeline instrumentation for the whole run and dump
+     it as JSONL on exit ([check] exits non-zero on failed claims, so an
+     [at_exit] hook rather than [Fun.protect] covers that path too). The
+     file is readable with `ldv stats BENCH_obs.json`. *)
+  Ldv_obs.reset ();
+  Ldv_obs.set_sink Ldv_obs.Memory;
+  at_exit (fun () ->
+      Ldv_obs.set_sink Ldv_obs.Null;
+      let oc = open_out "BENCH_obs.json" in
+      output_string oc (Ldv_obs.to_jsonl (Ldv_obs.snapshot ()));
+      close_out oc;
+      Printf.eprintf "wrote BENCH_obs.json (inspect with `ldv stats`)\n%!");
   match !cmd with
   | "table1" -> table1 ()
   | "table2" -> table2 ()

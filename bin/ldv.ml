@@ -12,6 +12,64 @@ open Cmdliner
 open Ldv_core
 
 (* ------------------------------------------------------------------ *)
+(* Observability: the global --obs flag.                               *)
+
+type obs_mode = Obs_off | Obs_summary | Obs_jsonl of string
+
+let obs_conv =
+  let parse = function
+    | "off" -> Ok Obs_off
+    | "summary" -> Ok Obs_summary
+    | "jsonl:" -> Error (`Msg "jsonl: needs a file name (jsonl:FILE)")
+    | s when String.length s > 6 && String.sub s 0 6 = "jsonl:" ->
+      Ok (Obs_jsonl (String.sub s 6 (String.length s - 6)))
+    | s ->
+      Error
+        (`Msg
+          (Printf.sprintf "bad --obs value %S, expected off|summary|jsonl:FILE"
+             s))
+  in
+  let print ppf = function
+    | Obs_off -> Format.pp_print_string ppf "off"
+    | Obs_summary -> Format.pp_print_string ppf "summary"
+    | Obs_jsonl f -> Format.fprintf ppf "jsonl:%s" f
+  in
+  Arg.conv (parse, print)
+
+let obs_arg =
+  let doc =
+    "Instrumentation sink: $(b,off) (no-op), $(b,summary) (print per-stage \
+     span and metrics tables after the command), or $(b,jsonl:FILE) (stream \
+     span records to FILE as JSONL, readable by $(b,ldv stats))."
+  in
+  Arg.(value & opt obs_conv Obs_off & info [ "obs" ] ~docv:"MODE" ~doc)
+
+(** Run [f] under the selected observability mode, emitting the summary or
+    the JSONL trace when it returns (or raises). *)
+let with_obs mode f =
+  match mode with
+  | Obs_off -> f ()
+  | Obs_summary ->
+    Ldv_obs.reset ();
+    Ldv_obs.set_sink Ldv_obs.Memory;
+    Fun.protect
+      ~finally:(fun () ->
+        Ldv_obs.set_sink Ldv_obs.Null;
+        Obs_report.print_summary (Ldv_obs.snapshot ()))
+      f
+  | Obs_jsonl path ->
+    Ldv_obs.reset ();
+    let oc = open_out path in
+    Ldv_obs.set_sink (Ldv_obs.Jsonl oc);
+    Fun.protect
+      ~finally:(fun () ->
+        Ldv_obs.set_sink Ldv_obs.Null;
+        Ldv_obs.output_metrics oc (Ldv_obs.snapshot ());
+        close_out oc;
+        Printf.printf "wrote observability trace %s\n" path)
+      f
+
+(* ------------------------------------------------------------------ *)
 (* Workload construction shared by audit and exec.                     *)
 
 let cfg_of_metadata (meta : (string * string) list) : Tpch.Workload.config =
@@ -108,7 +166,8 @@ let out_arg =
 (* audit                                                               *)
 
 let audit_cmd =
-  let run sf vid mode (n_insert, n_select, n_update) out =
+  let run obs sf vid mode (n_insert, n_select, n_update) out =
+    with_obs obs @@ fun () ->
     let audit, cfg = run_audit ~sf ~vid ~mode ~n_insert ~n_select ~n_update in
     let pkg =
       match mode with
@@ -133,7 +192,9 @@ let audit_cmd =
     Format.printf "execution trace: %a@." Prov.Query.pp_stats stats
   in
   let term =
-    Term.(const run $ sf_arg $ query_arg $ mode_arg $ counts_args $ out_arg)
+    Term.(
+      const run $ obs_arg $ sf_arg $ query_arg $ mode_arg $ counts_args
+      $ out_arg)
   in
   Cmd.v
     (Cmd.info "audit"
@@ -151,7 +212,8 @@ let read_package path =
   Package.of_bytes data
 
 let exec_cmd =
-  let run path =
+  let run obs path =
+    with_obs obs @@ fun () ->
     let pkg = read_package path in
     let cfg = cfg_of_metadata pkg.Package.metadata in
     Minios.Program.register ~name:pkg.Package.app_name (Tpch.Workload.app cfg);
@@ -166,7 +228,7 @@ let exec_cmd =
         Printf.printf "  %s (%d bytes)\n" p (String.length content))
       result.Replay.out_files
   in
-  let term = Term.(const run $ package_arg) in
+  let term = Term.(const run $ obs_arg $ package_arg) in
   Cmd.v (Cmd.info "exec" ~doc:"Re-execute a repeatability package") term
 
 (* ------------------------------------------------------------------ *)
@@ -185,7 +247,8 @@ let inspect_cmd =
     Arg.(value & opt (some string) None & info [ "prov-n" ] ~docv:"FILE"
            ~doc:"Write the execution trace as PROV-N.")
   in
-  let run path dot prov_json prov_n =
+  let run obs path dot prov_json prov_n =
+    with_obs obs @@ fun () ->
     let pkg = read_package path in
     Printf.printf "kind: %s\napp: %s (binary %s)\n"
       (Package.kind_name pkg.Package.kind)
@@ -207,7 +270,9 @@ let inspect_cmd =
     Option.iter (fun p -> write_file p (Prov.Prov_export.to_prov_json trace)) prov_json;
     Option.iter (fun p -> write_file p (Prov.Prov_export.to_prov_n trace)) prov_n
   in
-  let term = Term.(const run $ package_arg $ dot_arg $ prov_arg $ provn_arg) in
+  let term =
+    Term.(const run $ obs_arg $ package_arg $ dot_arg $ prov_arg $ provn_arg)
+  in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Show a package's manifest and execution trace")
     term
@@ -225,7 +290,8 @@ let trace_cmd =
     Arg.(value & flag & info [ "outputs" ]
            ~doc:"List the workflow's final output files.")
   in
-  let run path target outputs =
+  let run obs path target outputs =
+    with_obs obs @@ fun () ->
     let pkg = read_package path in
     let trace = Package.trace pkg in
     Format.printf "trace: %a@." Prov.Query.pp_stats (Prov.Query.stats trace);
@@ -239,17 +305,63 @@ let trace_cmd =
       Printf.printf "%s was derived from:\n" node;
       List.iter (Printf.printf "  %s\n") (Prov.Query.inputs_of trace node)
   in
-  let term = Term.(const run $ package_arg $ target_arg $ outputs_arg) in
+  let term =
+    Term.(const run $ obs_arg $ package_arg $ target_arg $ outputs_arg)
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run provenance queries over a package's execution trace")
     term
 
 (* ------------------------------------------------------------------ *)
+(* stats: replay an exported JSONL observability trace                 *)
+
+let stats_cmd =
+  let file_arg =
+    let doc = "JSONL trace written by $(b,--obs jsonl:FILE)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let tree_arg =
+    Arg.(
+      value & flag
+      & info [ "tree" ]
+          ~doc:"Also print the span tree (roots at the margin).")
+  in
+  let run path tree =
+    let fail fmt = Format.kasprintf (fun m -> Error (`Msg m)) fmt in
+    match
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let data = really_input_string ic n in
+      close_in ic;
+      Ldv_obs.of_jsonl data
+    with
+    | snap ->
+      Obs_report.print_summary snap;
+      if tree then begin
+        Report.section "Span tree";
+        Obs_report.print_tree snap
+      end;
+      Ok ()
+    | exception Sys_error msg -> fail "%s" msg
+    | exception Ldv_obs.Json.Parse_error msg ->
+      fail "%s is not an observability trace: %s" path msg
+    | exception Invalid_argument msg ->
+      fail "%s is not an observability trace: %s" path msg
+  in
+  let term = Term.(term_result (const run $ file_arg $ tree_arg)) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Summarize an observability trace exported with --obs jsonl:FILE")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 
 let demo_cmd =
-  let run sf =
+  let run obs sf =
+    with_obs obs @@ fun () ->
     print_endline "LDV demo: audit -> package -> replay -> verify";
     List.iter
       (fun mode ->
@@ -270,7 +382,7 @@ let demo_cmd =
            else "DIVERGED: " ^ String.concat "; " problems))
       [ Audit.Ptu_baseline; Audit.Included; Audit.Excluded ]
   in
-  let term = Term.(const run $ sf_arg) in
+  let term = Term.(const run $ obs_arg $ sf_arg) in
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Audit, package, replay and verify all three package kinds")
@@ -281,4 +393,19 @@ let () =
     Cmd.info "ldv" ~version:"1.0.0"
       ~doc:"Light-weight database virtualization (ICDE 2015), in OCaml"
   in
-  exit (Cmd.eval (Cmd.group info [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; demo_cmd ]))
+  (* --obs reads naturally before the subcommand (`ldv --obs summary
+     audit`); cmdliner only accepts options after the command name, so
+     hoist a leading --obs behind the rest of the line *)
+  let argv =
+    match Array.to_list Sys.argv with
+    | exe :: "--obs" :: mode :: rest ->
+      Array.of_list ((exe :: rest) @ [ "--obs"; mode ])
+    | exe :: flag :: rest
+      when String.length flag > 6 && String.sub flag 0 6 = "--obs=" ->
+      Array.of_list ((exe :: rest) @ [ flag ])
+    | _ -> Sys.argv
+  in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info
+          [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd; demo_cmd ]))

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Full verification: build everything (lib/obs compiles with
+# -warn-error +a) and run the test suite.
+set -e
+cd "$(dirname "$0")"
+dune build @all
+dune runtest

@@ -27,6 +27,19 @@ type mode =
 
 type stmt_kind = Squery | Sinsert | Supdate | Sdelete | Sddl
 
+let stmt_kind_name = function
+  | Squery -> "query"
+  | Sinsert -> "insert"
+  | Supdate -> "update"
+  | Sdelete -> "delete"
+  | Sddl -> "ddl"
+
+let mode_name = function
+  | Passthrough -> "passthrough"
+  | Audit_included -> "audit-included"
+  | Audit_excluded -> "audit-excluded"
+  | Replay_excluded -> "replay-excluded"
+
 let stmt_kind_of_ast = function
   | Sql_ast.Select _ | Sql_ast.Provenance _ | Sql_ast.Explain _ -> Squery
   | Sql_ast.Insert _ -> Sinsert
@@ -218,15 +231,19 @@ let exec_replay_excluded t ~(kind : stmt_kind) (sql_norm : string) :
     Protocol.response =
   match t.replay_queue with
   | [] ->
+    Ldv_obs.counter "recorder.miss";
     raise
       (Replay_divergence
          (Printf.sprintf "no recorded response left for %s" sql_norm))
   | r :: rest ->
-    if not (String.equal r.Recorder.rec_sql_norm sql_norm) then
+    if not (String.equal r.Recorder.rec_sql_norm sql_norm) then begin
+      Ldv_obs.counter "recorder.miss";
       raise
         (Replay_divergence
            (Printf.sprintf "expected %s, got %s" r.Recorder.rec_sql_norm
-              sql_norm));
+              sql_norm))
+    end;
+    Ldv_obs.counter "recorder.hit";
     t.replay_queue <- rest;
     (match (kind, r.Recorder.rec_kind) with
     | Squery, Recorder.Rquery ->
@@ -250,10 +267,16 @@ let exec_replay_excluded t ~(kind : stmt_kind) (sql_norm : string) :
 
 (** Execute one statement on behalf of process [pid]. *)
 let execute (t : t) ~pid (sql : string) : Protocol.response =
+  Ldv_obs.with_span "db.stmt" @@ fun () ->
   let db = Server.db t.server in
   let ast = Sql_parser.parse sql in
   let sql_norm = Pretty.statement_to_string ast in
   let kind = stmt_kind_of_ast ast in
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.add_attr "kind" (stmt_kind_name kind);
+    Ldv_obs.add_attr "mode" (mode_name t.mode);
+    Ldv_obs.counter ("db.stmt." ^ stmt_kind_name kind)
+  end;
   let qid = t.next_qid in
   t.next_qid <- qid + 1;
   (* request leaves the client *)
@@ -297,6 +320,11 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
   (* response returns to the client *)
   Minios.Kernel.advance_to t.kernel ~at:(Database.clock db);
   let t_end = Minios.Kernel.tick t.kernel in
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.counter ~by:(Protocol.response_bytes response)
+      "db.stmt.response_bytes";
+    Ldv_obs.observe "db.stmt.roundtrip_ticks" (float_of_int (t_end - t_start))
+  end;
   t.log <-
     { qid;
       pid;

@@ -137,6 +137,7 @@ let sync_data_dir (kernel : Minios.Kernel.t) (t : t) =
     libraries, and every data file, so a ptrace-based packager sees the
     whole DB. Returns the server pid. *)
 let start_traced (kernel : Minios.Kernel.t) (t : t) : int =
+  Ldv_obs.with_span "server.start_traced" @@ fun () ->
   sync_data_dir kernel t;
   let vfs = Minios.Kernel.vfs kernel in
   let proc =
@@ -174,6 +175,7 @@ let stop_traced (kernel : Minios.Kernel.t) (t : t) =
 
 (** Execute one protocol request against the backend. *)
 let handle (t : t) (req : Protocol.request) : Protocol.response =
+  Ldv_obs.with_span "server.handle" @@ fun () ->
   match req with
   | Protocol.Connect _ -> Protocol.Connected { backend_id = 1 }
   | Protocol.Disconnect -> Protocol.Ddl_ok

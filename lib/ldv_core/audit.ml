@@ -19,6 +19,11 @@ type packaging =
       (** the paper's PostgreSQL+PTU baseline: traced server, plain libpq —
           OS provenance only, full DB lands in the package *)
 
+let packaging_name = function
+  | Included -> "included"
+  | Excluded -> "excluded"
+  | Ptu_baseline -> "ptu"
+
 type t = {
   packaging : packaging;
   kernel : Minios.Kernel.t;
@@ -61,6 +66,7 @@ let rows_fingerprint (rows : Value.t array list) : string =
     the interceptor's statement log. *)
 let build_trace (tracer : Minios.Tracer.t) (stmts : I.stmt_event list) :
     Prov.Trace.t =
+  Ldv_obs.with_span "audit.build_trace" @@ fun () ->
   let trace = Prov.Combined.create () in
   Minios.Tracer.build_bb_into tracer trace;
   List.iter
@@ -132,6 +138,10 @@ let written_files (tracer : Minios.Tracer.t) ~(exclude_pids : int list)
 let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     (server : Dbclient.Server.t) ~app_name ~app_binary ?(app_libs = [])
     (program : Minios.Program.program) : t =
+  Ldv_obs.with_span
+    ~attrs:[ ("packaging", packaging_name packaging); ("app", app_name) ]
+    "audit.run"
+  @@ fun () ->
   let tracer = Minios.Tracer.create () in
   Minios.Tracer.attach tracer kernel;
   let server_pid =
@@ -152,8 +162,9 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     Fun.protect
       ~finally:(fun () -> I.unbind kernel)
       (fun () ->
-        Minios.Program.run kernel ~binary:app_binary ~libs:app_libs
-          ~name:app_name program)
+        Ldv_obs.with_span "audit.app" (fun () ->
+            Minios.Program.run kernel ~binary:app_binary ~libs:app_libs
+              ~name:app_name program))
   in
   (match packaging with
   | Included | Ptu_baseline -> Dbclient.Server.stop_traced kernel server
@@ -168,16 +179,19 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     | Included | Excluded -> build_trace tracer stmts
   in
   let exclude_pids = Option.to_list server_pid in
-  let out_files =
-    written_files tracer ~exclude_pids (Minios.Kernel.vfs kernel)
+  let out_files, query_fingerprints =
+    Ldv_obs.with_span "audit.collect_outputs" @@ fun () ->
+    ( written_files tracer ~exclude_pids (Minios.Kernel.vfs kernel),
+      List.filter_map
+        (fun (s : I.stmt_event) ->
+          if s.I.kind = I.Squery then Some (s.I.qid, rows_fingerprint s.I.rows)
+          else None)
+        stmts )
   in
-  let query_fingerprints =
-    List.filter_map
-      (fun (s : I.stmt_event) ->
-        if s.I.kind = I.Squery then Some (s.I.qid, rows_fingerprint s.I.rows)
-        else None)
-      stmts
-  in
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.counter ~by:(List.length stmts) "audit.statements";
+    Ldv_obs.counter ~by:(Minios.Tracer.event_count tracer) "audit.os_events"
+  end;
   { packaging;
     kernel;
     server;
@@ -199,6 +213,7 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     the statement log with [run] edges, and DML provenance (written
     versions and the pre-versions they derive from). *)
 let compact_trace (t : t) : Prov.Trace.t =
+  Ldv_obs.with_span "audit.compact_trace" @@ fun () ->
   let trace = Prov.Combined.create () in
   Minios.Tracer.build_bb_into t.tracer trace;
   List.iter

@@ -1,0 +1,124 @@
+(** Console sink for [Ldv_obs]: renders a snapshot as the same fixed-width
+    tables {!Report} uses for the paper's figures. Shared by the CLI's
+    [--obs summary] mode and the [ldv stats] JSONL reader. *)
+
+module Obs = Ldv_obs
+module H = Ldv_obs.Histogram
+
+let span_hist_prefix = "span:"
+
+let is_span_hist name =
+  String.length name >= String.length span_hist_prefix
+  && String.sub name 0 (String.length span_hist_prefix) = span_hist_prefix
+
+(* Aggregate spans by name, preserving first-seen order of completion. *)
+type agg = {
+  mutable count : int;
+  mutable total : float;
+  mutable min_d : float;
+  mutable max_d : float;
+}
+
+let span_rows (snap : Obs.snapshot) =
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (sp : Obs.span) ->
+      let d = Float.max 0.0 sp.Obs.sp_dur in
+      match Hashtbl.find_opt tbl sp.Obs.sp_name with
+      | Some a ->
+        a.count <- a.count + 1;
+        a.total <- a.total +. d;
+        if d < a.min_d then a.min_d <- d;
+        if d > a.max_d then a.max_d <- d
+      | None ->
+        Hashtbl.replace tbl sp.Obs.sp_name
+          { count = 1; total = d; min_d = d; max_d = d };
+        order := sp.Obs.sp_name :: !order)
+    snap.Obs.spans;
+  List.rev_map
+    (fun name ->
+      let a = Hashtbl.find tbl name in
+      (* percentiles come from the per-stage histograms, which survive ring
+         eviction *)
+      let p50, p95 =
+        match List.assoc_opt (span_hist_prefix ^ name) snap.Obs.histograms with
+        | Some s -> (s.H.s_p50, s.H.s_p95)
+        | None -> (Float.nan, Float.nan)
+      in
+      [ name;
+        string_of_int a.count;
+        Report.seconds a.total;
+        Report.seconds (a.total /. float_of_int a.count);
+        Report.seconds p50;
+        Report.seconds p95;
+        Report.seconds a.max_d ])
+    !order
+
+let print_summary (snap : Obs.snapshot) =
+  if snap.Obs.spans = [] && snap.Obs.counters = [] && snap.Obs.gauges = []
+     && snap.Obs.histograms = []
+  then print_endline "no observability data collected"
+  else begin
+    if snap.Obs.spans <> [] then begin
+      Report.section "Spans (per stage)";
+      Report.print_table
+        ~header:[ "span"; "count"; "total"; "mean"; "p50"; "p95"; "max" ]
+        (span_rows snap);
+      if snap.Obs.dropped_spans > 0 then
+        Report.note "(%d early spans evicted from the ring buffer)\n"
+          snap.Obs.dropped_spans
+    end;
+    if snap.Obs.counters <> [] then begin
+      Report.section "Counters";
+      Report.print_table ~header:[ "counter"; "value" ]
+        (List.map
+           (fun (name, v) -> [ name; string_of_int v ])
+           snap.Obs.counters)
+    end;
+    if snap.Obs.gauges <> [] then begin
+      Report.section "Gauges";
+      Report.print_table ~header:[ "gauge"; "value" ]
+        (List.map
+           (fun (name, v) -> [ name; Printf.sprintf "%.3f" v ])
+           snap.Obs.gauges)
+    end;
+    let histos =
+      List.filter (fun (name, _) -> not (is_span_hist name)) snap.Obs.histograms
+    in
+    if histos <> [] then begin
+      Report.section "Histograms";
+      Report.print_table
+        ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "p99"; "max" ]
+        (List.map
+           (fun (name, s) ->
+             [ name;
+               string_of_int s.H.s_count;
+               Printf.sprintf "%.3f" (H.mean s);
+               Printf.sprintf "%.3f" s.H.s_p50;
+               Printf.sprintf "%.3f" s.H.s_p95;
+               Printf.sprintf "%.3f" s.H.s_p99;
+               Printf.sprintf "%.3f" s.H.s_max ])
+           histos)
+    end
+  end
+
+(** Print the span tree of a snapshot (roots at the margin), for drilling
+    into one run's structure. *)
+let print_tree (snap : Obs.snapshot) =
+  let rec go depth (sp : Obs.span) =
+    Printf.printf "%s%s %s%s\n" (String.make (2 * depth) ' ') sp.Obs.sp_name
+      (Report.seconds (Float.max 0.0 sp.Obs.sp_dur))
+      (match sp.Obs.sp_attrs with
+      | [] -> ""
+      | attrs ->
+        " ["
+        ^ String.concat ", "
+            (List.rev_map (fun (k, v) -> k ^ "=" ^ v) attrs)
+        ^ "]");
+    List.iter (go (depth + 1))
+      (List.sort
+         (fun (a : Obs.span) b -> compare a.Obs.sp_id b.Obs.sp_id)
+         (Obs.children snap sp.Obs.sp_id))
+  in
+  List.iter (go 0) (Obs.roots snap)

@@ -134,6 +134,8 @@ let base_metadata (audit : Audit.t) =
     along (they were read by the traced server process), raw DB data files
     are dropped in favour of the relevant tuple subset. *)
 let build_included (audit : Audit.t) : t =
+  Ldv_obs.with_span ~attrs:[ ("kind", "server-included") ] "package.build"
+  @@ fun () ->
   let data_dir = Dbclient.Server.data_dir audit.Audit.server in
   let entries = collect_entries audit ~exclude:(under data_dir) in
   let db = Dbclient.Server.db audit.Audit.server in
@@ -151,6 +153,8 @@ let build_included (audit : Audit.t) : t =
 (** Build a server-excluded package: no server artifacts, recorded
     responses instead. *)
 let build_excluded (audit : Audit.t) : t =
+  Ldv_obs.with_span ~attrs:[ ("kind", "server-excluded") ] "package.build"
+  @@ fun () ->
   let server = audit.Audit.server in
   let data_dir = Dbclient.Server.data_dir server in
   let server_files =
@@ -184,6 +188,12 @@ let build (audit : Audit.t) : t =
 let b64 = Fun.id (* entries may contain arbitrary bytes; keep raw with length prefixes *)
 
 let to_bytes (t : t) : string =
+  Ldv_obs.with_span ~attrs:[ ("kind", kind_name t.kind) ] "package.serialize"
+  @@ fun () ->
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.gauge "package.bytes" (float_of_int (total_bytes t));
+    Ldv_obs.counter ~by:(List.length t.entries) "package.entries"
+  end;
   let buf = Buffer.create 65536 in
   let section name payload =
     Buffer.add_string buf
@@ -211,6 +221,7 @@ let to_bytes (t : t) : string =
   Buffer.contents buf
 
 let of_bytes (data : string) : t =
+  Ldv_obs.with_span "package.parse" @@ fun () ->
   let pos = ref 0 in
   let n = String.length data in
   let sections = ref [] in

@@ -15,6 +15,7 @@ let run (kernel : Minios.Kernel.t) (server : Dbclient.Server.t) ~app_name
 (** Build the PTU package: all touched files, full DB data files included,
     OS provenance graph attached. *)
 let build (audit : Audit.t) : Package.t =
+  Ldv_obs.with_span ~attrs:[ ("kind", "ptu") ] "package.build" @@ fun () ->
   let entries = Package.collect_entries audit ~exclude:(fun _ -> false) in
   { Package.kind = Package.Ptu_full;
     app_name = audit.Audit.app_name;

@@ -26,41 +26,50 @@ type prepared = {
 
 (** Rebuild the package environment and initialize its DB state. *)
 let prepare (pkg : Package.t) : prepared =
+  Ldv_obs.with_span
+    ~attrs:[ ("kind", Package.kind_name pkg.Package.kind) ]
+    "replay.prepare"
+  @@ fun () ->
   let kernel = Minios.Kernel.create () in
   let vfs = Minios.Kernel.vfs kernel in
-  List.iter
-    (fun (e : Package.entry) ->
-      match e.Package.e_content with
-      | Some content -> Minios.Vfs.write vfs ~path:e.Package.e_path content
-      | None -> ())
-    pkg.Package.entries;
+  Ldv_obs.with_span "replay.restore_files" (fun () ->
+      List.iter
+        (fun (e : Package.entry) ->
+          match e.Package.e_content with
+          | Some content -> Minios.Vfs.write vfs ~path:e.Package.e_path content
+          | None -> ())
+        pkg.Package.entries);
   let db = Database.create ~name:"package" () in
   let server = Dbclient.Server.attach db in
-  (match pkg.Package.kind with
-  | Package.Server_included ->
-    (* create accessed tables, then restore the relevant subset from CSV,
-       tuple by tuple (the expensive initialization of Fig. 7b) *)
-    List.iter
-      (fun (_, ddl) -> ignore (Database.exec db ddl))
-      pkg.Package.db_schemas;
-    List.iter
-      (fun (table, csv) ->
-        let tbl = Catalog.find (Database.catalog db) table in
+  Ldv_obs.with_span "replay.restore_db" (fun () ->
+      match pkg.Package.kind with
+      | Package.Server_included ->
+        (* create accessed tables, then restore the relevant subset from CSV,
+           tuple by tuple (the expensive initialization of Fig. 7b) *)
         List.iter
-          (fun (rid, version, values) ->
-            ignore (Table.restore_version tbl ~rid ~version values);
-            Database.sync_clock db ~at:version)
-          (Csv.decode_versions csv))
-      pkg.Package.db_subset
-  | Package.Ptu_full ->
-    (* bulk-load the server's own data files from the package *)
-    List.iter
-      (fun path ->
-        match Minios.Vfs.content vfs path with
-        | Minios.Vfs.Data image -> Dbclient.Server.load_data_file server image
-        | Minios.Vfs.Opaque _ -> ())
-      (Minios.Vfs.paths_under vfs (Dbclient.Server.data_dir server))
-  | Package.Server_excluded -> ());
+          (fun (_, ddl) -> ignore (Database.exec db ddl))
+          pkg.Package.db_schemas;
+        List.iter
+          (fun (table, csv) ->
+            let tbl = Catalog.find (Database.catalog db) table in
+            List.iter
+              (fun (rid, version, values) ->
+                ignore (Table.restore_version tbl ~rid ~version values);
+                Ldv_obs.counter "replay.restored_tuples";
+                Database.sync_clock db ~at:version)
+              (Csv.decode_versions csv))
+          pkg.Package.db_subset
+      | Package.Ptu_full ->
+        (* bulk-load the server's own data files from the package *)
+        List.iter
+          (fun path ->
+            match Minios.Vfs.content vfs path with
+            | Minios.Vfs.Data image ->
+              Dbclient.Server.load_data_file server image;
+              Ldv_obs.counter "replay.loaded_data_files"
+            | Minios.Vfs.Opaque _ -> ())
+          (Minios.Vfs.paths_under vfs (Dbclient.Server.data_dir server))
+      | Package.Server_excluded -> ());
   let session =
     match pkg.Package.kind with
     | Package.Server_excluded ->
@@ -82,6 +91,10 @@ type run_result = {
     registry under the package's app name unless overridden (partial
     re-execution / modified inputs use the override). *)
 let run ?(program : Minios.Program.program option) (p : prepared) : run_result =
+  Ldv_obs.with_span
+    ~attrs:[ ("kind", Package.kind_name p.pkg.Package.kind) ]
+    "replay.run"
+  @@ fun () ->
   let program =
     match program with
     | Some prog -> prog
@@ -96,8 +109,9 @@ let run ?(program : Minios.Program.program option) (p : prepared) : run_result =
         I.unbind p.kernel;
         Minios.Tracer.detach p.kernel)
       (fun () ->
-        Minios.Program.run p.kernel ~binary:p.pkg.Package.app_binary
-          ~name:p.pkg.Package.app_name program)
+        Ldv_obs.with_span "replay.app" (fun () ->
+            Minios.Program.run p.kernel ~binary:p.pkg.Package.app_binary
+              ~name:p.pkg.Package.app_name program))
   in
   let out_files =
     Audit.written_files tracer ~exclude_pids:[] (Minios.Kernel.vfs p.kernel)
@@ -124,6 +138,7 @@ let execute ?program (pkg : Package.t) : run_result =
     every output file byte-identical, every query's result fingerprint
     equal. Returns the list of divergences (empty = repeatable). *)
 let verify ~(audit : Audit.t) (r : run_result) : string list =
+  Ldv_obs.with_span "replay.verify" @@ fun () ->
   let problems = ref [] in
   let push fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
   List.iter

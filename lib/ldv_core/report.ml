@@ -23,17 +23,18 @@ let print_table ~header rows =
          if i < cols then widths.(i) <- max widths.(i) (String.length cell)))
     all;
   let print_row cells =
-    print_string "| ";
     List.iteri
-      (fun i cell ->
-        Printf.printf "%-*s" widths.(i) cell;
-        print_string " | ")
+      (fun i cell -> Printf.printf "| %-*s " widths.(i) cell)
       cells;
-    print_newline ()
+    print_endline "|"
   in
   let rule () =
-    print_string "+";
-    Array.iter (fun w -> print_string (String.make (w + 3) '-'); print_string "+" |> ignore) widths;
+    print_char '+';
+    Array.iter
+      (fun w ->
+        print_string (String.make (w + 2) '-');
+        print_char '+')
+      widths;
     print_newline ()
   in
   rule ();

@@ -30,18 +30,27 @@ let created_by_app (stmts : I.stmt_event list) : Tid.Set.t =
     deduplicated lineage table minus application-created versions and
     transient query-result tuples. *)
 let relevant (audit : Audit.t) : Tid.Set.t =
+  Ldv_obs.with_span "slice.relevant" @@ fun () ->
   let created = created_by_app (I.log audit.Audit.session) in
-  List.fold_left
-    (fun acc tid ->
-      if I.is_result_tid tid || Tid.Set.mem tid created then acc
-      else Tid.Set.add tid acc)
-    Tid.Set.empty
-    (I.slice_tids audit.Audit.session)
+  let tids =
+    List.fold_left
+      (fun acc tid ->
+        if I.is_result_tid tid || Tid.Set.mem tid created then acc
+        else Tid.Set.add tid acc)
+      Tid.Set.empty
+      (I.slice_tids audit.Audit.session)
+  in
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.counter ~by:(Tid.Set.cardinal tids) "slice.relevant_tuples";
+    Ldv_obs.counter ~by:(Tid.Set.cardinal created) "slice.app_created_tuples"
+  end;
+  tids
 
 (** Trace-based computation of the same set: stored tuple entities that
     some statement read ([hasRead] out-edge) but that no statement in the
     trace produced ([hasReturned] in-edge). *)
 let relevant_via_trace (trace : Prov.Trace.t) : Tid.Set.t =
+  Ldv_obs.with_span "slice.relevant_via_trace" @@ fun () ->
   List.fold_left
     (fun acc (n : Prov.Trace.node) ->
       match Prov.Lineage_model.tid_of_node_id n.Prov.Trace.id with
@@ -67,6 +76,7 @@ let relevant_via_trace (trace : Prov.Trace.t) : Tid.Set.t =
 (** Materialize a tuple-version set as per-table CSV blobs, looking the
     values up in the database's version history. *)
 let to_csvs (db : Database.t) (tids : Tid.Set.t) : (string * string) list =
+  Ldv_obs.with_span "slice.to_csvs" @@ fun () ->
   let by_table : (string, (int * int * Value.t array) list ref) Hashtbl.t =
     Hashtbl.create 16
   in

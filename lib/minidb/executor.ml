@@ -93,6 +93,8 @@ let rec run_node (n : Planner.node) : arow list =
       | None -> Table.scan table
       | Some at -> Table.scan_as_of table ~at
     in
+    if Ldv_obs.enabled () then
+      Ldv_obs.counter ~by:(List.length versions) "db.rows_scanned";
     List.map
       (fun (tv : Table.tuple_version) ->
         { values = tv.Table.values; ann = Annotation.var tv.Table.tid })
@@ -100,11 +102,15 @@ let rec run_node (n : Planner.node) : arow list =
   | Planner.Index_scan { table; index; key; _ } ->
     let value = Eval_expr.eval [||] key in
     if Value.is_null value then []
-    else
+    else begin
+      let versions = Table.index_lookup table index value in
+      if Ldv_obs.enabled () then
+        Ldv_obs.counter ~by:(List.length versions) "db.rows_scanned";
       List.map
         (fun (tv : Table.tuple_version) ->
           { values = tv.Table.values; ann = Annotation.var tv.Table.tid })
-        (Table.index_lookup table index value)
+        versions
+    end
   | Planner.Filter (pred, input) ->
     List.filter (fun r -> Eval_expr.eval_pred r.values pred) (run_node input)
   | Planner.Project (items, input) ->
@@ -251,7 +257,11 @@ let rec run_node (n : Planner.node) : arow list =
         { values = Array.of_list key; ann = Annotation.sum !ann_ref })
       !order
 
-let run (n : Planner.node) : result = { schema = n.schema; rows = run_node n }
+let run (n : Planner.node) : result =
+  let rows = run_node n in
+  if Ldv_obs.enabled () then
+    Ldv_obs.counter ~by:(List.length rows) "db.tuples_emitted";
+  { schema = n.schema; rows }
 
 (** Union of the lineage of every result row: exactly the tuple versions the
     query read that mattered. *)

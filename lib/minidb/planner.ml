@@ -566,6 +566,8 @@ and plan_select_ctx (ctx : ctx) (s : select) : node =
 (** Plan a SELECT. [eval_subquery] is required when the statement contains
     subqueries. *)
 let plan_select (catalog : Catalog.t) ?eval_subquery (s : select) : node =
+  Ldv_obs.counter "db.plans";
+  Ldv_obs.with_span "db.plan" @@ fun () ->
   plan_select_ctx { catalog; eval_subquery; extra_ann = Annotation.one } s
 
 (** Resolve the uncorrelated subqueries of a standalone expression (an

@@ -51,6 +51,8 @@ let advance_to t ~at = if at > t.clock then t.clock <- at
 
 let set_tracer t hook = t.trace_hook <- hook
 
+module Obs = Ldv_obs
+
 let emit t event =
   match t.trace_hook with None -> () | Some hook -> hook event
 
@@ -80,6 +82,7 @@ let start_process t ?parent ?binary ?(libs = []) ~name () =
     { pid; pname = name; parent; binary; fds = []; next_fd = 3; alive = true }
   in
   Hashtbl.replace t.processes pid p;
+  Obs.counter "os.syscall.spawn";
   let time = tick t in
   emit t (Syscall.Spawned { parent; pid; name; binary; time });
   record_image_reads t pid (Option.to_list binary @ libs);
@@ -102,6 +105,7 @@ let exit_process t pid =
       p.fds;
     p.fds <- [];
     p.alive <- false;
+    Obs.counter "os.syscall.exit";
     let time = tick t in
     emit t (Syscall.Exited { pid; time })
   end
@@ -119,6 +123,7 @@ let open_file t ~pid ~path ~mode : fd =
   | Syscall.Write ->
     (* open for write truncates/creates *)
     Vfs.write_string t.vfs ~path ~mtime:t.clock "");
+  Obs.counter "os.syscall.open";
   let opened_at = tick t in
   emit t (Syscall.Opened { pid; path; mode; time = opened_at });
   let fd = p.next_fd in
@@ -135,6 +140,7 @@ let read_fd t ~pid ~fd : string =
   let p = find_process t pid in
   let e = fd_entry p fd in
   if e.mode <> Syscall.Read then invalid_arg "Kernel.read_fd: fd open for write";
+  Obs.counter "os.syscall.read";
   ignore (tick t);
   Vfs.read t.vfs e.path
 
@@ -142,6 +148,8 @@ let write_fd t ~pid ~fd (data : string) =
   let p = find_process t pid in
   let e = fd_entry p fd in
   if e.mode <> Syscall.Write then invalid_arg "Kernel.write_fd: fd open for read";
+  Obs.counter "os.syscall.write";
+  if Obs.enabled () then Obs.counter ~by:(String.length data) "os.bytes_written";
   let time = tick t in
   Vfs.append t.vfs ~path:e.path ~mtime:time data
 
@@ -149,6 +157,7 @@ let close_fd t ~pid ~fd =
   let p = find_process t pid in
   let e = fd_entry p fd in
   p.fds <- List.remove_assoc fd p.fds;
+  Obs.counter "os.syscall.close";
   let time = tick t in
   emit t
     (Syscall.Closed

@@ -21,11 +21,14 @@ let create () =
 let record t event =
   t.events <- event :: t.events;
   t.n_events <- t.n_events + 1;
+  Ldv_obs.counter "tracer.events";
   match (event, t.snapshot_vfs) with
   | Syscall.Opened { path; mode = Syscall.Read; _ }, Some vfs ->
     if not (Hashtbl.mem t.snapshots path) then (
       match Vfs.content vfs path with
-      | content -> Hashtbl.replace t.snapshots path content
+      | content ->
+        Hashtbl.replace t.snapshots path content;
+        Ldv_obs.counter "tracer.snapshots"
       | exception Not_found -> ())
   | _ -> ()
 
@@ -127,6 +130,7 @@ let spawns t : spawn_info list =
 (** Populate [trace] (whose model must include P_BB's types) with the OS
     provenance of the recorded execution. *)
 let build_bb_into t (trace : Prov.Trace.t) =
+  Ldv_obs.with_span "tracer.build_bb" @@ fun () ->
   List.iter
     (fun sp ->
       ignore (Prov.Bb_model.add_process trace ~pid:sp.sp_pid ~name:sp.sp_name);

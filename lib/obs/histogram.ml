@@ -1,0 +1,100 @@
+(** Log-scale histograms with bounded relative error.
+
+    Values are placed into geometric buckets with ratio [gamma] = 2^(1/16),
+    so any reported quantile is within ~2.2% of the true sample value
+    (sqrt gamma relative error) while the histogram itself stays O(number
+    of distinct magnitudes) regardless of sample count. This is the same
+    trick DDSketch/HdrHistogram use, sized for timing data spanning
+    nanoseconds to minutes. *)
+
+let gamma = Float.pow 2.0 (1.0 /. 16.0)
+let log_gamma = log gamma
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable underflow : int;  (** samples <= 0, reported as 0 *)
+  buckets : (int, int ref) Hashtbl.t;
+}
+
+let create () =
+  { count = 0;
+    sum = 0.0;
+    min_v = Float.infinity;
+    max_v = Float.neg_infinity;
+    underflow = 0;
+    buckets = Hashtbl.create 32 }
+
+let bucket_of v = int_of_float (Float.round (log v /. log_gamma))
+let value_of idx = Float.pow gamma (float_of_int idx)
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  if v <= 0.0 then t.underflow <- t.underflow + 1
+  else
+    let idx = bucket_of v in
+    match Hashtbl.find_opt t.buckets idx with
+    | Some r -> incr r
+    | None -> Hashtbl.replace t.buckets idx (ref 1)
+
+let count t = t.count
+
+(** The [q]-quantile (0 < q <= 1) of the observed samples, up to bucket
+    resolution. Clamped into [min, max] so p100 is exact. *)
+let percentile t q =
+  if t.count = 0 then Float.nan
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+    let rank = max 1 (min t.count rank) in
+    if rank <= t.underflow then 0.0
+    else
+      let entries =
+        Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.buckets []
+        |> List.sort compare
+      in
+      let rec go seen = function
+        | [] -> t.max_v
+        | (idx, n) :: rest ->
+          let seen = seen + n in
+          if seen >= rank then
+            Float.min t.max_v (Float.max t.min_v (value_of idx))
+          else go seen rest
+      in
+      go t.underflow entries
+  end
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p95 : float;
+  s_p99 : float;
+}
+
+let summarize t : summary =
+  if t.count = 0 then
+    { s_count = 0;
+      s_sum = 0.0;
+      s_min = Float.nan;
+      s_max = Float.nan;
+      s_p50 = Float.nan;
+      s_p95 = Float.nan;
+      s_p99 = Float.nan }
+  else
+    { s_count = t.count;
+      s_sum = t.sum;
+      s_min = t.min_v;
+      s_max = t.max_v;
+      s_p50 = percentile t 0.50;
+      s_p95 = percentile t 0.95;
+      s_p99 = percentile t 0.99 }
+
+let mean (s : summary) =
+  if s.s_count = 0 then Float.nan else s.s_sum /. float_of_int s.s_count

@@ -1,0 +1,349 @@
+(** Structured observability for the LDV pipeline.
+
+    The paper's entire evaluation (§IX) is about *measuring* LDV — audit
+    overhead, package size, replay time — so the reproduction carries a
+    first-class instrumentation layer:
+
+    - hierarchical {b spans} with monotonic wall-clock timing, nesting and
+      per-span key/value attributes ([with_span "slice.relevant" f]);
+    - {b metrics}: named counters, gauges and log-scale histograms in a
+      process-wide registry;
+    - pluggable {b sinks}: an in-memory ring buffer (tests, summaries) and
+      a streaming JSONL exporter whose span records mirror the
+      provenance-graph edge format of [Prov.Trace] ([label]/[src]/[dst]
+      plus a [b..e] time interval) — an LDV run's own execution trace is
+      inspectable with the same vocabulary as the traces it captures.
+
+    Everything is a guaranteed no-op while the sink is [Null]: every entry
+    point checks the sink first and performs no formatting, allocation or
+    clock reads on the disabled path. *)
+
+module Json = Json
+module Histogram = Histogram
+
+(* ------------------------------------------------------------------ *)
+(* Spans.                                                              *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** 0 for root spans *)
+  sp_name : string;
+  mutable sp_attrs : (string * string) list;
+  sp_start : float;  (** seconds since process start of collection *)
+  mutable sp_dur : float;  (** negative while the span is still open *)
+}
+
+type sink =
+  | Null  (** disabled: all entry points are no-ops *)
+  | Memory  (** ring buffer + metric registry only *)
+  | Jsonl of out_channel
+      (** [Memory] plus one JSONL record streamed per closed span *)
+
+type state = {
+  mutable sink : sink;
+  mutable clock : unit -> float;
+  mutable next_id : int;
+  mutable stack : span list;  (** open spans, innermost first *)
+  ring : span Queue.t;  (** closed spans, completion order *)
+  mutable ring_cap : int;
+  mutable dropped : int;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histos : (string, Histogram.t) Hashtbl.t;
+}
+
+let st =
+  { sink = Null;
+    clock = Unix.gettimeofday;
+    next_id = 1;
+    stack = [];
+    ring = Queue.create ();
+    ring_cap = 65536;
+    dropped = 0;
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histos = Hashtbl.create 32 }
+
+let enabled () = st.sink <> Null
+
+let set_sink s = st.sink <- s
+
+(** Override the clock (tests substitute a deterministic one). *)
+let set_clock f = st.clock <- f
+
+let now () = st.clock ()
+
+let set_ring_capacity n = st.ring_cap <- max 1 n
+
+(** Drop all collected spans and metrics; keeps the sink. *)
+let reset () =
+  st.next_id <- 1;
+  st.stack <- [];
+  Queue.clear st.ring;
+  st.dropped <- 0;
+  Hashtbl.reset st.counters;
+  Hashtbl.reset st.gauges;
+  Hashtbl.reset st.histos
+
+(* ------------------------------------------------------------------ *)
+(* Metrics. Every entry point is guarded by the sink check.            *)
+
+let counter ?(by = 1) name =
+  if enabled () then
+    match Hashtbl.find_opt st.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace st.counters name (ref by)
+
+let gauge name v =
+  if enabled () then
+    match Hashtbl.find_opt st.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace st.gauges name (ref v)
+
+let observe name v =
+  if enabled () then begin
+    let h =
+      match Hashtbl.find_opt st.histos name with
+      | Some h -> h
+      | None ->
+        let h = Histogram.create () in
+        Hashtbl.replace st.histos name h;
+        h
+    in
+    Histogram.observe h v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Span lifecycle.                                                     *)
+
+(** The JSONL record of a closed span, mirroring [Prov.Trace]'s edge
+    vocabulary: [label] is the edge label (span name), [src] the parent
+    span, [dst] the span itself, [b]/[e] the time interval. *)
+let span_record (sp : span) : Json.t =
+  Json.Obj
+    ([ ("t", Json.Str "span");
+       ("label", Json.Str sp.sp_name);
+       ("src", Json.Int sp.sp_parent);
+       ("dst", Json.Int sp.sp_id);
+       ("b", Json.Float sp.sp_start);
+       ("e", Json.Float (sp.sp_start +. Float.max 0.0 sp.sp_dur)) ]
+    @
+    if sp.sp_attrs = [] then []
+    else
+      [ ( "attrs",
+          Json.Obj
+            (List.rev_map (fun (k, v) -> (k, Json.Str v)) sp.sp_attrs) ) ])
+
+let start_span ?(attrs = []) name : span =
+  let parent = match st.stack with [] -> 0 | p :: _ -> p.sp_id in
+  let sp =
+    { sp_id = st.next_id;
+      sp_parent = parent;
+      sp_name = name;
+      sp_attrs = attrs;
+      sp_start = st.clock ();
+      sp_dur = -1.0 }
+  in
+  st.next_id <- st.next_id + 1;
+  st.stack <- sp :: st.stack;
+  sp
+
+let finish_span (sp : span) =
+  sp.sp_dur <- st.clock () -. sp.sp_start;
+  (match st.stack with
+  | top :: rest when top == sp -> st.stack <- rest
+  | _ ->
+    (* unbalanced finish (an inner span escaped); drop it wherever it is *)
+    st.stack <- List.filter (fun s -> s != sp) st.stack);
+  if Queue.length st.ring >= st.ring_cap then begin
+    ignore (Queue.pop st.ring);
+    st.dropped <- st.dropped + 1
+  end;
+  Queue.push sp st.ring;
+  (* per-stage duration histogram, so summaries keep percentiles even when
+     the ring has dropped early spans *)
+  observe ("span:" ^ sp.sp_name) sp.sp_dur;
+  match st.sink with
+  | Jsonl oc ->
+    output_string oc (Json.to_string (span_record sp));
+    output_char oc '\n'
+  | Null | Memory -> ()
+
+(** Run [f] inside a span. The span nests under whichever span is
+    currently open; on the disabled path this is exactly a call to [f]. *)
+let with_span ?attrs name f =
+  match st.sink with
+  | Null -> f ()
+  | Memory | Jsonl _ ->
+    let sp = start_span ?attrs name in
+    Fun.protect ~finally:(fun () -> finish_span sp) f
+
+(** Attach an attribute to the innermost open span, if any. *)
+let add_attr k v =
+  if enabled () then
+    match st.stack with
+    | sp :: _ -> sp.sp_attrs <- (k, v) :: sp.sp_attrs
+    | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: everything collected so far, in plain data.              *)
+
+type snapshot = {
+  spans : span list;  (** completion order *)
+  dropped_spans : int;
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * Histogram.summary) list;
+}
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () : snapshot =
+  { spans = List.of_seq (Queue.to_seq st.ring);
+    dropped_spans = st.dropped;
+    counters = sorted_bindings st.counters (fun r -> !r);
+    gauges = sorted_bindings st.gauges (fun r -> !r);
+    histograms = sorted_bindings st.histos Histogram.summarize }
+
+let children (snap : snapshot) (id : int) : span list =
+  List.filter (fun sp -> sp.sp_parent = id) snap.spans
+
+let roots (snap : snapshot) : span list = children snap 0
+
+let find_spans (snap : snapshot) (name : string) : span list =
+  List.filter (fun sp -> String.equal sp.sp_name name) snap.spans
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec.                                                        *)
+
+let num f = Json.Float f
+
+let hist_record name (s : Histogram.summary) : Json.t =
+  Json.Obj
+    [ ("t", Json.Str "hist");
+      ("name", Json.Str name);
+      ("count", Json.Int s.Histogram.s_count);
+      ("sum", num s.Histogram.s_sum);
+      ("min", num s.Histogram.s_min);
+      ("max", num s.Histogram.s_max);
+      ("p50", num s.Histogram.s_p50);
+      ("p95", num s.Histogram.s_p95);
+      ("p99", num s.Histogram.s_p99) ]
+
+let metric_records (snap : snapshot) : Json.t list =
+  List.map
+    (fun (name, v) ->
+      Json.Obj
+        [ ("t", Json.Str "counter"); ("name", Json.Str name);
+          ("value", Json.Int v) ])
+    snap.counters
+  @ List.map
+      (fun (name, v) ->
+        Json.Obj
+          [ ("t", Json.Str "gauge"); ("name", Json.Str name);
+            ("value", num v) ])
+      snap.gauges
+  @ List.map (fun (name, s) -> hist_record name s) snap.histograms
+
+(** Stream a snapshot's metric records to [oc]. The [Jsonl] sink already
+    streamed the spans as they closed; this is the end-of-run flush. *)
+let output_metrics oc (snap : snapshot) =
+  List.iter
+    (fun record ->
+      output_string oc (Json.to_string record);
+      output_char oc '\n')
+    (metric_records snap)
+
+(** The whole snapshot as JSONL text: spans first, then metrics. *)
+let to_jsonl (snap : snapshot) : string =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun sp ->
+      Buffer.add_string buf (Json.to_string (span_record sp));
+      Buffer.add_char buf '\n')
+    snap.spans;
+  List.iter
+    (fun record ->
+      Buffer.add_string buf (Json.to_string record);
+      Buffer.add_char buf '\n')
+    (metric_records snap);
+  Buffer.contents buf
+
+let span_of_record (j : Json.t) : span =
+  let get key =
+    match Json.member key j with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "obs record misses %S" key)
+  in
+  let b = Json.to_float (get "b") and e = Json.to_float (get "e") in
+  { sp_id = Json.to_int (get "dst");
+    sp_parent = Json.to_int (get "src");
+    sp_name = Json.to_str (get "label");
+    sp_attrs =
+      (match Json.member "attrs" j with
+      | Some attrs ->
+        List.map (fun (k, v) -> (k, Json.to_str v)) (Json.to_obj attrs)
+      | None -> []);
+    sp_start = b;
+    sp_dur = e -. b }
+
+let summary_of_record (j : Json.t) : Histogram.summary =
+  let f key =
+    match Json.member key j with Some v -> Json.to_float v | None -> Float.nan
+  in
+  let i key =
+    match Json.member key j with Some v -> Json.to_int v | None -> 0
+  in
+  { Histogram.s_count = i "count";
+    s_sum = f "sum";
+    s_min = f "min";
+    s_max = f "max";
+    s_p50 = f "p50";
+    s_p95 = f "p95";
+    s_p99 = f "p99" }
+
+(** Rebuild a snapshot from exported JSONL (the [ldv stats] reader).
+    Unknown record types are skipped so the format can grow. *)
+let of_jsonl (data : string) : snapshot =
+  let spans = ref [] in
+  let counters = ref [] in
+  let gauges = ref [] in
+  let histograms = ref [] in
+  String.split_on_char '\n' data
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" then begin
+           let j = Json.of_string line in
+           let name () =
+             match Json.member "name" j with
+             | Some n -> Json.to_str n
+             | None -> invalid_arg "obs record misses \"name\""
+           in
+           match Option.map Json.to_str (Json.member "t" j) with
+           | Some "span" -> spans := span_of_record j :: !spans
+           | Some "counter" ->
+             let v =
+               match Json.member "value" j with
+               | Some v -> Json.to_int v
+               | None -> 0
+             in
+             counters := (name (), v) :: !counters
+           | Some "gauge" ->
+             let v =
+               match Json.member "value" j with
+               | Some v -> Json.to_float v
+               | None -> Float.nan
+             in
+             gauges := (name (), v) :: !gauges
+           | Some "hist" ->
+             histograms := (name (), summary_of_record j) :: !histograms
+           | _ -> ()
+         end);
+  let by_name (a, _) (b, _) = String.compare a b in
+  { spans = List.rev !spans;
+    dropped_spans = 0;
+    counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    histograms = List.sort by_name !histograms }

@@ -37,5 +37,7 @@ let () =
       ("package", Test_package.suite);
       ("replay", Test_replay.suite);
       ("gprom", Test_gprom.suite);
+      ("obs", Test_obs.suite);
+      ("report", Test_report.suite);
       ("partial-diff", Test_partial_diff.suite);
       ("end-to-end", Test_e2e.suite) ]

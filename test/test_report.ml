@@ -1,0 +1,32 @@
+(* Report formatting helpers: unit boundaries. *)
+
+open Ldv_core
+
+let check_bytes expect n =
+  Alcotest.(check string) (string_of_int n) expect (Report.human_bytes n)
+
+let check_seconds expect s =
+  Alcotest.(check string) (Printf.sprintf "%g" s) expect (Report.seconds s)
+
+let test_human_bytes () =
+  check_bytes "0 B" 0;
+  check_bytes "999 B" 999;
+  check_bytes "1.0 KB" 1000;
+  check_bytes "1.5 KB" 1500;
+  check_bytes "1000.0 KB" 999_999;
+  check_bytes "1.00 MB" 1_000_000;
+  check_bytes "38.00 MB" 38_000_000;
+  check_bytes "1.00 GB" 1_000_000_000
+
+let test_seconds () =
+  check_seconds "1.000 s" 1.0;
+  check_seconds "12.340 s" 12.34;
+  check_seconds "999.000 ms" 0.999;
+  check_seconds "1.000 ms" 1e-3;
+  check_seconds "999.0 us" 999e-6;
+  check_seconds "0.5 us" 5e-7;
+  check_seconds "0.0 us" 0.0
+
+let suite =
+  [ Alcotest.test_case "human_bytes boundaries" `Quick test_human_bytes;
+    Alcotest.test_case "seconds boundaries" `Quick test_seconds ]
