@@ -177,9 +177,9 @@ let audit_cmd =
     let pkg =
       { pkg with Package.metadata = pkg.Package.metadata @ metadata_of_cfg cfg }
     in
-    let oc = open_out_bin out in
-    output_string oc (Package.to_bytes pkg);
-    close_out oc;
+    (* crash-safe: temp file + rename, so a failed audit never leaves a
+       torn package behind *)
+    Package.write_file pkg ~path:out;
     Printf.printf "audited %s under %s monitoring\n" vid
       (Package.kind_name pkg.Package.kind);
     Printf.printf "wrote %s (%s, %d files, %d tables, %d recorded statements)\n"
@@ -204,12 +204,27 @@ let audit_cmd =
 (* ------------------------------------------------------------------ *)
 (* exec                                                                *)
 
+(** Read a package file, tolerating corrupt content sections (each is
+    reported on stderr and skipped). Structural corruption is fatal:
+    print the typed diagnostic and exit 3. *)
 let read_package path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let data = really_input_string ic n in
   close_in ic;
-  Package.of_bytes data
+  match Package.of_bytes_result data with
+  | Ok { Package.r_pkg; r_skipped } ->
+    List.iter
+      (fun (c : Package.corruption) ->
+        Printf.eprintf "ldv: warning: skipping corrupt section %s (%s)\n%!"
+          c.Package.c_section
+          (Ldv_errors.to_string c.Package.c_error))
+      r_skipped;
+    r_pkg
+  | Error e ->
+    Printf.eprintf "ldv: %s is not a usable package: %s\n%!" path
+      (Ldv_errors.to_string e);
+    exit 3
 
 let exec_cmd =
   let run obs path =
@@ -357,6 +372,44 @@ let stats_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* faultcheck                                                          *)
+
+let faultcheck_cmd =
+  let campaigns_arg =
+    let doc = "Number of fault campaigns to run." in
+    Arg.(value & opt int 10 & info [ "campaigns"; "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Campaign seed. The same seed injects the same faults and prints the \
+       identical report."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run obs sf campaigns seed =
+    with_obs obs @@ fun () ->
+    let audit mode =
+      (* small workload: a campaign runs the loop 3x per index *)
+      let audit, _cfg =
+        run_audit ~sf ~vid:"Q1-1" ~mode ~n_insert:8 ~n_select:2 ~n_update:3
+      in
+      audit
+    in
+    let report = Faultcheck.run ~audit ~campaigns ~seed in
+    print_endline (Faultcheck.to_string report);
+    if report.Faultcheck.r_uncaught > 0 then exit 1
+  in
+  let term =
+    Term.(const run $ obs_arg $ sf_arg $ campaigns_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "faultcheck"
+       ~doc:
+         "Run seeded fault-injection campaigns over the full \
+          audit/package/replay loop and check that every failure is typed")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 
 let demo_cmd =
@@ -408,4 +461,5 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group info
-          [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd; demo_cmd ]))
+          [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd;
+            faultcheck_cmd; demo_cmd ]))

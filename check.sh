@@ -1,7 +1,9 @@
 #!/bin/sh
-# Full verification: build everything (lib/obs compiles with
-# -warn-error +a) and run the test suite.
+# Full verification: build everything (lib/obs and lib/faults compile
+# with -warn-error +a), run the test suite, then smoke-test the
+# fault-injection harness (must exit 0: no untyped exceptions).
 set -e
 cd "$(dirname "$0")"
 dune build @all
 dune runtest
+dune exec bin/ldv.exe -- faultcheck --campaigns 5 --seed 42

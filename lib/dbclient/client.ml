@@ -25,11 +25,27 @@ let connect (env : Minios.Program.env) ~db:db_name : conn =
   { session; pid = Minios.Program.pid env; db_name; open_ = true }
 
 let check conn =
-  if not conn.open_ then invalid_arg "Client: connection is closed"
+  if not conn.open_ then
+    Ldv_errors.fail
+      (Ldv_errors.Connection_closed { context = "Client: connection is closed" })
 
-(** Run a statement, returning the raw protocol response. *)
+(** Run a statement, returning the raw protocol response.
+
+    Transport failures (injected by an installed fault plan) surface
+    *before* the statement executes, so the bounded retry loop can safely
+    resend it; a failure that outlives every retry is reported as
+    [Retries_exhausted]. *)
 let send (conn : conn) (sql : string) : Protocol.response =
   check conn;
+  Ldv_faults.with_retries ~op:"client.send" @@ fun () ->
+  (match Ldv_faults.connection_fault () with
+  | Some `Drop ->
+    Ldv_errors.fail
+      (Ldv_errors.Connection_lost { context = "send: server closed the connection" })
+  | Some `Garble ->
+    Ldv_errors.fail
+      (Ldv_errors.Protocol_garbled { context = "send: truncated response frame" })
+  | None -> ());
   Interceptor.execute conn.session ~pid:conn.pid sql
 
 (** Run a SELECT and return its schema and rows.

@@ -13,7 +13,10 @@ type conn
     @raise Invalid_argument when no session is bound to the kernel. *)
 val connect : Minios.Program.env -> db:string -> conn
 
-(** Run a statement, returning the raw protocol response. *)
+(** Run a statement, returning the raw protocol response.
+    @raise Ldv_errors.Error with [Connection_closed] on a closed
+    connection, or [Retries_exhausted] when an injected transport fault
+    outlives the bounded retry loop. *)
 val send : conn -> string -> Protocol.response
 
 (** Run a SELECT; @raise Errors.Db_error on SQL errors. *)

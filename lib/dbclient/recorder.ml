@@ -28,12 +28,12 @@ let kind_tag = function
   | Rddl -> "D"
   | Rerror -> "E"
 
-let kind_of_tag = function
-  | "Q" -> Rquery
-  | "M" -> Rdml
-  | "D" -> Rddl
-  | "E" -> Rerror
-  | s -> invalid_arg (Printf.sprintf "Recorder: bad kind tag %S" s)
+let kind_of_tag_opt = function
+  | "Q" -> Some Rquery
+  | "M" -> Some Rdml
+  | "D" -> Some Rddl
+  | "E" -> Some Rerror
+  | _ -> None
 
 let ty_tag = function
   | Value.Tint -> "i"
@@ -136,7 +136,19 @@ let decode (data : string) : recorded list =
     | None -> ()
   in
   String.split_on_char '\n' data
-  |> List.iter (fun line ->
+  |> List.iteri (fun i line ->
+         let lineno = i + 1 in
+         let fail fmt =
+           Format.kasprintf
+             (fun what ->
+               Ldv_errors.fail (Ldv_errors.Decode_error { line = lineno; what }))
+             fmt
+         in
+         let int_field what s =
+           match int_of_string_opt s with
+           | Some v -> v
+           | None -> fail "bad %s %S" what s
+         in
          if String.length line = 0 then ()
          else
            match String.split_on_char '\t' line with
@@ -144,26 +156,35 @@ let decode (data : string) : recorded list =
              flush ();
              current :=
                Some
-                 { rec_index = int_of_string index;
-                   rec_kind = kind_of_tag kind;
-                   rec_affected = int_of_string affected;
+                 { rec_index = int_field "statement index" index;
+                   rec_kind =
+                     (match kind_of_tag_opt kind with
+                     | Some k -> k
+                     | None -> fail "bad kind tag %S" kind);
+                   rec_affected = int_field "affected count" affected;
                    rec_schema =
                      (if schema = "-" then None
-                      else Some (decode_schema (unescape schema)));
+                      else
+                        match decode_schema (unescape schema) with
+                        | s -> Some s
+                        | exception Invalid_argument what -> fail "%s" what);
                    (* the sql field may itself contain tabs *)
                    rec_sql_norm = unescape (String.concat "\t" sql);
                    rec_rows = [] }
            | "R" :: fields ->
              (match !current with
-             | None -> invalid_arg "Recorder.decode: row before statement"
+             | None -> fail "row before statement"
              | Some r ->
                let row =
-                 Array.of_list
-                   (List.map (fun f -> Csv.decode_value (unescape f)) fields)
+                 match
+                   List.map (fun f -> Csv.decode_value (unescape f)) fields
+                 with
+                 | values -> Array.of_list values
+                 | exception Errors.Db_error k -> fail "%s" (Errors.to_string k)
+                 | exception Failure what -> fail "bad row value: %s" what
                in
                current := Some { r with rec_rows = row :: r.rec_rows })
-           | _ ->
-             invalid_arg (Printf.sprintf "Recorder.decode: bad line %S" line));
+           | _ -> fail "unrecognized line %S" line);
   flush ();
   List.rev !records
 

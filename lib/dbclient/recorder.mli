@@ -28,7 +28,8 @@ val decode_schema : string -> Schema.t
 
 val encode : recorded list -> string
 
-(** @raise Invalid_argument on malformed input. *)
+(** @raise Ldv_errors.Error with [Decode_error] — carrying the 1-based
+    line number of the offending line — on malformed input. *)
 val decode : string -> recorded list
 
 val byte_size : recorded list -> int

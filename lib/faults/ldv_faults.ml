@@ -1,0 +1,259 @@
+(** Seeded, deterministic fault injection for the LDV pipeline.
+
+    A {!plan} is a process-wide description of which failures to inject and
+    how often, driven entirely by a splittable SplitMix64 PRNG (the same
+    generator behind [Tpch.Prng]): the same seed always injects the same
+    faults at the same decision points, so every failing campaign is
+    reproducible bit for bit.
+
+    Decision points are consulted from the instrumented layers:
+
+    - {!syscall_fault} from [Minios.Kernel]'s file syscalls
+      (EIO / ENOSPC / EINTR);
+    - {!connection_fault} from [Dbclient.Client]'s request path
+      (dropped connections, garbled response frames);
+    - {!corrupt_package} from the [ldv faultcheck] harness
+      (bit flips and truncation of serialized package bytes).
+
+    With no plan installed every decision point is a single [ref] read
+    returning [None], so production paths pay nothing.
+
+    The module also carries the recovery machinery the injections
+    exercise: {!with_retries}, a bounded deterministic retry loop for
+    transient errors (backoff is logical — recorded through [Ldv_obs]
+    rather than slept), and {!Crc32}, the checksum the package format uses
+    to detect corruption. *)
+
+(* ------------------------------------------------------------------ *)
+(* Splittable SplitMix64.                                              *)
+
+module Prng = struct
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = Int64.of_int seed }
+
+  let next_int64 t =
+    let open Int64 in
+    t.state <- add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  (** Derive an independent child stream; advancing the child never
+      perturbs the parent's sequence (or vice versa). *)
+  let split t = { state = next_int64 t }
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Ldv_faults.Prng.int: bound must be positive";
+    let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    v mod bound
+
+  let float t =
+    let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+    v /. 9007199254740992.0 (* 2^53 *)
+
+  let bool t = int t 2 = 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the package
+   format's per-section checksum.                                      *)
+
+module Crc32 = struct
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref (Int32.of_int n) in
+           for _ = 0 to 7 do
+             if Int32.logand !c 1l <> 0l then
+               c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else c := Int32.shift_right_logical !c 1
+           done;
+           !c))
+
+  let digest (s : string) : int32 =
+    let table = Lazy.force table in
+    let crc = ref 0xFFFFFFFFl in
+    String.iter
+      (fun ch ->
+        let idx =
+          Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+        in
+        crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+      s;
+    Int32.logxor !crc 0xFFFFFFFFl
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans.                                                        *)
+
+type counts = {
+  mutable n_eio : int;
+  mutable n_enospc : int;
+  mutable n_eintr : int;
+  mutable n_drop : int;
+  mutable n_garble : int;
+  mutable n_flip : int;
+  mutable n_truncate : int;
+}
+
+let zero_counts () =
+  { n_eio = 0; n_enospc = 0; n_eintr = 0; n_drop = 0; n_garble = 0;
+    n_flip = 0; n_truncate = 0 }
+
+type plan = {
+  seed : int;
+  p_syscall : float;  (** per-syscall fault probability *)
+  p_conn : float;  (** per-request connection fault probability *)
+  p_corrupt : float;  (** per-package corruption probability *)
+  sys_prng : Prng.t;
+  conn_prng : Prng.t;
+  pkg_prng : Prng.t;
+  counts : counts;
+}
+
+let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0) ~seed () : plan =
+  let root = Prng.create ~seed in
+  (* independent streams per injection site: decisions at one site never
+     shift another site's sequence *)
+  let sys_prng = Prng.split root in
+  let conn_prng = Prng.split root in
+  let pkg_prng = Prng.split root in
+  { seed; p_syscall; p_conn; p_corrupt; sys_prng; conn_prng; pkg_prng;
+    counts = zero_counts () }
+
+let seed (p : plan) = p.seed
+
+(** Injection tallies so far, as stable (name, count) pairs — the
+    deterministic core of a campaign report. *)
+let injected (p : plan) : (string * int) list =
+  [ ("eio", p.counts.n_eio); ("enospc", p.counts.n_enospc);
+    ("eintr", p.counts.n_eintr); ("drop", p.counts.n_drop);
+    ("garble", p.counts.n_garble); ("flip", p.counts.n_flip);
+    ("truncate", p.counts.n_truncate) ]
+
+let current : plan option ref = ref None
+
+let install p = current := Some p
+let clear () = current := None
+let enabled () = !current <> None
+let active () = !current
+
+(** Install [p] for the duration of [f]; always restores the previous
+    plan, even when [f] raises. *)
+let with_plan p f =
+  let previous = !current in
+  current := Some p;
+  Fun.protect ~finally:(fun () -> current := previous) f
+
+(* ------------------------------------------------------------------ *)
+(* Decision points.                                                    *)
+
+(** Should this syscall fail? EINTR is twice as likely as either
+    permanent fault, mirroring the real-world mix where most injected
+    noise is restartable. [op]/[path] only label the resulting error. *)
+let syscall_fault ~op:_ ~path:_ : Ldv_errors.io_fault option =
+  match !current with
+  | None -> None
+  | Some p ->
+    if p.p_syscall > 0.0 && Prng.float p.sys_prng < p.p_syscall then begin
+      let fault =
+        match Prng.int p.sys_prng 4 with
+        | 0 -> Ldv_errors.Eio
+        | 1 -> Ldv_errors.Enospc
+        | _ -> Ldv_errors.Eintr
+      in
+      (match fault with
+      | Ldv_errors.Eio -> p.counts.n_eio <- p.counts.n_eio + 1
+      | Ldv_errors.Enospc -> p.counts.n_enospc <- p.counts.n_enospc + 1
+      | Ldv_errors.Eintr -> p.counts.n_eintr <- p.counts.n_eintr + 1
+      | Ldv_errors.Enoent -> ());
+      Ldv_obs.counter ("faults.inject." ^ String.lowercase_ascii (Ldv_errors.io_fault_name fault));
+      Some fault
+    end
+    else None
+
+(** Should this client request fail before reaching the server? A lost
+    connection and a garbled response frame are equally likely; both are
+    injected *before* execution, so retrying the request is always safe. *)
+let connection_fault () : [ `Drop | `Garble ] option =
+  match !current with
+  | None -> None
+  | Some p ->
+    if p.p_conn > 0.0 && Prng.float p.conn_prng < p.p_conn then
+      if Prng.bool p.conn_prng then begin
+        p.counts.n_drop <- p.counts.n_drop + 1;
+        Ldv_obs.counter "faults.inject.drop";
+        Some `Drop
+      end
+      else begin
+        p.counts.n_garble <- p.counts.n_garble + 1;
+        Ldv_obs.counter "faults.inject.garble";
+        Some `Garble
+      end
+    else None
+
+(** Maybe corrupt serialized package bytes: a single bit flip at a random
+    offset, or truncation at a random cut point. Returns the corrupted
+    bytes and a description, or [None] for "left intact". *)
+let corrupt_package (data : string) : (string * string) option =
+  match !current with
+  | None -> None
+  | Some p ->
+    if
+      String.length data > 0
+      && p.p_corrupt > 0.0
+      && Prng.float p.pkg_prng < p.p_corrupt
+    then
+      if Prng.bool p.pkg_prng then begin
+        let off = Prng.int p.pkg_prng (String.length data) in
+        let bit = Prng.int p.pkg_prng 8 in
+        let b = Bytes.of_string data in
+        Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+        p.counts.n_flip <- p.counts.n_flip + 1;
+        Ldv_obs.counter "faults.inject.flip";
+        Some (Bytes.to_string b, Printf.sprintf "bit %d flipped at byte %d" bit off)
+      end
+      else begin
+        let keep = Prng.int p.pkg_prng (String.length data) in
+        p.counts.n_truncate <- p.counts.n_truncate + 1;
+        Ldv_obs.counter "faults.inject.truncate";
+        Some
+          ( String.sub data 0 keep,
+            Printf.sprintf "truncated to %d of %d bytes" keep (String.length data) )
+      end
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: bounded deterministic retry.                              *)
+
+let default_attempts = 4
+
+(** Logical exponential backoff for the [n]-th retry, in milliseconds.
+    Nothing sleeps: the simulated pipeline has no wall-clock to wait on,
+    so the backoff is recorded through [Ldv_obs] instead. *)
+let backoff_ms n = ldexp 1.0 n
+
+(** Run [f], retrying transient {!Ldv_errors} failures (lost connections,
+    garbled frames, EINTR) up to [attempts] times in total. Permanent
+    errors propagate immediately; a transient error that survives every
+    attempt is wrapped in [Retries_exhausted]. *)
+let with_retries ?(attempts = default_attempts) ~op f =
+  let rec go n =
+    match f () with
+    | v -> v
+    | exception Ldv_errors.Error e when Ldv_errors.is_transient e ->
+      if n + 1 >= attempts then
+        Ldv_errors.fail
+          (Ldv_errors.Retries_exhausted { op; attempts = n + 1; last = e })
+      else begin
+        if Ldv_obs.enabled () then begin
+          Ldv_obs.counter "faults.retry";
+          Ldv_obs.counter ("faults.retry." ^ Ldv_errors.tag e);
+          Ldv_obs.observe "faults.backoff_ms" (backoff_ms n)
+        end;
+        go (n + 1)
+      end
+  in
+  go 0

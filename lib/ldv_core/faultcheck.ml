@@ -1,0 +1,219 @@
+(** Seeded fault-injection campaigns over the whole pipeline.
+
+    One campaign = one fault profile driven through the full
+    audit -> package -> (corrupt?) -> parse -> replay -> verify loop for
+    every package kind. The invariant the harness enforces is the
+    robustness contract of the error layer: under any injected fault mix
+    a run either completes (possibly degraded) or fails with a *typed*,
+    seed-reproducible diagnostic — never an uncaught exception.
+
+    The engine is parameterized over the audit step so the CLI can drive
+    the TPC-H workload and the tests can drive fixtures, without this
+    library depending on either. Reports are built only from plan
+    tallies and outcomes (no wall-clock, no hash order), so the same
+    seed always prints the identical report. *)
+
+type outcome =
+  | Verified  (** replay completed and verified divergence-free *)
+  | Degraded of { skipped : int; divergences : int }
+      (** corrupt content sections were dropped; replay still completed *)
+  | Diverged of { count : int; first : string }
+      (** replay completed but verification found divergences *)
+  | Failed of Ldv_errors.t  (** typed failure — the expected way to fail *)
+  | Db_failed of string  (** the simulated DB refused a statement *)
+  | Uncaught of string  (** contract violation: untyped exception *)
+
+type run = {
+  campaign : int;
+  kind : Audit.packaging;
+  profile : string;
+  outcome : outcome;
+}
+
+type report = {
+  r_seed : int;
+  r_campaigns : int;
+  r_runs : run list;  (** campaign-major, then kind order *)
+  r_injected : (string * int) list;  (** aggregate fault tallies *)
+  r_uncaught : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fault profiles, rotated across campaigns.                           *)
+
+type profile = {
+  pr_name : string;
+  pr_syscall : float;
+  pr_conn : float;
+  pr_corrupt : float;
+}
+
+let profiles =
+  [| { pr_name = "control"; pr_syscall = 0.0; pr_conn = 0.0; pr_corrupt = 0.0 };
+     { pr_name = "syscalls"; pr_syscall = 0.05; pr_conn = 0.0; pr_corrupt = 0.0 };
+     { pr_name = "transport"; pr_syscall = 0.0; pr_conn = 0.3; pr_corrupt = 0.0 };
+     { pr_name = "corrupt"; pr_syscall = 0.0; pr_conn = 0.0; pr_corrupt = 1.0 };
+     { pr_name = "mixed"; pr_syscall = 0.02; pr_conn = 0.15; pr_corrupt = 0.5 }
+  |]
+
+let kinds = [ Audit.Included; Audit.Excluded; Audit.Ptu_baseline ]
+
+let kind_name = function
+  | Audit.Included -> "server-included"
+  | Audit.Excluded -> "server-excluded"
+  | Audit.Ptu_baseline -> "ptu"
+
+let outcome_label = function
+  | Verified -> "verified"
+  | Degraded _ -> "degraded"
+  | Diverged _ -> "diverged"
+  | Failed _ -> "typed-failure"
+  | Db_failed _ -> "db-error"
+  | Uncaught _ -> "uncaught"
+
+let outcome_detail = function
+  | Verified -> "replay verified"
+  | Degraded { skipped; divergences } ->
+    Printf.sprintf "%d section(s) skipped, %d divergence(s)" skipped divergences
+  | Diverged { count; first } ->
+    Printf.sprintf "%d divergence(s): %s" count first
+  | Failed e -> Ldv_errors.to_string e
+  | Db_failed msg -> msg
+  | Uncaught msg -> "UNCAUGHT " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* One run: the full loop under an installed plan.                     *)
+
+let build_package (audit : Audit.t) : Package.t =
+  match audit.Audit.packaging with
+  | Audit.Ptu_baseline -> Ptu.build audit
+  | Audit.Included | Audit.Excluded -> Package.build audit
+
+let run_loop ~(audit : Audit.packaging -> Audit.t) (kind : Audit.packaging) :
+    outcome =
+  let a = audit kind in
+  let pkg = build_package a in
+  let bytes = Package.to_bytes pkg in
+  let bytes =
+    match Ldv_faults.corrupt_package bytes with
+    | Some (corrupted, _what) -> corrupted
+    | None -> bytes
+  in
+  match Package.of_bytes_result bytes with
+  | Error e -> Failed e
+  | Ok { Package.r_pkg; r_skipped } -> (
+    let result = Replay.execute r_pkg in
+    let problems = Replay.verify ~audit:a result in
+    match (r_skipped, problems) with
+    | [], [] -> Verified
+    | _ :: _, _ ->
+      Degraded
+        { skipped = List.length r_skipped;
+          divergences = List.length problems }
+    | [], first :: _ -> Diverged { count = List.length problems; first })
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns.                                                          *)
+
+let add_tallies acc tallies =
+  List.map2
+    (fun (name, total) (name', n) ->
+      assert (String.equal name name');
+      (name, total + n))
+    acc tallies
+
+let run ~(audit : Audit.packaging -> Audit.t) ~campaigns ~seed : report =
+  Ldv_obs.with_span
+    ~attrs:[ ("campaigns", string_of_int campaigns);
+             ("seed", string_of_int seed) ]
+    "faultcheck"
+  @@ fun () ->
+  let root = Ldv_faults.Prng.create ~seed in
+  let injected =
+    ref (List.map (fun (n, _) -> (n, 0)) (Ldv_faults.injected (Ldv_faults.make ~seed:0 ())))
+  in
+  let runs = ref [] in
+  for campaign = 0 to campaigns - 1 do
+    let pr = profiles.(campaign mod Array.length profiles) in
+    List.iter
+      (fun kind ->
+        (* independent, reproducible seed per (campaign, kind) *)
+        let run_seed =
+          Int64.to_int (Ldv_faults.Prng.next_int64 root) land max_int
+        in
+        let plan =
+          Ldv_faults.make ~p_syscall:pr.pr_syscall ~p_conn:pr.pr_conn
+            ~p_corrupt:pr.pr_corrupt ~seed:run_seed ()
+        in
+        let outcome =
+          Ldv_obs.with_span
+            ~attrs:
+              [ ("campaign", string_of_int campaign);
+                ("kind", kind_name kind); ("profile", pr.pr_name) ]
+            "faultcheck.run"
+          @@ fun () ->
+          Ldv_faults.with_plan plan @@ fun () ->
+          match run_loop ~audit kind with
+          | outcome -> outcome
+          | exception Ldv_errors.Error e -> Failed e
+          | exception Minidb.Errors.Db_error k ->
+            Db_failed (Minidb.Errors.to_string k)
+          | exception Dbclient.Interceptor.Replay_divergence msg ->
+            Diverged { count = 1; first = msg }
+          | exception e -> Uncaught (Printexc.to_string e)
+        in
+        Ldv_obs.counter ("faultcheck.outcome." ^ outcome_label outcome);
+        injected := add_tallies !injected (Ldv_faults.injected plan);
+        runs := { campaign; kind; profile = pr.pr_name; outcome } :: !runs)
+      kinds
+  done;
+  let runs = List.rev !runs in
+  { r_seed = seed;
+    r_campaigns = campaigns;
+    r_runs = runs;
+    r_injected = !injected;
+    r_uncaught =
+      List.length
+        (List.filter (fun r -> match r.outcome with Uncaught _ -> true | _ -> false) runs)
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic report rendering.                                     *)
+
+let outcome_order =
+  [ "verified"; "degraded"; "diverged"; "typed-failure"; "db-error";
+    "uncaught" ]
+
+let pp ppf (r : report) =
+  Format.fprintf ppf "faultcheck: %d campaigns x %d kinds, seed %d@,"
+    r.r_campaigns (List.length kinds) r.r_seed;
+  List.iter
+    (fun run ->
+      Format.fprintf ppf "  c%03d %-15s %-9s %-13s %s@," run.campaign
+        (kind_name run.kind) run.profile
+        (outcome_label run.outcome)
+        (outcome_detail run.outcome))
+    r.r_runs;
+  Format.fprintf ppf "outcomes:@,";
+  List.iter
+    (fun label ->
+      let n =
+        List.length
+          (List.filter
+             (fun run -> String.equal (outcome_label run.outcome) label)
+             r.r_runs)
+      in
+      if n > 0 then Format.fprintf ppf "  %-13s %d@," label n)
+    outcome_order;
+  Format.fprintf ppf "injected faults:@,";
+  List.iter
+    (fun (name, n) ->
+      if n > 0 then Format.fprintf ppf "  %-13s %d@," name n)
+    r.r_injected;
+  if List.for_all (fun (_, n) -> n = 0) r.r_injected then
+    Format.fprintf ppf "  (none)@,";
+  Format.fprintf ppf "uncaught exceptions: %d%s" r.r_uncaught
+    (if r.r_uncaught = 0 then " (robustness contract holds)" else "")
+
+let to_string (r : report) : string =
+  Format.asprintf "@[<v>%a@]" pp r

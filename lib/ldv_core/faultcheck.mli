@@ -1,0 +1,47 @@
+(** Seeded fault-injection campaigns over the whole
+    audit -> package -> replay loop (the [ldv faultcheck] engine).
+
+    Contract checked: under any injected fault mix, every run either
+    completes (possibly degraded) or fails with a typed
+    [Ldv_errors.Error] — never an uncaught exception. Reports are fully
+    deterministic for a given seed. *)
+
+type outcome =
+  | Verified  (** replay completed and verified divergence-free *)
+  | Degraded of { skipped : int; divergences : int }
+      (** corrupt content sections were dropped; replay still completed *)
+  | Diverged of { count : int; first : string }
+      (** replay completed but verification found divergences *)
+  | Failed of Ldv_errors.t  (** typed failure — the expected way to fail *)
+  | Db_failed of string  (** the simulated DB refused a statement *)
+  | Uncaught of string  (** contract violation: untyped exception *)
+
+type run = {
+  campaign : int;
+  kind : Audit.packaging;
+  profile : string;  (** fault-profile name (control/syscalls/...) *)
+  outcome : outcome;
+}
+
+type report = {
+  r_seed : int;
+  r_campaigns : int;
+  r_runs : run list;  (** campaign-major, then kind order *)
+  r_injected : (string * int) list;  (** aggregate fault tallies *)
+  r_uncaught : int;  (** number of contract violations (want 0) *)
+}
+
+val kind_name : Audit.packaging -> string
+val outcome_label : outcome -> string
+
+(** Run [campaigns] campaigns; each drives all three package kinds
+    through the loop under a fault profile rotated by campaign index,
+    with per-(campaign, kind) seeds derived from [seed]. [audit] runs
+    the workload under the given packaging mode (a fault plan is
+    installed around the whole loop, so injections fire during the audit
+    as well as the replay). *)
+val run :
+  audit:(Audit.packaging -> Audit.t) -> campaigns:int -> seed:int -> report
+
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string

@@ -183,7 +183,18 @@ let build (audit : Audit.t) : t =
 
 (* ------------------------------------------------------------------ *)
 (* Whole-package serialization (for writing packages to a real file and
-   round-tripping them through the CLI).                                *)
+   round-tripping them through the CLI).
+
+   Wire format, one section per package component:
+
+     @<name> <payload-length> <crc32-hex>\n<payload>\n
+
+   The CRC32 covers the payload only; headers without a checksum (the
+   pre-checksum format) still parse but their sections go unverified. On
+   restore, a checksum mismatch in a *content* section (file:, opaque:,
+   output:, schema:, csv:) skips just that section and reports it; a
+   mismatch in a structural section (kind, app, binary, meta:, recording,
+   trace) makes the whole package unreadable.                           *)
 
 let b64 = Fun.id (* entries may contain arbitrary bytes; keep raw with length prefixes *)
 
@@ -197,7 +208,8 @@ let to_bytes (t : t) : string =
   let buf = Buffer.create 65536 in
   let section name payload =
     Buffer.add_string buf
-      (Printf.sprintf "@%s %d\n" name (String.length payload));
+      (Printf.sprintf "@%s %d %08lx\n" name (String.length payload)
+         (Ldv_faults.Crc32.digest payload));
     Buffer.add_string buf payload;
     Buffer.add_char buf '\n'
   in
@@ -220,78 +232,270 @@ let to_bytes (t : t) : string =
   section "trace" t.trace_data;
   Buffer.contents buf
 
-let of_bytes (data : string) : t =
-  Ldv_obs.with_span "package.parse" @@ fun () ->
-  let pos = ref 0 in
+type corruption = { c_section : string; c_error : Ldv_errors.t }
+
+type restored = {
+  r_pkg : t;
+  r_skipped : corruption list;
+      (** content sections dropped because their checksum did not match;
+          in section order *)
+}
+
+let has_prefix prefix name =
+  let pl = String.length prefix in
+  String.length name > pl && String.sub name 0 pl = prefix
+
+(* Content sections describe individual shippable artifacts; losing one
+   degrades the package (skip + report). Everything else is structural:
+   without it the package cannot be interpreted at all. *)
+let content_prefixes = [ "file:"; "opaque:"; "output:"; "schema:"; "csv:" ]
+
+let skippable name = List.exists (fun p -> has_prefix p name) content_prefixes
+
+let known_section name =
+  skippable name || has_prefix "meta:" name
+  || List.mem name [ "kind"; "app"; "binary"; "recording"; "trace" ]
+
+let is_hex8 s =
+  String.length s = 8
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
+
+(* "name len crc" (current format) or "name len" (pre-checksum format,
+   accepted unverified). *)
+let parse_header header ~offset :
+    (string * int * int32 option, Ldv_errors.t) result =
+  let malformed what = Error (Ldv_errors.Package_malformed { what; offset }) in
+  match String.rindex_opt header ' ' with
+  | None -> malformed "section header has no length field"
+  | Some i ->
+    let last = String.sub header (i + 1) (String.length header - i - 1) in
+    let legacy () =
+      match int_of_string_opt last with
+      | Some len when len >= 0 -> Ok (String.sub header 0 i, len, None)
+      | Some _ | None ->
+        malformed (Printf.sprintf "bad section length %S" last)
+    in
+    if is_hex8 last then
+      (* the last token reads as a checksum; the one before it must then
+         be the length, otherwise fall back to the pre-checksum format *)
+      match String.rindex_from_opt header (max 0 (i - 1)) ' ' with
+      | Some j ->
+        (match int_of_string_opt (String.sub header (j + 1) (i - j - 1)) with
+        | Some len when len >= 0 ->
+          Ok
+            ( String.sub header 0 j,
+              len,
+              Some (Int32.of_string ("0x" ^ last)) )
+        | Some _ | None -> legacy ())
+      | None -> legacy ()
+    else legacy ()
+
+(* Split package bytes into checksum-verified (name, payload) sections.
+   Structural damage (bad framing, truncation, corrupt structural
+   sections) aborts with a typed error; corrupt or unknown content
+   sections are dropped and reported. *)
+let parse_sections (data : string) :
+    ((string * string) list * corruption list, Ldv_errors.t) result =
   let n = String.length data in
   let sections = ref [] in
-  while !pos < n do
-    if data.[!pos] <> '@' then
-      invalid_arg "Package.of_bytes: expected section header";
-    let nl = String.index_from data !pos '\n' in
-    let header = String.sub data (!pos + 1) (nl - !pos - 1) in
-    let name, len =
-      match String.rindex_opt header ' ' with
-      | None -> invalid_arg "Package.of_bytes: malformed header"
-      | Some i ->
-        ( String.sub header 0 i,
-          int_of_string (String.sub header (i + 1) (String.length header - i - 1))
-        )
-    in
-    let payload = String.sub data (nl + 1) len in
-    sections := (name, payload) :: !sections;
-    pos := nl + 1 + len + 1
+  let skipped = ref [] in
+  let err = ref None in
+  let pos = ref 0 in
+  let abort e = err := Some e in
+  while !err = None && !pos < n do
+    let offset = !pos in
+    if data.[offset] <> '@' then
+      abort
+        (Ldv_errors.Package_malformed
+           { what = "expected a section header"; offset })
+    else
+      match String.index_from_opt data offset '\n' with
+      | None ->
+        abort
+          (Ldv_errors.Package_malformed
+             { what = "truncated section header"; offset })
+      | Some nl -> (
+        let header = String.sub data (offset + 1) (nl - offset - 1) in
+        match parse_header header ~offset with
+        | Error e -> abort e
+        | Ok (name, len, crc) ->
+          if nl + 1 + len >= n then
+            abort
+              (Ldv_errors.Package_malformed
+                 { what =
+                     Printf.sprintf "truncated payload for section %s" name;
+                   offset })
+          else if data.[nl + 1 + len] <> '\n' then
+            abort
+              (Ldv_errors.Package_malformed
+                 { what =
+                     Printf.sprintf "bad payload framing for section %s" name;
+                   offset })
+          else begin
+            let payload = String.sub data (nl + 1) len in
+            (match crc with
+            | Some expected
+              when Ldv_faults.Crc32.digest payload <> expected ->
+              let error =
+                Ldv_errors.Package_corrupt
+                  { section = name;
+                    expected;
+                    actual = Ldv_faults.Crc32.digest payload }
+              in
+              if skippable name then
+                skipped := { c_section = name; c_error = error } :: !skipped
+              else abort error
+            | Some _ | None ->
+              if known_section name then
+                sections := (name, payload) :: !sections
+              else
+                (* a flipped header byte turns a known section into an
+                   unknown one; report rather than silently drop *)
+                skipped :=
+                  { c_section = name;
+                    c_error =
+                      Ldv_errors.Package_malformed
+                        { what = Printf.sprintf "unknown section %s" name;
+                          offset } }
+                  :: !skipped);
+            pos := nl + 1 + len + 1
+          end)
   done;
-  let sections = List.rev !sections in
-  let get name =
-    match List.assoc_opt name sections with
-    | Some v -> v
-    | None -> invalid_arg (Printf.sprintf "Package.of_bytes: missing %s" name)
-  in
-  let with_prefix prefix =
-    List.filter_map
-      (fun (name, payload) ->
-        let pl = String.length prefix in
-        if String.length name > pl && String.sub name 0 pl = prefix then
-          Some (String.sub name pl (String.length name - pl), payload)
-        else None)
-      sections
-  in
-  let kind =
-    match get "kind" with
-    | "server-included" -> Server_included
-    | "server-excluded" -> Server_excluded
-    | "ptu" -> Ptu_full
-    | k -> invalid_arg (Printf.sprintf "Package.of_bytes: bad kind %S" k)
-  in
-  let entries =
-    List.map
-      (fun (path, payload) ->
-        { e_path = path;
-          e_size = String.length payload;
-          e_content = Some (Minios.Vfs.Data payload) })
-      (with_prefix "file:")
-    @ List.map
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (List.rev !sections, List.rev !skipped)
+
+(** Parse package bytes, tolerating corrupt *content* sections: each one
+    is skipped and reported in [r_skipped] so the caller can degrade
+    gracefully (a lost CSV table or file snapshot weakens a replay; it
+    should not crash it). Structural damage returns [Error]. *)
+let of_bytes_result (data : string) : (restored, Ldv_errors.t) result =
+  Ldv_obs.with_span "package.parse" @@ fun () ->
+  match parse_sections data with
+  | Error e -> Error e
+  | exception Ldv_errors.Error e -> Error e
+  | Ok (sections, skipped) -> (
+    let skipped = ref skipped in
+    let missing name =
+      Ldv_errors.Package_malformed
+        { what = Printf.sprintf "missing section %s" name; offset = -1 }
+    in
+    let get name =
+      match List.assoc_opt name sections with
+      | Some v -> Ok v
+      | None -> Error (missing name)
+    in
+    let with_prefix prefix =
+      List.filter_map
+        (fun (name, payload) ->
+          if has_prefix prefix name then
+            let pl = String.length prefix in
+            Some (String.sub name pl (String.length name - pl), payload)
+          else None)
+        sections
+    in
+    let ( let* ) = Result.bind in
+    let* kind =
+      match get "kind" with
+      | Error _ as e -> e
+      | Ok "server-included" -> Ok Server_included
+      | Ok "server-excluded" -> Ok Server_excluded
+      | Ok "ptu" -> Ok Ptu_full
+      | Ok k ->
+        Error
+          (Ldv_errors.Package_malformed
+             { what = Printf.sprintf "bad kind %S" k; offset = -1 })
+    in
+    let* app_name = get "app" in
+    let* app_binary = get "binary" in
+    let* trace_data = get "trace" in
+    let* recording =
+      match List.assoc_opt "recording" sections with
+      | None -> Ok []
+      | Some r -> (
+        match Dbclient.Recorder.decode r with
+        | records -> Ok records
+        | exception Ldv_errors.Error e -> Error e)
+    in
+    let entries =
+      List.map
         (fun (path, payload) ->
-          let size = int_of_string payload in
-          { e_path = path; e_size = size; e_content = Some (Minios.Vfs.Opaque size) })
-        (with_prefix "opaque:")
-    @ List.map
-        (fun (path, _) -> { e_path = path; e_size = 0; e_content = None })
-        (with_prefix "output:")
+          { e_path = path;
+            e_size = String.length payload;
+            e_content = Some (Minios.Vfs.Data payload) })
+        (with_prefix "file:")
+      @ List.filter_map
+          (fun (path, payload) ->
+            match int_of_string_opt payload with
+            | Some size ->
+              Some
+                { e_path = path;
+                  e_size = size;
+                  e_content = Some (Minios.Vfs.Opaque size) }
+            | None ->
+              (* verified payload that still fails to parse: report it
+                 like any other lost content section *)
+              skipped :=
+                !skipped
+                @ [ { c_section = "opaque:" ^ path;
+                      c_error =
+                        Ldv_errors.Package_malformed
+                          { what =
+                              Printf.sprintf "bad opaque size %S for %s"
+                                payload path;
+                            offset = -1 } } ];
+              None)
+          (with_prefix "opaque:")
+      @ List.map
+          (fun (path, _) -> { e_path = path; e_size = 0; e_content = None })
+          (with_prefix "output:")
+    in
+    Ok
+      { r_pkg =
+          { kind;
+            app_name;
+            app_binary;
+            entries;
+            db_subset = with_prefix "csv:";
+            db_schemas = with_prefix "schema:";
+            recording;
+            trace_data;
+            metadata = with_prefix "meta:" };
+        r_skipped = !skipped })
+
+(** Strict variant: any corruption at all — structural or content — is an
+    error. *)
+let of_bytes (data : string) : t =
+  match of_bytes_result data with
+  | Ok { r_pkg; r_skipped = [] } -> r_pkg
+  | Ok { r_skipped = c :: _; _ } -> raise (Ldv_errors.Error c.c_error)
+  | Error e -> raise (Ldv_errors.Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe package files: serialize to a temp file, then rename. A
+   failure mid-write (injected or real) leaves the destination either
+   absent or holding the previous complete package — never a torn one. *)
+
+let write_file (t : t) ~(path : string) : unit =
+  Ldv_obs.with_span ~attrs:[ ("path", path) ] "package.write" @@ fun () ->
+  let data = to_bytes t in
+  let tmp = path ^ ".tmp" in
+  let attempt () =
+    (match Ldv_faults.syscall_fault ~op:"pkg.write" ~path with
+    | None -> ()
+    | Some fault -> Ldv_errors.fail (Ldv_errors.Io_fault { op = "pkg.write"; path; fault }));
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc data);
+    Sys.rename tmp path
   in
-  { kind;
-    app_name = get "app";
-    app_binary = get "binary";
-    entries;
-    db_subset = with_prefix "csv:";
-    db_schemas = with_prefix "schema:";
-    recording =
-      (match List.assoc_opt "recording" sections with
-      | Some r -> Dbclient.Recorder.decode r
-      | None -> []);
-    trace_data = get "trace";
-    metadata = with_prefix "meta:" }
+  try Ldv_faults.with_retries ~op:"package.write" attempt
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 (** The execution trace embedded in the package. *)
 let trace (t : t) : Prov.Trace.t =

@@ -71,8 +71,32 @@ val build : Audit.t -> t
 
 val to_bytes : t -> string
 
-(** @raise Invalid_argument on malformed input. *)
+(** A content section dropped during parsing because it failed its
+    checksum (or was otherwise unusable). *)
+type corruption = { c_section : string; c_error : Ldv_errors.t }
+
+type restored = {
+  r_pkg : t;
+  r_skipped : corruption list;  (** dropped content sections, in order *)
+}
+
+(** Parse package bytes, tolerating corrupt {e content} sections (files,
+    CSV tables, schemas, outputs): each is skipped and reported in
+    [r_skipped] so the caller can degrade gracefully. Structural damage
+    (bad framing, truncation, corrupt kind/app/binary/trace/recording)
+    returns [Error]. Never raises. *)
+val of_bytes_result : string -> (restored, Ldv_errors.t) result
+
+(** Strict parse: any corruption at all is an error.
+    @raise Ldv_errors.Error on malformed or corrupt input. *)
 val of_bytes : string -> t
+
+(** Crash-safe package write: serialize, write to [path ^ ".tmp"], then
+    atomically rename over [path]. Injected I/O faults are retried
+    (bounded); on failure the destination is untouched and the temp file
+    removed.
+    @raise Ldv_errors.Error with [Io_fault] or [Retries_exhausted]. *)
+val write_file : t -> path:string -> unit
 
 (** The execution trace embedded in the package. *)
 val trace : t -> Prov.Trace.t

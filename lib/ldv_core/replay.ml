@@ -51,13 +51,17 @@ let prepare (pkg : Package.t) : prepared =
           pkg.Package.db_schemas;
         List.iter
           (fun (table, csv) ->
-            let tbl = Catalog.find (Database.catalog db) table in
-            List.iter
-              (fun (rid, version, values) ->
-                ignore (Table.restore_version tbl ~rid ~version values);
-                Ldv_obs.counter "replay.restored_tuples";
-                Database.sync_clock db ~at:version)
-              (Csv.decode_versions csv))
+            (* a table can be absent when its schema section was dropped
+               during a partial restore; skip it rather than crash *)
+            match Catalog.find_opt (Database.catalog db) table with
+            | None -> Ldv_obs.counter "replay.skipped_tables"
+            | Some tbl ->
+              List.iter
+                (fun (rid, version, values) ->
+                  ignore (Table.restore_version tbl ~rid ~version values);
+                  Ldv_obs.counter "replay.restored_tuples";
+                  Database.sync_clock db ~at:version)
+                (Csv.decode_versions csv))
           pkg.Package.db_subset
       | Package.Ptu_full ->
         (* bulk-load the server's own data files from the package *)
@@ -136,7 +140,9 @@ let execute ?program (pkg : Package.t) : run_result =
 
 (** Verify repeatability of a replay against the original audited run:
     every output file byte-identical, every query's result fingerprint
-    equal. Returns the list of divergences (empty = repeatable). *)
+    equal. Returns the list of divergences (empty = repeatable), in a
+    stable order: file problems sorted by path, then query problems
+    sorted by qid. *)
 let verify ~(audit : Audit.t) (r : run_result) : string list =
   Ldv_obs.with_span "replay.verify" @@ fun () ->
   let problems = ref [] in
@@ -149,16 +155,20 @@ let verify ~(audit : Audit.t) (r : run_result) : string list =
         if not (String.equal original replayed) then
           push "output file %s differs (%d vs %d bytes)" path
             (String.length original) (String.length replayed))
-    audit.Audit.out_files;
-  let original_fps = audit.Audit.query_fingerprints in
-  if List.length original_fps <> List.length r.query_fingerprints then
+    (List.sort
+       (fun (a, _) (b, _) -> String.compare a b)
+       audit.Audit.out_files);
+  let by_qid = List.sort (fun (a, _) (b, _) -> compare (a : int) b) in
+  let original_fps = by_qid audit.Audit.query_fingerprints in
+  let replayed_fps = by_qid r.query_fingerprints in
+  if List.length original_fps <> List.length replayed_fps then
     push "query count differs: %d audited vs %d replayed"
       (List.length original_fps)
-      (List.length r.query_fingerprints)
+      (List.length replayed_fps)
   else
     List.iter2
       (fun (qid_a, fp_a) (qid_r, fp_r) ->
         if not (String.equal fp_a fp_r) then
           push "query %d/%d returned different results" qid_a qid_r)
-      original_fps r.query_fingerprints;
+      original_fps replayed_fps;
   List.rev !problems

@@ -53,6 +53,28 @@ let set_tracer t hook = t.trace_hook <- hook
 
 module Obs = Ldv_obs
 
+(* Fault gate: consult the installed fault plan (if any) before a file
+   syscall touches state. EINTR is restarted in place — the syscall-restart
+   semantics of SA_RESTART — while EIO/ENOSPC surface as typed errors. The
+   restart loop is capped so a pathological plan (p = 1.0) still
+   terminates, degrading the fault to EIO. *)
+let max_eintr_restarts = 16
+
+let fault_gate ~op ~path =
+  if Ldv_faults.enabled () then begin
+    let rec go restarts =
+      match Ldv_faults.syscall_fault ~op ~path with
+      | None -> ()
+      | Some Ldv_errors.Eintr when restarts < max_eintr_restarts ->
+        Obs.counter "os.syscall.restart";
+        go (restarts + 1)
+      | Some Ldv_errors.Eintr ->
+        Ldv_errors.fail (Ldv_errors.Io_fault { op; path; fault = Ldv_errors.Eio })
+      | Some fault -> Ldv_errors.fail (Ldv_errors.Io_fault { op; path; fault })
+    in
+    go 0
+  end
+
 let emit t event =
   match t.trace_hook with None -> () | Some hook -> hook event
 
@@ -116,10 +138,12 @@ let exit_process t pid =
 let open_file t ~pid ~path ~mode : fd =
   let p = find_process t pid in
   if not p.alive then invalid_arg "Kernel.open_file: dead process";
+  fault_gate ~op:"open" ~path;
   (match mode with
   | Syscall.Read ->
     if not (Vfs.exists t.vfs path) then
-      invalid_arg (Printf.sprintf "Kernel.open_file: no such file %s" path)
+      Ldv_errors.fail
+        (Ldv_errors.Io_fault { op = "open"; path; fault = Ldv_errors.Enoent })
   | Syscall.Write ->
     (* open for write truncates/creates *)
     Vfs.write_string t.vfs ~path ~mtime:t.clock "");
@@ -140,6 +164,7 @@ let read_fd t ~pid ~fd : string =
   let p = find_process t pid in
   let e = fd_entry p fd in
   if e.mode <> Syscall.Read then invalid_arg "Kernel.read_fd: fd open for write";
+  fault_gate ~op:"read" ~path:e.path;
   Obs.counter "os.syscall.read";
   ignore (tick t);
   Vfs.read t.vfs e.path
@@ -148,6 +173,7 @@ let write_fd t ~pid ~fd (data : string) =
   let p = find_process t pid in
   let e = fd_entry p fd in
   if e.mode <> Syscall.Write then invalid_arg "Kernel.write_fd: fd open for read";
+  fault_gate ~op:"write" ~path:e.path;
   Obs.counter "os.syscall.write";
   if Obs.enabled () then Obs.counter ~by:(String.length data) "os.bytes_written";
   let time = tick t in
@@ -156,6 +182,7 @@ let write_fd t ~pid ~fd (data : string) =
 let close_fd t ~pid ~fd =
   let p = find_process t pid in
   let e = fd_entry p fd in
+  fault_gate ~op:"close" ~path:e.path;
   p.fds <- List.remove_assoc fd p.fds;
   Obs.counter "os.syscall.close";
   let time = tick t in

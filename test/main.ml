@@ -38,6 +38,7 @@ let () =
       ("replay", Test_replay.suite);
       ("gprom", Test_gprom.suite);
       ("obs", Test_obs.suite);
+      ("faults", Test_faults.suite);
       ("report", Test_report.suite);
       ("partial-diff", Test_partial_diff.suite);
       ("end-to-end", Test_e2e.suite) ]

@@ -112,16 +112,16 @@ let test_trace_deserialize_malformed () =
      with Invalid_argument _ -> true)
 
 let test_package_of_bytes_malformed () =
-  Alcotest.(check bool) "garbage rejected" true
+  Alcotest.(check bool) "garbage rejected with a typed error" true
     (try
        ignore (Ldv_core.Package.of_bytes "not a package");
        false
-     with Invalid_argument _ -> true);
-  Alcotest.(check bool) "missing sections rejected" true
+     with Ldv_errors.Error (Ldv_errors.Package_malformed _) -> true);
+  Alcotest.(check bool) "missing sections rejected with a typed error" true
     (try
        ignore (Ldv_core.Package.of_bytes "@kind 3\nptu\n");
        false
-     with Invalid_argument _ -> true)
+     with Ldv_errors.Error (Ldv_errors.Package_malformed _) -> true)
 
 (* ---------------- interceptor under failing SQL ------------------ *)
 

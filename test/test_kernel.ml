@@ -45,13 +45,16 @@ let test_file_io_via_syscalls () =
 
 let test_open_missing_file_fails () =
   let k = Kernel.create () in
-  Alcotest.(check bool) "missing file open fails" true
+  Alcotest.(check bool) "missing file open fails with typed ENOENT" true
     (try
        ignore
          (Program.run k ~name:"r" (fun env ->
               ignore (Program.open_in_file env "/nope")));
        false
-     with Invalid_argument _ -> true)
+     with
+    | Ldv_errors.Error
+        (Ldv_errors.Io_fault { fault = Ldv_errors.Enoent; path = "/nope"; _ })
+      -> true)
 
 let test_write_mode_read_fails () =
   let k = Kernel.create () in
