@@ -1,9 +1,25 @@
 #!/bin/sh
 # Full verification: build everything (lib/obs and lib/faults compile
 # with -warn-error +a), run the test suite, then smoke-test the
-# fault-injection harness (must exit 0: no untyped exceptions).
+# fault-injection and crash-consistency harnesses (each must exit 0:
+# no untyped exceptions, no divergence from the uncrashed control).
+#
+# --quick skips both harness smokes (build + tests only).
 set -e
 cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+  esac
+done
+
 dune build @all
 dune runtest
-dune exec bin/ldv.exe -- faultcheck --campaigns 5 --seed 42
+
+if [ "$quick" -eq 0 ]; then
+  dune exec bin/ldv.exe -- faultcheck --campaigns 5 --seed 42
+  dune exec bin/ldv.exe -- crashcheck --campaigns 5 --seed 42
+fi

@@ -37,16 +37,21 @@ let check conn =
     [Retries_exhausted]. *)
 let send (conn : conn) (sql : string) : Protocol.response =
   check conn;
-  Ldv_faults.with_retries ~op:"client.send" @@ fun () ->
-  (match Ldv_faults.connection_fault () with
-  | Some `Drop ->
-    Ldv_errors.fail
-      (Ldv_errors.Connection_lost { context = "send: server closed the connection" })
-  | Some `Garble ->
-    Ldv_errors.fail
-      (Ldv_errors.Protocol_garbled { context = "send: truncated response frame" })
-  | None -> ());
-  Interceptor.execute conn.session ~pid:conn.pid sql
+  try
+    Ldv_faults.with_retries ~op:"client.send" @@ fun () ->
+    Ldv_obs.counter "client.send.attempts";
+    (match Ldv_faults.connection_fault () with
+    | Some `Drop ->
+      Ldv_errors.fail
+        (Ldv_errors.Connection_lost { context = "send: server closed the connection" })
+    | Some `Garble ->
+      Ldv_errors.fail
+        (Ldv_errors.Protocol_garbled { context = "send: truncated response frame" })
+    | None -> ());
+    Interceptor.execute conn.session ~pid:conn.pid sql
+  with Ldv_errors.Error (Ldv_errors.Retries_exhausted _) as e ->
+    Ldv_obs.counter "client.send.exhausted";
+    raise e
 
 (** Run a SELECT and return its schema and rows.
 

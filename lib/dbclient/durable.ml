@@ -1,0 +1,180 @@
+(** Crash-consistent execution for the minidb server: WAL-before-execute,
+    explicit fsync barriers, checkpoints, and redo recovery.
+
+    Layered on {!Server}: every DML/DDL statement is first appended to
+    [<data_dir>/wal.log] through the kernel's buffered write path, the
+    fsync barrier is raised according to the commit policy below, and only
+    then does the statement execute. A {!checkpoint} folds the WAL into a
+    single atomic image ([<data_dir>/checkpoint.img]) and empties the log;
+    {!recover} rebuilds the database after a crash from the image plus the
+    durable WAL suffix.
+
+    Fsync policy: autocommit statements and transaction terminators
+    (COMMIT / ROLLBACK) sync the log before executing; BEGIN and
+    statements inside an open transaction do not. A crash between a
+    transaction's writes and its COMMIT fsync therefore loses the whole
+    transaction atomically — its records are either all durable (the
+    COMMIT fsync covered them) or dropped as a trailing open transaction
+    by {!Wal.durable_cut}.
+
+    Crash points (see [Ldv_faults.crash_point]) mark the interesting
+    windows: [wal.append] (record buffered, nothing synced — tail may
+    tear), [wal.pre_fsync] (record complete but not durable),
+    [stmt.post_exec] (durable but memory state ahead of the last
+    checkpoint), [ckpt.image] (new image buffered only), [ckpt.pre_rename]
+    (image durable under its temporary name), and [ckpt.pre_gc] (image
+    published, WAL not yet emptied — recovery must not double-apply). *)
+
+open Minidb
+
+type t = {
+  server : Server.t;
+  kernel : Minios.Kernel.t;
+  pid : int;  (** the server process performing WAL/checkpoint I/O *)
+  mutable next_seq : int;  (** sequence number of the next WAL record *)
+}
+
+let server t = t.server
+let next_seq t = t.next_seq
+
+let wal_path (server : Server.t) = Server.data_dir server ^ "/wal.log"
+let checkpoint_path (server : Server.t) = Server.data_dir server ^ "/checkpoint.img"
+let checkpoint_tmp_path (server : Server.t) = checkpoint_path server ^ ".new"
+
+let kind_of_sql (sql : string) : Wal.kind =
+  match Sql_parser.parse sql with
+  | Sql_ast.Begin_tx -> Wal.Begin
+  | Sql_ast.Commit_tx -> Wal.Commit
+  | Sql_ast.Rollback_tx -> Wal.Rollback
+  | _ -> Wal.Stmt
+
+(** Wrap a freshly installed (or recovered) server whose process [pid]
+    performs the durability I/O. [next_seq] continues from whatever the
+    checkpoint and log already contain. *)
+let start (kernel : Minios.Kernel.t) (server : Server.t) ~pid : t =
+  let vfs = Minios.Kernel.vfs kernel in
+  let ck_seq =
+    match Minios.Vfs.find_opt vfs (checkpoint_path server) with
+    | Some { Minios.Vfs.content = Minios.Vfs.Data _; _ } ->
+      (* peek at the stamp without touching the database *)
+      let probe = Database.create () in
+      Server.restore_checkpoint probe (Minios.Vfs.read vfs (checkpoint_path server))
+    | _ -> 0
+  in
+  let wal_seq =
+    List.fold_left
+      (fun acc (r : Wal.record) -> max acc r.Wal.seq)
+      0
+      (Wal.load vfs (wal_path server)).Wal.records
+  in
+  { server; kernel; pid; next_seq = max ck_seq wal_seq + 1 }
+
+(** Execute one SQL statement durably: log, sync if the policy demands
+    it, then run it. Returns the server's response. *)
+let exec (t : t) (sql : string) : Protocol.response =
+  let kind = kind_of_sql sql in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let path = wal_path t.server in
+  Wal.append t.kernel ~pid:t.pid ~path { Wal.seq; kind; sql };
+  Ldv_faults.crash_point ~site:"wal.append";
+  let db = Server.db t.server in
+  let sync_needed =
+    match kind with
+    | Wal.Commit | Wal.Rollback -> true
+    | Wal.Begin -> false
+    | Wal.Stmt -> not (Database.in_transaction db)
+  in
+  if sync_needed then begin
+    Ldv_faults.crash_point ~site:"wal.pre_fsync";
+    Minios.Kernel.fsync_path t.kernel ~pid:t.pid ~path;
+    Ldv_obs.counter "wal.fsync"
+  end;
+  let resp = Server.handle t.server (Protocol.Statement { sql }) in
+  Ldv_faults.crash_point ~site:"stmt.post_exec";
+  resp
+
+(** Fold the current database state into a fresh checkpoint image and
+    empty the WAL. The image is written to a temporary name, fsynced,
+    and atomically renamed into place before the log is truncated, so a
+    crash in any window leaves either the old image + full log or the new
+    image (+ a log whose covered prefix recovery skips by sequence
+    number). Must not run inside an open transaction. *)
+let checkpoint (t : t) : unit =
+  Ldv_obs.with_span "server.checkpoint" @@ fun () ->
+  let db = Server.db t.server in
+  if Database.in_transaction db then
+    invalid_arg "Durable.checkpoint: open transaction";
+  let payload = Server.encode_checkpoint db ~last_seq:(t.next_seq - 1) in
+  let tmp = checkpoint_tmp_path t.server in
+  Minios.Kernel.overwrite_path t.kernel ~pid:t.pid ~path:tmp payload;
+  Ldv_faults.crash_point ~site:"ckpt.image";
+  Minios.Kernel.fsync_path t.kernel ~pid:t.pid ~path:tmp;
+  Ldv_faults.crash_point ~site:"ckpt.pre_rename";
+  Minios.Kernel.rename_path t.kernel ~pid:t.pid ~src:tmp
+    ~dst:(checkpoint_path t.server);
+  Ldv_faults.crash_point ~site:"ckpt.pre_gc";
+  let wal = wal_path t.server in
+  Minios.Kernel.overwrite_path t.kernel ~pid:t.pid ~path:wal "";
+  Minios.Kernel.fsync_path t.kernel ~pid:t.pid ~path:wal;
+  Ldv_obs.counter "server.checkpoint"
+
+type recovery = {
+  checkpoint_seq : int;  (** WAL records at or below this were skipped *)
+  redone : int;  (** durable records re-executed *)
+  dropped : int;  (** trailing open-transaction records discarded *)
+  torn_bytes : int;  (** trailing log bytes discarded as torn/corrupt *)
+  redo_upto : int;  (** highest sequence number folded into the DB *)
+}
+
+(** Rebuild the database after a crash: load the checkpoint image if one
+    is published, discard any stray temporary image, then redo the
+    durable WAL suffix past the checkpoint — stopping before a trailing
+    open transaction, whose records are dropped. Records replay
+    *literally* (BEGIN / COMMIT / ROLLBACK included), so a durably
+    rolled-back transaction re-executes and re-undoes itself, keeping the
+    logical clock aligned with an uncrashed run. Ends with a fresh
+    checkpoint so the log is empty for the resumed workload.
+
+    [apply:false] ([ldv crashcheck --no-recover]) parses but skips the
+    redo and final checkpoint: the debug mode that demonstrates the
+    verifier catches lost work. *)
+let recover ?(apply = true) (kernel : Minios.Kernel.t) ~data_dir () :
+    t * recovery =
+  Ldv_obs.with_span "server.recover" @@ fun () ->
+  let db = Database.create () in
+  let server = Server.attach ~data_dir db in
+  let proc = Minios.Kernel.start_process kernel ~name:"minidb-server" () in
+  let pid = proc.Minios.Kernel.pid in
+  let vfs = Minios.Kernel.vfs kernel in
+  (* a stray temporary image is a checkpoint that never published *)
+  Minios.Vfs.remove vfs (checkpoint_tmp_path server);
+  let ck_seq =
+    match Minios.Vfs.find_opt vfs (checkpoint_path server) with
+    | Some { Minios.Vfs.content = Minios.Vfs.Data payload; _ } ->
+      Server.restore_checkpoint db payload
+    | _ -> 0
+  in
+  let loaded = Wal.load vfs (wal_path server) in
+  let suffix =
+    List.filter (fun (r : Wal.record) -> r.Wal.seq > ck_seq) loaded.Wal.records
+  in
+  let replay, dropped, redo_upto = Wal.durable_cut ~fallback:ck_seq suffix in
+  if apply then
+    List.iter
+      (fun (r : Wal.record) ->
+        ignore (Server.handle server (Protocol.Statement { sql = r.Wal.sql })))
+      replay;
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.counter ~by:(List.length replay) "server.recover.redone";
+    Ldv_obs.counter ~by:(List.length dropped) "server.recover.dropped";
+    Ldv_obs.counter ~by:loaded.Wal.torn_bytes "server.recover.torn_bytes"
+  end;
+  let t = { server; kernel; pid; next_seq = redo_upto + 1 } in
+  if apply then checkpoint t;
+  ( t,
+    { checkpoint_seq = ck_seq;
+      redone = List.length replay;
+      dropped = List.length dropped;
+      torn_bytes = loaded.Wal.torn_bytes;
+      redo_upto } )

@@ -105,6 +105,45 @@ let restore_table_image (db : Database.t) (img : table_image) =
              ~table:img.img_table ~column))
     img.img_indexes
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint image: every table plus the WAL high-water mark in ONE
+   payload, so the rename that publishes it is atomic across tables —
+   recovery never sees table A from before a checkpoint and table B from
+   after it. [next_rid] rides along explicitly because a table image only
+   carries live rows: after DELETE of the highest rid, the max live rid
+   under-states the allocator. *)
+
+type checkpoint = {
+  ck_last_seq : int;  (** highest WAL sequence folded into the images *)
+  ck_clock : int;  (** the database's logical clock at checkpoint time *)
+  ck_tables : (table_image * int) list;  (** image, next_rid *)
+}
+
+let encode_checkpoint (db : Database.t) ~last_seq : string =
+  let tables = ref [] in
+  Catalog.iter (Database.catalog db) (fun table ->
+      tables := (table_image table, table.Table.next_rid) :: !tables);
+  Marshal.to_string
+    { ck_last_seq = last_seq;
+      ck_clock = Database.clock db;
+      ck_tables = List.rev !tables }
+    []
+
+(** Load a checkpoint into [db] (normally fresh); returns the WAL
+    sequence number the images already cover, so recovery replays only
+    the suffix past it. *)
+let restore_checkpoint (db : Database.t) (payload : string) : int =
+  let ck = (Marshal.from_string payload 0 : checkpoint) in
+  List.iter
+    (fun (img, next_rid) ->
+      restore_table_image db img;
+      match Catalog.find_opt (Database.catalog db) img.img_table with
+      | Some table -> Table.restore_next_rid table next_rid
+      | None -> ())
+    ck.ck_tables;
+  Database.sync_clock db ~at:ck.ck_clock;
+  ck.ck_last_seq
+
 (** Create a server around a database and install its binary artifacts into
     the kernel's VFS. *)
 let install (kernel : Minios.Kernel.t) ?(root = "/opt/minidb")

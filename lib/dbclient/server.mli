@@ -30,6 +30,21 @@ val decode_table_image : string -> table_image
 (** Load an image, creating the table and its indexes if needed. *)
 val restore_table_image : Database.t -> table_image -> unit
 
+(** {2 Checkpoint image}
+
+    All tables (plus their row-id allocators and the logical clock) in a
+    single payload, stamped with the WAL sequence number it covers:
+    published by one atomic rename, so recovery is never torn across
+    tables. *)
+
+(** Snapshot every table of [db] into one checkpoint payload covering WAL
+    records up to [last_seq]. *)
+val encode_checkpoint : Database.t -> last_seq:int -> string
+
+(** Load a checkpoint into a (normally fresh) database; returns the WAL
+    sequence number the images already cover. *)
+val restore_checkpoint : Database.t -> string -> int
+
 (** {2 Lifecycle} *)
 
 (** Create a server around a database, installing its binary artifacts

@@ -1,0 +1,162 @@
+(** The minidb write-ahead log.
+
+    One record per DML/DDL statement, appended through the kernel's
+    buffered write path *before* the statement executes, framed as
+
+    {v @<seq> <kind> <len> <crc32-hex>\n<payload>\n v}
+
+    where [kind] is one of [B]/[C]/[R]/[S] (BEGIN / COMMIT / ROLLBACK /
+    ordinary statement) and the payload is the newline-escaped SQL text.
+    The CRC32 covers the payload, so a torn tail — a record whose bytes
+    only partially reached the platter before a crash — is detected and
+    discarded at recovery rather than misparsed.
+
+    Recovery policy lives in {!durable_cut}: only records outside a
+    trailing *open* transaction are replayed. A transaction whose COMMIT
+    record is durable replays in full; one whose COMMIT never reached the
+    platter is dropped atomically; a durable ROLLBACK replays literally
+    (executing the ROLLBACK undoes its own writes) so the recovered
+    database's logical clock stays aligned with an uncrashed run. *)
+
+type kind = Begin | Commit | Rollback | Stmt
+
+type record = { seq : int; kind : kind; sql : string }
+
+let kind_char = function
+  | Begin -> 'B'
+  | Commit -> 'C'
+  | Rollback -> 'R'
+  | Stmt -> 'S'
+
+let kind_of_char = function
+  | 'B' -> Some Begin
+  | 'C' -> Some Commit
+  | 'R' -> Some Rollback
+  | 'S' -> Some Stmt
+  | _ -> None
+
+(* Newline-escape the SQL so each payload is framing-safe. *)
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | c -> Buffer.add_char buf c);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let encode (r : record) : string =
+  let payload = escape r.sql in
+  Printf.sprintf "@%d %c %d %08lx\n%s\n" r.seq (kind_char r.kind)
+    (String.length payload)
+    (Ldv_faults.Crc32.digest payload)
+    payload
+
+(** Append one record to the log at [path] (buffered: the caller decides
+    when to raise the fsync barrier). *)
+let append (kernel : Minios.Kernel.t) ~pid ~path (r : record) : unit =
+  let bytes = encode r in
+  Minios.Kernel.append_path kernel ~pid ~path bytes;
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.counter "wal.append";
+    Ldv_obs.counter ~by:(String.length bytes) "wal.bytes"
+  end
+
+type loaded = {
+  records : record list;  (** cleanly framed, CRC-verified records, in order *)
+  torn_bytes : int;
+      (** trailing bytes discarded because a record was torn or corrupt *)
+}
+
+(** Parse the log, stopping at the first torn or corrupt record: anything
+    after a bad frame is untrustworthy tail. A missing file is an empty
+    log. *)
+let load (vfs : Minios.Vfs.t) (path : string) : loaded =
+  let data =
+    match Minios.Vfs.find_opt vfs path with
+    | Some { Minios.Vfs.content = Minios.Vfs.Data s; _ } -> s
+    | Some { Minios.Vfs.content = Minios.Vfs.Opaque _; _ } | None -> ""
+  in
+  let n = String.length data in
+  let records = ref [] in
+  let pos = ref 0 in
+  let torn = ref false in
+  while (not !torn) && !pos < n do
+    let ok =
+      if data.[!pos] <> '@' then None
+      else
+        match String.index_from_opt data !pos '\n' with
+        | None -> None
+        | Some nl -> (
+          let header = String.sub data (!pos + 1) (nl - !pos - 1) in
+          match String.split_on_char ' ' header with
+          | [ seq_s; kind_s; len_s; crc_s ] -> (
+            match
+              ( int_of_string_opt seq_s,
+                (if String.length kind_s = 1 then kind_of_char kind_s.[0]
+                 else None),
+                int_of_string_opt len_s,
+                (try Some (Int32.of_string ("0x" ^ crc_s))
+                 with Failure _ -> None) )
+            with
+            | Some seq, Some kind, Some len, Some crc
+              when len >= 0 && nl + 1 + len < n
+                   && data.[nl + 1 + len] = '\n' ->
+              let payload = String.sub data (nl + 1) len in
+              if Ldv_faults.Crc32.digest payload = crc then
+                Some ({ seq; kind; sql = unescape payload }, nl + 1 + len + 1)
+              else None
+            | _ -> None)
+          | _ -> None)
+    in
+    match ok with
+    | Some (r, next) ->
+      records := r :: !records;
+      pos := next
+    | None -> torn := true
+  done;
+  { records = List.rev !records; torn_bytes = n - !pos }
+
+(** Split durable records into the replayable prefix and a dropped
+    trailing open transaction (if any). Returns
+    [(replay, dropped, redo_upto)]: [replay] ends at the last record that
+    leaves no transaction open, [dropped] is the un-terminated suffix,
+    and [redo_upto] is the sequence number of the last replayable record
+    (or [fallback] when none is). *)
+let durable_cut ?(fallback = 0) (records : record list) :
+    record list * record list * int =
+  let arr = Array.of_list records in
+  let cut = ref 0 in
+  let depth = ref 0 in
+  Array.iteri
+    (fun i r ->
+      (match r.kind with
+      | Begin -> incr depth
+      | Commit | Rollback -> depth := max 0 (!depth - 1)
+      | Stmt -> ());
+      if !depth = 0 then cut := i + 1)
+    arr;
+  let replay = Array.to_list (Array.sub arr 0 !cut) in
+  let dropped = Array.to_list (Array.sub arr !cut (Array.length arr - !cut)) in
+  let redo_upto =
+    match List.rev replay with r :: _ -> r.seq | [] -> fallback
+  in
+  (replay, dropped, redo_upto)

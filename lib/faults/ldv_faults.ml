@@ -96,32 +96,48 @@ type counts = {
   mutable n_garble : int;
   mutable n_flip : int;
   mutable n_truncate : int;
+  mutable n_crash : int;
 }
 
 let zero_counts () =
   { n_eio = 0; n_enospc = 0; n_eintr = 0; n_drop = 0; n_garble = 0;
-    n_flip = 0; n_truncate = 0 }
+    n_flip = 0; n_truncate = 0; n_crash = 0 }
 
 type plan = {
   seed : int;
   p_syscall : float;  (** per-syscall fault probability *)
   p_conn : float;  (** per-request connection fault probability *)
   p_corrupt : float;  (** per-package corruption probability *)
+  crash_site : string option;
+      (** named crash point to detonate (see {!crash_point}) *)
+  mutable crash_after : int;
+      (** detonate on the nth consultation of [crash_site]; [<= 0] means
+          already fired (or never armed) *)
   sys_prng : Prng.t;
   conn_prng : Prng.t;
   pkg_prng : Prng.t;
   counts : counts;
 }
 
-let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0) ~seed () : plan =
+let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0) ?crash ~seed ()
+    : plan =
   let root = Prng.create ~seed in
   (* independent streams per injection site: decisions at one site never
      shift another site's sequence *)
   let sys_prng = Prng.split root in
   let conn_prng = Prng.split root in
   let pkg_prng = Prng.split root in
-  { seed; p_syscall; p_conn; p_corrupt; sys_prng; conn_prng; pkg_prng;
-    counts = zero_counts () }
+  let crash_site, crash_after =
+    match crash with
+    | Some (site, n) when n >= 1 -> (Some site, n)
+    | Some (site, _) ->
+      invalid_arg
+        (Printf.sprintf "Ldv_faults.make: crash occurrence for %s must be >= 1"
+           site)
+    | None -> (None, 0)
+  in
+  { seed; p_syscall; p_conn; p_corrupt; crash_site; crash_after; sys_prng;
+    conn_prng; pkg_prng; counts = zero_counts () }
 
 let seed (p : plan) = p.seed
 
@@ -131,7 +147,7 @@ let injected (p : plan) : (string * int) list =
   [ ("eio", p.counts.n_eio); ("enospc", p.counts.n_enospc);
     ("eintr", p.counts.n_eintr); ("drop", p.counts.n_drop);
     ("garble", p.counts.n_garble); ("flip", p.counts.n_flip);
-    ("truncate", p.counts.n_truncate) ]
+    ("truncate", p.counts.n_truncate); ("crash", p.counts.n_crash) ]
 
 let current : plan option ref = ref None
 
@@ -149,6 +165,31 @@ let with_plan p f =
 
 (* ------------------------------------------------------------------ *)
 (* Decision points.                                                    *)
+
+(** Raised by {!crash_point} when the armed crash site detonates. Not an
+    {!Ldv_errors.t}: a simulated power failure is control flow for the
+    crash-consistency harness (which catches it, drops unsynced bytes,
+    and recovers), never an error a production path should classify. *)
+exception Crash of string
+
+(** A named crash point in the durability machinery ([wal.append],
+    [ckpt.pre_rename], ...). When the installed plan is armed for [site],
+    the nth consultation raises {!Crash}; the plan then disarms itself so
+    recovery code running under the same plan cannot crash again. *)
+let crash_point ~site =
+  match !current with
+  | None -> ()
+  | Some p -> (
+    match p.crash_site with
+    | Some s when String.equal s site && p.crash_after > 0 ->
+      p.crash_after <- p.crash_after - 1;
+      if p.crash_after = 0 then begin
+        p.crash_after <- -1;
+        p.counts.n_crash <- p.counts.n_crash + 1;
+        Ldv_obs.counter "faults.inject.crash";
+        raise (Crash site)
+      end
+    | Some _ | None -> ())
 
 (** Should this syscall fail? EINTR is twice as likely as either
     permanent fault, mirroring the real-world mix where most injected

@@ -1,0 +1,78 @@
+(** Shared machinery for seeded verification campaigns.
+
+    [ldv faultcheck] and [ldv crashcheck] are the same experimental
+    shape: derive an independent, reproducible seed per campaign from a
+    root PRNG, run a scenario under an installed fault plan, classify
+    any escape by the robustness contract (typed errors and DB errors
+    are expected ways to fail; anything else is a contract violation),
+    aggregate injection tallies, and render a byte-deterministic report.
+    This module is that shape; the two harnesses supply only their
+    scenario and outcome vocabulary. *)
+
+(** Derive the next campaign seed from the root stream: independent,
+    non-negative, and reproducible from the root seed alone. *)
+let derive_seed (root : Ldv_faults.Prng.t) : int =
+  Int64.to_int (Ldv_faults.Prng.next_int64 root) land max_int
+
+(* ------------------------------------------------------------------ *)
+(* Exception classification: the robustness contract.                  *)
+
+type failure =
+  | Typed of Ldv_errors.t  (** the expected way to fail *)
+  | Db of string  (** the simulated DB refused a statement *)
+  | Replay_diverged of string  (** the interceptor refused a divergent replay *)
+  | Other of string  (** contract violation: untyped exception *)
+
+(** Run a scenario, classifying every escaping exception under the
+    contract. [Ldv_faults.Crash] is *not* handled here: a simulated power
+    failure is control flow the crash harness must catch itself; one that
+    escapes to this level is a harness bug and classifies as [Other]. *)
+let guard (f : unit -> 'a) : ('a, failure) result =
+  match f () with
+  | v -> Ok v
+  | exception Ldv_errors.Error e -> Error (Typed e)
+  | exception Minidb.Errors.Db_error k -> Error (Db (Minidb.Errors.to_string k))
+  | exception Dbclient.Interceptor.Replay_divergence msg ->
+    Error (Replay_diverged msg)
+  | exception e -> Error (Other (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Injection tallies.                                                  *)
+
+let zero_tallies () : (string * int) list =
+  List.map (fun (n, _) -> (n, 0)) (Ldv_faults.injected (Ldv_faults.make ~seed:0 ()))
+
+let add_tallies acc tallies =
+  List.map2
+    (fun (name, total) (name', n) ->
+      assert (String.equal name name');
+      (name, total + n))
+    acc tallies
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic report fragments, shared verbatim by both reports.    *)
+
+(** Per-label outcome counts, in the harness's canonical label order;
+    zero-count labels are omitted. *)
+let pp_outcome_counts ppf ~order ~(label : 'a -> string) (outcomes : 'a list) =
+  Format.fprintf ppf "outcomes:@,";
+  List.iter
+    (fun l ->
+      let n =
+        List.length
+          (List.filter (fun o -> String.equal (label o) l) outcomes)
+      in
+      if n > 0 then Format.fprintf ppf "  %-13s %d@," l n)
+    order
+
+let pp_tallies ppf (tallies : (string * int) list) =
+  Format.fprintf ppf "injected faults:@,";
+  List.iter
+    (fun (name, n) -> if n > 0 then Format.fprintf ppf "  %-13s %d@," name n)
+    tallies;
+  if List.for_all (fun (_, n) -> n = 0) tallies then
+    Format.fprintf ppf "  (none)@,"
+
+let pp_uncaught ppf n =
+  Format.fprintf ppf "uncaught exceptions: %d%s" n
+    (if n = 0 then " (robustness contract holds)" else "")

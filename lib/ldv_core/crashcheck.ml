@@ -1,0 +1,399 @@
+(** Seeded crash-consistency campaigns over the durable minidb
+    ([ldv crashcheck]).
+
+    One campaign = one seeded workload run twice on separate simulated
+    machines:
+
+    - a {e control} run that executes every statement (and checkpoint)
+      with no faults installed, then snapshots the final database;
+    - a {e crash} run under a plan armed to detonate one of the
+      {!sites} (rotated by campaign index) on its n-th consultation.
+      When the simulated power failure fires, the kernel drops every
+      unsynced byte — for [wal.append] crashes a PRNG-chosen torn prefix
+      of the WAL tail survives instead — the database recovers from
+      checkpoint + durable WAL suffix ({!Dbclient.Durable.recover}), and
+      the workload {e resumes} from the first statement recovery did not
+      restore (WAL sequence numbers map 1:1 to workload statements).
+
+    The verifier then demands the recovered-and-resumed database be
+    statement-equivalent to the control: same tables, same rows (rids,
+    versions, values), same row-id allocators, same logical clock. That
+    catches lost committed work, resurrected uncommitted work, double
+    application, and clock drift alike. [--no-recover] skips the redo
+    phase while still resuming — the debug mode proving the verifier
+    actually detects lost work.
+
+    Like {!Faultcheck}, every run must end in a verdict or a typed
+    failure: an untyped exception is a contract violation and the report
+    counts it. Reports contain no wall-clock and no hash-order
+    dependence, so the same seed always prints the identical report. *)
+
+open Dbclient
+
+(** Crash sites, rotated by campaign index. The first three live in the
+    statement path ([Durable.exec]), the last three in the checkpoint
+    protocol. *)
+let sites =
+  [| "wal.append"; "wal.pre_fsync"; "stmt.post_exec"; "ckpt.image";
+     "ckpt.pre_rename"; "ckpt.pre_gc" |]
+
+type outcome =
+  | Verified of { redone : int; dropped : int; torn : int }
+      (** crashed, recovered, resumed; equals the control *)
+  | No_crash  (** the armed site was never reached; still verified equal *)
+  | Diverged of { first : string }
+      (** recovered state differs from the control *)
+  | Failed of Ldv_errors.t  (** typed failure — the expected way to fail *)
+  | Db_failed of string  (** the simulated DB refused a statement *)
+  | Uncaught of string  (** contract violation: untyped exception *)
+
+type run = {
+  campaign : int;
+  site : string;  (** armed crash site *)
+  occurrence : int;  (** detonate on this consultation of the site *)
+  outcome : outcome;
+}
+
+type report = {
+  r_seed : int;
+  r_campaigns : int;
+  r_recover : bool;  (** false under [--no-recover] *)
+  r_runs : run list;
+  r_injected : (string * int) list;  (** aggregate fault tallies *)
+  r_uncaught : int;  (** contract violations (want 0) *)
+  r_divergent : int;  (** runs whose recovered state differs (want 0) *)
+}
+
+let outcome_label = function
+  | Verified _ -> "verified"
+  | No_crash -> "no-crash"
+  | Diverged _ -> "diverged"
+  | Failed _ -> "typed-failure"
+  | Db_failed _ -> "db-error"
+  | Uncaught _ -> "uncaught"
+
+let outcome_detail = function
+  | Verified { redone; dropped; torn } ->
+    Printf.sprintf "redo %d, dropped %d, torn %dB" redone dropped torn
+  | No_crash -> "site never reached; states equal"
+  | Diverged { first } -> first
+  | Failed e -> Ldv_errors.to_string e
+  | Db_failed msg -> msg
+  | Uncaught msg -> "UNCAUGHT " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Seeded workload generation.                                         *)
+
+(** A workload item: one SQL statement (consuming exactly one WAL
+    sequence number) or a server checkpoint (consuming none). *)
+type item = Stmt of string | Ckpt
+
+module Prng = Ldv_faults.Prng
+
+(** Generate a campaign workload: two tables, a few seed rows, then a
+    mix of inserts, updates, deletes, and multi-statement transactions
+    (committed or rolled back), with checkpoints placed only between
+    complete operations — never inside an open transaction, where a
+    checkpoint is illegal. No SELECTs: every generated statement ticks
+    the database clock exactly once, so WAL sequence numbers map 1:1 to
+    workload statement ordinals and clock parity with the control run is
+    exact. *)
+let gen_workload (prng : Prng.t) : item list =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let next_id = ref 0 in
+  let fresh_id () = incr next_id; !next_id in
+  let next_entry = ref 0 in
+  push (Stmt "CREATE TABLE accounts (id INT, owner TEXT, balance INT)");
+  push (Stmt "CREATE TABLE ledger (entry INT, delta INT)");
+  push (Stmt "CREATE INDEX accounts_id ON accounts (id)");
+  for _ = 1 to 3 + Prng.int prng 3 do
+    let id = fresh_id () in
+    push
+      (Stmt
+         (Printf.sprintf
+            "INSERT INTO accounts VALUES (%d, 'owner%d', %d)" id id
+            (100 + Prng.int prng 900)))
+  done;
+  push Ckpt;
+  let existing_id () = 1 + Prng.int prng !next_id in
+  let op () =
+    match Prng.int prng 10 with
+    | 0 | 1 | 2 ->
+      let id = fresh_id () in
+      push
+        (Stmt
+           (Printf.sprintf
+              "INSERT INTO accounts VALUES (%d, 'owner%d', %d)" id id
+              (100 + Prng.int prng 900)))
+    | 3 | 4 ->
+      push
+        (Stmt
+           (Printf.sprintf "UPDATE accounts SET balance = %d WHERE id = %d"
+              (Prng.int prng 1000) (existing_id ())))
+    | 5 ->
+      push
+        (Stmt
+           (Printf.sprintf "DELETE FROM accounts WHERE id = %d"
+              (existing_id ())))
+    | 6 | 7 ->
+      incr next_entry;
+      push
+        (Stmt
+           (Printf.sprintf "INSERT INTO ledger VALUES (%d, %d)" !next_entry
+              (Prng.int prng 200 - 100)))
+    | _ ->
+      (* a multi-statement transaction, committed ~2/3 of the time *)
+      push (Stmt "BEGIN");
+      for _ = 1 to 2 + Prng.int prng 2 do
+        match Prng.int prng 3 with
+        | 0 ->
+          let id = fresh_id () in
+          push
+            (Stmt
+               (Printf.sprintf
+                  "INSERT INTO accounts VALUES (%d, 'owner%d', %d)" id id
+                  (100 + Prng.int prng 900)))
+        | 1 ->
+          push
+            (Stmt
+               (Printf.sprintf
+                  "UPDATE accounts SET balance = balance + %d WHERE id = %d"
+                  (1 + Prng.int prng 50) (existing_id ())))
+        | _ ->
+          incr next_entry;
+          push
+            (Stmt
+               (Printf.sprintf "INSERT INTO ledger VALUES (%d, %d)"
+                  !next_entry (Prng.int prng 200 - 100)))
+      done;
+      push (Stmt (if Prng.int prng 3 < 2 then "COMMIT" else "ROLLBACK"))
+  in
+  let ops = 18 + Prng.int prng 11 in
+  let since_ckpt = ref 0 in
+  for _ = 1 to ops do
+    op ();
+    incr since_ckpt;
+    if !since_ckpt >= 6 + Prng.int prng 2 then begin
+      push Ckpt;
+      since_ckpt := 0
+    end
+  done;
+  List.rev !items
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+
+let data_dir = "/var/minidb/data"
+
+(** Boot a fresh durable server on a fresh simulated machine. *)
+let boot () : Minios.Kernel.t * Durable.t =
+  let kernel = Minios.Kernel.create () in
+  let db = Minidb.Database.create () in
+  let server = Server.attach ~data_dir db in
+  let proc = Minios.Kernel.start_process kernel ~name:"minidb-server" () in
+  (kernel, Durable.start kernel server ~pid:proc.Minios.Kernel.pid)
+
+(** Run the workload's tail on [d]: statements whose 1-based ordinal
+    exceeds [from] (recovery already restored the rest), checkpoints
+    once past the restored prefix. [from = 0] runs everything. *)
+let run_items (d : Durable.t) (items : item list) ~from : unit =
+  let stmt_count = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Stmt sql ->
+        incr stmt_count;
+        if !stmt_count > from then ignore (Durable.exec d sql)
+      | Ckpt -> if !stmt_count >= from then Durable.checkpoint d)
+    items
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot equivalence.                                               *)
+
+(** Render the full logical state of a database — clock, tables, row-id
+    allocators, indexes, and every live tuple version — as a canonical
+    string: sorted table names, rows sorted by (rid, version). Two
+    databases are statement-equivalent iff their snapshots are equal. *)
+let snapshot (db : Minidb.Database.t) : string =
+  let open Minidb in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "clock=%d\n" (Database.clock db));
+  let catalog = Database.catalog db in
+  List.iter
+    (fun name ->
+      let table = Catalog.find catalog name in
+      Buffer.add_string buf
+        (Printf.sprintf "table %s next_rid=%d indexes=[%s]\n" name
+           table.Table.next_rid
+           (String.concat ";" (List.sort String.compare (Table.index_names table))));
+      let rows =
+        List.map
+          (fun (tv : Table.tuple_version) ->
+            Printf.sprintf "  (%d,%d,[%s])" tv.Table.tid.Tid.rid
+              tv.Table.tid.Tid.version
+              (String.concat ";"
+                 (Array.to_list (Array.map Value.to_raw_string tv.Table.values))))
+          (Table.scan table)
+        |> List.sort String.compare
+      in
+      List.iter (fun r -> Buffer.add_string buf (r ^ "\n")) rows)
+    (List.sort String.compare (Catalog.table_names catalog));
+  Buffer.contents buf
+
+(** First line where two snapshots differ, for the divergence report. *)
+let first_diff (a : string) (b : string) : string =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> "states differ"
+    | x :: la', y :: lb' ->
+      if String.equal x y then go (i + 1) la' lb'
+      else
+        Printf.sprintf "line %d: control %S vs recovered %S" i (String.trim x)
+          (String.trim y)
+    | x :: _, [] -> Printf.sprintf "control has extra state: %S" (String.trim x)
+    | [], y :: _ ->
+      Printf.sprintf "recovered has extra state: %S" (String.trim y)
+  in
+  go 1 la lb
+
+(* ------------------------------------------------------------------ *)
+(* One campaign.                                                       *)
+
+let run_campaign ~recover_enabled ~(items : item list) ~(cprng : Prng.t) :
+    outcome =
+  (* control: same workload, separate machine, and crucially NO installed
+     plan — the caller's armed plan must only see the crash run *)
+  let want =
+    let saved = Ldv_faults.active () in
+    Ldv_faults.clear ();
+    Fun.protect
+      ~finally:(fun () ->
+        match saved with Some p -> Ldv_faults.install p | None -> ())
+      (fun () ->
+        let _control_kernel, control = boot () in
+        run_items control items ~from:0;
+        snapshot (Server.db (Durable.server control)))
+  in
+  (* crash run under the armed plan (installed by the caller) *)
+  let kernel, d = boot () in
+  let crashed_stats = ref (0, 0, 0) in
+  let verdict ~crashed got =
+    if String.equal want got then
+      if crashed then
+        let redone, dropped, torn = !crashed_stats in
+        Verified { redone; dropped; torn }
+      else No_crash
+    else Diverged { first = first_diff want got }
+  in
+  match run_items d items ~from:0 with
+  | () -> verdict ~crashed:false (snapshot (Server.db (Durable.server d)))
+  | exception Ldv_faults.Crash crash_site ->
+    (* the power failure: decide how much of the unsynced WAL tail tore
+       onto the platter, then drop everything else *)
+    let wal = Durable.wal_path (Durable.server d) in
+    let keep =
+      if String.equal crash_site "wal.append" then
+        let unsynced = Minios.Vfs.unsynced_bytes (Minios.Kernel.vfs kernel) wal in
+        if unsynced > 0 then [ (wal, Prng.int cprng (unsynced + 1)) ] else []
+      else []
+    in
+    Minios.Kernel.crash kernel ~keep ();
+    let d', stats = Durable.recover ~apply:recover_enabled kernel ~data_dir () in
+    crashed_stats :=
+      ( stats.Durable.redone,
+        stats.Durable.dropped,
+        stats.Durable.torn_bytes );
+    run_items d' items ~from:stats.Durable.redo_upto;
+    verdict ~crashed:true (snapshot (Server.db (Durable.server d')))
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns.                                                          *)
+
+let run ?(recover = true) ~campaigns ~seed () : report =
+  Ldv_obs.with_span
+    ~attrs:
+      [ ("campaigns", string_of_int campaigns); ("seed", string_of_int seed);
+        ("recover", string_of_bool recover) ]
+    "crashcheck"
+  @@ fun () ->
+  let root = Prng.create ~seed in
+  let injected = ref (Campaign.zero_tallies ()) in
+  let runs = ref [] in
+  for campaign = 0 to campaigns - 1 do
+    let cam_seed = Campaign.derive_seed root in
+    let cprng = Prng.create ~seed:cam_seed in
+    let items = gen_workload (Prng.split cprng) in
+    let site = sites.(campaign mod Array.length sites) in
+    (* checkpoint sites are consulted a handful of times per workload,
+       statement sites dozens of times; range the detonation accordingly
+       so crashes land deep in the run (mid-transaction included), not
+       just during setup. Overshooting the run yields [No_crash]. *)
+    let occurrence =
+      if String.length site >= 5 && String.equal (String.sub site 0 5) "ckpt."
+      then 1 + Prng.int cprng 4
+      else 1 + Prng.int cprng 28
+    in
+    let plan = Ldv_faults.make ~crash:(site, occurrence) ~seed:cam_seed () in
+    let outcome =
+      Ldv_obs.with_span
+        ~attrs:
+          [ ("campaign", string_of_int campaign); ("site", site);
+            ("occurrence", string_of_int occurrence) ]
+        "crashcheck.run"
+      @@ fun () ->
+      Ldv_faults.with_plan plan @@ fun () ->
+      match
+        Campaign.guard (fun () ->
+            run_campaign ~recover_enabled:recover ~items ~cprng)
+      with
+      | Ok outcome -> outcome
+      | Error (Campaign.Typed e) -> Failed e
+      | Error (Campaign.Db msg) -> Db_failed msg
+      | Error (Campaign.Replay_diverged msg) -> Diverged { first = msg }
+      | Error (Campaign.Other msg) -> Uncaught msg
+    in
+    Ldv_obs.counter ("crashcheck.outcome." ^ outcome_label outcome);
+    injected := Campaign.add_tallies !injected (Ldv_faults.injected plan);
+    runs := { campaign; site; occurrence; outcome } :: !runs
+  done;
+  let runs = List.rev !runs in
+  let count p = List.length (List.filter p runs) in
+  { r_seed = seed;
+    r_campaigns = campaigns;
+    r_recover = recover;
+    r_runs = runs;
+    r_injected = !injected;
+    r_uncaught =
+      count (fun r -> match r.outcome with Uncaught _ -> true | _ -> false);
+    r_divergent =
+      count (fun r -> match r.outcome with Diverged _ -> true | _ -> false) }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic report rendering.                                     *)
+
+let outcome_order =
+  [ "verified"; "no-crash"; "diverged"; "typed-failure"; "db-error";
+    "uncaught" ]
+
+let pp ppf (r : report) =
+  Format.fprintf ppf "crashcheck: %d campaigns, seed %d%s@," r.r_campaigns
+    r.r_seed
+    (if r.r_recover then "" else ", recovery DISABLED (--no-recover)");
+  List.iter
+    (fun run ->
+      Format.fprintf ppf "  c%03d %-15s occ %d  %-13s %s@," run.campaign
+        run.site run.occurrence
+        (outcome_label run.outcome)
+        (outcome_detail run.outcome))
+    r.r_runs;
+  Campaign.pp_outcome_counts ppf ~order:outcome_order
+    ~label:(fun run -> outcome_label run.outcome)
+    r.r_runs;
+  Campaign.pp_tallies ppf r.r_injected;
+  Format.fprintf ppf "divergent runs: %d@," r.r_divergent;
+  Campaign.pp_uncaught ppf r.r_uncaught
+
+let to_string (r : report) : string =
+  Format.asprintf "@[<v>%a@]" pp r

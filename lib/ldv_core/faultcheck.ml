@@ -115,13 +115,6 @@ let run_loop ~(audit : Audit.packaging -> Audit.t) (kind : Audit.packaging) :
 (* ------------------------------------------------------------------ *)
 (* Campaigns.                                                          *)
 
-let add_tallies acc tallies =
-  List.map2
-    (fun (name, total) (name', n) ->
-      assert (String.equal name name');
-      (name, total + n))
-    acc tallies
-
 let run ~(audit : Audit.packaging -> Audit.t) ~campaigns ~seed : report =
   Ldv_obs.with_span
     ~attrs:[ ("campaigns", string_of_int campaigns);
@@ -129,18 +122,14 @@ let run ~(audit : Audit.packaging -> Audit.t) ~campaigns ~seed : report =
     "faultcheck"
   @@ fun () ->
   let root = Ldv_faults.Prng.create ~seed in
-  let injected =
-    ref (List.map (fun (n, _) -> (n, 0)) (Ldv_faults.injected (Ldv_faults.make ~seed:0 ())))
-  in
+  let injected = ref (Campaign.zero_tallies ()) in
   let runs = ref [] in
   for campaign = 0 to campaigns - 1 do
     let pr = profiles.(campaign mod Array.length profiles) in
     List.iter
       (fun kind ->
         (* independent, reproducible seed per (campaign, kind) *)
-        let run_seed =
-          Int64.to_int (Ldv_faults.Prng.next_int64 root) land max_int
-        in
+        let run_seed = Campaign.derive_seed root in
         let plan =
           Ldv_faults.make ~p_syscall:pr.pr_syscall ~p_conn:pr.pr_conn
             ~p_corrupt:pr.pr_corrupt ~seed:run_seed ()
@@ -153,17 +142,16 @@ let run ~(audit : Audit.packaging -> Audit.t) ~campaigns ~seed : report =
             "faultcheck.run"
           @@ fun () ->
           Ldv_faults.with_plan plan @@ fun () ->
-          match run_loop ~audit kind with
-          | outcome -> outcome
-          | exception Ldv_errors.Error e -> Failed e
-          | exception Minidb.Errors.Db_error k ->
-            Db_failed (Minidb.Errors.to_string k)
-          | exception Dbclient.Interceptor.Replay_divergence msg ->
+          match Campaign.guard (fun () -> run_loop ~audit kind) with
+          | Ok outcome -> outcome
+          | Error (Campaign.Typed e) -> Failed e
+          | Error (Campaign.Db msg) -> Db_failed msg
+          | Error (Campaign.Replay_diverged msg) ->
             Diverged { count = 1; first = msg }
-          | exception e -> Uncaught (Printexc.to_string e)
+          | Error (Campaign.Other msg) -> Uncaught msg
         in
         Ldv_obs.counter ("faultcheck.outcome." ^ outcome_label outcome);
-        injected := add_tallies !injected (Ldv_faults.injected plan);
+        injected := Campaign.add_tallies !injected (Ldv_faults.injected plan);
         runs := { campaign; kind; profile = pr.pr_name; outcome } :: !runs)
       kinds
   done;
@@ -194,26 +182,11 @@ let pp ppf (r : report) =
         (outcome_label run.outcome)
         (outcome_detail run.outcome))
     r.r_runs;
-  Format.fprintf ppf "outcomes:@,";
-  List.iter
-    (fun label ->
-      let n =
-        List.length
-          (List.filter
-             (fun run -> String.equal (outcome_label run.outcome) label)
-             r.r_runs)
-      in
-      if n > 0 then Format.fprintf ppf "  %-13s %d@," label n)
-    outcome_order;
-  Format.fprintf ppf "injected faults:@,";
-  List.iter
-    (fun (name, n) ->
-      if n > 0 then Format.fprintf ppf "  %-13s %d@," name n)
-    r.r_injected;
-  if List.for_all (fun (_, n) -> n = 0) r.r_injected then
-    Format.fprintf ppf "  (none)@,";
-  Format.fprintf ppf "uncaught exceptions: %d%s" r.r_uncaught
-    (if r.r_uncaught = 0 then " (robustness contract holds)" else "")
+  Campaign.pp_outcome_counts ppf ~order:outcome_order
+    ~label:(fun run -> outcome_label run.outcome)
+    r.r_runs;
+  Campaign.pp_tallies ppf r.r_injected;
+  Campaign.pp_uncaught ppf r.r_uncaught
 
 let to_string (r : report) : string =
   Format.asprintf "@[<v>%a@]" pp r

@@ -478,21 +478,27 @@ let of_bytes (data : string) : t =
    failure mid-write (injected or real) leaves the destination either
    absent or holding the previous complete package — never a torn one. *)
 
+let tmp_counter = ref 0
+
 let write_file (t : t) ~(path : string) : unit =
   Ldv_obs.with_span ~attrs:[ ("path", path) ] "package.write" @@ fun () ->
-  let data = to_bytes t in
-  let tmp = path ^ ".tmp" in
-  let attempt () =
-    (match Ldv_faults.syscall_fault ~op:"pkg.write" ~path with
-    | None -> ()
-    | Some fault -> Ldv_errors.fail (Ldv_errors.Io_fault { op = "pkg.write"; path; fault }));
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc data);
-    Sys.rename tmp path
-  in
-  try Ldv_faults.with_retries ~op:"package.write" attempt
+  (* pid + per-call counter: concurrent writers (or a retry racing an
+     earlier crashed write) never share a temp file *)
+  incr tmp_counter;
+  let tmp = Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ()) !tmp_counter in
+  try
+    let data = to_bytes t in
+    let attempt () =
+      (match Ldv_faults.syscall_fault ~op:"pkg.write" ~path with
+      | None -> ()
+      | Some fault -> Ldv_errors.fail (Ldv_errors.Io_fault { op = "pkg.write"; path; fault }));
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc data);
+      Sys.rename tmp path
+    in
+    Ldv_faults.with_retries ~op:"package.write" attempt
   with e ->
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e

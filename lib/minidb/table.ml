@@ -187,6 +187,11 @@ let restore_version t ~rid ~version (row : Value.t array) =
   Hashtbl.replace t.by_version (rid, version) tv;
   tv
 
+(** Restore the row-id allocator from a checkpoint. Live rows alone
+    under-state it when the highest-rid row was deleted, so checkpoint
+    images carry the allocator explicitly; never rewinds. *)
+let restore_next_rid t rid = if rid > t.next_rid then t.next_rid <- rid
+
 (* ------------------------------------------------------------------ *)
 (* Secondary indexes.                                                  *)
 

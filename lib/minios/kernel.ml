@@ -145,8 +145,9 @@ let open_file t ~pid ~path ~mode : fd =
       Ldv_errors.fail
         (Ldv_errors.Io_fault { op = "open"; path; fault = Ldv_errors.Enoent })
   | Syscall.Write ->
-    (* open for write truncates/creates *)
-    Vfs.write_string t.vfs ~path ~mtime:t.clock "");
+    (* open for write truncates/creates; the truncation is buffered, so a
+       crash before fsync resurrects the previous durable content *)
+    Vfs.truncate_buffered t.vfs ~path ~mtime:t.clock ());
   Obs.counter "os.syscall.open";
   let opened_at = tick t in
   emit t (Syscall.Opened { pid; path; mode; time = opened_at });
@@ -177,7 +178,17 @@ let write_fd t ~pid ~fd (data : string) =
   Obs.counter "os.syscall.write";
   if Obs.enabled () then Obs.counter ~by:(String.length data) "os.bytes_written";
   let time = tick t in
-  Vfs.append t.vfs ~path:e.path ~mtime:time data
+  (* buffered: the bytes are visible to readers immediately but survive a
+     crash only once an fsync barrier covers them *)
+  Vfs.append_buffered t.vfs ~path:e.path ~mtime:time data
+
+let fsync_fd t ~pid ~fd =
+  let p = find_process t pid in
+  let e = fd_entry p fd in
+  fault_gate ~op:"fsync" ~path:e.path;
+  Obs.counter "os.syscall.fsync";
+  ignore (tick t);
+  Vfs.fsync t.vfs e.path
 
 let close_fd t ~pid ~fd =
   let p = find_process t pid in
@@ -189,6 +200,68 @@ let close_fd t ~pid ~fd =
   emit t
     (Syscall.Closed
        { pid; path = e.path; mode = e.mode; opened_at = e.opened_at; time })
+
+(* ------------------------------------------------------------------ *)
+(* Path-addressed durability syscalls. The WAL and checkpoint machinery
+   in [Dbclient.Durable] appends to long-lived log files across many
+   statements; fd-based [open_file] truncates on open, so these operate
+   on paths directly (the moral equivalent of O_APPEND + fsync +
+   rename). They still pay the fault gate and advance the clock like any
+   other syscall. *)
+
+let live_process t pid =
+  let p = find_process t pid in
+  if not p.alive then invalid_arg "Kernel: dead process";
+  p
+
+let append_path t ~pid ~path (data : string) =
+  ignore (live_process t pid);
+  fault_gate ~op:"write" ~path;
+  Obs.counter "os.syscall.write";
+  if Obs.enabled () then Obs.counter ~by:(String.length data) "os.bytes_written";
+  let time = tick t in
+  Vfs.append_buffered t.vfs ~path ~mtime:time data
+
+let overwrite_path t ~pid ~path (data : string) =
+  ignore (live_process t pid);
+  fault_gate ~op:"write" ~path;
+  Obs.counter "os.syscall.write";
+  if Obs.enabled () then Obs.counter ~by:(String.length data) "os.bytes_written";
+  let time = tick t in
+  Vfs.truncate_buffered t.vfs ~path ~mtime:time ();
+  Vfs.append_buffered t.vfs ~path ~mtime:time data
+
+let fsync_path t ~pid ~path =
+  ignore (live_process t pid);
+  fault_gate ~op:"fsync" ~path;
+  Obs.counter "os.syscall.fsync";
+  ignore (tick t);
+  Vfs.fsync t.vfs path
+
+let rename_path t ~pid ~src ~dst =
+  ignore (live_process t pid);
+  fault_gate ~op:"rename" ~path:src;
+  Obs.counter "os.syscall.rename";
+  ignore (tick t);
+  Vfs.rename t.vfs ~src ~dst
+
+(* ------------------------------------------------------------------ *)
+(* Crash: simulated power failure. Every process dies on the spot (no
+   orderly close events — that is the point) and the file system reverts
+   to its last-synced state, except for any torn tails in [keep]. The
+   kernel itself survives: its clock is the hardware clock and keeps
+   running across the reboot. *)
+
+let crash t ?(keep = []) () =
+  Obs.counter "os.crash";
+  Hashtbl.iter
+    (fun _ p ->
+      if p.alive then begin
+        p.fds <- [];
+        p.alive <- false
+      end)
+    t.processes;
+  Vfs.crash t.vfs ~keep ()
 
 (* ------------------------------------------------------------------ *)
 (* Audit hooks: named callbacks other layers (the DB client interceptor)

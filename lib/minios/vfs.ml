@@ -4,11 +4,27 @@
     File contents are either real bytes ([Data]) or size-only placeholders
     ([Opaque]) used to model large binary artifacts — DBMS server binaries,
     shared libraries, VM base images — whose bytes never matter but whose
-    sizes drive the package-size experiments (Figure 9, §IX-F). *)
+    sizes drive the package-size experiments (Figure 9, §IX-F).
+
+    {b Durability model.} Every file carries two states: [content] (what
+    readers see — the page cache) and [synced] (what survives a simulated
+    power failure — the platter). The plain write API ([write],
+    [write_string], [write_opaque], [append]) models provisioning I/O and
+    is implicitly durable: it updates both states at once, so the rest of
+    the system behaves exactly as before durability existed. The buffered
+    API ([append_buffered], [truncate_buffered]) updates only [content];
+    the unsynced delta reaches the platter only at an explicit {!fsync}
+    barrier, and {!crash} throws it away — except for an optional torn
+    prefix of an append-only tail, modeling a partially flushed page. *)
 
 type content = Data of string | Opaque of int
 
-type file = { mutable content : content; mutable mtime : int }
+type file = {
+  mutable content : content;
+  mutable mtime : int;
+  mutable synced : content option;
+      (** what a crash rolls back to; [None] = the file vanishes *)
+}
 
 type t = { files : (string, file) Hashtbl.t }
 
@@ -30,8 +46,9 @@ let write t ~path ?(mtime = 0) content =
   match Hashtbl.find_opt t.files path with
   | Some f ->
     f.content <- content;
+    f.synced <- Some content;
     f.mtime <- mtime
-  | None -> Hashtbl.replace t.files path { content; mtime }
+  | None -> Hashtbl.replace t.files path { content; mtime; synced = Some content }
 
 let write_string t ~path ?mtime s = write t ~path ?mtime (Data s)
 let write_opaque t ~path ?mtime size = write t ~path ?mtime (Opaque size)
@@ -41,10 +58,96 @@ let append t ~path ?(mtime = 0) s =
   match Hashtbl.find_opt t.files path with
   | Some ({ content = Data old; _ } as f) ->
     f.content <- Data (old ^ s);
+    f.synced <- Some f.content;
     f.mtime <- mtime
   | Some { content = Opaque _; _ } ->
     invalid_arg (Printf.sprintf "Vfs.append: %s is opaque" path)
-  | None -> Hashtbl.replace t.files path { content = Data s; mtime }
+  | None ->
+    Hashtbl.replace t.files path
+      { content = Data s; mtime; synced = Some (Data s) }
+
+(* ------------------------------------------------------------------ *)
+(* Buffered (crash-unsafe until fsync) writes.                         *)
+
+let append_buffered t ~path ?(mtime = 0) s =
+  let path = normalize path in
+  match Hashtbl.find_opt t.files path with
+  | Some ({ content = Data old; _ } as f) ->
+    f.content <- Data (old ^ s);
+    f.mtime <- mtime
+  | Some { content = Opaque _; _ } ->
+    invalid_arg (Printf.sprintf "Vfs.append_buffered: %s is opaque" path)
+  | None ->
+    Hashtbl.replace t.files path { content = Data s; mtime; synced = None }
+
+let truncate_buffered t ~path ?(mtime = 0) () =
+  let path = normalize path in
+  match Hashtbl.find_opt t.files path with
+  | Some f ->
+    f.content <- Data "";
+    f.mtime <- mtime
+  | None ->
+    Hashtbl.replace t.files path { content = Data ""; mtime; synced = None }
+
+let fsync t path =
+  match find_opt t path with
+  | Some f -> f.synced <- Some f.content
+  | None -> ()
+
+(** Atomically rename [src] to [dst], replacing [dst]. The name change
+    itself is modeled as durable (rename + directory fsync); the file's
+    *contents* keep their own synced state, so renaming an un-fsynced file
+    into place still loses its bytes at the next crash. *)
+let rename t ~src ~dst =
+  let src = normalize src and dst = normalize dst in
+  match Hashtbl.find_opt t.files src with
+  | None -> raise Not_found
+  | Some f ->
+    Hashtbl.remove t.files src;
+    Hashtbl.replace t.files dst f
+
+(** Bytes of [path]'s content not yet covered by an fsync barrier. *)
+let unsynced_bytes t path =
+  match find_opt t path with
+  | None -> 0
+  | Some { content = Data d; synced; _ } -> (
+    match synced with
+    | Some (Data b) -> max 0 (String.length d - String.length b)
+    | Some (Opaque _) -> 0
+    | None -> String.length d)
+  | Some { content = Opaque _; _ } -> 0
+
+(** Simulated power failure: every file reverts to its last-synced state;
+    files never synced vanish. [keep] maps a path to a number of bytes of
+    its unsynced append-only tail that did reach the platter (a torn
+    write); it only applies to [Data] files whose content grew past the
+    synced prefix. Whatever survives is durable afterwards. *)
+let crash t ?(keep = []) () =
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun path f ->
+      let kept =
+        match List.assoc_opt path keep with Some n -> max 0 n | None -> 0
+      in
+      match (f.synced, f.content) with
+      | Some (Data b), Data d
+        when String.length d > String.length b && kept > 0 ->
+        let bl = String.length b in
+        let survived =
+          String.sub d 0 (bl + min kept (String.length d - bl))
+        in
+        f.content <- Data survived;
+        f.synced <- Some f.content
+      | Some c, _ ->
+        f.content <- c;
+        f.synced <- Some c
+      | None, Data d when kept > 0 ->
+        let survived = String.sub d 0 (min kept (String.length d)) in
+        f.content <- Data survived;
+        f.synced <- Some f.content
+      | None, _ -> doomed := path :: !doomed)
+    t.files;
+  List.iter (Hashtbl.remove t.files) !doomed
 
 let read t path =
   let path = normalize path in

@@ -3,11 +3,21 @@
     Paths are absolute, [/]-separated strings; directories are implicit.
     File contents are either real bytes ([Data]) or size-only placeholders
     ([Opaque]) modeling large binary artifacts whose bytes never matter
-    but whose sizes drive the package-size experiments. *)
+    but whose sizes drive the package-size experiments.
+
+    Durability: each file tracks both its visible [content] (page cache)
+    and its last-synced state (platter). The plain write API is
+    implicitly durable; the [_buffered] API plus {!fsync} and {!crash}
+    model buffered I/O, explicit sync barriers, and power failures. *)
 
 type content = Data of string | Opaque of int
 
-type file = { mutable content : content; mutable mtime : int }
+type file = {
+  mutable content : content;
+  mutable mtime : int;
+  mutable synced : content option;
+      (** what a crash rolls back to; [None] = the file vanishes *)
+}
 
 type t
 
@@ -24,9 +34,38 @@ val write : t -> path:string -> ?mtime:int -> content -> unit
 val write_string : t -> path:string -> ?mtime:int -> string -> unit
 val write_opaque : t -> path:string -> ?mtime:int -> int -> unit
 
-(** Appends to a [Data] file, creating it if missing.
+(** Appends to a [Data] file, creating it if missing; implicitly durable.
     @raise Invalid_argument on opaque files. *)
 val append : t -> path:string -> ?mtime:int -> string -> unit
+
+(** {2 Buffered I/O and crash simulation} *)
+
+(** Append without a durability guarantee: the new bytes are visible to
+    readers but are lost by {!crash} until {!fsync} runs.
+    @raise Invalid_argument on opaque files. *)
+val append_buffered : t -> path:string -> ?mtime:int -> string -> unit
+
+(** Truncate the visible content to empty without touching the synced
+    state: a crash before {!fsync} resurrects the previous durable
+    content. Creates the file (un-synced) if missing. *)
+val truncate_buffered : t -> path:string -> ?mtime:int -> unit -> unit
+
+(** Make [path]'s current content durable. No-op on missing files. *)
+val fsync : t -> string -> unit
+
+(** Atomically rename [src] over [dst]. The name change is durable; the
+    contents keep their own synced state.
+    @raise Not_found when [src] is missing. *)
+val rename : t -> src:string -> dst:string -> unit
+
+(** Bytes of content not yet covered by an fsync barrier. *)
+val unsynced_bytes : t -> string -> int
+
+(** Simulated power failure: revert every file to its last-synced state;
+    never-synced files vanish. [keep] grants a path a torn prefix of its
+    unsynced append-only tail (bytes that reached the platter before the
+    failure). Surviving state is durable afterwards. *)
+val crash : t -> ?keep:(string * int) list -> unit -> unit
 
 (** @raise Not_found on missing files.
     @raise Invalid_argument on opaque files. *)

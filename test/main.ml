@@ -39,6 +39,7 @@ let () =
       ("gprom", Test_gprom.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
+      ("durability", Test_durability.suite);
       ("report", Test_report.suite);
       ("partial-diff", Test_partial_diff.suite);
       ("end-to-end", Test_e2e.suite) ]

@@ -1,0 +1,330 @@
+(* Tests for the crash-consistency machinery: the VFS durability model
+   (buffered writes, fsync barriers, torn tails), the minidb WAL,
+   checkpoint + redo recovery (Dbclient.Durable), the crashcheck
+   campaign harness, and the crash-safe package writer. *)
+
+open Dbclient
+module F = Ldv_faults
+module K = Minios.Kernel
+module V = Minios.Vfs
+
+let data_dir = "/var/minidb/data"
+let wal = data_dir ^ "/wal.log"
+
+(* Boot a fresh durable server on a fresh simulated machine. *)
+let boot () =
+  let kernel = K.create () in
+  let db = Minidb.Database.create () in
+  let server = Server.attach ~data_dir db in
+  let proc = K.start_process kernel ~name:"minidb-server" () in
+  (kernel, Durable.start kernel server ~pid:proc.K.pid)
+
+let exec d sql =
+  match Durable.exec d sql with
+  | Protocol.Error_response msg -> Alcotest.failf "statement failed: %s" msg
+  | _ -> ()
+
+let rows kernel_db table =
+  List.length
+    (Minidb.Table.scan
+       (Minidb.Catalog.find (Minidb.Database.catalog kernel_db) table))
+
+(* ---------------- VFS durability model -------------------------- *)
+
+let test_vfs_buffered_lost_on_crash () =
+  let v = V.create () in
+  V.write_string v ~path:"/f" "base";
+  V.append_buffered v ~path:"/f" "+tail";
+  Alcotest.(check string) "readers see buffered bytes" "base+tail"
+    (V.read v "/f");
+  Alcotest.(check int) "unsynced tail" 5 (V.unsynced_bytes v "/f");
+  V.crash v ();
+  Alcotest.(check string) "crash drops unsynced bytes" "base" (V.read v "/f")
+
+let test_vfs_fsync_makes_durable () =
+  let v = V.create () in
+  V.append_buffered v ~path:"/f" "hello";
+  V.fsync v "/f";
+  V.append_buffered v ~path:"/f" " world";
+  V.crash v ();
+  Alcotest.(check string) "synced prefix survives" "hello" (V.read v "/f")
+
+let test_vfs_never_synced_vanishes () =
+  let v = V.create () in
+  V.append_buffered v ~path:"/f" "ghost";
+  V.crash v ();
+  Alcotest.(check bool) "never-synced file vanishes" false (V.exists v "/f")
+
+let test_vfs_torn_keep () =
+  let v = V.create () in
+  V.write_string v ~path:"/f" "base";
+  V.append_buffered v ~path:"/f" "0123456789";
+  V.crash v ~keep:[ ("/f", 4) ] ();
+  Alcotest.(check string) "torn prefix of the tail survives" "base0123"
+    (V.read v "/f");
+  Alcotest.(check int) "survivors are durable" 0 (V.unsynced_bytes v "/f")
+
+let test_vfs_truncate_buffered_resurrects () =
+  let v = V.create () in
+  V.write_string v ~path:"/f" "durable";
+  V.truncate_buffered v ~path:"/f" ();
+  Alcotest.(check string) "truncation visible" "" (V.read v "/f");
+  V.crash v ();
+  Alcotest.(check string) "crash resurrects durable content" "durable"
+    (V.read v "/f")
+
+(* ---------------- WAL format ------------------------------------ *)
+
+let test_wal_roundtrip () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT, note TEXT)";
+  exec d "INSERT INTO t VALUES (1, 'multi\nline''s')";
+  let loaded = Wal.load (K.vfs kernel) wal in
+  Alcotest.(check int) "two records" 2 (List.length loaded.Wal.records);
+  Alcotest.(check int) "no torn bytes" 0 loaded.Wal.torn_bytes;
+  let sqls = List.map (fun (r : Wal.record) -> r.Wal.sql) loaded.Wal.records in
+  Alcotest.(check (list string)) "payloads round-trip (newline included)"
+    [ "CREATE TABLE t (a INT, note TEXT)";
+      "INSERT INTO t VALUES (1, 'multi\nline''s')" ]
+    sqls;
+  Alcotest.(check (list int)) "sequence numbers are 1-based ordinals" [ 1; 2 ]
+    (List.map (fun (r : Wal.record) -> r.Wal.seq) loaded.Wal.records)
+
+let test_wal_torn_tail_detected () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT)";
+  exec d "INSERT INTO t VALUES (1)";
+  let vfs = K.vfs kernel in
+  let full = V.read vfs wal in
+  (* tear the last record: keep all but its final 5 bytes *)
+  V.write_string vfs ~path:wal (String.sub full 0 (String.length full - 5));
+  let loaded = Wal.load vfs wal in
+  Alcotest.(check int) "only the intact record parses" 1
+    (List.length loaded.Wal.records);
+  Alcotest.(check bool) "torn bytes reported" true (loaded.Wal.torn_bytes > 0)
+
+let test_wal_durable_cut_drops_open_tx () =
+  let r seq kind sql = { Wal.seq; kind; sql } in
+  let records =
+    [ r 1 Wal.Stmt "s1"; r 2 Wal.Begin "BEGIN"; r 3 Wal.Stmt "s2";
+      r 4 Wal.Commit "COMMIT"; r 5 Wal.Begin "BEGIN"; r 6 Wal.Stmt "s3" ]
+  in
+  let replay, dropped, redo_upto = Wal.durable_cut records in
+  Alcotest.(check int) "replay up to the last closed tx" 4
+    (List.length replay);
+  Alcotest.(check int) "trailing open tx dropped" 2 (List.length dropped);
+  Alcotest.(check int) "redo high-water mark" 4 redo_upto
+
+(* ---------------- recovery semantics ---------------------------- *)
+
+let test_recover_redoes_wal_suffix () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT)";
+  exec d "INSERT INTO t VALUES (1)";
+  Durable.checkpoint d;
+  exec d "INSERT INTO t VALUES (2)";
+  exec d "INSERT INTO t VALUES (3)";
+  K.crash kernel ();
+  let d', stats = Durable.recover kernel ~data_dir () in
+  Alcotest.(check int) "checkpoint covered the first two records" 2
+    stats.Durable.checkpoint_seq;
+  Alcotest.(check int) "two records redone" 2 stats.Durable.redone;
+  Alcotest.(check int) "all three rows recovered" 3
+    (rows (Server.db (Durable.server d')) "t");
+  (* the post-recovery checkpoint leaves an empty log for the next run *)
+  Alcotest.(check int) "WAL empty after recovery" 0
+    (List.length (Wal.load (K.vfs kernel) wal).Wal.records)
+
+let test_rollback_leaves_no_trace_after_recovery () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT)";
+  exec d "INSERT INTO t VALUES (1)";
+  exec d "BEGIN";
+  exec d "INSERT INTO t VALUES (2)";
+  exec d "UPDATE t SET a = 99 WHERE a = 1";
+  exec d "ROLLBACK";
+  exec d "INSERT INTO t VALUES (3)";
+  K.crash kernel ();
+  let d', _ = Durable.recover kernel ~data_dir () in
+  let db' = Server.db (Durable.server d') in
+  Alcotest.(check int) "only the committed rows" 2 (rows db' "t");
+  let vals =
+    List.map
+      (fun (tv : Minidb.Table.tuple_version) ->
+        Minidb.Value.to_raw_string tv.Minidb.Table.values.(0))
+      (Minidb.Table.scan
+         (Minidb.Catalog.find (Minidb.Database.catalog db') "t"))
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "rolled-back insert and update gone"
+    [ "1"; "3" ] vals;
+  (* replaying the ROLLBACK literally must keep the clock aligned with an
+     uncrashed run of the same statements *)
+  let _, control = boot () in
+  List.iter (exec control)
+    [ "CREATE TABLE t (a INT)"; "INSERT INTO t VALUES (1)"; "BEGIN";
+      "INSERT INTO t VALUES (2)"; "UPDATE t SET a = 99 WHERE a = 1";
+      "ROLLBACK"; "INSERT INTO t VALUES (3)" ];
+  Alcotest.(check int) "clock parity with uncrashed control"
+    (Minidb.Database.clock (Server.db (Durable.server control)))
+    (Minidb.Database.clock db')
+
+let test_commit_prefsync_crash_loses_tx_atomically () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT)";
+  exec d "INSERT INTO t VALUES (1)";
+  (* wal.pre_fsync is consulted by sync-needed statements only; under the
+     plan, BEGIN and the in-transaction statements never sync, so the
+     first hit is the COMMIT barrier *)
+  let plan = F.make ~crash:("wal.pre_fsync", 1) ~seed:7 () in
+  let crashed =
+    F.with_plan plan @@ fun () ->
+    match
+      exec d "BEGIN";
+      exec d "INSERT INTO t VALUES (2)";
+      exec d "UPDATE t SET a = 10 WHERE a = 1";
+      exec d "COMMIT"
+    with
+    | () -> false
+    | exception F.Crash site ->
+      Alcotest.(check string) "crashed at the COMMIT barrier" "wal.pre_fsync"
+        site;
+      true
+  in
+  Alcotest.(check bool) "crash fired" true crashed;
+  K.crash kernel ();
+  let d', stats = Durable.recover kernel ~data_dir () in
+  let db' = Server.db (Durable.server d') in
+  (* the transaction's records never reached the platter: the whole
+     transaction is lost atomically — no partial application *)
+  Alcotest.(check int) "pre-transaction state only" 1 (rows db' "t");
+  Alcotest.(check int) "no open-transaction leftovers" 0 stats.Durable.dropped;
+  Alcotest.(check bool) "recovered db is not mid-transaction" false
+    (Minidb.Database.in_transaction db')
+
+let test_next_rid_preserved_across_checkpoint () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT)";
+  exec d "INSERT INTO t VALUES (1)";
+  exec d "INSERT INTO t VALUES (2)";
+  exec d "DELETE FROM t WHERE a = 2";
+  (* the highest-rid row is dead: a checkpoint that derived next_rid from
+     live rows alone would re-issue rid 2 after recovery *)
+  Durable.checkpoint d;
+  K.crash kernel ();
+  let d', _ = Durable.recover kernel ~data_dir () in
+  exec d' "INSERT INTO t VALUES (3)";
+  let table =
+    Minidb.Catalog.find
+      (Minidb.Database.catalog (Server.db (Durable.server d')))
+      "t"
+  in
+  let rids =
+    List.map
+      (fun (tv : Minidb.Table.tuple_version) -> tv.Minidb.Table.tid.Minidb.Tid.rid)
+      (Minidb.Table.scan table)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "fresh insert continues the rid sequence"
+    [ 1; 3 ] rids
+
+let test_ckpt_pre_gc_crash_no_double_apply () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT)";
+  exec d "INSERT INTO t VALUES (1)";
+  exec d "INSERT INTO t VALUES (1)";
+  let plan = F.make ~crash:("ckpt.pre_gc", 1) ~seed:7 () in
+  (F.with_plan plan @@ fun () ->
+   match Durable.checkpoint d with
+   | () -> Alcotest.fail "expected a crash"
+   | exception F.Crash _ -> ());
+  (* image published, WAL not yet emptied: records <= ck_last_seq must be
+     skipped by sequence number, not re-applied *)
+  K.crash kernel ();
+  let d', stats = Durable.recover kernel ~data_dir () in
+  Alcotest.(check int) "nothing redone past the image" 0 stats.Durable.redone;
+  Alcotest.(check int) "rows not doubled" 2
+    (rows (Server.db (Durable.server d')) "t")
+
+(* ---------------- crashcheck harness ---------------------------- *)
+
+let test_crashcheck_deterministic_and_verified () =
+  let r1 = Ldv_core.Crashcheck.run ~campaigns:6 ~seed:123 () in
+  let r2 = Ldv_core.Crashcheck.run ~campaigns:6 ~seed:123 () in
+  Alcotest.(check string) "same seed, identical report"
+    (Ldv_core.Crashcheck.to_string r1)
+    (Ldv_core.Crashcheck.to_string r2);
+  Alcotest.(check int) "no divergence" 0 r1.Ldv_core.Crashcheck.r_divergent;
+  Alcotest.(check int) "no uncaught exceptions" 0
+    r1.Ldv_core.Crashcheck.r_uncaught
+
+let test_crashcheck_no_recover_diverges () =
+  let r = Ldv_core.Crashcheck.run ~recover:false ~campaigns:6 ~seed:123 () in
+  Alcotest.(check bool) "skipping redo loses work the verifier catches" true
+    (r.Ldv_core.Crashcheck.r_divergent > 0)
+
+(* ---------------- crash-safe package writer --------------------- *)
+
+let test_write_file_no_tmp_after_failure () =
+  let audit = Lazy.force Ldv_fixtures.included in
+  let pkg = Ldv_core.Package.build audit in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ldv-durability-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      (* the destination is a directory: serialization and the temp write
+         succeed, the final rename fails *)
+      let dest = Filename.concat dir "taken" in
+      Unix.mkdir dest 0o700;
+      Fun.protect
+        ~finally:(fun () -> Unix.rmdir dest)
+        (fun () ->
+          (match Ldv_core.Package.write_file pkg ~path:dest with
+          | () -> Alcotest.fail "expected the rename to fail"
+          | exception Sys_error _ -> ());
+          let leftovers =
+            Array.to_list (Sys.readdir dir)
+            |> List.filter (fun f -> f <> "taken")
+          in
+          Alcotest.(check (list string)) "no temp files left behind" []
+            leftovers))
+
+let suite =
+  [ Alcotest.test_case "vfs: buffered bytes lost on crash" `Quick
+      test_vfs_buffered_lost_on_crash;
+    Alcotest.test_case "vfs: fsync makes bytes durable" `Quick
+      test_vfs_fsync_makes_durable;
+    Alcotest.test_case "vfs: never-synced file vanishes" `Quick
+      test_vfs_never_synced_vanishes;
+    Alcotest.test_case "vfs: torn tail survives via keep" `Quick
+      test_vfs_torn_keep;
+    Alcotest.test_case "vfs: buffered truncate resurrects" `Quick
+      test_vfs_truncate_buffered_resurrects;
+    Alcotest.test_case "wal: records round-trip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal: torn tail detected" `Quick
+      test_wal_torn_tail_detected;
+    Alcotest.test_case "wal: durable cut drops open tx" `Quick
+      test_wal_durable_cut_drops_open_tx;
+    Alcotest.test_case "recover: redoes WAL suffix" `Quick
+      test_recover_redoes_wal_suffix;
+    Alcotest.test_case "recover: ROLLBACK leaves no trace" `Quick
+      test_rollback_leaves_no_trace_after_recovery;
+    Alcotest.test_case "recover: COMMIT pre-fsync crash is atomic" `Quick
+      test_commit_prefsync_crash_loses_tx_atomically;
+    Alcotest.test_case "recover: next_rid survives checkpoint" `Quick
+      test_next_rid_preserved_across_checkpoint;
+    Alcotest.test_case "recover: no double apply after ckpt.pre_gc" `Quick
+      test_ckpt_pre_gc_crash_no_double_apply;
+    Alcotest.test_case "crashcheck: deterministic and verified" `Quick
+      test_crashcheck_deterministic_and_verified;
+    Alcotest.test_case "crashcheck: --no-recover diverges" `Quick
+      test_crashcheck_no_recover_diverges;
+    Alcotest.test_case "package: no .tmp after failed write" `Quick
+      test_write_file_no_tmp_after_failure ]
