@@ -2,7 +2,7 @@
    paper's evaluation (§IX).
 
    Usage: main.exe [table1|table2|table3|fig7a|fig7b|fig8a|fig8b|fig9|vmi|
-                    ablation|micro|all] [--sf FLOAT] [--paper-counts]
+                    ablation|micro|profile|all] [--sf FLOAT] [--paper-counts]
 
    The workload follows §IX-A: Insert n tuples into orders, run one of the
    Table II queries n times, update n orders. `--paper-counts` uses the
@@ -782,6 +782,129 @@ let micro () =
   Report.print_table ~header:[ "benchmark"; "time/run" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* Profile: native vs audited run, per-stage overhead breakdown. The
+   audited run's spans are isolated by span-id windowing (the Memory
+   sink is global for the whole bench process) and fed through
+   [Ldv_obs.Profile]; the result lands in BENCH_profile.json next to
+   BENCH_obs.json.                                                     *)
+
+module P = Ldv_obs.Profile
+module Json = Ldv_obs.Json
+
+(* The Q1-1 workload app run with a passthrough session and no tracer:
+   the observability-free baseline the audit overhead is measured
+   against. *)
+let run_native counts : float =
+  Gc.compact ();
+  let inst = Instance.get ~sf:!sf in
+  let db = Instance.fresh_db inst in
+  let kernel = Minios.Kernel.create () in
+  let server = Dbclient.Server.install kernel db in
+  Tpch.Workload.install_runtime kernel;
+  let q = Tpch.Queries.find inst.Instance.stats "Q1-1" in
+  let cfg =
+    { (Tpch.Workload.default_config ~query_sql:q.Tpch.Queries.sql
+         ~stats:inst.Instance.stats)
+      with
+      Tpch.Workload.n_insert = counts.n_insert;
+      n_select = counts.n_select;
+      n_update = counts.n_update }
+  in
+  let binary = Tpch.Workload.install_app_files kernel cfg in
+  let program = Tpch.Workload.app cfg in
+  incr name_counter;
+  let app_name = Printf.sprintf "bench-native-%d" !name_counter in
+  Minios.Program.register ~name:app_name program;
+  let session = I.create ~mode:I.Passthrough ~kernel server in
+  I.bind kernel session;
+  Fun.protect
+    ~finally:(fun () -> I.unbind kernel)
+    (fun () ->
+      let _, dt =
+        time (fun () ->
+            Minios.Program.run kernel ~binary ~libs:Tpch.Workload.app_libs
+              ~name:app_name program)
+      in
+      dt)
+
+let profile_bench () =
+  Report.section "Profile: audit overhead breakdown (Q1-1, server-included)";
+  let counts = sweep_counts () in
+  (* the native baseline runs with observability fully off, so the factor
+     charges the audit for its instrumentation too *)
+  Ldv_obs.set_sink Ldv_obs.Null;
+  let native_s =
+    Fun.protect
+      ~finally:(fun () -> Ldv_obs.set_sink Ldv_obs.Memory)
+      (fun () -> run_native counts)
+  in
+  let last_id =
+    List.fold_left
+      (fun acc (sp : Ldv_obs.span) -> max acc sp.Ldv_obs.sp_id)
+      0 (Ldv_obs.snapshot ()).Ldv_obs.spans
+  in
+  let e = run_audit ~counts ~vid:"Q1-1" Sys_included in
+  let after = Ldv_obs.snapshot () in
+  let windowed =
+    { after with
+      Ldv_obs.spans =
+        List.filter
+          (fun (sp : Ldv_obs.span) -> sp.Ldv_obs.sp_id > last_id)
+          after.Ldv_obs.spans }
+  in
+  let prof = P.of_snapshot windowed in
+  let rows = P.rows prof in
+  let total_of name =
+    match List.find_opt (fun (r : P.row) -> r.P.r_name = name) rows with
+    | Some r -> r.P.r_total
+    | None -> 0.0
+  in
+  let audited_s = total_of "audit.app" in
+  let overhead =
+    if native_s > 0.0 then audited_s /. native_s else Float.nan
+  in
+  Report.print_table
+    ~header:[ "run"; "wall" ]
+    [ [ "native app (passthrough, no tracer)"; s native_s ];
+      [ "audited app (server-included)"; s audited_s ];
+      [ "full audit incl. setup + trace build"; s e.total_audit_s ] ];
+  Report.note "audit overhead factor: %.2fx over native\n" overhead;
+  Report.section "Per-stage breakdown of the audited run";
+  Report.print_table
+    ~header:[ "stage"; "count"; "total"; "self" ]
+    (List.map
+       (fun (r : P.row) ->
+         [ r.P.r_name;
+           string_of_int r.P.r_count;
+           s r.P.r_total;
+           s r.P.r_self ])
+       rows);
+  let json =
+    Json.Obj
+      [ ("query", Json.Str "Q1-1");
+        ("system", Json.Str (system_name Sys_included));
+        ("native_s", Json.Float native_s);
+        ("audited_s", Json.Float audited_s);
+        ("audit_total_s", Json.Float e.total_audit_s);
+        ("overhead_factor", Json.Float overhead);
+        ("stages",
+         Json.List
+           (List.map
+              (fun (r : P.row) ->
+                Json.Obj
+                  [ ("name", Json.Str r.P.r_name);
+                    ("count", Json.Int r.P.r_count);
+                    ("total_s", Json.Float r.P.r_total);
+                    ("self_s", Json.Float r.P.r_self) ])
+              rows)) ]
+  in
+  let oc = open_out "BENCH_profile.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.eprintf "wrote BENCH_profile.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* check: assert the paper's headline shape claims programmatically.   *)
 
 let check () =
@@ -854,6 +977,7 @@ let all () =
   vmi ();
   ablation ();
   micro ();
+  profile_bench ();
   check ()
 
 let () =
@@ -900,11 +1024,12 @@ let () =
   | "vmi" -> vmi ()
   | "ablation" -> ablation ()
   | "micro" -> micro ()
+  | "profile" -> profile_bench ()
   | "check" -> check ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown command %S; expected \
-       table1|table2|table3|fig7a|fig7b|fig8a|fig8b|fig9|vmi|ablation|micro|check|all\n"
+       table1|table2|table3|fig7a|fig7b|fig8a|fig8b|fig9|vmi|ablation|micro|profile|check|all\n"
       other;
     exit 2

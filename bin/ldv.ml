@@ -331,6 +331,23 @@ let trace_cmd =
 (* ------------------------------------------------------------------ *)
 (* stats: replay an exported JSONL observability trace                 *)
 
+(** Read a JSONL observability trace, mapping I/O failures and typed
+    decode errors (with their 1-based line numbers) to cmdliner
+    messages. *)
+let load_trace path : (Ldv_obs.snapshot, [ `Msg of string ]) result =
+  let fail fmt = Format.kasprintf (fun m -> Error (`Msg m)) fmt in
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let data = really_input_string ic n in
+    close_in ic;
+    Ldv_obs.of_jsonl data
+  with
+  | snap -> Ok snap
+  | exception Sys_error msg -> fail "%s" msg
+  | exception Ldv_errors.Error e ->
+    fail "%s is not an observability trace: %s" path (Ldv_errors.to_string e)
+
 let stats_cmd =
   let file_arg =
     let doc = "JSONL trace written by $(b,--obs jsonl:FILE)." in
@@ -343,26 +360,15 @@ let stats_cmd =
           ~doc:"Also print the span tree (roots at the margin).")
   in
   let run path tree =
-    let fail fmt = Format.kasprintf (fun m -> Error (`Msg m)) fmt in
-    match
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let data = really_input_string ic n in
-      close_in ic;
-      Ldv_obs.of_jsonl data
-    with
-    | snap ->
+    match load_trace path with
+    | Error _ as e -> e
+    | Ok snap ->
       Obs_report.print_summary snap;
       if tree then begin
         Report.section "Span tree";
         Obs_report.print_tree snap
       end;
       Ok ()
-    | exception Sys_error msg -> fail "%s" msg
-    | exception Ldv_obs.Json.Parse_error msg ->
-      fail "%s is not an observability trace: %s" path msg
-    | exception Invalid_argument msg ->
-      fail "%s is not an observability trace: %s" path msg
   in
   let term = Term.(term_result (const run $ file_arg $ tree_arg)) in
   Cmd.v
@@ -370,6 +376,113 @@ let stats_cmd =
        ~doc:
          "Summarize an observability trace exported with --obs jsonl:FILE")
     term
+
+(* ------------------------------------------------------------------ *)
+(* profile: critical-path / self-total analysis of a JSONL trace       *)
+
+let trace_pos_arg =
+  let doc = "JSONL trace written by $(b,--obs jsonl:FILE)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let profile_cmd =
+  let critical_arg =
+    Arg.(
+      value & flag
+      & info [ "critical-path" ]
+          ~doc:
+            "Also print, per root span, the chain of heaviest children \
+             with step-cost attribution (the steps sum to the root's \
+             duration).")
+  in
+  let flame_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Write collapsed-stack output (flamegraph.pl / speedscope \
+             input) to FILE.")
+  in
+  let dot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the span forest as graphviz, timings and \
+             provenance-node correlations overlaid in the trace-graph \
+             style of $(b,ldv inspect --dot).")
+  in
+  let run path critical flame dot =
+    match load_trace path with
+    | Error _ as e -> e
+    | Ok snap ->
+      let p = Ldv_obs.Profile.of_snapshot snap in
+      Obs_report.print_profile p;
+      if critical then Obs_report.print_critical_paths p;
+      let write_file out content =
+        let oc = open_out out in
+        output_string oc content;
+        close_out oc;
+        Printf.printf "wrote %s\n" out
+      in
+      Option.iter
+        (fun out -> write_file out (Ldv_obs.Profile.to_collapsed p))
+        flame;
+      Option.iter (fun out -> write_file out (Ldv_obs.Profile.to_dot p)) dot;
+      Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ trace_pos_arg $ critical_arg $ flame_arg $ dot_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Analyze an observability trace: self vs total time per span, \
+          critical paths, flamegraph and graphviz exports")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* obs diff: the perf-regression gate between two JSONL traces         *)
+
+let obs_cmd =
+  let a_arg =
+    let doc = "Baseline JSONL trace (run A)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc)
+  in
+  let b_arg =
+    let doc = "Candidate JSONL trace (run B)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc)
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget" ] ~docv:"PCT"
+          ~doc:
+            "Fail (exit 4) when any span's total time in B exceeds its \
+             total in A by more than PCT percent; spans new in B with \
+             measurable time also fail.")
+  in
+  let run a b budget =
+    match (load_trace a, load_trace b) with
+    | Error _ as e, _ | _, (Error _ as e) -> e
+    | Ok snap_a, Ok snap_b ->
+      let rows = Ldv_obs.Profile.diff snap_a snap_b in
+      let regressions = Obs_report.print_diff ~budget_pct:budget rows in
+      if regressions <> [] then exit 4;
+      Ok ()
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two observability traces span by span (count, total, \
+            p95), optionally gating on a regression budget")
+      Term.(term_result (const run $ a_arg $ b_arg $ budget_arg))
+  in
+  Cmd.group
+    (Cmd.info "obs" ~doc:"Observability trace tooling")
+    [ diff_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* faultcheck                                                          *)
@@ -504,4 +617,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd;
-            faultcheck_cmd; crashcheck_cmd; demo_cmd ]))
+            profile_cmd; obs_cmd; faultcheck_cmd; crashcheck_cmd; demo_cmd ]))

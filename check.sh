@@ -2,9 +2,12 @@
 # Full verification: build everything (lib/obs and lib/faults compile
 # with -warn-error +a), run the test suite, then smoke-test the
 # fault-injection and crash-consistency harnesses (each must exit 0:
-# no untyped exceptions, no divergence from the uncrashed control).
+# no untyped exceptions, no divergence from the uncrashed control) and
+# the profiler: an instrumented audit run is profiled (self/total +
+# critical path must render) and diffed against itself with a tight
+# budget (the gate must pass on identical runs).
 #
-# --quick skips both harness smokes (build + tests only).
+# --quick skips the harness/profiler smokes (build + tests only).
 set -e
 cd "$(dirname "$0")"
 
@@ -22,4 +25,16 @@ dune runtest
 if [ "$quick" -eq 0 ]; then
   dune exec bin/ldv.exe -- faultcheck --campaigns 5 --seed 42
   dune exec bin/ldv.exe -- crashcheck --campaigns 5 --seed 42
+
+  # profile smoke: audit a small run with JSONL export, then analyze it
+  tmpdir=$(mktemp -d)
+  trap 'rm -rf "$tmpdir"' EXIT
+  dune exec bin/ldv.exe -- --obs "jsonl:$tmpdir/run.jsonl" \
+    audit --sf 0.002 --inserts 20 --selects 3 --updates 5 \
+    -o "$tmpdir/app.ldv" > /dev/null
+  dune exec bin/ldv.exe -- profile "$tmpdir/run.jsonl" --critical-path \
+    > /dev/null
+  # the regression gate must pass when a run is compared with itself
+  dune exec bin/ldv.exe -- obs diff "$tmpdir/run.jsonl" "$tmpdir/run.jsonl" \
+    --budget 10 > /dev/null
 fi

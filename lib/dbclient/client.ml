@@ -18,11 +18,16 @@ type conn = {
 (** Connect to the database server from the current process. *)
 let connect (env : Minios.Program.env) ~db:db_name : conn =
   let kernel = Minios.Program.kernel env in
+  let pid = Minios.Program.pid env in
+  Ldv_obs.with_span
+    ~attrs:[ ("prov.proc", Printf.sprintf "proc:%d" pid); ("db", db_name) ]
+    "client.connect"
+  @@ fun () ->
   let session = Interceptor.find kernel in
   (* connection handshake costs a round trip but is not audited (§VIII:
      connection handling calls are ignored) *)
   ignore (Minios.Kernel.tick kernel);
-  { session; pid = Minios.Program.pid env; db_name; open_ = true }
+  { session; pid; db_name; open_ = true }
 
 let check conn =
   if not conn.open_ then

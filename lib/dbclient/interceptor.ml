@@ -275,6 +275,11 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
   if Ldv_obs.enabled () then begin
     Ldv_obs.add_attr "kind" (stmt_kind_name kind);
     Ldv_obs.add_attr "mode" (mode_name t.mode);
+    (* provenance-node correlation: the same identifiers this statement
+       gets in the execution trace ([Prov.Lineage_model.stmt_id],
+       [Prov.Bb_model.process_id]) *)
+    Ldv_obs.add_attr "prov.stmt" (Printf.sprintf "stmt:%d" t.next_qid);
+    Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" pid);
     Ldv_obs.counter ("db.stmt." ^ stmt_kind_name kind)
   end;
   let qid = t.next_qid in

@@ -163,8 +163,12 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
       ~finally:(fun () -> I.unbind kernel)
       (fun () ->
         Ldv_obs.with_span "audit.app" (fun () ->
-            Minios.Program.run kernel ~binary:app_binary ~libs:app_libs
-              ~name:app_name program))
+            let pid =
+              Minios.Program.run kernel ~binary:app_binary ~libs:app_libs
+                ~name:app_name program
+            in
+            Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" pid);
+            pid))
   in
   (match packaging with
   | Included | Ptu_baseline -> Dbclient.Server.stop_traced kernel server
@@ -190,7 +194,12 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
   in
   if Ldv_obs.enabled () then begin
     Ldv_obs.counter ~by:(List.length stmts) "audit.statements";
-    Ldv_obs.counter ~by:(Minios.Tracer.event_count tracer) "audit.os_events"
+    Ldv_obs.counter ~by:(Minios.Tracer.event_count tracer) "audit.os_events";
+    (* the root process and its output files, by their trace node ids *)
+    Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" root_pid);
+    List.iter
+      (fun (path, _) -> Ldv_obs.add_attr "prov.file" ("file:" ^ path))
+      out_files
   end;
   { packaging;
     kernel;

@@ -66,8 +66,11 @@ let print_summary (snap : Obs.snapshot) =
         ~header:[ "span"; "count"; "total"; "mean"; "p50"; "p95"; "max" ]
         (span_rows snap);
       if snap.Obs.dropped_spans > 0 then
-        Report.note "(%d early spans evicted from the ring buffer)\n"
+        Report.note "(%d early spans evicted from the ring buffer%s)\n"
           snap.Obs.dropped_spans
+          (if snap.Obs.ring_capacity > 0 then
+             Printf.sprintf ", capacity %d" snap.Obs.ring_capacity
+           else "")
     end;
     if snap.Obs.counters <> [] then begin
       Report.section "Counters";
@@ -102,6 +105,108 @@ let print_summary (snap : Obs.snapshot) =
            histos)
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Profile rendering (the `ldv profile` / `ldv obs diff` tables).      *)
+
+module P = Ldv_obs.Profile
+
+let pct ~of_ v =
+  if of_ <= 0.0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. v /. of_)
+
+(** The self/total table of a profiled run, heaviest self time first. *)
+let print_profile (p : P.t) =
+  Report.section "Profile (self vs total)";
+  Report.print_table
+    ~header:[ "span"; "count"; "total"; "self"; "self%"; "max" ]
+    (List.map
+       (fun (r : P.row) ->
+         [ r.P.r_name;
+           string_of_int r.P.r_count;
+           Report.seconds r.P.r_total;
+           Report.seconds r.P.r_self;
+           pct ~of_:p.P.wall r.P.r_self;
+           Report.seconds r.P.r_max ])
+       (P.rows p));
+  Report.note "wall (sum of roots): %s across %d root span(s)\n"
+    (Report.seconds p.P.wall)
+    (List.length p.P.forest);
+  if p.P.orphans > 0 then
+    Report.note
+      "(%d span(s) had no parent in the trace — evicted or escaped — and \
+       were promoted to roots)\n"
+      p.P.orphans
+
+(** One table per root: the chain of heaviest children, with the step
+    cost attribution that telescopes to the root's duration. *)
+let print_critical_paths (p : P.t) =
+  List.iter
+    (fun ((root : P.node), steps) ->
+      Report.section
+        (Printf.sprintf "Critical path of %s" root.P.n_span.Obs.sp_name);
+      Report.print_table
+        ~header:[ "depth"; "span"; "total"; "self"; "step cost"; "prov" ]
+        (List.mapi
+           (fun depth (st : P.step) ->
+             [ string_of_int depth;
+               st.P.st_span.Obs.sp_name;
+               Report.seconds st.P.st_total;
+               Report.seconds st.P.st_self;
+               Report.seconds st.P.st_step;
+               (* the full correlation list lives in the dot/JSONL output;
+                  keep the table column readable *)
+               (match Obs.prov_refs st.P.st_span with
+               | a :: b :: (_ :: _ as rest) ->
+                 Printf.sprintf "%s %s (+%d)" a b (List.length rest)
+               | refs -> String.concat " " refs) ])
+           steps);
+      let path_total =
+        List.fold_left (fun acc (st : P.step) -> acc +. st.P.st_step) 0.0 steps
+      in
+      Report.note "critical path total %s = root duration %s\n"
+        (Report.seconds path_total)
+        (Report.seconds root.P.n_total))
+    (P.critical_paths p)
+
+(** The `ldv obs diff` table; returns the regressed rows so the CLI can
+    gate on them. *)
+let print_diff ~budget_pct (rows : P.diff_row list) : P.diff_row list =
+  let fmt_p95 v = if Float.is_nan v then "-" else Report.seconds v in
+  let regressions =
+    match budget_pct with
+    | None -> []
+    | Some budget_pct -> List.filter (P.regressed ~budget_pct) rows
+  in
+  Report.section "Span diff (run A -> run B)";
+  Report.print_table
+    ~header:
+      [ "span"; "count A"; "count B"; "total A"; "total B"; "delta";
+        "p95 A"; "p95 B"; "verdict" ]
+    (List.map
+       (fun (d : P.diff_row) ->
+         let delta = P.delta_pct d in
+         [ d.P.d_name;
+           string_of_int d.P.d_count_a;
+           string_of_int d.P.d_count_b;
+           Report.seconds d.P.d_total_a;
+           Report.seconds d.P.d_total_b;
+           (if Float.is_nan delta then "-"
+            else if delta = Float.infinity then "new"
+            else if delta = Float.neg_infinity then "gone"
+            else Printf.sprintf "%+.1f%%" delta);
+           fmt_p95 d.P.d_p95_a;
+           fmt_p95 d.P.d_p95_b;
+           (match budget_pct with
+           | None -> ""
+           | Some budget_pct ->
+             if P.regressed ~budget_pct d then "REGRESSED" else "ok") ])
+       rows);
+  (match budget_pct with
+  | Some budget_pct ->
+    Report.note "%d span(s) regressed past the %.1f%% budget\n"
+      (List.length regressions) budget_pct
+  | None -> ());
+  regressions
 
 (** Print the span tree of a snapshot (roots at the margin), for drilling
     into one run's structure. *)

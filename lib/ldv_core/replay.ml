@@ -114,12 +114,22 @@ let run ?(program : Minios.Program.program option) (p : prepared) : run_result =
         Minios.Tracer.detach p.kernel)
       (fun () ->
         Ldv_obs.with_span "replay.app" (fun () ->
-            Minios.Program.run p.kernel ~binary:p.pkg.Package.app_binary
-              ~name:p.pkg.Package.app_name program))
+            let pid =
+              Minios.Program.run p.kernel ~binary:p.pkg.Package.app_binary
+                ~name:p.pkg.Package.app_name program
+            in
+            Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" pid);
+            pid))
   in
   let out_files =
     Audit.written_files tracer ~exclude_pids:[] (Minios.Kernel.vfs p.kernel)
   in
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" root_pid);
+    List.iter
+      (fun (path, _) -> Ldv_obs.add_attr "prov.file" ("file:" ^ path))
+      out_files
+  end;
   let query_fingerprints =
     List.filter_map
       (fun (s : I.stmt_event) ->

@@ -28,7 +28,10 @@ let record t event =
       match Vfs.content vfs path with
       | content ->
         Hashtbl.replace t.snapshots path content;
-        Ldv_obs.counter "tracer.snapshots"
+        Ldv_obs.counter "tracer.snapshots";
+        (* correlate the enclosing span (audit.app / replay.app) with the
+           provenance file node this snapshot becomes in the trace *)
+        Ldv_obs.add_attr "prov.file" ("file:" ^ path)
       | exception Not_found -> ())
   | _ -> ()
 

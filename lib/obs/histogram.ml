@@ -31,6 +31,14 @@ let bucket_of v = int_of_float (Float.round (log v /. log_gamma))
 let value_of idx = Float.pow gamma (float_of_int idx)
 
 let observe t v =
+  (* A NaN must not reach sum/min_v/max_v: one poisoned sample would turn
+     every summary statistic of the histogram into NaN. Count it like an
+     underflow (it reports as 0 in percentiles) and keep the moments clean. *)
+  if Float.is_nan v then begin
+    t.count <- t.count + 1;
+    t.underflow <- t.underflow + 1
+  end
+  else begin
   t.count <- t.count + 1;
   t.sum <- t.sum +. v;
   if v < t.min_v then t.min_v <- v;
@@ -38,9 +46,10 @@ let observe t v =
   if v <= 0.0 then t.underflow <- t.underflow + 1
   else
     let idx = bucket_of v in
-    match Hashtbl.find_opt t.buckets idx with
+    (match Hashtbl.find_opt t.buckets idx with
     | Some r -> incr r
-    | None -> Hashtbl.replace t.buckets idx (ref 1)
+    | None -> Hashtbl.replace t.buckets idx (ref 1))
+  end
 
 let count t = t.count
 

@@ -20,18 +20,14 @@
 
 module Json = Json
 module Histogram = Histogram
+module Profile = Profile
 
 (* ------------------------------------------------------------------ *)
-(* Spans.                                                              *)
+(* Spans. The plain-data types ([span], [snapshot]) live in
+   [Obs_types] so that [Profile] can analyze them; re-export them here
+   with type equality.                                                 *)
 
-type span = {
-  sp_id : int;
-  sp_parent : int;  (** 0 for root spans *)
-  sp_name : string;
-  mutable sp_attrs : (string * string) list;
-  sp_start : float;  (** seconds since process start of collection *)
-  mutable sp_dur : float;  (** negative while the span is still open *)
-}
+include Obs_types
 
 type sink =
   | Null  (** disabled: all entry points are no-ops *)
@@ -186,15 +182,8 @@ let add_attr k v =
     | [] -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Snapshots: everything collected so far, in plain data.              *)
-
-type snapshot = {
-  spans : span list;  (** completion order *)
-  dropped_spans : int;
-  counters : (string * int) list;  (** sorted by name *)
-  gauges : (string * float) list;
-  histograms : (string * Histogram.summary) list;
-}
+(* Snapshots: everything collected so far, in plain data (the
+   [snapshot] type itself comes from [Obs_types]).                     *)
 
 let sorted_bindings tbl value =
   Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
@@ -203,6 +192,7 @@ let sorted_bindings tbl value =
 let snapshot () : snapshot =
   { spans = List.of_seq (Queue.to_seq st.ring);
     dropped_spans = st.dropped;
+    ring_capacity = st.ring_cap;
     counters = sorted_bindings st.counters (fun r -> !r);
     gauges = sorted_bindings st.gauges (fun r -> !r);
     histograms = sorted_bindings st.histos Histogram.summarize }
@@ -232,8 +222,18 @@ let hist_record name (s : Histogram.summary) : Json.t =
       ("p95", num s.Histogram.s_p95);
       ("p99", num s.Histogram.s_p99) ]
 
+(** The run-level record flushed with the metrics: ring evictions and the
+    ring capacity, so a JSONL reader knows whether the span list is
+    complete ([of_jsonl] would otherwise silently report 0 drops). *)
+let meta_record (snap : snapshot) : Json.t =
+  Json.Obj
+    [ ("t", Json.Str "meta");
+      ("dropped", Json.Int snap.dropped_spans);
+      ("ring_cap", Json.Int snap.ring_capacity) ]
+
 let metric_records (snap : snapshot) : Json.t list =
-  List.map
+  meta_record snap
+  :: List.map
     (fun (name, v) ->
       Json.Obj
         [ ("t", Json.Str "counter"); ("name", Json.Str name);
@@ -305,45 +305,67 @@ let summary_of_record (j : Json.t) : Histogram.summary =
     s_p99 = f "p99" }
 
 (** Rebuild a snapshot from exported JSONL (the [ldv stats] reader).
-    Unknown record types are skipped so the format can grow. *)
+    Unknown record types are skipped so the format can grow. A malformed
+    or truncated line raises [Ldv_errors.Error (Decode_error _)] with its
+    1-based line number, matching the [Recorder.decode] convention. *)
 let of_jsonl (data : string) : snapshot =
   let spans = ref [] in
+  let dropped = ref 0 in
+  let ring_cap = ref 0 in
   let counters = ref [] in
   let gauges = ref [] in
   let histograms = ref [] in
   String.split_on_char '\n' data
-  |> List.iter (fun line ->
+  |> List.iteri (fun i line ->
          let line = String.trim line in
+         let fail fmt =
+           Format.kasprintf
+             (fun what ->
+               Ldv_errors.fail (Ldv_errors.Decode_error { line = i + 1; what }))
+             fmt
+         in
          if line <> "" then begin
-           let j = Json.of_string line in
+           let j =
+             match Json.of_string line with
+             | j -> j
+             | exception Json.Parse_error what -> fail "%s" what
+           in
            let name () =
              match Json.member "name" j with
              | Some n -> Json.to_str n
-             | None -> invalid_arg "obs record misses \"name\""
+             | None -> fail "obs record misses \"name\""
            in
-           match Option.map Json.to_str (Json.member "t" j) with
-           | Some "span" -> spans := span_of_record j :: !spans
-           | Some "counter" ->
-             let v =
-               match Json.member "value" j with
-               | Some v -> Json.to_int v
-               | None -> 0
-             in
-             counters := (name (), v) :: !counters
-           | Some "gauge" ->
-             let v =
-               match Json.member "value" j with
-               | Some v -> Json.to_float v
-               | None -> Float.nan
-             in
-             gauges := (name (), v) :: !gauges
-           | Some "hist" ->
-             histograms := (name (), summary_of_record j) :: !histograms
-           | _ -> ()
+           let int_member ?(default = 0) key =
+             match Json.member key j with
+             | Some v -> Json.to_int v
+             | None -> default
+           in
+           match
+             match Option.map Json.to_str (Json.member "t" j) with
+             | Some "span" -> spans := span_of_record j :: !spans
+             | Some "meta" ->
+               dropped := int_member "dropped";
+               ring_cap := int_member "ring_cap"
+             | Some "counter" -> counters := (name (), int_member "value") :: !counters
+             | Some "gauge" ->
+               let v =
+                 match Json.member "value" j with
+                 | Some v -> Json.to_float v
+                 | None -> Float.nan
+               in
+               gauges := (name (), v) :: !gauges
+             | Some "hist" ->
+               histograms := (name (), summary_of_record j) :: !histograms
+             | _ -> ()
+           with
+           | () -> ()
+           | exception Json.Parse_error what -> fail "%s" what
+           | exception Invalid_argument what -> fail "%s" what
          end);
   let by_name (a, _) (b, _) = String.compare a b in
   { spans = List.rev !spans;
-    dropped_spans = 0;
+    dropped_spans = !dropped;
+    ring_capacity = !ring_cap;
     counters = List.sort by_name !counters;
     gauges = List.sort by_name !gauges;
     histograms = List.sort by_name !histograms }

@@ -1,0 +1,43 @@
+(** The plain-data vocabulary of the observability layer.
+
+    [Ldv_obs] (the collector) and [Profile] (the analyzer) both work over
+    these types; they live in their own module because [ldv_obs.ml] is the
+    library's root module and sibling modules cannot depend on it. External
+    users never see this module directly — [Ldv_obs] re-exports everything
+    with type equality via [include]. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** 0 for root spans *)
+  sp_name : string;
+  mutable sp_attrs : (string * string) list;
+  sp_start : float;  (** seconds since process start of collection *)
+  mutable sp_dur : float;  (** negative while the span is still open *)
+}
+
+type snapshot = {
+  spans : span list;  (** completion order *)
+  dropped_spans : int;
+  ring_capacity : int;  (** 0 when unknown (e.g. a trace without a meta record) *)
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * Histogram.summary) list;
+}
+
+(** The prefix of span attributes that carry provenance node identifiers
+    ([prov.proc] = "proc:PID", [prov.stmt] = "stmt:QID", [prov.file] =
+    "file:PATH"), matching the node vocabulary of the provenance traces
+    LDV captures ([Prov.Bb_model] / [Prov.Lineage_model]). *)
+let prov_attr_prefix = "prov."
+
+let is_prov_attr (k : string) =
+  String.length k > String.length prov_attr_prefix
+  && String.sub k 0 (String.length prov_attr_prefix) = prov_attr_prefix
+
+(** The provenance node identifiers attached to a span, in attachment
+    order. *)
+let prov_refs (sp : span) : string list =
+  List.rev
+    (List.filter_map
+       (fun (k, v) -> if is_prov_attr k then Some v else None)
+       sp.sp_attrs)

@@ -38,6 +38,7 @@ let () =
       ("replay", Test_replay.suite);
       ("gprom", Test_gprom.suite);
       ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
       ("faults", Test_faults.suite);
       ("durability", Test_durability.suite);
       ("report", Test_report.suite);
