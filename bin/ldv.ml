@@ -499,21 +499,33 @@ let faultcheck_cmd =
     in
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let run obs sf campaigns seed =
+  let sessions_arg =
+    let doc =
+      "Concurrent sessions for the server-included audits (the only \
+       packaging the concurrent path supports; the other kinds keep the \
+       single-session workload)."
+    in
+    Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let run obs sf campaigns seed sessions =
     with_obs obs @@ fun () ->
     let audit mode =
-      (* small workload: a campaign runs the loop 3x per index *)
-      let audit, _cfg =
-        run_audit ~sf ~vid:"Q1-1" ~mode ~n_insert:8 ~n_select:2 ~n_update:3
-      in
-      audit
+      if sessions > 1 && mode = Audit.Included then
+        Concurrent.audited ~sessions ~statements:4 ~seed ()
+      else
+        (* small workload: a campaign runs the loop 3x per index *)
+        let audit, _cfg =
+          run_audit ~sf ~vid:"Q1-1" ~mode ~n_insert:8 ~n_select:2 ~n_update:3
+        in
+        audit
     in
     let report = Faultcheck.run ~audit ~campaigns ~seed in
     print_endline (Faultcheck.to_string report);
     if report.Faultcheck.r_uncaught > 0 then exit 1
   in
   let term =
-    Term.(const run $ obs_arg $ sf_arg $ campaigns_arg $ seed_arg)
+    Term.(
+      const run $ obs_arg $ sf_arg $ campaigns_arg $ seed_arg $ sessions_arg)
   in
   Cmd.v
     (Cmd.info "faultcheck"
@@ -544,17 +556,27 @@ let crashcheck_cmd =
     in
     Arg.(value & flag & info [ "no-recover" ] ~doc)
   in
-  let run obs campaigns seed no_recover =
+  let sessions_arg =
+    let doc =
+      "Concurrent sessions per campaign. With more than one, the workload \
+       interleaves per-session autocommit streams and the crash run \
+       commits under the WAL's group-commit policy."
+    in
+    Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let run obs campaigns seed no_recover sessions =
     with_obs obs @@ fun () ->
     let report =
-      Crashcheck.run ~recover:(not no_recover) ~campaigns ~seed ()
+      Crashcheck.run ~recover:(not no_recover) ~sessions ~campaigns ~seed ()
     in
     print_endline (Crashcheck.to_string report);
     if report.Crashcheck.r_uncaught > 0 || report.Crashcheck.r_divergent > 0
     then exit 1
   in
   let term =
-    Term.(const run $ obs_arg $ campaigns_arg $ seed_arg $ no_recover_arg)
+    Term.(
+      const run $ obs_arg $ campaigns_arg $ seed_arg $ no_recover_arg
+      $ sessions_arg)
   in
   Cmd.v
     (Cmd.info "crashcheck"

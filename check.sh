@@ -25,6 +25,13 @@ dune runtest
 if [ "$quick" -eq 0 ]; then
   dune exec bin/ldv.exe -- faultcheck --campaigns 5 --seed 42
   dune exec bin/ldv.exe -- crashcheck --campaigns 5 --seed 42
+  # concurrent path: 4 interleaved sessions; faults must stay typed and
+  # a mid-quantum crash under group commit must recover to the control
+  dune exec bin/ldv.exe -- faultcheck --campaigns 3 --seed 42 --sessions 4
+  dune exec bin/ldv.exe -- crashcheck --campaigns 5 --seed 42 --sessions 4
+  # scheduler/group-commit/replay-determinism bench (writes
+  # BENCH_concurrent.json; its own assertions print per-row yes/NO)
+  dune exec bench/main.exe -- concurrent
 
   # profile smoke: audit a small run with JSONL export, then analyze it
   tmpdir=$(mktemp -d)

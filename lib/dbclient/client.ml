@@ -23,7 +23,7 @@ let connect (env : Minios.Program.env) ~db:db_name : conn =
     ~attrs:[ ("prov.proc", Printf.sprintf "proc:%d" pid); ("db", db_name) ]
     "client.connect"
   @@ fun () ->
-  let session = Interceptor.find kernel in
+  let session = Interceptor.find_for kernel ~pid in
   (* connection handshake costs a round trip but is not audited (§VIII:
      connection handling calls are ignored) *)
   ignore (Minios.Kernel.tick kernel);

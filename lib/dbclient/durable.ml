@@ -17,6 +17,15 @@
     COMMIT fsync covered them) or dropped as a trailing open transaction
     by {!Wal.durable_cut}.
 
+    Commit policy: [Per_statement] raises the barrier inline, as above.
+    [Grouped] (group commit) only marks a sync as pending; the barrier is
+    raised by the next {!flush} — under the scheduler, a quantum hook
+    flushes once per scheduling round, so all commits within the quantum
+    share one fsync. Durability is correspondingly relaxed to the quantum
+    boundary: a crash mid-quantum loses the unflushed statements, exactly
+    as a crash before a per-statement fsync would lose that statement —
+    recovery semantics are unchanged, only the barrier count drops.
+
     Crash points (see [Ldv_faults.crash_point]) mark the interesting
     windows: [wal.append] (record buffered, nothing synced — tail may
     tear), [wal.pre_fsync] (record complete but not durable),
@@ -27,15 +36,23 @@
 
 open Minidb
 
+type commit_policy = Per_statement | Grouped
+
 type t = {
   server : Server.t;
   kernel : Minios.Kernel.t;
   pid : int;  (** the server process performing WAL/checkpoint I/O *)
   mutable next_seq : int;  (** sequence number of the next WAL record *)
+  mutable policy : commit_policy;
+  mutable pending_sync : bool;  (** a grouped commit awaits the next flush *)
+  mutable fsync_barriers : int;  (** barriers raised over this handle *)
 }
 
 let server t = t.server
 let next_seq t = t.next_seq
+let policy t = t.policy
+let set_policy t p = t.policy <- p
+let fsync_barriers t = t.fsync_barriers
 
 let wal_path (server : Server.t) = Server.data_dir server ^ "/wal.log"
 let checkpoint_path (server : Server.t) = Server.data_dir server ^ "/checkpoint.img"
@@ -67,7 +84,30 @@ let start (kernel : Minios.Kernel.t) (server : Server.t) ~pid : t =
       0
       (Wal.load vfs (wal_path server)).Wal.records
   in
-  { server; kernel; pid; next_seq = max ck_seq wal_seq + 1 }
+  { server;
+    kernel;
+    pid;
+    next_seq = max ck_seq wal_seq + 1;
+    policy = Per_statement;
+    pending_sync = false;
+    fsync_barriers = 0 }
+
+(** Raise one fsync barrier over the WAL. *)
+let barrier (t : t) : unit =
+  Ldv_faults.crash_point ~site:"wal.pre_fsync";
+  Minios.Kernel.fsync_path t.kernel ~pid:t.pid ~path:(wal_path t.server);
+  t.fsync_barriers <- t.fsync_barriers + 1;
+  Ldv_obs.counter "wal.fsync"
+
+(** Make every pending grouped commit durable with a single barrier; a
+    no-op when nothing is pending. Under the scheduler this runs as a
+    quantum hook, once per scheduling round. *)
+let flush (t : t) : unit =
+  if t.pending_sync then begin
+    t.pending_sync <- false;
+    barrier t;
+    Ldv_obs.counter "wal.group_commit"
+  end
 
 (** Execute one SQL statement durably: log, sync if the policy demands
     it, then run it. Returns the server's response. *)
@@ -86,13 +126,23 @@ let exec (t : t) (sql : string) : Protocol.response =
     | Wal.Stmt -> not (Database.in_transaction db)
   in
   if sync_needed then begin
-    Ldv_faults.crash_point ~site:"wal.pre_fsync";
-    Minios.Kernel.fsync_path t.kernel ~pid:t.pid ~path;
-    Ldv_obs.counter "wal.fsync"
+    match t.policy with
+    | Per_statement -> barrier t
+    | Grouped ->
+      t.pending_sync <- true;
+      Ldv_obs.counter "wal.deferred_sync"
   end;
   let resp = Server.handle t.server (Protocol.Statement { sql }) in
   Ldv_faults.crash_point ~site:"stmt.post_exec";
   resp
+
+(** Arm group commit on this handle: switch the policy and register the
+    flush as a quantum hook so each scheduling round ends with at most
+    one barrier covering every commit of the quantum. *)
+let enable_group_commit (t : t) : unit =
+  t.policy <- Grouped;
+  Minios.Kernel.register_quantum_hook t.kernel ~name:"wal.group-commit"
+    (fun () -> flush t)
 
 (** Fold the current database state into a fresh checkpoint image and
     empty the WAL. The image is written to a temporary name, fsynced,
@@ -105,6 +155,8 @@ let checkpoint (t : t) : unit =
   let db = Server.db t.server in
   if Database.in_transaction db then
     invalid_arg "Durable.checkpoint: open transaction";
+  (* the image must not get ahead of the log's durable prefix *)
+  flush t;
   let payload = Server.encode_checkpoint db ~last_seq:(t.next_seq - 1) in
   let tmp = checkpoint_tmp_path t.server in
   Minios.Kernel.overwrite_path t.kernel ~pid:t.pid ~path:tmp payload;
@@ -170,7 +222,15 @@ let recover ?(apply = true) (kernel : Minios.Kernel.t) ~data_dir () :
     Ldv_obs.counter ~by:(List.length dropped) "server.recover.dropped";
     Ldv_obs.counter ~by:loaded.Wal.torn_bytes "server.recover.torn_bytes"
   end;
-  let t = { server; kernel; pid; next_seq = redo_upto + 1 } in
+  let t =
+    { server;
+      kernel;
+      pid;
+      next_seq = redo_upto + 1;
+      policy = Per_statement;
+      pending_sync = false;
+      fsync_barriers = 0 }
+  in
   if apply then checkpoint t;
   ( t,
     { checkpoint_seq = ck_seq;

@@ -54,12 +54,17 @@ let stmt_kind_of_ast = function
     P_Lin activity node, its edges, and the cross-model edges. *)
 type stmt_event = {
   qid : int;
+  sid : int;  (** issuing session (0 for the primary/only session) *)
   pid : int;  (** issuing OS process *)
   sql : string;
   sql_norm : string;
   kind : stmt_kind;
   t_start : int;  (** request sent *)
   t_end : int;  (** response received *)
+  snapshot : int;
+      (** DB clock pinned when the request was sent; under snapshot-
+          isolated reads, queries see exactly the versions committed at or
+          before this clock *)
   results : (Tid.t * Tid.t list) list;
       (** produced tuple version -> versions in its lineage *)
   reads : Tid.t list;  (** tuple versions the statement read *)
@@ -73,14 +78,24 @@ type t = {
   mode : mode;
   server : Server.t;
   kernel : Minios.Kernel.t;
+  session_id : int;
+  snapshot_reads : bool;
+      (** pin every query to the DB clock observed when its request was
+          sent (snapshot isolation across interleaved sessions) *)
   versioning : Perm.Versioning.t;
-  mutable next_qid : int;
+  next_qid : int ref;  (** shared across sibling sessions: qids are the
+                           global statement order of the run *)
+  busy : bool ref;
+      (** shared write-path latch: statement execution on the server is
+          session-serialized (sessions interleave *between* statements,
+          never inside one); this asserts it *)
   mutable log : stmt_event list;  (** newest first *)
   mutable recorded : Recorder.recorded list;  (** audit-excluded, newest first *)
   mutable replay_queue : Recorder.recorded list;  (** replay-excluded, in order *)
   slice : (Tid.t, unit) Hashtbl.t;
       (** deduplicated tuple versions relevant to the run (the paper's
-          in-memory hash table, §VII-D) *)
+          in-memory hash table, §VII-D); shared across sibling sessions
+          so the run's slice stays one deduplicated set *)
   (* §VII-D: the prototype "immediately computes the provenance for every
      operation ... and writes these tuples to files on disk". The eager
      buffers model that write path: server-included audits append each
@@ -92,12 +107,16 @@ type t = {
   eager_recording : Buffer.t;
 }
 
-let create ?(mode = Passthrough) ~kernel (server : Server.t) : t =
+let create ?(mode = Passthrough) ?(session_id = 0) ?(snapshot_reads = false)
+    ~kernel (server : Server.t) : t =
   { mode;
     server;
     kernel;
+    session_id;
+    snapshot_reads;
     versioning = Perm.Versioning.create (Server.db server);
-    next_qid = 0;
+    next_qid = ref 0;
+    busy = ref false;
     log = [];
     recorded = [];
     replay_queue = [];
@@ -110,10 +129,18 @@ let create_replay ~kernel (server : Server.t)
   let t = create ~mode:Replay_excluded ~kernel server in
   { t with replay_queue = recording }
 
+(** A sibling session for another client of the same run: it shares the
+    mode, server, versioning, qid counter, slice table and eager buffers
+    (one run, one slice, one global statement order) but keeps its own
+    statement log, so each session's stream stays attributable. *)
+let create_sibling (t : t) ~session_id : t =
+  { t with session_id; log = []; recorded = []; replay_queue = [] }
+
 let log t = List.rev t.log
 let kernel_of t = t.kernel
 let recorded t = List.rev t.recorded
 let mode t = t.mode
+let session_id t = t.session_id
 let versioning t = t.versioning
 
 (** Tuple versions accumulated for packaging (before removing
@@ -265,6 +292,77 @@ let exec_replay_excluded t ~(kind : stmt_kind) (sql_norm : string) :
         (Replay_divergence
            (Printf.sprintf "statement kind mismatch for %s" sql_norm)))
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot pinning. Under snapshot-isolated reads every query is pinned
+   to the DB clock observed when its request was sent: each unpinned
+   [FROM t] becomes [FROM t AS OF snap], recursively through joins,
+   subqueries (EXISTS / IN / scalar), and UNION branches, riding the
+   engine's native time-travel scans. Statements that already carry an
+   explicit AS OF keep it; DML is untouched (writes always act on the
+   current state — the write path is session-serialized). *)
+
+let rec pin_from snap (f : Sql_ast.from_item) : Sql_ast.from_item =
+  match f with
+  | Sql_ast.From_table ({ as_of = None; _ } as r) ->
+    Sql_ast.From_table { r with as_of = Some snap }
+  | Sql_ast.From_table _ -> f
+  | Sql_ast.From_join j ->
+    Sql_ast.From_join
+      { j with
+        left = pin_from snap j.left;
+        right = pin_from snap j.right;
+        on = pin_expr snap j.on }
+
+and pin_expr snap (e : Sql_ast.expr) : Sql_ast.expr =
+  let open Sql_ast in
+  match e with
+  | Const _ | Col _ -> e
+  | Cmp (c, a, b) -> Cmp (c, pin_expr snap a, pin_expr snap b)
+  | And (a, b) -> And (pin_expr snap a, pin_expr snap b)
+  | Or (a, b) -> Or (pin_expr snap a, pin_expr snap b)
+  | Not a -> Not (pin_expr snap a)
+  | Is_null a -> Is_null (pin_expr snap a)
+  | Is_not_null a -> Is_not_null (pin_expr snap a)
+  | Between (a, lo, hi) ->
+    Between (pin_expr snap a, pin_expr snap lo, pin_expr snap hi)
+  | Like (a, p) -> Like (pin_expr snap a, p)
+  | Not_like (a, p) -> Not_like (pin_expr snap a, p)
+  | In_list (a, es) -> In_list (pin_expr snap a, List.map (pin_expr snap) es)
+  | Arith (op, a, b) -> Arith (op, pin_expr snap a, pin_expr snap b)
+  | Neg a -> Neg (pin_expr snap a)
+  | Concat (a, b) -> Concat (pin_expr snap a, pin_expr snap b)
+  | Agg (f, a) -> Agg (f, Option.map (pin_expr snap) a)
+  | Case (branches, default) ->
+    Case
+      ( List.map (fun (c, v) -> (pin_expr snap c, pin_expr snap v)) branches,
+        Option.map (pin_expr snap) default )
+  | Func (name, args) -> Func (name, List.map (pin_expr snap) args)
+  | Exists s -> Exists (pin_select snap s)
+  | In_select (a, s) -> In_select (pin_expr snap a, pin_select snap s)
+  | Scalar_subquery s -> Scalar_subquery (pin_select snap s)
+
+and pin_select snap (s : Sql_ast.select) : Sql_ast.select =
+  { s with
+    items =
+      List.map
+        (function
+          | Sql_ast.Star -> Sql_ast.Star
+          | Sql_ast.Item (e, alias) -> Sql_ast.Item (pin_expr snap e, alias))
+        s.Sql_ast.items;
+    from = List.map (pin_from snap) s.Sql_ast.from;
+    where = Option.map (pin_expr snap) s.Sql_ast.where;
+    having = Option.map (pin_expr snap) s.Sql_ast.having;
+    order_by =
+      List.map (fun (e, dir) -> (pin_expr snap e, dir)) s.Sql_ast.order_by;
+    set_ops =
+      List.map (fun (op, sel) -> (op, pin_select snap sel)) s.Sql_ast.set_ops }
+
+let pin_statement snap (ast : Sql_ast.statement) : Sql_ast.statement =
+  match ast with
+  | Sql_ast.Select s -> Sql_ast.Select (pin_select snap s)
+  | Sql_ast.Provenance s -> Sql_ast.Provenance (pin_select snap s)
+  | _ -> ast
+
 (** Execute one statement on behalf of process [pid]. *)
 let execute (t : t) ~pid (sql : string) : Protocol.response =
   Ldv_obs.with_span "db.stmt" @@ fun () ->
@@ -278,23 +376,43 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
     (* provenance-node correlation: the same identifiers this statement
        gets in the execution trace ([Prov.Lineage_model.stmt_id],
        [Prov.Bb_model.process_id]) *)
-    Ldv_obs.add_attr "prov.stmt" (Printf.sprintf "stmt:%d" t.next_qid);
+    Ldv_obs.add_attr "prov.stmt" (Printf.sprintf "stmt:%d" !(t.next_qid));
     Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" pid);
     Ldv_obs.counter ("db.stmt." ^ stmt_kind_name kind)
   end;
-  let qid = t.next_qid in
-  t.next_qid <- qid + 1;
+  let qid = !(t.next_qid) in
+  t.next_qid := qid + 1;
   (* request leaves the client *)
   let t_start = Minios.Kernel.tick t.kernel in
   Database.sync_clock db ~at:(Minios.Kernel.now t.kernel);
+  (* the statement's snapshot is fixed the moment the request is sent... *)
+  let snapshot = Database.clock db in
+  (* ...and the request is now in flight: under a scheduler, other
+     sessions may run (and commit) before the server dequeues it *)
+  Minios.Kernel.yield_point t.kernel;
+  Database.sync_clock db ~at:(Minios.Kernel.now t.kernel);
+  let exec_ast, exec_sql =
+    if t.snapshot_reads && kind = Squery then
+      let pinned = pin_statement snapshot ast in
+      (pinned, Pretty.statement_to_string pinned)
+    else (ast, sql)
+  in
+  if !(t.busy) then
+    invalid_arg
+      "Interceptor.execute: statement execution is session-serialized, but \
+       a statement is already executing";
+  t.busy := true;
   let response, results, reads, schema, rows, affected =
+    Fun.protect
+      ~finally:(fun () -> t.busy := false)
+    @@ fun () ->
     match t.mode with
     | Passthrough ->
-      let resp = exec_passthrough t sql in
+      let resp = exec_passthrough t exec_sql in
       (resp, [], [], None, Protocol.response_rows resp, 0)
-    | Audit_included -> exec_audit_included t ~qid ~pid ast sql
+    | Audit_included -> exec_audit_included t ~qid ~pid exec_ast exec_sql
     | Audit_excluded ->
-      let resp = exec_passthrough t sql in
+      let resp = exec_passthrough t exec_sql in
       let rec_kind, rec_schema, rec_rows, rec_affected =
         match resp with
         | Protocol.Result_set { schema; rows } ->
@@ -332,12 +450,14 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
   end;
   t.log <-
     { qid;
+      sid = t.session_id;
       pid;
       sql;
       sql_norm;
       kind;
       t_start;
       t_end;
+      snapshot;
       results;
       reads;
       schema;
@@ -349,16 +469,36 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
 
 (* ------------------------------------------------------------------ *)
 (* Session registry: programs discover their session through the kernel
-   they run on, so application code is mode-agnostic.                  *)
+   they run on, so application code is mode-agnostic. Concurrent runs
+   additionally bind a session per (kernel, pid), so each scheduled
+   client process connects to its own session; [find_for] falls back to
+   the kernel-wide binding for single-session runs.                    *)
 
 let sessions : (Minios.Kernel.t * t) list ref = ref []
+let pid_sessions : ((Minios.Kernel.t * int) * t) list ref = ref []
 
 let bind kernel session =
   sessions := (kernel, session) :: List.filter (fun (k, _) -> k != kernel) !sessions
 
 let unbind kernel = sessions := List.filter (fun (k, _) -> k != kernel) !sessions
 
+let bind_for kernel ~pid session =
+  pid_sessions :=
+    ((kernel, pid), session)
+    :: List.filter (fun ((k, p), _) -> not (k == kernel && p = pid)) !pid_sessions
+
+let unbind_for kernel ~pid =
+  pid_sessions :=
+    List.filter (fun ((k, p), _) -> not (k == kernel && p = pid)) !pid_sessions
+
 let find kernel =
   match List.find_opt (fun (k, _) -> k == kernel) !sessions with
   | Some (_, s) -> s
   | None -> invalid_arg "Interceptor.find: no DB session bound to this kernel"
+
+let find_for kernel ~pid =
+  match
+    List.find_opt (fun ((k, p), _) -> k == kernel && p = pid) !pid_sessions
+  with
+  | Some (_, s) -> s
+  | None -> find kernel

@@ -22,12 +22,17 @@ val stmt_kind_of_ast : Sql_ast.statement -> stmt_kind
 (** One audited statement: everything the trace builder needs. *)
 type stmt_event = {
   qid : int;
+  sid : int;  (** issuing session (0 for the primary/only session) *)
   pid : int;  (** issuing OS process *)
   sql : string;
   sql_norm : string;
   kind : stmt_kind;
   t_start : int;  (** request sent *)
   t_end : int;  (** response received *)
+  snapshot : int;
+      (** DB clock pinned when the request was sent; under snapshot-
+          isolated reads, queries see exactly the versions committed at
+          or before this clock *)
   results : (Tid.t * Tid.t list) list;
       (** produced tuple version -> versions in its lineage *)
   reads : Tid.t list;  (** tuple versions the statement read *)
@@ -39,7 +44,22 @@ type stmt_event = {
 
 type t
 
-val create : ?mode:mode -> kernel:Minios.Kernel.t -> Server.t -> t
+(** [snapshot_reads] pins every query to the DB clock observed when its
+    request was sent (snapshot isolation across interleaved sessions),
+    by rewriting each unpinned [FROM t] into [FROM t AS OF snap]. *)
+val create :
+  ?mode:mode ->
+  ?session_id:int ->
+  ?snapshot_reads:bool ->
+  kernel:Minios.Kernel.t ->
+  Server.t ->
+  t
+
+(** A sibling session for another client of the same run: shares the
+    mode, server, versioning, qid counter, slice table and eager buffers
+    (one run, one slice, one global statement order) but keeps its own
+    statement log, so each session's stream stays attributable. *)
+val create_sibling : t -> session_id:int -> t
 
 (** A session answering from a recording (server-excluded replay). *)
 val create_replay :
@@ -49,6 +69,7 @@ val log : t -> stmt_event list
 val kernel_of : t -> Minios.Kernel.t
 val recorded : t -> Recorder.recorded list
 val mode : t -> mode
+val session_id : t -> int
 val versioning : t -> Perm.Versioning.t
 
 (** Tuple versions accumulated for packaging (before removing
@@ -84,3 +105,14 @@ val unbind : Minios.Kernel.t -> unit
 
 (** @raise Invalid_argument when no session is bound. *)
 val find : Minios.Kernel.t -> t
+
+(** Per-process bindings, for concurrent runs where each scheduled client
+    process has its own session on the same kernel. *)
+val bind_for : Minios.Kernel.t -> pid:int -> t -> unit
+
+val unbind_for : Minios.Kernel.t -> pid:int -> unit
+
+(** The session bound to [(kernel, pid)], falling back to the kernel-wide
+    binding.
+    @raise Invalid_argument when neither binding exists. *)
+val find_for : Minios.Kernel.t -> pid:int -> t

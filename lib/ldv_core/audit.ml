@@ -24,12 +24,30 @@ let packaging_name = function
   | Excluded -> "excluded"
   | Ptu_baseline -> "ptu"
 
+(** One client of a concurrent audit: a program plus the identity the
+    scheduler and the package need. *)
+type client = {
+  cl_name : string;  (** program-registry name *)
+  cl_binary : string;
+  cl_libs : string list;
+  cl_program : Minios.Program.program;
+}
+
+(** The recorded schedule of a concurrent run — enough to re-create the
+    identical interleaving at replay time. *)
+type sched_info = {
+  sched_seed : int;
+  sched_clients : (string * string) list;  (** (registry name, binary) *)
+}
+
 type t = {
   packaging : packaging;
   kernel : Minios.Kernel.t;
   server : Dbclient.Server.t;
   tracer : Minios.Tracer.t;
-  session : I.t;
+  session : I.t;  (** the primary session (the only one, single-client) *)
+  sessions : I.t list;  (** all sessions, primary first *)
+  sched : sched_info option;  (** [Some] iff this was a concurrent run *)
   trace : Prov.Trace.t;
   app_name : string;  (** program-registry name *)
   app_binary : string;
@@ -49,6 +67,21 @@ let kind_of_stmt = function
   | I.Sdelete -> Some Prov.Lineage_model.Delete
   | I.Sddl -> None
 
+(** Merge per-session statement logs into the run's global statement
+    stream, ordered by send time (ties broken by qid — which cannot
+    actually tie, since qids are drawn from the shared counter in the
+    same atomic section that ticks the send clock). *)
+let merge_logs (sessions : I.t list) : I.stmt_event list =
+  List.concat_map I.log sessions
+  |> List.sort (fun (a : I.stmt_event) (b : I.stmt_event) ->
+         match
+           Prov.Interval.compare_start
+             (Prov.Interval.make a.I.t_start a.I.t_end)
+             (Prov.Interval.make b.I.t_start b.I.t_end)
+         with
+         | 0 -> Int.compare a.I.qid b.I.qid
+         | c -> c)
+
 let rows_fingerprint (rows : Value.t array list) : string =
   let buf = Buffer.create 256 in
   List.iter
@@ -61,6 +94,17 @@ let rows_fingerprint (rows : Value.t array list) : string =
       Buffer.add_char buf '\n')
     rows;
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(** The run's statement stream across every session, in global order.
+    Single-session audits see exactly the session log. *)
+let stmts (t : t) : I.stmt_event list = merge_logs t.sessions
+
+let fingerprints (stmts : I.stmt_event list) : (int * string) list =
+  List.filter_map
+    (fun (s : I.stmt_event) ->
+      if s.I.kind = I.Squery then Some (s.I.qid, rows_fingerprint s.I.rows)
+      else None)
+    stmts
 
 (** Build the combined execution trace from the tracer's syscall stream and
     the interceptor's statement log. *)
@@ -186,11 +230,7 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
   let out_files, query_fingerprints =
     Ldv_obs.with_span "audit.collect_outputs" @@ fun () ->
     ( written_files tracer ~exclude_pids (Minios.Kernel.vfs kernel),
-      List.filter_map
-        (fun (s : I.stmt_event) ->
-          if s.I.kind = I.Squery then Some (s.I.qid, rows_fingerprint s.I.rows)
-          else None)
-        stmts )
+      fingerprints stmts )
   in
   if Ldv_obs.enabled () then begin
     Ldv_obs.counter ~by:(List.length stmts) "audit.statements";
@@ -206,10 +246,98 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     server;
     tracer;
     session;
+    sessions = [ session ];
+    sched = None;
     trace;
     app_name;
     app_binary;
     root_pid;
+    server_pid;
+    out_files;
+    query_fingerprints }
+
+(** Run N client programs concurrently under full LDV monitoring, each
+    with its own interceptor session, interleaved by the seeded
+    round-robin scheduler ({!Minios.Sched}). Supported for [Included]
+    packaging only: the sessions share one slice table and one qid
+    counter, reads are snapshot-isolated (each query pinned to the DB
+    clock at send time), and WAL group commit — if armed on the server's
+    durable handle — batches the quantum's commits into one barrier.
+    The recorded seed and client list land in [sched] so the package can
+    replay the identical interleaving. *)
+let run_concurrent ~(packaging : packaging) ?(sched_seed = 0)
+    (kernel : Minios.Kernel.t) (server : Dbclient.Server.t)
+    (clients : client list) : t =
+  (match packaging with
+  | Included -> ()
+  | Excluded | Ptu_baseline ->
+    invalid_arg
+      "Audit.run_concurrent: concurrent sessions require server-included \
+       packaging");
+  (match clients with
+  | [] -> invalid_arg "Audit.run_concurrent: no clients"
+  | _ :: _ -> ());
+  Ldv_obs.with_span
+    ~attrs:
+      [ ("packaging", packaging_name packaging);
+        ("sessions", string_of_int (List.length clients)) ]
+    "audit.run_concurrent"
+  @@ fun () ->
+  let tracer = Minios.Tracer.create () in
+  Minios.Tracer.attach tracer kernel;
+  let server_pid = Some (Dbclient.Server.start_traced kernel server) in
+  let primary =
+    I.create ~mode:I.Audit_included ~snapshot_reads:true ~kernel server
+  in
+  let sessions =
+    primary
+    :: List.mapi
+         (fun i _ -> I.create_sibling primary ~session_id:(i + 1))
+         (List.tl clients)
+  in
+  let sched_clients =
+    List.map2
+      (fun cl sess ->
+        Minios.Sched.client ~binary:cl.cl_binary ~libs:cl.cl_libs
+          ~name:cl.cl_name (fun env ->
+            let pid = Minios.Program.pid env in
+            I.bind_for kernel ~pid sess;
+            Fun.protect
+              ~finally:(fun () -> I.unbind_for kernel ~pid)
+              (fun () -> cl.cl_program env)))
+      clients sessions
+  in
+  let pids = Minios.Sched.run kernel ~seed:sched_seed sched_clients in
+  Dbclient.Server.stop_traced kernel server;
+  Minios.Tracer.detach kernel;
+  let stmts = merge_logs sessions in
+  let trace = build_trace tracer stmts in
+  let exclude_pids = Option.to_list server_pid in
+  let out_files, query_fingerprints =
+    Ldv_obs.with_span "audit.collect_outputs" @@ fun () ->
+    ( written_files tracer ~exclude_pids (Minios.Kernel.vfs kernel),
+      fingerprints stmts )
+  in
+  if Ldv_obs.enabled () then begin
+    Ldv_obs.counter ~by:(List.length stmts) "audit.statements";
+    Ldv_obs.counter ~by:(Minios.Tracer.event_count tracer) "audit.os_events"
+  end;
+  let first = List.hd clients in
+  { packaging;
+    kernel;
+    server;
+    tracer;
+    session = primary;
+    sessions;
+    sched =
+      Some
+        { sched_seed;
+          sched_clients =
+            List.map (fun cl -> (cl.cl_name, cl.cl_binary)) clients };
+    trace;
+    app_name = first.cl_name;
+    app_binary = first.cl_binary;
+    root_pid = (match pids with pid :: _ -> pid | [] -> 0);
     server_pid;
     out_files;
     query_fingerprints }
@@ -257,7 +385,7 @@ let compact_trace (t : t) : Prov.Trace.t =
                   Prov.Lineage_model.depends_on trace ~result:rtid ~source:src)
                 lineage)
             s.I.results)
-    (I.log t.session);
+    (stmts t);
   trace
 
 (** Convenience: pids belonging to the application (everything traced minus

@@ -10,12 +10,30 @@ type packaging =
       (** the paper's PostgreSQL+PTU baseline: traced server, plain libpq —
           OS provenance only *)
 
+(** One client of a concurrent audit: a program plus the identity the
+    scheduler and the package need. *)
+type client = {
+  cl_name : string;  (** program-registry name *)
+  cl_binary : string;
+  cl_libs : string list;
+  cl_program : Minios.Program.program;
+}
+
+(** The recorded schedule of a concurrent run — enough to re-create the
+    identical interleaving at replay time. *)
+type sched_info = {
+  sched_seed : int;
+  sched_clients : (string * string) list;  (** (registry name, binary) *)
+}
+
 type t = {
   packaging : packaging;
   kernel : Minios.Kernel.t;
   server : Dbclient.Server.t;
   tracer : Minios.Tracer.t;
-  session : I.t;
+  session : I.t;  (** the primary session (the only one, single-client) *)
+  sessions : I.t list;  (** all sessions, primary first *)
+  sched : sched_info option;  (** [Some] iff this was a concurrent run *)
   trace : Prov.Trace.t;  (** full combined trace, with per-row lineage *)
   app_name : string;
   app_binary : string;
@@ -28,6 +46,17 @@ type t = {
 }
 
 val rows_fingerprint : Minidb.Value.t array list -> string
+
+(** Merge per-session statement logs into one stream ordered by send
+    time (ties broken by qid). *)
+val merge_logs : I.t list -> I.stmt_event list
+
+(** The run's statement stream across every session, in global order.
+    Single-session audits see exactly the session log. *)
+val stmts : t -> I.stmt_event list
+
+(** Query fingerprints (qid -> row digest) of a statement stream. *)
+val fingerprints : I.stmt_event list -> (int * string) list
 
 (** Assemble a combined trace from a syscall stream and a statement log
     (used by {!run} and by replay-validation tooling). *)
@@ -53,6 +82,20 @@ val run :
   app_binary:string ->
   ?app_libs:string list ->
   Minios.Program.program ->
+  t
+
+(** Run N client programs concurrently, each with its own session,
+    interleaved deterministically by {!Minios.Sched} under [sched_seed].
+    Reads are snapshot-isolated; the recorded seed and client list land
+    in [sched] so replay re-creates the identical interleaving.
+    @raise Invalid_argument unless [packaging = Included], or if
+    [clients] is empty. *)
+val run_concurrent :
+  packaging:packaging ->
+  ?sched_seed:int ->
+  Minios.Kernel.t ->
+  Dbclient.Server.t ->
+  client list ->
   t
 
 (** The compact trace embedded in packages: OS portion + statement log +

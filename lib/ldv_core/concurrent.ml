@@ -1,0 +1,102 @@
+(** A canned multi-client workload over a shared [notes] table: the demo
+    and test fixture for the concurrent audit path. Each client mixes
+    inserts, updates, and count-the-table reads whose answers depend on how the
+    sessions interleave — which is exactly what the seeded scheduler and
+    the recorded schedule must reproduce. *)
+
+open Minidb
+module I = Dbclient.Interceptor
+
+let db_name = "app"
+
+(** Pre-existing state: tuples no session creates, so slicing must ship
+    them in the package. *)
+let install_fixture (server : Dbclient.Server.t) =
+  List.iter
+    (fun sql ->
+      match Dbclient.Server.handle server (Dbclient.Protocol.Statement { sql })
+      with
+      | Dbclient.Protocol.Error_response m ->
+        invalid_arg ("Concurrent.install_fixture: " ^ m)
+      | _ -> ())
+    [ "CREATE TABLE notes (id INT, author TEXT, body TEXT)";
+      "INSERT INTO notes VALUES (1, 'seed', 'alpha')";
+      "INSERT INTO notes VALUES (2, 'seed', 'beta')";
+      "INSERT INTO notes VALUES (3, 'seed', 'gamma')";
+      "INSERT INTO notes VALUES (4, 'seed', 'delta')" ]
+
+(* The statement count is part of the registry name: a registered program
+   must keep meaning the same thing for as long as a package referencing
+   it can be replayed in this process. *)
+let client_name ~statements i = Printf.sprintf "cc-client-%d-s%d" i statements
+let client_binary i = Printf.sprintf "/app/bin/cc-client-%d" i
+let client_libs = [ "/usr/lib/libc.so.6"; "/opt/minidb/lib/libpq.so.5" ]
+
+(** Client [i]: [statements] statements cycling insert / update / count,
+    phase-shifted by [i] so concurrent sessions are always in different
+    phases. Ids are namespaced per client; the summary of every response
+    lands in [/out/client-<i>.txt], an output file replay must reproduce
+    byte-identically. *)
+let client_program ~statements i : Minios.Program.program =
+ fun env ->
+  let conn = Dbclient.Client.connect env ~db:db_name in
+  let buf = Buffer.create 64 in
+  for j = 1 to statements do
+    match (i + j) mod 3 with
+    | 0 ->
+      let n =
+        Dbclient.Client.exec conn
+          (Printf.sprintf
+             "INSERT INTO notes VALUES (%d, 'writer%d', 'note %d of client %d')"
+             ((i * 1000) + j) i j i)
+      in
+      Buffer.add_string buf (Printf.sprintf "insert %d\n" n)
+    | 1 ->
+      let n =
+        Dbclient.Client.exec conn
+          (Printf.sprintf
+             "UPDATE notes SET body = 'rev %d by client %d' WHERE author = \
+              'writer%d'"
+             j i i)
+      in
+      Buffer.add_string buf (Printf.sprintf "update %d\n" n)
+    | _ -> (
+      match Dbclient.Client.query conn "SELECT COUNT(*) FROM notes" with
+      | [ [| Value.Int n |] ] ->
+        Buffer.add_string buf (Printf.sprintf "count %d\n" n)
+      | _ -> Buffer.add_string buf "count ?\n")
+  done;
+  Dbclient.Client.close conn;
+  Minios.Program.write_file env
+    (Printf.sprintf "/out/client-%d.txt" i)
+    (Buffer.contents buf)
+
+(** The client list for [Audit.run_concurrent], with every program
+    registered for replay. *)
+let clients ~sessions ~statements : Audit.client list =
+  List.init sessions (fun i ->
+      let name = client_name ~statements i in
+      let program = client_program ~statements i in
+      Minios.Program.register ~name program;
+      { Audit.cl_name = name;
+        cl_binary = client_binary i;
+        cl_libs = client_libs;
+        cl_program = program })
+
+(** A complete concurrent audited run: fresh kernel and database, the
+    [notes] fixture, [sessions] clients of [statements] statements each,
+    interleaved under [seed]. *)
+let audited ?(packaging = Audit.Included) ~sessions ~statements ~seed () :
+    Audit.t =
+  let kernel = Minios.Kernel.create () in
+  let db = Database.create ~name:db_name () in
+  let server = Dbclient.Server.install kernel db in
+  install_fixture server;
+  let vfs = Minios.Kernel.vfs kernel in
+  Minios.Vfs.write_opaque vfs ~path:"/usr/lib/libc.so.6" 2_000_000;
+  Minios.Vfs.write_opaque vfs ~path:"/opt/minidb/lib/libpq.so.5" 300_000;
+  for i = 0 to sessions - 1 do
+    Minios.Vfs.write_opaque vfs ~path:(client_binary i) 120_000
+  done;
+  Audit.run_concurrent ~packaging ~sched_seed:seed kernel server
+    (clients ~sessions ~statements)

@@ -57,6 +57,7 @@ type run = {
 type report = {
   r_seed : int;
   r_campaigns : int;
+  r_sessions : int;  (** concurrent sessions per campaign (1 = classic) *)
   r_recover : bool;  (** false under [--no-recover] *)
   r_runs : run list;
   r_injected : (string * int) list;  (** aggregate fault tallies *)
@@ -181,6 +182,82 @@ let gen_workload (prng : Prng.t) : item list =
   done;
   List.rev !items
 
+(** One concurrent session's statement stream: autocommit-only (the WAL's
+    commit tracking is per-server, so interleaved multi-statement
+    transactions from different sessions would interleave illegally), ids
+    namespaced per session so streams never fight over rows. *)
+let gen_session_stream (prng : Prng.t) ~session : item list =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    (session * 1000) + !next_id
+  in
+  let existing_id () = (session * 1000) + 1 + Prng.int prng (max 1 !next_id) in
+  for _ = 1 to 8 + Prng.int prng 5 do
+    match Prng.int prng 6 with
+    | 0 | 1 | 2 ->
+      let id = fresh_id () in
+      push
+        (Stmt
+           (Printf.sprintf "INSERT INTO accounts VALUES (%d, 'owner%d', %d)" id
+              id
+              (100 + Prng.int prng 900)))
+    | 3 | 4 ->
+      push
+        (Stmt
+           (Printf.sprintf "UPDATE accounts SET balance = %d WHERE id = %d"
+              (Prng.int prng 1000) (existing_id ())))
+    | _ ->
+      push
+        (Stmt
+           (Printf.sprintf "DELETE FROM accounts WHERE id = %d" (existing_id ())))
+  done;
+  List.rev !items
+
+(** A concurrent campaign workload: shared DDL and per-session seed rows,
+    then [sessions] autocommit streams interleaved round-robin — the same
+    flattened statement order a cooperative scheduler would produce —
+    with checkpoints between rounds. The flattening is what makes the
+    control/crash comparison exact: both runs execute the identical
+    statement sequence, so WAL sequence numbers still map 1:1 to
+    statement ordinals. *)
+let gen_workload_concurrent (prng : Prng.t) ~sessions : item list =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  push (Stmt "CREATE TABLE accounts (id INT, owner TEXT, balance INT)");
+  push (Stmt "CREATE INDEX accounts_id ON accounts (id)");
+  for s = 0 to sessions - 1 do
+    push
+      (Stmt
+         (Printf.sprintf "INSERT INTO accounts VALUES (%d, 'seed%d', %d)"
+            ((s * 1000) + 999) s
+            (100 + Prng.int prng 900)))
+  done;
+  push Ckpt;
+  let streams =
+    Array.init sessions (fun s -> ref (gen_session_stream (Prng.split prng) ~session:s))
+  in
+  let since_ckpt = ref 0 in
+  let any_live () = Array.exists (fun r -> !r <> []) streams in
+  while any_live () do
+    Array.iter
+      (fun r ->
+        match !r with
+        | [] -> ()
+        | item :: rest ->
+          r := rest;
+          push item;
+          incr since_ckpt)
+      streams;
+    if !since_ckpt >= 3 * sessions then begin
+      push Ckpt;
+      since_ckpt := 0
+    end
+  done;
+  List.rev !items
+
 (* ------------------------------------------------------------------ *)
 (* Execution.                                                          *)
 
@@ -196,17 +273,33 @@ let boot () : Minios.Kernel.t * Durable.t =
 
 (** Run the workload's tail on [d]: statements whose 1-based ordinal
     exceeds [from] (recovery already restored the rest), checkpoints
-    once past the restored prefix. [from = 0] runs everything. *)
-let run_items (d : Durable.t) (items : item list) ~from : unit =
+    once past the restored prefix. [from = 0] runs everything.
+    [group = Some g] runs under the WAL's group-commit policy, batching
+    fsync barriers every [g] statements (a scheduler quantum's worth) —
+    the crash surface the concurrent path exposes: a power failure can
+    now drop a whole un-flushed batch, and recovery must still converge
+    on the control state by re-executing it. *)
+let run_items ?group (d : Durable.t) (items : item list) ~from : unit =
+  (match group with
+  | Some _ -> Durable.set_policy d Durable.Grouped
+  | None -> ());
   let stmt_count = ref 0 in
+  let executed = ref 0 in
   List.iter
     (fun item ->
       match item with
       | Stmt sql ->
         incr stmt_count;
-        if !stmt_count > from then ignore (Durable.exec d sql)
+        if !stmt_count > from then begin
+          ignore (Durable.exec d sql);
+          incr executed;
+          match group with
+          | Some g when !executed mod g = 0 -> Durable.flush d
+          | _ -> ()
+        end
       | Ckpt -> if !stmt_count >= from then Durable.checkpoint d)
-    items
+    items;
+  if group <> None then Durable.flush d
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot equivalence.                                               *)
@@ -261,8 +354,8 @@ let first_diff (a : string) (b : string) : string =
 (* ------------------------------------------------------------------ *)
 (* One campaign.                                                       *)
 
-let run_campaign ~recover_enabled ~(items : item list) ~(cprng : Prng.t) :
-    outcome =
+let run_campaign ?group ~recover_enabled ~(items : item list)
+    ~(cprng : Prng.t) () : outcome =
   (* control: same workload, separate machine, and crucially NO installed
      plan — the caller's armed plan must only see the crash run *)
   let want =
@@ -287,7 +380,7 @@ let run_campaign ~recover_enabled ~(items : item list) ~(cprng : Prng.t) :
       else No_crash
     else Diverged { first = first_diff want got }
   in
-  match run_items d items ~from:0 with
+  match run_items ?group d items ~from:0 with
   | () -> verdict ~crashed:false (snapshot (Server.db (Durable.server d)))
   | exception Ldv_faults.Crash crash_site ->
     (* the power failure: decide how much of the unsynced WAL tail tore
@@ -305,26 +398,34 @@ let run_campaign ~recover_enabled ~(items : item list) ~(cprng : Prng.t) :
       ( stats.Durable.redone,
         stats.Durable.dropped,
         stats.Durable.torn_bytes );
-    run_items d' items ~from:stats.Durable.redo_upto;
+    run_items ?group d' items ~from:stats.Durable.redo_upto;
     verdict ~crashed:true (snapshot (Server.db (Durable.server d')))
 
 (* ------------------------------------------------------------------ *)
 (* Campaigns.                                                          *)
 
-let run ?(recover = true) ~campaigns ~seed () : report =
+let run ?(recover = true) ?(sessions = 1) ~campaigns ~seed () : report =
+  if sessions < 1 then invalid_arg "Crashcheck.run: sessions must be >= 1";
   Ldv_obs.with_span
     ~attrs:
       [ ("campaigns", string_of_int campaigns); ("seed", string_of_int seed);
+        ("sessions", string_of_int sessions);
         ("recover", string_of_bool recover) ]
     "crashcheck"
   @@ fun () ->
   let root = Prng.create ~seed in
   let injected = ref (Campaign.zero_tallies ()) in
   let runs = ref [] in
+  (* multi-session campaigns run the crash side under group commit, one
+     batch per scheduler-quantum's worth of statements *)
+  let group = if sessions > 1 then Some sessions else None in
   for campaign = 0 to campaigns - 1 do
     let cam_seed = Campaign.derive_seed root in
     let cprng = Prng.create ~seed:cam_seed in
-    let items = gen_workload (Prng.split cprng) in
+    let items =
+      if sessions > 1 then gen_workload_concurrent (Prng.split cprng) ~sessions
+      else gen_workload (Prng.split cprng)
+    in
     let site = sites.(campaign mod Array.length sites) in
     (* checkpoint sites are consulted a handful of times per workload,
        statement sites dozens of times; range the detonation accordingly
@@ -345,8 +446,8 @@ let run ?(recover = true) ~campaigns ~seed () : report =
       @@ fun () ->
       Ldv_faults.with_plan plan @@ fun () ->
       match
-        Campaign.guard (fun () ->
-            run_campaign ~recover_enabled:recover ~items ~cprng)
+        Campaign.guard
+          (run_campaign ?group ~recover_enabled:recover ~items ~cprng)
       with
       | Ok outcome -> outcome
       | Error (Campaign.Typed e) -> Failed e
@@ -362,6 +463,7 @@ let run ?(recover = true) ~campaigns ~seed () : report =
   let count p = List.length (List.filter p runs) in
   { r_seed = seed;
     r_campaigns = campaigns;
+    r_sessions = sessions;
     r_recover = recover;
     r_runs = runs;
     r_injected = !injected;
@@ -378,8 +480,11 @@ let outcome_order =
     "uncaught" ]
 
 let pp ppf (r : report) =
-  Format.fprintf ppf "crashcheck: %d campaigns, seed %d%s@," r.r_campaigns
+  Format.fprintf ppf "crashcheck: %d campaigns, seed %d%s%s@," r.r_campaigns
     r.r_seed
+    (if r.r_sessions > 1 then
+       Printf.sprintf ", %d concurrent sessions (group commit)" r.r_sessions
+     else "")
     (if r.r_recover then "" else ", recovery DISABLED (--no-recover)");
   List.iter
     (fun run ->

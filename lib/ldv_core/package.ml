@@ -46,8 +46,7 @@ type t = {
 let entries_bytes (t : t) =
   List.fold_left (fun acc e -> acc + e.e_size) 0 t.entries
 
-let db_subset_bytes (t : t) =
-  List.fold_left (fun acc (_, csv) -> acc + String.length csv) 0 t.db_subset
+let db_subset_bytes (t : t) = Slice.subset_bytes_of_csvs t.db_subset
 
 let recording_bytes (t : t) = Dbclient.Recorder.byte_size t.recording
 
@@ -129,6 +128,46 @@ let base_metadata (audit : Audit.t) =
   [ ("app", audit.Audit.app_name);
     ("binary", audit.Audit.app_binary);
     ("root_pid", string_of_int audit.Audit.root_pid) ]
+  @
+  (* concurrent runs record their schedule so replay can re-create the
+     identical interleaving: session count, scheduler seed, and each
+     client's registry name + binary *)
+  match audit.Audit.sched with
+  | None -> []
+  | Some s ->
+    ("sessions", string_of_int (List.length s.Audit.sched_clients))
+    :: ("sched_seed", string_of_int s.Audit.sched_seed)
+    :: List.mapi
+         (fun i (name, binary) ->
+           (Printf.sprintf "client:%d" i, name ^ "\t" ^ binary))
+         s.Audit.sched_clients
+
+(** The recorded multi-session schedule, when the package came from a
+    concurrent audit: scheduler seed plus per-session (registry name,
+    binary) in session order. [None] for single-session packages. *)
+let schedule_of_metadata (metadata : (string * string) list) :
+    (int * (string * string) list) option =
+  match
+    ( Option.bind (List.assoc_opt "sessions" metadata) int_of_string_opt,
+      Option.bind (List.assoc_opt "sched_seed" metadata) int_of_string_opt )
+  with
+  | Some n, Some seed when n > 0 ->
+    let client i =
+      match List.assoc_opt (Printf.sprintf "client:%d" i) metadata with
+      | None -> None
+      | Some v -> (
+        match String.index_opt v '\t' with
+        | Some j ->
+          Some
+            ( String.sub v 0 j,
+              String.sub v (j + 1) (String.length v - j - 1) )
+        | None -> Some (v, v))
+    in
+    let clients = List.init n client in
+    if List.for_all Option.is_some clients then
+      Some (seed, List.filter_map Fun.id clients)
+    else None
+  | _ -> None
 
 (** Build a server-included package: server binaries and libraries come
     along (they were read by the traced server process), raw DB data files
@@ -171,6 +210,10 @@ let build_excluded (audit : Audit.t) : t =
     recording = Dbclient.Interceptor.recorded audit.Audit.session;
     trace_data = Prov.Trace.serialize (Audit.compact_trace audit);
     metadata = base_metadata audit @ [ ("packaging", "excluded") ] }
+
+(** The package's recorded multi-session schedule, if any. *)
+let schedule (t : t) : (int * (string * string) list) option =
+  schedule_of_metadata t.metadata
 
 (** Build the package appropriate for how the audit was run. PTU baselines
     are packaged by {!Ptu.build}. *)

@@ -60,6 +60,15 @@ val collect_entries : Audit.t -> exclude:(string -> bool) -> entry list
 
 val base_metadata : Audit.t -> (string * string) list
 
+(** The recorded multi-session schedule in a metadata list (scheduler
+    seed, per-session (registry name, binary) in session order); [None]
+    for single-session packages. *)
+val schedule_of_metadata :
+  (string * string) list -> (int * (string * string) list) option
+
+(** [schedule_of_metadata] applied to the package's own metadata. *)
+val schedule : t -> (int * (string * string) list) option
+
 val build_included : Audit.t -> t
 val build_excluded : Audit.t -> t
 

@@ -79,70 +79,116 @@ let prepare (pkg : Package.t) : prepared =
     | Package.Server_excluded ->
       I.create_replay ~kernel server pkg.Package.recording
     | Package.Server_included | Package.Ptu_full ->
-      I.create ~mode:I.Passthrough ~kernel server
+      (* concurrent packages replay with the same snapshot-isolation rule
+         the audit ran under, so each query sees the same versions *)
+      let snapshot_reads = Package.schedule pkg <> None in
+      I.create ~mode:I.Passthrough ~snapshot_reads ~kernel server
   in
   { pkg; kernel; server; session }
 
 type run_result = {
   root_pid : int;
-  session : I.t;
+  session : I.t;  (** the primary session *)
+  sessions : I.t list;  (** all sessions, primary first *)
   kernel : Minios.Kernel.t;
   out_files : (string * string) list;
   query_fingerprints : (int * string) list;
 }
 
+(** Re-execute a concurrent package: re-create one session per recorded
+    client and run them under the recorded scheduler seed. The schedule,
+    and with it every interleaving-dependent observation, is reproduced
+    exactly: statement order, snapshot pins relative to concurrent
+    commits, and the merged fingerprint stream. *)
+let run_scheduled (p : prepared) ~seed ~(clients : (string * string) list) :
+    run_result =
+  let tracer = Minios.Tracer.create () in
+  Minios.Tracer.attach tracer p.kernel;
+  let sessions =
+    p.session
+    :: List.mapi
+         (fun i _ -> I.create_sibling p.session ~session_id:(i + 1))
+         (List.tl clients)
+  in
+  let sched_clients =
+    List.map2
+      (fun (name, binary) sess ->
+        let program = Minios.Program.lookup name in
+        Minios.Sched.client ~binary ~name (fun env ->
+            let pid = Minios.Program.pid env in
+            I.bind_for p.kernel ~pid sess;
+            Fun.protect
+              ~finally:(fun () -> I.unbind_for p.kernel ~pid)
+              (fun () -> program env)))
+      clients sessions
+  in
+  let pids =
+    Fun.protect
+      ~finally:(fun () -> Minios.Tracer.detach p.kernel)
+      (fun () ->
+        Ldv_obs.with_span "replay.app" (fun () ->
+            Minios.Sched.run p.kernel ~seed sched_clients))
+  in
+  let out_files =
+    Audit.written_files tracer ~exclude_pids:[] (Minios.Kernel.vfs p.kernel)
+  in
+  { root_pid = (match pids with pid :: _ -> pid | [] -> 0);
+    session = p.session;
+    sessions;
+    kernel = p.kernel;
+    out_files;
+    query_fingerprints = Audit.fingerprints (Audit.merge_logs sessions) }
+
 (** Re-execute the packaged application. The program is looked up in the
     registry under the package's app name unless overridden (partial
-    re-execution / modified inputs use the override). *)
+    re-execution / modified inputs use the override). Concurrent packages
+    (unless overridden) re-execute every recorded session under the
+    recorded schedule. *)
 let run ?(program : Minios.Program.program option) (p : prepared) : run_result =
   Ldv_obs.with_span
     ~attrs:[ ("kind", Package.kind_name p.pkg.Package.kind) ]
     "replay.run"
   @@ fun () ->
-  let program =
-    match program with
-    | Some prog -> prog
-    | None -> Minios.Program.lookup p.pkg.Package.app_name
-  in
-  let tracer = Minios.Tracer.create () in
-  Minios.Tracer.attach tracer p.kernel;
-  I.bind p.kernel p.session;
-  let root_pid =
-    Fun.protect
-      ~finally:(fun () ->
-        I.unbind p.kernel;
-        Minios.Tracer.detach p.kernel)
-      (fun () ->
-        Ldv_obs.with_span "replay.app" (fun () ->
-            let pid =
-              Minios.Program.run p.kernel ~binary:p.pkg.Package.app_binary
-                ~name:p.pkg.Package.app_name program
-            in
-            Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" pid);
-            pid))
-  in
-  let out_files =
-    Audit.written_files tracer ~exclude_pids:[] (Minios.Kernel.vfs p.kernel)
-  in
-  if Ldv_obs.enabled () then begin
-    Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" root_pid);
-    List.iter
-      (fun (path, _) -> Ldv_obs.add_attr "prov.file" ("file:" ^ path))
-      out_files
-  end;
-  let query_fingerprints =
-    List.filter_map
-      (fun (s : I.stmt_event) ->
-        if s.I.kind = I.Squery then
-          Some (s.I.qid, Audit.rows_fingerprint s.I.rows)
-        else None)
-      (I.log p.session)
-  in
-  { root_pid;
-    session = p.session;
-    kernel = p.kernel;
-    out_files;
-    query_fingerprints }
+  match (Package.schedule p.pkg, program) with
+  | Some (seed, clients), None -> run_scheduled p ~seed ~clients
+  | _ ->
+    let program =
+      match program with
+      | Some prog -> prog
+      | None -> Minios.Program.lookup p.pkg.Package.app_name
+    in
+    let tracer = Minios.Tracer.create () in
+    Minios.Tracer.attach tracer p.kernel;
+    I.bind p.kernel p.session;
+    let root_pid =
+      Fun.protect
+        ~finally:(fun () ->
+          I.unbind p.kernel;
+          Minios.Tracer.detach p.kernel)
+        (fun () ->
+          Ldv_obs.with_span "replay.app" (fun () ->
+              let pid =
+                Minios.Program.run p.kernel ~binary:p.pkg.Package.app_binary
+                  ~name:p.pkg.Package.app_name program
+              in
+              Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" pid);
+              pid))
+    in
+    let out_files =
+      Audit.written_files tracer ~exclude_pids:[] (Minios.Kernel.vfs p.kernel)
+    in
+    if Ldv_obs.enabled () then begin
+      Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" root_pid);
+      List.iter
+        (fun (path, _) -> Ldv_obs.add_attr "prov.file" ("file:" ^ path))
+        out_files
+    end;
+    { root_pid;
+      session = p.session;
+      sessions = [ p.session ];
+      kernel = p.kernel;
+      out_files;
+      query_fingerprints = Audit.fingerprints (I.log p.session) }
 
 (** Prepare and run in one call. *)
 let execute ?program (pkg : Package.t) : run_result =

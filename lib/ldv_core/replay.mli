@@ -23,7 +23,8 @@ val prepare : Package.t -> prepared
 
 type run_result = {
   root_pid : int;
-  session : I.t;
+  session : I.t;  (** the primary session *)
+  sessions : I.t list;  (** all sessions, primary first *)
   kernel : Minios.Kernel.t;
   out_files : (string * string) list;
   query_fingerprints : (int * string) list;
@@ -33,7 +34,10 @@ type run_result = {
     package environment, DB calls go to the packaged server or the
     recorded-response replayer. The program is looked up in the registry
     under the package's app name unless [program] overrides it (partial
-    re-execution / modified inputs).
+    re-execution / modified inputs). A concurrent package (unless
+    overridden) re-creates one session per recorded client and re-runs
+    them all under the recorded scheduler seed, reproducing the audited
+    interleaving exactly.
     @raise I.Replay_divergence when a server-excluded replay's statement
     stream deviates from the recording. *)
 val run : ?program:Minios.Program.program -> prepared -> run_result

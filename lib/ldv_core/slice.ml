@@ -31,7 +31,9 @@ let created_by_app (stmts : I.stmt_event list) : Tid.Set.t =
     transient query-result tuples. *)
 let relevant (audit : Audit.t) : Tid.Set.t =
   Ldv_obs.with_span "slice.relevant" @@ fun () ->
-  let created = created_by_app (I.log audit.Audit.session) in
+  (* all sessions' logs: a tuple created by *any* session of the audited
+     run will be recreated on replay, whichever session reads it *)
+  let created = created_by_app (Audit.stmts audit) in
   let tids =
     List.fold_left
       (fun acc tid ->
@@ -103,14 +105,23 @@ let to_csvs (db : Database.t) (tids : Tid.Set.t) : (string * string) list =
     by_table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(** The tables contributing tuples to a version set — the one derivation
+    both [accessed_tables] and [schema_ddl] build on, so the DDL set can
+    never drift from the accessed-table set. *)
+let tables_of_tids (tids : Tid.Set.t) : string list =
+  Tid.Set.fold (fun tid acc -> tid.Tid.table :: acc) tids []
+  |> List.sort_uniq String.compare
+
 (** Every table the audited application touched: the query-read and
     DML-target tables of the interceptor's versioning registry plus any
     table contributing tuples to [tids]. All of them need DDL in the
     package even when none of their tuples survives slicing (a table the
-    app populates itself must still exist on replay). *)
+    app populates itself must still exist on replay). The versioning
+    registry is shared across a concurrent run's sibling sessions, so the
+    primary session covers every session's accesses. *)
 let accessed_tables (audit : Audit.t) (tids : Tid.Set.t) : string list =
   Perm.Versioning.enabled_tables (I.versioning audit.Audit.session)
-  @ Tid.Set.fold (fun tid acc -> tid.Tid.table :: acc) tids []
+  @ tables_of_tids tids
   |> List.sort_uniq String.compare
 
 (** DDL for recreating the given tables at replay time. *)
@@ -133,13 +144,18 @@ let schema_ddl_for (db : Database.t) (tables : string list) :
 
 (** DDL for the tables contributing tuples to [tids]. *)
 let schema_ddl (db : Database.t) (tids : Tid.Set.t) : (string * string) list =
-  schema_ddl_for db
-    (Tid.Set.fold (fun tid acc -> tid.Tid.table :: acc) tids []
-    |> List.sort_uniq String.compare)
+  schema_ddl_for db (tables_of_tids tids)
+
+(** Total bytes of an already-materialized subset. Callers that also ship
+    the blobs (package creation, the bench's ablations) should call
+    [to_csvs] once and size the result here instead of paying a second
+    materialization through [subset_bytes]. *)
+let subset_bytes_of_csvs (csvs : (string * string) list) : int =
+  List.fold_left (fun acc (_, csv) -> acc + String.length csv) 0 csvs
 
 (** Total bytes of the relevant subset — the provenance size axis of the
-    paper's trade-off discussion. *)
+    paper's trade-off discussion. Materializes the CSVs just to size
+    them; prefer [subset_bytes_of_csvs] when the blobs are needed
+    anyway. *)
 let subset_bytes (db : Database.t) (tids : Tid.Set.t) : int =
-  List.fold_left
-    (fun acc (_, csv) -> acc + String.length csv)
-    0 (to_csvs db tids)
+  subset_bytes_of_csvs (to_csvs db tids)

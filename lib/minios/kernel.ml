@@ -5,7 +5,14 @@
     program to completion before returning (fork-and-wait semantics), and
     every syscall advances the logical clock by one tick. When a tracer
     hook is installed it observes the full syscall stream — the moral
-    equivalent of running the application under [ptrace]. *)
+    equivalent of running the application under [ptrace].
+
+    A cooperative scheduler ([Minios.Sched]) can switch the kernel into
+    preemptive mode, in which every file syscall performs the [Yield]
+    effect before touching state. The scheduler handles the effect by
+    parking the process's continuation and running another process, so N
+    programs interleave at syscall granularity while each still sees
+    sequential semantics between its own yield points. *)
 
 type fd = int
 
@@ -28,6 +35,9 @@ type t = {
   processes : (int, process) Hashtbl.t;
   mutable trace_hook : (Syscall.event -> unit) option;
   mutable audit_hooks : (string * (unit -> unit)) list;
+  mutable preemptive : bool;
+  mutable spawn_hook : (pid:int -> (unit -> unit) -> unit) option;
+  mutable quantum_hooks : (string * (unit -> unit)) list;
 }
 
 let create ?(vfs = Vfs.create ()) () =
@@ -36,10 +46,44 @@ let create ?(vfs = Vfs.create ()) () =
     next_pid = 1;
     processes = Hashtbl.create 16;
     trace_hook = None;
-    audit_hooks = [] }
+    audit_hooks = [];
+    preemptive = false;
+    spawn_hook = None;
+    quantum_hooks = [] }
 
 let vfs t = t.vfs
 let now t = t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative preemption. The effect is declared here (rather than in
+   the scheduler) so syscalls can perform it without a dependency cycle;
+   it is only ever performed while [preemptive] is set, which only the
+   scheduler sets — with no handler installed the flag stays false and
+   the kernel behaves exactly as before. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+let yield_point t = if t.preemptive then Effect.perform Yield
+let preemptive t = t.preemptive
+let set_preemptive t on = t.preemptive <- on
+let spawn_hook t = t.spawn_hook
+let set_spawn_hook t hook = t.spawn_hook <- hook
+
+(* Quantum hooks run after every full scheduling round, outside any
+   process context and with preemption masked (a hook performing I/O must
+   not itself yield — there is no continuation to park). Registration
+   replaces by name so re-arming an idempotent hook (e.g. the WAL's group
+   commit flush) never duplicates it. *)
+let register_quantum_hook t ~name f =
+  t.quantum_hooks <-
+    (name, f) :: List.filter (fun (n, _) -> not (String.equal n name)) t.quantum_hooks
+
+let run_quantum_hooks t =
+  let saved = t.preemptive in
+  t.preemptive <- false;
+  Fun.protect
+    ~finally:(fun () -> t.preemptive <- saved)
+    (fun () -> List.iter (fun (_, f) -> f ()) (List.rev t.quantum_hooks))
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -136,6 +180,7 @@ let exit_process t pid =
 (* File syscalls.                                                      *)
 
 let open_file t ~pid ~path ~mode : fd =
+  yield_point t;
   let p = find_process t pid in
   if not p.alive then invalid_arg "Kernel.open_file: dead process";
   fault_gate ~op:"open" ~path;
@@ -162,6 +207,7 @@ let fd_entry p fd =
   | None -> invalid_arg (Printf.sprintf "Kernel: bad fd %d" fd)
 
 let read_fd t ~pid ~fd : string =
+  yield_point t;
   let p = find_process t pid in
   let e = fd_entry p fd in
   if e.mode <> Syscall.Read then invalid_arg "Kernel.read_fd: fd open for write";
@@ -171,6 +217,7 @@ let read_fd t ~pid ~fd : string =
   Vfs.read t.vfs e.path
 
 let write_fd t ~pid ~fd (data : string) =
+  yield_point t;
   let p = find_process t pid in
   let e = fd_entry p fd in
   if e.mode <> Syscall.Write then invalid_arg "Kernel.write_fd: fd open for read";
@@ -183,6 +230,7 @@ let write_fd t ~pid ~fd (data : string) =
   Vfs.append_buffered t.vfs ~path:e.path ~mtime:time data
 
 let fsync_fd t ~pid ~fd =
+  yield_point t;
   let p = find_process t pid in
   let e = fd_entry p fd in
   fault_gate ~op:"fsync" ~path:e.path;
@@ -191,6 +239,7 @@ let fsync_fd t ~pid ~fd =
   Vfs.fsync t.vfs e.path
 
 let close_fd t ~pid ~fd =
+  yield_point t;
   let p = find_process t pid in
   let e = fd_entry p fd in
   fault_gate ~op:"close" ~path:e.path;
@@ -215,6 +264,7 @@ let live_process t pid =
   p
 
 let append_path t ~pid ~path (data : string) =
+  yield_point t;
   ignore (live_process t pid);
   fault_gate ~op:"write" ~path;
   Obs.counter "os.syscall.write";
@@ -223,6 +273,7 @@ let append_path t ~pid ~path (data : string) =
   Vfs.append_buffered t.vfs ~path ~mtime:time data
 
 let overwrite_path t ~pid ~path (data : string) =
+  yield_point t;
   ignore (live_process t pid);
   fault_gate ~op:"write" ~path;
   Obs.counter "os.syscall.write";
@@ -232,6 +283,7 @@ let overwrite_path t ~pid ~path (data : string) =
   Vfs.append_buffered t.vfs ~path ~mtime:time data
 
 let fsync_path t ~pid ~path =
+  yield_point t;
   ignore (live_process t pid);
   fault_gate ~op:"fsync" ~path;
   Obs.counter "os.syscall.fsync";
@@ -239,6 +291,7 @@ let fsync_path t ~pid ~path =
   Vfs.fsync t.vfs path
 
 let rename_path t ~pid ~src ~dst =
+  yield_point t;
   ignore (live_process t pid);
   fault_gate ~op:"rename" ~path:src;
   Obs.counter "os.syscall.rename";

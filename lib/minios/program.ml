@@ -45,25 +45,38 @@ let write_file env path data =
 
 let file_exists env path = Vfs.exists (Kernel.vfs env.kernel) path
 
-(** Run a child process to completion; returns its pid. *)
+(** Start a process for [body] without running it: the pid plus a thunk
+    that runs the body and exits the process. [run]/[spawn] call the thunk
+    immediately (fork-and-wait); the scheduler parks thunks and interleaves
+    them. *)
+let prepare kernel ?parent ?binary ?libs ~name (body : program) :
+    int * (unit -> unit) =
+  let p = Kernel.start_process kernel ?parent ?binary ?libs ~name () in
+  let env = { kernel; pid = p.Kernel.pid } in
+  ( p.Kernel.pid,
+    fun () ->
+      Fun.protect
+        ~finally:(fun () -> Kernel.exit_process kernel p.Kernel.pid)
+        (fun () -> body env) )
+
+(** Run a child process; returns its pid. Under a scheduler (the kernel
+    has a spawn hook installed) the child is enqueued as a sibling job and
+    runs interleaved with everyone else; otherwise it runs to completion
+    before [spawn] returns. *)
 let spawn env ?binary ?libs ~name (body : program) : int =
-  let child =
-    Kernel.start_process env.kernel ~parent:env.pid ?binary ?libs ~name ()
+  let pid, thunk =
+    prepare env.kernel ~parent:env.pid ?binary ?libs ~name body
   in
-  let child_env = { kernel = env.kernel; pid = child.Kernel.pid } in
-  Fun.protect
-    ~finally:(fun () -> Kernel.exit_process env.kernel child.Kernel.pid)
-    (fun () -> body child_env);
-  child.Kernel.pid
+  (match Kernel.spawn_hook env.kernel with
+  | Some enqueue -> enqueue ~pid thunk
+  | None -> thunk ());
+  pid
 
 (** Run a top-level program as a fresh root process. *)
 let run kernel ?binary ?libs ~name (body : program) : int =
-  let p = Kernel.start_process kernel ?binary ?libs ~name () in
-  let env = { kernel; pid = p.Kernel.pid } in
-  Fun.protect
-    ~finally:(fun () -> Kernel.exit_process kernel p.Kernel.pid)
-    (fun () -> body env);
-  p.Kernel.pid
+  let pid, thunk = prepare kernel ?binary ?libs ~name body in
+  thunk ();
+  pid
 
 (* ------------------------------------------------------------------ *)
 (* The program registry: name -> code, the replay-time stand-in for

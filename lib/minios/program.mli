@@ -30,8 +30,23 @@ val write_file : env -> string -> string -> unit
 
 val file_exists : env -> string -> bool
 
-(** Run a child process to completion; returns its pid. The binary and
-    libraries (if present in the VFS) are recorded as loader reads. *)
+(** Start a process for the program without running it: the pid plus a
+    thunk that runs the body and exits the process. The scheduler uses
+    this to interleave several programs; [run]/[spawn] call the thunk
+    immediately. *)
+val prepare :
+  Kernel.t ->
+  ?parent:int ->
+  ?binary:string ->
+  ?libs:string list ->
+  name:string ->
+  program ->
+  int * (unit -> unit)
+
+(** Run a child process; returns its pid. The binary and libraries (if
+    present in the VFS) are recorded as loader reads. Under a scheduler
+    (spawn hook installed on the kernel) the child runs interleaved with
+    the other jobs instead of to completion. *)
 val spawn :
   env -> ?binary:string -> ?libs:string list -> name:string -> program -> int
 

@@ -1,0 +1,137 @@
+(** Cooperative round-robin scheduling of programs — the multi-client
+    front end of the concurrent audit.
+
+    Each client runs as a kernel process. While the scheduler is active
+    the kernel is in preemptive mode: every file syscall (and the
+    interceptor's statement send) performs {!Kernel.Yield}, which this
+    scheduler handles by parking the process's one-shot continuation and
+    moving on to the next live job. One scheduling round steps every live
+    job to its next yield point; after each round the kernel's quantum
+    hooks run (the WAL's group commit batches its fsync barrier there).
+
+    Determinism: the round order is the job list rotated by a draw from a
+    seeded PRNG, so a given seed always produces the identical
+    interleaving — and therefore the identical trace, logs, and package
+    bytes. Replay re-creates the schedule from the recorded seed.
+
+    Children spawned by a scheduled program (via {!Program.spawn}) join
+    the round-robin as sibling jobs at the end of the round instead of
+    running to completion inside their parent's time slice. *)
+
+type client = {
+  c_name : string;
+  c_binary : string option;
+  c_libs : string list;
+  c_body : Program.program;
+}
+
+let client ?binary ?(libs = []) ~name body =
+  { c_name = name; c_binary = binary; c_libs = libs; c_body = body }
+
+type status = Done | Yielded
+
+type step_state =
+  | Start of (unit -> unit)
+  | Parked of (unit, status) Effect.Deep.continuation
+  | Finished
+
+type job = { j_pid : int; mutable j_state : step_state }
+
+let run (kernel : Kernel.t) ?(seed = 0) (clients : client list) : int list =
+  let open Effect.Deep in
+  if Kernel.preemptive kernel || Kernel.spawn_hook kernel <> None then
+    invalid_arg "Sched.run: a scheduler is already active on this kernel";
+  (* Which job performed the effect we are handling: set around each step
+     so the effect branch can park the continuation in the right job. *)
+  let current : job option ref = ref None in
+  let joined : job list ref = ref [] in
+  let handler : (unit, status) handler =
+    { retc = (fun () -> Done);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Kernel.Yield ->
+            Some
+              (fun (k : (a, status) continuation) ->
+                (match !current with
+                | Some j -> j.j_state <- Parked k
+                | None -> ());
+                Yielded)
+          | _ -> None) }
+  in
+  let start_job (c : client) : job =
+    let pid, thunk =
+      Program.prepare kernel ?binary:c.c_binary ~libs:c.c_libs ~name:c.c_name
+        c.c_body
+    in
+    { j_pid = pid; j_state = Start thunk }
+  in
+  (* Step a job to its next yield point. The state is cleared to Finished
+     first; if the job yields, the effect branch overwrites it with the
+     parked continuation, so Finished survives only on actual return. *)
+  let step (j : job) : unit =
+    match j.j_state with
+    | Finished -> ()
+    | Start f ->
+      j.j_state <- Finished;
+      current := Some j;
+      ignore
+        (Fun.protect
+           ~finally:(fun () -> current := None)
+           (fun () -> match_with f () handler)
+          : status)
+    | Parked k ->
+      j.j_state <- Finished;
+      current := Some j;
+      ignore
+        (Fun.protect
+           ~finally:(fun () -> current := None)
+           (fun () -> continue k ())
+          : status)
+  in
+  let rotate n xs =
+    let rec go k = function
+      | xs when k = 0 -> xs
+      | [] -> []
+      | x :: tl -> go (k - 1) (tl @ [ x ])
+    in
+    go n xs
+  in
+  match clients with
+  | [] -> []
+  | _ ->
+    let prng = Ldv_faults.Prng.create ~seed in
+    (* Processes are started up front, in client order, so pids are
+       assigned deterministically regardless of the seed. *)
+    let jobs = List.map start_job clients in
+    let pids = List.map (fun j -> j.j_pid) jobs in
+    Kernel.set_spawn_hook kernel
+      (Some
+         (fun ~pid thunk ->
+           joined := { j_pid = pid; j_state = Start thunk } :: !joined));
+    Kernel.set_preemptive kernel true;
+    Fun.protect
+      ~finally:(fun () ->
+        Kernel.set_preemptive kernel false;
+        Kernel.set_spawn_hook kernel None)
+      (fun () ->
+        let live = ref jobs in
+        let rounds = ref 0 in
+        let is_live j =
+          match j.j_state with Finished -> false | Start _ | Parked _ -> true
+        in
+        let some_live () =
+          match !live with [] -> false | _ :: _ -> true
+        in
+        while some_live () do
+          incr rounds;
+          let order = rotate (Ldv_faults.Prng.int prng (List.length !live)) !live in
+          List.iter step order;
+          let newly = List.rev !joined in
+          joined := [];
+          live := List.filter is_live (!live @ newly);
+          Kernel.run_quantum_hooks kernel
+        done;
+        Ldv_obs.counter ~by:!rounds "sched.rounds");
+    pids

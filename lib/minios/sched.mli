@@ -1,0 +1,27 @@
+(** Cooperative round-robin scheduling of programs — the multi-client
+    front end of the concurrent audit.
+
+    While [run] is active the kernel is in preemptive mode: every file
+    syscall (and the interceptor's statement send) performs
+    {!Kernel.Yield}, which the scheduler handles by parking the process's
+    continuation and stepping the next live job. One scheduling round
+    steps every live job to its next yield point; after each round the
+    kernel's quantum hooks run (WAL group commit batches its fsync
+    barrier there). The round order is rotated by a seeded PRNG draw, so
+    a given seed always produces the identical interleaving. Children
+    spawned by a scheduled program join the round-robin as sibling jobs
+    instead of running to completion inside their parent's time slice. *)
+
+type client
+
+(** A program to schedule, with the identity [Program.prepare] needs. *)
+val client :
+  ?binary:string -> ?libs:string list -> name:string -> Program.program ->
+  client
+
+(** Run the clients to completion under a seeded round-robin schedule;
+    returns their pids in client-list order (pids are assigned in that
+    order, independent of the seed).
+    @raise Invalid_argument if a scheduler is already active on the
+    kernel. *)
+val run : Kernel.t -> ?seed:int -> client list -> int list

@@ -144,9 +144,59 @@ let dependencies_of ?(at = max_int) ?same_model_dep (trace : Trace.t)
   Hashtbl.fold (fun id () acc -> id :: acc) found []
   |> List.sort String.compare
 
-(** Does entity [target] depend on entity [source] at time [at]? *)
-let depends_on ?at ?same_model_dep (trace : Trace.t) ~target ~source : bool =
-  List.mem source (dependencies_of ?at ?same_model_dep trace target)
+exception Found_source
+
+(** Does entity [target] depend on entity [source] at time [at]?
+
+    Same backward search as [dependencies_of], but it stops as soon as
+    [source] is reached admissibly instead of materializing the full
+    dependency set and testing membership — a membership probe on a large
+    trace touches only the part of the graph between the two entities. *)
+let depends_on ?(at = max_int) ?same_model_dep (trace : Trace.t) ~target
+    ~source : bool =
+  let cfg =
+    { at;
+      same_model_dep =
+        Option.value same_model_dep ~default:(default_same_model_dep trace) }
+  in
+  let target_node = Trace.node_exn trace target in
+  if target_node.Trace.kind <> Model.Entity then
+    invalid_arg "Dependency.depends_on: target must be an entity";
+  let best : (string * string, int) Hashtbl.t = Hashtbl.create 128 in
+  let rec visit (v : string) ~(last_entity : Trace.node) ~(tau : int) =
+    let key = (v, last_entity.Trace.id) in
+    match Hashtbl.find_opt best key with
+    | Some t when t >= tau -> ()
+    | _ ->
+      Hashtbl.replace best key tau;
+      List.iter
+        (fun (e : Trace.edge) ->
+          let b = Interval.b e.Trace.time and en = Interval.e e.Trace.time in
+          if b <= tau then begin
+            let tau' = min tau en in
+            let u = Trace.node_exn trace e.Trace.src in
+            match u.Trace.kind with
+            | Model.Activity -> visit u.Trace.id ~last_entity ~tau:tau'
+            | Model.Entity ->
+              let same_model =
+                String.equal (entity_model_of u) (entity_model_of last_entity)
+              in
+              let admissible =
+                (not same_model) || cfg.same_model_dep last_entity u
+              in
+              if admissible then begin
+                if
+                  String.equal u.Trace.id source
+                  && not (String.equal u.Trace.id target)
+                then raise Found_source;
+                visit u.Trace.id ~last_entity:u ~tau:tau'
+              end
+          end)
+        (Trace.in_edges trace v)
+  in
+  match visit target ~last_entity:target_node ~tau:cfg.at with
+  | () -> false
+  | exception Found_source -> true
 
 (** All inferred dependency pairs (dependent, source) over the whole trace;
     quadratic, intended for tests and small traces. *)

@@ -34,7 +34,10 @@ val dependencies_of :
   string ->
   string list
 
-(** Does entity [target] depend on entity [source]? *)
+(** Does entity [target] depend on entity [source]? Runs the same
+    backward search as [dependencies_of] but exits as soon as [source]
+    is reached admissibly, so a membership probe does not materialize
+    the full dependency set. *)
 val depends_on :
   ?at:int ->
   ?same_model_dep:(Trace.node -> Trace.node -> bool) ->

@@ -98,3 +98,17 @@ let compare_traces (a : Trace.t) (b : Trace.t) : difference list =
 (** Validate a replay against the original audit by comparing their
     traces. *)
 let equivalent a b = compare_traces a b = []
+
+(** Dependency-preservation check: of the given [(target, source)] pairs,
+    those that hold in [a] but not in [b]. Both probes use the early-exit
+    [Dependency.depends_on], so checking a handful of pairs does not
+    materialize full dependency sets on either trace. Pairs whose nodes do
+    not exist in a trace count as not holding there. *)
+let missing_dependencies (a : Trace.t) (b : Trace.t)
+    ~(pairs : (string * string) list) : (string * string) list =
+  let holds trace (target, source) =
+    match Dependency.depends_on trace ~target ~source with
+    | ok -> ok
+    | exception _ -> false
+  in
+  List.filter (fun pair -> holds a pair && not (holds b pair)) pairs

@@ -20,3 +20,10 @@ val edge_label_counts : Trace.t -> (string * int) list
 val compare_traces : Trace.t -> Trace.t -> difference list
 
 val equivalent : Trace.t -> Trace.t -> bool
+
+(** Of the given [(target, source)] pairs, those where [target] depends on
+    [source] in the first trace but not in the second — a replay preserved
+    the recorded dependencies iff this is empty. Uses the early-exit
+    [Dependency.depends_on] probe for each pair. *)
+val missing_dependencies :
+  Trace.t -> Trace.t -> pairs:(string * string) list -> (string * string) list

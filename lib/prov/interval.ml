@@ -19,6 +19,10 @@ let equal a b = a.b = b.b && a.e = b.e
 let compare a b =
   match Int.compare a.b b.b with 0 -> Int.compare a.e b.e | c -> c
 
+(** Order interactions by when they began, ignoring their extent — the
+    order in which interleaved sessions issued their statements. *)
+let compare_start a b = Int.compare a.b b.b
+
 let contains i t = i.b <= t && t <= i.e
 let overlaps a b = a.b <= b.e && b.b <= a.e
 

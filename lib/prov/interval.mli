@@ -21,6 +21,10 @@ val e : t -> int
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+(** Order interactions by when they began, ignoring their extent — the
+    order in which interleaved sessions issued their statements. *)
+val compare_start : t -> t -> int
+
 val contains : t -> int -> bool
 val overlaps : t -> t -> bool
 

@@ -43,4 +43,5 @@ let () =
       ("durability", Test_durability.suite);
       ("report", Test_report.suite);
       ("partial-diff", Test_partial_diff.suite);
+      ("concurrent", Test_concurrent.suite);
       ("end-to-end", Test_e2e.suite) ]
