@@ -166,21 +166,43 @@ let out_arg =
 (* audit                                                               *)
 
 let audit_cmd =
-  let run obs sf vid mode (n_insert, n_select, n_update) out =
+  let sessions_arg =
+    let doc =
+      "Concurrent sessions. With more than one the audit runs the \
+       multi-session notes workload under the cooperative scheduler \
+       (server-included packaging; the TPC-H flags are ignored), which is \
+       the workload $(b,ldv timeline) and $(b,ldv contention) analyze."
+    in
+    Arg.(value & opt int 1 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let sched_seed_arg =
+    let doc = "Scheduler seed for the concurrent (--sessions > 1) audit." in
+    Arg.(value & opt int 42 & info [ "sched-seed" ] ~docv:"SEED" ~doc)
+  in
+  let run obs sf vid mode (n_insert, n_select, n_update) sessions seed out =
     with_obs obs @@ fun () ->
-    let audit, cfg = run_audit ~sf ~vid ~mode ~n_insert ~n_select ~n_update in
+    let audit, meta =
+      if sessions > 1 then
+        (Concurrent.audited ~sessions ~statements:8 ~seed (), [])
+      else begin
+        let audit, cfg =
+          run_audit ~sf ~vid ~mode ~n_insert ~n_select ~n_update
+        in
+        (audit, metadata_of_cfg cfg)
+      end
+    in
     let pkg =
       match mode with
-      | Audit.Ptu_baseline -> Ptu.build audit
+      | Audit.Ptu_baseline when sessions <= 1 -> Ptu.build audit
       | _ -> Package.build audit
     in
-    let pkg =
-      { pkg with Package.metadata = pkg.Package.metadata @ metadata_of_cfg cfg }
-    in
+    let pkg = { pkg with Package.metadata = pkg.Package.metadata @ meta } in
     (* crash-safe: temp file + rename, so a failed audit never leaves a
        torn package behind *)
     Package.write_file pkg ~path:out;
-    Printf.printf "audited %s under %s monitoring\n" vid
+    Printf.printf "audited %s under %s monitoring\n"
+      (if sessions > 1 then Printf.sprintf "%d concurrent sessions" sessions
+       else vid)
       (Package.kind_name pkg.Package.kind);
     Printf.printf "wrote %s (%s, %d files, %d tables, %d recorded statements)\n"
       out
@@ -194,7 +216,7 @@ let audit_cmd =
   let term =
     Term.(
       const run $ obs_arg $ sf_arg $ query_arg $ mode_arg $ counts_args
-      $ out_arg)
+      $ sessions_arg $ sched_seed_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "audit"
@@ -230,13 +252,21 @@ let exec_cmd =
   let run obs path =
     with_obs obs @@ fun () ->
     let pkg = read_package path in
-    let cfg = cfg_of_metadata pkg.Package.metadata in
-    Minios.Program.register ~name:pkg.Package.app_name (Tpch.Workload.app cfg);
+    (* concurrent packages carry a recorded schedule instead of workload
+       metadata: re-register the scheduled client programs; otherwise
+       rebuild the TPC-H app from the package's workload config *)
+    (match Package.schedule pkg with
+    | Some (_seed, clients) -> Concurrent.register_schedule_clients clients
+    | None ->
+      let cfg = cfg_of_metadata pkg.Package.metadata in
+      Minios.Program.register ~name:pkg.Package.app_name
+        (Tpch.Workload.app cfg));
     let result = Replay.execute pkg in
     Printf.printf "re-executed %s (%s package)\n" pkg.Package.app_name
       (Package.kind_name pkg.Package.kind);
     Printf.printf "%d statements replayed, %d output files produced\n"
-      (List.length (Dbclient.Interceptor.log result.Replay.session))
+      (List.length
+         (List.concat_map Dbclient.Interceptor.log result.Replay.sessions))
       (List.length result.Replay.out_files);
     List.iter
       (fun (p, content) ->
@@ -359,7 +389,17 @@ let stats_cmd =
       & info [ "tree" ]
           ~doc:"Also print the span tree (roots at the margin).")
   in
-  let run path tree =
+  let by_session_arg =
+    Arg.(
+      value & flag
+      & info [ "by-session" ]
+          ~doc:
+            "Also print span statistics grouped by $(b,trace.session) \
+             (spans without the attribute fall in an \
+             $(i,(unattributed)) group), plus a merged all-session \
+             section.")
+  in
+  let run path tree by_session =
     match load_trace path with
     | Error _ as e -> e
     | Ok snap ->
@@ -368,9 +408,12 @@ let stats_cmd =
         Report.section "Span tree";
         Obs_report.print_tree snap
       end;
+      if by_session then Obs_report.print_by_session snap;
       Ok ()
   in
-  let term = Term.(term_result (const run $ file_arg $ tree_arg)) in
+  let term =
+    Term.(term_result (const run $ file_arg $ tree_arg $ by_session_arg))
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
@@ -440,6 +483,44 @@ let profile_cmd =
        ~doc:
          "Analyze an observability trace: self vs total time per span, \
           critical paths, flamegraph and graphviz exports")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* timeline / contention: wait-state analysis of a JSONL trace         *)
+
+let timeline_cmd =
+  let run path =
+    match load_trace path with
+    | Error _ as e -> e
+    | Ok snap ->
+      Obs_report.print_timeline snap;
+      Ok ()
+  in
+  let term = Term.(term_result (const run $ trace_pos_arg)) in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Render a deterministic per-session Gantt chart over scheduler \
+          quanta from an observability trace (collect one with \
+          $(b,ldv --obs jsonl:FILE audit --sessions N)), with \
+          blocked-vs-running attribution per session")
+    term
+
+let contention_cmd =
+  let run path =
+    match load_trace path with
+    | Error _ as e -> e
+    | Ok snap ->
+      Obs_report.print_contention snap;
+      Ok ()
+  in
+  let term = Term.(term_result (const run $ trace_pos_arg)) in
+  Cmd.v
+    (Cmd.info "contention"
+       ~doc:
+         "Report contention from an observability trace: blocked vs \
+          running per session, top latch holders with the wait they \
+          caused, latch-wait share of wall time, and group-commit stalls")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -639,4 +720,5 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd;
-            profile_cmd; obs_cmd; faultcheck_cmd; crashcheck_cmd; demo_cmd ]))
+            profile_cmd; timeline_cmd; contention_cmd; obs_cmd;
+            faultcheck_cmd; crashcheck_cmd; demo_cmd ]))

@@ -44,4 +44,15 @@ if [ "$quick" -eq 0 ]; then
   # the regression gate must pass when a run is compared with itself
   dune exec bin/ldv.exe -- obs diff "$tmpdir/run.jsonl" "$tmpdir/run.jsonl" \
     --budget 10 > /dev/null
+
+  # contention bench (writes BENCH_contention.json: latch-wait share and
+  # group-commit stalls at 1/4/8 sessions)
+  dune exec bench/main.exe -- contention
+  # wait-state tracing smoke: stream a 4-session audit, then render the
+  # timeline, the contention report, and the per-session stats from it
+  dune exec bin/ldv.exe -- --obs "jsonl:$tmpdir/cc.jsonl" \
+    audit --sessions 4 -o "$tmpdir/cc.ldv" > /dev/null
+  dune exec bin/ldv.exe -- timeline "$tmpdir/cc.jsonl" > /dev/null
+  dune exec bin/ldv.exe -- contention "$tmpdir/cc.jsonl" > /dev/null
+  dune exec bin/ldv.exe -- stats "$tmpdir/cc.jsonl" --by-session > /dev/null
 fi

@@ -46,6 +46,12 @@ type t = {
   mutable policy : commit_policy;
   mutable pending_sync : bool;  (** a grouped commit awaits the next flush *)
   mutable fsync_barriers : int;  (** barriers raised over this handle *)
+  (* group-commit stall accounting (collected only while a sink is
+     enabled): when the batch's first sync was deferred and in which
+     scheduler round, so [flush] can report the stall and rounds-deferred *)
+  mutable pending_count : int;
+  mutable pending_first : float;
+  mutable pending_round : int;
 }
 
 let server t = t.server
@@ -84,13 +90,21 @@ let start (kernel : Minios.Kernel.t) (server : Server.t) ~pid : t =
       0
       (Wal.load vfs (wal_path server)).Wal.records
   in
-  { server;
-    kernel;
-    pid;
-    next_seq = max ck_seq wal_seq + 1;
-    policy = Per_statement;
-    pending_sync = false;
-    fsync_barriers = 0 }
+  let t =
+    { server;
+      kernel;
+      pid;
+      next_seq = max ck_seq wal_seq + 1;
+      policy = Per_statement;
+      pending_sync = false;
+      fsync_barriers = 0;
+      pending_count = 0;
+      pending_first = 0.0;
+      pending_round = 0 }
+  in
+  Ldv_obs.register_quantum_gauge "wal.fsync_barriers" (fun () ->
+      float_of_int t.fsync_barriers);
+  t
 
 (** Raise one fsync barrier over the WAL. *)
 let barrier (t : t) : unit =
@@ -106,7 +120,20 @@ let flush (t : t) : unit =
   if t.pending_sync then begin
     t.pending_sync <- false;
     barrier t;
-    Ldv_obs.counter "wal.group_commit"
+    Ldv_obs.counter "wal.group_commit";
+    if Ldv_obs.enabled () && t.pending_count > 0 then begin
+      (* the batch stalled from its first deferred sync until this barrier *)
+      let stall = Ldv_obs.now () -. t.pending_first in
+      Ldv_obs.observe "wal.group_commit.stall" stall;
+      Ldv_obs.counter
+        ~by:(max 0 (Minios.Kernel.rounds t.kernel - t.pending_round))
+        "wal.group_commit.rounds_deferred";
+      Ldv_obs.counter ~by:t.pending_count "wal.group_commit.batched";
+      Ldv_obs.emit_span
+        ~attrs:[ ("wal.batch", string_of_int t.pending_count) ]
+        ~start:t.pending_first ~dur:stall "wait.group-commit"
+    end;
+    t.pending_count <- 0
   end
 
 (** Execute one SQL statement durably: log, sync if the policy demands
@@ -130,7 +157,14 @@ let exec (t : t) (sql : string) : Protocol.response =
     | Per_statement -> barrier t
     | Grouped ->
       t.pending_sync <- true;
-      Ldv_obs.counter "wal.deferred_sync"
+      Ldv_obs.counter "wal.deferred_sync";
+      if Ldv_obs.enabled () then begin
+        if t.pending_count = 0 then begin
+          t.pending_first <- Ldv_obs.now ();
+          t.pending_round <- Minios.Kernel.rounds t.kernel
+        end;
+        t.pending_count <- t.pending_count + 1
+      end
   end;
   let resp = Server.handle t.server (Protocol.Statement { sql }) in
   Ldv_faults.crash_point ~site:"stmt.post_exec";
@@ -229,8 +263,13 @@ let recover ?(apply = true) (kernel : Minios.Kernel.t) ~data_dir () :
       next_seq = redo_upto + 1;
       policy = Per_statement;
       pending_sync = false;
-      fsync_barriers = 0 }
+      fsync_barriers = 0;
+      pending_count = 0;
+      pending_first = 0.0;
+      pending_round = 0 }
   in
+  Ldv_obs.register_quantum_gauge "wal.fsync_barriers" (fun () ->
+      float_of_int t.fsync_barriers);
   if apply then checkpoint t;
   ( t,
     { checkpoint_seq = ck_seq;

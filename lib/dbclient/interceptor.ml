@@ -74,21 +74,30 @@ type stmt_event = {
   response_bytes : int;
 }
 
+(** The shared write-path latch: statement execution on the server is
+    session-serialized. [holder] is the session currently executing a
+    statement, -1 when free. Under a scheduler a contending session
+    parks (spin-yield) until the holder releases — recording how long it
+    waited and on whom; without a scheduler a held latch is a bug. *)
+type latch = { mutable holder : int }
+
 type t = {
   mode : mode;
   server : Server.t;
   kernel : Minios.Kernel.t;
   session_id : int;
+  trace_id : int;
+      (** run-level trace id ([Ldv_obs.Trace]), shared by siblings *)
   snapshot_reads : bool;
       (** pin every query to the DB clock observed when its request was
           sent (snapshot isolation across interleaved sessions) *)
   versioning : Perm.Versioning.t;
   next_qid : int ref;  (** shared across sibling sessions: qids are the
                            global statement order of the run *)
-  busy : bool ref;
-      (** shared write-path latch: statement execution on the server is
-          session-serialized (sessions interleave *between* statements,
-          never inside one); this asserts it *)
+  latch : latch;  (** shared across sibling sessions *)
+  inflight : (int, int) Hashtbl.t;
+      (** qid -> pinned snapshot of statements currently in flight, shared
+          across siblings; feeds the [db.snapshot_age] per-quantum gauge *)
   mutable log : stmt_event list;  (** newest first *)
   mutable recorded : Recorder.recorded list;  (** audit-excluded, newest first *)
   mutable replay_queue : Recorder.recorded list;  (** replay-excluded, in order *)
@@ -109,14 +118,25 @@ type t = {
 
 let create ?(mode = Passthrough) ?(session_id = 0) ?(snapshot_reads = false)
     ~kernel (server : Server.t) : t =
+  let inflight = Hashtbl.create 16 in
+  (* How far behind the current DB clock the oldest in-flight statement's
+     pinned snapshot is, sampled once per scheduler round. *)
+  let db = Server.db server in
+  Ldv_obs.register_quantum_gauge "db.snapshot_age" (fun () ->
+      let clock = Database.clock db in
+      Hashtbl.fold
+        (fun _ snap acc -> Float.max acc (float_of_int (clock - snap)))
+        inflight 0.0);
   { mode;
     server;
     kernel;
     session_id;
+    trace_id = Ldv_obs.Trace.mint ();
     snapshot_reads;
     versioning = Perm.Versioning.create (Server.db server);
     next_qid = ref 0;
-    busy = ref false;
+    latch = { holder = -1 };
+    inflight;
     log = [];
     recorded = [];
     replay_queue = [];
@@ -130,9 +150,10 @@ let create_replay ~kernel (server : Server.t)
   { t with replay_queue = recording }
 
 (** A sibling session for another client of the same run: it shares the
-    mode, server, versioning, qid counter, slice table and eager buffers
-    (one run, one slice, one global statement order) but keeps its own
-    statement log, so each session's stream stays attributable. *)
+    mode, server, versioning, qid counter, write latch, in-flight table,
+    trace id, slice table and eager buffers (one run, one slice, one
+    global statement order) but keeps its own statement log, so each
+    session's stream stays attributable. *)
 let create_sibling (t : t) ~session_id : t =
   { t with session_id; log = []; recorded = []; replay_queue = [] }
 
@@ -365,6 +386,13 @@ let pin_statement snap (ast : Sql_ast.statement) : Sql_ast.statement =
 
 (** Execute one statement on behalf of process [pid]. *)
 let execute (t : t) ~pid (sql : string) : Protocol.response =
+  if Ldv_obs.enabled () then begin
+    (* (re)assert this session's identity on the ambient trace context —
+       the scheduler's quantum/wait spans and every child span inherit it *)
+    Ldv_obs.Trace.set_trace t.trace_id;
+    Ldv_obs.Trace.set_session t.session_id;
+    Ldv_obs.Trace.set_stmt (-1)
+  end;
   Ldv_obs.with_span "db.stmt" @@ fun () ->
   let db = Server.db t.server in
   let ast = Sql_parser.parse sql in
@@ -378,15 +406,20 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
        [Prov.Bb_model.process_id]) *)
     Ldv_obs.add_attr "prov.stmt" (Printf.sprintf "stmt:%d" !(t.next_qid));
     Ldv_obs.add_attr "prov.proc" (Printf.sprintf "proc:%d" pid);
+    Ldv_obs.add_attr Ldv_obs.Trace.stmt_attr (string_of_int !(t.next_qid));
     Ldv_obs.counter ("db.stmt." ^ stmt_kind_name kind)
   end;
   let qid = !(t.next_qid) in
   t.next_qid := qid + 1;
+  if Ldv_obs.enabled () then Ldv_obs.Trace.set_stmt qid;
   (* request leaves the client *)
   let t_start = Minios.Kernel.tick t.kernel in
   Database.sync_clock db ~at:(Minios.Kernel.now t.kernel);
   (* the statement's snapshot is fixed the moment the request is sent... *)
   let snapshot = Database.clock db in
+  if Ldv_obs.enabled () then Hashtbl.replace t.inflight qid snapshot;
+  Fun.protect ~finally:(fun () -> Hashtbl.remove t.inflight qid)
+  @@ fun () ->
   (* ...and the request is now in flight: under a scheduler, other
      sessions may run (and commit) before the server dequeues it *)
   Minios.Kernel.yield_point t.kernel;
@@ -397,14 +430,40 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
       (pinned, Pretty.statement_to_string pinned)
     else (ast, sql)
   in
-  if !(t.busy) then
-    invalid_arg
-      "Interceptor.execute: statement execution is session-serialized, but \
-       a statement is already executing";
-  t.busy := true;
+  (* acquire the shared write latch *)
+  if t.latch.holder >= 0 then begin
+    if not (Minios.Kernel.preemptive t.kernel) then
+      (* no scheduler, so nobody can ever release it: a reentrancy bug *)
+      invalid_arg
+        "Interceptor.execute: statement execution is session-serialized, but \
+         a statement is already executing";
+    let holder = t.latch.holder in
+    let wait_start = if Ldv_obs.enabled () then Ldv_obs.now () else 0.0 in
+    let spins = ref 0 in
+    while t.latch.holder >= 0 do
+      incr spins;
+      Minios.Kernel.yield_point t.kernel
+    done;
+    if Ldv_obs.enabled () then begin
+      let dur = Ldv_obs.now () -. wait_start in
+      Ldv_obs.counter "latch.waits";
+      Ldv_obs.counter ~by:!spins "latch.wait_rounds";
+      Ldv_obs.observe "latch.wait" dur;
+      (* who held the latch when the wait began: cross-session causality *)
+      Ldv_obs.emit_span
+        ~attrs:[ ("latch.holder", string_of_int holder) ]
+        ~start:wait_start ~dur "wait.latch"
+    end
+  end;
+  t.latch.holder <- t.session_id;
+  (* the server now owns the statement; executing it is a scheduling step
+     of its own, so the latch stays held across a quantum boundary and
+     cross-session contention is real (and observable) *)
+  Minios.Kernel.yield_point t.kernel;
+  Database.sync_clock db ~at:(Minios.Kernel.now t.kernel);
   let response, results, reads, schema, rows, affected =
     Fun.protect
-      ~finally:(fun () -> t.busy := false)
+      ~finally:(fun () -> t.latch.holder <- -1)
     @@ fun () ->
     match t.mode with
     | Passthrough ->
@@ -465,6 +524,8 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
       affected;
       response_bytes = Protocol.response_bytes response }
     :: t.log;
+  (* statement over: quanta spent between statements must not carry its id *)
+  if Ldv_obs.enabled () then Ldv_obs.Trace.set_stmt (-1);
   response
 
 (* ------------------------------------------------------------------ *)

@@ -301,6 +301,11 @@ let run_concurrent ~(packaging : packaging) ?(sched_seed = 0)
         Minios.Sched.client ~binary:cl.cl_binary ~libs:cl.cl_libs
           ~name:cl.cl_name (fun env ->
             let pid = Minios.Program.pid env in
+            (* this program runs on its own scheduler job; stamp the job's
+               trace context so even quanta before the first statement are
+               attributed to the right session *)
+            if Ldv_obs.enabled () then
+              Ldv_obs.Trace.set_session (I.session_id sess);
             I.bind_for kernel ~pid sess;
             Fun.protect
               ~finally:(fun () -> I.unbind_for kernel ~pid)

@@ -83,6 +83,23 @@ let clients ~sessions ~statements : Audit.client list =
         cl_libs = client_libs;
         cl_program = program })
 
+(** Re-register the client programs a recorded schedule refers to, so a
+    concurrent package replays in a fresh process (`ldv exec`). Registry
+    names encode the statement count, so a name always denotes the same
+    program; names this module did not mint are left alone (replay will
+    then report the missing program itself). *)
+let register_schedule_clients (clients : (string * string) list) =
+  List.iter
+    (fun (name, _binary) ->
+      match
+        Scanf.sscanf_opt name "cc-client-%d-s%d%!" (fun i statements ->
+            (i, statements))
+      with
+      | Some (i, statements) ->
+        Minios.Program.register ~name (client_program ~statements i)
+      | None -> ())
+    clients
+
 (** A complete concurrent audited run: fresh kernel and database, the
     [notes] fixture, [sessions] clients of [statements] statements each,
     interleaved under [seed]. *)

@@ -191,8 +191,8 @@ let print_diff ~budget_pct (rows : P.diff_row list) : P.diff_row list =
            Report.seconds d.P.d_total_a;
            Report.seconds d.P.d_total_b;
            (if Float.is_nan delta then "-"
-            else if delta = Float.infinity then "new"
-            else if delta = Float.neg_infinity then "gone"
+            else if delta = Float.infinity then "added"
+            else if delta = Float.neg_infinity then "removed"
             else Printf.sprintf "%+.1f%%" delta);
            fmt_p95 d.P.d_p95_a;
            fmt_p95 d.P.d_p95_b;
@@ -207,6 +207,220 @@ let print_diff ~budget_pct (rows : P.diff_row list) : P.diff_row list =
       (List.length regressions) budget_pct
   | None -> ());
   regressions
+
+(* ------------------------------------------------------------------ *)
+(* Contention rendering (the `ldv timeline` / `ldv contention` views). *)
+
+module C = Ldv_obs.Contention
+
+let share v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let attribution_rows (sessions : C.session_attr list) =
+  List.map
+    (fun (a : C.session_attr) ->
+      let s = H.summarize a.C.a_stall in
+      [ a.C.a_session;
+        string_of_int a.C.a_quanta;
+        Report.seconds a.C.a_wall;
+        Report.seconds a.C.a_running;
+        Report.seconds a.C.a_blocked;
+        (if a.C.a_wall > 0.0 then share (a.C.a_blocked /. a.C.a_wall) else "-");
+        Report.seconds a.C.a_latch_wait;
+        (if s.H.s_count = 0 then "-" else Report.seconds s.H.s_p95) ])
+    sessions
+
+let attribution_header =
+  [ "session"; "quanta"; "wall"; "running"; "blocked"; "blocked%";
+    "latch wait"; "p95 stall" ]
+
+(** The per-session Gantt over scheduler quanta: one row per session,
+    ['#'] while it ran, ['.'] while it was parked, spaces before its
+    first and after its last activity. Deterministic: a pure function of
+    the trace. *)
+let print_timeline (snap : Obs.snapshot) =
+  match C.timeline snap with
+  | [] ->
+    print_endline
+      "no scheduler quanta in this trace (collect one with a concurrent \
+       audit under --obs)"
+  | rows ->
+    let lo, hi =
+      List.fold_left
+        (fun acc (_, segs) ->
+          List.fold_left
+            (fun (lo, hi) (g : C.segment) ->
+              (Float.min lo g.C.g_start, Float.max hi (g.C.g_start +. g.C.g_dur)))
+            acc segs)
+        (Float.infinity, Float.neg_infinity)
+        rows
+    in
+    let width = 64 in
+    let extent = hi -. lo in
+    Report.section "Session timeline (scheduler quanta)";
+    if extent <= 0.0 then print_endline "(trace spans a single instant)"
+    else begin
+      List.iter
+        (fun (session, segs) ->
+          let bar = Bytes.make width ' ' in
+          List.iter
+            (fun (g : C.segment) ->
+              let cell t =
+                min (width - 1)
+                  (max 0 (int_of_float (float_of_int width *. (t -. lo) /. extent)))
+              in
+              let c0 = cell g.C.g_start in
+              let c1 = cell (g.C.g_start +. g.C.g_dur) in
+              let mark = match g.C.g_kind with C.Run -> '#' | C.Wait -> '.' in
+              for c = c0 to c1 do
+                (* running wins a shared boundary cell over waiting *)
+                if mark = '#' || Bytes.get bar c = ' ' then Bytes.set bar c mark
+              done)
+            segs;
+          Printf.printf "  %-8s |%s|\n"
+            (Printf.sprintf "S%s" session)
+            (Bytes.to_string bar))
+        rows;
+      Printf.printf "  %-8s  %s\n" ""
+        (Printf.sprintf "# running   . blocked   %s .. %s" (Report.seconds 0.0)
+           (Report.seconds extent))
+    end;
+    Report.section "Blocked vs running (per session)";
+    Report.print_table ~header:attribution_header
+      (attribution_rows (C.attribution snap));
+    if snap.Obs.quanta <> [] then
+      Report.note "%d scheduler round(s) sampled%s\n"
+        (List.length snap.Obs.quanta)
+        (if snap.Obs.dropped_quanta > 0 then
+           Printf.sprintf " (%d early quantum records dropped)"
+             snap.Obs.dropped_quanta
+         else "")
+
+(** The contention report: blocked-vs-running attribution, top latch
+    holders, and group-commit stalling. *)
+let print_contention (snap : Obs.snapshot) =
+  let r = C.contention snap in
+  if r.C.c_sessions = [] then
+    print_endline
+      "no contention data in this trace (collect one with a concurrent \
+       audit under --obs)"
+  else begin
+    Report.section "Blocked vs running (per session)";
+    Report.print_table ~header:attribution_header
+      (attribution_rows r.C.c_sessions);
+    Report.note "latch-wait share of wall time: %s; blocked share: %s\n"
+      (share r.C.c_latch_share) (share r.C.c_blocked_share);
+    if r.C.c_holders <> [] then begin
+      Report.section "Top latch holders";
+      Report.print_table
+        ~header:[ "held by session"; "others waited"; "waits caused" ]
+        (List.map
+           (fun (h : C.holder) ->
+             [ h.C.h_session;
+               Report.seconds h.C.h_waited;
+               string_of_int h.C.h_waiters ])
+           r.C.c_holders)
+    end;
+    if r.C.c_stall.H.s_count > 0 then
+      Report.note "stalls (all sessions): %d waits, p50 %s, p95 %s, max %s\n"
+        r.C.c_stall.H.s_count
+        (Report.seconds r.C.c_stall.H.s_p50)
+        (Report.seconds r.C.c_stall.H.s_p95)
+        (Report.seconds r.C.c_stall.H.s_max);
+    let counter name =
+      Option.value ~default:0 (List.assoc_opt name snap.Obs.counters)
+    in
+    let deferred = counter "wal.group_commit.rounds_deferred" in
+    let commits = counter "wal.group_commit" in
+    if commits > 0 then
+      Report.note
+        "group commit: %d flush(es), %d statement(s) batched, %d round(s) \
+         deferred%s\n"
+        commits
+        (counter "wal.group_commit.batched")
+        deferred
+        (match List.assoc_opt "wal.group_commit.stall" snap.Obs.histograms with
+        | Some s when s.H.s_count > 0 ->
+          Printf.sprintf ", stall p95 %s" (Report.seconds s.H.s_p95)
+        | _ -> "")
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-session grouping (the `ldv stats --by-session` view).           *)
+
+(** Span aggregates grouped by the [trace.session] attribute, with
+    percentiles from per-session histograms built on the fly and a final
+    all-sessions row per name via [H.merge]. *)
+let print_by_session (snap : Obs.snapshot) =
+  (* (session, span name) -> histogram of durations *)
+  let tbl : (string * string, H.t) Hashtbl.t = Hashtbl.create 64 in
+  let sessions = ref [] in
+  List.iter
+    (fun (sp : Obs.span) ->
+      let session = C.session_of sp in
+      if not (List.mem session !sessions) then sessions := session :: !sessions;
+      let key = (session, sp.Obs.sp_name) in
+      let h =
+        match Hashtbl.find_opt tbl key with
+        | Some h -> h
+        | None ->
+          let h = H.create () in
+          Hashtbl.replace tbl key h;
+          h
+      in
+      H.observe h (Float.max 0.0 sp.Obs.sp_dur))
+    snap.Obs.spans;
+  if !sessions = [] then
+    print_endline "no spans in this trace"
+  else begin
+    let sessions = List.sort C.compare_session !sessions in
+    let names_of session =
+      Hashtbl.fold
+        (fun (s, name) _ acc -> if String.equal s session then name :: acc else acc)
+        tbl []
+      |> List.sort String.compare
+    in
+    let row name (h : H.t) =
+      let s = H.summarize h in
+      [ name;
+        string_of_int s.H.s_count;
+        Report.seconds s.H.s_sum;
+        Report.seconds s.H.s_p50;
+        Report.seconds s.H.s_p95;
+        Report.seconds s.H.s_max ]
+    in
+    let header = [ "span"; "count"; "total"; "p50"; "p95"; "max" ] in
+    List.iter
+      (fun session ->
+        Report.section
+          (if String.equal session "-" then "Session: (unattributed)"
+           else Printf.sprintf "Session %s" session);
+        Report.print_table ~header
+          (List.map
+             (fun name -> row name (Hashtbl.find tbl (session, name)))
+             (names_of session)))
+      sessions;
+    (* the run-wide view: per-name merge across every session *)
+    let all_names =
+      Hashtbl.fold (fun (_, name) _ acc -> name :: acc) tbl []
+      |> List.sort_uniq String.compare
+    in
+    Report.section "All sessions (merged)";
+    Report.print_table ~header
+      (List.map
+         (fun name ->
+           let merged =
+             Hashtbl.fold
+               (fun (_, n) h acc ->
+                 if String.equal n name then H.merge acc h else acc)
+               tbl (H.create ())
+           in
+           row name merged)
+         all_names);
+    if snap.Obs.counters <> [] then
+      Report.note
+        "(counters are process-global; per-session attribution above is \
+         span-based)\n"
+  end
 
 (** Print the span tree of a snapshot (roots at the margin), for drilling
     into one run's structure. *)

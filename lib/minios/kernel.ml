@@ -38,6 +38,7 @@ type t = {
   mutable preemptive : bool;
   mutable spawn_hook : (pid:int -> (unit -> unit) -> unit) option;
   mutable quantum_hooks : (string * (unit -> unit)) list;
+  mutable rounds : int;  (** completed scheduling rounds *)
 }
 
 let create ?(vfs = Vfs.create ()) () =
@@ -49,7 +50,8 @@ let create ?(vfs = Vfs.create ()) () =
     audit_hooks = [];
     preemptive = false;
     spawn_hook = None;
-    quantum_hooks = [] }
+    quantum_hooks = [];
+    rounds = 0 }
 
 let vfs t = t.vfs
 let now t = t.clock
@@ -81,9 +83,19 @@ let register_quantum_hook t ~name f =
 let run_quantum_hooks t =
   let saved = t.preemptive in
   t.preemptive <- false;
+  t.rounds <- t.rounds + 1;
   Fun.protect
     ~finally:(fun () -> t.preemptive <- saved)
-    (fun () -> List.iter (fun (_, f) -> f ()) (List.rev t.quantum_hooks))
+    (fun () ->
+      List.iter (fun (_, f) -> f ()) (List.rev t.quantum_hooks);
+      (* sample the registered gauges after the hooks, so hook-side effects
+         (e.g. the group-commit flush's fsync barrier) are visible in this
+         round's quantum record *)
+      Ldv_obs.sample_quantum ~round:t.rounds ())
+
+(** The number of completed scheduling rounds (quantum-hook runs) on this
+    kernel — the unit the WAL's rounds-deferred accounting is in. *)
+let rounds t = t.rounds
 
 let tick t =
   t.clock <- t.clock + 1;

@@ -35,7 +35,20 @@ type step_state =
   | Parked of (unit, status) Effect.Deep.continuation
   | Finished
 
-type job = { j_pid : int; mutable j_state : step_state }
+type job = {
+  j_pid : int;
+  mutable j_state : step_state;
+  j_ctx : Ldv_obs.Trace.ctx;
+      (** this job's trace context, swapped in around every quantum so the
+          session keeps its identity across parks and resumes *)
+  mutable j_parked_at : float;  (** clock at last park; -1 when not parked *)
+}
+
+let make_job pid state =
+  { j_pid = pid;
+    j_state = state;
+    j_ctx = Ldv_obs.Trace.make ();
+    j_parked_at = -1.0 }
 
 let run (kernel : Kernel.t) ?(seed = 0) (clients : client list) : int list =
   let open Effect.Deep in
@@ -65,29 +78,53 @@ let run (kernel : Kernel.t) ?(seed = 0) (clients : client list) : int list =
       Program.prepare kernel ?binary:c.c_binary ~libs:c.c_libs ~name:c.c_name
         c.c_body
     in
-    { j_pid = pid; j_state = Start thunk }
+    make_job pid (Start thunk)
   in
   (* Step a job to its next yield point. The state is cleared to Finished
      first; if the job yields, the effect branch overwrites it with the
-     parked continuation, so Finished survives only on actual return. *)
+     parked continuation, so Finished survives only on actual return.
+
+     Tracing: the job's context is swapped in for the duration of the
+     step, a ["wait.sched"] span covers the park-to-resume gap and a
+     ["sched.quantum"] span covers the step itself. Adjacent spans share
+     their boundary timestamps (the quantum's end is stored as the next
+     wait's start), so per session blocked + running telescopes exactly
+     to wall time. Instrumentation never yields and is fully skipped on
+     the disabled path, so interleavings are identical with and without a
+     sink. *)
   let step (j : job) : unit =
     match j.j_state with
     | Finished -> ()
-    | Start f ->
+    | (Start _ | Parked _) as state ->
+      let enabled = Ldv_obs.enabled () in
+      let t0 = if enabled then Ldv_obs.now () else 0.0 in
+      let prev = Ldv_obs.Trace.use j.j_ctx in
+      if enabled && j.j_parked_at >= 0.0 then
+        Ldv_obs.emit_span
+          ~attrs:[ ("os.pid", string_of_int j.j_pid) ]
+          ~start:j.j_parked_at ~dur:(t0 -. j.j_parked_at) "wait.sched";
       j.j_state <- Finished;
       current := Some j;
       ignore
         (Fun.protect
-           ~finally:(fun () -> current := None)
-           (fun () -> match_with f () handler)
-          : status)
-    | Parked k ->
-      j.j_state <- Finished;
-      current := Some j;
-      ignore
-        (Fun.protect
-           ~finally:(fun () -> current := None)
-           (fun () -> continue k ())
+           ~finally:(fun () ->
+             current := None;
+             if enabled then begin
+               let t1 = Ldv_obs.now () in
+               Ldv_obs.emit_span
+                 ~attrs:[ ("os.pid", string_of_int j.j_pid) ]
+                 ~start:t0 ~dur:(t1 -. t0) "sched.quantum";
+               j.j_parked_at <-
+                 (match j.j_state with
+                 | Parked _ -> t1
+                 | Start _ | Finished -> -1.0)
+             end;
+             ignore (Ldv_obs.Trace.use prev : Ldv_obs.Trace.ctx))
+           (fun () ->
+             match state with
+             | Start f -> match_with f () handler
+             | Parked k -> continue k ()
+             | Finished -> assert false)
           : status)
   in
   let rotate n xs =
@@ -107,9 +144,7 @@ let run (kernel : Kernel.t) ?(seed = 0) (clients : client list) : int list =
     let jobs = List.map start_job clients in
     let pids = List.map (fun j -> j.j_pid) jobs in
     Kernel.set_spawn_hook kernel
-      (Some
-         (fun ~pid thunk ->
-           joined := { j_pid = pid; j_state = Start thunk } :: !joined));
+      (Some (fun ~pid thunk -> joined := make_job pid (Start thunk) :: !joined));
     Kernel.set_preemptive kernel true;
     Fun.protect
       ~finally:(fun () ->
@@ -117,6 +152,8 @@ let run (kernel : Kernel.t) ?(seed = 0) (clients : client list) : int list =
         Kernel.set_spawn_hook kernel None)
       (fun () ->
         let live = ref jobs in
+        Ldv_obs.register_quantum_gauge "sched.run_queue" (fun () ->
+            float_of_int (List.length !live));
         let rounds = ref 0 in
         let is_live j =
           match j.j_state with Finished -> false | Start _ | Parked _ -> true

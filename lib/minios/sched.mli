@@ -10,7 +10,17 @@
     barrier there). The round order is rotated by a seeded PRNG draw, so
     a given seed always produces the identical interleaving. Children
     spawned by a scheduled program join the round-robin as sibling jobs
-    instead of running to completion inside their parent's time slice. *)
+    instead of running to completion inside their parent's time slice.
+
+    Tracing: each job carries its own [Ldv_obs.Trace] context, swapped
+    in around every quantum, so spans emitted while a session runs carry
+    its [trace.session]/[trace.stmt] identity. When a sink is enabled
+    the scheduler emits one ["sched.quantum"] span per step and one
+    ["wait.sched"] span per park-to-resume gap (sharing boundary
+    timestamps, so blocked + running = wall per session), and registers
+    a ["sched.run_queue"] per-quantum gauge. With the sink disabled no
+    spans, clock reads or allocations happen — interleavings are
+    byte-identical either way. *)
 
 type client
 

@@ -1,0 +1,237 @@
+(** Contention analysis over collected traces: blocked-vs-running
+    attribution per session, a per-session timeline of scheduler quanta,
+    and a latch-holder report.
+
+    The analyzer is pure — it reads the wait-state span vocabulary the
+    instrumented stack emits and never touches the live collector, so it
+    runs identically over an in-memory snapshot and a re-parsed JSONL
+    trace:
+
+    - ["sched.quantum"]: one span per scheduler step of a job;
+    - ["wait.sched"]: the park-to-resume gap before that step;
+    - ["wait.latch"]: time spin-waiting on the interceptor's write
+      latch, with a [latch.holder] attribute naming the session that
+      held it (cross-session causality);
+    - ["wait.group-commit"]: time a batch of statements sat with its
+      fsync deferred by group commit, with a [wal.batch] attribute.
+
+    Quantum and scheduler-wait spans of one session tile the interval
+    between its first and last activity with shared endpoints, so per
+    session [running + blocked = wall] holds exactly; latch waits happen
+    *inside* quanta and are reported as an overlay, not added to the
+    wall time. *)
+
+open Obs_types
+
+let quantum_span = "sched.quantum"
+let sched_wait_span = "wait.sched"
+let latch_wait_span = "wait.latch"
+let group_commit_wait_span = "wait.group-commit"
+let holder_attr = "latch.holder"
+
+let session_of (sp : span) : string =
+  match List.assoc_opt Trace.session_attr sp.sp_attrs with
+  | Some s -> s
+  | None -> "-"
+
+(* Sessions sort numerically when they are numbers (the usual case);
+   the unattributed bucket "-" sorts last. *)
+let compare_session (a : string) (b : string) =
+  match (int_of_string_opt a, int_of_string_opt b) with
+  | Some x, Some y -> compare x y
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> String.compare a b
+
+let span_end (sp : span) = sp.sp_start +. Float.max 0.0 sp.sp_dur
+
+(* ------------------------------------------------------------------ *)
+(* Blocked-vs-running attribution.                                     *)
+
+type session_attr = {
+  a_session : string;
+  a_wall : float;  (** last activity end - first activity start *)
+  a_running : float;  (** total [sched.quantum] time *)
+  a_blocked : float;  (** total [wait.sched] time *)
+  a_latch_wait : float;  (** overlay: [wait.latch] time inside quanta *)
+  a_quanta : int;
+  a_waits : int;
+  a_stall : Histogram.t;  (** wait durations (sched + latch) *)
+}
+
+type acc = {
+  mutable k_first : float;
+  mutable k_last : float;
+  mutable k_run : float;
+  mutable k_blocked : float;
+  mutable k_latch : float;
+  mutable k_quanta : int;
+  mutable k_waits : int;
+  k_stall : Histogram.t;
+}
+
+let attribution (snap : snapshot) : session_attr list =
+  let tbl : (string, acc) Hashtbl.t = Hashtbl.create 8 in
+  let acc_of session =
+    match Hashtbl.find_opt tbl session with
+    | Some a -> a
+    | None ->
+      let a =
+        { k_first = Float.infinity;
+          k_last = Float.neg_infinity;
+          k_run = 0.0;
+          k_blocked = 0.0;
+          k_latch = 0.0;
+          k_quanta = 0;
+          k_waits = 0;
+          k_stall = Histogram.create () }
+      in
+      Hashtbl.replace tbl session a;
+      a
+  in
+  let bounds a (sp : span) =
+    if sp.sp_start < a.k_first then a.k_first <- sp.sp_start;
+    let e = span_end sp in
+    if e > a.k_last then a.k_last <- e
+  in
+  List.iter
+    (fun (sp : span) ->
+      if String.equal sp.sp_name quantum_span then begin
+        let a = acc_of (session_of sp) in
+        bounds a sp;
+        a.k_run <- a.k_run +. Float.max 0.0 sp.sp_dur;
+        a.k_quanta <- a.k_quanta + 1
+      end
+      else if String.equal sp.sp_name sched_wait_span then begin
+        let a = acc_of (session_of sp) in
+        bounds a sp;
+        a.k_blocked <- a.k_blocked +. Float.max 0.0 sp.sp_dur;
+        a.k_waits <- a.k_waits + 1;
+        Histogram.observe a.k_stall sp.sp_dur
+      end
+      else if String.equal sp.sp_name latch_wait_span then begin
+        let a = acc_of (session_of sp) in
+        a.k_latch <- a.k_latch +. Float.max 0.0 sp.sp_dur;
+        a.k_waits <- a.k_waits + 1;
+        Histogram.observe a.k_stall sp.sp_dur
+      end)
+    snap.spans;
+  Hashtbl.fold
+    (fun session a rows ->
+      { a_session = session;
+        a_wall = (if a.k_last > a.k_first then a.k_last -. a.k_first else 0.0);
+        a_running = a.k_run;
+        a_blocked = a.k_blocked;
+        a_latch_wait = a.k_latch;
+        a_quanta = a.k_quanta;
+        a_waits = a.k_waits;
+        a_stall = a.k_stall }
+      :: rows)
+    tbl []
+  |> List.sort (fun x y -> compare_session x.a_session y.a_session)
+
+(* ------------------------------------------------------------------ *)
+(* Per-session timeline (the Gantt behind [ldv timeline]).             *)
+
+type seg_kind = Run | Wait
+
+type segment = {
+  g_start : float;
+  g_dur : float;
+  g_kind : seg_kind;
+}
+
+let timeline (snap : snapshot) : (string * segment list) list =
+  let tbl : (string, segment list ref) Hashtbl.t = Hashtbl.create 8 in
+  let push session seg =
+    match Hashtbl.find_opt tbl session with
+    | Some r -> r := seg :: !r
+    | None -> Hashtbl.replace tbl session (ref [ seg ])
+  in
+  List.iter
+    (fun (sp : span) ->
+      let kind =
+        if String.equal sp.sp_name quantum_span then Some Run
+        else if String.equal sp.sp_name sched_wait_span then Some Wait
+        else None
+      in
+      match kind with
+      | Some g_kind ->
+        push (session_of sp)
+          { g_start = sp.sp_start; g_dur = Float.max 0.0 sp.sp_dur; g_kind }
+      | None -> ())
+    snap.spans;
+  Hashtbl.fold
+    (fun session r rows ->
+      ( session,
+        List.sort (fun a b -> compare a.g_start b.g_start) !r )
+      :: rows)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare_session a b)
+
+(* ------------------------------------------------------------------ *)
+(* Latch holders: who made everyone else wait.                         *)
+
+type holder = {
+  h_session : string;  (** the session that held the latch *)
+  h_waited : float;  (** total time other sessions waited on it *)
+  h_waiters : int;  (** number of waits it caused *)
+}
+
+let holders (snap : snapshot) : holder list =
+  let tbl : (string, (float * int) ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (sp : span) ->
+      if String.equal sp.sp_name latch_wait_span then begin
+        let who =
+          Option.value ~default:"-" (List.assoc_opt holder_attr sp.sp_attrs)
+        in
+        let dur = Float.max 0.0 sp.sp_dur in
+        match Hashtbl.find_opt tbl who with
+        | Some r ->
+          let w, n = !r in
+          r := (w +. dur, n + 1)
+        | None -> Hashtbl.replace tbl who (ref (dur, 1))
+      end)
+    snap.spans;
+  Hashtbl.fold
+    (fun session r rows ->
+      let h_waited, h_waiters = !r in
+      { h_session = session; h_waited; h_waiters } :: rows)
+    tbl []
+  |> List.sort (fun a b ->
+         match compare b.h_waited a.h_waited with
+         | 0 -> compare_session a.h_session b.h_session
+         | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* The full report.                                                    *)
+
+type report = {
+  c_sessions : session_attr list;
+  c_holders : holder list;
+  c_latch_share : float;
+      (** total latch-wait time over total per-session wall time *)
+  c_blocked_share : float;  (** total blocked over total wall *)
+  c_stall : Histogram.summary;
+      (** all sessions' wait durations, merged ([Histogram.merge]) *)
+}
+
+let contention (snap : snapshot) : report =
+  let sessions = attribution snap in
+  let wall, latch, blocked =
+    List.fold_left
+      (fun (w, l, b) a ->
+        (w +. a.a_wall, l +. a.a_latch_wait, b +. a.a_blocked))
+      (0.0, 0.0, 0.0) sessions
+  in
+  let merged =
+    List.fold_left
+      (fun m a -> Histogram.merge m a.a_stall)
+      (Histogram.create ()) sessions
+  in
+  { c_sessions = sessions;
+    c_holders = holders snap;
+    c_latch_share = (if wall > 0.0 then latch /. wall else 0.0);
+    c_blocked_share = (if wall > 0.0 then blocked /. wall else 0.0);
+    c_stall = Histogram.summarize merged }

@@ -53,6 +53,26 @@ let observe t v =
 
 let count t = t.count
 
+(** Combine two histograms into a fresh one (the inputs are untouched).
+    Buckets add exactly, so a percentile of the merge lies between the
+    corresponding percentiles of the inputs up to bucket resolution —
+    per-session histograms aggregate into a run-wide view losslessly. *)
+let merge (a : t) (b : t) : t =
+  let t = create () in
+  t.count <- a.count + b.count;
+  t.sum <- a.sum +. b.sum;
+  t.min_v <- Float.min a.min_v b.min_v;
+  t.max_v <- Float.max a.max_v b.max_v;
+  t.underflow <- a.underflow + b.underflow;
+  let add idx n =
+    match Hashtbl.find_opt t.buckets idx with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace t.buckets idx (ref n)
+  in
+  Hashtbl.iter (fun idx r -> add idx !r) a.buckets;
+  Hashtbl.iter (fun idx r -> add idx !r) b.buckets;
+  t
+
 (** The [q]-quantile (0 < q <= 1) of the observed samples, up to bucket
     resolution. Clamped into [min, max] so p100 is exact. *)
 let percentile t q =

@@ -21,6 +21,8 @@
 module Json = Json
 module Histogram = Histogram
 module Profile = Profile
+module Trace = Trace
+module Contention = Contention
 
 (* ------------------------------------------------------------------ *)
 (* Spans. The plain-data types ([span], [snapshot]) live in
@@ -43,6 +45,10 @@ type state = {
   ring : span Queue.t;  (** closed spans, completion order *)
   mutable ring_cap : int;
   mutable dropped : int;
+  quanta : quantum Queue.t;  (** per-round gauge samples, oldest first *)
+  mutable dropped_quanta : int;
+  quantum_gauges : (string, unit -> float) Hashtbl.t;
+      (** gauge providers sampled once per scheduler round *)
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   histos : (string, Histogram.t) Hashtbl.t;
@@ -56,6 +62,9 @@ let st =
     ring = Queue.create ();
     ring_cap = 65536;
     dropped = 0;
+    quanta = Queue.create ();
+    dropped_quanta = 0;
+    quantum_gauges = Hashtbl.create 8;
     counters = Hashtbl.create 64;
     gauges = Hashtbl.create 16;
     histos = Hashtbl.create 32 }
@@ -71,15 +80,21 @@ let now () = st.clock ()
 
 let set_ring_capacity n = st.ring_cap <- max 1 n
 
-(** Drop all collected spans and metrics; keeps the sink. *)
+(** Drop all collected spans and metrics; keeps the sink. Also restores
+    the pristine trace context and restarts trace-id minting, so two
+    identically seeded runs separated by a [reset] stamp identical ids. *)
 let reset () =
   st.next_id <- 1;
   st.stack <- [];
   Queue.clear st.ring;
   st.dropped <- 0;
+  Queue.clear st.quanta;
+  st.dropped_quanta <- 0;
+  Hashtbl.reset st.quantum_gauges;
   Hashtbl.reset st.counters;
   Hashtbl.reset st.gauges;
-  Hashtbl.reset st.histos
+  Hashtbl.reset st.histos;
+  Trace.reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Metrics. Every entry point is guarded by the sink check.            *)
@@ -130,13 +145,23 @@ let span_record (sp : span) : Json.t =
           Json.Obj
             (List.rev_map (fun (k, v) -> (k, Json.Str v)) sp.sp_attrs) ) ])
 
+(** One scheduler round's gauge sample as a JSONL record. *)
+let quantum_record (q : quantum) : Json.t =
+  Json.Obj
+    [ ("t", Json.Str "quantum");
+      ("round", Json.Int q.q_round);
+      ("at", Json.Float q.q_time);
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) q.q_gauges)) ]
+
 let start_span ?(attrs = []) name : span =
   let parent = match st.stack with [] -> 0 | p :: _ -> p.sp_id in
   let sp =
     { sp_id = st.next_id;
       sp_parent = parent;
       sp_name = name;
-      sp_attrs = attrs;
+      (* every span carries the ambient trace identity (trace.id /
+         trace.session / trace.stmt) in front of its own attributes *)
+      sp_attrs = Trace.attrs () @ attrs;
       sp_start = st.clock ();
       sp_dur = -1.0 }
   in
@@ -144,13 +169,10 @@ let start_span ?(attrs = []) name : span =
   st.stack <- sp :: st.stack;
   sp
 
-let finish_span (sp : span) =
-  sp.sp_dur <- st.clock () -. sp.sp_start;
-  (match st.stack with
-  | top :: rest when top == sp -> st.stack <- rest
-  | _ ->
-    (* unbalanced finish (an inner span escaped); drop it wherever it is *)
-    st.stack <- List.filter (fun s -> s != sp) st.stack);
+(* Retire a closed span: bounded ring (evictions counted), the per-name
+   duration histogram, and — under the streaming sink — one JSONL record
+   out the door immediately. Shared by [finish_span] and [emit_span]. *)
+let commit_span (sp : span) =
   if Queue.length st.ring >= st.ring_cap then begin
     ignore (Queue.pop st.ring);
     st.dropped <- st.dropped + 1
@@ -164,6 +186,36 @@ let finish_span (sp : span) =
     output_string oc (Json.to_string (span_record sp));
     output_char oc '\n'
   | Null | Memory -> ()
+
+let finish_span (sp : span) =
+  sp.sp_dur <- st.clock () -. sp.sp_start;
+  (match st.stack with
+  | top :: rest when top == sp -> st.stack <- rest
+  | _ ->
+    (* unbalanced finish (an inner span escaped); drop it wherever it is *)
+    st.stack <- List.filter (fun s -> s != sp) st.stack);
+  commit_span sp
+
+(** Record an already-measured interval as a closed span. The wait-state
+    spans (latch acquisition, group-commit stalls, scheduler resume gaps)
+    are measured across parks where no lexical [with_span] scope exists,
+    so they arrive with explicit [start]/[dur]. Deliberately a root span:
+    parenting it on the shared span stack would attach one session's wait
+    to whatever span another session happens to have open. It still
+    carries the ambient trace-context attributes plus [attrs]. *)
+let emit_span ?(attrs = []) ~start ~dur name =
+  if enabled () then begin
+    let sp =
+      { sp_id = st.next_id;
+        sp_parent = 0;
+        sp_name = name;
+        sp_attrs = Trace.attrs () @ attrs;
+        sp_start = start;
+        sp_dur = Float.max 0.0 dur }
+    in
+    st.next_id <- st.next_id + 1;
+    commit_span sp
+  end
 
 (** Run [f] inside a span. The span nests under whichever span is
     currently open; on the disabled path this is exactly a call to [f]. *)
@@ -182,6 +234,49 @@ let add_attr k v =
     | [] -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Per-quantum telemetry. Subsystems register gauge providers (run-queue
+   depth, snapshot age, fsync barriers); the kernel samples them all once
+   per scheduler round via its quantum hook.                           *)
+
+(** Register (or replace) a named gauge provider. Registration is always
+    accepted — only sampling is gated on the sink — so providers set up
+    while the sink was [Null] still report once it is enabled. *)
+let register_quantum_gauge name (f : unit -> float) =
+  Hashtbl.replace st.quantum_gauges name f
+
+(** Sample every registered gauge provider into one [quantum] record for
+    scheduler round [round]. The readings also update the plain gauge
+    registry (last-value-wins), the record lands in a bounded queue
+    (evictions counted in [dropped_quanta]), and under the streaming sink
+    it is written out — and flushed — immediately, which is what makes
+    the JSONL file grow while the run is still in progress. *)
+let sample_quantum ~round () =
+  if enabled () then begin
+    let readings =
+      Hashtbl.fold
+        (fun name f acc ->
+          (* a faulty provider must not take the scheduler round down *)
+          let v = match f () with v -> v | exception _ -> 0.0 in
+          (name, v) :: acc)
+        st.quantum_gauges []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    List.iter (fun (name, v) -> gauge name v) readings;
+    let q = { q_round = round; q_time = st.clock (); q_gauges = readings } in
+    if Queue.length st.quanta >= st.ring_cap then begin
+      ignore (Queue.pop st.quanta);
+      st.dropped_quanta <- st.dropped_quanta + 1
+    end;
+    Queue.push q st.quanta;
+    match st.sink with
+    | Jsonl oc ->
+      output_string oc (Json.to_string (quantum_record q));
+      output_char oc '\n';
+      flush oc
+    | Null | Memory -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots: everything collected so far, in plain data (the
    [snapshot] type itself comes from [Obs_types]).                     *)
 
@@ -193,6 +288,8 @@ let snapshot () : snapshot =
   { spans = List.of_seq (Queue.to_seq st.ring);
     dropped_spans = st.dropped;
     ring_capacity = st.ring_cap;
+    quanta = List.of_seq (Queue.to_seq st.quanta);
+    dropped_quanta = st.dropped_quanta;
     counters = sorted_bindings st.counters (fun r -> !r);
     gauges = sorted_bindings st.gauges (fun r -> !r);
     histograms = sorted_bindings st.histos Histogram.summarize }
@@ -229,6 +326,7 @@ let meta_record (snap : snapshot) : Json.t =
   Json.Obj
     [ ("t", Json.Str "meta");
       ("dropped", Json.Int snap.dropped_spans);
+      ("dropped_quanta", Json.Int snap.dropped_quanta);
       ("ring_cap", Json.Int snap.ring_capacity) ]
 
 let metric_records (snap : snapshot) : Json.t list =
@@ -256,7 +354,9 @@ let output_metrics oc (snap : snapshot) =
       output_char oc '\n')
     (metric_records snap)
 
-(** The whole snapshot as JSONL text: spans first, then metrics. *)
+(** The whole snapshot as JSONL text: spans, then quanta, then metrics
+    (the streaming sink interleaves spans and quanta in real time
+    instead; [output_metrics] deliberately re-emits neither). *)
 let to_jsonl (snap : snapshot) : string =
   let buf = Buffer.create 4096 in
   List.iter
@@ -264,6 +364,11 @@ let to_jsonl (snap : snapshot) : string =
       Buffer.add_string buf (Json.to_string (span_record sp));
       Buffer.add_char buf '\n')
     snap.spans;
+  List.iter
+    (fun q ->
+      Buffer.add_string buf (Json.to_string (quantum_record q));
+      Buffer.add_char buf '\n')
+    snap.quanta;
   List.iter
     (fun record ->
       Buffer.add_string buf (Json.to_string record);
@@ -312,6 +417,8 @@ let of_jsonl (data : string) : snapshot =
   let spans = ref [] in
   let dropped = ref 0 in
   let ring_cap = ref 0 in
+  let quanta = ref [] in
+  let dropped_quanta = ref 0 in
   let counters = ref [] in
   let gauges = ref [] in
   let histograms = ref [] in
@@ -343,8 +450,24 @@ let of_jsonl (data : string) : snapshot =
            match
              match Option.map Json.to_str (Json.member "t" j) with
              | Some "span" -> spans := span_of_record j :: !spans
+             | Some "quantum" ->
+               let gs =
+                 match Json.member "gauges" j with
+                 | Some g ->
+                   List.map (fun (k, v) -> (k, Json.to_float v)) (Json.to_obj g)
+                 | None -> []
+               in
+               let at =
+                 match Json.member "at" j with
+                 | Some v -> Json.to_float v
+                 | None -> 0.0
+               in
+               quanta :=
+                 { q_round = int_member "round"; q_time = at; q_gauges = gs }
+                 :: !quanta
              | Some "meta" ->
                dropped := int_member "dropped";
+               dropped_quanta := int_member "dropped_quanta";
                ring_cap := int_member "ring_cap"
              | Some "counter" -> counters := (name (), int_member "value") :: !counters
              | Some "gauge" ->
@@ -366,6 +489,8 @@ let of_jsonl (data : string) : snapshot =
   { spans = List.rev !spans;
     dropped_spans = !dropped;
     ring_capacity = !ring_cap;
+    quanta = List.rev !quanta;
+    dropped_quanta = !dropped_quanta;
     counters = List.sort by_name !counters;
     gauges = List.sort by_name !gauges;
     histograms = List.sort by_name !histograms }

@@ -15,10 +15,21 @@ type span = {
   mutable sp_dur : float;  (** negative while the span is still open *)
 }
 
+(** One scheduler round's worth of gauge readings, sampled by the kernel
+    quantum hook after every round: run-queue depth, snapshot age, fsync
+    barriers — whatever providers the run registered. *)
+type quantum = {
+  q_round : int;  (** 1-based scheduler round number *)
+  q_time : float;  (** clock reading at sampling time *)
+  q_gauges : (string * float) list;  (** sorted by name *)
+}
+
 type snapshot = {
   spans : span list;  (** completion order *)
   dropped_spans : int;
   ring_capacity : int;  (** 0 when unknown (e.g. a trace without a meta record) *)
+  quanta : quantum list;  (** chronological *)
+  dropped_quanta : int;
   counters : (string * int) list;  (** sorted by name *)
   gauges : (string * float) list;
   histograms : (string * Histogram.summary) list;

@@ -283,6 +283,26 @@ let diff (a : snapshot) (b : snapshot) : diff_row list =
         in
         Hashtbl.replace tbl sp.sp_name (count + 1, total +. span_total sp))
       snap.spans;
+    (* the ring may have evicted spans whose [span:<name>] histogram
+       survived; trusting the ring alone would silently drop those names
+       from the diff (or under-count them), so prefer the histogram's
+       count/sum whenever it saw more completions than the ring holds *)
+    List.iter
+      (fun (hname, (s : Histogram.summary)) ->
+        let prefix = "span:" in
+        let plen = String.length prefix in
+        if
+          String.length hname > plen
+          && String.equal (String.sub hname 0 plen) prefix
+        then begin
+          let name = String.sub hname plen (String.length hname - plen) in
+          let count, _ =
+            Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl name)
+          in
+          if s.Histogram.s_count > count then
+            Hashtbl.replace tbl name (s.Histogram.s_count, s.Histogram.s_sum)
+        end)
+      snap.histograms;
     tbl
   in
   let p95 (snap : snapshot) name =
@@ -317,3 +337,13 @@ let diff (a : snapshot) (b : snapshot) : diff_row list =
          with
          | 0 -> String.compare x.d_name y.d_name
          | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Blocked-vs-running attribution.                                     *)
+
+(** Where each session's wall time went: running in scheduler quanta vs
+    blocked between them, with latch waits as an overlay. The analysis
+    itself lives in [Contention] (it shares the wait-span vocabulary
+    with the holder report); re-exported here because "where did the
+    time go" is this module's question. *)
+let attribution = Contention.attribution

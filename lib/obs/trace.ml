@@ -1,0 +1,72 @@
+(** Trace contexts: run/session/statement identity carried by every span.
+
+    The interceptor mints one run-level trace id per primary session
+    (siblings share it) and stamps the ambient context with its session
+    and statement ids as statements execute. Sequential code sees a
+    single ambient context; [Minios.Sched] gives each scheduled job its
+    own context and swaps it in around every quantum ([use]), so a
+    session keeps its identity across parks and resumes and every span —
+    including the scheduler's own wait-state spans — records which
+    session it belongs to. *)
+
+type ctx = {
+  mutable c_trace : int;  (** run-level trace id; 0 = unset *)
+  mutable c_session : int;  (** session id; -1 = unset *)
+  mutable c_stmt : int;  (** statement (query) id; -1 = unset *)
+}
+
+let make () = { c_trace = 0; c_session = -1; c_stmt = -1 }
+
+(* The ambient context. Non-scheduled code mutates this root directly;
+   the scheduler installs a per-job context around each quantum. *)
+let root = make ()
+let current = ref root
+
+(** Install [c] as the ambient context and return the previous one (the
+    scheduler's swap-in/swap-out primitive). *)
+let use (c : ctx) : ctx =
+  let prev = !current in
+  current := c;
+  prev
+
+let set_trace id = !current.c_trace <- id
+let set_session sid = !current.c_session <- sid
+
+(** Pass [-1] to clear the statement id between statements, so quanta
+    spent outside any statement are not mis-attributed to the last one. *)
+let set_stmt qid = !current.c_stmt <- qid
+
+(* Attribute keys, shared with the contention analyzer. *)
+let trace_attr = "trace.id"
+let session_attr = "trace.session"
+let stmt_attr = "trace.stmt"
+
+(** The trace attributes of the ambient context, in a fixed order; unset
+    fields are omitted, so code that never touches contexts produces
+    spans with exactly the attributes it asked for. *)
+let attrs () : (string * string) list =
+  let c = !current in
+  let acc =
+    if c.c_stmt >= 0 then [ (stmt_attr, string_of_int c.c_stmt) ] else []
+  in
+  let acc =
+    if c.c_session >= 0 then (session_attr, string_of_int c.c_session) :: acc
+    else acc
+  in
+  if c.c_trace > 0 then (trace_attr, string_of_int c.c_trace) :: acc else acc
+
+let next_trace = ref 0
+
+(** Mint a fresh run-level trace id. *)
+let mint () =
+  incr next_trace;
+  !next_trace
+
+(** Restore the pristine root context and restart id minting: identical
+    seeded runs must produce identical ids (called by [Ldv_obs.reset]). *)
+let reset () =
+  next_trace := 0;
+  root.c_trace <- 0;
+  root.c_session <- -1;
+  root.c_stmt <- -1;
+  current := root

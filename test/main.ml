@@ -44,4 +44,5 @@ let () =
       ("report", Test_report.suite);
       ("partial-diff", Test_partial_diff.suite);
       ("concurrent", Test_concurrent.suite);
+      ("contention", Test_contention.suite);
       ("end-to-end", Test_e2e.suite) ]

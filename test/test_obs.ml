@@ -171,6 +171,61 @@ let test_histogram_single_and_underflow () =
   Alcotest.(check bool) "empty histogram has NaN percentiles" true
     (Float.is_nan (H.percentile (H.create ()) 0.5))
 
+let test_histogram_merge () =
+  let a = H.create () and b = H.create () in
+  for v = 1 to 100 do
+    H.observe a (float_of_int v)
+  done;
+  for v = 200 to 260 do
+    H.observe b (float_of_int v)
+  done;
+  H.observe b (-1.0);
+  let s = H.summarize (H.merge a b) in
+  (* moments and extremes merge exactly: buckets add, no resampling *)
+  Alcotest.(check int) "count adds" 162 s.H.s_count;
+  Alcotest.(check (float 1e-6)) "sum adds"
+    (5050.0 +. 14030.0 -. 1.0) s.H.s_sum;
+  Alcotest.(check (float 1e-9)) "min is the joint min" (-1.0) s.H.s_min;
+  Alcotest.(check (float 1e-9)) "max is the joint max" 260.0 s.H.s_max;
+  (* merge with an empty histogram changes nothing *)
+  let id = H.summarize (H.merge a (H.create ())) in
+  Alcotest.(check int) "empty merge: count" 100 id.H.s_count;
+  Alcotest.(check (float 1e-9)) "empty merge: p95"
+    (H.summarize a).H.s_p95 id.H.s_p95;
+  (* inputs are untouched *)
+  Alcotest.(check int) "merge leaves a alone" 100 (H.summarize a).H.s_count;
+  Alcotest.(check int) "merge leaves b alone" 62 (H.summarize b).H.s_count
+
+(* A merged percentile lies between the inputs' percentiles: buckets add
+   exactly, so the mixture's quantile cannot escape the envelope of the
+   components' quantiles by more than one bucket (a factor of gamma). *)
+let prop_merge_percentile_bound =
+  let gamma = Float.pow 2.0 (1.0 /. 16.0) in
+  let samples =
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 50)
+        (map (fun i -> float_of_int (i + 1) /. 7.0) (int_range 0 1_000_000)))
+  in
+  QCheck.Test.make ~name:"merged percentiles bound the inputs" ~count:200
+    (QCheck.pair samples samples)
+    (fun (xs, ys) ->
+      let mk l =
+        let h = H.create () in
+        List.iter (H.observe h) l;
+        h
+      in
+      let a = mk xs and b = mk ys in
+      let m = H.merge a b in
+      List.for_all
+        (fun q ->
+          let pa = H.percentile a q
+          and pb = H.percentile b q
+          and pm = H.percentile m q in
+          pm >= (Float.min pa pb /. gamma) -. 1e-9
+          && pm <= (Float.max pa pb *. gamma) +. 1e-9)
+        [ 0.5; 0.95; 0.99 ])
+
 (* ------------------------------------------------------------------ *)
 (* JSONL round-trip (the `ldv stats` reader).                          *)
 
@@ -278,6 +333,8 @@ let suite =
       test_histogram_skewed;
     Alcotest.test_case "histogram: single sample and underflow" `Quick
       test_histogram_single_and_underflow;
+    Alcotest.test_case "histogram: merge" `Quick test_histogram_merge;
+    QCheck_alcotest.to_alcotest prop_merge_percentile_bound;
     Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
     Alcotest.test_case "audit emits the expected span tree" `Slow
       test_audit_span_tree ]

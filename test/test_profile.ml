@@ -42,6 +42,8 @@ let mksnap spans : Obs.snapshot =
   { Obs.spans;
     dropped_spans = 0;
     ring_capacity = 0;
+    quanta = [];
+    dropped_quanta = 0;
     counters = [];
     gauges = [];
     histograms = [] }
@@ -234,6 +236,38 @@ let test_diff_gate () =
   Alcotest.(check bool) "new span regresses" true
     (P.regressed ~budget_pct:50.0 y)
 
+(* Spans present in only one run must surface as added/removed rows —
+   including when they only survive in a [span:<name>] histogram because
+   the ring evicted every instance. *)
+let test_diff_one_sided () =
+  let a = mksnap [ mkspan ~id:1 ~parent:0 ~name:"x" ~dur:1.0 () ] in
+  let hx = H.create () in
+  H.observe hx 2.0;
+  H.observe hx 2.5;
+  let b =
+    { (mksnap []) with
+      Obs.dropped_spans = 2;
+      histograms = [ ("span:x", H.summarize hx) ] }
+  in
+  (* b's ring is empty, but span:x saw two completions: diff must trust
+     the histogram, not report x as removed *)
+  let row = List.find (fun (r : P.diff_row) -> r.P.d_name = "x") (P.diff a b) in
+  Alcotest.(check int) "evicted count from histogram" 2 row.P.d_count_b;
+  feq "evicted total from histogram" 4.5 row.P.d_total_b;
+  Alcotest.(check bool) "evicted regression caught" true
+    (P.regressed ~budget_pct:100.0 row);
+  (* present only in A -> removed (count_b = 0), never a regression *)
+  let gone = List.find (fun (r : P.diff_row) -> r.P.d_name = "x") (P.diff a (mksnap [])) in
+  Alcotest.(check int) "removed span keeps a row" 1 gone.P.d_count_a;
+  Alcotest.(check int) "removed span has no B count" 0 gone.P.d_count_b;
+  Alcotest.(check bool) "removed span is not a regression" false
+    (P.regressed ~budget_pct:0.0 gone);
+  (* present only in B -> added, exit-4 material when it has time *)
+  let added = List.find (fun (r : P.diff_row) -> r.P.d_name = "x") (P.diff (mksnap []) a) in
+  Alcotest.(check int) "added span has no A count" 0 added.P.d_count_a;
+  Alcotest.(check bool) "added span regresses the budget" true
+    (P.regressed ~budget_pct:50.0 added)
+
 (* ------------------------------------------------------------------ *)
 (* Histogram: NaN guard and percentile accuracy.                       *)
 
@@ -286,5 +320,7 @@ let suite =
     Alcotest.test_case "typed decode errors with line numbers" `Quick
       test_decode_errors;
     Alcotest.test_case "obs diff budget gate" `Quick test_diff_gate;
+    Alcotest.test_case "obs diff added/removed/evicted spans" `Quick
+      test_diff_one_sided;
     Alcotest.test_case "histogram NaN guard" `Quick test_histogram_nan;
     QCheck_alcotest.to_alcotest prop_percentile_accuracy ]
