@@ -1096,6 +1096,121 @@ let contention_bench () =
   Printf.eprintf "wrote BENCH_contention.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Replication: read throughput at 1/2/4 replicas, and catch-up time
+   after a seeded replica crash with a write backlog. Reads are served
+   serially by the harness, so the cluster read time is modeled from the
+   measured per-read service times: nodes serve their shares in
+   parallel, and the slowest node bounds the batch. Writes
+   BENCH_replication.json.                                             *)
+
+let replication_bench () =
+  Report.section "Replication: read scaling and crash catch-up";
+  let module R = Dbclient.Replication in
+  let module F = Ldv_faults in
+  let reads = 600 and seed_rows = 50 and backlog = 80 in
+  let json_rows = ref [] in
+  let rows =
+    List.map
+      (fun replicas ->
+        let kernel, leader = Crashcheck.boot () in
+        let cluster = R.create kernel ~leader ~replicas () in
+        let exec sql =
+          match R.exec cluster sql with
+          | Dbclient.Protocol.Error_response m ->
+            failwith ("replication bench: " ^ m)
+          | _ -> ()
+        in
+        exec "CREATE TABLE accounts (id INT, owner TEXT, balance INT)";
+        for i = 1 to seed_rows do
+          exec
+            (Printf.sprintf "INSERT INTO accounts VALUES (%d, 'o%d', %d)" i i
+               (i * 10))
+        done;
+        (* read phase: round-robin over the replicas; accumulate each
+           node's serial service time, then model the cluster batch as
+           the slowest node's share running in parallel with the rest *)
+        let per_node = Hashtbl.create 8 in
+        let queries =
+          [| "SELECT COUNT(*) FROM accounts";
+             "SELECT SUM(balance) FROM accounts";
+             "SELECT owner FROM accounts WHERE id = 7" |]
+        in
+        let t0 = now () in
+        for i = 1 to reads do
+          let q = queries.(i mod Array.length queries) in
+          let t = now () in
+          let served = R.read cluster q in
+          let dt = now () -. t in
+          let prev =
+            Option.value ~default:0.0
+              (Hashtbl.find_opt per_node served.R.sv_node)
+          in
+          Hashtbl.replace per_node served.R.sv_node (prev +. dt)
+        done;
+        let wall = now () -. t0 in
+        let cluster_time =
+          Hashtbl.fold (fun _ t acc -> Float.max t acc) per_node 0.0
+        in
+        let throughput =
+          if cluster_time > 0.0 then float_of_int reads /. cluster_time
+          else 0.0
+        in
+        (* catch-up: crash replica 0 on its next apply, accumulate a
+           write backlog while it is down, then time recovery + resync *)
+        let plan = F.make ~crash:("repl.apply", 1) ~seed:(7 * replicas) () in
+        F.with_plan plan (fun () ->
+            exec "INSERT INTO accounts VALUES (9001, 'crash', 0)");
+        if R.replica_state cluster 0 <> R.Down then
+          failwith "replication bench: seeded crash did not land";
+        for i = 1 to backlog do
+          exec
+            (Printf.sprintf "INSERT INTO accounts VALUES (%d, 'b%d', %d)"
+               (9100 + i) i i)
+        done;
+        let lag = R.ship_seq cluster - R.replica_applied cluster 0 in
+        let (), catchup_s = time (fun () -> R.recover cluster 0) in
+        (match R.converged cluster with
+        | None -> ()
+        | Some (i, diff) ->
+          failwith
+            (Printf.sprintf "replication bench: replica %d diverged: %s" i
+               diff));
+        json_rows :=
+          Json.Obj
+            [ ("replicas", Json.Int replicas);
+              ("reads", Json.Int reads);
+              ("read_wall_s", Json.Float wall);
+              ("cluster_read_s", Json.Float cluster_time);
+              ("read_throughput_rps", Json.Float throughput);
+              ("catchup_backlog", Json.Int lag);
+              ("catchup_s", Json.Float catchup_s) ]
+          :: !json_rows;
+        [ string_of_int replicas;
+          string_of_int reads;
+          s cluster_time;
+          Printf.sprintf "%.0f" throughput;
+          string_of_int lag;
+          s catchup_s ])
+      [ 1; 2; 4 ]
+  in
+  Report.print_table
+    ~header:
+      [ "replicas"; "reads"; "cluster read time"; "reads/s";
+        "catch-up backlog"; "catch-up time" ]
+    rows;
+  Report.note
+    "Reads round-robin across the replicas; the cluster read time is the\n\
+     slowest node's serial share (nodes serve in parallel), so doubling\n\
+     the replicas roughly doubles the modeled read throughput. Catch-up\n\
+     recovers a crashed replica from its checkpoint + WAL, then ships the\n\
+     backlog accrued while it was down.\n";
+  let oc = open_out "BENCH_replication.json" in
+  output_string oc (Json.to_string (Json.List (List.rev !json_rows)));
+  output_string oc "\n";
+  close_out oc;
+  Printf.eprintf "wrote BENCH_replication.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* check: assert the paper's headline shape claims programmatically.   *)
 
 let check () =
@@ -1171,6 +1286,7 @@ let all () =
   profile_bench ();
   concurrent_bench ();
   contention_bench ();
+  replication_bench ();
   check ()
 
 let () =
@@ -1220,11 +1336,12 @@ let () =
   | "profile" -> profile_bench ()
   | "concurrent" -> concurrent_bench ()
   | "contention" -> contention_bench ()
+  | "replication" -> replication_bench ()
   | "check" -> check ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown command %S; expected \
-       table1|table2|table3|fig7a|fig7b|fig8a|fig8b|fig9|vmi|ablation|micro|profile|concurrent|contention|check|all\n"
+       table1|table2|table3|fig7a|fig7b|fig8a|fig8b|fig9|vmi|ablation|micro|profile|concurrent|contention|replication|check|all\n"
       other;
     exit 2

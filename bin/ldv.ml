@@ -179,11 +179,21 @@ let audit_cmd =
     let doc = "Scheduler seed for the concurrent (--sessions > 1) audit." in
     Arg.(value & opt int 42 & info [ "sched-seed" ] ~docv:"SEED" ~doc)
   in
-  let run obs sf vid mode (n_insert, n_select, n_update) sessions seed out =
+  let replicas_arg =
+    let doc =
+      "Read replicas for the concurrent (--sessions > 1) audit: \
+       snapshot-pinned reads are served by a WAL-shipping replication \
+       cluster and the package records which replica answered each read, \
+       so $(b,ldv exec) re-runs the whole cluster."
+    in
+    Arg.(value & opt int 0 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let run obs sf vid mode (n_insert, n_select, n_update) sessions seed
+      replicas out =
     with_obs obs @@ fun () ->
     let audit, meta =
       if sessions > 1 then
-        (Concurrent.audited ~sessions ~statements:8 ~seed (), [])
+        (Concurrent.audited ~replicas ~sessions ~statements:8 ~seed (), [])
       else begin
         let audit, cfg =
           run_audit ~sf ~vid ~mode ~n_insert ~n_select ~n_update
@@ -216,7 +226,7 @@ let audit_cmd =
   let term =
     Term.(
       const run $ obs_arg $ sf_arg $ query_arg $ mode_arg $ counts_args
-      $ sessions_arg $ sched_seed_arg $ out_arg)
+      $ sessions_arg $ sched_seed_arg $ replicas_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "audit"
@@ -404,6 +414,7 @@ let stats_cmd =
     | Error _ as e -> e
     | Ok snap ->
       Obs_report.print_summary snap;
+      Obs_report.print_replication snap;
       if tree then begin
         Report.section "Span tree";
         Obs_report.print_tree snap
@@ -668,6 +679,50 @@ let crashcheck_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* replicacheck                                                        *)
+
+let replicacheck_cmd =
+  let seeds_arg =
+    let doc =
+      "Number of seeded failure campaigns to run (each derives its own \
+       workload, fault schedule, and staleness bound)."
+    in
+    Arg.(value & opt int 25 & info [ "seeds"; "n" ] ~docv:"K" ~doc)
+  in
+  let replicas_arg =
+    let doc = "Read replicas behind the leader." in
+    Arg.(value & opt int 2 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Root seed. The same seed ships the same records, injects the same \
+       faults, and prints the identical report."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run obs seeds replicas seed =
+    with_obs obs @@ fun () ->
+    let report = Replicacheck.run ~campaigns:seeds ~replicas ~seed () in
+    print_endline (Replicacheck.to_string report);
+    if
+      report.Replicacheck.r_uncaught > 0
+      || report.Replicacheck.r_divergent > 0
+    then exit 1
+  in
+  let term =
+    Term.(const run $ obs_arg $ seeds_arg $ replicas_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "replicacheck"
+       ~doc:
+         "Run seeded replication-robustness campaigns: ship WAL records \
+          from a leader to read replicas under channel faults and replica \
+          crashes, then verify byte-identical convergence, leader \
+          integrity, and every degraded read against a fault-free control \
+          run")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 
 let demo_cmd =
@@ -700,6 +755,10 @@ let demo_cmd =
     term
 
 let () =
+  (* typed warnings (e.g. a torn WAL tail discarded during load) are
+     diagnostics, not failures: print them on stderr and continue *)
+  (Ldv_errors.on_warning :=
+     fun e -> Printf.eprintf "ldv: warning: %s\n%!" (Ldv_errors.to_string e));
   let info =
     Cmd.info "ldv" ~version:"1.0.0"
       ~doc:"Light-weight database virtualization (ICDE 2015), in OCaml"
@@ -721,4 +780,4 @@ let () =
        (Cmd.group info
           [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd;
             profile_cmd; timeline_cmd; contention_cmd; obs_cmd;
-            faultcheck_cmd; crashcheck_cmd; demo_cmd ]))
+            faultcheck_cmd; crashcheck_cmd; replicacheck_cmd; demo_cmd ]))

@@ -7,7 +7,8 @@
 # critical path must render) and diffed against itself with a tight
 # budget (the gate must pass on identical runs).
 #
-# --quick skips the harness/profiler smokes (build + tests only).
+# --quick skips the harness/profiler smokes (build + tests + the
+# replicacheck smoke only).
 set -e
 cd "$(dirname "$0")"
 
@@ -21,6 +22,11 @@ done
 
 dune build @all
 dune runtest
+
+# replication smoke (also under --quick): seeded ship-fault / crash
+# campaigns against a 2-replica cluster; must exit 0 (every degraded
+# run verified against the control, every replica converged)
+dune exec bin/ldv.exe -- replicacheck --seeds 5 --replicas 2
 
 if [ "$quick" -eq 0 ]; then
   dune exec bin/ldv.exe -- faultcheck --campaigns 5 --seed 42
@@ -48,6 +54,9 @@ if [ "$quick" -eq 0 ]; then
   # contention bench (writes BENCH_contention.json: latch-wait share and
   # group-commit stalls at 1/4/8 sessions)
   dune exec bench/main.exe -- contention
+  # replication bench (writes BENCH_replication.json: read throughput at
+  # 1/2/4 replicas and catch-up time after a seeded crash)
+  dune exec bench/main.exe -- replication
   # wait-state tracing smoke: stream a 4-session audit, then render the
   # timeline, the contention report, and the per-session stats from it
   dune exec bin/ldv.exe -- --obs "jsonl:$tmpdir/cc.jsonl" \

@@ -65,6 +65,10 @@ type stmt_event = {
       (** DB clock pinned when the request was sent; under snapshot-
           isolated reads, queries see exactly the versions committed at or
           before this clock *)
+  replica : int;
+      (** which node answered: a replica id when a read was served by a
+          read replica, -1 for the leader. Recorded in the package so
+          replay re-runs the whole cluster deterministically. *)
   results : (Tid.t * Tid.t list) list;
       (** produced tuple version -> versions in its lineage *)
   reads : Tid.t list;  (** tuple versions the statement read *)
@@ -98,6 +102,10 @@ type t = {
   inflight : (int, int) Hashtbl.t;
       (** qid -> pinned snapshot of statements currently in flight, shared
           across siblings; feeds the [db.snapshot_age] per-quantum gauge *)
+  cluster : Replication.t option ref;
+      (** shared across siblings: when a replication cluster is attached,
+          snapshot-pinned reads are routed to read replicas and every
+          executed write is shipped to them *)
   mutable log : stmt_event list;  (** newest first *)
   mutable recorded : Recorder.recorded list;  (** audit-excluded, newest first *)
   mutable replay_queue : Recorder.recorded list;  (** replay-excluded, in order *)
@@ -137,6 +145,7 @@ let create ?(mode = Passthrough) ?(session_id = 0) ?(snapshot_reads = false)
     next_qid = ref 0;
     latch = { holder = -1 };
     inflight;
+    cluster = ref None;
     log = [];
     recorded = [];
     replay_queue = [];
@@ -157,6 +166,11 @@ let create_replay ~kernel (server : Server.t)
 let create_sibling (t : t) ~session_id : t =
   { t with session_id; log = []; recorded = []; replay_queue = [] }
 
+(** Attach a replication cluster to this session (and, through the shared
+    ref, to every sibling): reads route to replicas, writes ship. *)
+let attach_cluster t (c : Replication.t) = t.cluster := Some c
+
+let cluster t = !(t.cluster)
 let log t = List.rev t.log
 let kernel_of t = t.kernel
 let recorded t = List.rev t.recorded
@@ -203,21 +217,36 @@ let synthetic_result_tid ~qid ~row ~at =
 let is_result_tid (tid : Tid.t) =
   String.length tid.Tid.table > 0 && tid.Tid.table.[0] = '#'
 
-let exec_audit_included t ~qid ~pid (ast : Sql_ast.statement) (sql : string) :
+(** Execute one audited statement. [serve] routes a query to a read
+    replica's server: the lineage query then runs on the replica's
+    database, clock-frozen, so serving the read never perturbs the
+    replica's version stamps. Writes always execute on the leader; the
+    returned [at_write] is the leader clock observed immediately before a
+    mutating statement ran (-1 for queries) — the clock the shipped WAL
+    record carries so replicas stamp identically. *)
+let exec_audit_included t ~qid ~pid ?serve (ast : Sql_ast.statement)
+    (sql : string) :
     Protocol.response * (Tid.t * Tid.t list) list * Tid.t list * Schema.t option
-    * Value.t array list * int =
+    * Value.t array list * int * int =
   let db = Server.db t.server in
   match ast with
   | Sql_ast.Explain _ ->
     (* plan description only; nothing to audit *)
     let resp = Server.handle t.server (Protocol.Statement { sql }) in
-    (resp, [], [], None, Protocol.response_rows resp, 0)
+    (resp, [], [], None, Protocol.response_rows resp, 0, -1)
   | Sql_ast.Select _ | Sql_ast.Provenance _ ->
-    let prov = Perm.Provenance_sql.query_lineage db sql in
+    let serve_db = match serve with Some srv -> Server.db srv | None -> db in
+    let prov =
+      match serve with
+      | Some _ ->
+        Database.with_frozen_clock serve_db (fun () ->
+            Perm.Provenance_sql.query_lineage serve_db sql)
+      | None -> Perm.Provenance_sql.query_lineage db sql
+    in
     List.iter
       (fun table -> ignore (Perm.Versioning.enable_table t.versioning table))
       prov.Perm.Provenance_sql.read_tables;
-    let at = Database.clock db in
+    let at = Database.clock serve_db in
     let results =
       List.mapi
         (fun i (row : Perm.Provenance_sql.provenance_row) ->
@@ -245,7 +274,8 @@ let exec_audit_included t ~qid ~pid (ast : Sql_ast.statement) (sql : string) :
       reads,
       Some prov.Perm.Provenance_sql.schema,
       rows,
-      List.length rows )
+      List.length rows,
+      -1 )
   | Sql_ast.Insert _ | Sql_ast.Update _ | Sql_ast.Delete _ ->
     (match ast with
     | Sql_ast.Insert { table; _ }
@@ -253,8 +283,24 @@ let exec_audit_included t ~qid ~pid (ast : Sql_ast.statement) (sql : string) :
     | Sql_ast.Delete { table; _ } ->
       ignore (Perm.Versioning.enable_table t.versioning table)
     | _ -> ());
-    (* reenact first (provenance of the pre-state), then execute *)
-    let _reenactment, info = Perm.Reenact.execute db ast in
+    (* reenact first (provenance of the pre-state), then execute; the ship
+       clock is captured between the two so it excludes the reenactment
+       query's ticks — replicas apply only the write itself *)
+    let _reenactment =
+      match ast with
+      | Sql_ast.Update _ | Sql_ast.Delete _ -> Some (Perm.Reenact.capture db ast)
+      | _ -> None
+    in
+    let at_write = Database.clock db in
+    let info =
+      match ast with
+      | Sql_ast.Insert { table; columns; source } ->
+        Database.run_insert db ~table ~columns ~source
+      | Sql_ast.Update { table; sets; where } ->
+        Database.run_update db ~table ~sets ~where
+      | Sql_ast.Delete { table; where } -> Database.run_delete db ~table ~where
+      | _ -> assert false
+    in
     let at = Database.clock db in
     List.iter
       (fun tid ->
@@ -266,12 +312,14 @@ let exec_audit_included t ~qid ~pid (ast : Sql_ast.statement) (sql : string) :
       info.Database.read,
       None,
       [],
-      info.Database.count )
+      info.Database.count,
+      at_write )
   | Sql_ast.Create_table _ | Sql_ast.Drop_table _ | Sql_ast.Create_index _
   | Sql_ast.Drop_index _ | Sql_ast.Begin_tx | Sql_ast.Commit_tx
   | Sql_ast.Rollback_tx ->
+    let at_write = Database.clock db in
     let resp = Server.handle t.server (Protocol.Statement { sql }) in
-    (resp, [], [], None, [], 0)
+    (resp, [], [], None, [], 0, at_write)
 
 let exec_passthrough t (sql : string) = Server.handle t.server (Protocol.Statement { sql })
 
@@ -313,76 +361,9 @@ let exec_replay_excluded t ~(kind : stmt_kind) (sql_norm : string) :
         (Replay_divergence
            (Printf.sprintf "statement kind mismatch for %s" sql_norm)))
 
-(* ------------------------------------------------------------------ *)
-(* Snapshot pinning. Under snapshot-isolated reads every query is pinned
-   to the DB clock observed when its request was sent: each unpinned
-   [FROM t] becomes [FROM t AS OF snap], recursively through joins,
-   subqueries (EXISTS / IN / scalar), and UNION branches, riding the
-   engine's native time-travel scans. Statements that already carry an
-   explicit AS OF keep it; DML is untouched (writes always act on the
-   current state — the write path is session-serialized). *)
-
-let rec pin_from snap (f : Sql_ast.from_item) : Sql_ast.from_item =
-  match f with
-  | Sql_ast.From_table ({ as_of = None; _ } as r) ->
-    Sql_ast.From_table { r with as_of = Some snap }
-  | Sql_ast.From_table _ -> f
-  | Sql_ast.From_join j ->
-    Sql_ast.From_join
-      { j with
-        left = pin_from snap j.left;
-        right = pin_from snap j.right;
-        on = pin_expr snap j.on }
-
-and pin_expr snap (e : Sql_ast.expr) : Sql_ast.expr =
-  let open Sql_ast in
-  match e with
-  | Const _ | Col _ -> e
-  | Cmp (c, a, b) -> Cmp (c, pin_expr snap a, pin_expr snap b)
-  | And (a, b) -> And (pin_expr snap a, pin_expr snap b)
-  | Or (a, b) -> Or (pin_expr snap a, pin_expr snap b)
-  | Not a -> Not (pin_expr snap a)
-  | Is_null a -> Is_null (pin_expr snap a)
-  | Is_not_null a -> Is_not_null (pin_expr snap a)
-  | Between (a, lo, hi) ->
-    Between (pin_expr snap a, pin_expr snap lo, pin_expr snap hi)
-  | Like (a, p) -> Like (pin_expr snap a, p)
-  | Not_like (a, p) -> Not_like (pin_expr snap a, p)
-  | In_list (a, es) -> In_list (pin_expr snap a, List.map (pin_expr snap) es)
-  | Arith (op, a, b) -> Arith (op, pin_expr snap a, pin_expr snap b)
-  | Neg a -> Neg (pin_expr snap a)
-  | Concat (a, b) -> Concat (pin_expr snap a, pin_expr snap b)
-  | Agg (f, a) -> Agg (f, Option.map (pin_expr snap) a)
-  | Case (branches, default) ->
-    Case
-      ( List.map (fun (c, v) -> (pin_expr snap c, pin_expr snap v)) branches,
-        Option.map (pin_expr snap) default )
-  | Func (name, args) -> Func (name, List.map (pin_expr snap) args)
-  | Exists s -> Exists (pin_select snap s)
-  | In_select (a, s) -> In_select (pin_expr snap a, pin_select snap s)
-  | Scalar_subquery s -> Scalar_subquery (pin_select snap s)
-
-and pin_select snap (s : Sql_ast.select) : Sql_ast.select =
-  { s with
-    items =
-      List.map
-        (function
-          | Sql_ast.Star -> Sql_ast.Star
-          | Sql_ast.Item (e, alias) -> Sql_ast.Item (pin_expr snap e, alias))
-        s.Sql_ast.items;
-    from = List.map (pin_from snap) s.Sql_ast.from;
-    where = Option.map (pin_expr snap) s.Sql_ast.where;
-    having = Option.map (pin_expr snap) s.Sql_ast.having;
-    order_by =
-      List.map (fun (e, dir) -> (pin_expr snap e, dir)) s.Sql_ast.order_by;
-    set_ops =
-      List.map (fun (op, sel) -> (op, pin_select snap sel)) s.Sql_ast.set_ops }
-
-let pin_statement snap (ast : Sql_ast.statement) : Sql_ast.statement =
-  match ast with
-  | Sql_ast.Select s -> Sql_ast.Select (pin_select snap s)
-  | Sql_ast.Provenance s -> Sql_ast.Provenance (pin_select snap s)
-  | _ -> ast
+(* Snapshot pinning lives in {!Snapshot_pin}, shared with the replication
+   router (replicas serve every read pinned at their applied version). *)
+let pin_statement = Snapshot_pin.pin_statement
 
 (** Execute one statement on behalf of process [pid]. *)
 let execute (t : t) ~pid (sql : string) : Protocol.response =
@@ -461,43 +442,82 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
      cross-session contention is real (and observable) *)
   Minios.Kernel.yield_point t.kernel;
   Database.sync_clock db ~at:(Minios.Kernel.now t.kernel);
-  let response, results, reads, schema, rows, affected =
+  (* with a cluster attached, a pinned read routes to a replica that can
+     serve its snapshot exactly; [None] falls back to the leader *)
+  let routed =
+    match !(t.cluster) with
+    | Some cl when kind = Squery && t.snapshot_reads ->
+      Replication.route_read cl ~snapshot
+    | Some _ | None -> None
+  in
+  let response, results, reads, schema, rows, affected, replica =
     Fun.protect
       ~finally:(fun () -> t.latch.holder <- -1)
     @@ fun () ->
-    match t.mode with
-    | Passthrough ->
-      let resp = exec_passthrough t exec_sql in
-      (resp, [], [], None, Protocol.response_rows resp, 0)
-    | Audit_included -> exec_audit_included t ~qid ~pid exec_ast exec_sql
-    | Audit_excluded ->
-      let resp = exec_passthrough t exec_sql in
-      let rec_kind, rec_schema, rec_rows, rec_affected =
-        match resp with
-        | Protocol.Result_set { schema; rows } ->
-          (Recorder.Rquery, Some schema, rows, List.length rows)
-        | Protocol.Command_ok { affected } ->
-          (Recorder.Rdml, None, [], affected)
-        | Protocol.Error_response msg ->
-          (* the original run failed here; replay must fail identically *)
-          (Recorder.Rerror, None, [ [| Value.Str msg |] ], 0)
-        | Protocol.Ddl_ok | Protocol.Connected _ -> (Recorder.Rddl, None, [], 0)
-      in
-      let record =
-        { Recorder.rec_index = qid;
-          rec_sql_norm = sql_norm;
-          rec_kind;
-          rec_schema;
-          rec_rows;
-          rec_affected }
-      in
-      t.recorded <- record :: t.recorded;
-      (* write the response to the package file as it happens *)
-      Buffer.add_string t.eager_recording (Recorder.encode [ record ]);
-      (resp, [], [], rec_schema, rec_rows, rec_affected)
-    | Replay_excluded ->
-      let resp = exec_replay_excluded t ~kind sql_norm in
-      (resp, [], [], None, Protocol.response_rows resp, 0)
+    let at_dispatch = Database.clock db in
+    let response, results, reads, schema, rows, affected, at_write, replica =
+      match t.mode with
+      | Passthrough -> (
+        match routed with
+        | Some (srv, rid) ->
+          let rdb = Server.db srv in
+          let resp =
+            Database.with_frozen_clock rdb (fun () ->
+                Server.handle srv (Protocol.Statement { sql = exec_sql }))
+          in
+          (resp, [], [], None, Protocol.response_rows resp, 0, -1, rid)
+        | None ->
+          let resp = exec_passthrough t exec_sql in
+          ( resp, [], [], None, Protocol.response_rows resp, 0, at_dispatch,
+            -1 ))
+      | Audit_included ->
+        let serve, rid =
+          match routed with Some (srv, rid) -> (Some srv, rid) | None -> (None, -1)
+        in
+        let resp, results, reads, schema, rows, affected, at_write =
+          exec_audit_included t ~qid ~pid ?serve exec_ast exec_sql
+        in
+        (resp, results, reads, schema, rows, affected, at_write, rid)
+      | Audit_excluded ->
+        let resp = exec_passthrough t exec_sql in
+        let rec_kind, rec_schema, rec_rows, rec_affected =
+          match resp with
+          | Protocol.Result_set { schema; rows } ->
+            (Recorder.Rquery, Some schema, rows, List.length rows)
+          | Protocol.Command_ok { affected } ->
+            (Recorder.Rdml, None, [], affected)
+          | Protocol.Error_response msg ->
+            (* the original run failed here; replay must fail identically *)
+            (Recorder.Rerror, None, [ [| Value.Str msg |] ], 0)
+          | Protocol.Ddl_ok | Protocol.Connected _ ->
+            (Recorder.Rddl, None, [], 0)
+        in
+        let record =
+          { Recorder.rec_index = qid;
+            rec_sql_norm = sql_norm;
+            rec_kind;
+            rec_schema;
+            rec_rows;
+            rec_affected }
+        in
+        t.recorded <- record :: t.recorded;
+        (* write the response to the package file as it happens *)
+        Buffer.add_string t.eager_recording (Recorder.encode [ record ]);
+        (resp, [], [], rec_schema, rec_rows, rec_affected, at_dispatch, -1)
+      | Replay_excluded ->
+        let resp = exec_replay_excluded t ~kind sql_norm in
+        (resp, [], [], None, Protocol.response_rows resp, 0, -1, -1)
+    in
+    (* ship every successfully executed write to the replicas before the
+       latch releases, so the ship order is the execution order *)
+    (match !(t.cluster) with
+    | Some cl
+      when kind <> Squery && at_write >= 0 && t.mode <> Replay_excluded -> (
+      match response with
+      | Protocol.Error_response _ -> ()
+      | _ -> Replication.note_write cl ~at:at_write sql_norm)
+    | Some _ | None -> ());
+    (response, results, reads, schema, rows, affected, replica)
   in
   (* response returns to the client *)
   Minios.Kernel.advance_to t.kernel ~at:(Database.clock db);
@@ -517,6 +537,7 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
       t_start;
       t_end;
       snapshot;
+      replica;
       results;
       reads;
       schema;

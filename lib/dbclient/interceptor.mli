@@ -33,6 +33,10 @@ type stmt_event = {
       (** DB clock pinned when the request was sent; under snapshot-
           isolated reads, queries see exactly the versions committed at
           or before this clock *)
+  replica : int;
+      (** which node answered: a replica id when a read was served by a
+          read replica, -1 for the leader. Recorded in the package so
+          replay re-runs the whole cluster deterministically. *)
   results : (Tid.t * Tid.t list) list;
       (** produced tuple version -> versions in its lineage *)
   reads : Tid.t list;  (** tuple versions the statement read *)
@@ -65,6 +69,13 @@ val create_sibling : t -> session_id:int -> t
 val create_replay :
   kernel:Minios.Kernel.t -> Server.t -> Recorder.recorded list -> t
 
+(** Attach a replication cluster to this session and (through the shared
+    ref) every sibling: snapshot-pinned reads route to read replicas that
+    can serve their snapshot exactly, and every executed write is shipped
+    to the replicas before the write latch releases. *)
+val attach_cluster : t -> Replication.t -> unit
+
+val cluster : t -> Replication.t option
 val log : t -> stmt_event list
 val kernel_of : t -> Minios.Kernel.t
 val recorded : t -> Recorder.recorded list

@@ -1,0 +1,75 @@
+(** Snapshot pinning. Under snapshot-isolated reads every query is pinned
+    to the DB clock observed when its request was sent: each unpinned
+    [FROM t] becomes [FROM t AS OF snap], recursively through joins,
+    subqueries (EXISTS / IN / scalar), and UNION branches, riding the
+    engine's native time-travel scans. Statements that already carry an
+    explicit AS OF keep it; DML is untouched (writes always act on the
+    current state — the write path is session-serialized).
+
+    Shared by the interceptor (session-level snapshot isolation) and the
+    replication router (a read replica serves every read pinned at its
+    applied version, so a lagging replica is stale but never wrong). *)
+
+open Minidb
+
+let rec pin_from snap (f : Sql_ast.from_item) : Sql_ast.from_item =
+  match f with
+  | Sql_ast.From_table ({ as_of = None; _ } as r) ->
+    Sql_ast.From_table { r with as_of = Some snap }
+  | Sql_ast.From_table _ -> f
+  | Sql_ast.From_join j ->
+    Sql_ast.From_join
+      { j with
+        left = pin_from snap j.left;
+        right = pin_from snap j.right;
+        on = pin_expr snap j.on }
+
+and pin_expr snap (e : Sql_ast.expr) : Sql_ast.expr =
+  let open Sql_ast in
+  match e with
+  | Const _ | Col _ -> e
+  | Cmp (c, a, b) -> Cmp (c, pin_expr snap a, pin_expr snap b)
+  | And (a, b) -> And (pin_expr snap a, pin_expr snap b)
+  | Or (a, b) -> Or (pin_expr snap a, pin_expr snap b)
+  | Not a -> Not (pin_expr snap a)
+  | Is_null a -> Is_null (pin_expr snap a)
+  | Is_not_null a -> Is_not_null (pin_expr snap a)
+  | Between (a, lo, hi) ->
+    Between (pin_expr snap a, pin_expr snap lo, pin_expr snap hi)
+  | Like (a, p) -> Like (pin_expr snap a, p)
+  | Not_like (a, p) -> Not_like (pin_expr snap a, p)
+  | In_list (a, es) -> In_list (pin_expr snap a, List.map (pin_expr snap) es)
+  | Arith (op, a, b) -> Arith (op, pin_expr snap a, pin_expr snap b)
+  | Neg a -> Neg (pin_expr snap a)
+  | Concat (a, b) -> Concat (pin_expr snap a, pin_expr snap b)
+  | Agg (f, a) -> Agg (f, Option.map (pin_expr snap) a)
+  | Case (branches, default) ->
+    Case
+      ( List.map (fun (c, v) -> (pin_expr snap c, pin_expr snap v)) branches,
+        Option.map (pin_expr snap) default )
+  | Func (name, args) -> Func (name, List.map (pin_expr snap) args)
+  | Exists s -> Exists (pin_select snap s)
+  | In_select (a, s) -> In_select (pin_expr snap a, pin_select snap s)
+  | Scalar_subquery s -> Scalar_subquery (pin_select snap s)
+
+and pin_select snap (s : Sql_ast.select) : Sql_ast.select =
+  { s with
+    items =
+      List.map
+        (function
+          | Sql_ast.Star -> Sql_ast.Star
+          | Sql_ast.Item (e, alias) -> Sql_ast.Item (pin_expr snap e, alias))
+        s.Sql_ast.items;
+    from = List.map (pin_from snap) s.Sql_ast.from;
+    where = Option.map (pin_expr snap) s.Sql_ast.where;
+    having = Option.map (pin_expr snap) s.Sql_ast.having;
+    order_by =
+      List.map (fun (e, dir) -> (pin_expr snap e, dir)) s.Sql_ast.order_by;
+    set_ops =
+      List.map (fun (op, sel) -> (op, pin_select snap sel)) s.Sql_ast.set_ops }
+
+let pin_statement snap (ast : Sql_ast.statement) : Sql_ast.statement =
+  match ast with
+  | Sql_ast.Select s -> Sql_ast.Select (pin_select snap s)
+  | Sql_ast.Provenance s -> Sql_ast.Provenance (pin_select snap s)
+  | _ -> ast

@@ -86,9 +86,48 @@ type loaded = {
       (** trailing bytes discarded because a record was torn or corrupt *)
 }
 
+(* Parse one frame of [data] starting at [pos]; [Some (record, next)] only
+   when the frame is whole and its payload CRC verifies. *)
+let parse_frame (data : string) (pos : int) : (record * int) option =
+  let n = String.length data in
+  if pos >= n || data.[pos] <> '@' then None
+  else
+    match String.index_from_opt data pos '\n' with
+    | None -> None
+    | Some nl -> (
+      let header = String.sub data (pos + 1) (nl - pos - 1) in
+      match String.split_on_char ' ' header with
+      | [ seq_s; kind_s; len_s; crc_s ] -> (
+        match
+          ( int_of_string_opt seq_s,
+            (if String.length kind_s = 1 then kind_of_char kind_s.[0]
+             else None),
+            int_of_string_opt len_s,
+            (try Some (Int32.of_string ("0x" ^ crc_s)) with Failure _ -> None)
+          )
+        with
+        | Some seq, Some kind, Some len, Some crc
+          when len >= 0 && nl + 1 + len < n && data.[nl + 1 + len] = '\n' ->
+          let payload = String.sub data (nl + 1) len in
+          if Ldv_faults.Crc32.digest payload = crc then
+            Some ({ seq; kind; sql = unescape payload }, nl + 1 + len + 1)
+          else None
+        | _ -> None)
+      | _ -> None)
+
+(** Decode exactly one framed record (the WAL-ship channel's unit of
+    transfer). [None] on truncation, trailing garbage, or CRC mismatch —
+    a garbled ship frame is detected here, at the receiving replica. *)
+let decode_frame (frame : string) : record option =
+  match parse_frame frame 0 with
+  | Some (r, next) when next = String.length frame -> Some r
+  | Some _ | None -> None
+
 (** Parse the log, stopping at the first torn or corrupt record: anything
     after a bad frame is untrustworthy tail. A missing file is an empty
-    log. *)
+    log. Discarded tails are surfaced: a [wal.torn_bytes] counter and a
+    typed {!Ldv_errors.Wal_torn} warning, so a torn tail outside a crash
+    campaign is visible instead of silently dropped. *)
 let load (vfs : Minios.Vfs.t) (path : string) : loaded =
   let data =
     match Minios.Vfs.find_opt vfs path with
@@ -100,40 +139,19 @@ let load (vfs : Minios.Vfs.t) (path : string) : loaded =
   let pos = ref 0 in
   let torn = ref false in
   while (not !torn) && !pos < n do
-    let ok =
-      if data.[!pos] <> '@' then None
-      else
-        match String.index_from_opt data !pos '\n' with
-        | None -> None
-        | Some nl -> (
-          let header = String.sub data (!pos + 1) (nl - !pos - 1) in
-          match String.split_on_char ' ' header with
-          | [ seq_s; kind_s; len_s; crc_s ] -> (
-            match
-              ( int_of_string_opt seq_s,
-                (if String.length kind_s = 1 then kind_of_char kind_s.[0]
-                 else None),
-                int_of_string_opt len_s,
-                (try Some (Int32.of_string ("0x" ^ crc_s))
-                 with Failure _ -> None) )
-            with
-            | Some seq, Some kind, Some len, Some crc
-              when len >= 0 && nl + 1 + len < n
-                   && data.[nl + 1 + len] = '\n' ->
-              let payload = String.sub data (nl + 1) len in
-              if Ldv_faults.Crc32.digest payload = crc then
-                Some ({ seq; kind; sql = unescape payload }, nl + 1 + len + 1)
-              else None
-            | _ -> None)
-          | _ -> None)
-    in
-    match ok with
+    match parse_frame data !pos with
     | Some (r, next) ->
       records := r :: !records;
       pos := next
     | None -> torn := true
   done;
-  { records = List.rev !records; torn_bytes = n - !pos }
+  let torn_bytes = n - !pos in
+  if torn_bytes > 0 then begin
+    if Ldv_obs.enabled () then
+      Ldv_obs.counter ~by:torn_bytes "wal.torn_bytes";
+    Ldv_errors.warn (Ldv_errors.Wal_torn { path; bytes = torn_bytes })
+  end;
+  { records = List.rev !records; torn_bytes }
 
 (** Split durable records into the replayable prefix and a dropped
     trailing open transaction (if any). Returns

@@ -45,10 +45,20 @@ type t =
       (** a package section's CRC32 does not match its payload *)
   | Retries_exhausted of { op : string; attempts : int; last : t }
       (** a transient failure persisted through every retry *)
+  | Wal_torn of { path : string; bytes : int }
+      (** a WAL load discarded [bytes] trailing bytes as a torn or corrupt
+          tail; expected after a crash, alarming otherwise *)
 
 exception Error of t
 
 let fail e = raise (Error e)
+
+(** Non-fatal conditions (torn WAL tails, degraded-mode fallbacks) are
+    reported here instead of being silently swallowed; hosts redirect the
+    sink to their own logging. Default: drop. *)
+let on_warning : (t -> unit) ref = ref (fun _ -> ())
+
+let warn e = !on_warning e
 
 (** Transient failures are worth retrying: the operation never took
     effect, so resending it is safe. *)
@@ -56,7 +66,7 @@ let is_transient = function
   | Connection_lost _ | Protocol_garbled _ -> true
   | Io_fault { fault = Eintr; _ } -> true
   | Io_fault _ | Connection_closed _ | Decode_error _ | Package_malformed _
-  | Package_corrupt _ | Retries_exhausted _ ->
+  | Package_corrupt _ | Retries_exhausted _ | Wal_torn _ ->
     false
 
 (** A short stable tag for counters and campaign reports. *)
@@ -69,6 +79,7 @@ let tag = function
   | Package_malformed _ -> "pkg.malformed"
   | Package_corrupt _ -> "pkg.corrupt"
   | Retries_exhausted _ -> "retries"
+  | Wal_torn _ -> "wal.torn"
 
 let rec pp ppf = function
   | Io_fault { op; path; fault } ->
@@ -90,6 +101,9 @@ let rec pp ppf = function
       section actual expected
   | Retries_exhausted { op; attempts; last } ->
     Format.fprintf ppf "%s failed after %d attempts: %a" op attempts pp last
+  | Wal_torn { path; bytes } ->
+    Format.fprintf ppf "torn WAL tail: %d trailing byte(s) of %s discarded"
+      bytes path
 
 let to_string e = Format.asprintf "%a" pp e
 

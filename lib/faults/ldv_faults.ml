@@ -97,17 +97,22 @@ type counts = {
   mutable n_flip : int;
   mutable n_truncate : int;
   mutable n_crash : int;
+  mutable n_ship_drop : int;
+  mutable n_ship_garble : int;
+  mutable n_ship_reorder : int;
 }
 
 let zero_counts () =
   { n_eio = 0; n_enospc = 0; n_eintr = 0; n_drop = 0; n_garble = 0;
-    n_flip = 0; n_truncate = 0; n_crash = 0 }
+    n_flip = 0; n_truncate = 0; n_crash = 0; n_ship_drop = 0;
+    n_ship_garble = 0; n_ship_reorder = 0 }
 
 type plan = {
   seed : int;
   p_syscall : float;  (** per-syscall fault probability *)
   p_conn : float;  (** per-request connection fault probability *)
   p_corrupt : float;  (** per-package corruption probability *)
+  p_ship : float;  (** per-record WAL-ship channel fault probability *)
   crash_site : string option;
       (** named crash point to detonate (see {!crash_point}) *)
   mutable crash_after : int;
@@ -116,17 +121,19 @@ type plan = {
   sys_prng : Prng.t;
   conn_prng : Prng.t;
   pkg_prng : Prng.t;
+  ship_prng : Prng.t;
   counts : counts;
 }
 
-let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0) ?crash ~seed ()
-    : plan =
+let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0)
+    ?(p_ship = 0.0) ?crash ~seed () : plan =
   let root = Prng.create ~seed in
   (* independent streams per injection site: decisions at one site never
      shift another site's sequence *)
   let sys_prng = Prng.split root in
   let conn_prng = Prng.split root in
   let pkg_prng = Prng.split root in
+  let ship_prng = Prng.split root in
   let crash_site, crash_after =
     match crash with
     | Some (site, n) when n >= 1 -> (Some site, n)
@@ -136,8 +143,8 @@ let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0) ?crash ~seed ()
            site)
     | None -> (None, 0)
   in
-  { seed; p_syscall; p_conn; p_corrupt; crash_site; crash_after; sys_prng;
-    conn_prng; pkg_prng; counts = zero_counts () }
+  { seed; p_syscall; p_conn; p_corrupt; p_ship; crash_site; crash_after;
+    sys_prng; conn_prng; pkg_prng; ship_prng; counts = zero_counts () }
 
 let seed (p : plan) = p.seed
 
@@ -147,7 +154,10 @@ let injected (p : plan) : (string * int) list =
   [ ("eio", p.counts.n_eio); ("enospc", p.counts.n_enospc);
     ("eintr", p.counts.n_eintr); ("drop", p.counts.n_drop);
     ("garble", p.counts.n_garble); ("flip", p.counts.n_flip);
-    ("truncate", p.counts.n_truncate); ("crash", p.counts.n_crash) ]
+    ("truncate", p.counts.n_truncate); ("crash", p.counts.n_crash);
+    ("ship.drop", p.counts.n_ship_drop);
+    ("ship.garble", p.counts.n_ship_garble);
+    ("ship.reorder", p.counts.n_ship_reorder) ]
 
 let current : plan option ref = ref None
 
@@ -235,6 +245,36 @@ let connection_fault () : [ `Drop | `Garble ] option =
       end
     else None
 
+(** Should this WAL-ship send misbehave? Drop (the frame never arrives),
+    garble (it arrives with flipped bytes and fails the replica's CRC
+    check), and reorder (it is delayed behind the next frame) are equally
+    likely. Drop and garble are injected before the replica applies
+    anything, so resending is always safe. *)
+let ship_fault () : [ `Drop | `Garble | `Reorder ] option =
+  match !current with
+  | None -> None
+  | Some p ->
+    if p.p_ship > 0.0 && Prng.float p.ship_prng < p.p_ship then begin
+      let fault =
+        match Prng.int p.ship_prng 3 with
+        | 0 -> `Drop
+        | 1 -> `Garble
+        | _ -> `Reorder
+      in
+      (match fault with
+      | `Drop -> p.counts.n_ship_drop <- p.counts.n_ship_drop + 1
+      | `Garble -> p.counts.n_ship_garble <- p.counts.n_ship_garble + 1
+      | `Reorder -> p.counts.n_ship_reorder <- p.counts.n_ship_reorder + 1);
+      Ldv_obs.counter
+        ("faults.inject.ship."
+        ^ match fault with
+          | `Drop -> "drop"
+          | `Garble -> "garble"
+          | `Reorder -> "reorder");
+      Some fault
+    end
+    else None
+
 (** Maybe corrupt serialized package bytes: a single bit flip at a random
     offset, or truncation at a random cut point. Returns the corrupted
     bytes and a description, or [None] for "left intact". *)
@@ -279,22 +319,35 @@ let backoff_ms n = ldexp 1.0 n
 (** Run [f], retrying transient {!Ldv_errors} failures (lost connections,
     garbled frames, EINTR) up to [attempts] times in total. Permanent
     errors propagate immediately; a transient error that survives every
-    attempt is wrapped in [Retries_exhausted]. *)
-let with_retries ?(attempts = default_attempts) ~op f =
-  let rec go n =
+    attempt is wrapped in [Retries_exhausted]. Retry telemetry is tagged
+    with the call site: [faults.retry.<op>.<tag>] alongside the global
+    [faults.retry], so a campaign report can tell a flaky ship channel
+    from a flaky client connection. [cap_ms] bounds the *total* logical
+    backoff: once the accumulated backoff would exceed it, the loop gives
+    up early with [Retries_exhausted] — a permanently dead peer fails
+    fast instead of riding every attempt to max backoff. *)
+let with_retries ?(attempts = default_attempts) ?cap_ms ~op f =
+  let exhausted ~n e =
+    Ldv_errors.fail
+      (Ldv_errors.Retries_exhausted { op; attempts = n; last = e })
+  in
+  let rec go n spent =
     match f () with
     | v -> v
     | exception Ldv_errors.Error e when Ldv_errors.is_transient e ->
-      if n + 1 >= attempts then
-        Ldv_errors.fail
-          (Ldv_errors.Retries_exhausted { op; attempts = n + 1; last = e })
+      let pause = backoff_ms n in
+      let capped =
+        match cap_ms with Some cap -> spent +. pause > cap | None -> false
+      in
+      if n + 1 >= attempts || capped then exhausted ~n:(n + 1) e
       else begin
         if Ldv_obs.enabled () then begin
           Ldv_obs.counter "faults.retry";
-          Ldv_obs.counter ("faults.retry." ^ Ldv_errors.tag e);
-          Ldv_obs.observe "faults.backoff_ms" (backoff_ms n)
+          Ldv_obs.counter
+            (Printf.sprintf "faults.retry.%s.%s" op (Ldv_errors.tag e));
+          Ldv_obs.observe "faults.backoff_ms" pause
         end;
-        go (n + 1)
+        go (n + 1) (spent +. pause)
       end
   in
-  go 0
+  go 0 0.0

@@ -48,6 +48,10 @@ type t = {
   session : I.t;  (** the primary session (the only one, single-client) *)
   sessions : I.t list;  (** all sessions, primary first *)
   sched : sched_info option;  (** [Some] iff this was a concurrent run *)
+  repl : (int * int) option;
+      (** (replica count, staleness bound) when the run served reads from
+          a replication cluster; the package records it, with the node
+          that answered each read, so replay re-runs the cluster *)
   trace : Prov.Trace.t;
   app_name : string;  (** program-registry name *)
   app_binary : string;
@@ -248,6 +252,7 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     session;
     sessions = [ session ];
     sched = None;
+    repl = None;
     trace;
     app_name;
     app_binary;
@@ -264,10 +269,16 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     clock at send time), and WAL group commit — if armed on the server's
     durable handle — batches the quantum's commits into one barrier.
     The recorded seed and client list land in [sched] so the package can
-    replay the identical interleaving. *)
+    replay the identical interleaving.
+
+    With [cluster], the primary session (and through the shared ref every
+    sibling) routes snapshot-pinned reads to the cluster's read replicas
+    and ships every write; the replication machinery's own file writes
+    (ship log, replica WALs, checkpoints) are excluded from the recorded
+    application outputs. *)
 let run_concurrent ~(packaging : packaging) ?(sched_seed = 0)
-    (kernel : Minios.Kernel.t) (server : Dbclient.Server.t)
-    (clients : client list) : t =
+    ?(cluster : Dbclient.Replication.t option) (kernel : Minios.Kernel.t)
+    (server : Dbclient.Server.t) (clients : client list) : t =
   (match packaging with
   | Included -> ()
   | Excluded | Ptu_baseline ->
@@ -289,6 +300,9 @@ let run_concurrent ~(packaging : packaging) ?(sched_seed = 0)
   let primary =
     I.create ~mode:I.Audit_included ~snapshot_reads:true ~kernel server
   in
+  (match cluster with
+  | Some cl -> I.attach_cluster primary cl
+  | None -> ());
   let sessions =
     primary
     :: List.mapi
@@ -317,7 +331,12 @@ let run_concurrent ~(packaging : packaging) ?(sched_seed = 0)
   Minios.Tracer.detach kernel;
   let stmts = merge_logs sessions in
   let trace = build_trace tracer stmts in
-  let exclude_pids = Option.to_list server_pid in
+  let exclude_pids =
+    Option.to_list server_pid
+    @ (match cluster with
+      | Some cl -> Dbclient.Replication.pids cl
+      | None -> [])
+  in
   let out_files, query_fingerprints =
     Ldv_obs.with_span "audit.collect_outputs" @@ fun () ->
     ( written_files tracer ~exclude_pids (Minios.Kernel.vfs kernel),
@@ -339,6 +358,12 @@ let run_concurrent ~(packaging : packaging) ?(sched_seed = 0)
         { sched_seed;
           sched_clients =
             List.map (fun cl -> (cl.cl_name, cl.cl_binary)) clients };
+    repl =
+      Option.map
+        (fun cl ->
+          ( Dbclient.Replication.replica_count cl,
+            Dbclient.Replication.staleness cl ))
+        cluster;
     trace;
     app_name = first.cl_name;
     app_binary = first.cl_binary;

@@ -34,6 +34,9 @@ type t = {
   session : I.t;  (** the primary session (the only one, single-client) *)
   sessions : I.t list;  (** all sessions, primary first *)
   sched : sched_info option;  (** [Some] iff this was a concurrent run *)
+  repl : (int * int) option;
+      (** (replica count, staleness bound) when the run served reads from
+          a replication cluster; packaged so replay re-runs the cluster *)
   trace : Prov.Trace.t;  (** full combined trace, with per-row lineage *)
   app_name : string;
   app_binary : string;
@@ -87,12 +90,16 @@ val run :
 (** Run N client programs concurrently, each with its own session,
     interleaved deterministically by {!Minios.Sched} under [sched_seed].
     Reads are snapshot-isolated; the recorded seed and client list land
-    in [sched] so replay re-creates the identical interleaving.
+    in [sched] so replay re-creates the identical interleaving. With
+    [cluster], snapshot-pinned reads route to the cluster's read replicas
+    and every write is shipped; the replication machinery's file writes
+    are excluded from the recorded application outputs.
     @raise Invalid_argument unless [packaging = Included], or if
     [clients] is empty. *)
 val run_concurrent :
   packaging:packaging ->
   ?sched_seed:int ->
+  ?cluster:Dbclient.Replication.t ->
   Minios.Kernel.t ->
   Dbclient.Server.t ->
   client list ->

@@ -102,18 +102,33 @@ let register_schedule_clients (clients : (string * string) list) =
 
 (** A complete concurrent audited run: fresh kernel and database, the
     [notes] fixture, [sessions] clients of [statements] statements each,
-    interleaved under [seed]. *)
-let audited ?(packaging = Audit.Included) ~sessions ~statements ~seed () :
-    Audit.t =
+    interleaved under [seed]. With [replicas > 0], a WAL-shipping cluster
+    is stood up behind the server (bootstrapped from the post-fixture
+    state): snapshot-pinned reads are served by read replicas and the
+    answering node is recorded per read. *)
+let audited ?(packaging = Audit.Included) ?(replicas = 0) ?(staleness = 4)
+    ~sessions ~statements ~seed () : Audit.t =
   let kernel = Minios.Kernel.create () in
   let db = Database.create ~name:db_name () in
   let server = Dbclient.Server.install kernel db in
   install_fixture server;
+  let cluster =
+    if replicas > 0 then begin
+      let proc =
+        Minios.Kernel.start_process kernel ~name:"minidb-leader" ()
+      in
+      let leader =
+        Dbclient.Durable.start kernel server ~pid:proc.Minios.Kernel.pid
+      in
+      Some (Dbclient.Replication.create kernel ~leader ~replicas ~staleness ())
+    end
+    else None
+  in
   let vfs = Minios.Kernel.vfs kernel in
   Minios.Vfs.write_opaque vfs ~path:"/usr/lib/libc.so.6" 2_000_000;
   Minios.Vfs.write_opaque vfs ~path:"/opt/minidb/lib/libpq.so.5" 300_000;
   for i = 0 to sessions - 1 do
     Minios.Vfs.write_opaque vfs ~path:(client_binary i) 120_000
   done;
-  Audit.run_concurrent ~packaging ~sched_seed:seed kernel server
+  Audit.run_concurrent ~packaging ~sched_seed:seed ?cluster kernel server
     (clients ~sessions ~statements)

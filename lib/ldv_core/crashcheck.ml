@@ -309,47 +309,11 @@ let run_items ?group (d : Durable.t) (items : item list) ~from : unit =
     string: sorted table names, rows sorted by (rid, version). Two
     databases are statement-equivalent iff their snapshots are equal. *)
 let snapshot (db : Minidb.Database.t) : string =
-  let open Minidb in
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf (Printf.sprintf "clock=%d\n" (Database.clock db));
-  let catalog = Database.catalog db in
-  List.iter
-    (fun name ->
-      let table = Catalog.find catalog name in
-      Buffer.add_string buf
-        (Printf.sprintf "table %s next_rid=%d indexes=[%s]\n" name
-           table.Table.next_rid
-           (String.concat ";" (List.sort String.compare (Table.index_names table))));
-      let rows =
-        List.map
-          (fun (tv : Table.tuple_version) ->
-            Printf.sprintf "  (%d,%d,[%s])" tv.Table.tid.Tid.rid
-              tv.Table.tid.Tid.version
-              (String.concat ";"
-                 (Array.to_list (Array.map Value.to_raw_string tv.Table.values))))
-          (Table.scan table)
-        |> List.sort String.compare
-      in
-      List.iter (fun r -> Buffer.add_string buf (r ^ "\n")) rows)
-    (List.sort String.compare (Catalog.table_names catalog));
-  Buffer.contents buf
+  Dbclient.Replication.state_fingerprint db
 
 (** First line where two snapshots differ, for the divergence report. *)
 let first_diff (a : string) (b : string) : string =
-  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
-  let rec go i la lb =
-    match (la, lb) with
-    | [], [] -> "states differ"
-    | x :: la', y :: lb' ->
-      if String.equal x y then go (i + 1) la' lb'
-      else
-        Printf.sprintf "line %d: control %S vs recovered %S" i (String.trim x)
-          (String.trim y)
-    | x :: _, [] -> Printf.sprintf "control has extra state: %S" (String.trim x)
-    | [], y :: _ ->
-      Printf.sprintf "recovered has extra state: %S" (String.trim y)
-  in
-  go 1 la lb
+  Dbclient.Replication.first_diff ~left:"control" ~right:"recovered" a b
 
 (* ------------------------------------------------------------------ *)
 (* One campaign.                                                       *)

@@ -107,6 +107,51 @@ let print_summary (snap : Obs.snapshot) =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Replication rendering (the `ldv stats` repl.* section).             *)
+
+let is_repl name =
+  String.length name >= 5 && String.sub name 0 5 = "repl."
+
+(** The replication section of a snapshot: every [repl.*] counter
+    (shipped / applied / routed reads / stale reads / fallbacks /
+    crashes / recoveries), the [repl.lag] quantum gauge, and the
+    catch-up histograms. Prints nothing when the trace recorded no
+    replication activity. *)
+let print_replication (snap : Obs.snapshot) =
+  let counters = List.filter (fun (n, _) -> is_repl n) snap.Obs.counters in
+  let gauges = List.filter (fun (n, _) -> is_repl n) snap.Obs.gauges in
+  let histos =
+    List.filter
+      (fun (n, _) -> (not (is_span_hist n)) && is_repl n)
+      snap.Obs.histograms
+  in
+  if counters <> [] || gauges <> [] || histos <> [] then begin
+    Report.section "Replication";
+    if counters <> [] then
+      Report.print_table ~header:[ "counter"; "value" ]
+        (List.map
+           (fun (name, v) -> [ name; string_of_int v ])
+           (List.sort compare counters));
+    if gauges <> [] then
+      Report.print_table ~header:[ "gauge"; "last" ]
+        (List.map
+           (fun (name, v) -> [ name; Printf.sprintf "%.3f" v ])
+           (List.sort compare gauges));
+    if histos <> [] then
+      Report.print_table
+        ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "max" ]
+        (List.map
+           (fun (name, s) ->
+             [ name;
+               string_of_int s.H.s_count;
+               Printf.sprintf "%.3f" (H.mean s);
+               Printf.sprintf "%.3f" s.H.s_p50;
+               Printf.sprintf "%.3f" s.H.s_p95;
+               Printf.sprintf "%.3f" s.H.s_max ])
+           (List.sort compare histos))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Profile rendering (the `ldv profile` / `ldv obs diff` tables).      *)
 
 module P = Ldv_obs.Profile

@@ -128,11 +128,10 @@ let base_metadata (audit : Audit.t) =
   [ ("app", audit.Audit.app_name);
     ("binary", audit.Audit.app_binary);
     ("root_pid", string_of_int audit.Audit.root_pid) ]
-  @
-  (* concurrent runs record their schedule so replay can re-create the
-     identical interleaving: session count, scheduler seed, and each
-     client's registry name + binary *)
-  match audit.Audit.sched with
+  @ (* concurrent runs record their schedule so replay can re-create the
+       identical interleaving: session count, scheduler seed, and each
+       client's registry name + binary *)
+  (match audit.Audit.sched with
   | None -> []
   | Some s ->
     ("sessions", string_of_int (List.length s.Audit.sched_clients))
@@ -140,7 +139,24 @@ let base_metadata (audit : Audit.t) =
     :: List.mapi
          (fun i (name, binary) ->
            (Printf.sprintf "client:%d" i, name ^ "\t" ^ binary))
-         s.Audit.sched_clients
+         s.Audit.sched_clients)
+  @
+  (* runs served by a replication cluster record its shape and, per
+     replica-served read, the node that answered — replay re-runs the
+     whole cluster and must route every read to the same node *)
+  match audit.Audit.repl with
+  | None -> []
+  | Some (replicas, staleness) ->
+    ("replicas", string_of_int replicas)
+    :: ("repl_staleness", string_of_int staleness)
+    :: List.filter_map
+         (fun (s : Dbclient.Interceptor.stmt_event) ->
+           if s.Dbclient.Interceptor.replica >= 0 then
+             Some
+               ( Printf.sprintf "route:%d" s.Dbclient.Interceptor.qid,
+                 string_of_int s.Dbclient.Interceptor.replica )
+           else None)
+         (Audit.stmts audit)
 
 (** The recorded multi-session schedule, when the package came from a
     concurrent audit: scheduler seed plus per-session (registry name,
@@ -211,9 +227,40 @@ let build_excluded (audit : Audit.t) : t =
     trace_data = Prov.Trace.serialize (Audit.compact_trace audit);
     metadata = base_metadata audit @ [ ("packaging", "excluded") ] }
 
+(** The recorded replication-cluster shape — (replica count, staleness
+    bound) — when the audited run served reads from a cluster. *)
+let replication_of_metadata (metadata : (string * string) list) :
+    (int * int) option =
+  match
+    ( Option.bind (List.assoc_opt "replicas" metadata) int_of_string_opt,
+      Option.bind (List.assoc_opt "repl_staleness" metadata) int_of_string_opt
+    )
+  with
+  | Some n, Some staleness when n > 0 -> Some (n, staleness)
+  | _ -> None
+
+(** The recorded read routes: (qid, replica that answered), sorted by
+    qid. Reads the leader answered are not recorded. *)
+let routes_of_metadata (metadata : (string * string) list) :
+    (int * int) list =
+  List.filter_map
+    (fun (k, v) ->
+      match Scanf.sscanf_opt k "route:%d%!" Fun.id with
+      | Some qid -> Option.map (fun r -> (qid, r)) (int_of_string_opt v)
+      | None -> None)
+    metadata
+  |> List.sort compare
+
 (** The package's recorded multi-session schedule, if any. *)
 let schedule (t : t) : (int * (string * string) list) option =
   schedule_of_metadata t.metadata
+
+(** The package's recorded replication-cluster shape, if any. *)
+let replication (t : t) : (int * int) option =
+  replication_of_metadata t.metadata
+
+(** The package's recorded read routes (qid -> answering replica). *)
+let routes (t : t) : (int * int) list = routes_of_metadata t.metadata
 
 (** Build the package appropriate for how the audit was run. PTU baselines
     are packaged by {!Ptu.build}. *)

@@ -84,6 +84,19 @@ let prepare (pkg : Package.t) : prepared =
       let snapshot_reads = Package.schedule pkg <> None in
       I.create ~mode:I.Passthrough ~snapshot_reads ~kernel server
   in
+  (* a package recorded against a replication cluster replays against an
+     equally-shaped cluster, bootstrapped from the restored DB state, so
+     every read routes to — and is answered by — the same node *)
+  (match (pkg.Package.kind, Package.replication pkg) with
+  | Package.Server_included, Some (replicas, staleness) ->
+    Ldv_obs.with_span "replay.restore_cluster" @@ fun () ->
+    let proc = Minios.Kernel.start_process kernel ~name:"minidb-leader" () in
+    let leader =
+      Dbclient.Durable.start kernel server ~pid:proc.Minios.Kernel.pid
+    in
+    I.attach_cluster session
+      (Dbclient.Replication.create kernel ~leader ~replicas ~staleness ())
+  | _ -> ());
   { pkg; kernel; server; session }
 
 type run_result = {
@@ -227,4 +240,26 @@ let verify ~(audit : Audit.t) (r : run_result) : string list =
         if not (String.equal fp_a fp_r) then
           push "query %d/%d returned different results" qid_a qid_r)
       original_fps replayed_fps;
+  (* cluster-served runs: every read must have been answered by the same
+     node at replay as at audit time *)
+  let routes stmts =
+    List.filter_map
+      (fun (s : I.stmt_event) ->
+        if s.I.replica >= 0 then Some (s.I.qid, s.I.replica) else None)
+      stmts
+    |> List.sort compare
+  in
+  let audited_routes = routes (Audit.stmts audit) in
+  let replayed_routes = routes (Audit.merge_logs r.sessions) in
+  if List.length audited_routes <> List.length replayed_routes then
+    push "replica-served read count differs: %d audited vs %d replayed"
+      (List.length audited_routes)
+      (List.length replayed_routes)
+  else
+    List.iter2
+      (fun (qid_a, rep_a) (qid_r, rep_r) ->
+        if qid_a <> qid_r || rep_a <> rep_r then
+          push "query %d routed to replica %d at audit, %d/%d at replay"
+            qid_a rep_a qid_r rep_r)
+      audited_routes replayed_routes;
   List.rev !problems

@@ -1,0 +1,531 @@
+(** Seeded replication-robustness campaigns over a leader + N read
+    replicas ([ldv replicacheck]).
+
+    One campaign = one seeded workload (writes, transactions, checkpoints,
+    and interleaved reads) run twice:
+
+    - a {e degraded} cluster run under a fault plan: ship-channel faults
+      (dropped / garbled / reordered WAL frames), a one-shot [repl.apply]
+      crash point that power-fails one replica mid-apply, or both —
+      rotated by campaign index. Reads go through the replication router
+      (round-robin over replicas, staleness-bounded, leader fallback);
+      every read records which node answered and at which pinned version.
+      Crashed replicas recover after a seeded number of items via
+      checkpoint + WAL redo and catch-up resync from the leader's
+      retained ship log.
+    - a {e control} run on a single fresh node with no faults and no
+      replicas, executing only the writes.
+
+    The verifier then demands:
+    - {b convergence}: after a fault-free quiesce (recover + catch-up),
+      every replica's full state is byte-identical with the leader's;
+    - {b leader integrity}: the leader's final state is byte-identical
+      with the control's — shipping and read service perturbed nothing;
+    - {b read correctness}: every recorded read, re-executed on the
+      control database [AS OF] the version it was served at (with the
+      clock frozen), returns the identical response. A stale read is one
+      served below the leader's then-current version — allowed within
+      the staleness bound — but a {e wrong} read (any answer the
+      control's version history cannot reproduce at that version) is a
+      divergence.
+
+    Like {!Crashcheck}, every campaign ends in a verdict or a typed
+    failure; untyped exceptions are contract violations and reports are
+    byte-deterministic per seed. *)
+
+open Dbclient
+module Prng = Ldv_faults.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes and reports.                                               *)
+
+type scenario = Ship_faults | Apply_crash | Combined
+
+let scenario_label = function
+  | Ship_faults -> "ship-faults"
+  | Apply_crash -> "apply-crash"
+  | Combined -> "combined"
+
+type outcome =
+  | Verified of {
+      reads : int;
+      replica_reads : int;  (** answered by a replica *)
+      stale : int;  (** served below the leader's then-current version *)
+      fallbacks : int;  (** no eligible replica; leader answered *)
+      crashes : int;
+      recoveries : int;
+    }
+  | Read_diverged of { ordinal : int; node : int; first : string }
+      (** a degraded-run read the control cannot reproduce *)
+  | Not_converged of { replica : int; first : string }
+      (** a replica failed byte-identical convergence after quiesce *)
+  | Leader_diverged of { first : string }
+      (** the leader's final state differs from the control's *)
+  | Failed of Ldv_errors.t
+  | Db_failed of string
+  | Uncaught of string
+
+type run = {
+  campaign : int;
+  scenario : scenario;
+  p_ship : float;
+  occurrence : int;  (** [repl.apply] detonation ordinal; 0 = not armed *)
+  staleness : int;
+  outcome : outcome;
+}
+
+type report = {
+  r_seed : int;
+  r_campaigns : int;
+  r_replicas : int;
+  r_runs : run list;
+  r_injected : (string * int) list;
+  r_uncaught : int;
+  r_divergent : int;
+      (** read divergence, failed convergence, or leader drift (want 0) *)
+}
+
+let outcome_label = function
+  | Verified _ -> "verified"
+  | Read_diverged _ -> "read-diverged"
+  | Not_converged _ -> "not-converged"
+  | Leader_diverged _ -> "leader-diverged"
+  | Failed _ -> "typed-failure"
+  | Db_failed _ -> "db-error"
+  | Uncaught _ -> "uncaught"
+
+let outcome_detail = function
+  | Verified { reads; replica_reads; stale; fallbacks; crashes; recoveries }
+    ->
+    Printf.sprintf
+      "%d reads (%d replica, %d stale, %d fallback), %d crashes, %d \
+       recoveries"
+      reads replica_reads stale fallbacks crashes recoveries
+  | Read_diverged { ordinal; node; first } ->
+    Printf.sprintf "read #%d (node %d): %s" ordinal node first
+  | Not_converged { replica; first } ->
+    Printf.sprintf "replica %d: %s" replica first
+  | Leader_diverged { first } -> first
+  | Failed e -> Ldv_errors.to_string e
+  | Db_failed msg -> msg
+  | Uncaught msg -> "UNCAUGHT " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Seeded workload generation: Crashcheck's accounts/ledger write mix
+   with reads interleaved at top level only — never inside an open
+   transaction, where a routed read could observe (or a control re-read
+   miss) uncommitted state.                                            *)
+
+type item = Write of string | Read of string | Ckpt
+
+let read_sql (prng : Prng.t) ~max_id : string =
+  match Prng.int prng 5 with
+  | 0 -> "SELECT COUNT(*) FROM accounts"
+  | 1 ->
+    Printf.sprintf "SELECT owner, balance FROM accounts WHERE id = %d"
+      (1 + Prng.int prng (max 1 max_id))
+  | 2 -> "SELECT SUM(delta) FROM ledger"
+  | 3 -> "SELECT COUNT(*) FROM ledger"
+  | _ -> "SELECT SUM(balance) FROM accounts"
+
+let gen_workload (prng : Prng.t) : item list =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    !next_id
+  in
+  let next_entry = ref 0 in
+  push (Write "CREATE TABLE accounts (id INT, owner TEXT, balance INT)");
+  push (Write "CREATE TABLE ledger (entry INT, delta INT)");
+  push (Write "CREATE INDEX accounts_id ON accounts (id)");
+  for _ = 1 to 3 + Prng.int prng 3 do
+    let id = fresh_id () in
+    push
+      (Write
+         (Printf.sprintf "INSERT INTO accounts VALUES (%d, 'owner%d', %d)" id
+            id
+            (100 + Prng.int prng 900)))
+  done;
+  push Ckpt;
+  let existing_id () = 1 + Prng.int prng !next_id in
+  let op () =
+    match Prng.int prng 10 with
+    | 0 | 1 | 2 ->
+      let id = fresh_id () in
+      push
+        (Write
+           (Printf.sprintf "INSERT INTO accounts VALUES (%d, 'owner%d', %d)"
+              id id
+              (100 + Prng.int prng 900)))
+    | 3 | 4 ->
+      push
+        (Write
+           (Printf.sprintf "UPDATE accounts SET balance = %d WHERE id = %d"
+              (Prng.int prng 1000) (existing_id ())))
+    | 5 ->
+      push
+        (Write
+           (Printf.sprintf "DELETE FROM accounts WHERE id = %d"
+              (existing_id ())))
+    | 6 | 7 ->
+      incr next_entry;
+      push
+        (Write
+           (Printf.sprintf "INSERT INTO ledger VALUES (%d, %d)" !next_entry
+              (Prng.int prng 200 - 100)))
+    | _ ->
+      (* a multi-statement transaction, committed ~2/3 of the time *)
+      push (Write "BEGIN");
+      for _ = 1 to 2 + Prng.int prng 2 do
+        match Prng.int prng 3 with
+        | 0 ->
+          let id = fresh_id () in
+          push
+            (Write
+               (Printf.sprintf
+                  "INSERT INTO accounts VALUES (%d, 'owner%d', %d)" id id
+                  (100 + Prng.int prng 900)))
+        | 1 ->
+          push
+            (Write
+               (Printf.sprintf
+                  "UPDATE accounts SET balance = balance + %d WHERE id = %d"
+                  (1 + Prng.int prng 50) (existing_id ())))
+        | _ ->
+          incr next_entry;
+          push
+            (Write
+               (Printf.sprintf "INSERT INTO ledger VALUES (%d, %d)"
+                  !next_entry
+                  (Prng.int prng 200 - 100)))
+      done;
+      push (Write (if Prng.int prng 3 < 2 then "COMMIT" else "ROLLBACK"))
+  in
+  let ops = 18 + Prng.int prng 11 in
+  let since_ckpt = ref 0 in
+  for _ = 1 to ops do
+    op ();
+    (* reads between complete operations: roughly one per write op *)
+    for _ = 1 to Prng.int prng 3 do
+      push (Read (read_sql prng ~max_id:!next_id))
+    done;
+    incr since_ckpt;
+    if !since_ckpt >= 6 + Prng.int prng 2 then begin
+      push Ckpt;
+      since_ckpt := 0
+    end
+  done;
+  List.rev !items
+
+(* ------------------------------------------------------------------ *)
+(* Response fingerprints: the unit of read verification.               *)
+
+let response_fingerprint (resp : Protocol.response) : string =
+  match resp with
+  | Protocol.Result_set { rows; _ } ->
+    String.concat "|"
+      (List.map
+         (fun row ->
+           String.concat ";"
+             (Array.to_list (Array.map Minidb.Value.to_raw_string row)))
+         rows)
+  | Protocol.Command_ok { affected } -> Printf.sprintf "ok %d" affected
+  | Protocol.Ddl_ok -> "ddl"
+  | Protocol.Error_response msg -> "error " ^ msg
+  | Protocol.Connected _ -> "connected"
+
+(** One recorded degraded-run read, for control re-verification. *)
+type read_rec = {
+  rr_ordinal : int;
+  rr_sql : string;
+  rr_version : int;  (** the version the answer was pinned at *)
+  rr_node : int;  (** replica id, -1 = leader *)
+  rr_fingerprint : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One campaign.                                                       *)
+
+type degraded = {
+  d_leader_fp : string;
+  d_reads : read_rec list;
+  d_replica_reads : int;
+  d_stale : int;
+  d_fallbacks : int;
+  d_crashes : int;
+  d_recoveries : int;
+  d_converged : (int * string) option;
+}
+
+(* The degraded cluster run. The caller has installed the armed plan; the
+   final quiesce runs with the plan cleared so convergence is a property
+   of recovery, not of fault luck. *)
+let run_degraded ~(items : item list) ~replicas ~staleness ~(cprng : Prng.t)
+    () : degraded =
+  let kernel, leader = Crashcheck.boot () in
+  let cluster =
+    Replication.create kernel ~leader ~replicas ~staleness
+      ~torn:(fun unsynced -> Prng.int cprng (unsynced + 1))
+      ()
+  in
+  let leader_db = Server.db (Durable.server leader) in
+  let reads = ref [] in
+  let ordinal = ref 0 in
+  let replica_reads = ref 0 in
+  let stale = ref 0 in
+  let fallbacks = ref 0 in
+  let crashes = ref 0 in
+  let recoveries = ref 0 in
+  (* seeded recovery schedule: a downed replica is recovered after this
+     many further workload items *)
+  let countdown = Array.make (max replicas 1) (-1) in
+  let was_down = Array.make (max replicas 1) false in
+  let after_item () =
+    for i = 0 to replicas - 1 do
+      let down = Replication.replica_state cluster i = Replication.Down in
+      if down && not was_down.(i) then begin
+        incr crashes;
+        countdown.(i) <- 2 + Prng.int cprng 4
+      end;
+      was_down.(i) <- down;
+      if down then begin
+        countdown.(i) <- countdown.(i) - 1;
+        if countdown.(i) <= 0 then begin
+          Replication.recover cluster i;
+          if Replication.replica_state cluster i <> Replication.Down then
+            incr recoveries
+          else (* crashed again mid-catch-up: reschedule *)
+            countdown.(i) <- 2 + Prng.int cprng 4;
+          was_down.(i) <-
+            Replication.replica_state cluster i = Replication.Down
+        end
+      end
+    done
+  in
+  List.iter
+    (fun item ->
+      (match item with
+      | Write sql -> (
+        match Replication.exec cluster sql with
+        | Protocol.Error_response msg ->
+          invalid_arg
+            (Printf.sprintf "Replicacheck: leader refused %s: %s" sql msg)
+        | _ -> ())
+      | Ckpt -> Durable.checkpoint leader
+      | Read sql ->
+        let leader_now = Minidb.Database.clock leader_db in
+        let served = Replication.read cluster sql in
+        incr ordinal;
+        if served.Replication.sv_node >= 0 then begin
+          incr replica_reads;
+          if served.Replication.sv_version < leader_now then incr stale
+        end
+        else incr fallbacks;
+        reads :=
+          { rr_ordinal = !ordinal;
+            rr_sql = sql;
+            rr_version = served.Replication.sv_version;
+            rr_node = served.Replication.sv_node;
+            rr_fingerprint = response_fingerprint served.Replication.sv_resp
+          }
+          :: !reads);
+      after_item ())
+    items;
+  (* fault-free quiesce: recovery + catch-up must converge the cluster *)
+  let saved = Ldv_faults.active () in
+  Ldv_faults.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      match saved with Some p -> Ldv_faults.install p | None -> ())
+    (fun () -> Replication.quiesce cluster);
+  { d_leader_fp = Replication.state_fingerprint leader_db;
+    d_reads = List.rev !reads;
+    d_replica_reads = !replica_reads;
+    d_stale = !stale;
+    d_fallbacks = !fallbacks;
+    d_crashes = !crashes;
+    d_recoveries = !recoveries;
+    d_converged = Replication.converged cluster }
+
+(* The single-node control: writes only, no faults, no replicas. *)
+let run_control ~(items : item list) () : Durable.t * string =
+  let saved = Ldv_faults.active () in
+  Ldv_faults.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      match saved with Some p -> Ldv_faults.install p | None -> ())
+    (fun () ->
+      let _kernel, control = Crashcheck.boot () in
+      List.iter
+        (fun item ->
+          match item with
+          | Write sql -> ignore (Durable.exec control sql)
+          | Ckpt -> Durable.checkpoint control
+          | Read _ -> ())
+        items;
+      let db = Server.db (Durable.server control) in
+      (control, Replication.state_fingerprint db))
+
+(* Re-execute one recorded read on the control database, pinned [AS OF]
+   the version it was served at, clock-frozen: the engine's retained
+   version history makes every historically served answer checkable
+   after the fact. *)
+let verify_read (control : Durable.t) (r : read_rec) : string =
+  let server = Durable.server control in
+  let ast = Minidb.Sql_parser.parse r.rr_sql in
+  let pinned = Snapshot_pin.pin_statement r.rr_version ast in
+  let sql = Minidb.Pretty.statement_to_string pinned in
+  let resp =
+    Minidb.Database.with_frozen_clock (Server.db server) (fun () ->
+        Server.handle server (Protocol.Statement { sql }))
+  in
+  response_fingerprint resp
+
+let run_campaign ~items ~replicas ~staleness ~cprng () : outcome =
+  let degraded = run_degraded ~items ~replicas ~staleness ~cprng () in
+  let control, control_fp = run_control ~items () in
+  match degraded.d_converged with
+  | Some (replica, first) -> Not_converged { replica; first }
+  | None ->
+    if not (String.equal control_fp degraded.d_leader_fp) then
+      Leader_diverged
+        { first =
+            Replication.first_diff ~left:"control" ~right:"leader" control_fp
+              degraded.d_leader_fp }
+    else begin
+      let divergence =
+        List.find_map
+          (fun r ->
+            let want = verify_read control r in
+            if String.equal want r.rr_fingerprint then None
+            else
+              Some
+                (Read_diverged
+                   { ordinal = r.rr_ordinal;
+                     node = r.rr_node;
+                     first =
+                       Printf.sprintf "control %S vs served %S" want
+                         r.rr_fingerprint }))
+          degraded.d_reads
+      in
+      match divergence with
+      | Some d -> d
+      | None ->
+        Verified
+          { reads = List.length degraded.d_reads;
+            replica_reads = degraded.d_replica_reads;
+            stale = degraded.d_stale;
+            fallbacks = degraded.d_fallbacks;
+            crashes = degraded.d_crashes;
+            recoveries = degraded.d_recoveries }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns.                                                          *)
+
+let scenarios = [| Ship_faults; Apply_crash; Combined |]
+
+let run ~campaigns ~replicas ~seed () : report =
+  if replicas < 1 then invalid_arg "Replicacheck.run: replicas must be >= 1";
+  Ldv_obs.with_span
+    ~attrs:
+      [ ("campaigns", string_of_int campaigns);
+        ("replicas", string_of_int replicas); ("seed", string_of_int seed) ]
+    "replicacheck"
+  @@ fun () ->
+  let root = Prng.create ~seed in
+  let injected = ref (Campaign.zero_tallies ()) in
+  let runs = ref [] in
+  for campaign = 0 to campaigns - 1 do
+    let cam_seed = Campaign.derive_seed root in
+    let cprng = Prng.create ~seed:cam_seed in
+    let items = gen_workload (Prng.split cprng) in
+    let scenario = scenarios.(campaign mod Array.length scenarios) in
+    let p_ship =
+      match scenario with
+      | Apply_crash -> 0.0
+      | Ship_faults | Combined ->
+        0.08 +. (0.04 *. float_of_int (Prng.int cprng 4))
+    in
+    let occurrence =
+      match scenario with
+      | Ship_faults -> 0
+      | Apply_crash | Combined -> 1 + Prng.int cprng 24
+    in
+    let staleness = 1 + Prng.int cprng 4 in
+    let plan =
+      if occurrence > 0 then
+        Ldv_faults.make ~p_ship ~crash:("repl.apply", occurrence)
+          ~seed:cam_seed ()
+      else Ldv_faults.make ~p_ship ~seed:cam_seed ()
+    in
+    let outcome =
+      Ldv_obs.with_span
+        ~attrs:
+          [ ("campaign", string_of_int campaign);
+            ("scenario", scenario_label scenario);
+            ("occurrence", string_of_int occurrence) ]
+        "replicacheck.run"
+      @@ fun () ->
+      Ldv_faults.with_plan plan @@ fun () ->
+      match
+        Campaign.guard (run_campaign ~items ~replicas ~staleness ~cprng)
+      with
+      | Ok outcome -> outcome
+      | Error (Campaign.Typed e) -> Failed e
+      | Error (Campaign.Db msg) -> Db_failed msg
+      | Error (Campaign.Replay_diverged msg) ->
+        Read_diverged { ordinal = 0; node = -1; first = msg }
+      | Error (Campaign.Other msg) -> Uncaught msg
+    in
+    Ldv_obs.counter ("replicacheck.outcome." ^ outcome_label outcome);
+    injected := Campaign.add_tallies !injected (Ldv_faults.injected plan);
+    runs :=
+      { campaign; scenario; p_ship; occurrence; staleness; outcome } :: !runs
+  done;
+  let runs = List.rev !runs in
+  let count p = List.length (List.filter p runs) in
+  { r_seed = seed;
+    r_campaigns = campaigns;
+    r_replicas = replicas;
+    r_runs = runs;
+    r_injected = !injected;
+    r_uncaught =
+      count (fun r -> match r.outcome with Uncaught _ -> true | _ -> false);
+    r_divergent =
+      count (fun r ->
+          match r.outcome with
+          | Read_diverged _ | Not_converged _ | Leader_diverged _ -> true
+          | _ -> false) }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic report rendering.                                     *)
+
+let outcome_order =
+  [ "verified"; "read-diverged"; "not-converged"; "leader-diverged";
+    "typed-failure"; "db-error"; "uncaught" ]
+
+let pp ppf (r : report) =
+  Format.fprintf ppf "replicacheck: %d campaigns, %d replicas, seed %d@,"
+    r.r_campaigns r.r_replicas r.r_seed;
+  List.iter
+    (fun run ->
+      Format.fprintf ppf
+        "  c%03d %-11s p_ship %.2f occ %-2d stale<=%d  %-15s %s@,"
+        run.campaign
+        (scenario_label run.scenario)
+        run.p_ship run.occurrence run.staleness
+        (outcome_label run.outcome)
+        (outcome_detail run.outcome))
+    r.r_runs;
+  Campaign.pp_outcome_counts ppf ~order:outcome_order
+    ~label:(fun run -> outcome_label run.outcome)
+    r.r_runs;
+  Campaign.pp_tallies ppf r.r_injected;
+  Format.fprintf ppf "divergent runs: %d@," r.r_divergent;
+  Campaign.pp_uncaught ppf r.r_uncaught
+
+let to_string (r : report) : string =
+  Format.asprintf "@[<v>%a@]" pp r

@@ -55,6 +55,14 @@ let tick t =
     timeline. *)
 let sync_clock t ~at = if at > t.clock then t.clock <- at
 
+(** Run [f] with the clock pinned: any ticks inside are undone on exit.
+    Read-only statements still tick internally, so a replica serving a
+    snapshot-pinned read must stay clock-neutral or its tuple-version
+    stamps would drift from the leader's. *)
+let with_frozen_clock t f =
+  let saved = t.clock in
+  Fun.protect ~finally:(fun () -> t.clock <- saved) f
+
 let log_undo t entry =
   match t.tx with Some log -> t.tx <- Some (entry :: log) | None -> ()
 

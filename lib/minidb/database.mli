@@ -40,6 +40,11 @@ val tick : t -> int
     aligned with the simulated OS clock. *)
 val sync_clock : t -> at:int -> unit
 
+(** Run [f] with the clock pinned: ticks inside are undone on exit. Used
+    by read replicas so that serving a read never perturbs the
+    tuple-version stamps that must stay byte-identical with the leader. *)
+val with_frozen_clock : t -> (unit -> 'a) -> 'a
+
 (** The standard subquery evaluator (plan -> rows + summed annotation),
     wired into every [exec]/[query] call. *)
 val subquery_eval : Planner.subquery_eval

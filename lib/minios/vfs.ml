@@ -122,31 +122,29 @@ let unsynced_bytes t path =
     its unsynced append-only tail that did reach the platter (a torn
     write); it only applies to [Data] files whose content grew past the
     synced prefix. Whatever survives is durable afterwards. *)
+let crash_file ~keep ~doomed path f =
+  let kept =
+    match List.assoc_opt path keep with Some n -> max 0 n | None -> 0
+  in
+  match (f.synced, f.content) with
+  | Some (Data b), Data d when String.length d > String.length b && kept > 0
+    ->
+    let bl = String.length b in
+    let survived = String.sub d 0 (bl + min kept (String.length d - bl)) in
+    f.content <- Data survived;
+    f.synced <- Some f.content
+  | Some c, _ ->
+    f.content <- c;
+    f.synced <- Some c
+  | None, Data d when kept > 0 ->
+    let survived = String.sub d 0 (min kept (String.length d)) in
+    f.content <- Data survived;
+    f.synced <- Some f.content
+  | None, _ -> doomed := path :: !doomed
+
 let crash t ?(keep = []) () =
   let doomed = ref [] in
-  Hashtbl.iter
-    (fun path f ->
-      let kept =
-        match List.assoc_opt path keep with Some n -> max 0 n | None -> 0
-      in
-      match (f.synced, f.content) with
-      | Some (Data b), Data d
-        when String.length d > String.length b && kept > 0 ->
-        let bl = String.length b in
-        let survived =
-          String.sub d 0 (bl + min kept (String.length d - bl))
-        in
-        f.content <- Data survived;
-        f.synced <- Some f.content
-      | Some c, _ ->
-        f.content <- c;
-        f.synced <- Some c
-      | None, Data d when kept > 0 ->
-        let survived = String.sub d 0 (min kept (String.length d)) in
-        f.content <- Data survived;
-        f.synced <- Some f.content
-      | None, _ -> doomed := path :: !doomed)
-    t.files;
+  Hashtbl.iter (crash_file ~keep ~doomed) t.files;
   List.iter (Hashtbl.remove t.files) !doomed
 
 let read t path =
@@ -189,6 +187,19 @@ let paths_under t prefix =
 
 let remove_under t prefix =
   List.iter (remove t) (paths_under t prefix)
+
+(** Node-local power failure: like {!crash} but restricted to the files
+    under [prefix] (one replica's data directory); every other file is
+    untouched. [keep] has the same torn-tail meaning as in {!crash}. *)
+let crash_under t ?(keep = []) prefix =
+  let doomed = ref [] in
+  List.iter
+    (fun path ->
+      match Hashtbl.find_opt t.files path with
+      | Some f -> crash_file ~keep ~doomed path f
+      | None -> ())
+    (paths_under t prefix);
+  List.iter (Hashtbl.remove t.files) !doomed
 
 let total_bytes t =
   Hashtbl.fold (fun _ f acc -> acc + content_size f.content) t.files 0

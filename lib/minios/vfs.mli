@@ -67,6 +67,11 @@ val unsynced_bytes : t -> string -> int
     failure). Surviving state is durable afterwards. *)
 val crash : t -> ?keep:(string * int) list -> unit -> unit
 
+(** Node-local power failure: {!crash} semantics restricted to the files
+    under [prefix] (one replica's data directory); everything else keeps
+    its buffered state. *)
+val crash_under : t -> ?keep:(string * int) list -> string -> unit
+
 (** @raise Not_found on missing files.
     @raise Invalid_argument on opaque files. *)
 val read : t -> string -> string

@@ -45,4 +45,5 @@ let () =
       ("partial-diff", Test_partial_diff.suite);
       ("concurrent", Test_concurrent.suite);
       ("contention", Test_contention.suite);
+      ("replication", Test_replication.suite);
       ("end-to-end", Test_e2e.suite) ]

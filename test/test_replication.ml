@@ -1,0 +1,326 @@
+(* WAL-shipping replication: durable-cut recovery edges, ship-fault and
+   crash/recover convergence, the session read router with its staleness
+   bound, retry telemetry, the replicacheck campaign harness, and
+   cluster-served concurrent audits replaying byte-identically. *)
+
+open Ldv_core
+open Dbclient
+module F = Ldv_faults
+module E = Ldv_errors
+module K = Minios.Kernel
+module R = Replication
+module Obs = Ldv_obs
+
+(* Run [f] against a clean in-memory collector (see test_obs.ml). *)
+let with_memory f =
+  Obs.set_sink Obs.Memory;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.Null;
+      Obs.reset ())
+    f
+
+let counter_of (snap : Obs.snapshot) name =
+  Option.value ~default:0 (List.assoc_opt name snap.Obs.counters)
+
+let exec cluster sql =
+  match R.exec cluster sql with
+  | Protocol.Error_response m -> Alcotest.failf "cluster exec failed: %s" m
+  | _ -> ()
+
+let lexec (d : Durable.t) sql =
+  match Durable.exec d sql with
+  | Protocol.Error_response m -> Alcotest.failf "leader exec failed: %s" m
+  | _ -> ()
+
+let check_converged what cluster =
+  match R.converged cluster with
+  | None -> ()
+  | Some (i, diff) ->
+    Alcotest.failf "%s: replica %d diverged: %s" what i diff
+
+(* ---------------- Wal.durable_cut edges ------------------------- *)
+
+let test_durable_cut_empty () =
+  let replay, dropped, redo_upto = Wal.durable_cut [] in
+  Alcotest.(check int) "nothing to replay" 0 (List.length replay);
+  Alcotest.(check int) "nothing dropped" 0 (List.length dropped);
+  Alcotest.(check int) "redo mark is the fallback" 0 redo_upto;
+  let _, _, upto = Wal.durable_cut ~fallback:7 [] in
+  Alcotest.(check int) "explicit fallback honoured" 7 upto
+
+(* A tear in the middle of a deferred-sync batch: under group commit
+   nothing is durable until the quantum barrier, so a crash that keeps a
+   torn prefix of the batch loses every record at or after the tear —
+   and recovery replays exactly the intact prefix. *)
+let test_torn_record_mid_batch_grouped () =
+  let kernel, d = Crashcheck.boot () in
+  Durable.set_policy d Durable.Grouped;
+  lexec d "CREATE TABLE t (a INT)";
+  for i = 1 to 5 do
+    lexec d (Printf.sprintf "INSERT INTO t VALUES (%d)" i)
+  done;
+  let vfs = K.vfs kernel in
+  let wal_path = Durable.wal_path (Durable.server d) in
+  let unsynced = Minios.Vfs.unsynced_bytes vfs wal_path in
+  Alcotest.(check bool) "group commit deferred every sync" true
+    (unsynced > 0);
+  (* keep the whole batch minus 4 bytes: the tear lands inside the last
+     record, mid-batch relative to the deferred-sync window *)
+  K.crash kernel ~keep:[ (wal_path, unsynced - 4) ] ();
+  let warned = ref None in
+  let prev = !E.on_warning in
+  E.on_warning := (fun e -> warned := Some e);
+  let loaded =
+    Fun.protect
+      ~finally:(fun () -> E.on_warning := prev)
+      (fun () -> Wal.load vfs wal_path)
+  in
+  Alcotest.(check bool) "torn bytes detected" true
+    (loaded.Wal.torn_bytes > 0);
+  Alcotest.(check bool) "typed Wal_torn warning fired" true
+    (match !warned with Some (E.Wal_torn _) -> true | _ -> false);
+  Alcotest.(check int) "intact prefix parses" 5
+    (List.length loaded.Wal.records);
+  let d', stats = Durable.recover kernel ~data_dir:"/var/minidb/data" () in
+  Alcotest.(check int) "recovery redoes the intact prefix" 5
+    stats.Durable.redone;
+  match
+    Server.handle (Durable.server d')
+      (Protocol.Statement { sql = "SELECT COUNT(*) FROM t" })
+  with
+  | Protocol.Result_set { rows = [ [| Minidb.Value.Int n |] ]; _ } ->
+    Alcotest.(check int) "torn insert lost, batch prefix kept" 4 n
+  | _ -> Alcotest.fail "count query failed after recovery"
+
+(* Resync a crashed replica whose own WAL runs ahead of its last
+   checkpoint: recovery must redo the local suffix, then catch-up ships
+   only what the replica never saw — no duplicate application. *)
+let test_resync_wal_ahead_of_checkpoint () =
+  let kernel, leader = Crashcheck.boot () in
+  let cluster =
+    R.create kernel ~leader ~replicas:1 ~staleness:2 ~ckpt_every:4 ()
+  in
+  let plan = F.make ~crash:("repl.apply", 7) ~seed:11 () in
+  F.with_plan plan (fun () ->
+      exec cluster "CREATE TABLE t (a INT)";
+      for i = 1 to 9 do
+        exec cluster (Printf.sprintf "INSERT INTO t VALUES (%d)" i)
+      done);
+  Alcotest.(check bool) "replica crashed mid-stream" true
+    (R.replica_state cluster 0 = R.Down);
+  (* the replica checkpointed at apply #4 and then applied durably past
+     it: its WAL is strictly ahead of the checkpoint image *)
+  Alcotest.(check bool) "replica applied past its checkpoint" true
+    (R.replica_applied cluster 0 > 4);
+  Alcotest.(check bool) "replica behind the leader" true
+    (R.replica_applied cluster 0 < R.ship_seq cluster);
+  R.recover cluster 0;
+  Alcotest.(check bool) "replica back up" true
+    (R.replica_state cluster 0 = R.Up);
+  Alcotest.(check int) "caught up to the ship head"
+    (R.ship_seq cluster)
+    (R.replica_applied cluster 0);
+  check_converged "resync" cluster
+
+(* ---------------- convergence under faults ---------------------- *)
+
+let test_ship_faults_converge () =
+  let kernel, leader = Crashcheck.boot () in
+  let cluster = R.create kernel ~leader ~replicas:2 ~staleness:2 () in
+  let plan = F.make ~p_ship:0.5 ~seed:3 () in
+  F.with_plan plan (fun () ->
+      exec cluster "CREATE TABLE t (a INT, b TEXT)";
+      for i = 1 to 20 do
+        exec cluster (Printf.sprintf "INSERT INTO t VALUES (%d, 'r%d')" i i)
+      done);
+  Alcotest.(check bool) "faults were actually injected" true
+    (List.exists (fun (_, n) -> n > 0) (F.injected plan));
+  R.quiesce cluster;
+  check_converged "ship faults" cluster;
+  for i = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d at the ship head" i)
+      (R.ship_seq cluster)
+      (R.replica_applied cluster i)
+  done
+
+let test_crash_recover_byte_identical () =
+  let kernel, leader = Crashcheck.boot () in
+  let cluster = R.create kernel ~leader ~replicas:1 ~staleness:2 () in
+  let plan = F.make ~crash:("repl.apply", 3) ~seed:5 () in
+  F.with_plan plan (fun () ->
+      exec cluster "CREATE TABLE t (a INT)";
+      for i = 1 to 7 do
+        exec cluster (Printf.sprintf "INSERT INTO t VALUES (%d)" i)
+      done);
+  Alcotest.(check bool) "replica down after injected crash" true
+    (R.replica_state cluster 0 = R.Down);
+  R.recover cluster 0;
+  R.quiesce cluster;
+  check_converged "crash+recover" cluster;
+  Alcotest.(check string) "byte-identical state fingerprints"
+    (R.state_fingerprint (R.leader_db cluster))
+    (R.state_fingerprint (R.replica_db cluster 0))
+
+(* ---------------- the session read router ----------------------- *)
+
+let test_read_router_stale_and_fallback () =
+  with_memory @@ fun () ->
+  let kernel, leader = Crashcheck.boot () in
+  lexec leader "CREATE TABLE t (a INT)";
+  lexec leader "INSERT INTO t VALUES (1)";
+  lexec leader "INSERT INTO t VALUES (2)";
+  (* generous staleness bound: a lagging replica still serves *)
+  let cluster = R.create kernel ~leader ~replicas:1 ~staleness:100 () in
+  let applied0 = R.replica_applied cluster 0 in
+  let plan = F.make ~p_ship:1.0 ~seed:2 () in
+  F.with_plan plan (fun () ->
+      for i = 3 to 5 do
+        exec cluster (Printf.sprintf "INSERT INTO t VALUES (%d)" i)
+      done);
+  Alcotest.(check bool) "replica is lagging" true
+    (R.replica_applied cluster 0 < R.ship_seq cluster);
+  let served = R.read cluster "SELECT COUNT(*) FROM t" in
+  Alcotest.(check int) "replica answered" 0 served.R.sv_node;
+  (match served.R.sv_resp with
+  | Protocol.Result_set { rows = [ [| Minidb.Value.Int n |] ]; _ } ->
+    (* the replica sees the base backup plus exactly what it applied —
+       strictly less than the leader's row count *)
+    Alcotest.(check int) "stale read pinned at the applied version"
+      (2 + (R.replica_applied cluster 0 - applied0))
+      n;
+    Alcotest.(check bool) "stale read misses the newest rows" true (n < 5)
+  | _ -> Alcotest.fail "stale read failed");
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "stale read counted" 1
+    (counter_of snap "repl.stale_reads");
+  Alcotest.(check int) "replica read counted" 1
+    (counter_of snap "repl.reads.replica");
+  (* a downed replica is never eligible: the leader must answer *)
+  let tight = R.create kernel ~leader ~replicas:1 ~staleness:0 () in
+  let plan2 = F.make ~crash:("repl.apply", 1) ~seed:4 () in
+  F.with_plan plan2 (fun () ->
+      exec tight "INSERT INTO t VALUES (6)");
+  Alcotest.(check bool) "replica crashed" true
+    (R.replica_state tight 0 = R.Down);
+  let served' = R.read tight "SELECT COUNT(*) FROM t" in
+  Alcotest.(check int) "leader fallback node" (-1) served'.R.sv_node;
+  (match served'.R.sv_resp with
+  | Protocol.Result_set { rows = [ [| Minidb.Value.Int n |] ]; _ } ->
+    Alcotest.(check int) "fallback sees every committed row" 6 n
+  | _ -> Alcotest.fail "fallback read failed");
+  Alcotest.(check bool) "fallback counted" true
+    (counter_of (Obs.snapshot ()) "repl.fallbacks" >= 1)
+
+(* ---------------- retry telemetry ------------------------------- *)
+
+let test_retry_site_tagged_telemetry () =
+  with_memory @@ fun () ->
+  let calls = ref 0 in
+  let v =
+    F.with_retries ~op:"shiptest" (fun () ->
+        incr calls;
+        if !calls < 3 then E.fail (E.Connection_lost { context = "flaky" })
+        else 9)
+  in
+  Alcotest.(check int) "eventually succeeded" 9 v;
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "global retry counter" 2
+    (counter_of snap "faults.retry");
+  Alcotest.(check int) "site-and-tag counter" 2
+    (counter_of snap "faults.retry.shiptest.conn.lost")
+
+let test_retry_backoff_cap_fails_fast () =
+  let calls = ref 0 in
+  Alcotest.(check bool) "cap cuts the attempt budget short" true
+    (try
+       F.with_retries ~attempts:10 ~cap_ms:2.0 ~op:"cap" (fun () ->
+           incr calls;
+           E.fail (E.Connection_lost { context = "dead peer" }))
+     with E.Error (E.Retries_exhausted { op = "cap"; attempts; _ }) ->
+       attempts < 10);
+  (* backoff 1ms + 2ms exceeds the 2ms cap on the second pause *)
+  Alcotest.(check int) "two calls, then fast-fail" 2 !calls
+
+(* ---------------- the replicacheck harness ---------------------- *)
+
+let test_replicacheck_deterministic () =
+  let r1 = Replicacheck.run ~campaigns:3 ~replicas:2 ~seed:7 () in
+  let r2 = Replicacheck.run ~campaigns:3 ~replicas:2 ~seed:7 () in
+  Alcotest.(check string) "same seed, same report"
+    (Replicacheck.to_string r1) (Replicacheck.to_string r2);
+  Alcotest.(check int) "no divergent runs" 0 r1.Replicacheck.r_divergent;
+  Alcotest.(check int) "no uncaught exceptions" 0 r1.Replicacheck.r_uncaught;
+  Alcotest.(check int) "every campaign ran" 3
+    (List.length r1.Replicacheck.r_runs);
+  let r3 = Replicacheck.run ~campaigns:3 ~replicas:2 ~seed:8 () in
+  Alcotest.(check bool) "different seed, different schedule" false
+    (String.equal (Replicacheck.to_string r1) (Replicacheck.to_string r3))
+
+(* ---------------- cluster-served concurrent audits -------------- *)
+
+let test_cluster_audit_records_routes () =
+  let audit = Concurrent.audited ~sessions:3 ~statements:6 ~seed:11
+      ~replicas:2 ()
+  in
+  Alcotest.(check bool) "audit records the cluster shape" true
+    (audit.Audit.repl = Some (2, 4));
+  let replica_reads =
+    List.filter
+      (fun (s : Dbclient.Interceptor.stmt_event) ->
+        s.Dbclient.Interceptor.replica >= 0)
+      (Audit.stmts audit)
+  in
+  Alcotest.(check bool) "some reads were replica-served" true
+    (List.length replica_reads > 0);
+  let pkg = Package.build audit in
+  Alcotest.(check (option (pair int int))) "cluster shape in metadata"
+    (Some (2, 4)) (Package.replication pkg);
+  Alcotest.(check int) "every replica-served read has a route"
+    (List.length replica_reads)
+    (List.length (Package.routes pkg))
+
+let test_cluster_audit_replays_byte_identically () =
+  let audit = Concurrent.audited ~sessions:3 ~statements:6 ~seed:11
+      ~replicas:2 ()
+  in
+  let pkg = Package.of_bytes (Package.to_bytes (Package.build audit)) in
+  let r = Replay.execute pkg in
+  Alcotest.(check (list string)) "replay verified, routes included" []
+    (Replay.verify ~audit r)
+
+let test_plain_audit_has_no_cluster_metadata () =
+  let audit = Concurrent.audited ~sessions:2 ~statements:4 ~seed:3 () in
+  Alcotest.(check bool) "no cluster recorded" true
+    (audit.Audit.repl = None);
+  let pkg = Package.build audit in
+  Alcotest.(check (option (pair int int))) "no replication metadata" None
+    (Package.replication pkg);
+  Alcotest.(check int) "no routes" 0 (List.length (Package.routes pkg))
+
+let suite =
+  [ Alcotest.test_case "durable-cut: empty log" `Quick test_durable_cut_empty;
+    Alcotest.test_case "durable-cut: torn record mid-batch (grouped)" `Quick
+      test_torn_record_mid_batch_grouped;
+    Alcotest.test_case "resync: replica WAL ahead of checkpoint" `Quick
+      test_resync_wal_ahead_of_checkpoint;
+    Alcotest.test_case "ship faults converge" `Quick
+      test_ship_faults_converge;
+    Alcotest.test_case "crash+recover byte-identical" `Quick
+      test_crash_recover_byte_identical;
+    Alcotest.test_case "read router: stale bound and fallback" `Quick
+      test_read_router_stale_and_fallback;
+    Alcotest.test_case "retry telemetry is site-tagged" `Quick
+      test_retry_site_tagged_telemetry;
+    Alcotest.test_case "retry backoff cap fails fast" `Quick
+      test_retry_backoff_cap_fails_fast;
+    Alcotest.test_case "replicacheck deterministic" `Quick
+      test_replicacheck_deterministic;
+    Alcotest.test_case "cluster audit records routes" `Quick
+      test_cluster_audit_records_routes;
+    Alcotest.test_case "cluster audit replays byte-identically" `Quick
+      test_cluster_audit_replays_byte_identically;
+    Alcotest.test_case "plain audit has no cluster metadata" `Quick
+      test_plain_audit_has_no_cluster_metadata ]
