@@ -1001,6 +1001,81 @@ let concurrent_bench () =
   Printf.eprintf "wrote BENCH_concurrent.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Interactive transactions: commit throughput and first-updater-wins
+   abort rate at 1/4/8 sessions over the contended tx workload. Writes
+   BENCH_txn.json.                                                     *)
+
+let txn_bench () =
+  Report.section
+    "Interactive transactions: commit throughput and abort rate";
+  let rounds = 8 in
+  let json_rows = ref [] in
+  let table_rows =
+    List.map
+      (fun sessions ->
+        let audit, wall =
+          time (fun () -> Concurrent.audited_tx ~sessions ~rounds ~seed:42 ())
+        in
+        let outcomes = Audit.tx_outcomes (Audit.stmts audit) in
+        let count o =
+          List.length (List.filter (fun (_, _, x) -> x = o) outcomes)
+        in
+        let committed = count Audit.Tx_committed in
+        let rolled_back = count Audit.Tx_rolled_back in
+        let aborted = count Audit.Tx_aborted + count Audit.Tx_retried in
+        let total = List.length outcomes in
+        let abort_rate =
+          if total = 0 then 0.0
+          else float_of_int aborted /. float_of_int total
+        in
+        let commit_per_s =
+          if wall > 0.0 then float_of_int committed /. wall else 0.0
+        in
+        let audit2 = Concurrent.audited_tx ~sessions ~rounds ~seed:42 () in
+        let deterministic =
+          outcomes = Audit.tx_outcomes (Audit.stmts audit2)
+        in
+        json_rows :=
+          Json.Obj
+            [ ("sessions", Json.Int sessions);
+              ("rounds_per_session", Json.Int rounds);
+              ("transactions", Json.Int total);
+              ("committed", Json.Int committed);
+              ("rolled_back", Json.Int rolled_back);
+              ("aborted", Json.Int aborted);
+              ("abort_rate", Json.Float abort_rate);
+              ("commits_per_s", Json.Float commit_per_s);
+              ("wall_ms", Json.Float (wall *. 1000.));
+              ("deterministic", Json.Bool deterministic) ]
+          :: !json_rows;
+        [ string_of_int sessions;
+          string_of_int total;
+          string_of_int committed;
+          string_of_int rolled_back;
+          string_of_int aborted;
+          Printf.sprintf "%.1f%%" (100.0 *. abort_rate);
+          Printf.sprintf "%.0f/s" commit_per_s;
+          s wall;
+          (if deterministic then "yes" else "NO") ])
+      [ 1; 4; 8 ]
+  in
+  Report.print_table
+    ~header:
+      [ "sessions"; "txs"; "committed"; "rolled back"; "aborted"; "abort rate";
+        "commit rate"; "wall"; "same-seed decisions" ]
+    table_rows;
+  Report.note
+    "Every transaction updates one of four shared seed rows, so the\n\
+     abort rate is the price of first-updater-wins under growing\n\
+     concurrency; aborted transactions are retried by the client's\n\
+     bounded-retry loop until they commit.\n";
+  let oc = open_out "BENCH_txn.json" in
+  output_string oc (Json.to_string (Json.List (List.rev !json_rows)));
+  output_string oc "\n";
+  close_out oc;
+  Printf.eprintf "wrote BENCH_txn.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Contention: wait-state attribution at 1/4/8 sessions. A concurrent
    audit (latch contention at the interceptor) plus a grouped-WAL loop
    (group-commit fsync deferral) run under the global Memory sink; each
@@ -1285,6 +1360,7 @@ let all () =
   micro ();
   profile_bench ();
   concurrent_bench ();
+  txn_bench ();
   contention_bench ();
   replication_bench ();
   check ()
@@ -1335,6 +1411,7 @@ let () =
   | "micro" -> micro ()
   | "profile" -> profile_bench ()
   | "concurrent" -> concurrent_bench ()
+  | "txn" -> txn_bench ()
   | "contention" -> contention_bench ()
   | "replication" -> replication_bench ()
   | "check" -> check ()
@@ -1342,6 +1419,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown command %S; expected \
-       table1|table2|table3|fig7a|fig7b|fig8a|fig8b|fig9|vmi|ablation|micro|profile|concurrent|contention|replication|check|all\n"
+       table1|table2|table3|fig7a|fig7b|fig8a|fig8b|fig9|vmi|ablation|micro|profile|concurrent|txn|contention|replication|check|all\n"
       other;
     exit 2

@@ -415,6 +415,7 @@ let stats_cmd =
     | Ok snap ->
       Obs_report.print_summary snap;
       Obs_report.print_replication snap;
+      Obs_report.print_transactions snap;
       if tree then begin
         Report.section "Span tree";
         Obs_report.print_tree snap
@@ -679,6 +680,49 @@ let crashcheck_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* txcheck                                                             *)
+
+let txcheck_cmd =
+  let seeds_arg =
+    let doc =
+      "Number of seeded crash campaigns to run (each derives its own \
+       interleaved transactional workload and crash point)."
+    in
+    Arg.(value & opt int 10 & info [ "seeds"; "n" ] ~docv:"K" ~doc)
+  in
+  let sessions_arg =
+    let doc =
+      "Concurrent transactional sessions per campaign; their streams \
+       interleave statement-by-statement in the WAL."
+    in
+    Arg.(value & opt int 4 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Root seed. The same seed crashes inside the same transactions and \
+       prints the identical report."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run obs seeds sessions seed =
+    with_obs obs @@ fun () ->
+    let report = Txcheck.run ~sessions ~campaigns:seeds ~seed () in
+    print_endline (Txcheck.to_string report);
+    if report.Txcheck.r_uncaught > 0 || report.Txcheck.r_divergent > 0 then
+      exit 1
+  in
+  let term = Term.(const run $ obs_arg $ seeds_arg $ sessions_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "txcheck"
+       ~doc:
+         "Run seeded transaction-granular crash campaigns: crash the \
+          durable minidb inside interleaved multi-session transactions, \
+          recover, and verify that exactly the transactions without a \
+          durable COMMIT are gone — state and per-transaction reenactment \
+          provenance both checked against a control run")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* replicacheck                                                        *)
 
 let replicacheck_cmd =
@@ -780,4 +824,5 @@ let () =
        (Cmd.group info
           [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd;
             profile_cmd; timeline_cmd; contention_cmd; obs_cmd;
-            faultcheck_cmd; crashcheck_cmd; replicacheck_cmd; demo_cmd ]))
+            faultcheck_cmd; crashcheck_cmd; txcheck_cmd; replicacheck_cmd;
+            demo_cmd ]))

@@ -28,6 +28,12 @@ dune runtest
 # run verified against the control, every replica converged)
 dune exec bin/ldv.exe -- replicacheck --seeds 5 --replicas 2
 
+# transaction recovery smoke (also under --quick): seeded crashes inside
+# open transactions across 4 concurrent sessions; recovery must roll
+# back every transaction without a durable COMMIT and match the control
+# at transaction granularity, including reenacted provenance
+dune exec bin/ldv.exe -- txcheck --seeds 5 --sessions 4
+
 if [ "$quick" -eq 0 ]; then
   dune exec bin/ldv.exe -- faultcheck --campaigns 5 --seed 42
   dune exec bin/ldv.exe -- crashcheck --campaigns 5 --seed 42
@@ -38,6 +44,9 @@ if [ "$quick" -eq 0 ]; then
   # scheduler/group-commit/replay-determinism bench (writes
   # BENCH_concurrent.json; its own assertions print per-row yes/NO)
   dune exec bench/main.exe -- concurrent
+  # interactive-transaction bench (writes BENCH_txn.json: commit
+  # throughput and first-updater-wins abort rate at 1/4/8 sessions)
+  dune exec bench/main.exe -- txn
 
   # profile smoke: audit a small run with JSONL export, then analyze it
   tmpdir=$(mktemp -d)

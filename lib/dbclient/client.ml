@@ -40,6 +40,13 @@ let check conn =
     *before* the statement executes, so the bounded retry loop can safely
     resend it; a failure that outlives every retry is reported as
     [Retries_exhausted]. *)
+(* A conflict abort escaping [Interceptor.execute] must not be retried at
+   statement granularity — the transaction it belonged to is gone, and
+   resending the lone statement would run it autocommit. This private
+   wrapper smuggles the conflict past [with_retries]; [send] unwraps it
+   back into the typed error so [transaction] can retry the whole block. *)
+exception Tx_abort of Ldv_errors.t
+
 let send (conn : conn) (sql : string) : Protocol.response =
   check conn;
   try
@@ -53,8 +60,11 @@ let send (conn : conn) (sql : string) : Protocol.response =
       Ldv_errors.fail
         (Ldv_errors.Protocol_garbled { context = "send: truncated response frame" })
     | None -> ());
-    Interceptor.execute conn.session ~pid:conn.pid sql
-  with Ldv_errors.Error (Ldv_errors.Retries_exhausted _) as e ->
+    (try Interceptor.execute conn.session ~pid:conn.pid sql
+     with Ldv_errors.Error (Ldv_errors.Tx_conflict _ as e) -> raise (Tx_abort e))
+  with
+  | Tx_abort e -> raise (Ldv_errors.Error e)
+  | Ldv_errors.Error (Ldv_errors.Retries_exhausted _) as e ->
     Ldv_obs.counter "client.send.exhausted";
     raise e
 
@@ -81,6 +91,40 @@ let exec (conn : conn) (sql : string) : int =
   | Protocol.Error_response msg -> Errors.unsupported "server error: %s" msg
   | Protocol.Result_set _ | Protocol.Connected _ ->
     Errors.unsupported "expected a command acknowledgement from %s" sql
+
+(** Run [stmts] as one BEGIN..COMMIT block, retrying the *whole*
+    transaction (bounded, with logical backoff) when a first-updater-wins
+    conflict aborts it. The interceptor has already rolled the aborted
+    attempt back, so every retry starts from a clean slate; yields between
+    attempts let the conflicting session finish its own transaction.
+    Returns the total affected-row count of the committed attempt. *)
+let transaction ?attempts (conn : conn) (stmts : string list) : int =
+  check conn;
+  let kernel = Interceptor.kernel_of conn.session in
+  let tries = ref 0 in
+  Ldv_faults.with_retries ?attempts ~op:"client.tx" @@ fun () ->
+  if !tries > 0 then begin
+    (* the backoff recorded by [with_retries] is logical; these yields
+       make it real under the cooperative scheduler *)
+    Ldv_obs.counter "tx.retry";
+    for _ = 1 to !tries * 4 do
+      Minios.Kernel.yield_point kernel
+    done
+  end;
+  incr tries;
+  Ldv_obs.counter "client.tx.attempts";
+  ignore (send conn "BEGIN");
+  let affected =
+    List.fold_left
+      (fun acc sql ->
+        match send conn sql with
+        | Protocol.Command_ok { affected } -> acc + affected
+        | Protocol.Error_response msg -> Errors.unsupported "server error: %s" msg
+        | Protocol.Result_set _ | Protocol.Ddl_ok | Protocol.Connected _ -> acc)
+      0 stmts
+  in
+  ignore (send conn "COMMIT");
+  affected
 
 let close (conn : conn) =
   if conn.open_ then begin

@@ -28,4 +28,11 @@ val query : conn -> string -> Value.t array list
 (** Run a DML/DDL statement, returning the affected-row count. *)
 val exec : conn -> string -> int
 
+(** Run [stmts] as one BEGIN..COMMIT transaction, retrying the whole block
+    up to [attempts] times when a write-write conflict aborts it. Returns
+    the committed attempt's total affected-row count.
+    @raise Ldv_errors.Error with [Retries_exhausted] when every attempt
+    aborts. *)
+val transaction : ?attempts:int -> conn -> string list -> int
+
 val close : conn -> unit

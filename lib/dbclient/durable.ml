@@ -31,8 +31,9 @@
     tear), [wal.pre_fsync] (record complete but not durable),
     [stmt.post_exec] (durable but memory state ahead of the last
     checkpoint), [ckpt.image] (new image buffered only), [ckpt.pre_rename]
-    (image durable under its temporary name), and [ckpt.pre_gc] (image
-    published, WAL not yet emptied — recovery must not double-apply). *)
+    (image durable under its temporary name), [ckpt.pre_gc] (image
+    published, WAL not yet emptied — recovery must not double-apply), and
+    [tx.undo] (mid-way through a rollback's undo walk). *)
 
 open Minidb
 
@@ -43,6 +44,10 @@ type t = {
   kernel : Minios.Kernel.t;
   pid : int;  (** the server process performing WAL/checkpoint I/O *)
   mutable next_seq : int;  (** sequence number of the next WAL record *)
+  sids : (int, int) Hashtbl.t;
+      (** session id -> its open transaction id; the handle multiplexes
+          many sessions over one database by switching the ambient
+          transaction around each statement *)
   mutable policy : commit_policy;
   mutable pending_sync : bool;  (** a grouped commit awaits the next flush *)
   mutable fsync_barriers : int;  (** barriers raised over this handle *)
@@ -95,6 +100,7 @@ let start (kernel : Minios.Kernel.t) (server : Server.t) ~pid : t =
       kernel;
       pid;
       next_seq = max ck_seq wal_seq + 1;
+      sids = Hashtbl.create 8;
       policy = Per_statement;
       pending_sync = false;
       fsync_barriers = 0;
@@ -102,6 +108,8 @@ let start (kernel : Minios.Kernel.t) (server : Server.t) ~pid : t =
       pending_first = 0.0;
       pending_round = 0 }
   in
+  (* let crash campaigns kill the process mid-rollback *)
+  Database.on_undo_step := (fun () -> Ldv_faults.crash_point ~site:"tx.undo");
   Ldv_obs.register_quantum_gauge "wal.fsync_barriers" (fun () ->
       float_of_int t.fsync_barriers);
   t
@@ -136,21 +144,38 @@ let flush (t : t) : unit =
     t.pending_count <- 0
   end
 
-(** Execute one SQL statement durably: log, sync if the policy demands
-    it, then run it. Returns the server's response. *)
-let exec (t : t) (sql : string) : Protocol.response =
+(* Point the database's ambient session at [sid]'s open transaction (none
+   = autocommit). Defensive about a transaction that vanished underneath
+   the map (e.g. rolled back behind our back): falls back to autocommit. *)
+let switch_session (t : t) (db : Database.t) ~sid =
+  let tx = Option.value ~default:0 (Hashtbl.find_opt t.sids sid) in
+  try Database.set_current_tx db tx
+  with Minidb.Errors.Db_error _ ->
+    Hashtbl.remove t.sids sid;
+    Database.set_current_tx db 0
+
+(* After a statement, remember where [sid]'s session ended up (BEGIN
+   opened a transaction, COMMIT/ROLLBACK closed one, errors left it). *)
+let note_session (t : t) (db : Database.t) ~sid =
+  match Database.current_tx db with
+  | 0 -> Hashtbl.remove t.sids sid
+  | id -> Hashtbl.replace t.sids sid id
+
+(** Execute one SQL statement durably for session [sid]: log, sync if the
+    policy demands it, then run it. Returns the server's response. *)
+let exec ?(sid = 0) (t : t) (sql : string) : Protocol.response =
   let kind = kind_of_sql sql in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let path = wal_path t.server in
-  Wal.append t.kernel ~pid:t.pid ~path { Wal.seq; kind; sql };
+  Wal.append t.kernel ~pid:t.pid ~path { Wal.seq; kind; sid; sql };
   Ldv_faults.crash_point ~site:"wal.append";
   let db = Server.db t.server in
   let sync_needed =
     match kind with
     | Wal.Commit | Wal.Rollback -> true
     | Wal.Begin -> false
-    | Wal.Stmt -> not (Database.in_transaction db)
+    | Wal.Stmt -> not (Hashtbl.mem t.sids sid)
   in
   if sync_needed then begin
     match t.policy with
@@ -166,7 +191,9 @@ let exec (t : t) (sql : string) : Protocol.response =
         t.pending_count <- t.pending_count + 1
       end
   end;
+  switch_session t db ~sid;
   let resp = Server.handle t.server (Protocol.Statement { sql }) in
+  note_session t db ~sid;
   Ldv_faults.crash_point ~site:"stmt.post_exec";
   resp
 
@@ -187,7 +214,7 @@ let enable_group_commit (t : t) : unit =
 let checkpoint (t : t) : unit =
   Ldv_obs.with_span "server.checkpoint" @@ fun () ->
   let db = Server.db t.server in
-  if Database.in_transaction db then
+  if Database.open_tx_count db > 0 then
     invalid_arg "Durable.checkpoint: open transaction";
   (* the image must not get ahead of the log's durable prefix *)
   flush t;
@@ -208,7 +235,10 @@ let checkpoint (t : t) : unit =
 type recovery = {
   checkpoint_seq : int;  (** WAL records at or below this were skipped *)
   redone : int;  (** durable records re-executed *)
-  dropped : int;  (** trailing open-transaction records discarded *)
+  dropped : int;  (** open-transaction records discarded *)
+  dropped_records : Wal.record list;
+      (** the discarded records themselves (original order): campaigns map
+          them back to the transactions that were rolled back *)
   torn_bytes : int;  (** trailing log bytes discarded as torn/corrupt *)
   redo_upto : int;  (** highest sequence number folded into the DB *)
 }
@@ -246,11 +276,28 @@ let recover ?(apply = true) (kernel : Minios.Kernel.t) ~data_dir () :
     List.filter (fun (r : Wal.record) -> r.Wal.seq > ck_seq) loaded.Wal.records
   in
   let replay, dropped, redo_upto = Wal.durable_cut ~fallback:ck_seq suffix in
-  if apply then
+  if apply then begin
+    (* records replay literally, but under the session (and so the open
+       transaction) that logged them: a durably committed transaction
+       re-executes BEGIN..COMMIT with foreign statements interleaved
+       exactly as at run time, reproducing the original version stamps *)
+    let sids = Hashtbl.create 8 in
     List.iter
       (fun (r : Wal.record) ->
-        ignore (Server.handle server (Protocol.Statement { sql = r.Wal.sql })))
+        let tx =
+          Option.value ~default:0 (Hashtbl.find_opt sids r.Wal.sid)
+        in
+        (try Database.set_current_tx db tx
+         with Minidb.Errors.Db_error _ -> Database.set_current_tx db 0);
+        ignore (Server.handle server (Protocol.Statement { sql = r.Wal.sql }));
+        match Database.current_tx db with
+        | 0 -> Hashtbl.remove sids r.Wal.sid
+        | id -> Hashtbl.replace sids r.Wal.sid id)
       replay;
+    (* every replayed transaction is durably terminated, so nothing can be
+       left open here; reset the ambient session all the same *)
+    Database.set_current_tx db 0
+  end;
   if Ldv_obs.enabled () then begin
     Ldv_obs.counter ~by:(List.length replay) "server.recover.redone";
     Ldv_obs.counter ~by:(List.length dropped) "server.recover.dropped";
@@ -261,6 +308,7 @@ let recover ?(apply = true) (kernel : Minios.Kernel.t) ~data_dir () :
       kernel;
       pid;
       next_seq = redo_upto + 1;
+      sids = Hashtbl.create 8;
       policy = Per_statement;
       pending_sync = false;
       fsync_barriers = 0;
@@ -268,6 +316,7 @@ let recover ?(apply = true) (kernel : Minios.Kernel.t) ~data_dir () :
       pending_first = 0.0;
       pending_round = 0 }
   in
+  Database.on_undo_step := (fun () -> Ldv_faults.crash_point ~site:"tx.undo");
   Ldv_obs.register_quantum_gauge "wal.fsync_barriers" (fun () ->
       float_of_int t.fsync_barriers);
   if apply then checkpoint t;
@@ -275,5 +324,6 @@ let recover ?(apply = true) (kernel : Minios.Kernel.t) ~data_dir () :
     { checkpoint_seq = ck_seq;
       redone = List.length replay;
       dropped = List.length dropped;
+      dropped_records = dropped;
       torn_bytes = loaded.Wal.torn_bytes;
       redo_upto } )

@@ -106,6 +106,16 @@ type t = {
       (** shared across siblings: when a replication cluster is attached,
           snapshot-pinned reads are routed to read replicas and every
           executed write is shipped to them *)
+  mutable tx : int;
+      (** this session's open transaction id, 0 = autocommit; the
+          interceptor re-binds the shared database's ambient session to it
+          before every statement *)
+  mutable tx_snapshot : int;
+      (** the open transaction's begin-snapshot clock (queries pin to it,
+          not to the per-statement snapshot) *)
+  mutable tx_ship : (int * string) list;
+      (** writes executed inside the open transaction, newest first, held
+          back from the ship channel until COMMIT makes them durable *)
   mutable log : stmt_event list;  (** newest first *)
   mutable recorded : Recorder.recorded list;  (** audit-excluded, newest first *)
   mutable replay_queue : Recorder.recorded list;  (** replay-excluded, in order *)
@@ -146,6 +156,9 @@ let create ?(mode = Passthrough) ?(session_id = 0) ?(snapshot_reads = false)
     latch = { holder = -1 };
     inflight;
     cluster = ref None;
+    tx = 0;
+    tx_snapshot = 0;
+    tx_ship = [];
     log = [];
     recorded = [];
     replay_queue = [];
@@ -164,7 +177,14 @@ let create_replay ~kernel (server : Server.t)
     global statement order) but keeps its own statement log, so each
     session's stream stays attributable. *)
 let create_sibling (t : t) ~session_id : t =
-  { t with session_id; log = []; recorded = []; replay_queue = [] }
+  { t with
+    session_id;
+    tx = 0;
+    tx_snapshot = 0;
+    tx_ship = [];
+    log = [];
+    recorded = [];
+    replay_queue = [] }
 
 (** Attach a replication cluster to this session (and, through the shared
     ref, to every sibling): reads route to replicas, writes ship. *)
@@ -176,6 +196,7 @@ let kernel_of t = t.kernel
 let recorded t = List.rev t.recorded
 let mode t = t.mode
 let session_id t = t.session_id
+let in_tx t = t.tx <> 0
 let versioning t = t.versioning
 
 (** Tuple versions accumulated for packaging (before removing
@@ -407,7 +428,11 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
   Database.sync_clock db ~at:(Minios.Kernel.now t.kernel);
   let exec_ast, exec_sql =
     if t.snapshot_reads && kind = Squery then
-      let pinned = pin_statement snapshot ast in
+      (* inside a transaction the pin is the *begin* snapshot, not the
+         per-statement one: every read of the transaction sees one
+         consistent state (plus its own writes) *)
+      let pin_at = if t.tx <> 0 then t.tx_snapshot else snapshot in
+      let pinned = pin_statement pin_at ast in
       (pinned, Pretty.statement_to_string pinned)
     else (ast, sql)
   in
@@ -446,7 +471,9 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
      serve its snapshot exactly; [None] falls back to the leader *)
   let routed =
     match !(t.cluster) with
-    | Some cl when kind = Squery && t.snapshot_reads ->
+    | Some cl when kind = Squery && t.snapshot_reads && t.tx = 0 ->
+      (* transactional reads stay on the leader: a replica cannot see the
+         transaction's own uncommitted writes *)
       Replication.route_read cl ~snapshot
     | Some _ | None -> None
   in
@@ -455,7 +482,40 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
       ~finally:(fun () -> t.latch.holder <- -1)
     @@ fun () ->
     let at_dispatch = Database.clock db in
+    (* bind the shared database's ambient session to this session's
+       transaction — the previous statement (from any sibling) may have
+       left a different one current *)
+    if t.mode <> Replay_excluded then begin
+      try Database.set_current_tx db t.tx
+      with Errors.Db_error (Errors.Tx_state _) ->
+        (* the transaction no longer exists (e.g. torn down by a campaign
+           between statements): demote the session to autocommit *)
+        t.tx <- 0;
+        t.tx_snapshot <- 0;
+        t.tx_ship <- [];
+        Database.set_current_tx db 0
+    end;
+    let tx_before = t.tx in
+    (* first-updater-wins: the losing transaction aborts immediately; its
+       writes are rolled back before the typed conflict surfaces, so the
+       client can retry the whole transaction from a clean slate *)
+    let abort_tx ~detail =
+      if t.tx <> 0 then begin
+        if Database.current_tx db <> 0 then Database.rollback_tx db;
+        t.tx <- 0;
+        t.tx_snapshot <- 0;
+        t.tx_ship <- [];
+        Ldv_obs.counter "tx.abort"
+      end;
+      Ldv_errors.fail (Ldv_errors.Tx_conflict { op = "db.stmt"; detail })
+    in
+    if
+      t.tx <> 0
+      && (match kind with Sinsert | Supdate | Sdelete -> true | _ -> false)
+      && Ldv_faults.abort_fault ()
+    then abort_tx ~detail:"injected write-write conflict";
     let response, results, reads, schema, rows, affected, at_write, replica =
+      try
       match t.mode with
       | Passthrough -> (
         match routed with
@@ -507,15 +567,38 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
       | Replay_excluded ->
         let resp = exec_replay_excluded t ~kind sql_norm in
         (resp, [], [], None, Protocol.response_rows resp, 0, -1, -1)
+      with Errors.Db_error (Errors.Serialization_failure detail) ->
+        abort_tx ~detail
     in
+    (* pick up the BEGIN/COMMIT/ROLLBACK transition this statement made *)
+    if t.mode <> Replay_excluded then begin
+      t.tx <- Database.current_tx db;
+      t.tx_snapshot <-
+        (if t.tx = 0 then 0
+         else Option.value ~default:0 (Database.current_snapshot db))
+    end;
     (* ship every successfully executed write to the replicas before the
-       latch releases, so the ship order is the execution order *)
+       latch releases, so the ship order is the execution order;
+       transactional writes are held back until their COMMIT executes —
+       a replica must never apply writes the leader may yet roll back *)
     (match !(t.cluster) with
     | Some cl
       when kind <> Squery && at_write >= 0 && t.mode <> Replay_excluded -> (
       match response with
       | Protocol.Error_response _ -> ()
-      | _ -> Replication.note_write cl ~at:at_write sql_norm)
+      | _ -> (
+        match ast with
+        | Sql_ast.Begin_tx -> ()
+        | Sql_ast.Commit_tx ->
+          List.iter
+            (fun (at, sql) -> Replication.note_write cl ~at sql)
+            (List.rev t.tx_ship);
+          t.tx_ship <- []
+        | Sql_ast.Rollback_tx -> t.tx_ship <- []
+        | _ ->
+          if tx_before <> 0 then
+            t.tx_ship <- (at_write, sql_norm) :: t.tx_ship
+          else Replication.note_write cl ~at:at_write sql_norm))
     | Some _ | None -> ());
     (response, results, reads, schema, rows, affected, replica)
   in

@@ -81,6 +81,9 @@ val kernel_of : t -> Minios.Kernel.t
 val recorded : t -> Recorder.recorded list
 val mode : t -> mode
 val session_id : t -> int
+
+(** Whether this session currently has an open transaction. *)
+val in_tx : t -> bool
 val versioning : t -> Perm.Versioning.t
 
 (** Tuple versions accumulated for packaging (before removing

@@ -439,7 +439,7 @@ let repair_lagging t =
 let note_write t ~at (sql : string) : unit =
   let seq = t.ship_seq + 1 in
   t.ship_seq <- seq;
-  let rec_ = { Wal.seq; kind = Durable.kind_of_sql sql; sql } in
+  let rec_ = { Wal.seq; kind = Durable.kind_of_sql sql; sid = 0; sql } in
   let pid = t.leader.Durable.pid in
   Wal.append t.kernel ~pid ~path:t.ship_log rec_;
   Minios.Kernel.fsync_path t.kernel ~pid ~path:t.ship_log;

@@ -225,7 +225,17 @@ let handle (t : t) (req : Protocol.request) : Protocol.response =
         { schema = r.Executor.schema; rows = Executor.result_values r }
     | Database.Affected info -> Protocol.Command_ok { affected = info.count }
     | Database.Ddl_done -> Protocol.Ddl_ok
+    | exception Errors.Db_error (Errors.Serialization_failure _ as kind) ->
+      (* first-updater-wins conflicts are control flow for the client
+         library's abort/rollback/retry path, not an error string the
+         application may swallow *)
+      raise (Errors.Db_error kind)
     | exception Errors.Db_error kind ->
+      (* tx misuse is a programming error worth flagging out-of-band, not
+         just an error string the client may swallow *)
+      (match kind with
+      | Errors.Tx_state m -> Ldv_errors.warn (Ldv_errors.Tx_state { message = m })
+      | _ -> ());
       Protocol.Error_response (Errors.to_string kind))
 
 (** Restore a table's state from a native data file (PTU replay: the

@@ -3,24 +3,26 @@
     One record per DML/DDL statement, appended through the kernel's
     buffered write path *before* the statement executes, framed as
 
-    {v @<seq> <kind> <len> <crc32-hex>\n<payload>\n v}
+    {v @<seq> <kind> <sid> <len> <crc32-hex>\n<payload>\n v}
 
     where [kind] is one of [B]/[C]/[R]/[S] (BEGIN / COMMIT / ROLLBACK /
-    ordinary statement) and the payload is the newline-escaped SQL text.
-    The CRC32 covers the payload, so a torn tail — a record whose bytes
-    only partially reached the platter before a crash — is detected and
-    discarded at recovery rather than misparsed.
+    ordinary statement), [sid] identifies the session that issued the
+    statement (0 for a single-session log), and the payload is the
+    newline-escaped SQL text. The CRC32 covers the payload, so a torn
+    tail — a record whose bytes only partially reached the platter before
+    a crash — is detected and discarded at recovery rather than misparsed.
 
-    Recovery policy lives in {!durable_cut}: only records outside a
-    trailing *open* transaction are replayed. A transaction whose COMMIT
-    record is durable replays in full; one whose COMMIT never reached the
-    platter is dropped atomically; a durable ROLLBACK replays literally
-    (executing the ROLLBACK undoes its own writes) so the recovered
-    database's logical clock stays aligned with an uncrashed run. *)
+    Recovery policy lives in {!durable_cut}: records inside an *open*
+    (never durably terminated) transaction are dropped, per session. A
+    transaction whose COMMIT record is durable replays in full; one whose
+    COMMIT never reached the platter is dropped atomically; a durable
+    ROLLBACK replays literally (executing the ROLLBACK undoes its own
+    writes) so the recovered database's logical clock stays aligned with
+    an uncrashed run. *)
 
 type kind = Begin | Commit | Rollback | Stmt
 
-type record = { seq : int; kind : kind; sql : string }
+type record = { seq : int; kind : kind; sid : int; sql : string }
 
 let kind_char = function
   | Begin -> 'B'
@@ -65,7 +67,7 @@ let unescape (s : string) : string =
 
 let encode (r : record) : string =
   let payload = escape r.sql in
-  Printf.sprintf "@%d %c %d %08lx\n%s\n" r.seq (kind_char r.kind)
+  Printf.sprintf "@%d %c %d %d %08lx\n%s\n" r.seq (kind_char r.kind) r.sid
     (String.length payload)
     (Ldv_faults.Crc32.digest payload)
     payload
@@ -97,20 +99,21 @@ let parse_frame (data : string) (pos : int) : (record * int) option =
     | Some nl -> (
       let header = String.sub data (pos + 1) (nl - pos - 1) in
       match String.split_on_char ' ' header with
-      | [ seq_s; kind_s; len_s; crc_s ] -> (
+      | [ seq_s; kind_s; sid_s; len_s; crc_s ] -> (
         match
           ( int_of_string_opt seq_s,
             (if String.length kind_s = 1 then kind_of_char kind_s.[0]
              else None),
+            int_of_string_opt sid_s,
             int_of_string_opt len_s,
             (try Some (Int32.of_string ("0x" ^ crc_s)) with Failure _ -> None)
           )
         with
-        | Some seq, Some kind, Some len, Some crc
+        | Some seq, Some kind, Some sid, Some len, Some crc
           when len >= 0 && nl + 1 + len < n && data.[nl + 1 + len] = '\n' ->
           let payload = String.sub data (nl + 1) len in
           if Ldv_faults.Crc32.digest payload = crc then
-            Some ({ seq; kind; sql = unescape payload }, nl + 1 + len + 1)
+            Some ({ seq; kind; sid; sql = unescape payload }, nl + 1 + len + 1)
           else None
         | _ -> None)
       | _ -> None)
@@ -153,28 +156,41 @@ let load (vfs : Minios.Vfs.t) (path : string) : loaded =
   end;
   { records = List.rev !records; torn_bytes }
 
-(** Split durable records into the replayable prefix and a dropped
-    trailing open transaction (if any). Returns
-    [(replay, dropped, redo_upto)]: [replay] ends at the last record that
-    leaves no transaction open, [dropped] is the un-terminated suffix,
-    and [redo_upto] is the sequence number of the last replayable record
-    (or [fallback] when none is). *)
+(** Split durable records into the replayable part and the dropped open
+    transactions. Open-transaction accounting is per session ([sid]):
+    interleaved frames from concurrent sessions must not corrupt each
+    other's depth, so a session that crashed mid-transaction loses exactly
+    its own records from its unterminated BEGIN onward, while every other
+    session's records — including those logged after that BEGIN — replay.
+    Returns [(replay, dropped, redo_upto)], both lists in original log
+    order; [redo_upto] is the highest replayable sequence number (or
+    [fallback] when none is).
+
+    Per-session state is a boolean open-flag, not a depth counter:
+    WAL-before-execute also logs frames for statements that then fail (a
+    second BEGIN inside a transaction, a stray COMMIT outside one), and
+    literal re-execution makes those no-ops — the accounting here must
+    agree with what replaying the log actually does. *)
 let durable_cut ?(fallback = 0) (records : record list) :
     record list * record list * int =
-  let arr = Array.of_list records in
-  let cut = ref 0 in
-  let depth = ref 0 in
-  Array.iteri
+  (* pass 1: per session, the index of the BEGIN left open at log end *)
+  let open_at : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
     (fun i r ->
-      (match r.kind with
-      | Begin -> incr depth
-      | Commit | Rollback -> depth := max 0 (!depth - 1)
-      | Stmt -> ());
-      if !depth = 0 then cut := i + 1)
-    arr;
-  let replay = Array.to_list (Array.sub arr 0 !cut) in
-  let dropped = Array.to_list (Array.sub arr !cut (Array.length arr - !cut)) in
-  let redo_upto =
-    match List.rev replay with r :: _ -> r.seq | [] -> fallback
-  in
+      match r.kind with
+      | Begin ->
+        if not (Hashtbl.mem open_at r.sid) then Hashtbl.replace open_at r.sid i
+      | Commit | Rollback -> Hashtbl.remove open_at r.sid
+      | Stmt -> ())
+    records;
+  (* pass 2: drop each crashed session's records from its open BEGIN on *)
+  let replay = ref [] and dropped = ref [] in
+  List.iteri
+    (fun i r ->
+      match Hashtbl.find_opt open_at r.sid with
+      | Some j when i >= j -> dropped := r :: !dropped
+      | _ -> replay := r :: !replay)
+    records;
+  let replay = List.rev !replay and dropped = List.rev !dropped in
+  let redo_upto = List.fold_left (fun acc r -> max acc r.seq) fallback replay in
   (replay, dropped, redo_upto)

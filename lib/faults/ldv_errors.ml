@@ -48,6 +48,12 @@ type t =
   | Wal_torn of { path : string; bytes : int }
       (** a WAL load discarded [bytes] trailing bytes as a torn or corrupt
           tail; expected after a crash, alarming otherwise *)
+  | Tx_conflict of { op : string; detail : string }
+      (** a write-write conflict aborted the transaction (first-updater
+          wins); transient — the whole transaction can be retried *)
+  | Tx_state of { message : string }
+      (** BEGIN/COMMIT/ROLLBACK in the wrong session state; a programming
+          error surfaced as a typed warning, like {!Wal_torn} *)
 
 exception Error of t
 
@@ -63,10 +69,10 @@ let warn e = !on_warning e
 (** Transient failures are worth retrying: the operation never took
     effect, so resending it is safe. *)
 let is_transient = function
-  | Connection_lost _ | Protocol_garbled _ -> true
+  | Connection_lost _ | Protocol_garbled _ | Tx_conflict _ -> true
   | Io_fault { fault = Eintr; _ } -> true
   | Io_fault _ | Connection_closed _ | Decode_error _ | Package_malformed _
-  | Package_corrupt _ | Retries_exhausted _ | Wal_torn _ ->
+  | Package_corrupt _ | Retries_exhausted _ | Wal_torn _ | Tx_state _ ->
     false
 
 (** A short stable tag for counters and campaign reports. *)
@@ -80,6 +86,8 @@ let tag = function
   | Package_corrupt _ -> "pkg.corrupt"
   | Retries_exhausted _ -> "retries"
   | Wal_torn _ -> "wal.torn"
+  | Tx_conflict _ -> "tx.conflict"
+  | Tx_state _ -> "tx.state"
 
 let rec pp ppf = function
   | Io_fault { op; path; fault } ->
@@ -104,6 +112,10 @@ let rec pp ppf = function
   | Wal_torn { path; bytes } ->
     Format.fprintf ppf "torn WAL tail: %d trailing byte(s) of %s discarded"
       bytes path
+  | Tx_conflict { op; detail } ->
+    Format.fprintf ppf "transaction aborted (%s): %s" op detail
+  | Tx_state { message } ->
+    Format.fprintf ppf "transaction state error: %s" message
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -100,12 +100,13 @@ type counts = {
   mutable n_ship_drop : int;
   mutable n_ship_garble : int;
   mutable n_ship_reorder : int;
+  mutable n_abort : int;
 }
 
 let zero_counts () =
   { n_eio = 0; n_enospc = 0; n_eintr = 0; n_drop = 0; n_garble = 0;
     n_flip = 0; n_truncate = 0; n_crash = 0; n_ship_drop = 0;
-    n_ship_garble = 0; n_ship_reorder = 0 }
+    n_ship_garble = 0; n_ship_reorder = 0; n_abort = 0 }
 
 type plan = {
   seed : int;
@@ -113,6 +114,9 @@ type plan = {
   p_conn : float;  (** per-request connection fault probability *)
   p_corrupt : float;  (** per-package corruption probability *)
   p_ship : float;  (** per-record WAL-ship channel fault probability *)
+  p_abort : float;
+      (** per-statement injected transaction-abort probability (in-tx DML
+          only) *)
   crash_site : string option;
       (** named crash point to detonate (see {!crash_point}) *)
   mutable crash_after : int;
@@ -122,11 +126,12 @@ type plan = {
   conn_prng : Prng.t;
   pkg_prng : Prng.t;
   ship_prng : Prng.t;
+  abort_prng : Prng.t;
   counts : counts;
 }
 
 let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0)
-    ?(p_ship = 0.0) ?crash ~seed () : plan =
+    ?(p_ship = 0.0) ?(p_abort = 0.0) ?crash ~seed () : plan =
   let root = Prng.create ~seed in
   (* independent streams per injection site: decisions at one site never
      shift another site's sequence *)
@@ -134,6 +139,8 @@ let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0)
   let conn_prng = Prng.split root in
   let pkg_prng = Prng.split root in
   let ship_prng = Prng.split root in
+  (* split last so pre-existing campaigns keep their exact streams *)
+  let abort_prng = Prng.split root in
   let crash_site, crash_after =
     match crash with
     | Some (site, n) when n >= 1 -> (Some site, n)
@@ -143,8 +150,9 @@ let make ?(p_syscall = 0.0) ?(p_conn = 0.0) ?(p_corrupt = 0.0)
            site)
     | None -> (None, 0)
   in
-  { seed; p_syscall; p_conn; p_corrupt; p_ship; crash_site; crash_after;
-    sys_prng; conn_prng; pkg_prng; ship_prng; counts = zero_counts () }
+  { seed; p_syscall; p_conn; p_corrupt; p_ship; p_abort; crash_site;
+    crash_after; sys_prng; conn_prng; pkg_prng; ship_prng; abort_prng;
+    counts = zero_counts () }
 
 let seed (p : plan) = p.seed
 
@@ -157,7 +165,8 @@ let injected (p : plan) : (string * int) list =
     ("truncate", p.counts.n_truncate); ("crash", p.counts.n_crash);
     ("ship.drop", p.counts.n_ship_drop);
     ("ship.garble", p.counts.n_ship_garble);
-    ("ship.reorder", p.counts.n_ship_reorder) ]
+    ("ship.reorder", p.counts.n_ship_reorder);
+    ("abort", p.counts.n_abort) ]
 
 let current : plan option ref = ref None
 
@@ -274,6 +283,22 @@ let ship_fault () : [ `Drop | `Garble | `Reorder ] option =
       Some fault
     end
     else None
+
+(** Should this in-transaction statement be aborted by an injected
+    write-write conflict? Consulted by the interceptor for DML executed
+    inside an open transaction; a [true] answer surfaces as a synthetic
+    {!Ldv_errors.Tx_conflict}, exercising the abort/rollback/retry path
+    without needing two sessions to actually collide. *)
+let abort_fault () : bool =
+  match !current with
+  | None -> false
+  | Some p ->
+    if p.p_abort > 0.0 && Prng.float p.abort_prng < p.p_abort then begin
+      p.counts.n_abort <- p.counts.n_abort + 1;
+      Ldv_obs.counter "faults.inject.abort";
+      true
+    end
+    else false
 
 (** Maybe corrupt serialized package bytes: a single bit flip at a random
     offset, or truncation at a random cut point. Returns the corrupted

@@ -110,6 +110,81 @@ let fingerprints (stmts : I.stmt_event list) : (int * string) list =
       else None)
     stmts
 
+(** Outcome of one interactive transaction, as observable from the
+    recorded statement stream. *)
+type tx_outcome =
+  | Tx_committed  (** closed by an explicit COMMIT *)
+  | Tx_rolled_back  (** closed by an explicit ROLLBACK *)
+  | Tx_aborted
+      (** terminated without a closing statement: a write-write conflict
+          (or injected abort) killed it mid-flight, or the run ended with
+          the transaction still open *)
+  | Tx_retried
+      (** aborted, and the same session opened another transaction
+          afterwards — the bounded-retry loop re-ran the block *)
+
+let tx_outcome_name = function
+  | Tx_committed -> "committed"
+  | Tx_rolled_back -> "rolled-back"
+  | Tx_aborted -> "aborted"
+  | Tx_retried -> "retried"
+
+let tx_outcome_of_name = function
+  | "committed" -> Some Tx_committed
+  | "rolled-back" -> Some Tx_rolled_back
+  | "aborted" -> Some Tx_aborted
+  | "retried" -> Some Tx_retried
+  | _ -> None
+
+(** Derive per-transaction outcomes from a statement stream: for each
+    session, BEGIN opens transaction [n] (a BEGIN while one is already
+    open means the previous one was conflict-aborted without a closing
+    statement), COMMIT/ROLLBACK close it, and a transaction still open
+    at the end of the stream was aborted by the run ending. Returns
+    [(sid, per-session ordinal from 1, outcome)] in (sid, ordinal)
+    order. The derivation is a pure function of the normalized SQL
+    stream, so replaying the recorded schedule must reproduce it
+    exactly — [Replay.verify] compares both sides. *)
+let tx_outcomes (stmts : I.stmt_event list) : (int * int * tx_outcome) list
+    =
+  let sids =
+    List.sort_uniq compare (List.map (fun (s : I.stmt_event) -> s.I.sid) stmts)
+  in
+  List.concat_map
+    (fun sid ->
+      let closed = ref [] in
+      let ordinal = ref 0 in
+      let open_tx = ref false in
+      let close outcome =
+        if !open_tx then begin
+          closed := (sid, !ordinal, outcome) :: !closed;
+          open_tx := false
+        end
+      in
+      List.iter
+        (fun (s : I.stmt_event) ->
+          if s.I.sid = sid then
+            match s.I.sql_norm with
+            | "BEGIN" ->
+              close Tx_aborted;
+              incr ordinal;
+              open_tx := true
+            | "COMMIT" -> close Tx_committed
+            | "ROLLBACK" -> close Tx_rolled_back
+            | _ -> ())
+        stmts;
+      close Tx_aborted;
+      (* an aborted transaction followed by another on the same session
+         is a retried one (Client.transaction re-runs the whole block) *)
+      let rec mark = function
+        | [] -> []
+        | (s, n, Tx_aborted) :: (_ :: _ as rest) ->
+          (s, n, Tx_retried) :: mark rest
+        | e :: rest -> e :: mark rest
+      in
+      mark (List.rev !closed))
+    sids
+
 (** Build the combined execution trace from the tracer's syscall stream and
     the interceptor's statement log. *)
 let build_trace (tracer : Minios.Tracer.t) (stmts : I.stmt_event list) :

@@ -61,6 +61,27 @@ val stmts : t -> I.stmt_event list
 (** Query fingerprints (qid -> row digest) of a statement stream. *)
 val fingerprints : I.stmt_event list -> (int * string) list
 
+(** Outcome of one interactive transaction, as observable from the
+    recorded statement stream. *)
+type tx_outcome =
+  | Tx_committed  (** closed by an explicit COMMIT *)
+  | Tx_rolled_back  (** closed by an explicit ROLLBACK *)
+  | Tx_aborted  (** terminated without a closing statement *)
+  | Tx_retried
+      (** aborted, and the same session opened another transaction
+          afterwards (the bounded-retry loop re-ran the block) *)
+
+val tx_outcome_name : tx_outcome -> string
+val tx_outcome_of_name : string -> tx_outcome option
+
+(** Derive per-transaction outcomes from a statement stream: BEGIN opens
+    (a BEGIN while one is open means the previous one conflict-aborted),
+    COMMIT/ROLLBACK close, trailing-open means aborted. Returns
+    [(sid, per-session ordinal from 1, outcome)] in (sid, ordinal)
+    order; a pure function of the normalized SQL stream, compared
+    audit-vs-replay by [Replay.verify]. *)
+val tx_outcomes : I.stmt_event list -> (int * int * tx_outcome) list
+
 (** Assemble a combined trace from a syscall stream and a statement log
     (used by {!run} and by replay-validation tooling). *)
 val build_trace : Minios.Tracer.t -> I.stmt_event list -> Prov.Trace.t

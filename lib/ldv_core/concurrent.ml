@@ -71,6 +71,74 @@ let client_program ~statements i : Minios.Program.program =
     (Printf.sprintf "/out/client-%d.txt" i)
     (Buffer.contents buf)
 
+let tx_client_name ~rounds i = Printf.sprintf "cc-txclient-%d-r%d" i rounds
+let tx_client_binary i = Printf.sprintf "/app/bin/cc-txclient-%d" i
+
+(** Client [i] of the transactional workload: [rounds] interactive
+    transactions. Most rounds run a {!Dbclient.Client.transaction} block
+    that updates one of the four shared seed rows — every session hits
+    the same row in the same round, so overlapping transactions hit
+    genuine first-updater-wins conflicts, abort, and retry under the
+    bounded-retry loop. Every fourth round instead opens a transaction on
+    the client's private rows and ROLLBACKs it explicitly, so rolled-back
+    outcomes appear in the recorded stream too. The per-round summary
+    lands in [/out/tx-client-<i>.txt]; since aborts and retries shift
+    affected counts, the file (and the recorded commit/abort decisions)
+    only reproduce if replay re-creates the exact interleaving. *)
+let tx_client_program ~rounds i : Minios.Program.program =
+ fun env ->
+  let conn = Dbclient.Client.connect env ~db:db_name in
+  let buf = Buffer.create 64 in
+  for j = 1 to rounds do
+    if j mod 4 = 0 then
+      (* explicit ROLLBACK round, on the client's private rows only; a
+         conflict abort (injected, or a retried neighbour landing on a
+         private row) discards the attempt just like the ROLLBACK would,
+         so it is recorded and carried on from *)
+      try
+        ignore (Dbclient.Client.exec conn "BEGIN");
+        let n =
+          Dbclient.Client.exec conn
+            (Printf.sprintf
+               "UPDATE notes SET body = 'discarded rev %d' WHERE author = \
+                'txwriter%d'"
+               j i)
+        in
+        ignore (Dbclient.Client.exec conn "ROLLBACK");
+        Buffer.add_string buf (Printf.sprintf "rollback %d (%d)\n" j n)
+      with Ldv_errors.Error (Ldv_errors.Tx_conflict _) ->
+        Buffer.add_string buf (Printf.sprintf "rollback %d aborted\n" j)
+    else begin
+      let n =
+        Dbclient.Client.transaction ~attempts:12 conn
+          [ (* the contended row is phase-shifted by session: sessions whose
+               pace diverges (scheduler interleaving, earlier retries) land
+               on the same seed row and conflict, without every session
+               piling onto one row and starving the retry budget *)
+            Printf.sprintf
+              "UPDATE notes SET body = 'round %d by client %d' WHERE id = %d"
+              j i
+              (1 + ((i + j) mod 4));
+            (* private ids start at 1000 so client 0's rows never collide
+               with the shared seed rows (ids 1-4) *)
+            Printf.sprintf
+              "INSERT INTO notes VALUES (%d, 'txwriter%d', 'tx %d of client \
+               %d')"
+              (((i + 1) * 1000) + j)
+              i j i ]
+      in
+      Buffer.add_string buf (Printf.sprintf "tx %d ok %d\n" j n)
+    end
+  done;
+  (match Dbclient.Client.query conn "SELECT COUNT(*) FROM notes" with
+  | [ [| Value.Int n |] ] ->
+    Buffer.add_string buf (Printf.sprintf "count %d\n" n)
+  | _ -> Buffer.add_string buf "count ?\n");
+  Dbclient.Client.close conn;
+  Minios.Program.write_file env
+    (Printf.sprintf "/out/tx-client-%d.txt" i)
+    (Buffer.contents buf)
+
 (** The client list for [Audit.run_concurrent], with every program
     registered for replay. *)
 let clients ~sessions ~statements : Audit.client list =
@@ -80,6 +148,17 @@ let clients ~sessions ~statements : Audit.client list =
       Minios.Program.register ~name program;
       { Audit.cl_name = name;
         cl_binary = client_binary i;
+        cl_libs = client_libs;
+        cl_program = program })
+
+(** The transactional client list, same registration contract. *)
+let tx_clients ~sessions ~rounds : Audit.client list =
+  List.init sessions (fun i ->
+      let name = tx_client_name ~rounds i in
+      let program = tx_client_program ~rounds i in
+      Minios.Program.register ~name program;
+      { Audit.cl_name = name;
+        cl_binary = tx_client_binary i;
         cl_libs = client_libs;
         cl_program = program })
 
@@ -97,7 +176,14 @@ let register_schedule_clients (clients : (string * string) list) =
       with
       | Some (i, statements) ->
         Minios.Program.register ~name (client_program ~statements i)
-      | None -> ())
+      | None -> (
+        match
+          Scanf.sscanf_opt name "cc-txclient-%d-r%d%!" (fun i rounds ->
+              (i, rounds))
+        with
+        | Some (i, rounds) ->
+          Minios.Program.register ~name (tx_client_program ~rounds i)
+        | None -> ()))
     clients
 
 (** A complete concurrent audited run: fresh kernel and database, the
@@ -132,3 +218,23 @@ let audited ?(packaging = Audit.Included) ?(replicas = 0) ?(staleness = 4)
   done;
   Audit.run_concurrent ~packaging ~sched_seed:seed ?cluster kernel server
     (clients ~sessions ~statements)
+
+(** A complete concurrent audited run of the transactional workload:
+    [sessions] clients each running [rounds] interactive transactions
+    over the shared [notes] fixture, interleaved under [seed]. No
+    replication option here — interactive transactions and read replicas
+    are not combined (see DESIGN.md). *)
+let audited_tx ?(packaging = Audit.Included) ~sessions ~rounds ~seed () :
+    Audit.t =
+  let kernel = Minios.Kernel.create () in
+  let db = Database.create ~name:db_name () in
+  let server = Dbclient.Server.install kernel db in
+  install_fixture server;
+  let vfs = Minios.Kernel.vfs kernel in
+  Minios.Vfs.write_opaque vfs ~path:"/usr/lib/libc.so.6" 2_000_000;
+  Minios.Vfs.write_opaque vfs ~path:"/opt/minidb/lib/libpq.so.5" 300_000;
+  for i = 0 to sessions - 1 do
+    Minios.Vfs.write_opaque vfs ~path:(tx_client_binary i) 120_000
+  done;
+  Audit.run_concurrent ~packaging ~sched_seed:seed kernel server
+    (tx_clients ~sessions ~rounds)

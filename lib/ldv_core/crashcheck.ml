@@ -182,9 +182,9 @@ let gen_workload (prng : Prng.t) : item list =
   done;
   List.rev !items
 
-(** One concurrent session's statement stream: autocommit-only (the WAL's
-    commit tracking is per-server, so interleaved multi-statement
-    transactions from different sessions would interleave illegally), ids
+(** One concurrent session's statement stream: autocommit-only — crashing
+    inside interleaved multi-statement transactions is {!Txcheck}'s job,
+    which verifies recovery at transaction granularity — with ids
     namespaced per session so streams never fight over rows. *)
 let gen_session_stream (prng : Prng.t) ~session : item list =
   let items = ref [] in

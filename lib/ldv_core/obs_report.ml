@@ -152,6 +152,38 @@ let print_replication (snap : Obs.snapshot) =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Transaction rendering (the `ldv stats` tx.* section).               *)
+
+let is_tx name =
+  let prefixed p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  prefixed "tx." || prefixed "client.tx." || name = "faults.inject.abort"
+
+(** The transactions section of a snapshot: every [tx.*] and
+    [client.tx.*] counter (begins / commits / rollbacks / conflict
+    aborts / retries / attempts) plus injected aborts. Prints nothing
+    when the trace recorded no transaction activity. *)
+let print_transactions (snap : Obs.snapshot) =
+  let counters = List.filter (fun (n, _) -> is_tx n) snap.Obs.counters in
+  if counters <> [] then begin
+    Report.section "Transactions";
+    Report.print_table ~header:[ "counter"; "value" ]
+      (List.map
+         (fun (name, v) -> [ name; string_of_int v ])
+         (List.sort compare counters));
+    let counter name =
+      Option.value ~default:0 (List.assoc_opt name snap.Obs.counters)
+    in
+    let commits = counter "tx.commit" in
+    let aborts = counter "tx.abort" in
+    if commits + aborts > 0 then
+      Report.note "abort rate: %.1f%% (%d aborted of %d terminated)\n"
+        (100.0 *. float_of_int aborts /. float_of_int (commits + aborts))
+        aborts (commits + aborts)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Profile rendering (the `ldv profile` / `ldv obs diff` tables).      *)
 
 module P = Ldv_obs.Profile

@@ -140,11 +140,10 @@ let base_metadata (audit : Audit.t) =
          (fun i (name, binary) ->
            (Printf.sprintf "client:%d" i, name ^ "\t" ^ binary))
          s.Audit.sched_clients)
-  @
-  (* runs served by a replication cluster record its shape and, per
-     replica-served read, the node that answered — replay re-runs the
-     whole cluster and must route every read to the same node *)
-  match audit.Audit.repl with
+  @ (* runs served by a replication cluster record its shape and, per
+       replica-served read, the node that answered — replay re-runs the
+       whole cluster and must route every read to the same node *)
+  (match audit.Audit.repl with
   | None -> []
   | Some (replicas, staleness) ->
     ("replicas", string_of_int replicas)
@@ -156,7 +155,14 @@ let base_metadata (audit : Audit.t) =
                ( Printf.sprintf "route:%d" s.Dbclient.Interceptor.qid,
                  string_of_int s.Dbclient.Interceptor.replica )
            else None)
-         (Audit.stmts audit)
+         (Audit.stmts audit))
+  @
+  (* interactive transactions record their boundaries and outcomes so
+     replay can verify it reproduced every commit/abort decision *)
+  List.map
+    (fun (sid, n, o) ->
+      (Printf.sprintf "tx:%d:%d" sid n, Audit.tx_outcome_name o))
+    (Audit.tx_outcomes (Audit.stmts audit))
 
 (** The recorded multi-session schedule, when the package came from a
     concurrent audit: scheduler seed plus per-session (registry name,
@@ -239,6 +245,20 @@ let replication_of_metadata (metadata : (string * string) list) :
   | Some n, Some staleness when n > 0 -> Some (n, staleness)
   | _ -> None
 
+(** The recorded transaction outcomes: (sid, per-session ordinal,
+    outcome), sorted. Empty when the audited run opened no interactive
+    transactions. *)
+let tx_outcomes_of_metadata (metadata : (string * string) list) :
+    (int * int * Audit.tx_outcome) list =
+  List.filter_map
+    (fun (k, v) ->
+      match Scanf.sscanf_opt k "tx:%d:%d%!" (fun sid n -> (sid, n)) with
+      | Some (sid, n) ->
+        Option.map (fun o -> (sid, n, o)) (Audit.tx_outcome_of_name v)
+      | None -> None)
+    metadata
+  |> List.sort compare
+
 (** The recorded read routes: (qid, replica that answered), sorted by
     qid. Reads the leader answered are not recorded. *)
 let routes_of_metadata (metadata : (string * string) list) :
@@ -261,6 +281,9 @@ let replication (t : t) : (int * int) option =
 
 (** The package's recorded read routes (qid -> answering replica). *)
 let routes (t : t) : (int * int) list = routes_of_metadata t.metadata
+
+let tx_outcomes (t : t) : (int * int * Audit.tx_outcome) list =
+  tx_outcomes_of_metadata t.metadata
 
 (** Build the package appropriate for how the audit was run. PTU baselines
     are packaged by {!Ptu.build}. *)

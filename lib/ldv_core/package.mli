@@ -84,6 +84,16 @@ val replication : t -> (int * int) option
 (** [routes_of_metadata] applied to the package's own metadata. *)
 val routes : t -> (int * int) list
 
+(** The recorded transaction outcomes — (sid, per-session ordinal,
+    outcome), sorted — so replay can verify it reproduced every
+    commit/abort decision. Empty when the audited run opened no
+    interactive transactions. *)
+val tx_outcomes_of_metadata :
+  (string * string) list -> (int * int * Audit.tx_outcome) list
+
+(** [tx_outcomes_of_metadata] applied to the package's own metadata. *)
+val tx_outcomes : t -> (int * int * Audit.tx_outcome) list
+
 val build_included : Audit.t -> t
 val build_excluded : Audit.t -> t
 

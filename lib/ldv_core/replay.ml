@@ -262,4 +262,24 @@ let verify ~(audit : Audit.t) (r : run_result) : string list =
           push "query %d routed to replica %d at audit, %d/%d at replay"
             qid_a rep_a qid_r rep_r)
       audited_routes replayed_routes;
+  (* interactive transactions: the replay must reproduce every
+     commit/abort decision — same sessions, same per-session transaction
+     ordinals, same outcomes (committed / rolled back / conflict-aborted /
+     retried) *)
+  let audited_txs = Audit.tx_outcomes (Audit.stmts audit) in
+  let replayed_txs = Audit.tx_outcomes (Audit.merge_logs r.sessions) in
+  if List.length audited_txs <> List.length replayed_txs then
+    push "transaction count differs: %d audited vs %d replayed"
+      (List.length audited_txs)
+      (List.length replayed_txs)
+  else
+    List.iter2
+      (fun (sid_a, n_a, o_a) (sid_r, n_r, o_r) ->
+        if sid_a <> sid_r || n_a <> n_r || o_a <> o_r then
+          push "transaction %d.%d %s at audit, but %d.%d %s at replay" sid_a
+            n_a
+            (Audit.tx_outcome_name o_a)
+            sid_r n_r
+            (Audit.tx_outcome_name o_r))
+      audited_txs replayed_txs;
   List.rev !problems

@@ -1,0 +1,453 @@
+(** Seeded transaction-granular crash campaigns ([ldv txcheck]).
+
+    {!Crashcheck} verifies statement-level crash consistency; this
+    campaign verifies the *transactional* contract on top of it. Each
+    campaign interleaves multi-statement transactions from [sessions]
+    concurrent sessions over one durable server (per-session WAL frames,
+    see {!Dbclient.Wal.durable_cut}) and detonates a seeded crash at one
+    of the {!sites} — by construction often inside open transactions.
+    After the power failure the database recovers from checkpoint plus
+    durable WAL suffix; recovery drops exactly the transactions that have
+    no durable COMMIT/ROLLBACK frame, and the workload resumes past the
+    restored prefix, skipping the statements of those crashed
+    transactions (the application treats a crash-aborted transaction as
+    aborted, not as something to silently re-submit).
+
+    The verifier demands two things:
+
+    - {e state equivalence at transaction granularity}: the recovered and
+      resumed database must equal a control machine that executed the
+      full workload minus the crashed transactions — same tables, rows,
+      version stamps, row-id allocators, and logical clock. This is the
+      "no durable COMMIT, no effects" invariant: a transaction is either
+      entirely in the final state or entirely absent;
+    - {e provenance equivalence for every committed transaction}: for
+      each transaction the recovered database committed (replayed or
+      resumed), the control run must hold a transaction with the same
+      begin/commit clocks whose composed reenactment
+      ({!Gprom.Tx_reenact.compose}) — surviving versions, intermediate
+      versions, pre-state, dependency edges — is identical. Recovery must
+      not merely restore bytes; it must restore the story of how each
+      transaction produced them.
+
+    Sessions write disjoint row ranges, so campaigns are conflict-free by
+    construction: what is exercised here is crash atomicity, not the
+    first-updater-wins abort path (which {!Audit.run_concurrent}
+    workloads and the [txn] bench cover). Reports are deterministic per
+    seed: no wall-clock, no hash-order dependence. *)
+
+open Dbclient
+
+(** Crash sites, rotated by campaign index: the WAL append window, the
+    pre-fsync window (a COMMIT crashing here loses the whole transaction
+    atomically), the post-execute window, and the middle of a rollback's
+    undo walk. *)
+let sites = [| "wal.append"; "wal.pre_fsync"; "stmt.post_exec"; "tx.undo" |]
+
+type outcome =
+  | Verified of {
+      redone : int;
+      dropped : int;
+      aborted_txs : int;  (** transactions rolled back by the crash *)
+      committed_checked : int;
+          (** committed transactions whose reenactment provenance was
+              verified against the control *)
+    }
+  | No_crash  (** the armed site was never reached; still verified equal *)
+  | Diverged of { first : string }
+  | Failed of Ldv_errors.t
+  | Db_failed of string
+  | Uncaught of string
+
+type run = {
+  campaign : int;
+  site : string;
+  occurrence : int;
+  outcome : outcome;
+}
+
+type report = {
+  r_seed : int;
+  r_campaigns : int;
+  r_sessions : int;
+  r_runs : run list;
+  r_injected : (string * int) list;
+  r_uncaught : int;
+  r_divergent : int;
+}
+
+let outcome_label = function
+  | Verified _ -> "verified"
+  | No_crash -> "no-crash"
+  | Diverged _ -> "diverged"
+  | Failed _ -> "typed-failure"
+  | Db_failed _ -> "db-error"
+  | Uncaught _ -> "uncaught"
+
+let outcome_detail = function
+  | Verified { redone; dropped; aborted_txs; committed_checked } ->
+    Printf.sprintf "redo %d, dropped %d, aborted tx %d, reenacted %d" redone
+      dropped aborted_txs committed_checked
+  | No_crash -> "site never reached; states equal"
+  | Diverged { first } -> first
+  | Failed e -> Ldv_errors.to_string e
+  | Db_failed msg -> msg
+  | Uncaught msg -> "UNCAUGHT " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Seeded workload generation.                                         *)
+
+module Prng = Ldv_faults.Prng
+
+(** A workload item: one SQL statement from session [sid] (consuming
+    exactly one WAL sequence number — ordinals map 1:1 to sequence
+    numbers), tagged with the session's transaction ordinal ([txn = 0]
+    for autocommit), or a server checkpoint (consuming none, placed only
+    at barriers where every session's transaction is closed). *)
+type item = Stmt of { sql : string; sid : int; txn : int } | Ckpt
+
+(** One session's statement stream: a mix of autocommit DML and
+    multi-statement transactions (committed ~3/4, rolled back ~1/4), over
+    a row range disjoint from every other session's ([sid * 1000 + _]),
+    so interleaved streams never conflict. *)
+let gen_session_stream (prng : Prng.t) ~sid : item list =
+  let items = ref [] in
+  let next_id = ref 0 in
+  let next_txn = ref 0 in
+  let push ~txn sql = items := Stmt { sql; sid; txn } :: !items in
+  let fresh_id () =
+    incr next_id;
+    (sid * 1000) + !next_id
+  in
+  let existing_id () = (sid * 1000) + 1 + Prng.int prng (max 1 !next_id) in
+  let dml ~txn =
+    match Prng.int prng 5 with
+    | 0 | 1 ->
+      let id = fresh_id () in
+      push ~txn
+        (Printf.sprintf "INSERT INTO accounts VALUES (%d, 'owner%d', %d)" id id
+           (100 + Prng.int prng 900))
+    | 2 | 3 ->
+      push ~txn
+        (Printf.sprintf
+           "UPDATE accounts SET balance = balance + %d WHERE id = %d"
+           (1 + Prng.int prng 50) (existing_id ()))
+    | _ ->
+      push ~txn
+        (Printf.sprintf "UPDATE accounts SET owner = 'o%d' WHERE id = %d"
+           (Prng.int prng 100) (existing_id ()))
+  in
+  for _ = 1 to 5 + Prng.int prng 4 do
+    if Prng.int prng 3 = 0 then dml ~txn:0
+    else begin
+      (* a multi-statement transaction *)
+      incr next_txn;
+      let txn = !next_txn in
+      push ~txn "BEGIN";
+      for _ = 1 to 2 + Prng.int prng 3 do
+        dml ~txn
+      done;
+      push ~txn (if Prng.int prng 4 < 3 then "COMMIT" else "ROLLBACK")
+    end
+  done;
+  List.rev !items
+
+(** A campaign workload: shared DDL and per-session seed rows, then
+    [sessions] streams interleaved round-robin one statement at a time —
+    so transactions from different sessions genuinely interleave in the
+    WAL — with checkpoints only at rounds where every session's
+    transaction is closed. *)
+let gen_workload (prng : Prng.t) ~sessions : item list =
+  let items = ref [] in
+  let push i = items := i :: !items in
+  push (Stmt { sql = "CREATE TABLE accounts (id INT, owner TEXT, balance INT)";
+               sid = 0; txn = 0 });
+  push (Stmt { sql = "CREATE INDEX accounts_id ON accounts (id)";
+               sid = 0; txn = 0 });
+  for s = 0 to sessions - 1 do
+    push
+      (Stmt
+         { sql =
+             Printf.sprintf "INSERT INTO accounts VALUES (%d, 'seed%d', %d)"
+               ((s * 1000) + 999) s
+               (100 + Prng.int prng 900);
+           sid = s;
+           txn = 0 })
+  done;
+  push Ckpt;
+  let streams =
+    Array.init sessions (fun s ->
+        ref (gen_session_stream (Prng.split prng) ~sid:s))
+  in
+  let open_tx = Array.make sessions false in
+  let since_ckpt = ref 0 in
+  let any_live () = Array.exists (fun r -> !r <> []) streams in
+  while any_live () do
+    Array.iteri
+      (fun s r ->
+        match !r with
+        | [] -> ()
+        | (Stmt { sql; _ } as item) :: rest ->
+          r := rest;
+          push item;
+          incr since_ckpt;
+          (match sql with
+          | "BEGIN" -> open_tx.(s) <- true
+          | "COMMIT" | "ROLLBACK" -> open_tx.(s) <- false
+          | _ -> ())
+        | Ckpt :: rest -> r := rest)
+      streams;
+    if !since_ckpt >= 4 * sessions && not (Array.exists Fun.id open_tx) then begin
+      push Ckpt;
+      since_ckpt := 0
+    end
+  done;
+  List.rev !items
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+
+let data_dir = "/var/minidb/data"
+
+let boot () : Minios.Kernel.t * Durable.t =
+  let kernel = Minios.Kernel.create () in
+  let db = Minidb.Database.create () in
+  let server = Server.attach ~data_dir db in
+  let proc = Minios.Kernel.start_process kernel ~name:"minidb-server" () in
+  (kernel, Durable.start kernel server ~pid:proc.Minios.Kernel.pid)
+
+(** Execute the workload's statements on [d], each under its session's
+    sid: ordinals at or below [from] were already restored by recovery,
+    and statements of the crash-aborted transactions in [skip] (as
+    [(sid, txn)] pairs) are not re-submitted. *)
+let run_items (d : Durable.t) (items : item list) ~from
+    ~(skip : (int * int) list) : unit =
+  let ord = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Stmt { sql; sid; txn } ->
+        incr ord;
+        if !ord > from && not (txn <> 0 && List.mem (sid, txn) skip) then
+          ignore (Durable.exec ~sid d sql)
+      | Ckpt -> if !ord >= from then Durable.checkpoint d)
+    items
+
+let snapshot (db : Minidb.Database.t) : string =
+  Replication.state_fingerprint db
+
+(* ------------------------------------------------------------------ *)
+(* Transaction-level verification.                                     *)
+
+(** Canonical rendering of a committed transaction's composed reenactment
+    provenance; two transactions are provenance-equivalent iff their
+    renderings are equal. *)
+let reenactment (ct : Minidb.Database.committed_tx) : string =
+  let r = Gprom.Tx_reenact.compose ~start_clock:ct.Minidb.Database.ct_begin
+      ct.Minidb.Database.ct_stmts
+  in
+  Format.asprintf "%a" Gprom.Tx_reenact.pp r
+
+(** Every transaction the recovered database committed must appear in the
+    control run with the same begin/commit clocks and an identical
+    composed reenactment. (A subset check: the control also holds
+    transactions the recovered side folded into its checkpoint image.)
+    Returns [Error first_difference] or [Ok checked_count]. *)
+let check_committed ~(control : Minidb.Database.t)
+    ~(recovered : Minidb.Database.t) : (int, string) result =
+  let control_txs = Minidb.Database.committed_txs control in
+  let rec go checked = function
+    | [] -> Ok checked
+    | (ct : Minidb.Database.committed_tx) :: rest -> (
+      match
+        List.find_opt
+          (fun (c : Minidb.Database.committed_tx) ->
+            c.ct_begin = ct.ct_begin && c.ct_commit = ct.ct_commit)
+          control_txs
+      with
+      | None ->
+        Error
+          (Printf.sprintf
+             "recovered tx (begin %d, commit %d) has no control counterpart"
+             ct.ct_begin ct.ct_commit)
+      | Some c ->
+        let want = reenactment c and got = reenactment ct in
+        if String.equal want got then go (checked + 1) rest
+        else
+          Error
+            (Printf.sprintf
+               "tx (begin %d, commit %d): reenactment differs: %s" ct.ct_begin
+               ct.ct_commit
+               (Replication.first_diff ~left:"control" ~right:"recovered" want
+                  got)))
+  in
+  go 0 (Minidb.Database.committed_txs recovered)
+
+(* ------------------------------------------------------------------ *)
+(* One campaign.                                                       *)
+
+(** Run the control arm — full workload minus the crash-aborted
+    transactions, on a fresh machine with no plan installed — and return
+    its database and state fingerprint. *)
+let run_control ~items ~(skip : (int * int) list) :
+    Minidb.Database.t * string =
+  let saved = Ldv_faults.active () in
+  Ldv_faults.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      match saved with Some p -> Ldv_faults.install p | None -> ())
+    (fun () ->
+      let _kernel, control = boot () in
+      run_items control items ~from:0 ~skip;
+      let db = Server.db (Durable.server control) in
+      (db, snapshot db))
+
+let run_campaign ~(items : item list) ~(cprng : Prng.t) () : outcome =
+  (* 1-based statement ordinal -> item, for mapping dropped WAL sequence
+     numbers back to the transactions the crash aborted *)
+  let stmts =
+    Array.of_list
+      (List.filter_map
+         (function
+           | Stmt { sid; txn; _ } -> Some (sid, txn)
+           | Ckpt -> None)
+         items)
+  in
+  let kernel, d = boot () in
+  match run_items d items ~from:0 ~skip:[] with
+  | () ->
+    (* the armed site was never reached: states must still be equal *)
+    let got = snapshot (Server.db (Durable.server d)) in
+    let _, want = run_control ~items ~skip:[] in
+    if String.equal want got then No_crash
+    else
+      Diverged
+        { first = Replication.first_diff ~left:"control" ~right:"run" want got }
+  | exception Ldv_faults.Crash crash_site ->
+    (* the power failure: for wal.append crashes a PRNG-chosen torn
+       prefix of the unsynced WAL tail survives; everything else unsynced
+       is dropped *)
+    let wal = Durable.wal_path (Durable.server d) in
+    let keep =
+      if String.equal crash_site "wal.append" then
+        let unsynced = Minios.Vfs.unsynced_bytes (Minios.Kernel.vfs kernel) wal in
+        if unsynced > 0 then [ (wal, Prng.int cprng (unsynced + 1)) ] else []
+      else []
+    in
+    Minios.Kernel.crash kernel ~keep ();
+    let d', stats = Durable.recover kernel ~data_dir () in
+    (* the crash-aborted transactions: those whose durable records were
+       dropped as unterminated (statement ordinals map 1:1 to WAL seqs) *)
+    let aborted =
+      List.filter_map
+        (fun (r : Wal.record) ->
+          if r.Wal.seq >= 1 && r.Wal.seq <= Array.length stmts then
+            match stmts.(r.Wal.seq - 1) with
+            | _, 0 -> None
+            | sid, txn -> Some (sid, txn)
+          else None)
+        stats.Durable.dropped_records
+      |> List.sort_uniq compare
+    in
+    run_items d' items ~from:stats.Durable.redo_upto ~skip:aborted;
+    let recovered_db = Server.db (Durable.server d') in
+    let got = snapshot recovered_db in
+    let control_db, want = run_control ~items ~skip:aborted in
+    if not (String.equal want got) then
+      Diverged
+        { first =
+            Replication.first_diff ~left:"control" ~right:"recovered" want got }
+    else (
+      match check_committed ~control:control_db ~recovered:recovered_db with
+      | Error first -> Diverged { first }
+      | Ok checked ->
+        Verified
+          { redone = stats.Durable.redone;
+            dropped = stats.Durable.dropped;
+            aborted_txs = List.length aborted;
+            committed_checked = checked })
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns.                                                          *)
+
+let run ?(sessions = 4) ~campaigns ~seed () : report =
+  if sessions < 1 then invalid_arg "Txcheck.run: sessions must be >= 1";
+  Ldv_obs.with_span
+    ~attrs:
+      [ ("campaigns", string_of_int campaigns); ("seed", string_of_int seed);
+        ("sessions", string_of_int sessions) ]
+    "txcheck"
+  @@ fun () ->
+  let root = Prng.create ~seed in
+  let injected = ref (Campaign.zero_tallies ()) in
+  let runs = ref [] in
+  for campaign = 0 to campaigns - 1 do
+    let cam_seed = Campaign.derive_seed root in
+    let cprng = Prng.create ~seed:cam_seed in
+    let items = gen_workload (Prng.split cprng) ~sessions in
+    let site = sites.(campaign mod Array.length sites) in
+    (* [tx.undo] is consulted only inside rollback walks — a handful of
+       times per workload; statement sites fire once per statement *)
+    let occurrence =
+      if String.equal site "tx.undo" then 1 + Prng.int cprng 4
+      else 1 + Prng.int cprng 40
+    in
+    let plan = Ldv_faults.make ~crash:(site, occurrence) ~seed:cam_seed () in
+    let outcome =
+      Ldv_obs.with_span
+        ~attrs:
+          [ ("campaign", string_of_int campaign); ("site", site);
+            ("occurrence", string_of_int occurrence) ]
+        "txcheck.run"
+      @@ fun () ->
+      Ldv_faults.with_plan plan @@ fun () ->
+      match Campaign.guard (run_campaign ~items ~cprng) with
+      | Ok outcome -> outcome
+      | Error (Campaign.Typed e) -> Failed e
+      | Error (Campaign.Db msg) -> Db_failed msg
+      | Error (Campaign.Replay_diverged msg) -> Diverged { first = msg }
+      | Error (Campaign.Other msg) -> Uncaught msg
+    in
+    Ldv_obs.counter ("txcheck.outcome." ^ outcome_label outcome);
+    injected := Campaign.add_tallies !injected (Ldv_faults.injected plan);
+    runs := { campaign; site; occurrence; outcome } :: !runs
+  done;
+  let runs = List.rev !runs in
+  let count p = List.length (List.filter p runs) in
+  { r_seed = seed;
+    r_campaigns = campaigns;
+    r_sessions = sessions;
+    r_runs = runs;
+    r_injected = !injected;
+    r_uncaught =
+      count (fun r -> match r.outcome with Uncaught _ -> true | _ -> false);
+    r_divergent =
+      count (fun r -> match r.outcome with Diverged _ -> true | _ -> false) }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic report rendering.                                     *)
+
+let outcome_order =
+  [ "verified"; "no-crash"; "diverged"; "typed-failure"; "db-error";
+    "uncaught" ]
+
+let pp ppf (r : report) =
+  Format.fprintf ppf
+    "txcheck: %d campaigns, seed %d, %d interleaved tx sessions@,"
+    r.r_campaigns r.r_seed r.r_sessions;
+  List.iter
+    (fun run ->
+      Format.fprintf ppf "  c%03d %-14s occ %d  %-13s %s@," run.campaign
+        run.site run.occurrence
+        (outcome_label run.outcome)
+        (outcome_detail run.outcome))
+    r.r_runs;
+  Campaign.pp_outcome_counts ppf ~order:outcome_order
+    ~label:(fun run -> outcome_label run.outcome)
+    r.r_runs;
+  Campaign.pp_tallies ppf r.r_injected;
+  Format.fprintf ppf "divergent runs: %d@," r.r_divergent;
+  Campaign.pp_uncaught ppf r.r_uncaught
+
+let to_string (r : report) : string =
+  Format.asprintf "@[<v>%a@]" pp r

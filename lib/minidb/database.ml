@@ -16,12 +16,39 @@ type undo =
       (** old (retired) version, new version *)
   | U_delete of Table.t * Table.tuple_version
 
+(** An open transaction. [tx_begin] is the clock at BEGIN — the snapshot
+    this transaction's statements read; [tx_stmts] accumulates per-DML
+    provenance (deps, reads) for reenactment at commit, newest first. *)
+type tx = {
+  tx_id : int;
+  tx_begin : int;
+  mutable tx_undo : undo list;  (** newest first *)
+  mutable tx_stmts : ((Tid.t * Tid.t list) list * Tid.t list) list;
+}
+
+(** The durable record of a committed transaction: enough to reenact it
+    (Niu et al.) — per-statement write/read dependencies between its begin
+    snapshot and its commit clock. *)
+type committed_tx = {
+  ct_id : int;
+  ct_begin : int;
+  ct_commit : int;
+  ct_stmts : ((Tid.t * Tid.t list) list * Tid.t list) list;  (** oldest first *)
+}
+
 type t = {
   catalog : Catalog.t;
   mutable clock : int;
   name : string;
-  mutable tx : undo list option;  (** [Some log] while a transaction is open *)
+  txs : (int, tx) Hashtbl.t;  (** all open transactions, by id *)
+  mutable current : int;  (** tx of the session executing now; 0 = autocommit *)
+  mutable committed : committed_tx list;  (** newest first *)
 }
+
+(* Transaction ids are allocated from one process-wide counter so a version
+   stamped by one database can never alias an open transaction of another
+   (control and recovery arms of a campaign coexist in one process). *)
+let txid_counter = ref 0
 
 (** Provenance facts of a DML statement: for every tuple version written,
     the pre-existing versions it was derived from (empty for plain
@@ -39,12 +66,57 @@ type exec_result =
   | Ddl_done
 
 let create ?(name = "main") () =
-  { catalog = Catalog.create (); clock = 0; name; tx = None }
+  { catalog = Catalog.create ();
+    clock = 0;
+    name;
+    txs = Hashtbl.create 8;
+    current = 0;
+    committed = [] }
 
 let clock t = t.clock
 let catalog t = t.catalog
 let name t = t.name
-let in_transaction t = t.tx <> None
+let in_transaction t = t.current <> 0
+let open_tx_count t = Hashtbl.length t.txs
+let current_tx t = t.current
+
+let tx_state t id = if id = 0 then None else Hashtbl.find_opt t.txs id
+let current_tx_state t = tx_state t t.current
+
+(** Switch the ambient session: subsequent statements execute under open
+    transaction [id] (0 = autocommit). Serialized drivers — the durable
+    WAL layer, recovery — use this to multiplex many sessions over one
+    database. *)
+let set_current_tx t id =
+  if id <> 0 && not (Hashtbl.mem t.txs id) then
+    Errors.fail
+      (Errors.Tx_state (Printf.sprintf "no open transaction with id %d" id));
+  t.current <- id
+
+(** The begin-snapshot of the ambient open transaction, if any. *)
+let current_snapshot t =
+  Option.map (fun tx -> tx.tx_begin) (current_tx_state t)
+
+(** Committed transactions, oldest first. *)
+let committed_txs t = List.rev t.committed
+
+(* Publish this database's MVCC facts for the executor while running one
+   statement; statements never yield mid-execution, so the dynamic scope
+   is safe under the cooperative scheduler. *)
+let with_tx_context t f =
+  let saved_viewer = !Tx_context.viewer
+  and saved_snapshot = !Tx_context.snapshot
+  and saved_active = !Tx_context.active in
+  Tx_context.viewer := t.current;
+  Tx_context.snapshot :=
+    (match current_tx_state t with Some tx -> tx.tx_begin | None -> max_int);
+  Tx_context.active := Hashtbl.length t.txs > 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Tx_context.viewer := saved_viewer;
+      Tx_context.snapshot := saved_snapshot;
+      Tx_context.active := saved_active)
+    f
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -64,7 +136,14 @@ let with_frozen_clock t f =
   Fun.protect ~finally:(fun () -> t.clock <- saved) f
 
 let log_undo t entry =
-  match t.tx with Some log -> t.tx <- Some (entry :: log) | None -> ()
+  match current_tx_state t with
+  | Some tx -> tx.tx_undo <- entry :: tx.tx_undo
+  | None -> ()
+
+let record_tx_stmt t deps read =
+  match current_tx_state t with
+  | Some tx -> tx.tx_stmts <- (deps, read) :: tx.tx_stmts
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Subquery evaluation: close the planner/executor loop.               *)
@@ -168,15 +247,19 @@ let run_insert t ~table ~columns ~(source : Sql_ast.insert_source) : dml_info =
     List.map
       (fun (values, lineage) ->
         let row = full_row_for_insert schema columns values in
-        let tv = Table.insert tbl ~clock row in
+        let tv = Table.insert tbl ~tx:t.current ~clock row in
         log_undo t (U_insert (tbl, tv));
         (tv.Table.tid, lineage))
       rows_with_lineage
   in
-  { count = List.length deps;
-    written = List.map fst deps;
-    read = List.concat_map snd deps |> List.sort_uniq Tid.compare;
-    deps }
+  let info =
+    { count = List.length deps;
+      written = List.map fst deps;
+      read = List.concat_map snd deps |> List.sort_uniq Tid.compare;
+      deps }
+  in
+  record_tx_stmt t info.deps info.read;
+  info
 
 let resolve_where t where =
   match where with
@@ -223,6 +306,41 @@ let candidate_rows (tbl : Table.t) (where : Sql_ast.expr option) :
   | Some rows -> rows
   | None -> Table.scan tbl
 
+(* Candidate rows under MVCC. A transaction's UPDATE/DELETE evaluates its
+   predicate over the begin-snapshot plus its own writes; an autocommit
+   statement racing open transactions reads the committed present. In both
+   cases the index shortcut is skipped — indexes cover only the live
+   snapshot, which misbehaves on both sides of an open transaction. When
+   no transaction is open anywhere, the fast path is untouched. *)
+let dml_candidates t (tbl : Table.t) (where : Sql_ast.expr option) :
+    Table.tuple_version list =
+  match current_tx_state t with
+  | Some tx -> Table.scan_visible ~tx:tx.tx_id ~at:tx.tx_begin tbl
+  | None ->
+    if Hashtbl.length t.txs > 0 then Table.scan_visible tbl
+    else candidate_rows tbl where
+
+(* First-updater-wins, abort immediately (NOWAIT): a DML may write a row
+   only if the version it read is still the row's live version. Anything
+   else — an uncommitted foreign version or deletion occupying the slot, a
+   commit newer than the snapshot — aborts the statement with a
+   serialization failure BEFORE the clock ticks or any write happens, so
+   an aborted statement is invisible to the deterministic replay. *)
+let serialization_check t (tbl : Table.t) (affected : Table.tuple_version list)
+    =
+  if t.current <> 0 || Hashtbl.length t.txs > 0 then
+    List.iter
+      (fun (tv : Table.tuple_version) ->
+        match Table.find_live tbl ~rid:tv.Table.tid.Tid.rid with
+        | Some live when live == tv -> ()
+        | _ ->
+          Ldv_obs.counter "tx.conflict";
+          Errors.fail
+            (Errors.Serialization_failure
+               (Printf.sprintf "concurrent write to %s rid %d"
+                  (Table.name tbl) tv.Table.tid.Tid.rid)))
+      affected
+
 let run_update t ~table ~sets ~where : dml_info =
   let tbl = Catalog.find t.catalog table in
   let schema = Table.schema tbl in
@@ -243,8 +361,9 @@ let run_update t ~table ~sets ~where : dml_info =
         match bound_where with
         | None -> true
         | Some p -> Eval_expr.eval_pred tv.Table.values p)
-      (candidate_rows tbl where)
+      (dml_candidates t tbl where)
   in
+  serialization_check t tbl affected;
   let clock = tick t in
   let extra = Tid.Set.elements (Annotation.lineage where_ann) in
   let deps =
@@ -257,16 +376,21 @@ let run_update t ~table ~sets ~where : dml_info =
             new_values.(idx) <- Eval_expr.eval tv.Table.values e)
           bound_sets;
         let old_tv, new_tv =
-          Table.update tbl ~clock ~rid:tv.Table.tid.Tid.rid new_values
+          Table.update tbl ~tx:t.current ~clock ~rid:tv.Table.tid.Tid.rid
+            new_values
         in
         log_undo t (U_update (tbl, old_tv, new_tv));
         (new_tv.Table.tid, old_tv.Table.tid :: extra))
       affected
   in
-  { count = List.length deps;
-    written = List.map fst deps;
-    read = List.concat_map snd deps |> List.sort_uniq Tid.compare;
-    deps }
+  let info =
+    { count = List.length deps;
+      written = List.map fst deps;
+      read = List.concat_map snd deps |> List.sort_uniq Tid.compare;
+      deps }
+  in
+  record_tx_stmt t info.deps info.read;
+  info
 
 let run_delete t ~table ~where : dml_info =
   let tbl = Catalog.find t.catalog table in
@@ -279,53 +403,107 @@ let run_delete t ~table ~where : dml_info =
         match bound_where with
         | None -> true
         | Some p -> Eval_expr.eval_pred tv.Table.values p)
-      (candidate_rows tbl where)
+      (dml_candidates t tbl where)
   in
+  serialization_check t tbl affected;
   let clock = tick t in
   let read =
     List.map
       (fun (tv : Table.tuple_version) ->
-        let victim = Table.delete tbl ~clock ~rid:tv.Table.tid.Tid.rid in
+        let victim =
+          Table.delete tbl ~tx:t.current ~clock ~rid:tv.Table.tid.Tid.rid
+        in
         log_undo t (U_delete (tbl, victim));
         victim.Table.tid)
       affected
   in
-  { count = List.length read;
-    written = [];
-    read = read @ Tid.Set.elements (Annotation.lineage where_ann);
-    deps = [] }
+  let info =
+    { count = List.length read;
+      written = [];
+      read = read @ Tid.Set.elements (Annotation.lineage where_ann);
+      deps = [] }
+  in
+  record_tx_stmt t info.deps info.read;
+  info
 
 (* ------------------------------------------------------------------ *)
 (* Transactions.                                                       *)
 
-let begin_tx t =
-  if t.tx <> None then
-    Errors.fail (Errors.Constraint_violation "transaction already open");
-  t.tx <- Some []
+(* Observed once per undo-log entry during a rollback's undo walk; the
+   durable layer points it at a seeded crash site so campaigns can kill
+   the process mid-rollback. *)
+let on_undo_step : (unit -> unit) ref = ref (fun () -> ())
 
+let begin_tx t =
+  if t.current <> 0 then
+    Errors.fail (Errors.Tx_state "transaction already open");
+  incr txid_counter;
+  let tx =
+    { tx_id = !txid_counter; tx_begin = t.clock; tx_undo = []; tx_stmts = [] }
+  in
+  Hashtbl.replace t.txs tx.tx_id tx;
+  t.current <- tx.tx_id;
+  Ldv_obs.counter "tx.begin";
+  tx.tx_id
+
+(* Commit: stamp every version the transaction wrote or retired with the
+   commit clock, atomically making the whole transaction visible (a
+   version both written and retired inside the transaction ends up with
+   [committed_at = retired_commit], i.e. never visible — the reenactment
+   layer calls these intermediate versions). *)
 let commit_tx t =
-  match t.tx with
-  | None -> Errors.fail (Errors.Constraint_violation "no open transaction")
-  | Some _ -> t.tx <- None
+  match current_tx_state t with
+  | None -> Errors.fail (Errors.Tx_state "no open transaction")
+  | Some tx ->
+    let commit_clock = t.clock in
+    List.iter
+      (function
+        | U_insert (_, tv) ->
+          tv.Table.txid <- 0;
+          tv.Table.committed_at <- commit_clock
+        | U_update (_, old_tv, new_tv) ->
+          new_tv.Table.txid <- 0;
+          new_tv.Table.committed_at <- commit_clock;
+          old_tv.Table.retired_tx <- 0;
+          old_tv.Table.retired_commit <- commit_clock;
+          old_tv.Table.retired_at <- Some commit_clock
+        | U_delete (_, tv) ->
+          tv.Table.retired_tx <- 0;
+          tv.Table.retired_commit <- commit_clock;
+          tv.Table.retired_at <- Some commit_clock)
+      tx.tx_undo;
+    Hashtbl.remove t.txs tx.tx_id;
+    t.current <- 0;
+    t.committed <-
+      { ct_id = tx.tx_id;
+        ct_begin = tx.tx_begin;
+        ct_commit = commit_clock;
+        ct_stmts = List.rev tx.tx_stmts }
+      :: t.committed;
+    Ldv_obs.counter "tx.commit"
 
 let rollback_tx t =
-  match t.tx with
-  | None -> Errors.fail (Errors.Constraint_violation "no open transaction")
-  | Some log ->
-    t.tx <- None;
+  match current_tx_state t with
+  | None -> Errors.fail (Errors.Tx_state "no open transaction")
+  | Some tx ->
+    Hashtbl.remove t.txs tx.tx_id;
+    t.current <- 0;
     (* the log is newest-first: undo in that order so that an update's new
        version is unlinked before its old version is relinked *)
     List.iter
-      (function
+      (fun entry ->
+        !on_undo_step ();
+        match entry with
         | U_insert (tbl, tv) -> Table.unlink_version tbl tv
         | U_update (tbl, old_tv, new_tv) ->
           Table.unlink_version tbl new_tv;
           Table.relink_version tbl old_tv
         | U_delete (tbl, tv) -> Table.relink_version tbl tv)
-      log
+      tx.tx_undo;
+    Ldv_obs.counter "tx.rollback"
 
 let guard_ddl t what =
-  if t.tx <> None then
+  if t.current <> 0 then
     Errors.unsupported "%s is not allowed inside a transaction" what
 
 (* ------------------------------------------------------------------ *)
@@ -370,7 +548,7 @@ let rec exec_ast t (stmt : Sql_ast.statement) : exec_result =
   | Sql_ast.Explain inner -> Rows (explain t inner)
   | Sql_ast.Begin_tx ->
     ignore (tick t);
-    begin_tx t;
+    ignore (begin_tx t);
     Ddl_done
   | Sql_ast.Commit_tx ->
     ignore (tick t);
@@ -397,6 +575,23 @@ and explain t (stmt : Sql_ast.statement) : Executor.result =
   { Executor.schema = Schema.of_list [ Schema.column "plan" Value.Tstr ];
     rows =
       [ { Executor.values = [| Value.Str text |]; ann = Annotation.one } ] }
+
+(* Public execution entry points run under this database's ambient MVCC
+   context (shadowing the raw definitions above): the executor learns the
+   viewing transaction and whether any transaction is open at all. *)
+let run_select t s = with_tx_context t (fun () -> run_select t s)
+let run_provenance t s = with_tx_context t (fun () -> run_provenance t s)
+
+let run_insert t ~table ~columns ~source =
+  with_tx_context t (fun () -> run_insert t ~table ~columns ~source)
+
+let run_update t ~table ~sets ~where =
+  with_tx_context t (fun () -> run_update t ~table ~sets ~where)
+
+let run_delete t ~table ~where =
+  with_tx_context t (fun () -> run_delete t ~table ~where)
+
+let exec_ast t stmt = with_tx_context t (fun () -> exec_ast t stmt)
 
 let exec t (sql : string) : exec_result = exec_ast t (Sql_parser.parse sql)
 

@@ -26,12 +26,52 @@ type exec_result =
   | Affected of dml_info
   | Ddl_done
 
+(** The durable record of a committed transaction: begin snapshot, commit
+    clock, and per-statement (deps, reads) provenance in statement order —
+    the inputs transaction reenactment needs. *)
+type committed_tx = {
+  ct_id : int;
+  ct_begin : int;
+  ct_commit : int;
+  ct_stmts : ((Tid.t * Tid.t list) list * Tid.t list) list;  (** oldest first *)
+}
+
 val create : ?name:string -> unit -> t
 
 val clock : t -> int
 val catalog : t -> Catalog.t
 val name : t -> string
+
+(** Whether the ambient session (see [set_current_tx]) has an open
+    transaction. *)
 val in_transaction : t -> bool
+
+(** Number of transactions open across all sessions of this database. *)
+val open_tx_count : t -> int
+
+(** The ambient session's open transaction id (0 = autocommit). *)
+val current_tx : t -> int
+
+(** Switch the ambient session to open transaction [id] (0 = autocommit);
+    serialized drivers (WAL apply, recovery) use this to multiplex many
+    sessions over one database.
+    @raise Errors.Db_error [Tx_state] if [id] is not an open transaction. *)
+val set_current_tx : t -> int -> unit
+
+(** The begin-snapshot clock of the ambient open transaction, if any. *)
+val current_snapshot : t -> int option
+
+(** Roll back the ambient session's open transaction (exactly what
+    executing [ROLLBACK] does).
+    @raise Errors.Db_error [Tx_state] if none is open. *)
+val rollback_tx : t -> unit
+
+(** Committed transactions of this database, oldest first. *)
+val committed_txs : t -> committed_tx list
+
+(** Called once per undo-log entry while a rollback walks its undo log;
+    fault campaigns point this at a crash site. *)
+val on_undo_step : (unit -> unit) ref
 
 (** Advance the clock by one; the new value timestamps the next write. *)
 val tick : t -> int

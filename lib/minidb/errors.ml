@@ -15,6 +15,13 @@ type kind =
   | Type_error of string
   | Arity_error of string
   | Constraint_violation of string
+  | Serialization_failure of string
+      (** A write-write conflict aborted the transaction (first-updater
+          wins): the statement touched a row concurrently written by
+          another transaction, or committed after this one's snapshot. *)
+  | Tx_state of string
+      (** BEGIN/COMMIT/ROLLBACK issued in the wrong session state (e.g. a
+          second BEGIN while a transaction is already open). *)
   | Unsupported of string
 
 exception Db_error of kind
@@ -38,6 +45,9 @@ let pp_kind ppf = function
   | Type_error m -> Format.fprintf ppf "type error: %s" m
   | Arity_error m -> Format.fprintf ppf "arity error: %s" m
   | Constraint_violation m -> Format.fprintf ppf "constraint violation: %s" m
+  | Serialization_failure m ->
+    Format.fprintf ppf "serialization failure: %s" m
+  | Tx_state m -> Format.fprintf ppf "transaction state error: %s" m
   | Unsupported m -> Format.fprintf ppf "unsupported: %s" m
 
 let to_string kind = Format.asprintf "%a" pp_kind kind

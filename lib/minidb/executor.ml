@@ -90,8 +90,15 @@ let rec run_node (n : Planner.node) : arow list =
   | Planner.Scan { table; as_of; _ } ->
     let versions =
       match as_of with
-      | None -> Table.scan table
-      | Some at -> Table.scan_as_of table ~at
+      | None ->
+        (* while any transaction is open on this database the live table
+           may hold uncommitted foreign versions (and lack rows deleted by
+           open transactions), so take the history-walking MVCC path *)
+        if !Tx_context.active then
+          Table.scan_visible ~tx:!Tx_context.viewer ~at:!Tx_context.snapshot
+            table
+        else Table.scan table
+      | Some at -> Table.scan_as_of ~tx:!Tx_context.viewer table ~at
     in
     if Ldv_obs.enabled () then
       Ldv_obs.counter ~by:(List.length versions) "db.rows_scanned";
@@ -103,7 +110,18 @@ let rec run_node (n : Planner.node) : arow list =
     let value = Eval_expr.eval [||] key in
     if Value.is_null value then []
     else begin
-      let versions = Table.index_lookup table index value in
+      let versions =
+        (* indexes cover only the live snapshot, which is wrong for both
+           sides of an open transaction (uncommitted entries present,
+           tx-deleted rows absent) — fall back to a filtered MVCC scan *)
+        if !Tx_context.active then
+          List.filter
+            (fun (tv : Table.tuple_version) ->
+              tv.Table.values.(index.Table.idx_column) = value)
+            (Table.scan_visible ~tx:!Tx_context.viewer
+               ~at:!Tx_context.snapshot table)
+        else Table.index_lookup table index value
+      in
       if Ldv_obs.enabled () then
         Ldv_obs.counter ~by:(List.length versions) "db.rows_scanned";
       List.map

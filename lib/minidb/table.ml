@@ -13,6 +13,16 @@ type tuple_version = {
   (* Closed half of the version's validity interval: the clock at which this
      version was superseded or deleted, if any. *)
   mutable retired_at : int option;
+  (* MVCC bookkeeping. A version written under an open transaction carries
+     that transaction's id in [txid] until commit stamps it 0; [committed_at]
+     is the clock at which the version became visible to others (the write
+     clock for autocommit, the commit clock for transactional writes, 0
+     while uncommitted). Symmetrically [retired_tx]/[retired_commit] track
+     who retired the version and when that retirement committed. *)
+  mutable txid : int;
+  mutable committed_at : int;
+  mutable retired_tx : int;
+  mutable retired_commit : int;
 }
 
 (** A secondary hash index over one column of the live snapshot. *)
@@ -84,15 +94,20 @@ let row_count t = Hashtbl.length t.live
 let version_count t = List.length t.history
 
 (** Insert a row; returns the new tuple version. [clock] is the logical
-    timestamp recorded as the version. *)
-let insert t ~clock (row : Value.t array) =
+    timestamp recorded as the version. [tx] is the open transaction writing
+    the row (0 = autocommit: the version is committed immediately). *)
+let insert ?(tx = 0) t ~clock (row : Value.t array) =
   let values = Schema.coerce_row t.schema row in
   let rid = t.next_rid in
   t.next_rid <- rid + 1;
   let tv =
     { tid = Tid.make ~table:t.name ~rid ~version:clock;
       values;
-      retired_at = None }
+      retired_at = None;
+      txid = tx;
+      committed_at = (if tx = 0 then clock else 0);
+      retired_tx = 0;
+      retired_commit = 0 }
   in
   Hashtbl.replace t.live rid tv;
   t.history <- tv :: t.history;
@@ -103,7 +118,7 @@ let insert t ~clock (row : Value.t array) =
 
 (** Update the live version of [rid] to new values; returns
     [(old_version, new_version)]. *)
-let update t ~clock ~rid (row : Value.t array) =
+let update ?(tx = 0) t ~clock ~rid (row : Value.t array) =
   match Hashtbl.find_opt t.live rid with
   | None ->
     Errors.fail
@@ -114,9 +129,15 @@ let update t ~clock ~rid (row : Value.t array) =
     let tv =
       { tid = Tid.make ~table:t.name ~rid ~version:clock;
         values;
-        retired_at = None }
+        retired_at = None;
+        txid = tx;
+        committed_at = (if tx = 0 then clock else 0);
+        retired_tx = 0;
+        retired_commit = 0 }
     in
     old_tv.retired_at <- Some clock;
+    old_tv.retired_tx <- tx;
+    old_tv.retired_commit <- (if tx = 0 then clock else 0);
     Hashtbl.replace t.live rid tv;
     t.history <- tv :: t.history;
     Hashtbl.replace t.by_version (rid, clock) tv;
@@ -125,7 +146,7 @@ let update t ~clock ~rid (row : Value.t array) =
     (old_tv, tv)
 
 (** Delete the live version of [rid]; returns the retired version. *)
-let delete t ~clock ~rid =
+let delete ?(tx = 0) t ~clock ~rid =
   match Hashtbl.find_opt t.live rid with
   | None ->
     Errors.fail
@@ -133,6 +154,8 @@ let delete t ~clock ~rid =
          (Printf.sprintf "delete of dead rid %d in table %s" rid t.name))
   | Some tv ->
     tv.retired_at <- Some clock;
+    tv.retired_tx <- tx;
+    tv.retired_commit <- (if tx = 0 then clock else 0);
     Hashtbl.remove t.live rid;
     t.live_order <- List.filter (fun r -> r <> rid) t.live_order;
     indexes_remove t tv;
@@ -166,7 +189,13 @@ let data_bytes t =
 let restore_version t ~rid ~version (row : Value.t array) =
   let values = Schema.coerce_row t.schema row in
   let tv =
-    { tid = Tid.make ~table:t.name ~rid ~version; values; retired_at = None }
+    { tid = Tid.make ~table:t.name ~rid ~version;
+      values;
+      retired_at = None;
+      txid = 0;
+      committed_at = version;
+      retired_tx = 0;
+      retired_commit = 0 }
   in
   (match Hashtbl.find_opt t.live rid with
   | Some old when old.tid.Tid.version >= version ->
@@ -175,6 +204,7 @@ let restore_version t ~rid ~version (row : Value.t array) =
          (Printf.sprintf "restore of stale version %d for rid %d" version rid))
   | Some old ->
     old.retired_at <- Some version;
+    old.retired_commit <- version;
     indexes_remove t old;
     Hashtbl.replace t.live rid tv;
     indexes_add t tv
@@ -234,16 +264,33 @@ let index_lookup t (idx : index) (value : Value.t) : tuple_version list =
     |> List.filter_map (fun rid -> Hashtbl.find_opt t.live rid)
 
 (* ------------------------------------------------------------------ *)
-(* Time travel.                                                        *)
+(* MVCC visibility and time travel.                                    *)
+
+(** Whether [tx] (0 = an autocommit reader) sees [tv] at logical time
+    [at]. A version is visible when it was created by the viewer's own
+    open transaction or committed no later than [at], and not retired —
+    where a retirement by the viewer's own transaction always hides the
+    version, an uncommitted retirement by a foreign transaction never
+    does, and a committed retirement hides it from [at] onwards. *)
+let visible ?(tx = 0) ~at (tv : tuple_version) =
+  (if tv.txid <> 0 then tv.txid = tx else tv.committed_at <= at)
+  &&
+  if tv.retired_tx <> 0 then tv.retired_tx <> tx
+  else tv.retired_commit = 0 || tv.retired_commit > at
+
+(** The snapshot [tx] sees at time [at] (default: the committed present),
+    in ascending-rid order — the same order [scan] yields, so switching
+    between the two paths can never reorder results. *)
+let scan_visible ?(tx = 0) ?(at = max_int) t : tuple_version list =
+  List.filter (visible ~tx ~at) (List.rev t.history)
+  |> List.sort (fun a b -> compare a.tid.Tid.rid b.tid.Tid.rid)
 
 (** The live snapshot as of logical time [at]: for each row, the version
-    written no later than [at] and not yet retired at [at]. *)
-let scan_as_of t ~at : tuple_version list =
-  List.filter
-    (fun tv ->
-      tv.tid.Tid.version <= at
-      && match tv.retired_at with None -> true | Some r -> r > at)
-    (List.rev t.history)
+    committed no later than [at] and not retired by a commit at or before
+    [at]. [tx] additionally folds in that transaction's own uncommitted
+    writes (its begin-snapshot plus its writes: MVCC read rule). *)
+let scan_as_of ?(tx = 0) t ~at : tuple_version list =
+  List.filter (visible ~tx ~at) (List.rev t.history)
 
 (* ------------------------------------------------------------------ *)
 (* Transaction rollback support.                                       *)
@@ -264,6 +311,8 @@ let unlink_version t (tv : tuple_version) =
 (** Resurrect a version retired inside an aborted transaction. *)
 let relink_version t (tv : tuple_version) =
   tv.retired_at <- None;
+  tv.retired_tx <- 0;
+  tv.retired_commit <- 0;
   (match Hashtbl.find_opt t.live tv.tid.Tid.rid with
   | Some current when not (current == tv) ->
     (* the slot is occupied by an aborted newer version: caller must have

@@ -44,6 +44,7 @@ let () =
       ("report", Test_report.suite);
       ("partial-diff", Test_partial_diff.suite);
       ("concurrent", Test_concurrent.suite);
+      ("tx", Test_tx.suite);
       ("contention", Test_contention.suite);
       ("replication", Test_replication.suite);
       ("end-to-end", Test_e2e.suite) ]

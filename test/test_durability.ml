@@ -104,7 +104,7 @@ let test_wal_torn_tail_detected () =
   Alcotest.(check bool) "torn bytes reported" true (loaded.Wal.torn_bytes > 0)
 
 let test_wal_durable_cut_drops_open_tx () =
-  let r seq kind sql = { Wal.seq; kind; sql } in
+  let r seq kind sql = { Wal.seq; kind; sid = 0; sql } in
   let records =
     [ r 1 Wal.Stmt "s1"; r 2 Wal.Begin "BEGIN"; r 3 Wal.Stmt "s2";
       r 4 Wal.Commit "COMMIT"; r 5 Wal.Begin "BEGIN"; r 6 Wal.Stmt "s3" ]
@@ -114,6 +114,26 @@ let test_wal_durable_cut_drops_open_tx () =
     (List.length replay);
   Alcotest.(check int) "trailing open tx dropped" 2 (List.length dropped);
   Alcotest.(check int) "redo high-water mark" 4 redo_upto
+
+(* Regression for the tx-depth bug: open-transaction tracking is per
+   session, so one session's open transaction must not drag another
+   session's durably committed transaction (interleaved in the log) into
+   the dropped set. *)
+let test_wal_durable_cut_per_session () =
+  let r seq kind sid sql = { Wal.seq; kind; sid; sql } in
+  let records =
+    [ r 1 Wal.Stmt 0 "s1"; r 2 Wal.Begin 0 "BEGIN"; r 3 Wal.Begin 1 "BEGIN";
+      r 4 Wal.Stmt 0 "s2"; r 5 Wal.Stmt 1 "s3"; r 6 Wal.Commit 1 "COMMIT";
+      r 7 Wal.Stmt 0 "s4" ]
+  in
+  let replay, dropped, redo_upto = Wal.durable_cut records in
+  let seqs rs = List.map (fun (r : Wal.record) -> r.Wal.seq) rs in
+  Alcotest.(check (list int))
+    "session 1's committed tx replays through the interleaving" [ 1; 3; 5; 6 ]
+    (seqs replay);
+  Alcotest.(check (list int)) "only session 0's open tx is dropped" [ 2; 4; 7 ]
+    (seqs dropped);
+  Alcotest.(check int) "redo high-water mark spans the survivors" 6 redo_upto
 
 (* ---------------- recovery semantics ---------------------------- *)
 
@@ -199,6 +219,72 @@ let test_commit_prefsync_crash_loses_tx_atomically () =
      transaction is lost atomically — no partial application *)
   Alcotest.(check int) "pre-transaction state only" 1 (rows db' "t");
   Alcotest.(check int) "no open-transaction leftovers" 0 stats.Durable.dropped;
+  Alcotest.(check bool) "recovered db is not mid-transaction" false
+    (Minidb.Database.in_transaction db')
+
+(* Crash in the middle of a rollback's undo walk: the ROLLBACK record was
+   synced before execution, so recovery replays the whole transaction plus
+   the ROLLBACK literally — the interrupted undo is simply redone from
+   scratch, and the recovered state matches an uncrashed run. *)
+let test_undo_walk_crash_recovers_rollback () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT)";
+  exec d "INSERT INTO t VALUES (1)";
+  exec d "BEGIN";
+  exec d "INSERT INTO t VALUES (2)";
+  exec d "UPDATE t SET a = 99 WHERE a = 1";
+  let plan = F.make ~crash:("tx.undo", 1) ~seed:7 () in
+  let crashed =
+    F.with_plan plan @@ fun () ->
+    match exec d "ROLLBACK" with
+    | () -> false
+    | exception F.Crash site ->
+      Alcotest.(check string) "crashed mid-undo" "tx.undo" site;
+      true
+  in
+  Alcotest.(check bool) "crash fired" true crashed;
+  K.crash kernel ();
+  let d', _ = Durable.recover kernel ~data_dir () in
+  let db' = Server.db (Durable.server d') in
+  Alcotest.(check int) "only the pre-transaction row" 1 (rows db' "t");
+  Alcotest.(check bool) "recovered db is not mid-transaction" false
+    (Minidb.Database.in_transaction db');
+  let vals =
+    List.map
+      (fun (tv : Minidb.Table.tuple_version) ->
+        Minidb.Value.to_raw_string tv.Minidb.Table.values.(0))
+      (Minidb.Table.scan
+         (Minidb.Catalog.find (Minidb.Database.catalog db') "t"))
+  in
+  Alcotest.(check (list string)) "update undone, insert gone" [ "1" ] vals;
+  let _, control = boot () in
+  List.iter (exec control)
+    [ "CREATE TABLE t (a INT)"; "INSERT INTO t VALUES (1)"; "BEGIN";
+      "INSERT INTO t VALUES (2)"; "UPDATE t SET a = 99 WHERE a = 1";
+      "ROLLBACK" ];
+  Alcotest.(check int) "clock parity with uncrashed control"
+    (Minidb.Database.clock (Server.db (Durable.server control)))
+    (Minidb.Database.clock db')
+
+(* A torn WAL tail that lands on the COMMIT record leaves the transaction
+   open in the durable log: recovery must drop the whole transaction
+   atomically, not replay its statements. *)
+let test_torn_commit_drops_tx_atomically () =
+  let kernel, d = boot () in
+  exec d "CREATE TABLE t (a INT)";
+  exec d "INSERT INTO t VALUES (1)";
+  exec d "BEGIN";
+  exec d "INSERT INTO t VALUES (2)";
+  exec d "COMMIT";
+  let vfs = K.vfs kernel in
+  let full = V.read vfs wal in
+  (* tear the last 4 bytes: the COMMIT record no longer parses *)
+  V.write_string vfs ~path:wal (String.sub full 0 (String.length full - 4));
+  let d', stats = Durable.recover kernel ~data_dir () in
+  let db' = Server.db (Durable.server d') in
+  Alcotest.(check int) "pre-transaction state only" 1 (rows db' "t");
+  Alcotest.(check int) "BEGIN and the in-tx insert dropped" 2
+    stats.Durable.dropped;
   Alcotest.(check bool) "recovered db is not mid-transaction" false
     (Minidb.Database.in_transaction db')
 
@@ -312,12 +398,18 @@ let suite =
       test_wal_torn_tail_detected;
     Alcotest.test_case "wal: durable cut drops open tx" `Quick
       test_wal_durable_cut_drops_open_tx;
+    Alcotest.test_case "wal: durable cut is per-session" `Quick
+      test_wal_durable_cut_per_session;
     Alcotest.test_case "recover: redoes WAL suffix" `Quick
       test_recover_redoes_wal_suffix;
     Alcotest.test_case "recover: ROLLBACK leaves no trace" `Quick
       test_rollback_leaves_no_trace_after_recovery;
     Alcotest.test_case "recover: COMMIT pre-fsync crash is atomic" `Quick
       test_commit_prefsync_crash_loses_tx_atomically;
+    Alcotest.test_case "recover: undo-walk crash replays ROLLBACK" `Quick
+      test_undo_walk_crash_recovers_rollback;
+    Alcotest.test_case "recover: torn COMMIT drops tx atomically" `Quick
+      test_torn_commit_drops_tx_atomically;
     Alcotest.test_case "recover: next_rid survives checkpoint" `Quick
       test_next_rid_preserved_across_checkpoint;
     Alcotest.test_case "recover: no double apply after ckpt.pre_gc" `Quick

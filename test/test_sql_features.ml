@@ -360,13 +360,13 @@ let test_tx_errors () =
     (try
        ignore (Database.exec db "COMMIT");
        false
-     with Errors.Db_error (Errors.Constraint_violation _) -> true);
+     with Errors.Db_error (Errors.Tx_state _) -> true);
   ignore (Database.exec db "BEGIN");
   Alcotest.(check bool) "nested begin" true
     (try
        ignore (Database.exec db "BEGIN");
        false
-     with Errors.Db_error (Errors.Constraint_violation _) -> true);
+     with Errors.Db_error (Errors.Tx_state _) -> true);
   Alcotest.(check bool) "ddl inside tx rejected" true
     (try
        ignore (Database.exec db "CREATE TABLE z (a INT)");

@@ -1,0 +1,247 @@
+(* Interactive MVCC transactions: cross-session visibility, first-
+   updater-wins conflicts, the client-side bounded-retry loop, the
+   audit/package/replay chain for commit/abort decisions, and the
+   txcheck recovery campaign. *)
+
+open Minidb
+module I = Dbclient.Interceptor
+module F = Ldv_faults
+module E = Ldv_errors
+open Ldv_core
+
+let mk_db () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (id INT, body TEXT)");
+  ignore (Database.exec db "INSERT INTO t VALUES (1, 'one')");
+  db
+
+let count db =
+  match Database.query db "SELECT COUNT(*) FROM t" with
+  | { Executor.rows = [ { Executor.values = [| Value.Int n |]; _ } ]; _ } -> n
+  | _ -> Alcotest.fail "count query failed"
+
+(* ---------------- engine-level MVCC ------------------------------ *)
+
+(* A transaction sees its own writes plus the begin snapshot; other
+   sessions see neither until COMMIT, and writes committed after the
+   begin stay invisible inside it. *)
+let test_cross_session_visibility () =
+  let db = mk_db () in
+  ignore (Database.exec db "BEGIN");
+  let a = Database.current_tx db in
+  ignore (Database.exec db "INSERT INTO t VALUES (2, 'two')");
+  Alcotest.(check int) "own uncommitted write visible inside" 2 (count db);
+  Database.set_current_tx db 0;
+  Alcotest.(check int) "uncommitted write invisible outside" 1 (count db);
+  (* a commit that lands after [a]'s begin snapshot *)
+  ignore (Database.exec db "INSERT INTO t VALUES (3, 'three')");
+  Alcotest.(check int) "autocommit sees its own commit" 2 (count db);
+  Database.set_current_tx db a;
+  Alcotest.(check int) "later commit invisible to the begin snapshot" 2
+    (count db);
+  ignore (Database.exec db "COMMIT");
+  Alcotest.(check int) "all three visible after commit" 3 (count db)
+
+(* First-updater-wins: the second transaction to touch a row already
+   written by a live transaction aborts immediately with a typed
+   serialization failure. *)
+let test_first_updater_wins () =
+  let db = mk_db () in
+  ignore (Database.exec db "INSERT INTO t VALUES (2, 'two')");
+  ignore (Database.exec db "BEGIN");
+  let a = Database.current_tx db in
+  ignore (Database.exec db "UPDATE t SET body = 'a' WHERE id = 1");
+  Database.set_current_tx db 0;
+  ignore (Database.exec db "BEGIN");
+  Alcotest.(check bool) "second updater aborts" true
+    (try
+       ignore (Database.exec db "UPDATE t SET body = 'b' WHERE id = 1");
+       false
+     with Errors.Db_error (Errors.Serialization_failure _) -> true);
+  (* a disjoint row is not contended *)
+  ignore (Database.exec db "UPDATE t SET body = 'b2' WHERE id = 2");
+  ignore (Database.exec db "COMMIT");
+  Database.set_current_tx db a;
+  ignore (Database.exec db "COMMIT");
+  match Database.query db "SELECT body FROM t WHERE id = 1" with
+  | { Executor.rows = [ { Executor.values = [| Value.Str s |]; _ } ]; _ } ->
+    Alcotest.(check string) "first updater's write survives" "a" s
+  | _ -> Alcotest.fail "body query failed"
+
+(* The conflict loser also aborts when the winner has already committed
+   a version newer than the loser's begin snapshot (no lost update). *)
+let test_no_lost_update_after_commit () =
+  let db = mk_db () in
+  ignore (Database.exec db "BEGIN");
+  let a = Database.current_tx db in
+  Database.set_current_tx db 0;
+  ignore (Database.exec db "UPDATE t SET body = 'winner' WHERE id = 1");
+  Database.set_current_tx db a;
+  Alcotest.(check bool) "stale snapshot updater aborts" true
+    (try
+       ignore (Database.exec db "UPDATE t SET body = 'loser' WHERE id = 1");
+       false
+     with Errors.Db_error (Errors.Serialization_failure _) -> true);
+  Database.rollback_tx db
+
+(* ---------------- typed Tx_state warnings (server) --------------- *)
+
+(* Transaction-state misuse surfaces as a typed warning through
+   [on_warning] (like Wal_torn), plus an error response to the client. *)
+let test_tx_state_warning_surfaced () =
+  let kernel = Minios.Kernel.create () in
+  let db = Database.create () in
+  let server = Dbclient.Server.install kernel db in
+  let warned = ref None in
+  let prev = !E.on_warning in
+  E.on_warning := (fun e -> warned := Some e);
+  let resp =
+    Fun.protect
+      ~finally:(fun () -> E.on_warning := prev)
+      (fun () ->
+        Dbclient.Server.handle server
+          (Dbclient.Protocol.Statement { sql = "COMMIT" }))
+  in
+  (match resp with
+  | Dbclient.Protocol.Error_response _ -> ()
+  | _ -> Alcotest.fail "expected an error response");
+  Alcotest.(check bool) "typed Tx_state warning fired" true
+    (match !warned with Some (E.Tx_state _) -> true | _ -> false)
+
+(* ---------------- tx-outcome derivation -------------------------- *)
+
+let ev sid sql_norm =
+  { I.qid = 0;
+    sid;
+    pid = 0;
+    sql = sql_norm;
+    sql_norm;
+    kind = I.Sddl;
+    t_start = 0;
+    t_end = 0;
+    snapshot = 0;
+    replica = -1;
+    results = [];
+    reads = [];
+    schema = None;
+    rows = [];
+    affected = 0;
+    response_bytes = 0 }
+
+let outcome =
+  Alcotest.testable
+    (fun fmt (sid, n, o) ->
+      Format.fprintf fmt "%d.%d=%s" sid n (Audit.tx_outcome_name o))
+    ( = )
+
+let test_tx_outcomes_derivation () =
+  let stmts =
+    [ ev 0 "BEGIN"; ev 0 "INSERT INTO t VALUES (1)"; ev 0 "COMMIT";
+      ev 0 "BEGIN";
+      (* session 0's second tx never closes: conflict-aborted, no retry *)
+      ev 1 "BEGIN"; ev 1 "ROLLBACK";
+      (* session 1's second tx is conflict-aborted, then retried *)
+      ev 1 "BEGIN"; ev 1 "BEGIN"; ev 1 "COMMIT" ]
+  in
+  Alcotest.(check (list outcome))
+    "per-session ordinals and outcomes"
+    [ (0, 1, Audit.Tx_committed);
+      (0, 2, Audit.Tx_aborted);
+      (1, 1, Audit.Tx_rolled_back);
+      (1, 2, Audit.Tx_retried);
+      (1, 3, Audit.Tx_committed) ]
+    (Audit.tx_outcomes stmts)
+
+(* ---------------- concurrent audited tx workload ----------------- *)
+
+let has o outcomes = List.exists (fun (_, _, x) -> x = o) outcomes
+
+let test_audited_tx_conflicts_and_determinism () =
+  let a1 = Concurrent.audited_tx ~sessions:4 ~rounds:6 ~seed:3 () in
+  let o1 = Audit.tx_outcomes (Audit.stmts a1) in
+  Alcotest.(check bool) "transactions recorded" true (List.length o1 > 0);
+  Alcotest.(check bool) "commits recorded" true (has Audit.Tx_committed o1);
+  Alcotest.(check bool) "explicit rollbacks recorded" true
+    (has Audit.Tx_rolled_back o1);
+  Alcotest.(check bool) "genuine conflicts aborted and retried" true
+    (has Audit.Tx_retried o1);
+  let a2 = Concurrent.audited_tx ~sessions:4 ~rounds:6 ~seed:3 () in
+  Alcotest.(check (list outcome))
+    "same seed, same commit/abort decisions" o1
+    (Audit.tx_outcomes (Audit.stmts a2))
+
+let test_tx_package_records_outcomes () =
+  let audit = Concurrent.audited_tx ~sessions:4 ~rounds:6 ~seed:3 () in
+  let pkg = Package.build audit in
+  Alcotest.(check (list outcome))
+    "package metadata round-trips the outcomes"
+    (Audit.tx_outcomes (Audit.stmts audit))
+    (Package.tx_outcomes pkg)
+
+let test_tx_replay_reproduces_decisions () =
+  let audit = Concurrent.audited_tx ~sessions:3 ~rounds:5 ~seed:7 () in
+  let pkg = Package.build audit in
+  (match Package.schedule pkg with
+  | Some (_, clients) -> Concurrent.register_schedule_clients clients
+  | None -> Alcotest.fail "concurrent package lost its schedule");
+  let r = Replay.execute pkg in
+  Alcotest.(check (list string))
+    "replay verifies: outputs, fingerprints, tx decisions" []
+    (Replay.verify ~audit r);
+  Alcotest.(check (list outcome))
+    "replayed stream derives the recorded outcomes"
+    (Package.tx_outcomes pkg)
+    (Audit.tx_outcomes (Audit.merge_logs r.Replay.sessions))
+
+(* ---------------- abort injection + bounded retry ---------------- *)
+
+let test_abort_injection_retries () =
+  let plan = F.make ~p_abort:0.25 ~seed:17 () in
+  let audit =
+    F.with_plan plan (fun () ->
+        Concurrent.audited_tx ~sessions:2 ~rounds:5 ~seed:11 ())
+  in
+  let injected = List.assoc "abort" (F.injected plan) in
+  Alcotest.(check bool) "abort faults injected" true (injected > 0);
+  let outcomes = Audit.tx_outcomes (Audit.stmts audit) in
+  Alcotest.(check bool) "injected conflicts were retried" true
+    (has Audit.Tx_retried outcomes);
+  Alcotest.(check bool) "workload still commits through retries" true
+    (has Audit.Tx_committed outcomes)
+
+(* ---------------- txcheck campaign ------------------------------- *)
+
+let test_txcheck_deterministic_and_verified () =
+  let r1 = Txcheck.run ~sessions:4 ~campaigns:4 ~seed:123 () in
+  let r2 = Txcheck.run ~sessions:4 ~campaigns:4 ~seed:123 () in
+  Alcotest.(check string) "same seed, identical report" (Txcheck.to_string r1)
+    (Txcheck.to_string r2);
+  Alcotest.(check int) "no divergence" 0 r1.Txcheck.r_divergent;
+  Alcotest.(check int) "no uncaught exceptions" 0 r1.Txcheck.r_uncaught;
+  Alcotest.(check bool) "crashes actually happened and verified" true
+    (List.exists
+       (fun (r : Txcheck.run) ->
+         match r.Txcheck.outcome with Txcheck.Verified _ -> true | _ -> false)
+       r1.Txcheck.r_runs)
+
+let suite =
+  [ Alcotest.test_case "mvcc: cross-session visibility" `Quick
+      test_cross_session_visibility;
+    Alcotest.test_case "mvcc: first updater wins" `Quick
+      test_first_updater_wins;
+    Alcotest.test_case "mvcc: no lost update after commit" `Quick
+      test_no_lost_update_after_commit;
+    Alcotest.test_case "server: Tx_state warning surfaced" `Quick
+      test_tx_state_warning_surfaced;
+    Alcotest.test_case "audit: tx outcome derivation" `Quick
+      test_tx_outcomes_derivation;
+    Alcotest.test_case "audit: conflicts + determinism" `Quick
+      test_audited_tx_conflicts_and_determinism;
+    Alcotest.test_case "package: records tx outcomes" `Quick
+      test_tx_package_records_outcomes;
+    Alcotest.test_case "replay: reproduces commit/abort decisions" `Quick
+      test_tx_replay_reproduces_decisions;
+    Alcotest.test_case "faults: abort injection + bounded retry" `Quick
+      test_abort_injection_retries;
+    Alcotest.test_case "txcheck: deterministic and verified" `Quick
+      test_txcheck_deterministic_and_verified ]
