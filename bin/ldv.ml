@@ -501,21 +501,34 @@ let profile_cmd =
 (* timeline / contention: wait-state analysis of a JSONL trace         *)
 
 let timeline_cmd =
-  let run path =
+  let cluster_arg =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Render the cluster-wide causal view instead: per-node lanes \
+             (leader sessions and replicas) over wall time, plus a \
+             per-trace table joining each statement with the replica \
+             applies its shipped WAL records caused (ship frames carry \
+             the originating trace id).")
+  in
+  let run path cluster =
     match load_trace path with
     | Error _ as e -> e
     | Ok snap ->
-      Obs_report.print_timeline snap;
+      if cluster then Obs_report.print_cluster_timeline snap
+      else Obs_report.print_timeline snap;
       Ok ()
   in
-  let term = Term.(term_result (const run $ trace_pos_arg)) in
+  let term = Term.(term_result (const run $ trace_pos_arg $ cluster_arg)) in
   Cmd.v
     (Cmd.info "timeline"
        ~doc:
          "Render a deterministic per-session Gantt chart over scheduler \
           quanta from an observability trace (collect one with \
           $(b,ldv --obs jsonl:FILE audit --sessions N)), with \
-          blocked-vs-running attribution per session")
+          blocked-vs-running attribution per session; with $(b,--cluster), \
+          the cluster-wide causal view spanning leader and replicas")
     term
 
 let contention_cmd =
@@ -533,6 +546,55 @@ let contention_cmd =
          "Report contention from an observability trace: blocked vs \
           running per session, top latch holders with the wait they \
           caused, latch-wait share of wall time, and group-commit stalls")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* overhead: the audit-overhead ledger view and its regression gate    *)
+
+let overhead_cmd =
+  let gate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "gate" ] ~docv:"PCT"
+          ~doc:
+            "Fail (exit 5) when the audit overhead — the audit-record, \
+             provenance, and obs-self phases as a percentage of native \
+             work (parse, plan, exec, WAL, fsync, other) — exceeds PCT, \
+             or when the trace carries no ledger data to gate on.")
+  in
+  let run path gate =
+    match load_trace path with
+    | Error _ as e -> e
+    | Ok snap -> (
+      let overhead = Obs_report.print_overhead snap in
+      match gate with
+      | None -> Ok ()
+      | Some budget -> (
+        match overhead with
+        | None ->
+          Printf.eprintf
+            "ldv: overhead gate: no ledger data to gate on in %s\n%!" path;
+          exit 5
+        | Some pct ->
+          if pct > budget then begin
+            Printf.eprintf
+              "ldv: overhead gate: %.2f%% audit overhead exceeds the %.2f%% \
+               budget\n%!"
+              pct budget;
+            exit 5
+          end;
+          Printf.printf "overhead gate: %.2f%% within the %.2f%% budget\n" pct
+            budget;
+          Ok ()))
+  in
+  let term = Term.(term_result (const run $ trace_pos_arg $ gate_arg)) in
+  Cmd.v
+    (Cmd.info "overhead"
+       ~doc:
+         "Report the per-phase overhead ledger of an observability trace — \
+          every statement's wall time split into parse/plan/exec/WAL/fsync \
+          versus audit-record/provenance/obs-self — and optionally gate \
+          (exit 5) on the audit-overhead percentage")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -823,6 +885,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd;
-            profile_cmd; timeline_cmd; contention_cmd; obs_cmd;
-            faultcheck_cmd; crashcheck_cmd; txcheck_cmd; replicacheck_cmd;
-            demo_cmd ]))
+            profile_cmd; timeline_cmd; contention_cmd; overhead_cmd;
+            obs_cmd; faultcheck_cmd; crashcheck_cmd; txcheck_cmd;
+            replicacheck_cmd; demo_cmd ]))

@@ -8,7 +8,7 @@
 # budget (the gate must pass on identical runs).
 #
 # --quick skips the harness/profiler smokes (build + tests + the
-# replicacheck smoke only).
+# replicacheck/txcheck smokes + the overhead-ledger gate self-check).
 set -e
 cd "$(dirname "$0")"
 
@@ -34,6 +34,27 @@ dune exec bin/ldv.exe -- replicacheck --seeds 5 --replicas 2
 # at transaction granularity, including reenacted provenance
 dune exec bin/ldv.exe -- txcheck --seeds 5 --sessions 4
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# overhead-ledger smoke (also under --quick): stream a replicated
+# concurrent audit, render the per-phase ledger and the cluster-wide
+# causal timeline, and exercise the gate in both directions — a
+# generous budget must pass, and an absurdly tight one must trip
+# (exit 5), proving the gate can actually catch a regression
+dune exec bin/ldv.exe -- --obs "jsonl:$tmpdir/ov.jsonl" \
+  audit --sessions 4 --replicas 2 -o "$tmpdir/ov.ldv" > /dev/null
+dune exec bin/ldv.exe -- overhead "$tmpdir/ov.jsonl" --gate 500 > /dev/null
+if dune exec bin/ldv.exe -- overhead "$tmpdir/ov.jsonl" --gate 0.0001 \
+    > /dev/null 2>&1; then
+  echo "check.sh: overhead gate failed to trip on an injected regression" >&2
+  exit 1
+fi
+dune exec bin/ldv.exe -- timeline "$tmpdir/ov.jsonl" --cluster > /dev/null
+# the span-diff gate must pass a repl/tx-bearing trace against itself
+dune exec bin/ldv.exe -- obs diff "$tmpdir/ov.jsonl" "$tmpdir/ov.jsonl" \
+  --budget 10 > /dev/null
+
 if [ "$quick" -eq 0 ]; then
   dune exec bin/ldv.exe -- faultcheck --campaigns 5 --seed 42
   dune exec bin/ldv.exe -- crashcheck --campaigns 5 --seed 42
@@ -49,8 +70,6 @@ if [ "$quick" -eq 0 ]; then
   dune exec bench/main.exe -- txn
 
   # profile smoke: audit a small run with JSONL export, then analyze it
-  tmpdir=$(mktemp -d)
-  trap 'rm -rf "$tmpdir"' EXIT
   dune exec bin/ldv.exe -- --obs "jsonl:$tmpdir/run.jsonl" \
     audit --sf 0.002 --inserts 20 --selects 3 --updates 5 \
     -o "$tmpdir/app.ldv" > /dev/null
@@ -63,6 +82,9 @@ if [ "$quick" -eq 0 ]; then
   # contention bench (writes BENCH_contention.json: latch-wait share and
   # group-commit stalls at 1/4/8 sessions)
   dune exec bench/main.exe -- contention
+  # overhead bench (writes BENCH_overhead.json: per-phase per-statement
+  # audit overhead at 1/4/8 sessions, obs-self broken out)
+  dune exec bench/main.exe -- overhead
   # replication bench (writes BENCH_replication.json: read throughput at
   # 1/2/4 replicas and catch-up time after a seeded crash)
   dune exec bench/main.exe -- replication

@@ -97,11 +97,17 @@ let exec (conn : conn) (sql : string) : int =
     conflict aborts it. The interceptor has already rolled the aborted
     attempt back, so every retry starts from a clean slate; yields between
     attempts let the conflicting session finish its own transaction.
-    Returns the total affected-row count of the committed attempt. *)
+    Returns the total affected-row count of the committed attempt.
+
+    Tracing: each attempt runs inside a ["tx.attempt"] span carrying the
+    1-based attempt number ([tx.try]) and, on retries, the span id of the
+    attempt it replaces ([retry_of]) — so the attempts of one transaction
+    form a linked chain in the trace instead of unrelated fragments. *)
 let transaction ?attempts (conn : conn) (stmts : string list) : int =
   check conn;
   let kernel = Interceptor.kernel_of conn.session in
   let tries = ref 0 in
+  let last_attempt = ref 0 in
   Ldv_faults.with_retries ?attempts ~op:"client.tx" @@ fun () ->
   if !tries > 0 then begin
     (* the backoff recorded by [with_retries] is logical; these yields
@@ -113,18 +119,33 @@ let transaction ?attempts (conn : conn) (stmts : string list) : int =
   end;
   incr tries;
   Ldv_obs.counter "client.tx.attempts";
-  ignore (send conn "BEGIN");
-  let affected =
-    List.fold_left
-      (fun acc sql ->
-        match send conn sql with
-        | Protocol.Command_ok { affected } -> acc + affected
-        | Protocol.Error_response msg -> Errors.unsupported "server error: %s" msg
-        | Protocol.Result_set _ | Protocol.Ddl_ok | Protocol.Connected _ -> acc)
-      0 stmts
+  let attempt () =
+    ignore (send conn "BEGIN");
+    let affected =
+      List.fold_left
+        (fun acc sql ->
+          match send conn sql with
+          | Protocol.Command_ok { affected } -> acc + affected
+          | Protocol.Error_response msg -> Errors.unsupported "server error: %s" msg
+          | Protocol.Result_set _ | Protocol.Ddl_ok | Protocol.Connected _ -> acc)
+        0 stmts
+    in
+    ignore (send conn "COMMIT");
+    affected
   in
-  ignore (send conn "COMMIT");
-  affected
+  if not (Ldv_obs.enabled ()) then attempt ()
+  else begin
+    let attrs =
+      ("tx.try", string_of_int !tries)
+      ::
+      (if !last_attempt > 0 then
+         [ ("retry_of", string_of_int !last_attempt) ]
+       else [])
+    in
+    let sp = Ldv_obs.start_span ~attrs "tx.attempt" in
+    last_attempt := sp.Ldv_obs.sp_id;
+    Fun.protect ~finally:(fun () -> Ldv_obs.finish_span sp) attempt
+  end
 
 let close (conn : conn) =
   if conn.open_ then begin

@@ -116,6 +116,7 @@ let start (kernel : Minios.Kernel.t) (server : Server.t) ~pid : t =
 
 (** Raise one fsync barrier over the WAL. *)
 let barrier (t : t) : unit =
+  Ldv_obs.Ledger.time Ldv_obs.Ledger.Fsync @@ fun () ->
   Ldv_faults.crash_point ~site:"wal.pre_fsync";
   Minios.Kernel.fsync_path t.kernel ~pid:t.pid ~path:(wal_path t.server);
   t.fsync_barriers <- t.fsync_barriers + 1;
@@ -168,7 +169,8 @@ let exec ?(sid = 0) (t : t) (sql : string) : Protocol.response =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let path = wal_path t.server in
-  Wal.append t.kernel ~pid:t.pid ~path { Wal.seq; kind; sid; sql };
+  Ldv_obs.Ledger.time Ldv_obs.Ledger.Wal_append (fun () ->
+      Wal.append t.kernel ~pid:t.pid ~path { Wal.seq; kind; sid; sql });
   Ldv_faults.crash_point ~site:"wal.append";
   let db = Server.db t.server in
   let sync_needed =

@@ -210,6 +210,7 @@ let eager_recording_bytes t = Buffer.length t.eager_recording
 
 let add_to_slice t tid =
   if not (Hashtbl.mem t.slice tid) then begin
+    Ldv_obs.Ledger.time Ldv_obs.Ledger.Audit_record @@ fun () ->
     Hashtbl.replace t.slice tid ();
     (* write the newly relevant tuple out immediately (§VII-D) *)
     match Perm.Versioning.lookup_version t.versioning tid with
@@ -258,6 +259,7 @@ let exec_audit_included t ~qid ~pid ?serve (ast : Sql_ast.statement)
   | Sql_ast.Select _ | Sql_ast.Provenance _ ->
     let serve_db = match serve with Some srv -> Server.db srv | None -> db in
     let prov =
+      Ldv_obs.Ledger.time Ldv_obs.Ledger.Provenance @@ fun () ->
       match serve with
       | Some _ ->
         Database.with_frozen_clock serve_db (fun () ->
@@ -269,6 +271,7 @@ let exec_audit_included t ~qid ~pid ?serve (ast : Sql_ast.statement)
       prov.Perm.Provenance_sql.read_tables;
     let at = Database.clock serve_db in
     let results =
+      Ldv_obs.Ledger.time Ldv_obs.Ledger.Provenance @@ fun () ->
       List.mapi
         (fun i (row : Perm.Provenance_sql.provenance_row) ->
           let rtid = synthetic_result_tid ~qid ~row:i ~at in
@@ -308,6 +311,7 @@ let exec_audit_included t ~qid ~pid ?serve (ast : Sql_ast.statement)
        clock is captured between the two so it excludes the reenactment
        query's ticks — replicas apply only the write itself *)
     let _reenactment =
+      Ldv_obs.Ledger.time Ldv_obs.Ledger.Provenance @@ fun () ->
       match ast with
       | Sql_ast.Update _ | Sql_ast.Delete _ -> Some (Perm.Reenact.capture db ast)
       | _ -> None
@@ -323,11 +327,12 @@ let exec_audit_included t ~qid ~pid ?serve (ast : Sql_ast.statement)
       | _ -> assert false
     in
     let at = Database.clock db in
-    List.iter
-      (fun tid ->
-        add_to_slice t tid;
-        Perm.Versioning.record_usage t.versioning tid ~qid ~pid ~at)
-      info.Database.read;
+    Ldv_obs.Ledger.time Ldv_obs.Ledger.Audit_record (fun () ->
+        List.iter
+          (fun tid ->
+            add_to_slice t tid;
+            Perm.Versioning.record_usage t.versioning tid ~qid ~pid ~at)
+          info.Database.read);
     ( Protocol.Command_ok { affected = info.Database.count },
       info.Database.deps,
       info.Database.read,
@@ -396,8 +401,14 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
     Ldv_obs.Trace.set_stmt (-1)
   end;
   Ldv_obs.with_span "db.stmt" @@ fun () ->
+  (* open this statement's overhead account; every ledger frame below
+     (parse/plan/exec/wal/fsync/audit/provenance) attributes into it *)
+  Ldv_obs.Ledger.stmt_begin ();
+  Fun.protect ~finally:Ldv_obs.Ledger.stmt_end @@ fun () ->
   let db = Server.db t.server in
-  let ast = Sql_parser.parse sql in
+  let ast =
+    Ldv_obs.Ledger.time Ldv_obs.Ledger.Parse (fun () -> Sql_parser.parse sql)
+  in
   let sql_norm = Pretty.statement_to_string ast in
   let kind = stmt_kind_of_ast ast in
   if Ldv_obs.enabled () then begin
@@ -540,29 +551,33 @@ let execute (t : t) ~pid (sql : string) : Protocol.response =
         (resp, results, reads, schema, rows, affected, at_write, rid)
       | Audit_excluded ->
         let resp = exec_passthrough t exec_sql in
-        let rec_kind, rec_schema, rec_rows, rec_affected =
-          match resp with
-          | Protocol.Result_set { schema; rows } ->
-            (Recorder.Rquery, Some schema, rows, List.length rows)
-          | Protocol.Command_ok { affected } ->
-            (Recorder.Rdml, None, [], affected)
-          | Protocol.Error_response msg ->
-            (* the original run failed here; replay must fail identically *)
-            (Recorder.Rerror, None, [ [| Value.Str msg |] ], 0)
-          | Protocol.Ddl_ok | Protocol.Connected _ ->
-            (Recorder.Rddl, None, [], 0)
+        let rec_schema, rec_rows, rec_affected =
+          Ldv_obs.Ledger.time Ldv_obs.Ledger.Audit_record @@ fun () ->
+          let rec_kind, rec_schema, rec_rows, rec_affected =
+            match resp with
+            | Protocol.Result_set { schema; rows } ->
+              (Recorder.Rquery, Some schema, rows, List.length rows)
+            | Protocol.Command_ok { affected } ->
+              (Recorder.Rdml, None, [], affected)
+            | Protocol.Error_response msg ->
+              (* the original run failed here; replay must fail identically *)
+              (Recorder.Rerror, None, [ [| Value.Str msg |] ], 0)
+            | Protocol.Ddl_ok | Protocol.Connected _ ->
+              (Recorder.Rddl, None, [], 0)
+          in
+          let record =
+            { Recorder.rec_index = qid;
+              rec_sql_norm = sql_norm;
+              rec_kind;
+              rec_schema;
+              rec_rows;
+              rec_affected }
+          in
+          t.recorded <- record :: t.recorded;
+          (* write the response to the package file as it happens *)
+          Buffer.add_string t.eager_recording (Recorder.encode [ record ]);
+          (rec_schema, rec_rows, rec_affected)
         in
-        let record =
-          { Recorder.rec_index = qid;
-            rec_sql_norm = sql_norm;
-            rec_kind;
-            rec_schema;
-            rec_rows;
-            rec_affected }
-        in
-        t.recorded <- record :: t.recorded;
-        (* write the response to the package file as it happens *)
-        Buffer.add_string t.eager_recording (Recorder.encode [ record ]);
         (resp, [], [], rec_schema, rec_rows, rec_affected, at_dispatch, -1)
       | Replay_excluded ->
         let resp = exec_replay_excluded t ~kind sql_norm in

@@ -46,8 +46,10 @@ type state = Up | Lagging | Down
 let state_name = function Up -> "up" | Lagging -> "lagging" | Down -> "down"
 
 (* One shipped record: the WAL frame plus the leader clock observed right
-   before the statement executed. *)
-type ship_msg = { rec_ : Wal.record; at : int }
+   before the statement executed and the originating statement's trace id
+   (0 = none), so replica-side apply spans join the statement's causal
+   tree in the cluster timeline. *)
+type ship_msg = { rec_ : Wal.record; at : int; tr : int }
 
 type replica = {
   rep_id : int;
@@ -67,6 +69,9 @@ type t = {
       (** retained copy of every shipped record — never truncated, so it
           is always a valid catch-up source *)
   clocks : (int, int) Hashtbl.t;  (** seq -> leader clock before execute *)
+  traces : (int, int) Hashtbl.t;
+      (** seq -> originating trace id, so catch-up re-ships frames with
+          their original causal identity *)
   staleness : int;  (** max records of lag a replica may serve reads at *)
   torn : int -> int;  (** unsynced bytes -> surviving torn tail, per crash *)
   ckpt_every : int;
@@ -187,6 +192,7 @@ let create (kernel : Minios.Kernel.t) ~(leader : Durable.t) ~replicas
       leader;
       ship_log = "/var/minidb/ship.log";
       clocks = Hashtbl.create 256;
+      traces = Hashtbl.create 256;
       staleness;
       torn;
       ckpt_every;
@@ -201,10 +207,11 @@ let create (kernel : Minios.Kernel.t) ~(leader : Durable.t) ~replicas
   t
 
 (* ------------------------------------------------------------------ *)
-(* Ship frames: the WAL frame prefixed with the leader clock.          *)
+(* Ship frames: the WAL frame prefixed with the leader clock and the
+   originating trace id.                                               *)
 
 let encode_ship (msg : ship_msg) : string =
-  Printf.sprintf "!%d\n%s" msg.at (Wal.encode msg.rec_)
+  Printf.sprintf "!%d %d\n%s" msg.at msg.tr (Wal.encode msg.rec_)
 
 let decode_ship (frame : string) : ship_msg option =
   if String.length frame = 0 || frame.[0] <> '!' then None
@@ -212,15 +219,20 @@ let decode_ship (frame : string) : ship_msg option =
     match String.index_opt frame '\n' with
     | None -> None
     | Some nl -> (
-      match int_of_string_opt (String.sub frame 1 (nl - 1)) with
-      | None -> None
-      | Some at -> (
-        let rest =
-          String.sub frame (nl + 1) (String.length frame - nl - 1)
-        in
-        match Wal.decode_frame rest with
-        | Some rec_ -> Some { rec_; at }
-        | None -> None))
+      match
+        String.split_on_char ' ' (String.sub frame 1 (nl - 1))
+      with
+      | [ at_s; tr_s ] -> (
+        match (int_of_string_opt at_s, int_of_string_opt tr_s) with
+        | Some at, Some tr -> (
+          let rest =
+            String.sub frame (nl + 1) (String.length frame - nl - 1)
+          in
+          match Wal.decode_frame rest with
+          | Some rec_ -> Some { rec_; at; tr }
+          | None -> None)
+        | _ -> None)
+      | _ -> None)
 
 (* Deterministic single-byte corruption of a ship frame. *)
 let garble (frame : string) ~seq : string =
@@ -252,10 +264,29 @@ let rec apply t (rep : replica) (msg : ship_msg) : unit =
   let seq = msg.rec_.Wal.seq in
   if seq <= rep.rep_applied then Ldv_obs.counter "repl.apply.dup"
   else if seq = rep.rep_applied + 1 then begin
-    Ldv_obs.with_span "repl.apply" (fun () ->
-        let db = Server.db (Durable.server rep.rep_durable) in
-        Database.sync_clock db ~at:msg.at;
-        ignore (Durable.exec rep.rep_durable msg.rec_.Wal.sql));
+    (* The apply span runs under the *originating* statement's trace id
+       (carried by the frame), stamped with the answering node, so live
+       pushes and asynchronous catch-up applies parent identically into
+       the cluster-wide causal tree. *)
+    let apply_body () =
+      Ldv_obs.with_span
+        ~attrs:[ ("repl.node", string_of_int rep.rep_id) ]
+        "repl.apply"
+        (fun () ->
+          let db = Server.db (Durable.server rep.rep_durable) in
+          Database.sync_clock db ~at:msg.at;
+          ignore (Durable.exec rep.rep_durable msg.rec_.Wal.sql))
+    in
+    (if msg.tr > 0 && Ldv_obs.enabled () then begin
+       let origin = Ldv_obs.Trace.make () in
+       let prev = Ldv_obs.Trace.use origin in
+       Ldv_obs.Trace.set_trace msg.tr;
+       Fun.protect
+         ~finally:(fun () ->
+           ignore (Ldv_obs.Trace.use prev : Ldv_obs.Trace.ctx))
+         apply_body
+     end
+     else apply_body ());
     rep.rep_applied <- seq;
     if Ldv_obs.enabled () then Ldv_obs.counter "repl.applied";
     maybe_checkpoint rep ~ckpt_every:t.ckpt_every;
@@ -300,7 +331,10 @@ let deliver t (rep : replica) ~allow_reorder ~op (msg : ship_msg) : unit =
         | None ->
           Ldv_errors.fail (Ldv_errors.Protocol_garbled { context = op })
         | Some msg' ->
-          Ldv_obs.with_span "repl.ship" (fun () -> apply t rep msg')))
+          Ldv_obs.with_span
+            ~attrs:[ ("repl.node", string_of_int rep.rep_id) ]
+            "repl.ship"
+            (fun () -> apply t rep msg')))
 
 (* ------------------------------------------------------------------ *)
 (* Crash / recover / catch-up.                                         *)
@@ -346,8 +380,13 @@ let catch_up t (rep : replica) : unit =
           | Some c -> c
           | None -> 0 (* unknown origin clock: apply without syncing *)
         in
+        let tr =
+          match Hashtbl.find_opt t.traces r.Wal.seq with
+          | Some id -> id
+          | None -> 0
+        in
         deliver t rep ~allow_reorder:false ~op:"repl.catchup"
-          { rec_ = r; at })
+          { rec_ = r; at; tr })
       missing;
     rep.rep_stash <- [];
     rep.rep_delayed <- None;
@@ -441,11 +480,17 @@ let note_write t ~at (sql : string) : unit =
   t.ship_seq <- seq;
   let rec_ = { Wal.seq; kind = Durable.kind_of_sql sql; sid = 0; sql } in
   let pid = t.leader.Durable.pid in
-  Wal.append t.kernel ~pid ~path:t.ship_log rec_;
-  Minios.Kernel.fsync_path t.kernel ~pid ~path:t.ship_log;
+  Ldv_obs.Ledger.time Ldv_obs.Ledger.Wal_append (fun () ->
+      Wal.append t.kernel ~pid ~path:t.ship_log rec_);
+  Ldv_obs.Ledger.time Ldv_obs.Ledger.Fsync (fun () ->
+      Minios.Kernel.fsync_path t.kernel ~pid ~path:t.ship_log);
   Hashtbl.replace t.clocks seq at;
+  (* the ambient trace id is the originating statement's: note_write runs
+     inside the interceptor's statement (or COMMIT) execution *)
+  let tr = Ldv_obs.Trace.id () in
+  Hashtbl.replace t.traces seq tr;
   if Ldv_obs.enabled () then Ldv_obs.counter "repl.shipped";
-  let msg = { rec_; at } in
+  let msg = { rec_; at; tr } in
   Array.iter (fun rep -> push t rep msg) t.replicas;
   repair_lagging t
 

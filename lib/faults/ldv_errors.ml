@@ -48,6 +48,9 @@ type t =
   | Wal_torn of { path : string; bytes : int }
       (** a WAL load discarded [bytes] trailing bytes as a torn or corrupt
           tail; expected after a crash, alarming otherwise *)
+  | Sink_torn of { line : int; what : string }
+      (** a JSONL observability sink ended in an unreadable trailing
+          record (the writer died mid-line); the complete prefix was kept *)
   | Tx_conflict of { op : string; detail : string }
       (** a write-write conflict aborted the transaction (first-updater
           wins); transient — the whole transaction can be retried *)
@@ -72,7 +75,8 @@ let is_transient = function
   | Connection_lost _ | Protocol_garbled _ | Tx_conflict _ -> true
   | Io_fault { fault = Eintr; _ } -> true
   | Io_fault _ | Connection_closed _ | Decode_error _ | Package_malformed _
-  | Package_corrupt _ | Retries_exhausted _ | Wal_torn _ | Tx_state _ ->
+  | Package_corrupt _ | Retries_exhausted _ | Wal_torn _ | Sink_torn _
+  | Tx_state _ ->
     false
 
 (** A short stable tag for counters and campaign reports. *)
@@ -86,6 +90,7 @@ let tag = function
   | Package_corrupt _ -> "pkg.corrupt"
   | Retries_exhausted _ -> "retries"
   | Wal_torn _ -> "wal.torn"
+  | Sink_torn _ -> "obs.torn"
   | Tx_conflict _ -> "tx.conflict"
   | Tx_state _ -> "tx.state"
 
@@ -112,6 +117,9 @@ let rec pp ppf = function
   | Wal_torn { path; bytes } ->
     Format.fprintf ppf "torn WAL tail: %d trailing byte(s) of %s discarded"
       bytes path
+  | Sink_torn { line; what } ->
+    Format.fprintf ppf
+      "torn obs sink: trailing record at line %d skipped (%s)" line what
   | Tx_conflict { op; detail } ->
     Format.fprintf ppf "transaction aborted (%s): %s" op detail
   | Tx_state { message } ->

@@ -286,6 +286,81 @@ let print_diff ~budget_pct (rows : P.diff_row list) : P.diff_row list =
   regressions
 
 (* ------------------------------------------------------------------ *)
+(* Overhead rendering (the `ldv overhead` ledger view).                *)
+
+module L = Ldv_obs.Ledger
+
+(** The per-phase overhead table of a snapshot's ledger histograms: one
+    row per phase (plus the unattributed remainder), per-statement means,
+    and each phase's share of total statement time. Returns the audit
+    overhead percentage — the audit-attributable phases (audit-record,
+    provenance, obs-self) as a fraction of the native work (parse, plan,
+    exec, WAL, fsync, other) — or [None] when the trace carries no
+    ledger data. Deterministic: a pure function of the snapshot. *)
+let print_overhead (snap : Obs.snapshot) : float option =
+  let hist name = List.assoc_opt name snap.Obs.histograms in
+  let sum = function Some s -> s.H.s_sum | None -> 0.0 in
+  match hist L.stmt_hist with
+  | None ->
+    print_endline
+      "no overhead ledger in this trace (collect one with an audit under \
+       --obs)";
+    None
+  | Some stmt when stmt.H.s_count = 0 ->
+    print_endline "overhead ledger is empty (no statements accounted)";
+    None
+  | Some stmt ->
+    let n = float_of_int stmt.H.s_count in
+    let rows =
+      List.map
+        (fun p -> (L.phase_name p, hist (L.hist_of_phase p), L.is_audit_phase p))
+        L.phases
+      @ [ ("other", hist L.other_hist, false) ]
+    in
+    let audit_s =
+      List.fold_left
+        (fun acc (_, s, is_a) -> if is_a then acc +. sum s else acc)
+        0.0 rows
+    in
+    let native_s =
+      List.fold_left
+        (fun acc (_, s, is_a) -> if is_a then acc else acc +. sum s)
+        0.0 rows
+    in
+    Report.section "Overhead ledger (per phase)";
+    Report.print_table
+      ~header:[ "phase"; "class"; "count"; "total"; "per-stmt"; "share" ]
+      (List.map
+         (fun (name, s, is_a) ->
+           let total = sum s in
+           [ name;
+             (if is_a then "audit" else "native");
+             string_of_int (match s with Some s -> s.H.s_count | None -> 0);
+             Report.seconds total;
+             Report.seconds (total /. n);
+             pct ~of_:stmt.H.s_sum total ])
+         rows);
+    Report.note "%d statement(s) accounted, %s total (%s per statement)\n"
+      stmt.H.s_count
+      (Report.seconds stmt.H.s_sum)
+      (Report.seconds (stmt.H.s_sum /. n));
+    let obs_self = sum (hist (L.hist_of_phase L.Obs_self)) in
+    Report.note "obs-self (instrumentation metering itself): %s (%s)\n"
+      (Report.seconds obs_self)
+      (pct ~of_:stmt.H.s_sum obs_self);
+    if native_s <= 0.0 then begin
+      Report.note "native work is zero; overhead ratio undefined\n";
+      None
+    end
+    else begin
+      let overhead_pct = 100.0 *. audit_s /. native_s in
+      Report.note
+        "audit overhead: %.2f%% (audit phases %s over native work %s)\n"
+        overhead_pct (Report.seconds audit_s) (Report.seconds native_s);
+      Some overhead_pct
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Contention rendering (the `ldv timeline` / `ldv contention` views). *)
 
 module C = Ldv_obs.Contention
@@ -371,6 +446,144 @@ let print_timeline (snap : Obs.snapshot) =
            Printf.sprintf " (%d early quantum records dropped)"
              snap.Obs.dropped_quanta
          else "")
+
+(* ------------------------------------------------------------------ *)
+(* Cluster timeline (the `ldv timeline --cluster` view).               *)
+
+let span_attr (sp : Obs.span) key = List.assoc_opt key sp.Obs.sp_attrs
+
+let span_int_attr (sp : Obs.span) key =
+  match span_attr sp key with
+  | Some v -> ( try int_of_string v with Failure _ -> -1)
+  | None -> -1
+
+(** Which cluster node did a span's work: replica applies land on their
+    [repl.node] lane; everything else (statements, attempts, shipping)
+    runs on the leader, laned by session. *)
+let cluster_lane (sp : Obs.span) =
+  if String.equal sp.Obs.sp_name "repl.apply" then
+    Printf.sprintf "R%d" (span_int_attr sp "repl.node")
+  else Printf.sprintf "S%d" (span_int_attr sp Obs.Trace.session_attr)
+
+let is_cluster_span (sp : Obs.span) =
+  match sp.Obs.sp_name with
+  | "db.stmt" | "tx.attempt" | "repl.ship" | "repl.apply" -> true
+  | _ -> false
+
+(** The cluster-wide causal view: ship frames carry the originating
+    statement's trace id, so leader statements, ship deliveries, and
+    replica applies join one tree per trace even though they execute on
+    different nodes. Renders per-node lanes over wall time plus a
+    per-trace causal table. Deterministic: a pure function of the
+    trace. *)
+let print_cluster_timeline (snap : Obs.snapshot) =
+  let spans =
+    List.sort
+      (fun (a : Obs.span) b ->
+        match compare a.Obs.sp_start b.Obs.sp_start with
+        | 0 -> compare a.Obs.sp_id b.Obs.sp_id
+        | c -> c)
+      (List.filter is_cluster_span snap.Obs.spans)
+  in
+  if spans = [] then
+    print_endline
+      "no cluster spans in this trace (collect one with a replicated audit \
+       under --obs)"
+  else begin
+    (* lanes: leader sessions first, then replicas, both in id order *)
+    let lanes = ref [] in
+    List.iter
+      (fun sp ->
+        let lane = cluster_lane sp in
+        if not (List.mem lane !lanes) then lanes := lane :: !lanes)
+      spans;
+    let lanes =
+      List.sort
+        (fun a b ->
+          match (a.[0], b.[0]) with
+          | 'S', 'R' -> -1
+          | 'R', 'S' -> 1
+          | _ -> compare a b)
+        !lanes
+    in
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) (sp : Obs.span) ->
+          ( Float.min lo sp.Obs.sp_start,
+            Float.max hi (sp.Obs.sp_start +. Float.max 0.0 sp.Obs.sp_dur) ))
+        (Float.infinity, Float.neg_infinity)
+        spans
+    in
+    let width = 64 in
+    let extent = hi -. lo in
+    Report.section "Cluster timeline (per node)";
+    if extent <= 0.0 then print_endline "(trace spans a single instant)"
+    else begin
+      List.iter
+        (fun lane ->
+          let bar = Bytes.make width ' ' in
+          List.iter
+            (fun (sp : Obs.span) ->
+              if String.equal (cluster_lane sp) lane then begin
+                let cell t =
+                  min (width - 1)
+                    (max 0
+                       (int_of_float
+                          (float_of_int width *. (t -. lo) /. extent)))
+                in
+                let c0 = cell sp.Obs.sp_start in
+                let c1 = cell (sp.Obs.sp_start +. Float.max 0.0 sp.Obs.sp_dur) in
+                let mark =
+                  match sp.Obs.sp_name with
+                  | "repl.apply" -> 'a'
+                  | "repl.ship" -> 's'
+                  | _ -> '#'
+                in
+                for c = c0 to c1 do
+                  (* statement bodies win shared cells over ship marks *)
+                  if mark = '#' || Bytes.get bar c = ' ' then
+                    Bytes.set bar c mark
+                done
+              end)
+            spans;
+          Printf.printf "  %-8s |%s|\n" lane (Bytes.to_string bar))
+        lanes;
+      Printf.printf "  %-8s  %s\n" ""
+        (Printf.sprintf "# stmt   s ship   a apply   %s .. %s"
+           (Report.seconds 0.0) (Report.seconds extent))
+    end;
+    (* the causal join: group by originating trace id *)
+    let traces =
+      List.sort_uniq compare
+        (List.map (fun sp -> span_int_attr sp Obs.Trace.trace_attr) spans)
+    in
+    Report.section "Cluster causal traces";
+    Report.print_table
+      ~header:[ "trace"; "start"; "span"; "node"; "stmt"; "dur" ]
+      (List.concat_map
+         (fun tr ->
+           List.filter_map
+             (fun (sp : Obs.span) ->
+               if span_int_attr sp Obs.Trace.trace_attr <> tr then None
+               else
+                 Some
+                   [ (if tr < 0 then "-" else string_of_int tr);
+                     Report.seconds (sp.Obs.sp_start -. lo);
+                     sp.Obs.sp_name;
+                     (if String.equal sp.Obs.sp_name "repl.ship" then
+                        Printf.sprintf "->R%d" (span_int_attr sp "repl.node")
+                      else cluster_lane sp);
+                     (match span_attr sp Obs.Trace.stmt_attr with
+                     | Some s -> s
+                     | None -> "-");
+                     Report.seconds (Float.max 0.0 sp.Obs.sp_dur) ])
+             spans)
+         traces);
+    Report.note
+      "%d trace(s) spanning %d node lane(s); replica applies join their \
+       originating statement's trace via the shipped trace id\n"
+      (List.length traces) (List.length lanes)
+  end
 
 (** The contention report: blocked-vs-running attribution, top latch
     holders, and group-commit stalling. *)

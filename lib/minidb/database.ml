@@ -591,9 +591,16 @@ let run_update t ~table ~sets ~where =
 let run_delete t ~table ~where =
   with_tx_context t (fun () -> run_delete t ~table ~where)
 
-let exec_ast t stmt = with_tx_context t (fun () -> exec_ast t stmt)
+(* The overhead ledger's Exec phase covers the whole statement body: DML
+   paths do not pass through [Executor.run], and the nested Plan/Exec
+   frames of a SELECT attribute exclusively, so nothing double-counts. *)
+let exec_ast t stmt =
+  Ldv_obs.Ledger.time Ldv_obs.Ledger.Exec (fun () ->
+      with_tx_context t (fun () -> exec_ast t stmt))
 
-let exec t (sql : string) : exec_result = exec_ast t (Sql_parser.parse sql)
+let exec t (sql : string) : exec_result =
+  exec_ast t
+    (Ldv_obs.Ledger.time Ldv_obs.Ledger.Parse (fun () -> Sql_parser.parse sql))
 
 (** Run a script of semicolon-separated statements, returning the last
     result. *)

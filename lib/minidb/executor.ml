@@ -276,6 +276,7 @@ let rec run_node (n : Planner.node) : arow list =
       !order
 
 let run (n : Planner.node) : result =
+  Ldv_obs.Ledger.time Ldv_obs.Ledger.Exec @@ fun () ->
   let rows = run_node n in
   if Ldv_obs.enabled () then
     Ldv_obs.counter ~by:(List.length rows) "db.tuples_emitted";

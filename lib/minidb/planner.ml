@@ -567,6 +567,7 @@ and plan_select_ctx (ctx : ctx) (s : select) : node =
     subqueries. *)
 let plan_select (catalog : Catalog.t) ?eval_subquery (s : select) : node =
   Ldv_obs.counter "db.plans";
+  Ldv_obs.Ledger.time Ldv_obs.Ledger.Plan @@ fun () ->
   Ldv_obs.with_span "db.plan" @@ fun () ->
   plan_select_ctx { catalog; eval_subquery; extra_ann = Annotation.one } s
 

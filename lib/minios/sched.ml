@@ -41,6 +41,10 @@ type job = {
   j_ctx : Ldv_obs.Trace.ctx;
       (** this job's trace context, swapped in around every quantum so the
           session keeps its identity across parks and resumes *)
+  j_ledger : Ldv_obs.Ledger.ctx;
+      (** this job's overhead-ledger accumulator, swapped alongside the
+          trace context so a statement's phase account survives parks
+          without leaking into sibling sessions *)
   mutable j_parked_at : float;  (** clock at last park; -1 when not parked *)
 }
 
@@ -48,6 +52,7 @@ let make_job pid state =
   { j_pid = pid;
     j_state = state;
     j_ctx = Ldv_obs.Trace.make ();
+    j_ledger = Ldv_obs.Ledger.make ();
     j_parked_at = -1.0 }
 
 let run (kernel : Kernel.t) ?(seed = 0) (clients : client list) : int list =
@@ -99,6 +104,7 @@ let run (kernel : Kernel.t) ?(seed = 0) (clients : client list) : int list =
       let enabled = Ldv_obs.enabled () in
       let t0 = if enabled then Ldv_obs.now () else 0.0 in
       let prev = Ldv_obs.Trace.use j.j_ctx in
+      let prev_ledger = Ldv_obs.Ledger.use j.j_ledger in
       if enabled && j.j_parked_at >= 0.0 then
         Ldv_obs.emit_span
           ~attrs:[ ("os.pid", string_of_int j.j_pid) ]
@@ -119,7 +125,8 @@ let run (kernel : Kernel.t) ?(seed = 0) (clients : client list) : int list =
                  | Parked _ -> t1
                  | Start _ | Finished -> -1.0)
              end;
-             ignore (Ldv_obs.Trace.use prev : Ldv_obs.Trace.ctx))
+             ignore (Ldv_obs.Trace.use prev : Ldv_obs.Trace.ctx);
+             ignore (Ldv_obs.Ledger.use prev_ledger : Ldv_obs.Ledger.ctx))
            (fun () ->
              match state with
              | Start f -> match_with f () handler

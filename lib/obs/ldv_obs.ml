@@ -23,6 +23,7 @@ module Histogram = Histogram
 module Profile = Profile
 module Trace = Trace
 module Contention = Contention
+module Ledger = Ledger
 
 (* ------------------------------------------------------------------ *)
 (* Spans. The plain-data types ([span], [snapshot]) live in
@@ -71,10 +72,18 @@ let st =
 
 let enabled () = st.sink <> Null
 
-let set_sink s = st.sink <- s
+(** The overhead ledger follows the sink: enabled whenever spans are
+    collected, a guaranteed no-op under [Null]. *)
+let set_sink s =
+  st.sink <- s;
+  Ledger.set_enabled (s <> Null)
 
-(** Override the clock (tests substitute a deterministic one). *)
-let set_clock f = st.clock <- f
+(** Override the clock (tests substitute a deterministic one). The
+    ledger shares it, so phase attribution is deterministic whenever the
+    spans are. *)
+let set_clock f =
+  st.clock <- f;
+  Ledger.set_clock f
 
 let now () = st.clock ()
 
@@ -94,7 +103,8 @@ let reset () =
   Hashtbl.reset st.counters;
   Hashtbl.reset st.gauges;
   Hashtbl.reset st.histos;
-  Trace.reset ()
+  Trace.reset ();
+  Ledger.reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Metrics. Every entry point is guarded by the sink check.            *)
@@ -123,6 +133,11 @@ let observe name v =
     in
     Histogram.observe h v
   end
+
+(* The ledger is a sibling module and cannot call the collector; feed
+   its per-statement phase totals into the histogram registry here, so
+   they stream/export exactly like every other metric. *)
+let () = Ledger.set_observer observe
 
 (* ------------------------------------------------------------------ *)
 (* Span lifecycle.                                                     *)
@@ -412,7 +427,12 @@ let summary_of_record (j : Json.t) : Histogram.summary =
 (** Rebuild a snapshot from exported JSONL (the [ldv stats] reader).
     Unknown record types are skipped so the format can grow. A malformed
     or truncated line raises [Ldv_errors.Error (Decode_error _)] with its
-    1-based line number, matching the [Recorder.decode] convention. *)
+    1-based line number, matching the [Recorder.decode] convention —
+    except on the file's final line: a crash kills the streaming sink
+    mid-record, so an unreadable trailing record is the expected
+    signature of a torn sink. It is reported as a typed
+    [Ldv_errors.Sink_torn] warning and skipped, and the (complete)
+    prefix decodes normally — post-crash [ldv stats] works. *)
 let of_jsonl (data : string) : snapshot =
   let spans = ref [] in
   let dropped = ref 0 in
@@ -422,7 +442,13 @@ let of_jsonl (data : string) : snapshot =
   let counters = ref [] in
   let gauges = ref [] in
   let histograms = ref [] in
-  String.split_on_char '\n' data
+  let lines = String.split_on_char '\n' data in
+  let last_line =
+    let last = ref 0 in
+    List.iteri (fun i line -> if String.trim line <> "" then last := i) lines;
+    !last
+  in
+  lines
   |> List.iteri (fun i line ->
          let line = String.trim line in
          let fail fmt =
@@ -431,6 +457,7 @@ let of_jsonl (data : string) : snapshot =
                Ldv_errors.fail (Ldv_errors.Decode_error { line = i + 1; what }))
              fmt
          in
+         try
          if line <> "" then begin
            let j =
              match Json.of_string line with
@@ -484,7 +511,11 @@ let of_jsonl (data : string) : snapshot =
            | () -> ()
            | exception Json.Parse_error what -> fail "%s" what
            | exception Invalid_argument what -> fail "%s" what
-         end);
+         end
+         with
+         | Ldv_errors.Error (Ldv_errors.Decode_error { line; what })
+           when i = last_line ->
+           Ldv_errors.warn (Ldv_errors.Sink_torn { line; what }));
   let by_name (a, _) (b, _) = String.compare a b in
   { spans = List.rev !spans;
     dropped_spans = !dropped;

@@ -32,6 +32,11 @@ let use (c : ctx) : ctx =
 let set_trace id = !current.c_trace <- id
 let set_session sid = !current.c_session <- sid
 
+(** The ambient run-level trace id (0 = unset). Replication stamps it
+    into ship frames so replica-side apply spans join the originating
+    statement's causal tree. *)
+let id () = !current.c_trace
+
 (** Pass [-1] to clear the statement id between statements, so quanta
     spent outside any statement are not mis-attributed to the last one. *)
 let set_stmt qid = !current.c_stmt <- qid

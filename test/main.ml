@@ -47,4 +47,5 @@ let () =
       ("tx", Test_tx.suite);
       ("contention", Test_contention.suite);
       ("replication", Test_replication.suite);
+      ("ledger", Test_ledger.suite);
       ("end-to-end", Test_e2e.suite) ]

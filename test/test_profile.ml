@@ -190,12 +190,16 @@ let check_decode_error ~line data =
   | exception e ->
     Alcotest.failf "expected Decode_error, got %s" (Printexc.to_string e)
 
+(* a failing line that is *not* the last non-empty line still raises:
+   torn-tail tolerance (see test_ledger) covers only the trailing record *)
+let meta_line = "{\"t\":\"meta\",\"dropped\":0,\"ring_cap\":4}"
+
 let test_decode_errors () =
-  check_decode_error ~line:1 "not json at all";
+  check_decode_error ~line:1 ("not json at all\n" ^ meta_line);
   check_decode_error ~line:2
-    "{\"t\":\"meta\",\"dropped\":0,\"ring_cap\":4}\n{\"t\":\"span\",";
+    (meta_line ^ "\n{\"t\":\"span\",\n" ^ meta_line);
   (* well-formed JSON that is not a valid record *)
-  check_decode_error ~line:1 "{\"t\":\"counter\"}"
+  check_decode_error ~line:1 ("{\"t\":\"counter\"}\n" ^ meta_line)
 
 (* ------------------------------------------------------------------ *)
 (* The obs-diff regression gate.                                       *)
