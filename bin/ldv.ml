@@ -829,6 +829,54 @@ let replicacheck_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* sql                                                                 *)
+
+let sql_cmd =
+  let script_arg =
+    let doc =
+      "Semicolon-separated SQL statements, run in order against a fresh \
+       in-memory database. Reads standard input when omitted."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let run obs script =
+    with_obs obs @@ fun () ->
+    let script =
+      match script with
+      | Some s -> s
+      | None -> In_channel.input_all In_channel.stdin
+    in
+    let db = Minidb.Database.create ~name:"sql" () in
+    List.iter
+      (fun stmt ->
+        match Minidb.Database.exec_ast db stmt with
+        | Minidb.Database.Rows r ->
+          Printf.printf "%s\n"
+            (String.concat " | "
+               (List.map
+                  (fun c -> c.Minidb.Schema.name)
+                  (Array.to_list r.Minidb.Executor.schema)));
+          List.iter
+            (fun (row : Minidb.Executor.arow) ->
+              Printf.printf "%s\n"
+                (String.concat " | "
+                   (List.map Minidb.Value.to_string
+                      (Array.to_list row.Minidb.Executor.values))))
+            r.Minidb.Executor.rows
+        | Minidb.Database.Affected info ->
+          Printf.printf "affected %d\n" info.Minidb.Database.count
+        | Minidb.Database.Ddl_done -> Printf.printf "ok\n")
+      (Minidb.Sql_parser.parse_script script)
+  in
+  let term = Term.(const run $ obs_arg $ script_arg) in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Run ad-hoc SQL (including EXPLAIN) against a fresh in-memory \
+          minidb instance")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 
 let demo_cmd =
@@ -887,4 +935,4 @@ let () =
           [ audit_cmd; exec_cmd; inspect_cmd; trace_cmd; stats_cmd;
             profile_cmd; timeline_cmd; contention_cmd; overhead_cmd;
             obs_cmd; faultcheck_cmd; crashcheck_cmd; txcheck_cmd;
-            replicacheck_cmd; demo_cmd ]))
+            replicacheck_cmd; sql_cmd; demo_cmd ]))

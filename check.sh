@@ -34,6 +34,29 @@ dune exec bin/ldv.exe -- replicacheck --seeds 5 --replicas 2
 # at transaction granularity, including reenacted provenance
 dune exec bin/ldv.exe -- txcheck --seeds 5 --sessions 4
 
+# planner smoke (also under --quick): the cost model must pick a hash
+# index scan for an indexed equality and an ordered-index range scan for
+# a selective inequality, and say so in EXPLAIN
+sql="CREATE TABLE emp (id INT, dno INT, sal INT);
+CREATE INDEX emp_dno ON emp (dno);
+CREATE ORDERED INDEX emp_sal ON emp (sal);"
+i=1
+while [ "$i" -le 40 ]; do
+  sql="$sql INSERT INTO emp VALUES ($i, $((i % 5)), $i);"
+  i=$((i + 1))
+done
+sql="$sql EXPLAIN SELECT id FROM emp WHERE dno = 3;
+EXPLAIN SELECT id FROM emp WHERE sal > 35"
+plans=$(dune exec bin/ldv.exe -- sql "$sql")
+echo "$plans" | grep -q "indexscan(emp.emp_dno)" || {
+  echo "check.sh: EXPLAIN did not choose the hash index for an equality" >&2
+  exit 1
+}
+echo "$plans" | grep -q "rangescan(emp.emp_sal" || {
+  echo "check.sh: EXPLAIN did not choose the ordered index for a range" >&2
+  exit 1
+}
+
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -88,6 +111,10 @@ if [ "$quick" -eq 0 ]; then
   # replication bench (writes BENCH_replication.json: read throughput at
   # 1/2/4 replicas and catch-up time after a seeded crash)
   dune exec bench/main.exe -- replication
+  # storage bench (writes BENCH_storage.json: point/range index lookups
+  # vs full scans at 10k/100k/1M tuples; exits 1 unless the indexed
+  # paths beat the scan by 10x at 100k)
+  dune exec bench/main.exe -- storage
   # wait-state tracing smoke: stream a 4-session audit, then render the
   # timeline, the contention report, and the per-session stats from it
   dune exec bin/ldv.exe -- --obs "jsonl:$tmpdir/cc.jsonl" \

@@ -43,7 +43,8 @@ type table_image = {
   img_table : string;
   img_columns : (string * Value.ty) list;
   img_rows : (int * int * Value.t array) list;  (** rid, version, values *)
-  img_indexes : (string * string) list;  (** index name, column name *)
+  img_indexes : (string * string * bool) list;
+      (** index name, column name, ordered? *)
 }
 
 let table_image (table : Table.t) : table_image =
@@ -57,17 +58,7 @@ let table_image (table : Table.t) : table_image =
         (fun (tv : Table.tuple_version) ->
           (tv.Table.tid.Tid.rid, tv.Table.tid.Tid.version, tv.Table.values))
         (Table.scan table);
-    img_indexes =
-      List.map
-        (fun name ->
-          match
-            List.find_opt
-              (fun idx -> idx.Table.idx_name = name)
-              table.Table.indexes
-          with
-          | Some idx -> (name, schema.(idx.Table.idx_column).Schema.name)
-          | None -> (name, ""))
-        (Table.index_names table) }
+    img_indexes = Table.index_specs table }
 
 let encode_table_image (img : table_image) : string =
   Marshal.to_string img []
@@ -94,15 +85,14 @@ let restore_table_image (db : Database.t) (img : table_image) =
       Database.sync_clock db ~at:version)
     img.img_rows;
   List.iter
-    (fun (index_name, column) ->
+    (fun (index_name, column, ordered) ->
       if
         column <> ""
         && not (List.mem index_name (Table.index_names table))
       then
         (* register through the catalog so DROP INDEX finds the owner *)
-        ignore
-          (Catalog.create_index catalog ~index:index_name
-             ~table:img.img_table ~column))
+        Catalog.create_index ~ordered catalog ~index:index_name
+          ~table:img.img_table ~column)
     img.img_indexes
 
 (* ------------------------------------------------------------------ *)

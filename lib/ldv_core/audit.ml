@@ -62,7 +62,19 @@ type t = {
           replay verification) *)
   query_fingerprints : (int * string) list;
       (** qid -> digest of result rows, ground truth for verification *)
+  start_rows : (string * int) list;
+      (** per-table row counts captured before the run: packaged so replay
+          can pin the cost model's statistics to the audit-time values *)
 }
+
+(* Per-table row counts of the audited database, captured before the
+   program runs (the planner's replay-stable cardinality baseline). *)
+let table_start_rows (server : Dbclient.Server.t) : (string * int) list =
+  let catalog = Minidb.Database.catalog (Dbclient.Server.db server) in
+  List.map
+    (fun name ->
+      (name, Minidb.Table.row_count (Minidb.Catalog.find catalog name)))
+    (Minidb.Catalog.table_names catalog)
 
 let kind_of_stmt = function
   | I.Squery -> Some Prov.Lineage_model.Query
@@ -265,6 +277,7 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     ~attrs:[ ("packaging", packaging_name packaging); ("app", app_name) ]
     "audit.run"
   @@ fun () ->
+  let start_rows = table_start_rows server in
   let tracer = Minios.Tracer.create () in
   Minios.Tracer.attach tracer kernel;
   let server_pid =
@@ -334,7 +347,8 @@ let run ~(packaging : packaging) (kernel : Minios.Kernel.t)
     root_pid;
     server_pid;
     out_files;
-    query_fingerprints }
+    query_fingerprints;
+    start_rows }
 
 (** Run N client programs concurrently under full LDV monitoring, each
     with its own interceptor session, interleaved by the seeded
@@ -369,6 +383,7 @@ let run_concurrent ~(packaging : packaging) ?(sched_seed = 0)
         ("sessions", string_of_int (List.length clients)) ]
     "audit.run_concurrent"
   @@ fun () ->
+  let start_rows = table_start_rows server in
   let tracer = Minios.Tracer.create () in
   Minios.Tracer.attach tracer kernel;
   let server_pid = Some (Dbclient.Server.start_traced kernel server) in
@@ -445,7 +460,8 @@ let run_concurrent ~(packaging : packaging) ?(sched_seed = 0)
     root_pid = (match pids with pid :: _ -> pid | [] -> 0);
     server_pid;
     out_files;
-    query_fingerprints }
+    query_fingerprints;
+    start_rows }
 
 (** The compact trace embedded in packages. The in-memory trace carries
     per-result-row lineage (needed for provenance queries); persisting that

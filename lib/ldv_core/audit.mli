@@ -46,6 +46,9 @@ type t = {
       (** files the app wrote, with final contents (replay ground truth) *)
   query_fingerprints : (int * string) list;
       (** qid -> digest of result rows (replay ground truth) *)
+  start_rows : (string * int) list;
+      (** per-table row counts captured before the run, packaged so replay
+          pins the cost model's statistics to the audit-time values *)
 }
 
 val rows_fingerprint : Minidb.Value.t array list -> string

@@ -156,6 +156,12 @@ let base_metadata (audit : Audit.t) =
                  string_of_int s.Dbclient.Interceptor.replica )
            else None)
          (Audit.stmts audit))
+  @ (* audit-time per-table row counts: replay restores only the sliced
+       tuple subset, so the cost model's replay-stable decisions (join
+       order, build side) pin to these instead of the restored counts *)
+  List.map
+    (fun (table, rows) -> (Printf.sprintf "rows:%s" table, string_of_int rows))
+    audit.Audit.start_rows
   @
   (* interactive transactions record their boundaries and outcomes so
      replay can verify it reproduced every commit/abort decision *)
@@ -271,6 +277,22 @@ let routes_of_metadata (metadata : (string * string) list) :
     metadata
   |> List.sort compare
 
+(** The audit-time per-table row counts, for pinning the cost model's
+    statistics at replay (the restored database holds only the sliced
+    tuple subset). Empty for packages recorded before row counts were
+    captured. *)
+let table_rows_of_metadata (metadata : (string * string) list) :
+    (string * int) list =
+  List.filter_map
+    (fun (k, v) ->
+      if String.length k > 5 && String.sub k 0 5 = "rows:" then
+        Option.map
+          (fun rows -> (String.sub k 5 (String.length k - 5), rows))
+          (int_of_string_opt v)
+      else None)
+    metadata
+  |> List.sort compare
+
 (** The package's recorded multi-session schedule, if any. *)
 let schedule (t : t) : (int * (string * string) list) option =
   schedule_of_metadata t.metadata
@@ -281,6 +303,10 @@ let replication (t : t) : (int * int) option =
 
 (** The package's recorded read routes (qid -> answering replica). *)
 let routes (t : t) : (int * int) list = routes_of_metadata t.metadata
+
+(** [table_rows_of_metadata] applied to the package's own metadata. *)
+let table_rows (t : t) : (string * int) list =
+  table_rows_of_metadata t.metadata
 
 let tx_outcomes (t : t) : (int * int * Audit.tx_outcome) list =
   tx_outcomes_of_metadata t.metadata

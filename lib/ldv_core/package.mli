@@ -94,6 +94,15 @@ val tx_outcomes_of_metadata :
 (** [tx_outcomes_of_metadata] applied to the package's own metadata. *)
 val tx_outcomes : t -> (int * int * Audit.tx_outcome) list
 
+(** The audit-time per-table row counts, sorted by table name: pinned at
+    replay so the cost model's replay-stable decisions (join order, build
+    side) match the recorded run even though the restored database holds
+    only the sliced tuple subset. *)
+val table_rows_of_metadata : (string * string) list -> (string * int) list
+
+(** [table_rows_of_metadata] applied to the package's own metadata. *)
+val table_rows : t -> (string * int) list
+
 val build_included : Audit.t -> t
 val build_excluded : Audit.t -> t
 

@@ -62,7 +62,16 @@ let prepare (pkg : Package.t) : prepared =
                   Ldv_obs.counter "replay.restored_tuples";
                   Database.sync_clock db ~at:version)
                 (Csv.decode_versions csv))
-          pkg.Package.db_subset
+          pkg.Package.db_subset;
+        (* pin the cost model to the audit-time row counts: the restored
+           database holds only the sliced subset, and replay re-plans, so
+           order-sensitive plan decisions must see the recorded statistics *)
+        List.iter
+          (fun (table, rows) ->
+            match Catalog.find_opt (Database.catalog db) table with
+            | Some tbl -> Table.pin_row_stats tbl ~rows
+            | None -> ())
+          (Package.table_rows pkg)
       | Package.Ptu_full ->
         (* bulk-load the server's own data files from the package *)
         List.iter

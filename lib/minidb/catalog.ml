@@ -35,17 +35,17 @@ let table_names t =
 
 let iter t f = List.iter (fun n -> f (find t n)) (table_names t)
 
-(** Create a named index on [table].[column]. *)
-let create_index t ~index ~table ~column =
+(** Create a named index on [table].[column]; [ordered] selects the
+    range-capable sorted index over the default hash index. *)
+let create_index ?(ordered = false) t ~index ~table ~column =
   let index = String.lowercase_ascii index in
   if Hashtbl.mem t.index_owner index then
     Errors.fail
       (Errors.Constraint_violation
          (Printf.sprintf "index %S already exists" index));
   let tbl = find t table in
-  let created = Table.create_index tbl ~index_name:index ~column in
-  Hashtbl.replace t.index_owner index (Table.name tbl);
-  created
+  Table.create_index ~ordered tbl ~index_name:index ~column;
+  Hashtbl.replace t.index_owner index (Table.name tbl)
 
 let drop_index t index =
   let index = String.lowercase_ascii index in

@@ -20,9 +20,12 @@ val mem : t -> string -> bool
 val table_names : t -> string list
 val iter : t -> (Table.t -> unit) -> unit
 
-(** Create a named index on [table].[column], registered for DROP INDEX.
+(** Create a named index on [table].[column], registered for DROP INDEX;
+    [ordered] selects the range-capable sorted index over the default
+    hash index.
     @raise Errors.Db_error on duplicates or unknown tables/columns. *)
-val create_index : t -> index:string -> table:string -> column:string -> Table.index
+val create_index :
+  ?ordered:bool -> t -> index:string -> table:string -> column:string -> unit
 
 (** @raise Errors.Db_error when the index is unknown. *)
 val drop_index : t -> string -> unit

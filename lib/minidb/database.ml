@@ -269,12 +269,82 @@ let resolve_where t where =
     (Some w, ann)
 
 (* Candidate rows for an UPDATE/DELETE: use an index when the predicate
-   pins an indexed column to a constant; otherwise scan. The full
-   predicate is still applied by the caller, so this is only a pruning
-   step. *)
+   pins an indexed column to a constant (hash index) or bounds it with
+   constants (ordered index); otherwise scan. The full predicate is still
+   applied by the caller, so this is only a pruning step — every returned
+   superset is correct, because range-excluded rows cannot satisfy the
+   bounding conjuncts (and NULLs satisfy no comparison). *)
 let candidate_rows (tbl : Table.t) (where : Sql_ast.expr option) :
     Table.tuple_version list =
   let schema = Table.schema tbl in
+  let ranged_lookup () =
+    match where with
+    | None -> None
+    | Some w ->
+      let conjs = Sql_ast.conjuncts w in
+      let try_col pos =
+        match Table.ordered_index_on tbl ~column:pos with
+        | None -> None
+        | Some oidx ->
+          let col_ty = schema.(pos).Schema.ty in
+          let compat v =
+            match Value.type_of v with
+            | Some ty -> (
+              ty = col_ty
+              ||
+              match (ty, col_ty) with
+              | (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat) ->
+                true
+              | _ -> false)
+            | None -> false
+          in
+          let const e =
+            match Planner.const_value e with
+            | Some v when compat v -> Some v
+            | _ -> None
+          in
+          let this_col = function
+            | Sql_ast.Col (q, n) ->
+              Schema.find_opt schema ?qualifier:q n = Some pos
+            | _ -> false
+          in
+          let lo = ref None and hi = ref None in
+          List.iter
+            (fun conj ->
+              match conj with
+              | Sql_ast.Cmp (op, a, b) when this_col a -> (
+                match const b with
+                | Some v -> (
+                  match op with
+                  | Sql_ast.Lt -> hi := Planner.tighten_hi !hi (v, false)
+                  | Sql_ast.Le -> hi := Planner.tighten_hi !hi (v, true)
+                  | Sql_ast.Gt -> lo := Planner.tighten_lo !lo (v, false)
+                  | Sql_ast.Ge -> lo := Planner.tighten_lo !lo (v, true)
+                  | Sql_ast.Eq ->
+                    lo := Planner.tighten_lo !lo (v, true);
+                    hi := Planner.tighten_hi !hi (v, true)
+                  | Sql_ast.Neq -> ())
+                | None -> ())
+              | Sql_ast.Between (a, b1, b2) when this_col a -> (
+                match (const b1, const b2) with
+                | Some v1, Some v2 ->
+                  lo := Planner.tighten_lo !lo (v1, true);
+                  hi := Planner.tighten_hi !hi (v2, true)
+                | _ -> ())
+              | _ -> ())
+            conjs;
+          if !lo = None && !hi = None then None
+          else Some (Table.range_lookup tbl oidx ~lo:!lo ~hi:!hi)
+      in
+      let rec first_col pos =
+        if pos >= Array.length schema then None
+        else
+          match try_col pos with
+          | Some r -> Some r
+          | None -> first_col (pos + 1)
+      in
+      first_col 0
+  in
   let indexed_lookup () =
     match where with
     | None -> None
@@ -304,7 +374,10 @@ let candidate_rows (tbl : Table.t) (where : Sql_ast.expr option) :
   in
   match indexed_lookup () with
   | Some rows -> rows
-  | None -> Table.scan tbl
+  | None -> (
+    match ranged_lookup () with
+    | Some rows -> rows
+    | None -> Table.scan tbl)
 
 (* Candidate rows under MVCC. A transaction's UPDATE/DELETE evaluates its
    predicate over the begin-snapshot plus its own writes; an autocommit
@@ -443,8 +516,14 @@ let begin_tx t =
   in
   Hashtbl.replace t.txs tx.tx_id tx;
   t.current <- tx.tx_id;
+  if Hashtbl.length t.txs = 1 then Catalog.iter t.catalog Table.note_tx_open;
   Ldv_obs.counter "tx.begin";
   tx.tx_id
+
+(* Closing the last open transaction lets every table forget its hot-rid
+   set: live snapshot, indexes and committed visibility agree again. *)
+let note_tx_done t =
+  if Hashtbl.length t.txs = 0 then Catalog.iter t.catalog Table.note_tx_closed
 
 (* Commit: stamp every version the transaction wrote or retired with the
    commit clock, atomically making the whole transaction visible (a
@@ -458,22 +537,15 @@ let commit_tx t =
     let commit_clock = t.clock in
     List.iter
       (function
-        | U_insert (_, tv) ->
-          tv.Table.txid <- 0;
-          tv.Table.committed_at <- commit_clock
-        | U_update (_, old_tv, new_tv) ->
-          new_tv.Table.txid <- 0;
-          new_tv.Table.committed_at <- commit_clock;
-          old_tv.Table.retired_tx <- 0;
-          old_tv.Table.retired_commit <- commit_clock;
-          old_tv.Table.retired_at <- Some commit_clock
-        | U_delete (_, tv) ->
-          tv.Table.retired_tx <- 0;
-          tv.Table.retired_commit <- commit_clock;
-          tv.Table.retired_at <- Some commit_clock)
+        | U_insert (tbl, tv) -> Table.commit_insert_stamp tbl tv ~commit_clock
+        | U_update (tbl, old_tv, new_tv) ->
+          Table.commit_insert_stamp tbl new_tv ~commit_clock;
+          Table.commit_retire_stamp tbl old_tv ~commit_clock
+        | U_delete (tbl, tv) -> Table.commit_retire_stamp tbl tv ~commit_clock)
       tx.tx_undo;
     Hashtbl.remove t.txs tx.tx_id;
     t.current <- 0;
+    note_tx_done t;
     t.committed <-
       { ct_id = tx.tx_id;
         ct_begin = tx.tx_begin;
@@ -500,6 +572,7 @@ let rollback_tx t =
           Table.relink_version tbl old_tv
         | U_delete (tbl, tv) -> Table.relink_version tbl tv)
       tx.tx_undo;
+    note_tx_done t;
     Ldv_obs.counter "tx.rollback"
 
 let guard_ddl t what =
@@ -528,17 +601,20 @@ let rec exec_ast t (stmt : Sql_ast.statement) : exec_result =
     let schema =
       Schema.of_list (List.map (fun (n, ty) -> Schema.column n ty) columns)
     in
-    ignore (Catalog.create_table t.catalog ~name:table ~schema);
+    let tbl = Catalog.create_table t.catalog ~name:table ~schema in
+    (* a sibling session may hold an open transaction: the fresh table
+       must track hot rids from its first write *)
+    if Hashtbl.length t.txs > 0 then Table.note_tx_open tbl;
     Ddl_done
   | Sql_ast.Drop_table table ->
     guard_ddl t "DROP TABLE";
     ignore (tick t);
     Catalog.drop_table t.catalog table;
     Ddl_done
-  | Sql_ast.Create_index { index; table; column } ->
+  | Sql_ast.Create_index { index; table; column; ordered } ->
     guard_ddl t "CREATE INDEX";
     ignore (tick t);
-    ignore (Catalog.create_index t.catalog ~index ~table ~column);
+    Catalog.create_index ~ordered t.catalog ~index ~table ~column;
     Ddl_done
   | Sql_ast.Drop_index index ->
     guard_ddl t "DROP INDEX";
@@ -559,9 +635,14 @@ let rec exec_ast t (stmt : Sql_ast.statement) : exec_result =
     rollback_tx t;
     Ddl_done
 
-(** EXPLAIN: a one-row result describing the physical plan. *)
+(** EXPLAIN: a one-row result describing the physical plan, with the cost
+    model's estimates appended for SELECT bodies. *)
 and explain t (stmt : Sql_ast.statement) : Executor.result =
-  let describe_select s = Planner.describe (plan t s) in
+  let describe_select s =
+    let node = plan t s in
+    Printf.sprintf "%s cost=%.1f rows=%.1f" (Planner.describe node)
+      (Planner.cost node) (Planner.est_rows node)
+  in
   let text =
     match stmt with
     | Sql_ast.Select s | Sql_ast.Provenance s -> describe_select s

@@ -83,125 +83,253 @@ let agg_finish (fn : Sql_ast.agg_fn) st : Value.t =
   | Sql_ast.Max -> st.max_v
 
 (* ------------------------------------------------------------------ *)
-(* Plan evaluation.                                                    *)
+(* Plan evaluation.
 
-let rec run_node (n : Planner.node) : arow list =
+   Operators pass whole batches ([arow array]) between each other instead
+   of consing per-row lists: scans materialize straight out of the table's
+   settled rid order, filters and joins append into a growable buffer, and
+   only the final [run] converts back to a list for the result record. *)
+
+(* Growable row buffer for the batch operators. *)
+module Vec = struct
+  type 'a t = { mutable buf : 'a array; mutable len : int }
+
+  let create () = { buf = [||]; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.buf then begin
+      let grown = Array.make (max 16 (2 * v.len)) x in
+      Array.blit v.buf 0 grown 0 v.len;
+      v.buf <- grown
+    end;
+    v.buf.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.buf 0 v.len
+end
+
+let arow_of_tv (tv : Table.tuple_version) =
+  { values = tv.Table.values; ann = Annotation.var tv.Table.tid }
+
+let count_scanned n =
+  if Ldv_obs.enabled () then Ldv_obs.counter ~by:n "db.rows_scanned"
+
+let arows_of_tvs tvs = Array.of_list (List.map arow_of_tv tvs)
+
+(* MVCC fallback for index access paths: index entries cover only the live
+   snapshot, which is wrong on both sides of an open transaction
+   (uncommitted entries present, tx-deleted rows absent). Rather than
+   falling all the way back to a full MVCC scan, walk the version chains
+   of (index candidates ∪ hot rids) — the only rids whose visibility can
+   diverge from the live snapshot — re-checking the key predicate against
+   the visible version. *)
+let mvcc_candidates table candidates ~recheck =
+  let tx = !Tx_context.viewer and at = !Tx_context.snapshot in
+  let rids = List.sort_uniq compare (candidates @ Table.hot_rids table) in
+  let out = Vec.create () in
+  List.iter
+    (fun rid ->
+      match Table.visible_version ~tx ~at table ~rid with
+      | Some tv when recheck tv -> Vec.push out (arow_of_tv tv)
+      | _ -> ())
+    rids;
+  Vec.to_array out
+
+(* Historical index probes on a non-frozen table cannot use the live
+   index at all (old versions are not in it): filter a full AS-OF scan. *)
+let scan_filter table ~at pred =
+  let out = Vec.create () in
+  List.iter
+    (fun tv -> if pred tv then Vec.push out (arow_of_tv tv))
+    (Table.scan_as_of ~tx:!Tx_context.viewer table ~at);
+  Vec.to_array out
+
+let in_bounds ~lo ~hi (v : Value.t) =
+  (not (Value.is_null v))
+  && (match lo with
+     | None -> true
+     | Some (b, incl) -> (
+       match Value.compare_total v b with
+       | c -> if incl then c >= 0 else c > 0
+       | exception _ -> false))
+  &&
+  match hi with
+  | None -> true
+  | Some (b, incl) -> (
+    match Value.compare_total v b with
+    | c -> if incl then c <= 0 else c < 0
+    | exception _ -> false)
+
+let rec run_node (n : Planner.node) : arow array =
   match n.op with
   | Planner.Scan { table; as_of; _ } ->
-    let versions =
+    let rows =
       match as_of with
       | None ->
         (* while any transaction is open on this database the live table
            may hold uncommitted foreign versions (and lack rows deleted by
            open transactions), so take the history-walking MVCC path *)
         if !Tx_context.active then
-          Table.scan_visible ~tx:!Tx_context.viewer ~at:!Tx_context.snapshot
-            table
-        else Table.scan table
-      | Some at -> Table.scan_as_of ~tx:!Tx_context.viewer table ~at
-    in
-    if Ldv_obs.enabled () then
-      Ldv_obs.counter ~by:(List.length versions) "db.rows_scanned";
-    List.map
-      (fun (tv : Table.tuple_version) ->
-        { values = tv.Table.values; ann = Annotation.var tv.Table.tid })
-      versions
-  | Planner.Index_scan { table; index; key; _ } ->
-    let value = Eval_expr.eval [||] key in
-    if Value.is_null value then []
-    else begin
-      let versions =
-        (* indexes cover only the live snapshot, which is wrong for both
-           sides of an open transaction (uncommitted entries present,
-           tx-deleted rows absent) — fall back to a filtered MVCC scan *)
-        if !Tx_context.active then
-          List.filter
-            (fun (tv : Table.tuple_version) ->
-              tv.Table.values.(index.Table.idx_column) = value)
+          arows_of_tvs
             (Table.scan_visible ~tx:!Tx_context.viewer
                ~at:!Tx_context.snapshot table)
-        else Table.index_lookup table index value
+        else Array.map arow_of_tv (Table.scan_array table)
+      | Some at ->
+        arows_of_tvs (Table.scan_as_of ~tx:!Tx_context.viewer table ~at)
+    in
+    count_scanned (Array.length rows);
+    rows
+  | Planner.Index_scan { table; index; key; as_of; _ } ->
+    let value = Eval_expr.eval [||] key in
+    if Value.is_null value then [||]
+    else begin
+      let pos = index.Table.idx_column in
+      let rows =
+        match as_of with
+        | None ->
+          if !Tx_context.active then
+            mvcc_candidates table
+              (Table.index_candidate_rids table index value)
+              ~recheck:(fun tv -> tv.Table.values.(pos) = value)
+          else arows_of_tvs (Table.index_lookup table index value)
+        | Some at ->
+          if Table.frozen_at table ~at then
+            (* no pending writes and no commit newer than [at]: the live
+               index is exactly the state at [at] *)
+            arows_of_tvs (Table.index_lookup table index value)
+          else scan_filter table ~at (fun tv -> tv.Table.values.(pos) = value)
       in
-      if Ldv_obs.enabled () then
-        Ldv_obs.counter ~by:(List.length versions) "db.rows_scanned";
-      List.map
-        (fun (tv : Table.tuple_version) ->
-          { values = tv.Table.values; ann = Annotation.var tv.Table.tid })
-        versions
+      count_scanned (Array.length rows);
+      rows
     end
-  | Planner.Filter (pred, input) ->
-    List.filter (fun r -> Eval_expr.eval_pred r.values pred) (run_node input)
+  | Planner.Range_scan { table; oindex; lo; hi; as_of; _ } ->
+    let pos = oindex.Table.oidx_column in
+    let keep (tv : Table.tuple_version) =
+      in_bounds ~lo ~hi tv.Table.values.(pos)
+    in
+    let rows =
+      match as_of with
+      | None ->
+        if !Tx_context.active then
+          mvcc_candidates table
+            (Table.range_candidate_rids table oindex ~lo ~hi)
+            ~recheck:keep
+        else arows_of_tvs (Table.range_lookup table oindex ~lo ~hi)
+      | Some at ->
+        if Table.frozen_at table ~at then
+          arows_of_tvs (Table.range_lookup table oindex ~lo ~hi)
+        else scan_filter table ~at keep
+    in
+    count_scanned (Array.length rows);
+    rows
+  | Planner.Filter (pred, _, input) ->
+    let out = Vec.create () in
+    Array.iter
+      (fun r -> if Eval_expr.eval_pred r.values pred then Vec.push out r)
+      (run_node input);
+    Vec.to_array out
   | Planner.Project (items, input) ->
-    List.map
+    Array.map
       (fun r ->
         { values =
             Array.of_list
               (List.map (fun (e, _) -> Eval_expr.eval r.values e) items);
           ann = r.ann })
       (run_node input)
-  | Planner.Hash_join { left; right; left_keys; right_keys; outer } ->
+  | Planner.Hash_join { left; right; left_keys; right_keys; outer; build_left }
+    when build_left ->
+    (* inner join, hashing the (smaller) left input and probing with the
+       right: output is probe-major, but each row is still left|right *)
+    let lrows = run_node left in
+    let index = Row_tbl.create (Array.length lrows + 1) in
+    Array.iter
+      (fun l ->
+        let key = eval_keys l.values left_keys in
+        (* SQL equality: NULL join keys never match *)
+        if not (List.exists Value.is_null key) then Row_tbl.add index key l)
+      lrows;
+    assert (not outer);
+    let out = Vec.create () in
+    Array.iter
+      (fun r ->
+        let key = eval_keys r.values right_keys in
+        if not (List.exists Value.is_null key) then
+          List.iter
+            (fun l ->
+              Vec.push out
+                { values = Array.append l.values r.values;
+                  ann = Annotation.mul l.ann r.ann })
+            (List.rev (Row_tbl.find_all index key)))
+      (run_node right);
+    Vec.to_array out
+  | Planner.Hash_join { left; right; left_keys; right_keys; outer; _ } ->
     let rrows = run_node right in
     let right_width = Schema.arity right.Planner.schema in
-    let index = Row_tbl.create (List.length rrows + 1) in
-    List.iter
+    let index = Row_tbl.create (Array.length rrows + 1) in
+    Array.iter
       (fun r ->
         let key = eval_keys r.values right_keys in
         (* SQL equality: NULL join keys never match *)
-        if not (List.exists Value.is_null key) then
-          Row_tbl.add index key r)
+        if not (List.exists Value.is_null key) then Row_tbl.add index key r)
       rrows;
     let null_pad = Array.make right_width Value.Null in
-    List.concat_map
+    let out = Vec.create () in
+    Array.iter
       (fun l ->
         let key = eval_keys l.values left_keys in
         let matches =
           if List.exists Value.is_null key then []
-          else Row_tbl.find_all index key
+          else List.rev (Row_tbl.find_all index key)
         in
         match matches with
-        | [] when outer ->
-          [ { values = Array.append l.values null_pad; ann = l.ann } ]
+        | [] ->
+          if outer then
+            Vec.push out
+              { values = Array.append l.values null_pad; ann = l.ann }
         | matches ->
-          List.rev_map
+          List.iter
             (fun r ->
-              { values = Array.append l.values r.values;
-                ann = Annotation.mul l.ann r.ann })
+              Vec.push out
+                { values = Array.append l.values r.values;
+                  ann = Annotation.mul l.ann r.ann })
             matches)
-      (run_node left)
+      (run_node left);
+    Vec.to_array out
   | Planner.Nested_loop { left; right; pred; outer } ->
     let rrows = run_node right in
     let right_width = Schema.arity right.Planner.schema in
     let null_pad = Array.make right_width Value.Null in
-    List.concat_map
+    let out = Vec.create () in
+    Array.iter
       (fun l ->
-        let matches =
-          List.filter_map
-            (fun r ->
-              let values = Array.append l.values r.values in
-              let keep =
-                match pred with
-                | None -> true
-                | Some p -> Eval_expr.eval_pred values p
-              in
-              if keep then Some { values; ann = Annotation.mul l.ann r.ann }
-              else None)
-            rrows
-        in
-        match matches with
-        | [] when outer ->
-          [ { values = Array.append l.values null_pad; ann = l.ann } ]
-        | matches -> matches)
-      (run_node left)
-  | Planner.Union (a, b) -> run_node a @ run_node b
+        let matched = ref false in
+        Array.iter
+          (fun r ->
+            let values = Array.append l.values r.values in
+            let keep =
+              match pred with
+              | None -> true
+              | Some p -> Eval_expr.eval_pred values p
+            in
+            if keep then begin
+              matched := true;
+              Vec.push out { values; ann = Annotation.mul l.ann r.ann }
+            end)
+          rrows;
+        if outer && not !matched then
+          Vec.push out { values = Array.append l.values null_pad; ann = l.ann })
+      (run_node left);
+    Vec.to_array out
+  | Planner.Union (a, b) -> Array.append (run_node a) (run_node b)
   | Planner.Annotate (extra, input) ->
-    List.map
+    Array.map
       (fun r -> { r with ann = Annotation.mul extra r.ann })
       (run_node input)
   | Planner.Aggregate { input; group; aggs } ->
     let rows = run_node input in
     let groups = Row_tbl.create 64 in
     let order = ref [] in
-    List.iter
+    Array.iter
       (fun r ->
         let key = List.map (fun (g, _) -> Eval_expr.eval r.values g) group in
         let states, ann_ref =
@@ -230,11 +358,11 @@ let rec run_node (n : Planner.node) : arow list =
     in
     if Row_tbl.length groups = 0 && group = [] then
       (* aggregate over an empty input with no GROUP BY: one row *)
-      [ { values =
-            Array.of_list
-              (List.map (fun (fn, _) -> agg_finish fn (agg_init ())) aggs);
-          ann = Annotation.one } ]
-    else List.rev_map finish !order
+      [| { values =
+             Array.of_list
+               (List.map (fun (fn, _) -> agg_finish fn (agg_init ())) aggs);
+           ann = Annotation.one } |]
+    else Array.of_list (List.rev_map finish !order)
   | Planner.Sort (keys, input) ->
     let rows = run_node input in
     let cmp a b =
@@ -248,19 +376,17 @@ let rec run_node (n : Planner.node) : arow list =
       in
       go keys
     in
-    List.stable_sort cmp rows
+    (* every operator returns a fresh batch, so sorting in place is safe *)
+    Array.stable_sort cmp rows;
+    rows
   | Planner.Limit (l, input) ->
-    let rec take n = function
-      | [] -> []
-      | _ when n = 0 -> []
-      | x :: xs -> x :: take (n - 1) xs
-    in
-    take l (run_node input)
+    let rows = run_node input in
+    if Array.length rows <= l then rows else Array.sub rows 0 l
   | Planner.Distinct input ->
     let rows = run_node input in
     let seen = Row_tbl.create 64 in
     let order = ref [] in
-    List.iter
+    Array.iter
       (fun r ->
         let key = Array.to_list r.values in
         match Row_tbl.find_opt seen key with
@@ -270,17 +396,18 @@ let rec run_node (n : Planner.node) : arow list =
           Row_tbl.replace seen key ann_ref;
           order := (key, ann_ref) :: !order)
       rows;
-    List.rev_map
-      (fun (key, ann_ref) ->
-        { values = Array.of_list key; ann = Annotation.sum !ann_ref })
-      !order
+    Array.of_list
+      (List.rev_map
+         (fun (key, ann_ref) ->
+           { values = Array.of_list key; ann = Annotation.sum !ann_ref })
+         !order)
 
 let run (n : Planner.node) : result =
   Ldv_obs.Ledger.time Ldv_obs.Ledger.Exec @@ fun () ->
   let rows = run_node n in
   if Ldv_obs.enabled () then
-    Ldv_obs.counter ~by:(List.length rows) "db.tuples_emitted";
-  { schema = n.schema; rows }
+    Ldv_obs.counter ~by:(Array.length rows) "db.tuples_emitted";
+  { schema = n.schema; rows = Array.to_list rows }
 
 (** Union of the lineage of every result row: exactly the tuple versions the
     query read that mattered. *)

@@ -26,8 +26,20 @@ and op =
       binding : string;
       index : Table.index;
       key : Eval_expr.bound;  (** constant expression, bound to [||] *)
+      sel : float;  (** static selectivity of the absorbed conjunct *)
+      as_of : int option;
     }
-  | Filter of Eval_expr.bound * node
+  | Range_scan of {
+      table : Table.t;
+      binding : string;
+      oindex : Table.ordered_index;
+      lo : (Value.t * bool) option;  (** lower bound (value, inclusive) *)
+      hi : (Value.t * bool) option;
+      sel : float;  (** static selectivity of the absorbed conjuncts *)
+      as_of : int option;
+    }
+  | Filter of Eval_expr.bound * float * node
+      (** predicate, static selectivity estimate, input *)
   | Project of (Eval_expr.bound * Schema.column) list * node
   | Hash_join of {
       left : node;
@@ -35,6 +47,10 @@ and op =
       left_keys : Eval_expr.bound list;
       right_keys : Eval_expr.bound list;
       outer : bool;  (** left outer: pad unmatched left rows *)
+      build_left : bool;
+          (** cost-based build-side choice: hash the left input and probe
+              with the right (emitting probe-major order) instead of the
+              default build-right *)
     }
   | Nested_loop of {
       left : node;
@@ -117,6 +133,136 @@ let equi_join_key (left : Schema.t) (right : Schema.t) = function
     else if resolvable left b && resolvable right a then Some (b, a)
     else None
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Cost model.
+
+   Two kinds of decisions, with different stability requirements:
+
+   - Access-path choice (full / hash / range scan of one table) may use
+     the *live* statistics — bucket counts, range-entry counts — because
+     every access path emits the same rows in the same ascending-rid
+     order, so the choice can never perturb result bytes even when a
+     replay re-plans over a sliced (smaller) database.
+
+   - Join decisions (build side, join order) change output row order, so
+     audit and replay must make them identically. They therefore use only
+     *replay-stable* inputs: [Table.stable_row_count] (the audit-time row
+     count pinned by package restore, advanced by the local DML delta)
+     and static textbook selectivities keyed on predicate shape — never
+     on data. *)
+
+let conjunct_selectivity (c : expr) : float =
+  match c with
+  | Cmp (Eq, _, _) -> 0.05
+  | Cmp (Neq, _, _) -> 0.9
+  | Cmp ((Lt | Le | Gt | Ge), _, _) -> 0.3
+  | Between _ -> 0.25
+  | Like _ | Not_like _ -> 0.25
+  | Is_null _ -> 0.1
+  | Is_not_null _ -> 0.9
+  | In_list _ -> 0.2
+  | _ -> 0.5
+
+let selectivity_of_conjuncts (conjs : expr list) : float =
+  List.fold_left (fun acc c -> acc *. conjunct_selectivity c) 1.0 conjs
+
+(* A constant-foldable expression's value, for range bounds; [None] when it
+   references columns, fails to fold, or folds to NULL (a NULL bound never
+   matches anything and would confuse bound comparison). *)
+let const_value (e : expr) : Value.t option =
+  if has_cols e then None
+  else
+    match Eval_expr.eval_const e with
+    | v -> if Value.is_null v then None else Some v
+    | exception _ -> None
+
+(* The literal prefix of a LIKE pattern — the characters before the first
+   wildcard. Every matching string lies in [prefix, successor(prefix)).
+   [like_match] is case-sensitive, so the bounds are sound. *)
+let like_prefix (pat : string) : string option =
+  let b = Buffer.create 8 in
+  (try
+     String.iter
+       (fun c -> if c = '%' || c = '_' then raise Exit else Buffer.add_char b c)
+       pat
+   with Exit -> ());
+  let p = Buffer.contents b in
+  if p = "" then None else Some p
+
+(* Smallest string ordered after every string prefixed by [s]; [None] when
+   no such string exists (all bytes 0xff). *)
+let string_successor (s : string) : string option =
+  let rec go i =
+    if i < 0 then None
+    else if s.[i] = '\xff' then go (i - 1)
+    else Some (String.sub s 0 i ^ String.make 1 (Char.chr (Char.code s.[i] + 1)))
+  in
+  go (String.length s - 1)
+
+(* Intersect range bounds, keeping the tighter one. Bounds whose values are
+   mutually incomparable (mixed non-numeric types) leave the current bound
+   in place. *)
+let tighten_lo cur ((v, incl) as b) =
+  match cur with
+  | None -> Some b
+  | Some (v0, incl0) -> (
+    match Value.compare_total v v0 with
+    | c -> if c > 0 || (c = 0 && incl0 && not incl) then Some b else cur
+    | exception _ -> cur)
+
+let tighten_hi cur ((v, incl) as b) =
+  match cur with
+  | None -> Some b
+  | Some (v0, incl0) -> (
+    match Value.compare_total v v0 with
+    | c -> if c < 0 || (c = 0 && incl0 && not incl) then Some b else cur
+    | exception _ -> cur)
+
+(** Replay-stable output-cardinality estimate of a plan node. *)
+let rec est_rows (n : node) : float =
+  let base table = Float.max 1.0 (float_of_int (Table.stable_row_count table)) in
+  match n.op with
+  | Scan { table; _ } -> base table
+  | Index_scan { table; sel; _ } -> Float.max 1.0 (sel *. base table)
+  | Range_scan { table; sel; _ } -> Float.max 1.0 (sel *. base table)
+  | Filter (_, sel, x) -> Float.max 1.0 (sel *. est_rows x)
+  | Project (_, x) | Sort (_, x) | Annotate (_, x) -> est_rows x
+  | Limit (l, x) -> Float.min (float_of_int l) (est_rows x)
+  | Distinct x -> Float.max 1.0 (0.5 *. est_rows x)
+  | Hash_join { left; right; outer; _ } ->
+    let l = est_rows left and r = est_rows right in
+    let e = 0.1 *. l *. r in
+    if outer then Float.max l e else Float.max 1.0 e
+  | Nested_loop { left; right; pred; outer } ->
+    let l = est_rows left and r = est_rows right in
+    let e = match pred with None -> l *. r | Some _ -> 0.3 *. l *. r in
+    if outer then Float.max l e else Float.max 1.0 e
+  | Aggregate { group = []; _ } -> 1.0
+  | Aggregate { input; _ } -> Float.max 1.0 (0.3 *. est_rows input)
+  | Union (a, b) -> est_rows a +. est_rows b
+
+(** Estimated total cost of evaluating a plan (arbitrary work units:
+    roughly rows touched), surfaced through EXPLAIN and the
+    [db.plan.cost] span attribute. *)
+let rec cost (n : node) : float =
+  match n.op with
+  | Scan { table; _ } ->
+    Float.max 1.0 (float_of_int (Table.stable_row_count table))
+  | Index_scan _ -> est_rows n +. 1.0
+  | Range_scan _ -> est_rows n +. 1.0
+  | Filter (_, _, x) -> cost x
+  | Project (_, x) -> cost x +. est_rows x
+  | Sort (_, x) ->
+    let e = est_rows x in
+    cost x +. (e *. Float.max 1.0 (Float.log2 (Float.max 2.0 e)))
+  | Limit (_, x) | Annotate (_, x) -> cost x
+  | Distinct x | Aggregate { input = x; _ } -> cost x +. est_rows x
+  | Hash_join { left; right; _ } ->
+    cost left +. cost right +. est_rows left +. est_rows right
+  | Nested_loop { left; right; _ } ->
+    cost left +. cost right +. (est_rows left *. est_rows right)
+  | Union (a, b) -> cost a +. cost b
 
 (* ------------------------------------------------------------------ *)
 (* Aggregate slot collection and rewriting.                            *)
@@ -243,48 +389,182 @@ and scan_node (ctx : ctx) ~table ~alias ~as_of : node =
   let schema = Schema.with_qualifier binding (Table.schema tbl) in
   { schema; op = Scan { table = tbl; binding; as_of } }
 
-(* Try to convert [Filter (conjs, Scan)] into an index scan: find an
-   equality conjunct between an indexed column of this scan and a
-   constant expression. Returns the scan node and the conjuncts not
-   absorbed by the index. *)
+(* Cost-based access-path selection for one base-table scan: choose among
+   the full scan, hash-index equality probes, and ordered-index range scans
+   built from the [<, <=, >, >=, =, BETWEEN, prefix-LIKE] conjuncts over
+   indexed columns. Costs use *live* statistics (row count, bucket counts,
+   range-entry counts) — safe because every access path emits the same rows
+   in the same ascending-rid order, so the choice can never perturb result
+   bytes. Absorbed conjuncts are removed from the residual; LIKE always
+   stays residual (its bounds only cover the literal prefix). *)
 and apply_index (ctx : ctx) (scan : node) (conjs : expr list) :
     node * expr list =
   ignore ctx;
   match scan.op with
-  | Scan { table; binding; as_of = None } ->
-    let try_conjunct c =
-      let candidate col_expr const_expr =
-        match col_expr with
-        | Col (q, n) when (not (has_cols const_expr)) -> (
-          match Schema.find_opt scan.schema ?qualifier:q n with
-          | Some position -> (
-            match Table.index_on table ~column:position with
-            | Some index ->
-              Some
-                { schema = scan.schema;
-                  op =
-                    Index_scan
-                      { table;
-                        binding;
-                        index;
-                        key = Eval_expr.bind [||] const_expr } }
-            | None -> None)
-          | None -> None)
-        | _ -> None
-      in
-      match c with
-      | Cmp (Eq, a, b) -> (
-        match candidate a b with Some n -> Some n | None -> candidate b a)
+  | Scan { table; binding; as_of } ->
+    let conjs_arr = Array.of_list conjs in
+    let full_cost = Float.max 1.0 (float_of_int (Table.row_count table)) in
+    let col_pos = function
+      | Col (q, n) -> Schema.find_opt scan.schema ?qualifier:q n
       | _ -> None
     in
-    let rec pick seen = function
-      | [] -> (scan, List.rev seen)
-      | c :: rest -> (
-        match try_conjunct c with
-        | Some node -> (node, List.rev_append seen rest)
-        | None -> pick (c :: seen) rest)
+    (* hash-index equality probes: cost = rows / distinct buckets *)
+    let hash_candidates = ref [] in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Cmp (Eq, a, b) ->
+          let try_side col_e const_e =
+            match col_pos col_e with
+            | Some pos when not (has_cols const_e) -> (
+              match Table.index_on table ~column:pos with
+              | Some index ->
+                let distinct =
+                  match Table.distinct_on table ~column:pos with
+                  | Some d when d > 0 -> float_of_int d
+                  | _ -> 1.0
+                in
+                let node =
+                  { schema = scan.schema;
+                    op =
+                      Index_scan
+                        { table;
+                          binding;
+                          index;
+                          key = Eval_expr.bind [||] const_e;
+                          sel = conjunct_selectivity c;
+                          as_of } }
+                in
+                hash_candidates :=
+                  ((full_cost /. distinct) +. 1.0, node, [ i ])
+                  :: !hash_candidates;
+                true
+              | None -> false)
+            | _ -> false
+          in
+          if not (try_side a b) then ignore (try_side b a)
+        | _ -> ())
+      conjs_arr;
+    (* ordered-index range scans: tighten bounds across all usable
+       conjuncts on the indexed column; cost = entries within bounds *)
+    let range_candidates = ref [] in
+    Array.iteri
+      (fun pos (col : Schema.column) ->
+        match Table.ordered_index_on table ~column:pos with
+        | None -> ()
+        | Some oindex ->
+          let compatible v =
+            match Value.type_of v with
+            | Some ty -> (
+              ty = col.Schema.ty
+              ||
+              match (ty, col.Schema.ty) with
+              | (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat) ->
+                true
+              | _ -> false)
+            | None -> false
+          in
+          let const e =
+            match const_value e with
+            | Some v when compatible v -> Some v
+            | _ -> None
+          in
+          let this_col e =
+            match col_pos e with Some p -> p = pos | None -> false
+          in
+          let lo = ref None and hi = ref None and absorbed = ref [] in
+          let absorb_cmp i op v =
+            absorbed := i :: !absorbed;
+            match op with
+            | Lt -> hi := tighten_hi !hi (v, false)
+            | Le -> hi := tighten_hi !hi (v, true)
+            | Gt -> lo := tighten_lo !lo (v, false)
+            | Ge -> lo := tighten_lo !lo (v, true)
+            | Eq ->
+              lo := tighten_lo !lo (v, true);
+              hi := tighten_hi !hi (v, true)
+            | Neq -> assert false
+          in
+          let flip = function
+            | Lt -> Gt
+            | Le -> Ge
+            | Gt -> Lt
+            | Ge -> Le
+            | (Eq | Neq) as op -> op
+          in
+          Array.iteri
+            (fun i c ->
+              match c with
+              | Cmp (((Lt | Le | Gt | Ge | Eq) as op), a, b) when this_col a
+                -> (
+                match const b with
+                | Some v -> absorb_cmp i op v
+                | None -> ())
+              | Cmp (((Lt | Le | Gt | Ge | Eq) as op), a, b) when this_col b
+                -> (
+                match const a with
+                | Some v -> absorb_cmp i (flip op) v
+                | None -> ())
+              | Between (a, b1, b2) when this_col a -> (
+                match (const b1, const b2) with
+                | Some v1, Some v2 ->
+                  absorbed := i :: !absorbed;
+                  lo := tighten_lo !lo (v1, true);
+                  hi := tighten_hi !hi (v2, true)
+                | _ -> ())
+              | Like (a, pat) when this_col a && col.Schema.ty = Value.Tstr
+                -> (
+                (* bounds only; the pattern itself stays residual *)
+                match like_prefix pat with
+                | Some p ->
+                  lo := tighten_lo !lo (Value.Str p, true);
+                  Option.iter
+                    (fun s -> hi := tighten_hi !hi (Value.Str s, false))
+                    (string_successor p)
+                | None -> ())
+              | _ -> ())
+            conjs_arr;
+          if !lo <> None || !hi <> None then begin
+            let abs_conjs = List.map (fun i -> conjs_arr.(i)) !absorbed in
+            let sel =
+              if abs_conjs = [] then 0.5
+              else selectivity_of_conjuncts abs_conjs
+            in
+            let node =
+              { schema = scan.schema;
+                op =
+                  Range_scan
+                    { table; binding; oindex; lo = !lo; hi = !hi; sel; as_of }
+              }
+            in
+            let cost =
+              float_of_int (Table.range_estimate table oindex ~lo:!lo ~hi:!hi)
+              +. 1.0
+            in
+            range_candidates := (cost, node, !absorbed) :: !range_candidates
+          end)
+      scan.schema;
+    (* cheapest wins; ties prefer hash over range, either over full scan *)
+    let best =
+      List.fold_left
+        (fun best (rank, cand) ->
+          let cost, _, _ = cand in
+          match best with
+          | Some (bcost, brank, _) when bcost < cost || (bcost = cost && brank <= rank)
+            ->
+            best
+          | _ -> Some (cost, rank, cand))
+        None
+        (List.map (fun c -> (0, c)) !hash_candidates
+        @ List.map (fun c -> (1, c)) !range_candidates)
     in
-    pick [] conjs
+    (match best with
+    | Some (_, _, (cost, node, absorbed)) when cost < full_cost ->
+      let residual =
+        List.filteri (fun i _ -> not (List.mem i absorbed)) conjs
+      in
+      (node, residual)
+    | _ -> (scan, conjs))
   | _ -> (scan, conjs)
 
 (* Apply all conjuncts resolvable in [node]'s schema as a filter; returns
@@ -296,7 +576,9 @@ and apply_resolvable_filters (ctx : ctx) node pending =
   | None -> (node, rest)
   | Some pred ->
     let bound = Eval_expr.bind node.schema pred in
-    ({ schema = node.schema; op = Filter (bound, node) }, rest)
+    ( { schema = node.schema;
+        op = Filter (bound, selectivity_of_conjuncts usable, node) },
+      rest )
 
 (* Join [acc] with [next] on the given conjuncts; equi conjuncts become
    hash-join keys, the rest a residual filter (inner) or a nested-loop
@@ -325,9 +607,17 @@ and join_nodes (_ctx : ctx) ~outer acc next conjs : node * expr list =
     let right_keys =
       List.map (fun (_, r) -> Eval_expr.bind next.schema r) keys
     in
+    (* Build on the smaller estimated side. Outer joins must build right
+       (left rows drive the padding). Estimates are replay-stable, so the
+       recorded run and its replay pick the same side — and therefore the
+       same output row order. *)
+    let build_left = (not outer) && est_rows acc < est_rows next in
     let joined =
       { schema;
-        op = Hash_join { left = acc; right = next; left_keys; right_keys; outer } }
+        op =
+          Hash_join
+            { left = acc; right = next; left_keys; right_keys; outer;
+              build_left } }
     in
     if outer && rest <> [] then
       (* a residual ON condition cannot be applied after padding; fall
@@ -388,8 +678,59 @@ and plan_body (ctx : ctx) (s : select) :
       s.where
   in
   let conjs = Option.value where ~default:[] in
+  (* Greedy join order for comma-joins: when every FROM item is a plain
+     table with a distinct binding, visit them smallest-estimate first so
+     the left-deep tree builds from the cheapest inputs. The estimate is
+     replay-stable, so audit and replay order identically. [SELECT *]
+     still expands in declaration order via [star_schema]. *)
+  let plain_bindings =
+    List.filter_map
+      (function
+        | From_table { table; alias; _ } ->
+          Some (String.lowercase_ascii (Option.value alias ~default:table))
+        | From_join _ -> None)
+      s.from
+  in
+  let reorderable =
+    List.length plain_bindings = List.length s.from
+    && List.length s.from > 1
+    && List.length (List.sort_uniq String.compare plain_bindings)
+       = List.length plain_bindings
+    (* LIMIT without a total ORDER BY makes raw row order semantically
+       observable (it selects which rows survive): keep syntactic order *)
+    && not (s.limit <> None && s.order_by = [])
+  in
+  let star_schema, from_items =
+    if not reorderable then (None, s.from)
+    else begin
+      let with_est =
+        List.map
+          (function
+            | From_table { table; _ } as it ->
+              let tbl = Catalog.find ctx.catalog table in
+              (it, Table.stable_row_count tbl)
+            | From_join _ -> assert false)
+          s.from
+      in
+      let schema =
+        List.fold_left
+          (fun acc -> function
+            | From_table { table; alias; _ } ->
+              let tbl = Catalog.find ctx.catalog table in
+              Schema.append acc
+                (Schema.with_qualifier
+                   (Option.value alias ~default:table)
+                   (Table.schema tbl))
+            | From_join _ -> assert false)
+          [||] s.from
+      in
+      ( Some schema,
+        List.map fst
+          (List.stable_sort (fun (_, a) (_, b) -> compare a b) with_est) )
+    end
+  in
   let first, rest_items =
-    match s.from with x :: xs -> (x, xs) | [] -> assert false
+    match from_items with x :: xs -> (x, xs) | [] -> assert false
   in
   let node, conjs = plan_from_item ctx first conjs in
   let node, conjs =
@@ -413,7 +754,7 @@ and plan_body (ctx : ctx) (s : select) :
     List.concat_map
       (function
         | Star ->
-          Array.to_list node.schema
+          Array.to_list (Option.value star_schema ~default:node.schema)
           |> List.map (fun (c : Schema.column) ->
                  Item (Col (c.qualifier, c.name), None))
         | Item (e, a) -> [ Item (resolve_subqueries ctx e, a) ])
@@ -468,7 +809,8 @@ and plan_body (ctx : ctx) (s : select) :
     match having with
     | None -> node
     | Some h ->
-      { schema = node.schema; op = Filter (Eval_expr.bind node.schema h, node) }
+      { schema = node.schema;
+        op = Filter (Eval_expr.bind node.schema h, 0.5, node) }
   in
   let proj_items =
     List.mapi
@@ -569,7 +911,12 @@ let plan_select (catalog : Catalog.t) ?eval_subquery (s : select) : node =
   Ldv_obs.counter "db.plans";
   Ldv_obs.Ledger.time Ldv_obs.Ledger.Plan @@ fun () ->
   Ldv_obs.with_span "db.plan" @@ fun () ->
-  plan_select_ctx { catalog; eval_subquery; extra_ann = Annotation.one } s
+  let node =
+    plan_select_ctx { catalog; eval_subquery; extra_ann = Annotation.one } s
+  in
+  Ldv_obs.add_attr "db.plan.cost" (Printf.sprintf "%.1f" (cost node));
+  Ldv_obs.add_attr "db.plan.est_rows" (Printf.sprintf "%.1f" (est_rows node));
+  node
 
 (** Resolve the uncorrelated subqueries of a standalone expression (an
     UPDATE/DELETE WHERE clause); returns the rewritten expression and the
@@ -583,8 +930,9 @@ let resolve_expr (catalog : Catalog.t) ?eval_subquery (e : expr) :
 (** Names of the base tables a plan reads, in scan order. *)
 let rec base_tables (n : node) : string list =
   match n.op with
-  | Scan { table; _ } | Index_scan { table; _ } -> [ Table.name table ]
-  | Filter (_, x)
+  | Scan { table; _ } | Index_scan { table; _ } | Range_scan { table; _ } ->
+    [ Table.name table ]
+  | Filter (_, _, x)
   | Project (_, x)
   | Sort (_, x)
   | Limit (_, x)
@@ -608,13 +956,39 @@ let rec describe (n : node) : string =
     (match as_of with
     | Some t -> base ^ Printf.sprintf " asof %d)" t
     | None -> base ^ ")")
-  | Index_scan { table; index; _ } ->
-    Printf.sprintf "indexscan(%s.%s)" (Table.name table) index.Table.idx_name
-  | Filter (_, x) -> Printf.sprintf "filter(%s)" (describe x)
+  | Index_scan { table; index; as_of; _ } ->
+    let base =
+      Printf.sprintf "indexscan(%s.%s" (Table.name table) index.Table.idx_name
+    in
+    (match as_of with
+    | Some t -> base ^ Printf.sprintf " asof %d)" t
+    | None -> base ^ ")")
+  | Range_scan { table; oindex; lo; hi; as_of; _ } ->
+    let b = Buffer.create 32 in
+    Buffer.add_string b
+      (Printf.sprintf "rangescan(%s.%s" (Table.name table)
+         oindex.Table.oidx_name);
+    Option.iter
+      (fun (v, incl) ->
+        Buffer.add_string b
+          (Printf.sprintf " %s %s" (if incl then ">=" else ">")
+             (Value.to_string v)))
+      lo;
+    Option.iter
+      (fun (v, incl) ->
+        Buffer.add_string b
+          (Printf.sprintf " %s %s" (if incl then "<=" else "<")
+             (Value.to_string v)))
+      hi;
+    Option.iter (fun t -> Buffer.add_string b (Printf.sprintf " asof %d" t)) as_of;
+    Buffer.add_char b ')';
+    Buffer.contents b
+  | Filter (_, _, x) -> Printf.sprintf "filter(%s)" (describe x)
   | Project (_, x) -> Printf.sprintf "project(%s)" (describe x)
-  | Hash_join { left; right; outer; _ } ->
-    Printf.sprintf "%s(%s, %s)"
+  | Hash_join { left; right; outer; build_left; _ } ->
+    Printf.sprintf "%s%s(%s, %s)"
       (if outer then "hashouterjoin" else "hashjoin")
+      (if build_left then "[build=left]" else "")
       (describe left) (describe right)
   | Nested_loop { left; right; outer; _ } ->
     Printf.sprintf "%s(%s, %s)"

@@ -159,8 +159,10 @@ let rec pp_statement ppf = function
            Format.fprintf ppf "%s %s" c (Value.type_name ty)))
       columns
   | Drop_table t -> Format.fprintf ppf "DROP TABLE %s" t
-  | Create_index { index; table; column } ->
-    Format.fprintf ppf "CREATE INDEX %s ON %s (%s)" index table column
+  | Create_index { index; table; column; ordered } ->
+    Format.fprintf ppf "CREATE %sINDEX %s ON %s (%s)"
+      (if ordered then "ORDERED " else "")
+      index table column
   | Drop_index i -> Format.fprintf ppf "DROP INDEX %s" i
   | Explain stmt -> Format.fprintf ppf "EXPLAIN %a" pp_statement stmt
   | Begin_tx -> Format.pp_print_string ppf "BEGIN"

@@ -96,7 +96,12 @@ type statement =
   | Delete of { table : string; where : expr option }
   | Create_table of { table : string; columns : (string * Value.ty) list }
   | Drop_table of string
-  | Create_index of { index : string; table : string; column : string }
+  | Create_index of {
+      index : string;
+      table : string;
+      column : string;
+      ordered : bool;  (** CREATE ORDERED INDEX: range-capable sorted index *)
+    }
   | Drop_index of string
   | Explain of statement
   | Begin_tx

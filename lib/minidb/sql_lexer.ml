@@ -22,7 +22,8 @@ let keywords =
     "AVG"; "MIN"; "MAX"; "INT"; "INTEGER"; "FLOAT"; "REAL"; "DOUBLE";
     "TEXT"; "VARCHAR"; "CHAR"; "BOOL"; "BOOLEAN"; "PROVENANCE"; "PRECISION";
     "JOIN"; "LEFT"; "OUTER"; "INNER"; "ON"; "UNION"; "ALL"; "CASE"; "WHEN";
-    "THEN"; "ELSE"; "END"; "EXISTS"; "OF"; "INDEX"; "EXPLAIN"; "BEGIN";
+    "THEN"; "ELSE"; "END"; "EXISTS"; "OF"; "INDEX"; "ORDERED"; "EXPLAIN";
+    "BEGIN";
     "COMMIT"; "ROLLBACK"; "TRANSACTION"; "WORK" ]
 
 let keyword_set =

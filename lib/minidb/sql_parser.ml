@@ -470,16 +470,18 @@ let rec parse_statement_body lx =
     let columns = sep_list lx parse_col in
     L.expect_sym lx ")";
     Create_table { table; columns }
-  | L.Kw "CREATE" when L.peek2 lx = L.Kw "INDEX" ->
+  | L.Kw "CREATE" when L.peek2 lx = L.Kw "INDEX" || L.peek2 lx = L.Kw "ORDERED"
+    ->
     L.advance lx;
-    L.advance lx;
+    let ordered = L.accept_kw lx "ORDERED" in
+    L.expect_kw lx "INDEX";
     let index = parse_ident lx in
     L.expect_kw lx "ON";
     let table = parse_ident lx in
     L.expect_sym lx "(";
     let column = parse_ident lx in
     L.expect_sym lx ")";
-    Create_index { index; table; column }
+    Create_index { index; table; column; ordered }
   | L.Kw "DROP" when L.peek2 lx = L.Kw "TABLE" ->
     L.advance lx;
     L.advance lx;

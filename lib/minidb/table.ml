@@ -5,7 +5,14 @@
     version history (what update/delete reenactment and package slicing
     need). This replaces the paper's schema-extension trick
     ([prov_rowid]/[prov_v] columns added to user tables): versioning is
-    native to the storage layer. *)
+    native to the storage layer.
+
+    The history is organised as per-rid *version chains* (newest first), so
+    MVCC reads touch only the chains of candidate rids instead of a global
+    version list, and visibility scans cost O(rows) rather than O(versions
+    ever written). Alongside the hash indexes the table supports *ordered*
+    indexes (a lazily-merged sorted array over [Value.t]) that serve range
+    lookups for the planner's [Range_scan] nodes. *)
 
 type tuple_version = {
   tid : Tid.t;
@@ -32,30 +39,134 @@ type index = {
   idx_entries : (Value.t, int list ref) Hashtbl.t;  (** value -> rids *)
 }
 
+(** An ordered secondary index: a sorted array of (value, rid) entries over
+    the live snapshot, maintained lazily. Additions buffer in
+    [oidx_pending] and merge on the next lookup; removals only bump
+    [oidx_dead] — stale entries are filtered against the live snapshot at
+    lookup time and swept out when the dead fraction grows. *)
+type ordered_index = {
+  oidx_name : string;
+  oidx_column : int;
+  mutable oidx_keys : (Value.t * int) array;  (** sorted by (value, rid) *)
+  mutable oidx_n : int;  (** used prefix of [oidx_keys] *)
+  mutable oidx_pending : (Value.t * int) list;
+  mutable oidx_pending_n : int;
+  mutable oidx_dead : int;  (** estimated stale entries in the prefix *)
+  mutable oidx_distinct : int;  (** distinct keys at the last merge *)
+}
+
 type t = {
   name : string;
   schema : Schema.t;
   live : (int, tuple_version) Hashtbl.t;  (** rid -> current version *)
-  mutable history : tuple_version list;  (** all versions, newest first *)
+  chains : (int, tuple_version list ref) Hashtbl.t;
+      (** rid -> all versions of the row, newest first *)
   by_version : (int * int, tuple_version) Hashtbl.t;
       (** (rid, version) -> the version, for O(1) provenance lookups *)
   mutable next_rid : int;
-  mutable live_order : int list;  (** rids in insertion order, newest first *)
+  mutable n_versions : int;
+  (* Live scan order: a sorted ascending array of candidate rids plus an
+     unsorted pending buffer, merged lazily on scan. Deletions only bump
+     [order_dead]; dead entries are swept when they outnumber half the
+     array. This keeps delete/rollback O(1) per row where the old
+     [List.filter] bookkeeping was O(live) per call. *)
+  mutable order : int array;
+  mutable order_n : int;
+  mutable order_pending : int list;
+  mutable order_pending_n : int;
+  mutable order_dead : int;
   mutable indexes : index list;
+  mutable ordered : ordered_index list;
+  (* MVCC fast-path bookkeeping. [tx_open] mirrors "the owning database has
+     an open transaction"; while true, every rid whose visibility can
+     diverge from the live snapshot is recorded in [hot] so index lookups
+     can fall back to chain walks over (index candidates ∪ hot) only.
+     [pending_writes] counts versions with an uncommitted write or
+     retirement; [last_stamp] is the newest clock at which committed
+     visibility changed — together they certify when an AS-OF or MVCC scan
+     may take the plain live path. *)
+  mutable tx_open : bool;
+  hot : (int, unit) Hashtbl.t;
+  mutable pending_writes : int;
+  mutable last_stamp : int;
+  (* Planner statistics pin: [(rows_at_audit, live_rows_at_pin)]. A
+     package-restored table holds only the sliced tuple subset; pinning the
+     audit-time row count keeps cost-based join decisions identical between
+     the recorded run and its replay (both evolve by the same DML delta). *)
+  mutable pinned_rows : (int * int) option;
 }
 
 let create ~name ~schema =
   { name = String.lowercase_ascii name;
     schema;
     live = Hashtbl.create 64;
-    history = [];
+    chains = Hashtbl.create 64;
     by_version = Hashtbl.create 64;
     next_rid = 1;
-    live_order = [];
-    indexes = [] }
+    n_versions = 0;
+    order = [||];
+    order_n = 0;
+    order_pending = [];
+    order_pending_n = 0;
+    order_dead = 0;
+    indexes = [];
+    ordered = [];
+    tx_open = false;
+    hot = Hashtbl.create 16;
+    pending_writes = 0;
+    last_stamp = 0;
+    pinned_rows = None }
+
+let name t = t.name
+let schema t = t.schema
+let row_count t = Hashtbl.length t.live
+let version_count t = t.n_versions
 
 (* ------------------------------------------------------------------ *)
-(* Index maintenance.                                                  *)
+(* MVCC bookkeeping helpers.                                           *)
+
+let note_churn t rid = if t.tx_open then Hashtbl.replace t.hot rid ()
+let stamp t clock = if clock > t.last_stamp then t.last_stamp <- clock
+
+(** Told by the database when its open-transaction count leaves/returns to
+    zero. Closing the last transaction forgets the hot set: live snapshot,
+    indexes and committed visibility agree again. *)
+let note_tx_open t = t.tx_open <- true
+
+let note_tx_closed t =
+  t.tx_open <- false;
+  Hashtbl.reset t.hot
+
+let hot_rids t = Hashtbl.fold (fun rid () acc -> rid :: acc) t.hot []
+
+(** Whether the committed snapshot at [at] equals the live snapshot: no
+    uncommitted writes anywhere and nothing committed after [at]. Index
+    lookups under AS-OF use this to stay on the fast path (snapshot-pinned
+    replica reads are almost always frozen in this sense). *)
+let frozen_at t ~at = t.pending_writes = 0 && at >= t.last_stamp
+
+(* ------------------------------------------------------------------ *)
+(* Version chains.                                                     *)
+
+let chain_add t (tv : tuple_version) =
+  let rid = tv.tid.Tid.rid in
+  (match Hashtbl.find_opt t.chains rid with
+  | Some r -> r := tv :: !r
+  | None -> Hashtbl.replace t.chains rid (ref [ tv ]));
+  t.n_versions <- t.n_versions + 1
+
+let chain_remove t (tv : tuple_version) =
+  let rid = tv.tid.Tid.rid in
+  match Hashtbl.find_opt t.chains rid with
+  | None -> ()
+  | Some r ->
+    let rest = List.filter (fun x -> not (x == tv)) !r in
+    if List.compare_lengths rest !r <> 0 then
+      t.n_versions <- t.n_versions - 1;
+    if rest = [] then Hashtbl.remove t.chains rid else r := rest
+
+(* ------------------------------------------------------------------ *)
+(* Hash index maintenance.                                             *)
 
 let index_add idx value rid =
   if not (Value.is_null value) then
@@ -66,32 +177,198 @@ let index_add idx value rid =
 let index_remove idx value rid =
   if not (Value.is_null value) then
     match Hashtbl.find_opt idx.idx_entries value with
-    | Some r -> r := List.filter (fun x -> x <> rid) !r
+    | Some r ->
+      r := List.filter (fun x -> x <> rid) !r;
+      (* drop emptied buckets: under update/delete churn they would
+         otherwise accumulate forever and skew the distinct-count
+         statistics derived from the bucket count *)
+      if !r = [] then Hashtbl.remove idx.idx_entries value
     | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Ordered index maintenance.                                          *)
+
+let entry_compare (v1, r1) (v2, r2) =
+  match Value.compare_total v1 v2 with 0 -> Int.compare r1 r2 | c -> c
+
+let oindex_add oidx value rid =
+  if not (Value.is_null value) then begin
+    oidx.oidx_pending <- (value, rid) :: oidx.oidx_pending;
+    oidx.oidx_pending_n <- oidx.oidx_pending_n + 1
+  end
+
+let oindex_remove oidx value _rid =
+  if not (Value.is_null value) then oidx.oidx_dead <- oidx.oidx_dead + 1
+
+(* An ordered-index entry is current iff the rid is live and the live
+   version still carries the entry's value in the indexed column. *)
+let oentry_live t oidx (v, rid) =
+  match Hashtbl.find_opt t.live rid with
+  | None -> false
+  | Some tv -> Value.equal tv.values.(oidx.oidx_column) v
+
+let oindex_recount oidx =
+  let distinct = ref 0 in
+  for i = 0 to oidx.oidx_n - 1 do
+    if i = 0 || Value.compare_total (fst oidx.oidx_keys.(i - 1)) (fst oidx.oidx_keys.(i)) <> 0
+    then incr distinct
+  done;
+  oidx.oidx_distinct <- !distinct
+
+(** Merge pending additions into the sorted array and, when stale entries
+    dominate, sweep them out against the live snapshot. *)
+let settle_oindex t oidx =
+  if oidx.oidx_pending_n > 0 then begin
+    let extra = Array.of_list oidx.oidx_pending in
+    Array.sort entry_compare extra;
+    let merged =
+      Array.make (oidx.oidx_n + Array.length extra) (Value.Null, 0)
+    in
+    let k = ref 0 and i = ref 0 and j = ref 0 in
+    let push e =
+      if !k = 0 || entry_compare merged.(!k - 1) e <> 0 then begin
+        merged.(!k) <- e;
+        incr k
+      end
+    in
+    while !i < oidx.oidx_n || !j < Array.length extra do
+      if !j >= Array.length extra then begin
+        push oidx.oidx_keys.(!i);
+        incr i
+      end
+      else if
+        !i < oidx.oidx_n && entry_compare oidx.oidx_keys.(!i) extra.(!j) <= 0
+      then begin
+        push oidx.oidx_keys.(!i);
+        incr i
+      end
+      else begin
+        push extra.(!j);
+        incr j
+      end
+    done;
+    oidx.oidx_keys <- merged;
+    oidx.oidx_n <- !k;
+    oidx.oidx_pending <- [];
+    oidx.oidx_pending_n <- 0;
+    oindex_recount oidx
+  end;
+  if oidx.oidx_dead > 64 && oidx.oidx_dead * 2 > oidx.oidx_n then begin
+    let k = ref 0 in
+    for i = 0 to oidx.oidx_n - 1 do
+      if oentry_live t oidx oidx.oidx_keys.(i) then begin
+        oidx.oidx_keys.(!k) <- oidx.oidx_keys.(i);
+        incr k
+      end
+    done;
+    oidx.oidx_n <- !k;
+    oidx.oidx_dead <- 0;
+    oindex_recount oidx
+  end
+
+type bound = Value.t * bool  (** bound value, inclusive? *)
+
+(* First index in [0, n) whose entry is inside the lower bound. *)
+let lower_bound oidx (b : bound option) =
+  match b with
+  | None -> 0
+  | Some (v, incl) ->
+    let lo = ref 0 and hi = ref oidx.oidx_n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = Value.compare_total (fst oidx.oidx_keys.(mid)) v in
+      if c < 0 || (c = 0 && not incl) then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+(* First index in [0, n) whose entry is past the upper bound. *)
+let upper_bound oidx (b : bound option) =
+  match b with
+  | None -> oidx.oidx_n
+  | Some (v, incl) ->
+    let lo = ref 0 and hi = ref oidx.oidx_n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = Value.compare_total (fst oidx.oidx_keys.(mid)) v in
+      if c < 0 || (c = 0 && incl) then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+(* ------------------------------------------------------------------ *)
+(* Index fan-out.                                                      *)
+
 let indexes_add t (tv : tuple_version) =
+  let rid = tv.tid.Tid.rid in
+  List.iter (fun idx -> index_add idx tv.values.(idx.idx_column) rid) t.indexes;
   List.iter
-    (fun idx -> index_add idx tv.values.(idx.idx_column) tv.tid.Tid.rid)
-    t.indexes
+    (fun oidx -> oindex_add oidx tv.values.(oidx.oidx_column) rid)
+    t.ordered
 
 let indexes_remove t (tv : tuple_version) =
+  let rid = tv.tid.Tid.rid in
   List.iter
-    (fun idx -> index_remove idx tv.values.(idx.idx_column) tv.tid.Tid.rid)
-    t.indexes
+    (fun idx -> index_remove idx tv.values.(idx.idx_column) rid)
+    t.indexes;
+  List.iter
+    (fun oidx -> oindex_remove oidx tv.values.(oidx.oidx_column) rid)
+    t.ordered
 
-(* live_order is kept in descending-rid order (newest insert first), so
-   restores and rollbacks can put a rid back at its canonical position. *)
-let insert_sorted rid order =
-  let rec go = function
-    | x :: rest when x > rid -> x :: go rest
-    | l -> rid :: l
-  in
-  go order
+(* ------------------------------------------------------------------ *)
+(* Live scan order.                                                    *)
 
-let name t = t.name
-let schema t = t.schema
-let row_count t = Hashtbl.length t.live
-let version_count t = List.length t.history
+let order_push t rid =
+  t.order_pending <- rid :: t.order_pending;
+  t.order_pending_n <- t.order_pending_n + 1
+
+(* Merge pending rids into the sorted array (deduplicating — a deleted rid
+   may have been resurrected by rollback or restore), then sweep dead rids
+   when they dominate. After a sweep the array holds exactly the live
+   rids. *)
+let settle_order t =
+  if t.order_pending_n > 0 then begin
+    let extra = Array.of_list t.order_pending in
+    Array.sort compare extra;
+    let merged = Array.make (t.order_n + Array.length extra) 0 in
+    let k = ref 0 and i = ref 0 and j = ref 0 in
+    let push rid =
+      if !k = 0 || merged.(!k - 1) <> rid then begin
+        merged.(!k) <- rid;
+        incr k
+      end
+    in
+    while !i < t.order_n || !j < Array.length extra do
+      if !j >= Array.length extra then begin
+        push t.order.(!i);
+        incr i
+      end
+      else if !i < t.order_n && t.order.(!i) <= extra.(!j) then begin
+        push t.order.(!i);
+        incr i
+      end
+      else begin
+        push extra.(!j);
+        incr j
+      end
+    done;
+    t.order <- merged;
+    t.order_n <- !k;
+    t.order_pending <- [];
+    t.order_pending_n <- 0
+  end;
+  if t.order_dead > 64 && t.order_dead * 2 > t.order_n then begin
+    let k = ref 0 in
+    for i = 0 to t.order_n - 1 do
+      if Hashtbl.mem t.live t.order.(i) then begin
+        t.order.(!k) <- t.order.(i);
+        incr k
+      end
+    done;
+    t.order_n <- !k;
+    t.order_dead <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Writes.                                                             *)
 
 (** Insert a row; returns the new tuple version. [clock] is the logical
     timestamp recorded as the version. [tx] is the open transaction writing
@@ -110,10 +387,13 @@ let insert ?(tx = 0) t ~clock (row : Value.t array) =
       retired_commit = 0 }
   in
   Hashtbl.replace t.live rid tv;
-  t.history <- tv :: t.history;
+  chain_add t tv;
   Hashtbl.replace t.by_version (rid, clock) tv;
-  t.live_order <- rid :: t.live_order;
+  order_push t rid;
   indexes_add t tv;
+  if tx <> 0 then t.pending_writes <- t.pending_writes + 1;
+  stamp t clock;
+  note_churn t rid;
   tv
 
 (** Update the live version of [rid] to new values; returns
@@ -139,10 +419,13 @@ let update ?(tx = 0) t ~clock ~rid (row : Value.t array) =
     old_tv.retired_tx <- tx;
     old_tv.retired_commit <- (if tx = 0 then clock else 0);
     Hashtbl.replace t.live rid tv;
-    t.history <- tv :: t.history;
+    chain_add t tv;
     Hashtbl.replace t.by_version (rid, clock) tv;
     indexes_remove t old_tv;
     indexes_add t tv;
+    if tx <> 0 then t.pending_writes <- t.pending_writes + 2;
+    stamp t clock;
+    note_churn t rid;
     (old_tv, tv)
 
 (** Delete the live version of [rid]; returns the retired version. *)
@@ -157,13 +440,63 @@ let delete ?(tx = 0) t ~clock ~rid =
     tv.retired_tx <- tx;
     tv.retired_commit <- (if tx = 0 then clock else 0);
     Hashtbl.remove t.live rid;
-    t.live_order <- List.filter (fun r -> r <> rid) t.live_order;
+    t.order_dead <- t.order_dead + 1;
     indexes_remove t tv;
+    if tx <> 0 then t.pending_writes <- t.pending_writes + 1;
+    stamp t clock;
+    note_churn t rid;
     tv
+
+(* ------------------------------------------------------------------ *)
+(* Commit stamping.                                                    *)
+
+(** Stamp a version created inside a committing transaction with the
+    commit clock, making it visible to later snapshots. *)
+let commit_insert_stamp t (tv : tuple_version) ~commit_clock =
+  if tv.txid <> 0 then t.pending_writes <- t.pending_writes - 1;
+  tv.txid <- 0;
+  tv.committed_at <- commit_clock;
+  stamp t commit_clock
+
+(** Stamp a retirement performed inside a committing transaction. *)
+let commit_retire_stamp t (tv : tuple_version) ~commit_clock =
+  if tv.retired_tx <> 0 then t.pending_writes <- t.pending_writes - 1;
+  tv.retired_tx <- 0;
+  tv.retired_commit <- commit_clock;
+  tv.retired_at <- Some commit_clock;
+  stamp t commit_clock
+
+(* ------------------------------------------------------------------ *)
+(* Reads.                                                              *)
 
 (** Live tuple versions in insertion order (oldest first). *)
 let scan t : tuple_version list =
-  List.rev_map (fun rid -> Hashtbl.find t.live rid) t.live_order
+  settle_order t;
+  let acc = ref [] in
+  for i = t.order_n - 1 downto 0 do
+    match Hashtbl.find_opt t.live t.order.(i) with
+    | Some tv -> acc := tv :: !acc
+    | None -> ()
+  done;
+  !acc
+
+(** Live tuple versions as an array (same ascending-rid order as [scan]);
+    the executor's batch pipeline starts here. *)
+let scan_array t : tuple_version array =
+  settle_order t;
+  if t.order_dead > 0 then begin
+    (* force the sweep so the prefix is exactly the live rids *)
+    let k = ref 0 in
+    for i = 0 to t.order_n - 1 do
+      if Hashtbl.mem t.live t.order.(i) then begin
+        t.order.(!k) <- t.order.(i);
+        incr k
+      end
+    done;
+    t.order_n <- !k;
+    t.order_dead <- 0
+  end;
+  Array.init t.order_n (fun i -> Hashtbl.find t.live t.order.(i))
 
 let find_live t ~rid = Hashtbl.find_opt t.live rid
 
@@ -172,8 +505,13 @@ let find_version t (tid : Tid.t) =
   if not (String.equal tid.Tid.table t.name) then None
   else Hashtbl.find_opt t.by_version (tid.Tid.rid, tid.Tid.version)
 
-(** All versions ever written, oldest first. *)
-let all_versions t = List.rev t.history
+(** All versions ever written, ordered by (rid, version). *)
+let all_versions t =
+  Hashtbl.fold (fun _ chain acc -> List.rev_append !chain acc) t.chains []
+  |> List.sort (fun a b ->
+         match Int.compare a.tid.Tid.rid b.tid.Tid.rid with
+         | 0 -> Int.compare a.tid.Tid.version b.tid.Tid.version
+         | c -> c)
 
 (** Approximate on-disk footprint of the live data in bytes; drives the
     size of simulated DB data files. *)
@@ -210,11 +548,13 @@ let restore_version t ~rid ~version (row : Value.t array) =
     indexes_add t tv
   | None ->
     Hashtbl.replace t.live rid tv;
-    t.live_order <- insert_sorted rid t.live_order;
+    order_push t rid;
     indexes_add t tv);
   if rid >= t.next_rid then t.next_rid <- rid + 1;
-  t.history <- tv :: t.history;
+  chain_add t tv;
   Hashtbl.replace t.by_version (rid, version) tv;
+  stamp t version;
+  note_churn t rid;
   tv
 
 (** Restore the row-id allocator from a checkpoint. Live rows alone
@@ -225,34 +565,73 @@ let restore_next_rid t rid = if rid > t.next_rid then t.next_rid <- rid
 (* ------------------------------------------------------------------ *)
 (* Secondary indexes.                                                  *)
 
-(** Create a hash index over [column]; backfills from the live snapshot. *)
-let create_index t ~index_name ~column =
+let index_exists t index_name =
+  List.exists (fun i -> String.equal i.idx_name index_name) t.indexes
+  || List.exists (fun o -> String.equal o.oidx_name index_name) t.ordered
+
+(** Create an index over [column]; backfills from the live snapshot.
+    [ordered] picks the sorted-array index (range-capable) over the
+    default hash index. *)
+let create_index ?(ordered = false) t ~index_name ~column =
   let column = String.lowercase_ascii column in
-  if List.exists (fun i -> String.equal i.idx_name index_name) t.indexes then
+  if index_exists t index_name then
     Errors.fail
       (Errors.Constraint_violation
          (Printf.sprintf "index %S already exists" index_name));
   let position = Schema.resolve t.schema column in
-  let idx =
-    { idx_name = index_name;
-      idx_column = position;
-      idx_entries = Hashtbl.create 256 }
-  in
-  Hashtbl.iter (fun rid tv -> index_add idx tv.values.(position) rid) t.live;
-  t.indexes <- idx :: t.indexes;
-  idx
+  if ordered then begin
+    let oidx =
+      { oidx_name = index_name;
+        oidx_column = position;
+        oidx_keys = [||];
+        oidx_n = 0;
+        oidx_pending = [];
+        oidx_pending_n = 0;
+        oidx_dead = 0;
+        oidx_distinct = 0 }
+    in
+    Hashtbl.iter
+      (fun rid tv -> oindex_add oidx tv.values.(position) rid)
+      t.live;
+    settle_oindex t oidx;
+    t.ordered <- oidx :: t.ordered
+  end
+  else begin
+    let idx =
+      { idx_name = index_name;
+        idx_column = position;
+        idx_entries = Hashtbl.create 256 }
+    in
+    Hashtbl.iter (fun rid tv -> index_add idx tv.values.(position) rid) t.live;
+    t.indexes <- idx :: t.indexes
+  end
 
 let drop_index t ~index_name =
-  if not (List.exists (fun i -> String.equal i.idx_name index_name) t.indexes)
-  then Errors.fail (Errors.Unknown_table ("index " ^ index_name));
+  if not (index_exists t index_name) then
+    Errors.fail (Errors.Unknown_table ("index " ^ index_name));
   t.indexes <-
-    List.filter (fun i -> not (String.equal i.idx_name index_name)) t.indexes
+    List.filter (fun i -> not (String.equal i.idx_name index_name)) t.indexes;
+  t.ordered <-
+    List.filter (fun o -> not (String.equal o.oidx_name index_name)) t.ordered
 
-(** An index over column position [column], if one exists. *)
+(** A hash index over column position [column], if one exists. *)
 let index_on t ~column =
   List.find_opt (fun i -> i.idx_column = column) t.indexes
 
-let index_names t = List.map (fun i -> i.idx_name) t.indexes
+(** An ordered index over column position [column], if one exists. *)
+let ordered_index_on t ~column =
+  List.find_opt (fun o -> o.oidx_column = column) t.ordered
+
+let index_names t =
+  List.map (fun i -> i.idx_name) t.indexes
+  @ List.map (fun o -> o.oidx_name) t.ordered
+
+(** (name, column name, ordered?) for every index — what a checkpoint or
+    replica-bootstrap image must carry to recreate them. *)
+let index_specs t =
+  let column_name pos = t.schema.(pos).Schema.name in
+  List.map (fun i -> (i.idx_name, column_name i.idx_column, false)) t.indexes
+  @ List.map (fun o -> (o.oidx_name, column_name o.oidx_column, true)) t.ordered
 
 (** Live tuple versions whose indexed column equals [value], in rid order
     (deterministic regardless of maintenance history). *)
@@ -262,6 +641,102 @@ let index_lookup t (idx : index) (value : Value.t) : tuple_version list =
   | Some rids ->
     List.sort_uniq compare !rids
     |> List.filter_map (fun rid -> Hashtbl.find_opt t.live rid)
+
+(** Candidate rids for an equality probe, ascending; callers re-check
+    visibility and the key themselves (the MVCC fallback path). *)
+let index_candidate_rids _t (idx : index) (value : Value.t) : int list =
+  match Hashtbl.find_opt idx.idx_entries value with
+  | None -> []
+  | Some rids -> List.sort_uniq compare !rids
+
+(** Live tuple versions whose indexed column lies within [lo, hi] (each
+    bound optional, (value, inclusive)), in ascending-rid order. *)
+let range_lookup t (oidx : ordered_index) ~(lo : bound option)
+    ~(hi : bound option) : tuple_version list =
+  settle_oindex t oidx;
+  let first = lower_bound oidx lo and past = upper_bound oidx hi in
+  let rids = ref [] in
+  for i = past - 1 downto first do
+    let (_, rid) as e = oidx.oidx_keys.(i) in
+    if oentry_live t oidx e then rids := rid :: !rids
+  done;
+  List.sort_uniq compare !rids
+  |> List.filter_map (fun rid -> Hashtbl.find_opt t.live rid)
+
+(** Candidate rids for a range probe, ascending, without live validation
+    (the MVCC fallback path re-checks values against visible versions). *)
+let range_candidate_rids _t (oidx : ordered_index) ~(lo : bound option)
+    ~(hi : bound option) : int list =
+  let first = lower_bound oidx lo and past = upper_bound oidx hi in
+  let rids = ref [] in
+  for i = past - 1 downto first do
+    rids := snd oidx.oidx_keys.(i) :: !rids
+  done;
+  List.sort_uniq compare !rids
+
+(** Number of index entries within the bounds — the planner's range
+    selectivity estimate (stale entries included; it is an estimate). *)
+let range_estimate t (oidx : ordered_index) ~(lo : bound option)
+    ~(hi : bound option) : int =
+  settle_oindex t oidx;
+  max 0 (upper_bound oidx hi - lower_bound oidx lo)
+
+(* ------------------------------------------------------------------ *)
+(* Planner statistics.                                                 *)
+
+(** Pin the audit-time row count (package restore): cost estimates become
+    [pinned + (live delta since the pin)], which replays identically. *)
+let pin_row_stats t ~rows = t.pinned_rows <- Some (rows, Hashtbl.length t.live)
+
+(** Row count as the cost model sees it: the real live count, or the
+    pinned audit-time count advanced by the local delta. *)
+let stable_row_count t =
+  match t.pinned_rows with
+  | None -> Hashtbl.length t.live
+  | Some (rows, live_at_pin) -> rows + Hashtbl.length t.live - live_at_pin
+
+type stats = {
+  st_rows : int;
+  st_distinct : (int * int) list;  (** column position -> distinct keys *)
+}
+
+(** Table statistics for the cost model: live row count plus per-indexed-
+    column distinct-key counts (hash indexes: the bucket count — exact now
+    that emptied buckets are dropped; ordered indexes: the merged distinct
+    count). [verify] asserts the hash bucket-count invariant against a
+    fresh scan (test hook). *)
+let stats ?(verify = false) t : stats =
+  let distinct_hash idx =
+    if verify then begin
+      let seen = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun _ tv ->
+          let v = tv.values.(idx.idx_column) in
+          if not (Value.is_null v) then Hashtbl.replace seen v ())
+        t.live;
+      assert (Hashtbl.length idx.idx_entries = Hashtbl.length seen)
+    end;
+    (idx.idx_column, Hashtbl.length idx.idx_entries)
+  in
+  let distinct_ordered oidx =
+    settle_oindex t oidx;
+    (oidx.oidx_column, oidx.oidx_distinct)
+  in
+  { st_rows = Hashtbl.length t.live;
+    st_distinct =
+      List.map distinct_hash t.indexes
+      @ List.map distinct_ordered t.ordered }
+
+(** Distinct live keys of [column], when some index covers it. *)
+let distinct_on t ~column =
+  match index_on t ~column with
+  | Some idx -> Some (Hashtbl.length idx.idx_entries)
+  | None -> (
+    match ordered_index_on t ~column with
+    | Some oidx ->
+      settle_oindex t oidx;
+      Some oidx.oidx_distinct
+    | None -> None)
 
 (* ------------------------------------------------------------------ *)
 (* MVCC visibility and time travel.                                    *)
@@ -278,19 +753,36 @@ let visible ?(tx = 0) ~at (tv : tuple_version) =
   if tv.retired_tx <> 0 then tv.retired_tx <> tx
   else tv.retired_commit = 0 || tv.retired_commit > at
 
+(** The version of [rid] that [tx] sees at [at], walking only that row's
+    chain (at most one version of a row is visible per snapshot). *)
+let visible_version ?(tx = 0) ?(at = max_int) t ~rid =
+  match Hashtbl.find_opt t.chains rid with
+  | None -> None
+  | Some chain -> List.find_opt (visible ~tx ~at) !chain
+
 (** The snapshot [tx] sees at time [at] (default: the committed present),
     in ascending-rid order — the same order [scan] yields, so switching
-    between the two paths can never reorder results. *)
+    between the two paths can never reorder results. Walks per-rid chains
+    (O(rows), not O(versions ever written)), and collapses to the plain
+    live scan when the snapshot provably equals it. *)
 let scan_visible ?(tx = 0) ?(at = max_int) t : tuple_version list =
-  List.filter (visible ~tx ~at) (List.rev t.history)
-  |> List.sort (fun a b -> compare a.tid.Tid.rid b.tid.Tid.rid)
+  if frozen_at t ~at then scan t
+  else begin
+    let acc = ref [] in
+    for rid = t.next_rid - 1 downto 1 do
+      match visible_version ~tx ~at t ~rid with
+      | Some tv -> acc := tv :: !acc
+      | None -> ()
+    done;
+    !acc
+  end
 
 (** The live snapshot as of logical time [at]: for each row, the version
     committed no later than [at] and not retired by a commit at or before
     [at]. [tx] additionally folds in that transaction's own uncommitted
-    writes (its begin-snapshot plus its writes: MVCC read rule). *)
-let scan_as_of ?(tx = 0) t ~at : tuple_version list =
-  List.filter (visible ~tx ~at) (List.rev t.history)
+    writes (its begin-snapshot plus its writes: MVCC read rule). Same
+    ascending-rid order as [scan_visible]. *)
+let scan_as_of ?(tx = 0) t ~at : tuple_version list = scan_visible ~tx ~at t
 
 (* ------------------------------------------------------------------ *)
 (* Transaction rollback support.                                       *)
@@ -302,18 +794,22 @@ let unlink_version t (tv : tuple_version) =
   (match Hashtbl.find_opt t.live tv.tid.Tid.rid with
   | Some live_tv when live_tv == tv ->
     Hashtbl.remove t.live tv.tid.Tid.rid;
-    t.live_order <- List.filter (fun r -> r <> tv.tid.Tid.rid) t.live_order;
+    t.order_dead <- t.order_dead + 1;
     indexes_remove t tv
   | _ -> ());
-  t.history <- List.filter (fun x -> not (x == tv)) t.history;
-  Hashtbl.remove t.by_version (tv.tid.Tid.rid, tv.tid.Tid.version)
+  if tv.txid <> 0 then t.pending_writes <- t.pending_writes - 1;
+  chain_remove t tv;
+  Hashtbl.remove t.by_version (tv.tid.Tid.rid, tv.tid.Tid.version);
+  note_churn t tv.tid.Tid.rid
 
 (** Resurrect a version retired inside an aborted transaction. *)
 let relink_version t (tv : tuple_version) =
+  if tv.retired_tx <> 0 then t.pending_writes <- t.pending_writes - 1;
   tv.retired_at <- None;
   tv.retired_tx <- 0;
   tv.retired_commit <- 0;
-  (match Hashtbl.find_opt t.live tv.tid.Tid.rid with
+  note_churn t tv.tid.Tid.rid;
+  match Hashtbl.find_opt t.live tv.tid.Tid.rid with
   | Some current when not (current == tv) ->
     (* the slot is occupied by an aborted newer version: caller must have
        unlinked it first *)
@@ -324,5 +820,68 @@ let relink_version t (tv : tuple_version) =
   | Some _ -> ()
   | None ->
     Hashtbl.replace t.live tv.tid.Tid.rid tv;
-    t.live_order <- insert_sorted tv.tid.Tid.rid t.live_order;
-    indexes_add t tv)
+    order_push t tv.tid.Tid.rid;
+    indexes_add t tv
+
+(* ------------------------------------------------------------------ *)
+(* Integrity checking (test support).                                  *)
+
+(** Check every index against a fresh scan of the live snapshot: each
+    index must return exactly the live rows matching its key, and hash
+    buckets must cover exactly the distinct live keys. Returns an error
+    description instead of raising so tests can report it. *)
+let check_index_integrity t : (unit, string) result =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let live_rows = scan t in
+  let check_hash idx =
+    let expected =
+      List.filter
+        (fun tv -> not (Value.is_null tv.values.(idx.idx_column)))
+        live_rows
+    in
+    let distinct = Hashtbl.create 16 in
+    List.iter
+      (fun tv -> Hashtbl.replace distinct tv.values.(idx.idx_column) ())
+      expected;
+    if Hashtbl.length idx.idx_entries <> Hashtbl.length distinct then
+      fail "index %s: %d buckets for %d distinct live keys" idx.idx_name
+        (Hashtbl.length idx.idx_entries)
+        (Hashtbl.length distinct)
+    else
+      let bad =
+        List.find_opt
+          (fun tv ->
+            let found = index_lookup t idx tv.values.(idx.idx_column) in
+            not (List.exists (fun x -> x == tv) found))
+          expected
+      in
+      match bad with
+      | Some tv ->
+        fail "index %s: live rid %d missing from its bucket" idx.idx_name
+          tv.tid.Tid.rid
+      | None -> Ok ()
+  in
+  let check_ordered oidx =
+    let expected =
+      List.filter
+        (fun tv -> not (Value.is_null tv.values.(oidx.oidx_column)))
+        live_rows
+      |> List.map (fun tv -> tv.tid.Tid.rid)
+      |> List.sort_uniq compare
+    in
+    let got =
+      range_lookup t oidx ~lo:None ~hi:None
+      |> List.map (fun tv -> tv.tid.Tid.rid)
+    in
+    if got <> expected then
+      fail "ordered index %s: range scan returned %d rids, live has %d"
+        oidx.oidx_name (List.length got) (List.length expected)
+    else Ok ()
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | f :: rest -> ( match f () with Ok () -> all rest | Error e -> Error e)
+  in
+  all
+    (List.map (fun idx () -> check_hash idx) t.indexes
+    @ List.map (fun oidx () -> check_ordered oidx) t.ordered)

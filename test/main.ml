@@ -10,6 +10,7 @@ let () =
       ("sql-parser", Test_sql_parser.suite);
       ("eval-expr", Test_eval_expr.suite);
       ("table", Test_table.suite);
+      ("storage", Test_storage.suite);
       ("executor", Test_executor.suite);
       ("sql-features", Test_sql_features.suite);
       ("csv", Test_csv.suite);

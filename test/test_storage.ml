@@ -1,0 +1,239 @@
+(* Storage-layer regressions from the 1M-tuple scaling work: scan-order
+   stability of [scan_as_of], index maintenance across every MVCC
+   mutation path (backfill, churn, transaction rollback, version
+   restore), the empty-bucket invariant of the hash-index stats, and the
+   delete-heavy workload that used to rebuild the live order
+   quadratically. *)
+
+open Minidb
+
+let schema =
+  Schema.of_list
+    [ Schema.column "k" Value.Tint;
+      Schema.column "grp" Value.Tint;
+      Schema.column "s" Value.Tstr ]
+
+let mk () = Table.create ~name:"t" ~schema
+
+let row k grp s = [| Value.Int k; Value.Int grp; Value.Str s |]
+
+let rids tvs = List.map (fun tv -> tv.Table.tid.Tid.rid) tvs
+
+(* rids of the live rows whose column [pos] equals [v], ascending — the
+   ground truth every index lookup is compared against *)
+let scan_matching table pos v =
+  Table.scan table
+  |> List.filter (fun tv -> tv.Table.values.(pos) = v)
+  |> rids |> List.sort compare
+
+let check_integrity table =
+  (match Table.check_index_integrity table with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "index integrity: %s" msg);
+  ignore (Table.stats ~verify:true table)
+
+(* every distinct live key answers an index_lookup equal to the filtered
+   scan, and a key with no live rows answers nothing *)
+let check_lookup_equivalence table ~column =
+  let idx =
+    match Table.index_on table ~column with
+    | Some idx -> idx
+    | None -> Alcotest.fail "hash index missing"
+  in
+  (* NULL keys are deliberately unindexed, so only non-NULL keys are
+     required to round-trip through the index *)
+  let keys =
+    Table.scan table
+    |> List.filter_map (fun tv ->
+           let v = tv.Table.values.(column) in
+           if Value.is_null v then None else Some v)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "lookup %s = filtered scan" (Value.to_string v))
+        (scan_matching table column v)
+        (rids (Table.index_lookup table idx v) |> List.sort compare))
+    keys;
+  Alcotest.(check (list int))
+    "dead key finds nothing" []
+    (rids (Table.index_lookup table idx (Value.Int (-12345))))
+
+(* ------------------------------------------------------------------ *)
+(* scan_as_of returns ascending rids even after updates moved a row to
+   the back of the version history                                      *)
+
+let test_scan_as_of_ascending_rids () =
+  let t = mk () in
+  for k = 1 to 5 do
+    ignore (Table.insert t ~clock:k (row k (k mod 2) (Printf.sprintf "v%d" k)))
+  done;
+  (* rewrite rid 2 then rid 1: their latest versions are now the newest
+     entries in the history, which used to leak into the scan order *)
+  ignore (Table.update t ~clock:6 ~rid:2 (row 2 0 "v2'"));
+  ignore (Table.update t ~clock:7 ~rid:1 (row 1 1 "v1'"));
+  let past = Table.scan_as_of t ~at:5 in
+  Alcotest.(check (list int)) "pre-update snapshot ascending" [ 1; 2; 3; 4; 5 ]
+    (rids past);
+  Alcotest.(check string) "pre-update value" "v1"
+    (match (List.hd past).Table.values.(2) with
+    | Value.Str s -> s
+    | _ -> "?");
+  let now = Table.scan_as_of t ~at:10 in
+  Alcotest.(check (list int)) "post-update snapshot ascending" [ 1; 2; 3; 4; 5 ]
+    (rids now);
+  Alcotest.(check string) "updated row read back in place" "v1'"
+    (match (List.hd now).Table.values.(2) with
+    | Value.Str s -> s
+    | _ -> "?")
+
+(* ------------------------------------------------------------------ *)
+(* index maintenance across the MVCC mutation paths                    *)
+
+let test_backfill_and_churn () =
+  let t = mk () in
+  for k = 1 to 40 do
+    ignore (Table.insert t ~clock:k (row k (k mod 7) (Printf.sprintf "v%d" k)))
+  done;
+  (* a NULL key must stay out of both index kinds *)
+  ignore
+    (Table.insert t ~clock:41 [| Value.Int 41; Value.Null; Value.Str "n" |]);
+  Table.create_index t ~index_name:"t_grp" ~column:"grp";
+  Table.create_index ~ordered:true t ~index_name:"t_k" ~column:"k";
+  check_integrity t;
+  check_lookup_equivalence t ~column:1;
+  (* churn: updates move keys between buckets, deletes empty some *)
+  for k = 1 to 40 do
+    if k mod 3 = 0 then ignore (Table.delete t ~clock:(100 + k) ~rid:k)
+    else if k mod 3 = 1 then
+      ignore (Table.update t ~clock:(100 + k) ~rid:k (row k (k mod 5) "u"))
+  done;
+  check_integrity t;
+  check_lookup_equivalence t ~column:1;
+  (* the ordered index agrees with the live scan over any range *)
+  let oidx =
+    match Table.ordered_index_on t ~column:0 with
+    | Some o -> o
+    | None -> Alcotest.fail "ordered index missing"
+  in
+  let in_range =
+    Table.scan t
+    |> List.filter (fun tv ->
+           match tv.Table.values.(0) with
+           | Value.Int k -> k >= 10 && k <= 30
+           | _ -> false)
+    |> rids |> List.sort compare
+  in
+  Alcotest.(check (list int)) "range lookup = filtered scan" in_range
+    (rids
+       (Table.range_lookup t oidx
+          ~lo:(Some (Value.Int 10, true))
+          ~hi:(Some (Value.Int 30, true))))
+
+(* deleting every row of a key must drop its bucket, so the distinct
+   count the planner reads stays equal to the live distinct keys *)
+let test_empty_buckets_dropped () =
+  let t = mk () in
+  Table.create_index t ~index_name:"t_grp" ~column:"grp";
+  for k = 1 to 12 do
+    ignore (Table.insert t ~clock:k (row k (k mod 4) "x"))
+  done;
+  Alcotest.(check (option int)) "4 distinct keys" (Some 4)
+    (Table.distinct_on t ~column:1);
+  (* retire every grp=0 row (rids 4, 8, 12) *)
+  List.iter (fun rid -> ignore (Table.delete t ~clock:(20 + rid) ~rid)) [ 4; 8; 12 ];
+  Alcotest.(check (option int)) "bucket dropped with its last row" (Some 3)
+    (Table.distinct_on t ~column:1);
+  check_integrity t;
+  (* updates that move the last row out of a key drop that bucket too:
+     rids 2, 6, 10 are the grp=2 rows; moving them to grp=1 empties it *)
+  List.iter
+    (fun rid -> ignore (Table.update t ~clock:(40 + rid) ~rid (row rid 1 "y")))
+    [ 2; 6; 10 ];
+  Alcotest.(check (option int)) "update-vacated bucket dropped" (Some 2)
+    (Table.distinct_on t ~column:1);
+  check_integrity t
+
+let test_rollback_keeps_indexes () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE acc (id INT, grp INT, note TEXT)");
+  ignore (Database.exec db "CREATE INDEX acc_grp ON acc (grp)");
+  ignore (Database.exec db "CREATE ORDERED INDEX acc_id ON acc (id)");
+  for k = 1 to 10 do
+    ignore
+      (Database.exec db
+         (Printf.sprintf "INSERT INTO acc VALUES (%d, %d, 'v%d')" k (k mod 3) k))
+  done;
+  let table = Catalog.find (Database.catalog db) "acc" in
+  let before = scan_matching table 1 (Value.Int 1) in
+  ignore (Database.exec db "BEGIN");
+  ignore (Database.exec db "INSERT INTO acc VALUES (11, 1, 'tx')");
+  ignore (Database.exec db "UPDATE acc SET grp = 1 WHERE id = 3");
+  ignore (Database.exec db "DELETE FROM acc WHERE id = 4");
+  ignore (Database.exec db "ROLLBACK");
+  (* the abort unlink/relink path must leave every index consistent *)
+  check_integrity table;
+  check_lookup_equivalence table ~column:1;
+  Alcotest.(check (list int)) "grp=1 membership restored" before
+    (scan_matching table 1 (Value.Int 1));
+  let r = Database.query db "SELECT COUNT(*) FROM acc WHERE grp = 1" in
+  Alcotest.(check int) "indexed count matches" (List.length before)
+    (match (List.hd r.Executor.rows).Executor.values.(0) with
+    | Value.Int n -> n
+    | _ -> -1)
+
+let test_restore_version_maintains_indexes () =
+  let t = mk () in
+  Table.create_index t ~index_name:"t_grp" ~column:"grp";
+  Table.create_index ~ordered:true t ~index_name:"t_k" ~column:"k";
+  (* checkpoint-style restore: out-of-order rids, then a superseding
+     newer version of rid 3 that changes its indexed keys *)
+  ignore (Table.restore_version t ~rid:3 ~version:2 (row 3 0 "a"));
+  ignore (Table.restore_version t ~rid:1 ~version:1 (row 1 1 "b"));
+  ignore (Table.restore_version t ~rid:5 ~version:4 (row 5 0 "c"));
+  ignore (Table.restore_version t ~rid:3 ~version:7 (row 30 2 "a2"));
+  check_integrity t;
+  check_lookup_equivalence t ~column:1;
+  Alcotest.(check (list int)) "superseded key vacated" []
+    (scan_matching t 0 (Value.Int 3));
+  Alcotest.(check (list int)) "ascending scan over restored rids" [ 1; 3; 5 ]
+    (rids (Table.scan t))
+
+(* ------------------------------------------------------------------ *)
+(* delete-heavy workload: 10k inserts then 10k deletes used to rebuild
+   the live-order list per delete (quadratic); it must now finish well
+   inside the tier-1 timeout                                            *)
+
+let test_delete_heavy_workload () =
+  let n = 10_000 in
+  let t = mk () in
+  Table.create_index t ~index_name:"t_grp" ~column:"grp";
+  let t0 = Unix.gettimeofday () in
+  for k = 1 to n do
+    ignore (Table.insert t ~clock:k (row k (k mod 13) "x"))
+  done;
+  (* interleave scans so a quadratic rebuild would surface as seconds *)
+  for k = 1 to n do
+    ignore (Table.delete t ~clock:(n + k) ~rid:k);
+    if k mod 1000 = 0 then ignore (Table.scan t)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "all rows gone" 0 (Table.row_count t);
+  Alcotest.(check (list int)) "empty scan" [] (rids (Table.scan t));
+  check_integrity t;
+  if dt > 5.0 then
+    Alcotest.failf "delete-heavy workload took %.1fs (quadratic rebuild?)" dt
+
+let suite =
+  [ Alcotest.test_case "scan_as_of ascending rids" `Quick
+      test_scan_as_of_ascending_rids;
+    Alcotest.test_case "backfill and churn" `Quick test_backfill_and_churn;
+    Alcotest.test_case "empty buckets dropped" `Quick
+      test_empty_buckets_dropped;
+    Alcotest.test_case "rollback keeps indexes" `Quick
+      test_rollback_keeps_indexes;
+    Alcotest.test_case "restore_version maintains indexes" `Quick
+      test_restore_version_maintains_indexes;
+    Alcotest.test_case "delete-heavy workload" `Slow
+      test_delete_heavy_workload ]
